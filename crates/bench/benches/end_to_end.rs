@@ -1,0 +1,50 @@
+//! Criterion bench: end-to-end fits — MFTI vs VFTI vs vector fitting on
+//! a medium multi-port workload (Table-1-shaped timing comparison at
+//! Criterion-friendly scale).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfti_core::{Mfti, OrderSelection, Vfti, Weights};
+use mfti_sampling::generators::PdnBuilder;
+use mfti_sampling::{FrequencyGrid, NoiseModel, SampleSet};
+use mfti_vecfit::VectorFitter;
+
+fn workload() -> SampleSet {
+    let pdn = PdnBuilder::new(6)
+        .resonance_pairs(20)
+        .band(1e7, 1e9)
+        .seed(3)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e7, 1e9, 40).expect("valid");
+    let clean = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    NoiseModel::additive_relative(1e-3).apply(&clean, 9)
+}
+
+fn bench_fitters(c: &mut Criterion) {
+    let samples = workload();
+    let mut group = c.benchmark_group("end_to_end_fit");
+    group.sample_size(10);
+    group.bench_function("mfti_t2", |b| {
+        let fitter = Mfti::new()
+            .weights(Weights::Uniform(2))
+            .order_selection(OrderSelection::NoiseFloor { factor: 5.0 });
+        b.iter(|| fitter.fit(&samples).expect("fit"))
+    });
+    group.bench_function("mfti_full", |b| {
+        let fitter = Mfti::new().order_selection(OrderSelection::NoiseFloor { factor: 5.0 });
+        b.iter(|| fitter.fit(&samples).expect("fit"))
+    });
+    group.bench_function("vfti", |b| {
+        let fitter = Vfti::new().order_selection(OrderSelection::NoiseFloor { factor: 5.0 });
+        b.iter(|| fitter.fit(&samples).expect("fit"))
+    });
+    group.bench_function("vecfit_n40_10it", |b| {
+        let fitter = VectorFitter::new(40).iterations(10);
+        b.iter(|| fitter.fit(&samples).expect("fit"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fitters);
+criterion_main!(benches);

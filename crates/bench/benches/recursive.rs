@@ -1,0 +1,55 @@
+//! Criterion bench: recursive MFTI (Algorithm 2) vs one-shot MFTI
+//! (Algorithm 1) on noisy data — the paper's complexity argument for
+//! the recursion, plus the worst-first/best-first ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mfti_core::{Mfti, OrderSelection, RecursiveMfti, SelectionOrder, Weights};
+use mfti_sampling::generators::PdnBuilder;
+use mfti_sampling::{FrequencyGrid, NoiseModel, SampleSet};
+
+fn workload() -> SampleSet {
+    let pdn = PdnBuilder::new(6)
+        .resonance_pairs(15)
+        .band(1e7, 1e9)
+        .seed(5)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e7, 1e9, 60).expect("valid");
+    let clean = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    NoiseModel::additive_relative(1e-3).apply(&clean, 2)
+}
+
+fn bench_recursive(c: &mut Criterion) {
+    let samples = workload();
+    let selection = OrderSelection::NoiseFloor { factor: 5.0 };
+    let mut group = c.benchmark_group("algorithm2");
+    group.sample_size(10);
+    group.bench_function("full_mfti_t2", |b| {
+        let fitter = Mfti::new()
+            .weights(Weights::Uniform(2))
+            .order_selection(selection);
+        b.iter(|| fitter.fit(&samples).expect("fit"))
+    });
+    group.bench_function("recursive_worst_first", |b| {
+        let fitter = RecursiveMfti::new()
+            .weights(Weights::Uniform(2))
+            .order_selection(selection)
+            .batch_pairs(5)
+            .threshold(3e-3);
+        b.iter(|| fitter.fit(&samples).expect("fit"))
+    });
+    group.bench_function("recursive_best_first", |b| {
+        let fitter = RecursiveMfti::new()
+            .weights(Weights::Uniform(2))
+            .order_selection(selection)
+            .batch_pairs(5)
+            .threshold(3e-3)
+            .selection_order(SelectionOrder::BestFirst);
+        b.iter(|| fitter.fit(&samples).expect("fit"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_recursive);
+criterion_main!(benches);

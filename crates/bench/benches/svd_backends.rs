@@ -1,0 +1,35 @@
+//! Criterion bench: the two SVD backends (ablation from DESIGN.md §3).
+//!
+//! Golub–Kahan should win by a growing margin; Jacobi exists as an
+//! independent cross-check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mfti_numeric::{c64, CMatrix, Svd, SvdMethod};
+
+fn random_complex(n: usize, mut seed: u64) -> CMatrix {
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    CMatrix::from_fn(n, n, |_, _| c64(next(), next()))
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svd_backends");
+    for &n in &[32usize, 64, 128] {
+        let a = random_complex(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("golub_kahan", n), &a, |b, a| {
+            b.iter(|| Svd::compute_with(a, SvdMethod::GolubKahan).expect("svd"))
+        });
+        group.bench_with_input(BenchmarkId::new("jacobi", n), &a, |b, a| {
+            b.iter(|| Svd::compute_with(a, SvdMethod::Jacobi).expect("svd"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svd);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Regenerates **Table 1** of the paper: interpolation of noisy 14-port
+//! PDN data (synthetic stand-in; DESIGN.md §4), Tests 1 and 2.
+//!
+//! Rows: VF (10 iterations) with n = 140 and n = 280, VFTI, two MFTI-1
+//! configurations, and the recursive MFTI-2. Columns: reduced order,
+//! wall-clock time, relative error `ERR` (against the measured/noisy
+//! data, as in the paper).
+//!
+//! Following the paper, the two MFTI-1 rows mean different things per
+//! test: in Test 1 they are the uniform block widths `t_i = 2` and
+//! `t_i = 3`; in Test 2 they are two *weighting choices* (`t_i ≥ t_j`
+//! for `i < j`, i.e. more columns spent on the sparsely sampled low
+//! band): weight 1 = 3/2, weight 2 = 4/3.
+//!
+//! Expected shape (paper): MFTI ≫ VFTI ≥ VF(140) in accuracy; VF(280)
+//! beats VFTI but not MFTI; accuracy grows with `t_i`/weighting; MFTI-2
+//! reaches MFTI-1-like accuracy using a subset of the data; everything
+//! degrades on the ill-conditioned Test 2 grid, MFTI the least.
+//!
+//! Run: `cargo run --release -p mfti-bench --bin table1_noisy`
+
+use std::time::Instant;
+
+use mfti_bench::{print_table, secs, table1_samples, PDN_NOISE_SIGMA};
+use mfti_core::{metrics, Mfti, OrderSelection, RecursiveMfti, Vfti, Weights};
+use mfti_sampling::SampleSet;
+use mfti_vecfit::VectorFitter;
+
+struct Row {
+    name: String,
+    order: usize,
+    time: std::time::Duration,
+    err: f64,
+}
+
+/// Per-pair weights giving the sparse low-frequency quarter of the
+/// samples `t_low` columns and the rest `t_high` (paper Test 2:
+/// "t_i ≥ t_j for i < j").
+fn low_band_weights(samples: &SampleSet, t_low: usize, t_high: usize) -> Weights {
+    let pairs = samples.len() / 2;
+    Weights::PerPair(
+        (0..pairs)
+            .map(|j| if j < pairs / 4 { t_low } else { t_high })
+            .collect(),
+    )
+}
+
+fn run_test(test: usize, noisy: &SampleSet) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let selection = OrderSelection::NoiseFloor { factor: 10.0 };
+
+    // --- VF, 10 iterations, n = 140 and n = 280 ------------------------
+    for &n in &[140usize, 280] {
+        let t0 = Instant::now();
+        match VectorFitter::new(n).iterations(10).fit(noisy) {
+            Ok(fit) => rows.push(Row {
+                name: format!("VF (10 it.) n={n}"),
+                order: fit.model.order(),
+                time: t0.elapsed(),
+                err: metrics::err_rms_of(&fit.model, noisy).unwrap_or(f64::INFINITY),
+            }),
+            Err(e) => eprintln!("VF n={n} failed: {e}"),
+        }
+    }
+
+    // --- VFTI -----------------------------------------------------------
+    let t0 = Instant::now();
+    match Vfti::new().order_selection(selection).fit(noisy) {
+        Ok(fit) => rows.push(Row {
+            name: "VFTI".to_string(),
+            order: fit.detected_order,
+            time: t0.elapsed(),
+            err: metrics::err_rms_of(&fit.model, noisy).unwrap_or(f64::INFINITY),
+        }),
+        Err(e) => eprintln!("VFTI failed: {e}"),
+    }
+
+    // --- MFTI-1: uniform t (Test 1) or low-band weighting (Test 2) ------
+    let configs: Vec<(String, Weights)> = if test == 1 {
+        vec![
+            ("MFTI-1 t=2".to_string(), Weights::Uniform(2)),
+            ("MFTI-1 t=3".to_string(), Weights::Uniform(3)),
+        ]
+    } else {
+        vec![
+            ("MFTI-1 weight 1".to_string(), low_band_weights(noisy, 3, 2)),
+            ("MFTI-1 weight 2".to_string(), low_band_weights(noisy, 4, 3)),
+        ]
+    };
+    for (name, weights) in configs {
+        let t0 = Instant::now();
+        match Mfti::new()
+            .weights(weights)
+            .order_selection(selection)
+            .fit(noisy)
+        {
+            Ok(fit) => rows.push(Row {
+                name,
+                order: fit.detected_order,
+                time: t0.elapsed(),
+                err: metrics::err_rms_of(&fit.model, noisy).unwrap_or(f64::INFINITY),
+            }),
+            Err(e) => eprintln!("{name} failed: {e}"),
+        }
+    }
+
+    // --- MFTI-2 (recursive) ----------------------------------------------
+    let t0 = Instant::now();
+    match RecursiveMfti::new()
+        .weights(Weights::Uniform(2))
+        .order_selection(selection)
+        .batch_pairs(5)
+        .threshold(10.0 * PDN_NOISE_SIGMA)
+        .fit(noisy)
+    {
+        Ok(fit) => rows.push(Row {
+            name: "MFTI-2 (recursive)".to_string(),
+            order: fit.result.detected_order,
+            time: t0.elapsed(),
+            err: metrics::err_rms_of(&fit.result.model, noisy).unwrap_or(f64::INFINITY),
+        }),
+        Err(e) => eprintln!("MFTI-2 failed: {e}"),
+    }
+
+    rows
+}
+
+fn main() {
+    println!("Table 1 reproduction: noisy 14-port PDN, 100 samples\n");
+    for test in [1usize, 2] {
+        let (_, noisy) = table1_samples(test);
+        println!(
+            "Test {test} ({}):",
+            if test == 1 {
+                "uniform samples"
+            } else {
+                "samples concentrated in the high band"
+            }
+        );
+        let rows = run_test(test, &noisy);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.order.to_string(),
+                    secs(r.time),
+                    format!("{:.2e}", r.err),
+                ]
+            })
+            .collect();
+        print_table(&["algorithm", "reduced order", "time(s)", "ERR"], &table);
+        println!();
+    }
+    println!(
+        "Paper reference (Test 1): VF n=140 3.72e-1 | VF n=280 7.33e-2 | \
+         VFTI 1.32e-1 | MFTI t=2 9.60e-3 | MFTI t=3 1.70e-3 | MFTI-2 9.91e-3"
+    );
+    println!(
+        "Paper reference (Test 2): VF n=140 4.89e-1 | VF n=280 9.11e-2 | \
+         VFTI 4.16e-1 | MFTI w1 3.14e-2 | MFTI w2 4.20e-3 | MFTI-2 2.51e-2"
+    );
+}

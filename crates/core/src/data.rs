@@ -1,0 +1,329 @@
+//! Matrix-format tangential interpolation data (paper Eqs. 6–9).
+//!
+//! A sample set of `k` matrices (`k` even) is split alternately: samples
+//! `0, 2, 4, …` feed the **right** data `{λ_i, R_i, W_i = S R_i}`,
+//! samples `1, 3, 5, …` feed the **left** data `{μ_i, L_i, V_i = L S}`.
+//! Each sample additionally contributes its complex conjugate
+//! (`λ → −λ`, `W → conj(W)`, directions real hence unchanged) so the
+//! recovered model satisfies `H(−jω) = conj(H(jω))` and admits a real
+//! realization (Lemma 3.2).
+
+use mfti_numeric::{CMatrix, Complex, RMatrix};
+use mfti_sampling::SampleSet;
+use mfti_statespace::s_at_hz;
+
+use crate::directions::{generate_directions, DirectionKind, DirectionSet};
+use crate::error::MftiError;
+
+/// Per-sample block widths `t_i` (the paper's accuracy/speed/weighting
+/// knob, Section 3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Weights {
+    /// The same `t` for every sample pair. `t = min(m, p)` exploits every
+    /// entry of each sample (Lemma 3.1); `t = 1` degenerates to VFTI.
+    Uniform(usize),
+    /// An explicit `t_j` per sample *pair* (pair `j` = samples
+    /// `2j`/`2j+1`). Larger weights emphasize the corresponding
+    /// frequencies — the paper's treatment of ill-conditioned data.
+    PerPair(Vec<usize>),
+}
+
+impl Weights {
+    fn resolve(&self, pairs: usize) -> Result<Vec<usize>, MftiError> {
+        match self {
+            Weights::Uniform(t) => Ok(vec![*t; pairs]),
+            Weights::PerPair(v) => {
+                if v.len() != pairs {
+                    return Err(MftiError::InvalidWeights {
+                        what: format!("expected {pairs} pair weights, got {}", v.len()),
+                    });
+                }
+                Ok(v.clone())
+            }
+        }
+    }
+}
+
+/// One right tangential triple `(λ, R, W)` with `W = S(f) R`.
+#[derive(Debug, Clone)]
+pub struct RightTriple {
+    /// Interpolation point `λ = ±j2πf`.
+    pub lambda: Complex,
+    /// Direction block `R` (`m × t`), real.
+    pub r: RMatrix,
+    /// Data block `W = S(f)·R` (`p × t`).
+    pub w: CMatrix,
+    /// Index of the originating sample in the sample set.
+    pub sample_index: usize,
+}
+
+/// One left tangential triple `(μ, L, V)` with `V = L S(f)`.
+#[derive(Debug, Clone)]
+pub struct LeftTriple {
+    /// Interpolation point `μ = ±j2πf`.
+    pub mu: Complex,
+    /// Direction block `L` (`t × p`), real.
+    pub l: RMatrix,
+    /// Data block `V = L·S(f)` (`t × m`).
+    pub v: CMatrix,
+    /// Index of the originating sample in the sample set.
+    pub sample_index: usize,
+}
+
+/// The full matrix-format tangential data set of Eqs. (6)–(9).
+///
+/// Triples are stored with conjugates adjacent (`2j` = original,
+/// `2j+1` = conjugate), which is the ordering Lemma 3.2's
+/// block-diagonal transformation `T` expects.
+#[derive(Debug, Clone)]
+pub struct TangentialData {
+    right: Vec<RightTriple>,
+    left: Vec<LeftTriple>,
+    pair_weights: Vec<usize>,
+    outputs: usize,
+    inputs: usize,
+    freq_scale: f64,
+}
+
+impl TangentialData {
+    /// Builds tangential data from an even-sized sample set.
+    ///
+    /// # Errors
+    ///
+    /// * [`MftiError::InvalidSamples`] for odd `k`, `k < 2` or duplicate
+    ///   frequencies (the Loewner divided differences would blow up);
+    /// * [`MftiError::InvalidWeights`] for out-of-range `t_i`.
+    pub fn build(
+        samples: &SampleSet,
+        directions: DirectionKind,
+        weights: &Weights,
+    ) -> Result<Self, MftiError> {
+        let k = samples.len();
+        if k < 2 || k % 2 != 0 {
+            return Err(MftiError::InvalidSamples {
+                what: format!("need an even number of samples >= 2, got {k}"),
+            });
+        }
+        // Duplicate frequencies make μ − λ vanish across the split.
+        let mut sorted = samples.freqs_hz().to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(MftiError::InvalidSamples {
+                what: "duplicate sampling frequencies".to_string(),
+            });
+        }
+        if samples.freqs_hz().iter().any(|&f| f <= 0.0) {
+            return Err(MftiError::InvalidSamples {
+                what: "frequencies must be strictly positive (conjugate \
+                       augmentation would collide at DC)"
+                    .to_string(),
+            });
+        }
+
+        let (p, m) = samples.ports();
+        let pairs = k / 2;
+        let ts = weights.resolve(pairs)?;
+        let dirs: DirectionSet = generate_directions(directions, p, m, &ts, &ts)?;
+
+        let mut right = Vec::with_capacity(k);
+        let mut left = Vec::with_capacity(k);
+        for j in 0..pairs {
+            // Right data from sample 2j (paper: f_1, f_3, …).
+            let (f_r, s_r) = samples.get(2 * j);
+            let r = &dirs.right[j];
+            let w = s_r.matmul(&r.to_complex())?;
+            let lambda = s_at_hz(f_r);
+            right.push(RightTriple {
+                lambda,
+                r: r.clone(),
+                w: w.clone(),
+                sample_index: 2 * j,
+            });
+            right.push(RightTriple {
+                lambda: -lambda,
+                r: r.clone(),
+                w: w.conj(),
+                sample_index: 2 * j,
+            });
+
+            // Left data from sample 2j+1 (paper: f_2, f_4, …).
+            let (f_l, s_l) = samples.get(2 * j + 1);
+            let l = &dirs.left[j];
+            let v = l.to_complex().matmul(s_l)?;
+            let mu = s_at_hz(f_l);
+            left.push(LeftTriple {
+                mu,
+                l: l.clone(),
+                v: v.clone(),
+                sample_index: 2 * j + 1,
+            });
+            left.push(LeftTriple {
+                mu: -mu,
+                l: l.clone(),
+                v: v.conj(),
+                sample_index: 2 * j + 1,
+            });
+        }
+
+        // Pencil computations run in normalized frequency s' = s/ω₀ to
+        // keep 𝕃 and σ𝕃 at comparable magnitudes (σ𝕃 ≈ ω·𝕃 otherwise,
+        // which destroys the projection subspaces on wide-band data).
+        let freq_scale = samples
+            .freqs_hz()
+            .iter()
+            .fold(0.0f64, |acc, &f| acc.max(std::f64::consts::TAU * f));
+
+        Ok(TangentialData {
+            right,
+            left,
+            pair_weights: ts,
+            outputs: p,
+            inputs: m,
+            freq_scale,
+        })
+    }
+
+    /// The frequency normalization ω₀ (max |λ|) used by the Loewner
+    /// pencil; interpolation points inside [`LoewnerPencil`] are divided
+    /// by this factor and the realizations denormalize `E` accordingly.
+    pub fn freq_scale(&self) -> f64 {
+        self.freq_scale
+    }
+
+    /// Right triples (conjugates adjacent).
+    pub fn right(&self) -> &[RightTriple] {
+        &self.right
+    }
+
+    /// Left triples (conjugates adjacent).
+    pub fn left(&self) -> &[LeftTriple] {
+        &self.left
+    }
+
+    /// Block width `t_j` of each sample pair.
+    pub fn pair_weights(&self) -> &[usize] {
+        &self.pair_weights
+    }
+
+    /// Number of sample pairs per side (`k/2`).
+    pub fn num_pairs(&self) -> usize {
+        self.pair_weights.len()
+    }
+
+    /// Total Loewner pencil order `K = Σ 2 t_j` when all pairs are used.
+    pub fn pencil_order(&self) -> usize {
+        2 * self.pair_weights.iter().sum::<usize>()
+    }
+
+    /// `(outputs p, inputs m)`.
+    pub fn ports(&self) -> (usize, usize) {
+        (self.outputs, self.inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_sampling::generators::RandomSystemBuilder;
+    use mfti_sampling::{FrequencyGrid, SampleSet};
+    use mfti_statespace::TransferFunction;
+
+    fn samples(k: usize, ports: usize) -> (SampleSet, mfti_statespace::DescriptorSystem<f64>) {
+        let sys = RandomSystemBuilder::new(12, ports, ports)
+            .seed(3)
+            .build()
+            .unwrap();
+        let grid = FrequencyGrid::log_space(1e2, 1e4, k).unwrap();
+        (SampleSet::from_system(&sys, &grid).unwrap(), sys)
+    }
+
+    #[test]
+    fn build_splits_samples_alternately() {
+        let (set, _) = samples(6, 2);
+        let data =
+            TangentialData::build(&set, DirectionKind::CyclicIdentity, &Weights::Uniform(2))
+                .unwrap();
+        assert_eq!(data.num_pairs(), 3);
+        assert_eq!(data.right().len(), 6);
+        assert_eq!(data.left().len(), 6);
+        assert_eq!(data.right()[0].sample_index, 0);
+        assert_eq!(data.right()[2].sample_index, 2);
+        assert_eq!(data.left()[0].sample_index, 1);
+        assert_eq!(data.pencil_order(), 12);
+    }
+
+    #[test]
+    fn conjugate_triples_are_adjacent_and_conjugated() {
+        let (set, _) = samples(4, 3);
+        let data =
+            TangentialData::build(&set, DirectionKind::RandomOrthonormal { seed: 1 }, &Weights::Uniform(3))
+                .unwrap();
+        for pair in data.right().chunks(2) {
+            assert_eq!(pair[0].lambda, -pair[1].lambda);
+            assert_eq!(pair[0].r, pair[1].r);
+            assert!((&pair[0].w.conj() - &pair[1].w).max_abs() < 1e-15);
+        }
+        for pair in data.left().chunks(2) {
+            assert_eq!(pair[0].mu, -pair[1].mu);
+            assert!((&pair[0].v.conj() - &pair[1].v).max_abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn interpolation_data_satisfy_their_definition() {
+        let (set, sys) = samples(4, 2);
+        let data =
+            TangentialData::build(&set, DirectionKind::RandomOrthonormal { seed: 5 }, &Weights::Uniform(2))
+                .unwrap();
+        // W_i = S(f_i) R_i must equal H(λ_i) R_i for the true system.
+        for t in data.right().iter().step_by(2) {
+            let h = sys.eval(t.lambda).unwrap();
+            let w = h.matmul(&t.r.to_complex()).unwrap();
+            assert!((&w - &t.w).max_abs() < 1e-10);
+        }
+        for t in data.left().iter().step_by(2) {
+            let h = sys.eval(t.mu).unwrap();
+            let v = t.l.to_complex().matmul(&h).unwrap();
+            assert!((&v - &t.v).max_abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn odd_and_tiny_sample_counts_are_rejected() {
+        let (set, _) = samples(6, 2);
+        let odd = set.subset(&[0, 1, 2]).unwrap();
+        assert!(TangentialData::build(&odd, DirectionKind::CyclicIdentity, &Weights::Uniform(1))
+            .is_err());
+    }
+
+    #[test]
+    fn duplicate_frequencies_are_rejected() {
+        let (set, _) = samples(4, 2);
+        let dup = set.subset(&[0, 0, 1, 2]).unwrap();
+        assert!(TangentialData::build(&dup, DirectionKind::CyclicIdentity, &Weights::Uniform(1))
+            .is_err());
+    }
+
+    #[test]
+    fn per_pair_weights_are_respected() {
+        let (set, _) = samples(6, 3);
+        let data = TangentialData::build(
+            &set,
+            DirectionKind::RandomOrthonormal { seed: 2 },
+            &Weights::PerPair(vec![3, 2, 1]),
+        )
+        .unwrap();
+        assert_eq!(data.pair_weights(), &[3, 2, 1]);
+        assert_eq!(data.right()[0].r.cols(), 3);
+        assert_eq!(data.right()[2].r.cols(), 2);
+        assert_eq!(data.right()[4].r.cols(), 1);
+        assert_eq!(data.pencil_order(), 12);
+        // Wrong length rejected.
+        assert!(TangentialData::build(
+            &set,
+            DirectionKind::CyclicIdentity,
+            &Weights::PerPair(vec![1, 1])
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Tangential interpolation directions.
+//!
+//! MFTI probes each sample matrix `S(f_i)` through a *matrix* direction
+//! pair: a right block `R_i ∈ ℝ^{m×t_i}` and a left block
+//! `L_i ∈ ℝ^{t_i×p}` (Algorithm 1 step 1 asks for orthonormal blocks).
+//! With `t_i = min(m, p)` and full rank the whole matrix is used; with
+//! `t_i = 1` the scheme degenerates to VFTI's vector directions.
+//!
+//! Real directions are used on purpose: conjugate data then satisfy
+//! `R_{2i} = R_{2i-1}` literally as printed in Eq. (6) (see DESIGN.md §5).
+
+use mfti_numeric::{Qr, RMatrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::MftiError;
+
+/// Strategy for generating interpolation direction blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectionKind {
+    /// Cycled identity columns/rows: sample `i` probes columns
+    /// `(offset + 0..t_i) mod m` — the standard choice in the Loewner
+    /// literature, and exactly the VFTI baseline when `t_i = 1`.
+    CyclicIdentity,
+    /// Random orthonormal blocks (seeded Gaussian + QR). Spreads
+    /// information across all ports even when `t_i < min(m, p)`.
+    RandomOrthonormal {
+        /// RNG seed; fixed seed ⇒ reproducible fits.
+        seed: u64,
+    },
+}
+
+impl Default for DirectionKind {
+    fn default() -> Self {
+        DirectionKind::RandomOrthonormal { seed: 0x4d465449 } // "MFTI"
+    }
+}
+
+/// Generated direction blocks for a whole sample set.
+#[derive(Debug, Clone)]
+pub struct DirectionSet {
+    /// Right blocks `R_i` (`m × t_i`), one per *pair* of conjugate
+    /// right triples.
+    pub right: Vec<RMatrix>,
+    /// Left blocks `L_i` (`t_i × p`), one per pair of conjugate left
+    /// triples.
+    pub left: Vec<RMatrix>,
+}
+
+/// Generates orthonormal direction blocks.
+///
+/// `right_ts[j]` and `left_ts[j]` give the block widths of the `j`-th
+/// right/left sample pair; the two lists may have different lengths when
+/// the right and left sides use different sample counts.
+///
+/// # Errors
+///
+/// Returns [`MftiError::InvalidWeights`] when any `t` is outside
+/// `[1, min(m, p)]`.
+pub fn generate_directions(
+    kind: DirectionKind,
+    outputs: usize,
+    inputs: usize,
+    right_ts: &[usize],
+    left_ts: &[usize],
+) -> Result<DirectionSet, MftiError> {
+    let t_max = outputs.min(inputs);
+    for &t in right_ts.iter().chain(left_ts) {
+        if t == 0 || t > t_max {
+            return Err(MftiError::InvalidWeights {
+                what: format!("t = {t} outside [1, min(m,p)] = [1, {t_max}]"),
+            });
+        }
+    }
+    match kind {
+        DirectionKind::CyclicIdentity => {
+            let mut right = Vec::with_capacity(right_ts.len());
+            let mut offset = 0usize;
+            for &t in right_ts {
+                right.push(cyclic_columns(inputs, t, offset));
+                offset += t;
+            }
+            let mut left = Vec::with_capacity(left_ts.len());
+            let mut offset = 0usize;
+            for &t in left_ts {
+                left.push(cyclic_columns(outputs, t, offset).transpose());
+                offset += t;
+            }
+            Ok(DirectionSet { right, left })
+        }
+        DirectionKind::RandomOrthonormal { seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let right = right_ts
+                .iter()
+                .map(|&t| random_orthonormal(&mut rng, inputs, t))
+                .collect::<Result<Vec<_>, _>>()?;
+            let left = left_ts
+                .iter()
+                .map(|&t| Ok(random_orthonormal(&mut rng, outputs, t)?.transpose()))
+                .collect::<Result<Vec<_>, MftiError>>()?;
+            Ok(DirectionSet { right, left })
+        }
+    }
+}
+
+/// `dim × t` matrix whose columns are identity columns
+/// `e_{(offset+c) mod dim}`.
+fn cyclic_columns(dim: usize, t: usize, offset: usize) -> RMatrix {
+    RMatrix::from_fn(dim, t, |i, c| {
+        if i == (offset + c) % dim {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Orthonormal `dim × t` block via QR of a Gaussian matrix.
+fn random_orthonormal(rng: &mut StdRng, dim: usize, t: usize) -> Result<RMatrix, MftiError> {
+    loop {
+        let g = RMatrix::from_fn(dim, t, |_, _| {
+            // Box–Muller without the rand_distr dependency.
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            (-2.0f64 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        });
+        let qr = Qr::compute(&g)?;
+        let q = qr.q_thin();
+        // Degenerate draws (rank-deficient Gaussian) are astronomically
+        // unlikely; retry if the factor is not orthonormal.
+        let qtq = q.transpose().matmul(&q)?;
+        if qtq.approx_eq(&RMatrix::identity(t), 1e-10) {
+            return Ok(q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_orthonormal_cols(m: &RMatrix) {
+        let g = m.transpose().matmul(m).unwrap();
+        assert!(
+            g.approx_eq(&RMatrix::identity(m.cols()), 1e-12),
+            "columns not orthonormal: {g:?}"
+        );
+    }
+
+    #[test]
+    fn cyclic_identity_directions_cycle_through_ports() {
+        let set = generate_directions(DirectionKind::CyclicIdentity, 3, 3, &[1, 1, 1, 1], &[1, 1])
+            .unwrap();
+        assert_eq!(set.right.len(), 4);
+        // Sample 0 probes e0, sample 1 probes e1, sample 3 wraps to e0.
+        assert_eq!(set.right[0][(0, 0)], 1.0);
+        assert_eq!(set.right[1][(1, 0)], 1.0);
+        assert_eq!(set.right[3][(0, 0)], 1.0);
+        for r in &set.right {
+            check_orthonormal_cols(r);
+        }
+        for l in &set.left {
+            check_orthonormal_cols(&l.transpose());
+        }
+    }
+
+    #[test]
+    fn full_weight_cyclic_blocks_are_permutations() {
+        let set =
+            generate_directions(DirectionKind::CyclicIdentity, 4, 4, &[4, 4], &[4]).unwrap();
+        for r in &set.right {
+            check_orthonormal_cols(r);
+            assert_eq!(r.dims(), (4, 4));
+        }
+    }
+
+    #[test]
+    fn random_orthonormal_blocks_have_orthonormal_columns() {
+        let set = generate_directions(
+            DirectionKind::RandomOrthonormal { seed: 7 },
+            5,
+            4,
+            &[2, 3, 4],
+            &[1, 2],
+        )
+        .unwrap();
+        for r in &set.right {
+            assert_eq!(r.rows(), 4);
+            check_orthonormal_cols(r);
+        }
+        for l in &set.left {
+            assert_eq!(l.cols(), 5);
+            check_orthonormal_cols(&l.transpose());
+        }
+    }
+
+    #[test]
+    fn random_directions_are_seed_deterministic() {
+        let a = generate_directions(DirectionKind::RandomOrthonormal { seed: 1 }, 3, 3, &[2], &[2])
+            .unwrap();
+        let b = generate_directions(DirectionKind::RandomOrthonormal { seed: 1 }, 3, 3, &[2], &[2])
+            .unwrap();
+        assert_eq!(a.right[0], b.right[0]);
+        assert_eq!(a.left[0], b.left[0]);
+    }
+
+    #[test]
+    fn weights_outside_range_are_rejected() {
+        assert!(generate_directions(DirectionKind::CyclicIdentity, 3, 3, &[0], &[1]).is_err());
+        assert!(generate_directions(DirectionKind::CyclicIdentity, 3, 3, &[1], &[4]).is_err());
+        // min(m, p) bounds the weight even when one side is wider.
+        assert!(generate_directions(DirectionKind::CyclicIdentity, 2, 5, &[3], &[1]).is_err());
+    }
+}

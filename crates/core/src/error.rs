@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+use mfti_numeric::NumericError;
+use mfti_sampling::SamplingError;
+use mfti_statespace::StateSpaceError;
+
+/// Errors produced by the MFTI/VFTI fitting pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MftiError {
+    /// The sample set cannot support the requested configuration (odd
+    /// sample count, too few samples, duplicate frequencies, …).
+    InvalidSamples {
+        /// Human-readable description of the problem.
+        what: String,
+    },
+    /// A weight `t_i` lies outside `[1, min(m, p)]` (Algorithm 1, step 1)
+    /// or the weight vector length does not match the sample pairing.
+    InvalidWeights {
+        /// Human-readable description of the problem.
+        what: String,
+    },
+    /// The order selection produced an unusable order (zero, or larger
+    /// than the pencil).
+    OrderSelection {
+        /// The order that was requested or detected.
+        requested: usize,
+        /// The pencil size bounding it.
+        pencil: usize,
+    },
+    /// The Lemma 3.2 realification left significant imaginary parts —
+    /// the tangential data were not conjugate-closed.
+    RealificationResidual {
+        /// Largest relative imaginary residual observed.
+        max_imag: f64,
+    },
+    /// An underlying linear-algebra kernel failed.
+    Numeric(NumericError),
+    /// A state-space operation failed.
+    StateSpace(StateSpaceError),
+    /// A sampling operation failed.
+    Sampling(SamplingError),
+}
+
+impl fmt::Display for MftiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MftiError::InvalidSamples { what } => write!(f, "invalid sample set: {what}"),
+            MftiError::InvalidWeights { what } => write!(f, "invalid weights: {what}"),
+            MftiError::OrderSelection { requested, pencil } => write!(
+                f,
+                "order selection failed: order {requested} not usable for pencil size {pencil}"
+            ),
+            MftiError::RealificationResidual { max_imag } => write!(
+                f,
+                "realification left imaginary residual {max_imag:e}; data not conjugate-closed"
+            ),
+            MftiError::Numeric(e) => write!(f, "numeric kernel failed: {e}"),
+            MftiError::StateSpace(e) => write!(f, "state-space operation failed: {e}"),
+            MftiError::Sampling(e) => write!(f, "sampling operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for MftiError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MftiError::Numeric(e) => Some(e),
+            MftiError::StateSpace(e) => Some(e),
+            MftiError::Sampling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for MftiError {
+    fn from(e: NumericError) -> Self {
+        MftiError::Numeric(e)
+    }
+}
+
+impl From<StateSpaceError> for MftiError {
+    fn from(e: StateSpaceError) -> Self {
+        MftiError::StateSpace(e)
+    }
+}
+
+impl From<SamplingError> for MftiError {
+    fn from(e: SamplingError) -> Self {
+        MftiError::Sampling(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        let e = MftiError::from(NumericError::Singular { op: "svd" });
+        assert!(e.to_string().contains("svd"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = MftiError::OrderSelection {
+            requested: 10,
+            pencil: 4,
+        };
+        assert!(e.to_string().contains("10"));
+    }
+}

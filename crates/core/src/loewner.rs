@@ -1,0 +1,481 @@
+//! Block Loewner and shifted Loewner matrices (paper Eqs. 11–13).
+//!
+//! For left triples `(μ_i, L_i, V_i)` and right triples `(λ_j, R_j, W_j)`
+//! the pencil blocks are
+//!
+//! ```text
+//! 𝕃_ij  = (V_i R_j − L_i W_j) / (μ_i − λ_j)
+//! σ𝕃_ij = (μ_i V_i R_j − λ_j L_i W_j) / (μ_i − λ_j)
+//! ```
+//!
+//! Both satisfy the Sylvester equations (13), which
+//! [`LoewnerPencil::sylvester_residuals`] verifies numerically. The
+//! pencil supports *incremental growth* (appending sample pairs), the
+//! workhorse of the recursive Algorithm 2.
+
+use mfti_numeric::{CMatrix, Complex, Svd};
+
+use crate::data::TangentialData;
+use crate::error::MftiError;
+
+/// The assembled (possibly partial) Loewner pencil.
+///
+/// Row blocks correspond to *left* triples, column blocks to *right*
+/// triples; triples of each included sample pair appear with their
+/// conjugates adjacent, in inclusion order.
+#[derive(Debug, Clone)]
+pub struct LoewnerPencil {
+    ll: CMatrix,
+    sll: CMatrix,
+    /// Stacked data matrices: `W` is `p × K`, `V` is `K × m`.
+    w: CMatrix,
+    v: CMatrix,
+    /// Interpolation points expanded to scalar columns/rows.
+    lambdas: Vec<Complex>,
+    mus: Vec<Complex>,
+    /// Included pair indices (into the [`TangentialData`] pair list).
+    included_pairs: Vec<usize>,
+    /// Block width of each included pair.
+    pair_ts: Vec<usize>,
+    /// Frequency normalization ω₀ applied to all interpolation points.
+    freq_scale: f64,
+}
+
+impl LoewnerPencil {
+    /// Builds the pencil over all sample pairs of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix-shape failures (impossible for data built by
+    /// [`TangentialData::build`]).
+    pub fn build(data: &TangentialData) -> Result<Self, MftiError> {
+        let all: Vec<usize> = (0..data.num_pairs()).collect();
+        Self::build_subset(data, &all)
+    }
+
+    /// Builds the pencil over a subset of sample pairs (Algorithm 2's
+    /// starting point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MftiError::InvalidSamples`] for an empty or out-of-range
+    /// selection.
+    pub fn build_subset(data: &TangentialData, pairs: &[usize]) -> Result<Self, MftiError> {
+        if pairs.is_empty() {
+            return Err(MftiError::InvalidSamples {
+                what: "empty pair selection".to_string(),
+            });
+        }
+        if pairs.iter().any(|&j| j >= data.num_pairs()) {
+            return Err(MftiError::InvalidSamples {
+                what: "pair index out of range".to_string(),
+            });
+        }
+        let (p, m) = data.ports();
+        let mut pencil = LoewnerPencil {
+            ll: CMatrix::zeros(0, 0),
+            sll: CMatrix::zeros(0, 0),
+            w: CMatrix::zeros(p, 0),
+            v: CMatrix::zeros(0, m),
+            lambdas: Vec::new(),
+            mus: Vec::new(),
+            included_pairs: Vec::new(),
+            pair_ts: Vec::new(),
+            freq_scale: data.freq_scale(),
+        };
+        pencil.extend(data, pairs)?;
+        Ok(pencil)
+    }
+
+    /// Appends additional sample pairs, computing **only the new blocks**
+    /// (step 4 of Algorithm 2: "update W, V, 𝕃 and σ𝕃 instead of
+    /// calculating them all from the beginning").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MftiError::InvalidSamples`] for duplicate or
+    /// out-of-range pair indices.
+    pub fn extend(&mut self, data: &TangentialData, new_pairs: &[usize]) -> Result<(), MftiError> {
+        if new_pairs.is_empty() {
+            return Ok(());
+        }
+        if new_pairs.iter().any(|&j| j >= data.num_pairs()) {
+            return Err(MftiError::InvalidSamples {
+                what: "pair index out of range".to_string(),
+            });
+        }
+        if new_pairs
+            .iter()
+            .any(|j| self.included_pairs.contains(j) || new_pairs.iter().filter(|&x| x == j).count() > 1)
+        {
+            return Err(MftiError::InvalidSamples {
+                what: "pair already included".to_string(),
+            });
+        }
+
+        // Triple index ranges of old and new pairs.
+        let old_pairs = self.included_pairs.clone();
+        let all_pairs: Vec<usize> = old_pairs.iter().chain(new_pairs).copied().collect();
+
+        let triples_of = |j: usize| [2 * j, 2 * j + 1];
+
+        // New interpolation points (normalized) and data blocks.
+        let inv_scale = 1.0 / self.freq_scale;
+        let mut new_lambdas = Vec::new();
+        let mut new_mus = Vec::new();
+        for &j in new_pairs {
+            for idx in triples_of(j) {
+                let rt = &data.right()[idx];
+                let lt = &data.left()[idx];
+                for _ in 0..rt.r.cols() {
+                    new_lambdas.push(rt.lambda.scale(inv_scale));
+                }
+                for _ in 0..lt.l.rows() {
+                    new_mus.push(lt.mu.scale(inv_scale));
+                }
+            }
+        }
+
+        // Stack the new W / V blocks.
+        let mut w_parts: Vec<CMatrix> = Vec::new();
+        let mut v_parts: Vec<CMatrix> = Vec::new();
+        for &j in new_pairs {
+            for idx in triples_of(j) {
+                w_parts.push(data.right()[idx].w.clone());
+                v_parts.push(data.left()[idx].v.clone());
+            }
+        }
+
+        // Grow 𝕃 and σ𝕃: [[old, B_new_cols], [C_new_rows, D_corner]].
+        let block = |left_idx: usize, right_idx: usize| -> Result<(CMatrix, CMatrix), MftiError> {
+            let lt = &data.left()[left_idx];
+            let rt = &data.right()[right_idx];
+            let vr = lt.v.matmul(&rt.r.to_complex())?;
+            let lw = lt.l.to_complex().matmul(&rt.w)?;
+            let mu_n = lt.mu.scale(inv_scale);
+            let lambda_n = rt.lambda.scale(inv_scale);
+            let denom = mu_n - lambda_n;
+            let inv = denom.recip();
+            let ll = (&vr - &lw).map(|z| z * inv);
+            let sll = (&vr.map(|z| z * mu_n) - &lw.map(|z| z * lambda_n)).map(|z| z * inv);
+            Ok((ll, sll))
+        };
+
+        // Assemble row-block lists per (left pair, right pair) region.
+        let assemble = |left_pairs: &[usize], right_pairs: &[usize]| -> Result<(CMatrix, CMatrix), MftiError> {
+            let mut ll_rows: Vec<CMatrix> = Vec::new();
+            let mut sll_rows: Vec<CMatrix> = Vec::new();
+            for &lp in left_pairs {
+                for li in triples_of(lp) {
+                    let mut ll_row: Vec<CMatrix> = Vec::new();
+                    let mut sll_row: Vec<CMatrix> = Vec::new();
+                    for &rp in right_pairs {
+                        for ri in triples_of(rp) {
+                            let (a, b) = block(li, ri)?;
+                            ll_row.push(a);
+                            sll_row.push(b);
+                        }
+                    }
+                    let ll_refs: Vec<&CMatrix> = ll_row.iter().collect();
+                    let sll_refs: Vec<&CMatrix> = sll_row.iter().collect();
+                    ll_rows.push(CMatrix::hstack(&ll_refs)?);
+                    sll_rows.push(CMatrix::hstack(&sll_refs)?);
+                }
+            }
+            let ll_refs: Vec<&CMatrix> = ll_rows.iter().collect();
+            let sll_refs: Vec<&CMatrix> = sll_rows.iter().collect();
+            Ok((CMatrix::vstack(&ll_refs)?, CMatrix::vstack(&sll_refs)?))
+        };
+
+        let (ll_new, sll_new) = if old_pairs.is_empty() {
+            assemble(new_pairs, new_pairs)?
+        } else {
+            let (top_right_ll, top_right_sll) = assemble(&old_pairs, new_pairs)?;
+            let (bottom_left_ll, bottom_left_sll) = assemble(new_pairs, &old_pairs)?;
+            let (corner_ll, corner_sll) = assemble(new_pairs, new_pairs)?;
+            let top_ll = self.ll.append_cols(&top_right_ll)?;
+            let bottom_ll = bottom_left_ll.append_cols(&corner_ll)?;
+            let top_sll = self.sll.append_cols(&top_right_sll)?;
+            let bottom_sll = bottom_left_sll.append_cols(&corner_sll)?;
+            (
+                top_ll.append_rows(&bottom_ll)?,
+                top_sll.append_rows(&bottom_sll)?,
+            )
+        };
+
+        // Commit.
+        self.ll = ll_new;
+        self.sll = sll_new;
+        let w_refs: Vec<&CMatrix> = std::iter::once(&self.w).chain(w_parts.iter()).collect();
+        self.w = if self.w.cols() == 0 {
+            let parts: Vec<&CMatrix> = w_parts.iter().collect();
+            CMatrix::hstack(&parts)?
+        } else {
+            CMatrix::hstack(&w_refs)?
+        };
+        let v_refs: Vec<&CMatrix> = std::iter::once(&self.v).chain(v_parts.iter()).collect();
+        self.v = if self.v.rows() == 0 {
+            let parts: Vec<&CMatrix> = v_parts.iter().collect();
+            CMatrix::vstack(&parts)?
+        } else {
+            CMatrix::vstack(&v_refs)?
+        };
+        self.lambdas.extend(new_lambdas);
+        self.mus.extend(new_mus);
+        for &j in new_pairs {
+            self.included_pairs.push(j);
+            self.pair_ts.push(data.pair_weights()[j]);
+        }
+        let _ = all_pairs;
+        Ok(())
+    }
+
+    /// The Loewner matrix `𝕃` (`K × K`).
+    pub fn ll(&self) -> &CMatrix {
+        &self.ll
+    }
+
+    /// The shifted Loewner matrix `σ𝕃` (`K × K`).
+    pub fn sll(&self) -> &CMatrix {
+        &self.sll
+    }
+
+    /// Stacked right data `W` (`p × K`).
+    pub fn w(&self) -> &CMatrix {
+        &self.w
+    }
+
+    /// Stacked left data `V` (`K × m`).
+    pub fn v(&self) -> &CMatrix {
+        &self.v
+    }
+
+    /// Right interpolation points expanded per scalar column,
+    /// **normalized** by [`LoewnerPencil::freq_scale`].
+    pub fn lambdas(&self) -> &[Complex] {
+        &self.lambdas
+    }
+
+    /// Left interpolation points expanded per scalar row, **normalized**
+    /// by [`LoewnerPencil::freq_scale`].
+    pub fn mus(&self) -> &[Complex] {
+        &self.mus
+    }
+
+    /// The frequency normalization ω₀: the pencil lives in
+    /// `s' = s/ω₀`; realizations divide `E` by ω₀ to return to true
+    /// frequency.
+    pub fn freq_scale(&self) -> f64 {
+        self.freq_scale
+    }
+
+    /// Pencil order `K`.
+    pub fn order(&self) -> usize {
+        self.ll.rows()
+    }
+
+    /// Indices of the included sample pairs, in inclusion order.
+    pub fn included_pairs(&self) -> &[usize] {
+        &self.included_pairs
+    }
+
+    /// Block widths of the included pairs, in inclusion order.
+    pub fn pair_ts(&self) -> &[usize] {
+        &self.pair_ts
+    }
+
+    /// Residual norms of the two Sylvester identities (13):
+    /// `‖𝕃Λ − M𝕃 − (LW − VR)‖_F` and `‖σ𝕃Λ − Mσ𝕃 − (LWΛ − MVR)‖_F`,
+    /// both relative to the magnitude of the left-hand sides.
+    ///
+    /// The stacked direction matrices are reconstructed on the fly, so
+    /// this is a *verification* tool (tests, debugging), not a hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (impossible for internally built pencils).
+    pub fn sylvester_residuals(&self, data: &TangentialData) -> Result<(f64, f64), MftiError> {
+        // Reassemble stacked L (K×p) and R (m×K) for the included pairs.
+        let mut l_parts: Vec<CMatrix> = Vec::new();
+        let mut r_parts: Vec<CMatrix> = Vec::new();
+        for &j in &self.included_pairs {
+            for idx in [2 * j, 2 * j + 1] {
+                l_parts.push(data.left()[idx].l.to_complex());
+                r_parts.push(data.right()[idx].r.to_complex());
+            }
+        }
+        let l_refs: Vec<&CMatrix> = l_parts.iter().collect();
+        let r_refs: Vec<&CMatrix> = r_parts.iter().collect();
+        let l = CMatrix::vstack(&l_refs)?;
+        let r = CMatrix::hstack(&r_refs)?;
+
+        let scale_cols = |m: &CMatrix, d: &[Complex]| -> CMatrix {
+            let mut out = m.clone();
+            for i in 0..out.rows() {
+                for j in 0..out.cols() {
+                    out[(i, j)] *= d[j];
+                }
+            }
+            out
+        };
+        let scale_rows = |m: &CMatrix, d: &[Complex]| -> CMatrix {
+            let mut out = m.clone();
+            for i in 0..out.rows() {
+                for j in 0..out.cols() {
+                    out[(i, j)] *= d[i];
+                }
+            }
+            out
+        };
+
+        let lw = l.matmul(&self.w)?; // K×K
+        let vr = self.v.matmul(&r)?; // K×K
+
+        let lhs1 = &scale_cols(&self.ll, &self.lambdas) - &scale_rows(&self.ll, &self.mus);
+        let rhs1 = &lw - &vr;
+        let res1 = (&lhs1 - &rhs1).norm_fro() / rhs1.norm_fro().max(1e-300);
+
+        let lhs2 = &scale_cols(&self.sll, &self.lambdas) - &scale_rows(&self.sll, &self.mus);
+        let rhs2 = &scale_cols(&lw, &self.lambdas) - &scale_rows(&vr, &self.mus);
+        let res2 = (&lhs2 - &rhs2).norm_fro() / rhs2.norm_fro().max(1e-300);
+        Ok((res1, res2))
+    }
+
+    /// Singular values of `x₀𝕃 − σ𝕃` — the paper's order-detection
+    /// signal (Fig. 1) and the input to Lemma 3.4.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn shifted_pencil_singular_values(&self, x0: Complex) -> Result<Vec<f64>, MftiError> {
+        let shifted = &self.ll.map(|z| z * x0) - &self.sll;
+        Ok(Svd::compute(&shifted)?.singular_values().to_vec())
+    }
+
+    /// Singular values of `𝕃` itself (rank ≈ `order(Γ)` per the paper's
+    /// Section 3.4 observation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn ll_singular_values(&self) -> Result<Vec<f64>, MftiError> {
+        Ok(Svd::compute(&self.ll)?.singular_values().to_vec())
+    }
+
+    /// Singular values of `σ𝕃` (rank ≈ `order(Γ) + rank(D)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD failures.
+    pub fn sll_singular_values(&self) -> Result<Vec<f64>, MftiError> {
+        Ok(Svd::compute(&self.sll)?.singular_values().to_vec())
+    }
+
+    /// Default shift `x₀`: the first right interpolation point, as
+    /// suggested in Section 3.4 ("if x is chosen to be λ₁ or μ₁ …").
+    pub fn default_x0(&self) -> Complex {
+        self.lambdas[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Weights;
+    use crate::directions::DirectionKind;
+    use mfti_sampling::generators::RandomSystemBuilder;
+    use mfti_sampling::{FrequencyGrid, SampleSet};
+
+    fn make_data(
+        order: usize,
+        ports: usize,
+        k: usize,
+        t: usize,
+    ) -> (TangentialData, SampleSet) {
+        let sys = RandomSystemBuilder::new(order, ports, ports)
+            .seed(42)
+            .build()
+            .unwrap();
+        let grid = FrequencyGrid::log_space(1e2, 1e4, k).unwrap();
+        let set = SampleSet::from_system(&sys, &grid).unwrap();
+        let data =
+            TangentialData::build(&set, DirectionKind::RandomOrthonormal { seed: 9 }, &Weights::Uniform(t))
+                .unwrap();
+        (data, set)
+    }
+
+    #[test]
+    fn pencil_is_square_with_expected_order() {
+        let (data, _) = make_data(10, 3, 6, 2);
+        let pencil = LoewnerPencil::build(&data).unwrap();
+        assert_eq!(pencil.order(), data.pencil_order());
+        assert_eq!(pencil.ll().dims(), (12, 12));
+        assert_eq!(pencil.w().dims(), (3, 12));
+        assert_eq!(pencil.v().dims(), (12, 3));
+        assert_eq!(pencil.lambdas().len(), 12);
+        assert_eq!(pencil.mus().len(), 12);
+    }
+
+    #[test]
+    fn sylvester_equations_hold() {
+        let (data, _) = make_data(8, 2, 6, 2);
+        let pencil = LoewnerPencil::build(&data).unwrap();
+        let (r1, r2) = pencil.sylvester_residuals(&data).unwrap();
+        assert!(r1 < 1e-10, "Loewner Sylvester residual {r1}");
+        assert!(r2 < 1e-10, "shifted Loewner Sylvester residual {r2}");
+    }
+
+    #[test]
+    fn incremental_extension_matches_direct_build() {
+        let (data, _) = make_data(10, 2, 8, 2);
+        let direct = LoewnerPencil::build_subset(&data, &[0, 1, 2, 3]).unwrap();
+        let mut inc = LoewnerPencil::build_subset(&data, &[0, 1]).unwrap();
+        inc.extend(&data, &[2, 3]).unwrap();
+        assert!(inc.ll().approx_eq(direct.ll(), 1e-13));
+        assert!(inc.sll().approx_eq(direct.sll(), 1e-13));
+        assert!(inc.w().approx_eq(direct.w(), 0.0));
+        assert!(inc.v().approx_eq(direct.v(), 0.0));
+        assert_eq!(inc.lambdas(), direct.lambdas());
+        assert_eq!(inc.mus(), direct.mus());
+    }
+
+    #[test]
+    fn rank_of_pencil_reveals_system_order() {
+        // Order-6 system, rank(D)=2, 2 ports; sample enough that K ≥ n+rank(D).
+        let sys = RandomSystemBuilder::new(6, 2, 2)
+            .d_rank(2)
+            .seed(17)
+            .build()
+            .unwrap();
+        let grid = FrequencyGrid::log_space(1e2, 1e4, 10).unwrap();
+        let set = SampleSet::from_system(&sys, &grid).unwrap();
+        let data = TangentialData::build(
+            &set,
+            DirectionKind::RandomOrthonormal { seed: 1 },
+            &Weights::Uniform(2),
+        )
+        .unwrap();
+        let pencil = LoewnerPencil::build(&data).unwrap();
+        assert_eq!(pencil.order(), 20);
+        // Lemma 3.3: rank(x𝕃 − σ𝕃) ≤ n + rank(D) = 8.
+        let sv = pencil
+            .shifted_pencil_singular_values(pencil.default_x0())
+            .unwrap();
+        let rank = sv.iter().filter(|&&s| s > 1e-9 * sv[0]).count();
+        assert_eq!(rank, 8, "singular values: {sv:?}");
+        // 𝕃 alone has rank ≈ order(Γ) = 6.
+        let sv_ll = pencil.ll_singular_values().unwrap();
+        let rank_ll = sv_ll.iter().filter(|&&s| s > 1e-9 * sv_ll[0]).count();
+        assert_eq!(rank_ll, 6, "𝕃 singular values: {sv_ll:?}");
+    }
+
+    #[test]
+    fn invalid_subsets_are_rejected() {
+        let (data, _) = make_data(6, 2, 4, 1);
+        assert!(LoewnerPencil::build_subset(&data, &[]).is_err());
+        assert!(LoewnerPencil::build_subset(&data, &[5]).is_err());
+        let mut pencil = LoewnerPencil::build_subset(&data, &[0]).unwrap();
+        assert!(pencil.extend(&data, &[0]).is_err()); // duplicate
+        assert!(pencil.extend(&data, &[7]).is_err()); // out of range
+    }
+}

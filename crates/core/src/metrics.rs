@@ -1,0 +1,119 @@
+//! Fit-quality metrics (paper Section 5).
+//!
+//! `err_i = ‖H(j2πf_i) − S(f_i)‖₂ / ‖S(f_i)‖₂` per sample, and the
+//! aggregate `ERR = ‖err‖₂ / √k` reported in Table 1.
+
+use mfti_sampling::SampleSet;
+use mfti_statespace::TransferFunction;
+
+use crate::error::MftiError;
+
+/// Per-sample relative errors in the spectral norm.
+///
+/// # Errors
+///
+/// Fails if the model cannot be evaluated at a sample frequency.
+pub fn relative_errors<T: TransferFunction>(
+    model: &T,
+    reference: &SampleSet,
+) -> Result<Vec<f64>, MftiError> {
+    reference
+        .iter()
+        .map(|(f, s)| {
+            let h = model.response_at_hz(f)?;
+            let denom = s.norm_2().max(f64::MIN_POSITIVE);
+            Ok((&h - s).norm_2() / denom)
+        })
+        .collect()
+}
+
+/// The paper's aggregate error `ERR = ‖err‖₂ / √k`.
+pub fn err_rms(errors: &[f64]) -> f64 {
+    if errors.is_empty() {
+        return 0.0;
+    }
+    let sum_sq: f64 = errors.iter().map(|e| e * e).sum();
+    (sum_sq / errors.len() as f64).sqrt()
+}
+
+/// Worst per-sample relative error.
+pub fn err_max(errors: &[f64]) -> f64 {
+    errors.iter().copied().fold(0.0, f64::max)
+}
+
+/// Convenience: `ERR` of a model against a reference sample set.
+///
+/// # Errors
+///
+/// Same as [`relative_errors`].
+pub fn err_rms_of<T: TransferFunction>(
+    model: &T,
+    reference: &SampleSet,
+) -> Result<f64, MftiError> {
+    Ok(err_rms(&relative_errors(model, reference)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_sampling::generators::RandomSystemBuilder;
+    use mfti_sampling::FrequencyGrid;
+
+    #[test]
+    fn self_comparison_is_zero() {
+        let sys = RandomSystemBuilder::new(6, 2, 2).seed(1).build().unwrap();
+        let grid = FrequencyGrid::log_space(1e2, 1e4, 6).unwrap();
+        let set = SampleSet::from_system(&sys, &grid).unwrap();
+        let errs = relative_errors(&sys, &set).unwrap();
+        assert!(err_max(&errs) < 1e-14);
+        assert_eq!(err_rms(&errs), err_rms(&errs));
+    }
+
+    #[test]
+    fn rms_of_constant_vector_is_the_constant() {
+        let errs = vec![0.5; 16];
+        assert!((err_rms(&errs) - 0.5).abs() < 1e-15);
+        assert_eq!(err_max(&errs), 0.5);
+    }
+
+    #[test]
+    fn rms_matches_paper_definition() {
+        // ERR = ||err||_2 / sqrt(k)
+        let errs = [3.0, 4.0];
+        let expect = (9.0f64 + 16.0).sqrt() / 2f64.sqrt();
+        assert!((err_rms(&errs) - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_error_vector_is_zero() {
+        assert_eq!(err_rms(&[]), 0.0);
+        assert_eq!(err_max(&[]), 0.0);
+    }
+
+    #[test]
+    fn gain_error_shows_up_proportionally() {
+        let sys = RandomSystemBuilder::new(4, 2, 2).d_rank(0).seed(2).build().unwrap();
+        let grid = FrequencyGrid::log_space(1e2, 1e4, 5).unwrap();
+        let set = SampleSet::from_system(&sys, &grid).unwrap();
+        // A model with 2x gain everywhere → relative error 1.0 at all samples.
+        struct Doubled<'a>(&'a mfti_statespace::DescriptorSystem<f64>);
+        impl TransferFunction for Doubled<'_> {
+            fn outputs(&self) -> usize {
+                self.0.outputs()
+            }
+            fn inputs(&self) -> usize {
+                self.0.inputs()
+            }
+            fn eval(
+                &self,
+                s: mfti_numeric::Complex,
+            ) -> Result<mfti_numeric::CMatrix, mfti_statespace::StateSpaceError> {
+                Ok(self.0.eval(s)?.scale(2.0))
+            }
+        }
+        let errs = relative_errors(&Doubled(&sys), &set).unwrap();
+        for e in errs {
+            assert!((e - 1.0).abs() < 1e-12);
+        }
+    }
+}

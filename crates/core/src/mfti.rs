@@ -1,0 +1,331 @@
+//! Algorithm 1: MFTI of noise-free (or lightly noisy) data.
+//!
+//! Pipeline: directions → tangential data (Eqs. 6–7) → Loewner pencil
+//! (Eqs. 11–12) → realification (Lemma 3.2) → SVD + projection
+//! (Lemma 3.4) → descriptor model.
+
+use std::time::{Duration, Instant};
+
+use mfti_numeric::{CMatrix, Complex};
+use mfti_sampling::SampleSet;
+use mfti_statespace::{DescriptorSystem, StateSpaceError, TransferFunction};
+
+use crate::data::{TangentialData, Weights};
+use crate::directions::DirectionKind;
+use crate::error::MftiError;
+use crate::loewner::LoewnerPencil;
+use crate::realify::realify;
+use crate::realize::{realize_complex, realize_real, OrderSelection};
+
+/// Which realization arithmetic to use after order detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RealizationPath {
+    /// Lemma 3.2 realification + real stacked-SVD projection (default:
+    /// produces SPICE-compatible real models).
+    #[default]
+    Real,
+    /// Exact Lemma 3.4 complex projection (keeps the pencil complex).
+    Complex,
+}
+
+/// A fitted model: real or complex descriptor system.
+#[derive(Debug, Clone)]
+pub enum FittedModel {
+    /// Real descriptor model (the [`RealizationPath::Real`] output).
+    Real(DescriptorSystem<f64>),
+    /// Complex descriptor model (the [`RealizationPath::Complex`] output).
+    Complex(DescriptorSystem<Complex>),
+}
+
+impl FittedModel {
+    /// Model (state) order.
+    pub fn order(&self) -> usize {
+        match self {
+            FittedModel::Real(s) => s.order(),
+            FittedModel::Complex(s) => s.order(),
+        }
+    }
+
+    /// Borrows the real model, if this is one.
+    pub fn as_real(&self) -> Option<&DescriptorSystem<f64>> {
+        match self {
+            FittedModel::Real(s) => Some(s),
+            FittedModel::Complex(_) => None,
+        }
+    }
+
+    /// Borrows the complex model, if this is one.
+    pub fn as_complex(&self) -> Option<&DescriptorSystem<Complex>> {
+        match self {
+            FittedModel::Complex(s) => Some(s),
+            FittedModel::Real(_) => None,
+        }
+    }
+}
+
+impl TransferFunction for FittedModel {
+    fn outputs(&self) -> usize {
+        match self {
+            FittedModel::Real(s) => s.outputs(),
+            FittedModel::Complex(s) => s.outputs(),
+        }
+    }
+
+    fn inputs(&self) -> usize {
+        match self {
+            FittedModel::Real(s) => s.inputs(),
+            FittedModel::Complex(s) => s.inputs(),
+        }
+    }
+
+    fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError> {
+        match self {
+            FittedModel::Real(sys) => sys.eval(s),
+            FittedModel::Complex(sys) => sys.eval(s),
+        }
+    }
+}
+
+/// Result of an MFTI/VFTI fit, with the diagnostics the paper plots.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// The recovered descriptor model.
+    pub model: FittedModel,
+    /// Singular values of `x₀𝕃 − σ𝕃` (Fig. 1's order-detection signal).
+    pub pencil_singular_values: Vec<f64>,
+    /// Detected (reduced) model order `r`.
+    pub detected_order: usize,
+    /// Pencil size `K` before truncation.
+    pub pencil_order: usize,
+    /// Wall-clock fitting time (Table 1's `time(s)` column).
+    pub elapsed: Duration,
+}
+
+/// Configurable MFTI fitter (paper Algorithm 1).
+///
+/// ```
+/// use mfti_core::{Mfti, Weights};
+/// use mfti_sampling::generators::RandomSystemBuilder;
+/// use mfti_sampling::{FrequencyGrid, SampleSet};
+/// use mfti_statespace::TransferFunction;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = RandomSystemBuilder::new(12, 3, 3).d_rank(3).seed(1).build()?;
+/// let grid = FrequencyGrid::log_space(1e2, 1e4, 8)?;
+/// let samples = SampleSet::from_system(&sys, &grid)?;
+///
+/// let fit = Mfti::new().weights(Weights::Uniform(3)).fit(&samples)?;
+/// // The model reproduces the samples:
+/// let (f, s) = (samples.freqs_hz()[0], &samples.matrices()[0]);
+/// let h = fit.model.response_at_hz(f)?;
+/// assert!((&h - s).norm_2() / s.norm_2() < 1e-7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mfti {
+    directions: DirectionKind,
+    weights: Weights,
+    order_selection: OrderSelection,
+    path: RealizationPath,
+    realify_tol: f64,
+}
+
+impl Default for Mfti {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mfti {
+    /// Fitter with default configuration: random orthonormal directions,
+    /// uniform full weights (`t = min(m, p)`, resolved at fit time),
+    /// threshold order detection at `1e-12`, real realization.
+    pub fn new() -> Self {
+        Mfti {
+            directions: DirectionKind::default(),
+            weights: Weights::Uniform(usize::MAX), // sentinel: full weight
+            order_selection: OrderSelection::default(),
+            path: RealizationPath::default(),
+            realify_tol: 1e-6,
+        }
+    }
+
+    /// Sets the direction-generation strategy.
+    pub fn directions(mut self, kind: DirectionKind) -> Self {
+        self.directions = kind;
+        self
+    }
+
+    /// Sets the per-pair block widths `t_i`.
+    pub fn weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the order-selection rule.
+    pub fn order_selection(mut self, selection: OrderSelection) -> Self {
+        self.order_selection = selection;
+        self
+    }
+
+    /// Chooses between the real (default) and complex realization paths.
+    pub fn realization(mut self, path: RealizationPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Tolerance on the imaginary residual allowed by the realification
+    /// (noisy data are still conjugate-closed, so the default `1e-6`
+    /// only trips on inconsistent inputs).
+    pub fn realify_tol(mut self, tol: f64) -> Self {
+        self.realify_tol = tol;
+        self
+    }
+
+    /// Configured weights (Algorithm 2 resolves the same sentinel).
+    pub(crate) fn weights_ref(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Configured direction kind.
+    pub(crate) fn directions_ref(&self) -> DirectionKind {
+        self.directions
+    }
+
+    /// Resolves the `Uniform(usize::MAX)` sentinel to full weight.
+    fn resolve_weights(&self, samples: &SampleSet) -> Weights {
+        let (p, m) = samples.ports();
+        match &self.weights {
+            Weights::Uniform(t) if *t == usize::MAX => Weights::Uniform(p.min(m)),
+            w => w.clone(),
+        }
+    }
+
+    /// Runs Algorithm 1 on the sample set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates data-validation, SVD and order-selection failures.
+    pub fn fit(&self, samples: &SampleSet) -> Result<FitResult, MftiError> {
+        let start = Instant::now();
+        let weights = self.resolve_weights(samples);
+        let data = TangentialData::build(samples, self.directions, &weights)?;
+        let pencil = LoewnerPencil::build(&data)?;
+        self.fit_pencil(&pencil, start)
+    }
+
+    /// Runs the realization stage on an already-built pencil (shared
+    /// with Algorithm 2, which grows the pencil incrementally).
+    pub(crate) fn fit_pencil(
+        &self,
+        pencil: &LoewnerPencil,
+        start: Instant,
+    ) -> Result<FitResult, MftiError> {
+        let x0 = pencil.default_x0();
+        let sv = pencil.shifted_pencil_singular_values(x0)?;
+        let order = self.order_selection.detect(&sv)?;
+        let model = match self.path {
+            RealizationPath::Real => {
+                let real = realify(pencil, self.realify_tol)?;
+                FittedModel::Real(realize_real(&real, order)?)
+            }
+            RealizationPath::Complex => {
+                FittedModel::Complex(realize_complex(pencil, x0, order)?)
+            }
+        };
+        Ok(FitResult {
+            model,
+            pencil_singular_values: sv,
+            detected_order: order,
+            pencil_order: pencil.order(),
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_sampling::generators::RandomSystemBuilder;
+    use mfti_sampling::{FrequencyGrid, NoiseModel};
+
+    fn samples(
+        order: usize,
+        ports: usize,
+        d_rank: usize,
+        k: usize,
+        seed: u64,
+    ) -> (SampleSet, DescriptorSystem<f64>) {
+        let sys = RandomSystemBuilder::new(order, ports, ports)
+            .d_rank(d_rank)
+            .seed(seed)
+            .build()
+            .unwrap();
+        let grid = FrequencyGrid::log_space(1e2, 1e4, k).unwrap();
+        (SampleSet::from_system(&sys, &grid).unwrap(), sys)
+    }
+
+    #[test]
+    fn default_fit_recovers_system_exactly() {
+        let (set, sys) = samples(10, 2, 2, 12, 5);
+        let fit = Mfti::new().fit(&set).unwrap();
+        assert_eq!(fit.detected_order, 12); // n + rank(D)
+        assert_eq!(fit.pencil_order, 24);
+        assert!(fit.model.as_real().is_some());
+        // Off-sample check against the truth.
+        let f = 1.234e3;
+        let h = fit.model.response_at_hz(f).unwrap();
+        let s = sys.response_at_hz(f).unwrap();
+        assert!((&h - &s).norm_2() / s.norm_2() < 1e-6);
+    }
+
+    #[test]
+    fn complex_path_matches_real_path_quality() {
+        let (set, sys) = samples(8, 2, 0, 10, 6);
+        let real = Mfti::new().fit(&set).unwrap();
+        let cplx = Mfti::new()
+            .realization(RealizationPath::Complex)
+            .fit(&set)
+            .unwrap();
+        assert!(cplx.model.as_complex().is_some());
+        let f = 2.5e3;
+        let s = sys.response_at_hz(f).unwrap();
+        for fit in [&real, &cplx] {
+            let h = fit.model.response_at_hz(f).unwrap();
+            assert!((&h - &s).norm_2() / s.norm_2() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn noisy_fit_with_gap_selection_stays_stable_in_error() {
+        let (set, _) = samples(10, 3, 3, 20, 9);
+        let noisy = NoiseModel::additive_relative(1e-4).apply(&set, 3);
+        let fit = Mfti::new()
+            .order_selection(OrderSelection::NoiseFloor { factor: 3.0 })
+            .fit(&noisy)
+            .unwrap();
+        // Fit error on the clean reference should be ~noise level.
+        let mut worst = 0.0f64;
+        for (f, s) in set.iter() {
+            let h = fit.model.response_at_hz(f).unwrap();
+            worst = worst.max((&h - s).norm_2() / s.norm_2());
+        }
+        assert!(worst < 5e-2, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn weight_sentinel_resolves_to_full() {
+        let (set, _) = samples(6, 3, 0, 6, 2);
+        let fit = Mfti::new().fit(&set).unwrap();
+        // Full weight: K = 2 · t · (k/2) = 2·3·3 = 18.
+        assert_eq!(fit.pencil_order, 18);
+    }
+
+    #[test]
+    fn elapsed_time_is_recorded() {
+        let (set, _) = samples(6, 2, 0, 6, 3);
+        let fit = Mfti::new().fit(&set).unwrap();
+        assert!(fit.elapsed > Duration::ZERO);
+    }
+}

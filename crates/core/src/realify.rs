@@ -1,0 +1,188 @@
+//! Realification of the Loewner pencil (paper Lemma 3.2).
+//!
+//! With conjugate triples adjacent and equal block widths within each
+//! pair, the block-diagonal unitary
+//!
+//! ```text
+//! T = blkdiag(T_1, T_3, …),   T_i = (1/√2) [[I_t, −jI_t], [I_t, jI_t]]
+//! ```
+//!
+//! turns `−T*𝕃T`, `−T*σ𝕃T`, `T*V` and `WT` into **real** matrices, so
+//! the final state-space model has real coefficients — a hard
+//! requirement for circuit back-ends (SPICE stamping).
+
+use mfti_numeric::{c64, CMatrix, RMatrix};
+
+use crate::error::MftiError;
+use crate::loewner::LoewnerPencil;
+
+/// The pencil after Lemma 3.2: everything real.
+#[derive(Debug, Clone)]
+pub struct RealifiedPencil {
+    ll: RMatrix,
+    sll: RMatrix,
+    w: RMatrix,
+    v: RMatrix,
+    max_imag_residual: f64,
+    freq_scale: f64,
+}
+
+impl RealifiedPencil {
+    /// Real Loewner matrix `T*𝕃T`.
+    pub fn ll(&self) -> &RMatrix {
+        &self.ll
+    }
+    /// Real shifted Loewner matrix `T*σ𝕃T`.
+    pub fn sll(&self) -> &RMatrix {
+        &self.sll
+    }
+    /// Real right data `W T` (`p × K`).
+    pub fn w(&self) -> &RMatrix {
+        &self.w
+    }
+    /// Real left data `T*V` (`K × m`).
+    pub fn v(&self) -> &RMatrix {
+        &self.v
+    }
+    /// Largest relative imaginary part discarded by the realification —
+    /// a diagnostic for how conjugate-closed the data really were
+    /// (noise-free data: ≈ machine epsilon).
+    pub fn max_imag_residual(&self) -> f64 {
+        self.max_imag_residual
+    }
+    /// Pencil order `K`.
+    pub fn order(&self) -> usize {
+        self.ll.rows()
+    }
+    /// Frequency normalization ω₀ inherited from the source pencil.
+    pub fn freq_scale(&self) -> f64 {
+        self.freq_scale
+    }
+}
+
+/// Applies the Lemma 3.2 transformation to a pencil built from
+/// conjugate-adjacent tangential data.
+///
+/// # Errors
+///
+/// Returns [`MftiError::RealificationResidual`] when imaginary parts
+/// above `tol` (relative to each matrix's magnitude) survive — which
+/// means the pencil was not built from conjugate-closed data.
+pub fn realify(pencil: &LoewnerPencil, tol: f64) -> Result<RealifiedPencil, MftiError> {
+    let t_matrix = build_t(pencil.pair_ts());
+    let t_h = t_matrix.adjoint();
+
+    let ll_c = t_h.matmul(pencil.ll())?.matmul(&t_matrix)?;
+    let sll_c = t_h.matmul(pencil.sll())?.matmul(&t_matrix)?;
+    let w_c = pencil.w().matmul(&t_matrix)?;
+    let v_c = t_h.matmul(pencil.v())?;
+
+    let mut max_imag = 0.0f64;
+    for m in [&ll_c, &sll_c, &w_c, &v_c] {
+        let scale = m.max_abs().max(f64::MIN_POSITIVE);
+        max_imag = max_imag.max(m.imag_part().max_abs() / scale);
+    }
+    if max_imag > tol {
+        return Err(MftiError::RealificationResidual { max_imag });
+    }
+    Ok(RealifiedPencil {
+        ll: ll_c.real_part(),
+        sll: sll_c.real_part(),
+        w: w_c.real_part(),
+        v: v_c.real_part(),
+        max_imag_residual: max_imag,
+        freq_scale: pencil.freq_scale(),
+    })
+}
+
+/// Builds `T = blkdiag(T_i)` for the given per-pair block widths.
+fn build_t(pair_ts: &[usize]) -> CMatrix {
+    let k: usize = pair_ts.iter().map(|t| 2 * t).sum();
+    let mut t_matrix = CMatrix::zeros(k, k);
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut off = 0;
+    for &t in pair_ts {
+        for i in 0..t {
+            t_matrix[(off + i, off + i)] = c64(inv_sqrt2, 0.0);
+            t_matrix[(off + i, off + t + i)] = c64(0.0, -inv_sqrt2);
+            t_matrix[(off + t + i, off + i)] = c64(inv_sqrt2, 0.0);
+            t_matrix[(off + t + i, off + t + i)] = c64(0.0, inv_sqrt2);
+        }
+        off += 2 * t;
+    }
+    t_matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{TangentialData, Weights};
+    use crate::directions::DirectionKind;
+    use mfti_sampling::generators::RandomSystemBuilder;
+    use mfti_sampling::{FrequencyGrid, SampleSet};
+
+    fn pencil(order: usize, ports: usize, k: usize, t: usize) -> (LoewnerPencil, TangentialData) {
+        let sys = RandomSystemBuilder::new(order, ports, ports)
+            .seed(23)
+            .build()
+            .unwrap();
+        let grid = FrequencyGrid::log_space(1e2, 1e4, k).unwrap();
+        let set = SampleSet::from_system(&sys, &grid).unwrap();
+        let data =
+            TangentialData::build(&set, DirectionKind::RandomOrthonormal { seed: 4 }, &Weights::Uniform(t))
+                .unwrap();
+        (LoewnerPencil::build(&data).unwrap(), data)
+    }
+
+    #[test]
+    fn t_is_unitary() {
+        let t = build_t(&[2, 1, 3]);
+        let id = t.adjoint().matmul(&t).unwrap();
+        assert!(id.approx_eq(&CMatrix::identity(12), 1e-14));
+    }
+
+    #[test]
+    fn realification_of_clean_data_is_exact() {
+        let (p, _) = pencil(8, 2, 6, 2);
+        let real = realify(&p, 1e-10).unwrap();
+        assert!(real.max_imag_residual() < 1e-12);
+        assert_eq!(real.order(), p.order());
+        assert_eq!(real.w().dims(), (2, p.order()));
+        assert_eq!(real.v().dims(), (p.order(), 2));
+    }
+
+    #[test]
+    fn realified_pencil_preserves_singular_values() {
+        // T is unitary, so 𝕃 and T*𝕃T share singular values.
+        let (p, _) = pencil(6, 2, 6, 2);
+        let real = realify(&p, 1e-10).unwrap();
+        let sv_c = mfti_numeric::Svd::compute(p.ll()).unwrap();
+        let sv_r = mfti_numeric::Svd::compute(real.ll()).unwrap();
+        for (a, b) in sv_c
+            .singular_values()
+            .iter()
+            .zip(sv_r.singular_values())
+        {
+            assert!((a - b).abs() < 1e-10 * sv_c.singular_values()[0].max(1.0));
+        }
+    }
+
+    #[test]
+    fn broken_conjugacy_is_detected() {
+        // Build a pencil, then corrupt one entry of 𝕃 to break the
+        // conjugate structure.
+        let (p, _) = pencil(6, 2, 4, 1);
+        let bad = p.clone();
+        // Safety valve: realify on a hand-corrupted clone must fail.
+        let ll = bad.ll().clone();
+        let mut ll2 = ll.clone();
+        ll2[(0, 0)] += mfti_numeric::c64(0.0, 0.5 * ll.max_abs().max(1.0));
+        // Reach in through a rebuilt struct (no setter: simulate via
+        // transmuting the public API is not possible, so test build_t's
+        // sensitivity directly instead).
+        let t = build_t(bad.pair_ts());
+        let conv = t.adjoint().matmul(&ll2).unwrap().matmul(&t).unwrap();
+        let rel = conv.imag_part().max_abs() / conv.max_abs();
+        assert!(rel > 1e-3, "corruption must surface as imaginary residual");
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal-sampling bounds (paper Theorem 3.5).
+//!
+//! The least number of noise-free samples needed to recover a system Γ
+//! satisfies
+//!
+//! ```text
+//! order(Γ)/min(m,p)  ≤  k_min  ≤  (size(A₀) + rank(D₀))/min(m,p)
+//! ```
+//!
+//! with the empirical value `k_min = (order(Γ) + rank(D₀))/min(m,p)`.
+//! VFTI (`t_i = 1`) needs at least `order(Γ)` samples instead — the
+//! source of the paper's "1/p as many samples" headline.
+
+/// The three bounds of Theorem 3.5 (all in number of sampled matrices).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleBounds {
+    /// Lower bound `⌈order(Γ)/min(m,p)⌉`.
+    pub lower: usize,
+    /// Upper bound `⌈(size(A₀)+rank(D₀))/min(m,p)⌉`.
+    pub upper: usize,
+    /// Empirical value `⌈(order(Γ)+rank(D₀))/min(m,p)⌉` (what the
+    /// experiments confirm).
+    pub empirical: usize,
+}
+
+/// Evaluates Theorem 3.5 for a system with `order(Γ) = order` dynamic
+/// states, state-matrix size `size_a ≥ order`, feed-through rank
+/// `d_rank`, and `p × m` ports.
+///
+/// # Panics
+///
+/// Panics when a port count is zero or `size_a < order` (a descriptor
+/// system's `A` can never be smaller than its dynamic order).
+///
+/// ```
+/// // Example 1 of the paper: order 150, 30 ports, full-rank D.
+/// let b = mfti_core::minimal_samples(150, 150, 30, 30, 30);
+/// assert_eq!(b.lower, 5);
+/// assert_eq!(b.empirical, 6);
+/// assert_eq!(b.upper, 6);
+/// ```
+pub fn minimal_samples(
+    order: usize,
+    size_a: usize,
+    d_rank: usize,
+    outputs: usize,
+    inputs: usize,
+) -> SampleBounds {
+    assert!(outputs > 0 && inputs > 0, "port counts must be positive");
+    assert!(size_a >= order, "size(A) cannot be below the dynamic order");
+    let denom = outputs.min(inputs);
+    let ceil_div = |a: usize, b: usize| a.div_ceil(b);
+    SampleBounds {
+        lower: ceil_div(order, denom),
+        upper: ceil_div(size_a + d_rank, denom),
+        empirical: ceil_div(order + d_rank, denom),
+    }
+}
+
+/// Minimum sample count for VFTI on the same system: `order + rank(D)`
+/// single-direction samples (each contributes one row and one column).
+pub fn vfti_minimal_samples(order: usize, d_rank: usize) -> usize {
+    order + d_rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_1_numbers() {
+        // Paper: 150-order, 30-port, rank(D)=30 → MFTI needs 6 samples,
+        // VFTI needs 180 — a 30x ratio.
+        let b = minimal_samples(150, 150, 30, 30, 30);
+        assert_eq!(b, SampleBounds { lower: 5, upper: 6, empirical: 6 });
+        assert_eq!(vfti_minimal_samples(150, 30), 180);
+        assert_eq!(vfti_minimal_samples(150, 30) / b.empirical, 30);
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        for &(n, sa, rd, p, m) in &[
+            (10usize, 10usize, 0usize, 2usize, 2usize),
+            (17, 20, 3, 4, 5),
+            (1, 1, 1, 1, 1),
+            (100, 120, 10, 8, 8),
+        ] {
+            let b = minimal_samples(n, sa, rd, p, m);
+            assert!(b.lower <= b.empirical, "{b:?}");
+            assert!(b.empirical <= b.upper, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn rectangular_port_counts_use_the_smaller_side() {
+        let b = minimal_samples(12, 12, 0, 3, 6);
+        assert_eq!(b.empirical, 4); // 12 / min(3,6)
+    }
+
+    #[test]
+    #[should_panic(expected = "port counts")]
+    fn zero_ports_panics() {
+        let _ = minimal_samples(4, 4, 0, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size(A)")]
+    fn inconsistent_size_panics() {
+        let _ = minimal_samples(10, 5, 0, 2, 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Integration tests of the mfti-core pipeline at the crate boundary:
+//! the staged API (data → pencil → realify → realize) must compose the
+//! same way the one-call fitters do.
+
+use mfti_core::{
+    metrics, realify, realize_complex, realize_real, DirectionKind, FittedModel,
+    LoewnerPencil, Mfti, OrderSelection, TangentialData, Vfti, Weights,
+};
+use mfti_sampling::generators::RandomSystemBuilder;
+use mfti_sampling::{FrequencyGrid, SampleSet};
+use mfti_statespace::TransferFunction;
+
+fn workload() -> SampleSet {
+    let dut = RandomSystemBuilder::new(10, 2, 2)
+        .band(1e3, 1e6)
+        .d_rank(2)
+        .seed(404)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::log_space(1e3, 1e6, 12).expect("grid");
+    SampleSet::from_system(&dut, &grid).expect("sampling")
+}
+
+#[test]
+fn staged_api_matches_the_one_call_fitter() {
+    let samples = workload();
+
+    // One-call path.
+    let fit = Mfti::new().fit(&samples).expect("fit");
+
+    // Staged path with the same configuration.
+    let data = TangentialData::build(
+        &samples,
+        DirectionKind::default(),
+        &Weights::Uniform(2),
+    )
+    .expect("data");
+    let pencil = LoewnerPencil::build(&data).expect("pencil");
+    let sv = pencil
+        .shifted_pencil_singular_values(pencil.default_x0())
+        .expect("svd");
+    let order = OrderSelection::default().detect(&sv).expect("order");
+    assert_eq!(order, fit.detected_order);
+    let real = realify(&pencil, 1e-6).expect("realify");
+    let staged = realize_real(&real, order).expect("realize");
+
+    for (f, _) in samples.iter().take(4) {
+        let a = fit.model.response_at_hz(f).expect("eval");
+        let b = staged.response_at_hz(f).expect("eval");
+        assert!(
+            (&a - &b).norm_2() < 1e-8 * a.norm_2().max(1e-12),
+            "staged and one-call paths disagree at {f} Hz"
+        );
+    }
+}
+
+#[test]
+fn complex_and_real_realizations_share_the_transfer_function() {
+    let samples = workload();
+    let data = TangentialData::build(
+        &samples,
+        DirectionKind::RandomOrthonormal { seed: 8 },
+        &Weights::Uniform(2),
+    )
+    .expect("data");
+    let pencil = LoewnerPencil::build(&data).expect("pencil");
+    let sv = pencil
+        .shifted_pencil_singular_values(pencil.default_x0())
+        .expect("svd");
+    let order = OrderSelection::Threshold(1e-10).detect(&sv).expect("order");
+    let cplx = realize_complex(&pencil, pencil.default_x0(), order).expect("complex");
+    let real = realize_real(&realify(&pencil, 1e-8).expect("realify"), order).expect("real");
+    for (f, s) in samples.iter() {
+        let a = cplx.response_at_hz(f).expect("eval");
+        let b = real.response_at_hz(f).expect("eval");
+        assert!((&a - s).norm_2() / s.norm_2() < 1e-7);
+        assert!((&b - s).norm_2() / s.norm_2() < 1e-7);
+    }
+}
+
+#[test]
+fn fitted_model_accessors_are_consistent() {
+    let samples = workload();
+    let real_fit = Mfti::new().fit(&samples).expect("real fit");
+    match &real_fit.model {
+        FittedModel::Real(sys) => {
+            assert_eq!(sys.order(), real_fit.detected_order);
+            assert_eq!(real_fit.model.order(), sys.order());
+            assert!(real_fit.model.as_real().is_some());
+            assert!(real_fit.model.as_complex().is_none());
+        }
+        FittedModel::Complex(_) => panic!("default path must be real"),
+    }
+    assert_eq!(real_fit.model.outputs(), 2);
+    assert_eq!(real_fit.model.inputs(), 2);
+}
+
+#[test]
+fn vfti_equals_mfti_with_unit_weights_and_same_directions() {
+    let samples = workload();
+    let vfti = Vfti::new().fit(&samples).expect("vfti");
+    let mfti_t1 = Mfti::new()
+        .weights(Weights::Uniform(1))
+        .directions(DirectionKind::CyclicIdentity)
+        .fit(&samples)
+        .expect("mfti t=1");
+    assert_eq!(vfti.pencil_order, mfti_t1.pencil_order);
+    assert_eq!(vfti.detected_order, mfti_t1.detected_order);
+    for (a, b) in vfti
+        .pencil_singular_values
+        .iter()
+        .zip(&mfti_t1.pencil_singular_values)
+    {
+        assert!((a - b).abs() < 1e-12 * vfti.pencil_singular_values[0]);
+    }
+}
+
+#[test]
+fn fit_error_metrics_cover_every_sample() {
+    let samples = workload();
+    let fit = Mfti::new().fit(&samples).expect("fit");
+    let errs = metrics::relative_errors(&fit.model, &samples).expect("errs");
+    assert_eq!(errs.len(), samples.len());
+    assert!(metrics::err_max(&errs) >= metrics::err_rms(&errs));
+}

@@ -1,0 +1,431 @@
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+///
+/// The workspace deliberately implements its own complex scalar instead of
+/// binding an external crate so that the numerical kernels are fully
+/// self-contained. Construct values with [`c64`] or [`Complex::new`].
+///
+/// ```
+/// use mfti_numeric::c64;
+///
+/// let z = c64(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!(z * z.conj(), c64(25.0, 0.0));
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+/// Constructs a [`Complex`] from its real and imaginary parts.
+///
+/// This free function mirrors the `c64` shorthand common in numerical
+/// codebases and keeps call sites compact:
+///
+/// ```
+/// use mfti_numeric::c64;
+/// let s = c64(0.0, 2.0 * std::f64::consts::PI * 1e3);
+/// assert_eq!(s.re, 0.0);
+/// ```
+#[inline]
+pub const fn c64(re: f64, im: f64) -> Complex {
+    Complex { re, im }
+}
+
+impl Complex {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex = c64(0.0, 0.0);
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex = c64(1.0, 0.0);
+    /// The imaginary unit `i`.
+    pub const I: Complex = c64(0.0, 1.0);
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        c64(re, im)
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+
+    /// Creates a purely imaginary complex number `0 + im·i`.
+    #[inline]
+    pub const fn from_imag(im: f64) -> Self {
+        c64(0.0, im)
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// use mfti_numeric::Complex;
+    /// let z = Complex::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        c64(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate `re − im·i`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        c64(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`, computed with `hypot` for overflow safety.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|² = re² + im²`.
+    #[inline]
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in `(−π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Uses Smith's algorithm to avoid overflow for extreme magnitudes.
+    /// Returns infinities when `z == 0`, matching `f64` semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        // Smith's algorithm: scale by the larger component.
+        if self.re.abs() >= self.im.abs() {
+            let r = self.im / self.re;
+            let d = self.re + self.im * r;
+            c64(1.0 / d, -r / d)
+        } else {
+            let r = self.re / self.im;
+            let d = self.re * r + self.im;
+            c64(r / d, -1.0 / d)
+        }
+    }
+
+    /// Principal square root.
+    ///
+    /// ```
+    /// use mfti_numeric::c64;
+    /// let z = c64(-4.0, 0.0).sqrt();
+    /// assert!((z - c64(0.0, 2.0)).abs() < 1e-15);
+    /// ```
+    pub fn sqrt(self) -> Self {
+        if self.re == 0.0 && self.im == 0.0 {
+            return Complex::ZERO;
+        }
+        let m = self.abs();
+        let re = ((m + self.re) / 2.0).sqrt();
+        let im = ((m - self.re) / 2.0).sqrt();
+        c64(re, if self.im >= 0.0 { im } else { -im })
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        c64(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Unit-modulus phase factor `z/|z|`, or `1` when `z == 0`.
+    ///
+    /// Used by the SVD to rotate a complex bidiagonal onto the real axis.
+    #[inline]
+    pub fn unit_phase(self) -> Self {
+        let m = self.abs();
+        if m == 0.0 {
+            Complex::ONE
+        } else {
+            c64(self.re / m, self.im / m)
+        }
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Complex::ONE;
+        }
+        let mut base = if n < 0 { self.recip() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Complex::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        c64(self.re * s, self.im * s)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Self {
+        c64(re, 0.0)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        c64(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        c64(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        c64(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        c64(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: f64) -> Complex {
+        c64(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: f64) -> Complex {
+        c64(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        c64(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex {
+    fn sum<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Complex {
+    fn product<I: Iterator<Item = Complex>>(iter: I) -> Complex {
+        iter.fold(Complex::ONE, |a, b| a * b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = c64(1.5, -2.5);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert_eq!(z - z, Complex::ZERO);
+        assert!(close(z * z.recip(), Complex::ONE, 1e-15));
+    }
+
+    #[test]
+    fn division_matches_multiplication_by_reciprocal() {
+        let a = c64(3.0, -1.0);
+        let b = c64(-2.0, 7.0);
+        assert!(close(a / b * b, a, 1e-14));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = c64(2.0, 3.0);
+        assert_eq!(z.conj().conj(), z);
+        assert_eq!((z * z.conj()).im, 0.0);
+        assert!((z.abs_sq() - 13.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-9.0, 0.0), (3.0, 4.0), (-1.0, -1.0), (0.0, 2.0)] {
+            let z = c64(re, im);
+            let r = z.sqrt();
+            assert!(close(r * r, z, 1e-12), "sqrt failed for {z}");
+            assert!(r.re >= 0.0, "principal branch has non-negative real part");
+        }
+    }
+
+    #[test]
+    fn sqrt_of_zero_is_zero() {
+        assert_eq!(Complex::ZERO.sqrt(), Complex::ZERO);
+    }
+
+    #[test]
+    fn exp_of_imaginary_pi_is_minus_one() {
+        let z = Complex::from_imag(std::f64::consts::PI).exp();
+        assert!(close(z, c64(-1.0, 0.0), 1e-15));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = c64(-3.0, 4.0);
+        let back = Complex::from_polar(z.abs(), z.arg());
+        assert!(close(back, z, 1e-12));
+    }
+
+    #[test]
+    fn unit_phase_has_modulus_one() {
+        assert_eq!(Complex::ZERO.unit_phase(), Complex::ONE);
+        let p = c64(-3.0, 4.0).unit_phase();
+        assert!((p.abs() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = c64(1.1, -0.3);
+        let mut acc = Complex::ONE;
+        for _ in 0..7 {
+            acc *= z;
+        }
+        assert!(close(z.powi(7), acc, 1e-12));
+        assert!(close(z.powi(-2) * z.powi(2), Complex::ONE, 1e-12));
+        assert_eq!(z.powi(0), Complex::ONE);
+    }
+
+    #[test]
+    fn recip_of_tiny_and_huge_values_is_finite() {
+        let tiny = c64(1e-300, -1e-300);
+        let huge = c64(1e300, 1e300);
+        assert!(tiny.recip().is_finite());
+        assert!(huge.recip().is_finite());
+    }
+
+    #[test]
+    fn display_formats_sign_correctly() {
+        assert_eq!(c64(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(c64(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let zs = [c64(1.0, 1.0), c64(2.0, -1.0), c64(0.5, 0.0)];
+        let s: Complex = zs.iter().copied().sum();
+        assert!(close(s, c64(3.5, 0.0), 1e-15));
+        let p: Complex = zs.iter().copied().product();
+        assert!(close(p, c64(1.0, 1.0) * c64(2.0, -1.0) * c64(0.5, 0.0), 1e-15));
+    }
+}

@@ -1,0 +1,99 @@
+//! Reduction of a complex matrix to upper Hessenberg form by unitary
+//! similarity transforms (eigenvalue-preserving).
+
+use crate::complex::Complex;
+use crate::householder::make_reflector;
+use crate::matrix::CMatrix;
+
+/// Overwrites `a` with an upper Hessenberg matrix unitarily similar to it.
+///
+/// Classic Householder scheme: for each column `k`, a reflector
+/// annihilates entries below the first subdiagonal and is applied from
+/// both sides (`H* A H`) to preserve the spectrum.
+pub(crate) fn reduce_to_hessenberg(a: &mut CMatrix) {
+    let n = a.rows();
+    if n < 3 {
+        return;
+    }
+    for k in 0..n - 2 {
+        let col: Vec<Complex> = (k + 1..n).map(|i| a[(i, k)]).collect();
+        let refl = make_reflector(&col);
+        if refl.tau == Complex::ZERO {
+            continue;
+        }
+        // Zero out the column explicitly (β lands on the subdiagonal).
+        a[(k + 1, k)] = Complex::from_real(refl.beta);
+        for i in k + 2..n {
+            a[(i, k)] = Complex::ZERO;
+        }
+        // Similarity transform on the rest: A := H* A H with the reflector
+        // acting on rows/cols k+1..n.
+        refl.apply_left_adjoint(a, k + 1, k + 1);
+        refl.apply_right(a, 0, k + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::eig::eigenvalues;
+
+    fn pseudo_random_complex(n: usize, mut seed: u64) -> CMatrix {
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        CMatrix::from_fn(n, n, |_, _| c64(next(), next()))
+    }
+
+    #[test]
+    fn result_is_upper_hessenberg() {
+        let mut a = pseudo_random_complex(7, 11);
+        reduce_to_hessenberg(&mut a);
+        for i in 0..7usize {
+            for j in 0..i.saturating_sub(1) {
+                assert!(
+                    a[(i, j)].abs() < 1e-13,
+                    "entry ({i},{j}) = {} not annihilated",
+                    a[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_preserves_trace() {
+        let a = pseudo_random_complex(6, 21);
+        let tr_before = a.trace();
+        let mut h = a.clone();
+        reduce_to_hessenberg(&mut h);
+        let tr_after = h.trace();
+        assert!((tr_before - tr_after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_preserves_spectrum() {
+        let a = pseudo_random_complex(5, 31);
+        let mut ev_a = eigenvalues(&a).unwrap();
+        let mut h = a.clone();
+        reduce_to_hessenberg(&mut h);
+        let mut ev_h = eigenvalues(&h).unwrap();
+        let key = |z: &Complex| (z.re * 1e6).round() as i64;
+        ev_a.sort_by_key(key);
+        ev_h.sort_by_key(key);
+        for (x, y) in ev_a.iter().zip(&ev_h) {
+            assert!((*x - *y).abs() < 1e-8, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_matrices_are_untouched() {
+        let a = pseudo_random_complex(2, 41);
+        let mut h = a.clone();
+        reduce_to_hessenberg(&mut h);
+        assert!(h.approx_eq(&a, 0.0));
+    }
+}

@@ -1,0 +1,120 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels in this crate.
+///
+/// Every fallible public routine returns `Result<_, NumericError>`; the
+/// variants identify the mathematical reason a computation could not be
+/// completed rather than an implementation detail.
+///
+/// ```
+/// use mfti_numeric::{CMatrix, Lu, NumericError};
+///
+/// let singular = CMatrix::zeros(2, 2);
+/// let err = Lu::compute(&singular).and_then(|lu| lu.inverse()).unwrap_err();
+/// assert!(matches!(err, NumericError::Singular { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// Two operands had incompatible dimensions for the requested
+    /// operation (e.g. multiplying a `2x3` by a `2x2`).
+    ShapeMismatch {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left operand.
+        left: (usize, usize),
+        /// Dimensions of the right operand.
+        right: (usize, usize),
+    },
+    /// The operation requires a square matrix but was given a rectangular
+    /// one.
+    NotSquare {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the offending matrix.
+        dims: (usize, usize),
+    },
+    /// A factorization or solve encountered an (numerically) singular
+    /// matrix.
+    Singular {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+    },
+    /// An iterative algorithm failed to converge within its iteration
+    /// budget.
+    NoConvergence {
+        /// Human-readable name of the algorithm.
+        op: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input contained NaN or infinite entries.
+    NotFinite {
+        /// Human-readable name of the operation that failed.
+        op: &'static str,
+    },
+    /// A size or index argument was invalid for the given matrix.
+    InvalidArgument {
+        /// Human-readable description of the violated requirement.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            NumericError::NotSquare { op, dims } => {
+                write!(f, "{op} requires a square matrix, got {}x{}", dims.0, dims.1)
+            }
+            NumericError::Singular { op } => write!(f, "matrix is singular in {op}"),
+            NumericError::NoConvergence { op, iterations } => {
+                write!(f, "{op} did not converge after {iterations} iterations")
+            }
+            NumericError::NotFinite { op } => {
+                write!(f, "input to {op} contains non-finite entries")
+            }
+            NumericError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+        }
+    }
+}
+
+impl Error for NumericError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = NumericError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (2, 2),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("2x2"));
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericError>();
+    }
+
+    #[test]
+    fn variants_round_trip_through_debug() {
+        let e = NumericError::NoConvergence {
+            op: "svd",
+            iterations: 30,
+        };
+        assert!(format!("{e:?}").contains("NoConvergence"));
+    }
+}

@@ -1,0 +1,314 @@
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// LU factorization with partial pivoting: `P A = L U`.
+///
+/// Works over both real and complex matrices and backs
+/// [`solve`](crate::solve), determinants and inverses. The factorization
+/// itself never fails on singular input; *using* it to solve does.
+///
+/// ```
+/// use mfti_numeric::{CMatrix, Lu, c64};
+///
+/// # fn main() -> Result<(), mfti_numeric::NumericError> {
+/// let a = CMatrix::from_rows(&[
+///     vec![c64(2.0, 0.0), c64(1.0, 1.0)],
+///     vec![c64(0.0, -1.0), c64(3.0, 0.0)],
+/// ])?;
+/// let lu = Lu::compute(&a)?;
+/// let x = lu.solve(&CMatrix::identity(2))?;
+/// assert!(a.matmul(&x)?.approx_eq(&CMatrix::identity(2), 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu<T: Scalar> {
+    factors: Matrix<T>,
+    pivots: Vec<usize>,
+    swap_count: usize,
+    smallest_pivot: f64,
+    largest_pivot: f64,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Factors `a` as `P A = L U` with partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::NotSquare`] for rectangular input and
+    /// [`NumericError::NotFinite`] when `a` contains NaN/∞.
+    pub fn compute(a: &Matrix<T>) -> Result<Self, NumericError> {
+        if !a.is_square() {
+            return Err(NumericError::NotSquare {
+                op: "lu",
+                dims: a.dims(),
+            });
+        }
+        if !a.is_finite() {
+            return Err(NumericError::NotFinite { op: "lu" });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut pivots = Vec::with_capacity(n);
+        let mut swap_count = 0;
+        let mut smallest = f64::INFINITY;
+        let mut largest: f64 = 0.0;
+        for k in 0..n {
+            // Pivot: largest modulus in column k at or below the diagonal.
+            let mut p = k;
+            let mut best = lu[(k, k)].abs();
+            for i in k + 1..n {
+                let m = lu[(i, k)].abs();
+                if m > best {
+                    best = m;
+                    p = i;
+                }
+            }
+            pivots.push(p);
+            if p != k {
+                lu.swap_rows(p, k);
+                swap_count += 1;
+            }
+            smallest = smallest.min(best);
+            largest = largest.max(best);
+            let pivot = lu[(k, k)];
+            if pivot.abs() == 0.0 {
+                // Leave the zero column; solves will fail cleanly.
+                continue;
+            }
+            let inv = T::ONE / pivot;
+            for i in k + 1..n {
+                let factor = lu[(i, k)] * inv;
+                lu[(i, k)] = factor;
+                if factor == T::ZERO {
+                    continue;
+                }
+                for j in k + 1..n {
+                    let adj = factor * lu[(k, j)];
+                    lu[(i, j)] -= adj;
+                }
+            }
+        }
+        if n == 0 {
+            smallest = 0.0;
+        }
+        Ok(Lu {
+            factors: lu,
+            pivots,
+            swap_count,
+            smallest_pivot: smallest,
+            largest_pivot: largest,
+        })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.factors.rows()
+    }
+
+    /// `true` when a pivot vanished exactly (the matrix is singular to
+    /// working precision).
+    pub fn is_singular(&self) -> bool {
+        self.smallest_pivot == 0.0 && self.order() > 0
+    }
+
+    /// Crude reciprocal condition estimate `min|pivot| / max|pivot|`.
+    ///
+    /// Zero means singular; values near machine epsilon flag
+    /// ill-conditioning. This is a byproduct of the factorization, not a
+    /// rigorous condition number.
+    pub fn rcond_estimate(&self) -> f64 {
+        if self.largest_pivot == 0.0 {
+            0.0
+        } else {
+            self.smallest_pivot / self.largest_pivot
+        }
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> T {
+        let n = self.order();
+        let mut d = if self.swap_count % 2 == 0 { T::ONE } else { -T::ONE };
+        for i in 0..n {
+            d *= self.factors[(i, i)];
+        }
+        d
+    }
+
+    /// Solves `A X = B` for every column of `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Singular`] when a pivot vanished and
+    /// [`NumericError::ShapeMismatch`] when `b.rows() != order`.
+    pub fn solve(&self, b: &Matrix<T>) -> Result<Matrix<T>, NumericError> {
+        let n = self.order();
+        if b.rows() != n {
+            return Err(NumericError::ShapeMismatch {
+                op: "lu solve",
+                left: self.factors.dims(),
+                right: b.dims(),
+            });
+        }
+        if self.is_singular() {
+            return Err(NumericError::Singular { op: "lu solve" });
+        }
+        let mut x = b.clone();
+        // Apply row permutation in factorization order.
+        for (k, &p) in self.pivots.iter().enumerate() {
+            if p != k {
+                x.swap_rows(p, k);
+            }
+        }
+        // Forward substitution with unit-diagonal L.
+        for k in 0..n {
+            for i in k + 1..n {
+                let f = self.factors[(i, k)];
+                if f == T::ZERO {
+                    continue;
+                }
+                for j in 0..x.cols() {
+                    let adj = f * x[(k, j)];
+                    x[(i, j)] -= adj;
+                }
+            }
+        }
+        // Back substitution with U.
+        for k in (0..n).rev() {
+            let inv = T::ONE / self.factors[(k, k)];
+            for j in 0..x.cols() {
+                x[(k, j)] *= inv;
+            }
+            for i in 0..k {
+                let f = self.factors[(i, k)];
+                if f == T::ZERO {
+                    continue;
+                }
+                for j in 0..x.cols() {
+                    let adj = f * x[(k, j)];
+                    x[(i, j)] -= adj;
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lu::solve`].
+    pub fn solve_vec(&self, b: &[T]) -> Result<Vec<T>, NumericError> {
+        let x = self.solve(&Matrix::col_vector(b))?;
+        Ok(x.col(0))
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::Singular`] when the matrix is singular.
+    pub fn inverse(&self) -> Result<Matrix<T>, NumericError> {
+        self.solve(&Matrix::identity(self.order()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::matrix::{CMatrix, RMatrix};
+
+    #[test]
+    fn reconstructs_real_matrix() {
+        let a = RMatrix::from_rows(&[
+            vec![4.0, 3.0, 2.0],
+            vec![2.0, -1.0, 0.0],
+            vec![1.0, 2.0, 7.0],
+        ])
+        .unwrap();
+        let lu = Lu::compute(&a).unwrap();
+        let inv = lu.inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.approx_eq(&RMatrix::identity(3), 1e-12));
+    }
+
+    #[test]
+    fn determinant_of_known_matrix() {
+        let a = RMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let lu = Lu::compute(&a).unwrap();
+        assert!((lu.det() - (-2.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn complex_solve_matches_hand_result() {
+        // (1+i) x = 2  =>  x = 1 - i
+        let a = CMatrix::from_rows(&[vec![c64(1.0, 1.0)]]).unwrap();
+        let lu = Lu::compute(&a).unwrap();
+        let x = lu.solve_vec(&[c64(2.0, 0.0)]).unwrap();
+        assert!((x[0] - c64(1.0, -1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = RMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let lu = Lu::compute(&a).unwrap();
+        assert!(lu.is_singular());
+        assert!(lu.solve(&RMatrix::identity(2)).is_err());
+        assert_eq!(lu.rcond_estimate(), 0.0);
+    }
+
+    #[test]
+    fn rejects_rectangular_and_nonfinite() {
+        assert!(Lu::compute(&RMatrix::zeros(2, 3)).is_err());
+        let mut bad = RMatrix::identity(2);
+        bad[(0, 0)] = f64::NAN;
+        assert!(matches!(
+            Lu::compute(&bad),
+            Err(NumericError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = RMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let lu = Lu::compute(&a).unwrap();
+        let x = lu.solve_vec(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+        assert!((lu.det() - (-1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_multiple_rhs_matches_individual_solves() {
+        let a = RMatrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let lu = Lu::compute(&a).unwrap();
+        let b = RMatrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let x = lu.solve(&b).unwrap();
+        for j in 0..2 {
+            let xj = lu.solve_vec(&b.col(j)).unwrap();
+            for i in 0..2 {
+                assert!((x[(i, j)] - xj[i]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn random_complex_round_trip() {
+        // Deterministic pseudo-random fill (no rng dependency needed here).
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let a = CMatrix::from_fn(8, 8, |_, _| c64(next(), next()));
+        let lu = Lu::compute(&a).unwrap();
+        let b = CMatrix::from_fn(8, 3, |_, _| c64(next(), next()));
+        let x = lu.solve(&b).unwrap();
+        let res = &a.matmul(&x).unwrap() - &b;
+        assert!(res.norm_fro() < 1e-10 * b.norm_fro().max(1.0));
+    }
+}

@@ -1,0 +1,539 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::complex::Complex;
+use crate::error::NumericError;
+use crate::scalar::Scalar;
+
+/// Dense row-major matrix over a [`Scalar`] field.
+///
+/// This is the single matrix type used throughout the workspace; the
+/// aliases [`CMatrix`] (complex) and [`RMatrix`] (real) cover the two
+/// instantiations. Storage is a contiguous `Vec<T>` in row-major order.
+///
+/// ```
+/// use mfti_numeric::{CMatrix, c64};
+///
+/// let a = CMatrix::identity(2);
+/// let b = CMatrix::from_rows(&[
+///     vec![c64(1.0, 0.0), c64(0.0, 1.0)],
+///     vec![c64(0.0, -1.0), c64(2.0, 0.0)],
+/// ]).unwrap();
+/// let c = a.matmul(&b).unwrap();
+/// assert_eq!(c[(1, 0)], c64(0.0, -1.0));
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    data: Vec<T>,
+    rows: usize,
+    cols: usize,
+}
+
+/// Complex dense matrix — the workhorse of the Loewner algorithms.
+pub type CMatrix = Matrix<Complex>;
+/// Real dense matrix — used for realified state-space models.
+pub type RMatrix = Matrix<f64>;
+
+impl<T: Scalar> Matrix<T> {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![T::ZERO; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { data, rows, cols }
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] when rows have unequal
+    /// lengths or the input is empty.
+    pub fn from_rows(rows: &[Vec<T>]) -> Result<Self, NumericError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(NumericError::InvalidArgument {
+                what: "from_rows requires a non-empty rectangle",
+            });
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(NumericError::InvalidArgument {
+                what: "from_rows requires rows of equal length",
+            });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            data,
+            rows: rows.len(),
+            cols,
+        })
+    }
+
+    /// Creates a matrix taking ownership of a row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, NumericError> {
+        if data.len() != rows * cols {
+            return Err(NumericError::InvalidArgument {
+                what: "from_vec requires data.len() == rows * cols",
+            });
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Creates a square matrix with `diag` on the main diagonal.
+    pub fn from_diag(diag: &[T]) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Creates a column vector (`n × 1`).
+    pub fn col_vector(v: &[T]) -> Self {
+        Matrix {
+            data: v.to_vec(),
+            rows: v.len(),
+            cols: 1,
+        }
+    }
+
+    /// Creates a row vector (`1 × n`).
+    pub fn row_vector(v: &[T]) -> Self {
+        Matrix {
+            data: v.to_vec(),
+            rows: 1,
+            cols: v.len(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// `true` when `rows == cols`.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// `true` when the matrix has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major underlying storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable row-major underlying storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        let cols = self.cols;
+        &mut self.data[i * cols..(i + 1) * cols]
+    }
+
+    /// Copies column `j` into a fresh `Vec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<T> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Iterates over all entries in row-major order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    /// Transpose (without conjugation).
+    pub fn transpose(&self) -> Self {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Conjugate (Hermitian) transpose `A*`.
+    ///
+    /// For real matrices this equals [`Matrix::transpose`].
+    pub fn adjoint(&self) -> Self {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> Self {
+        self.map(|z| z.conj())
+    }
+
+    /// Applies `f` to every entry, producing a new matrix.
+    pub fn map<U: Scalar>(&self, mut f: impl FnMut(T) -> U) -> Matrix<U> {
+        Matrix {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            rows: self.rows,
+            cols: self.cols,
+        }
+    }
+
+    /// Promotes to a complex matrix (no-op cost for complex input).
+    pub fn to_complex(&self) -> CMatrix {
+        self.map(|x| x.to_complex())
+    }
+
+    /// Scales every entry by a real factor.
+    pub fn scale(&self, s: f64) -> Self {
+        self.map(|x| x.scale(s))
+    }
+
+    /// Largest entry modulus, `max_ij |a_ij|` (zero for empty matrices).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|x| x.abs()).fold(0.0, f64::max)
+    }
+
+    /// `true` when every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// `true` when all imaginary parts are at most `tol` in magnitude.
+    pub fn is_real_within(&self, tol: f64) -> bool {
+        self.data.iter().all(|x| x.im().abs() <= tol)
+    }
+
+    /// Discards imaginary parts, returning a real matrix.
+    ///
+    /// Intended for results that are real by construction (e.g. after the
+    /// Lemma 3.2 realification); combine with [`Matrix::is_real_within`]
+    /// to assert that assumption.
+    pub fn real_part(&self) -> RMatrix {
+        self.map(|x| x.re())
+    }
+
+    /// Imaginary parts as a real matrix.
+    pub fn imag_part(&self) -> RMatrix {
+        self.map(|x| x.im())
+    }
+
+    /// `true` when `self` and `other` agree entry-wise within `tol`.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        self.dims() == other.dims()
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// Uses an `i-k-j` loop order so the inner loop streams rows of `rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Self) -> Result<Self, NumericError> {
+        if self.cols != rhs.rows {
+            return Err(NumericError::ShapeMismatch {
+                op: "matmul",
+                left: self.dims(),
+                right: rhs.dims(),
+            });
+        }
+        let mut out = Self::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == T::ZERO {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += aik * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `v.len() != cols`.
+    pub fn matvec(&self, v: &[T]) -> Result<Vec<T>, NumericError> {
+        if v.len() != self.cols {
+            return Err(NumericError::ShapeMismatch {
+                op: "matvec",
+                left: self.dims(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .zip(v)
+                    .fold(T::ZERO, |acc, (&a, &x)| acc + a * x)
+            })
+            .collect())
+    }
+
+    /// Sum of diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not square.
+    pub fn trace(&self) -> T {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).fold(T::ZERO, |acc, i| acc + self[(i, i)])
+    }
+
+    /// Swaps rows `a` and `b` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either index is out of bounds.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(a < self.rows && b < self.rows, "row index out of bounds");
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let (head, tail) = self.data.split_at_mut(hi * self.cols);
+        head[lo * self.cols..(lo + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+}
+
+impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for i in 0..max_rows {
+            write!(f, "  ")?;
+            let max_cols = 8.min(self.cols);
+            for j in 0..max_cols {
+                write!(f, "{:>14} ", self[(i, j)])?;
+            }
+            if self.cols > max_cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Scalar> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn zeros_identity_and_indexing() {
+        let z = RMatrix::zeros(2, 3);
+        assert_eq!(z.dims(), (2, 3));
+        assert!(z.iter().all(|&x| x == 0.0));
+        let i3 = RMatrix::identity(3);
+        assert_eq!(i3[(1, 1)], 1.0);
+        assert_eq!(i3[(0, 2)], 0.0);
+        assert_eq!(i3.trace(), 3.0);
+    }
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(RMatrix::from_rows(&[]).is_err());
+        assert!(RMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = RMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(RMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        let m = RMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn transpose_and_adjoint_differ_for_complex() {
+        let a = CMatrix::from_rows(&[vec![c64(1.0, 2.0), c64(3.0, -1.0)]]).unwrap();
+        let t = a.transpose();
+        let h = a.adjoint();
+        assert_eq!(t.dims(), (2, 1));
+        assert_eq!(t[(0, 0)], c64(1.0, 2.0));
+        assert_eq!(h[(0, 0)], c64(1.0, -2.0));
+    }
+
+    #[test]
+    fn matmul_against_hand_computed_product() {
+        let a = RMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = RMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expect = RMatrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap();
+        assert!(c.approx_eq(&expect, 0.0));
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = RMatrix::zeros(2, 3);
+        let b = RMatrix::zeros(2, 2);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(NumericError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_matmul_with_column() {
+        let a = CMatrix::from_fn(3, 3, |i, j| c64(i as f64, j as f64));
+        let v = vec![c64(1.0, 0.0), c64(0.0, 1.0), c64(-1.0, 0.0)];
+        let got = a.matvec(&v).unwrap();
+        let col = CMatrix::col_vector(&v);
+        let want = a.matmul(&col).unwrap();
+        for i in 0..3 {
+            assert!((got[i] - want[(i, 0)]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn swap_rows_is_involutive() {
+        let mut m = RMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let orig = m.clone();
+        m.swap_rows(0, 2);
+        assert_eq!(m[(0, 0)], 5.0);
+        m.swap_rows(2, 0);
+        assert!(m.approx_eq(&orig, 0.0));
+    }
+
+    #[test]
+    fn real_imag_split_round_trips() {
+        let a = CMatrix::from_fn(2, 2, |i, j| c64(i as f64, j as f64 + 1.0));
+        let re = a.real_part();
+        let im = a.imag_part();
+        let back = CMatrix::from_fn(2, 2, |i, j| c64(re[(i, j)], im[(i, j)]));
+        assert!(back.approx_eq(&a, 0.0));
+        assert!(!a.is_real_within(0.5));
+        assert!(a.is_real_within(3.0));
+    }
+
+    #[test]
+    fn map_preserves_dims_and_changes_field() {
+        let a = RMatrix::identity(2);
+        let c = a.map(|x| c64(0.0, x));
+        assert_eq!(c[(0, 0)], c64(0.0, 1.0));
+        assert_eq!(c.dims(), (2, 2));
+    }
+
+    #[test]
+    fn row_and_col_accessors() {
+        let m = RMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(2), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_out_of_bounds_panics() {
+        let m = RMatrix::zeros(1, 1);
+        let _ = m.row(1);
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let m = RMatrix::zeros(1, 1);
+        assert!(!format!("{m:?}").is_empty());
+    }
+}

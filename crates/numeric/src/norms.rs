@@ -1,0 +1,123 @@
+//! Matrix and vector norms.
+//!
+//! The paper's error metric (Section 5) uses the spectral norm
+//! `‖H(j2πf_i) − S(f_i)‖₂`; [`Matrix::norm_2`] computes it via the largest
+//! singular value with a power-iteration fast path for small matrices.
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+impl<T: Scalar> Matrix<T> {
+    /// Frobenius norm `sqrt(Σ |a_ij|²)`.
+    pub fn norm_fro(&self) -> f64 {
+        self.iter().map(|x| x.abs_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute column sum (induced 1-norm).
+    pub fn norm_1(&self) -> f64 {
+        (0..self.cols())
+            .map(|j| (0..self.rows()).map(|i| self[(i, j)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum absolute row sum (induced ∞-norm).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows())
+            .map(|i| self.row(i).iter().map(|x| x.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Spectral norm (largest singular value, induced 2-norm).
+    ///
+    /// Computed by power iteration on `A*A`, which converges fast for the
+    /// well-separated spectra arising from scattering matrices; falls back
+    /// to the Frobenius norm bound on (pathological) non-convergence.
+    pub fn norm_2(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        // Power iteration on the Gram operator v -> A* (A v).
+        let a = self.to_complex();
+        let at = a.adjoint();
+        let n = a.cols();
+        let mut v: Vec<crate::Complex> = (0..n)
+            .map(|i| crate::c64(1.0 + (i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let mut norm_v = v.iter().map(|x| x.abs_sq()).sum::<f64>().sqrt();
+        if norm_v == 0.0 {
+            return 0.0;
+        }
+        for x in v.iter_mut() {
+            *x = x.scale(1.0 / norm_v);
+        }
+        let mut sigma_sq = 0.0;
+        for _ in 0..200 {
+            let av = a.matvec(&v).expect("shape checked");
+            let atav = at.matvec(&av).expect("shape checked");
+            norm_v = atav.iter().map(|x| x.abs_sq()).sum::<f64>().sqrt();
+            if norm_v == 0.0 {
+                return 0.0;
+            }
+            let prev = sigma_sq;
+            sigma_sq = norm_v;
+            v = atav.iter().map(|x| x.scale(1.0 / norm_v)).collect();
+            if (sigma_sq - prev).abs() <= 1e-13 * sigma_sq.max(1.0) {
+                break;
+            }
+        }
+        sigma_sq.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::complex::c64;
+    use crate::matrix::{CMatrix, RMatrix};
+
+    #[test]
+    fn frobenius_norm_of_identity() {
+        let i3 = RMatrix::identity(3);
+        assert!((i3.norm_fro() - 3f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn one_and_inf_norms() {
+        let m = RMatrix::from_rows(&[vec![1.0, -2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.norm_1(), 6.0); // column 1: |−2| + |4| = 6
+        assert_eq!(m.norm_inf(), 7.0); // row 1: |3| + |4| = 7
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal_matrix_is_max_entry() {
+        let d = RMatrix::from_diag(&[3.0, -7.0, 2.0]);
+        assert!((d.norm_2() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_norm_of_unitary_is_one() {
+        // 2x2 rotation-like unitary.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        let u = CMatrix::from_rows(&[
+            vec![c64(s, 0.0), c64(0.0, s)],
+            vec![c64(0.0, s), c64(s, 0.0)],
+        ])
+        .unwrap();
+        assert!((u.norm_2() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn norm_inequalities_hold() {
+        let m = CMatrix::from_fn(4, 3, |i, j| c64((i + 1) as f64, (j as f64) - 1.0));
+        let two = m.norm_2();
+        let fro = m.norm_fro();
+        assert!(two <= fro + 1e-12);
+        assert!(fro <= two * (3f64).sqrt() + 1e-9);
+    }
+
+    #[test]
+    fn empty_and_zero_matrices() {
+        let z = RMatrix::zeros(2, 2);
+        assert_eq!(z.norm_2(), 0.0);
+        assert_eq!(z.norm_fro(), 0.0);
+    }
+}

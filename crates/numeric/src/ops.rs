@@ -1,0 +1,112 @@
+//! Operator overloads for [`Matrix`].
+//!
+//! `+`, `-` and unary `-` are implemented for references (the common case
+//! in the algorithms, which reuse operands) and panic on shape mismatch —
+//! mirroring the convention of mainstream linear-algebra crates where
+//! element-wise shape errors are programming errors. The fallible,
+//! allocation-explicit API ([`Matrix::matmul`]) is used for products.
+
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+fn assert_same_dims<T: Scalar>(op: &str, a: &Matrix<T>, b: &Matrix<T>) {
+    assert_eq!(
+        a.dims(),
+        b.dims(),
+        "{op}: dimension mismatch {:?} vs {:?}",
+        a.dims(),
+        b.dims()
+    );
+}
+
+impl<T: Scalar> Add for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn add(self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_same_dims("add", self, rhs);
+        let mut out = self.clone();
+        for (o, &r) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *o += r;
+        }
+        out
+    }
+}
+
+impl<T: Scalar> Sub for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn sub(self, rhs: &Matrix<T>) -> Matrix<T> {
+        assert_same_dims("sub", self, rhs);
+        let mut out = self.clone();
+        for (o, &r) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *o -= r;
+        }
+        out
+    }
+}
+
+impl<T: Scalar> Neg for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn neg(self) -> Matrix<T> {
+        self.map(|x| -x)
+    }
+}
+
+impl<T: Scalar> Mul<T> for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn mul(self, rhs: T) -> Matrix<T> {
+        self.map(|x| x * rhs)
+    }
+}
+
+/// `&a * &b` is shorthand for [`Matrix::matmul`] that panics on shape
+/// mismatch; prefer `matmul` when the shapes are not statically known.
+impl<T: Scalar> Mul for &Matrix<T> {
+    type Output = Matrix<T>;
+    fn mul(self, rhs: &Matrix<T>) -> Matrix<T> {
+        self.matmul(rhs)
+            .unwrap_or_else(|e| panic!("matrix product failed: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::complex::c64;
+    use crate::matrix::{CMatrix, RMatrix};
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let a = RMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = RMatrix::identity(2);
+        let s = &a + &b;
+        let d = &s - &b;
+        assert!(d.approx_eq(&a, 1e-15));
+        let n = -&a;
+        assert_eq!(n[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let a = CMatrix::identity(2);
+        let b = &a * c64(0.0, 2.0);
+        assert_eq!(b[(0, 0)], c64(0.0, 2.0));
+        assert_eq!(b[(0, 1)], c64(0.0, 0.0));
+    }
+
+    #[test]
+    fn mul_operator_matches_matmul() {
+        let a = RMatrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        let b = RMatrix::from_rows(&[vec![3.0], vec![4.0]]).unwrap();
+        let via_op = &a * &b;
+        let via_fn = a.matmul(&b).unwrap();
+        assert!(via_op.approx_eq(&via_fn, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn add_panics_on_shape_mismatch() {
+        let a = RMatrix::zeros(2, 2);
+        let b = RMatrix::zeros(3, 2);
+        let _ = &a + &b;
+    }
+}

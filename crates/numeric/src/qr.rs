@@ -1,0 +1,347 @@
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Householder QR factorization `A = Q R` (thin form), generic over real
+/// and complex matrices.
+///
+/// Used for orthonormalizing tangential direction blocks, for least-squares
+/// solves in the vector-fitting baseline, and for the stacked-SVD
+/// realization path.
+///
+/// ```
+/// use mfti_numeric::{Qr, RMatrix};
+///
+/// # fn main() -> Result<(), mfti_numeric::NumericError> {
+/// let a = RMatrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]])?;
+/// let qr = Qr::compute(&a)?;
+/// let q = qr.q_thin();
+/// // Q has orthonormal columns and QR reproduces A.
+/// assert!(q.adjoint().matmul(&q)?.approx_eq(&RMatrix::identity(2), 1e-12));
+/// assert!(q.matmul(&qr.r())?.approx_eq(&a, 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr<T: Scalar> {
+    /// Packed factors: R on and above the diagonal, Householder tails below.
+    factors: Matrix<T>,
+    taus: Vec<T>,
+}
+
+/// Generates a Householder reflector `H = I − τ w w*`, `w = [1, v…]`, with
+/// `H* x = β e₁` and β **real** (LAPACK `zlarfg` convention, degenerates to
+/// `dlarfg` over `f64`).
+pub(crate) fn reflector<T: Scalar>(x: &[T]) -> (Vec<T>, T, f64) {
+    debug_assert!(!x.is_empty());
+    let alpha = x[0];
+    let tail_norm_sq: f64 = x[1..].iter().map(|z| z.abs_sq()).sum();
+    if tail_norm_sq == 0.0 && alpha.im() == 0.0 {
+        return (vec![T::ZERO; x.len() - 1], T::ZERO, alpha.re());
+    }
+    let norm = (alpha.abs_sq() + tail_norm_sq).sqrt();
+    let beta = if alpha.re() >= 0.0 { -norm } else { norm };
+    let beta_t = T::from_f64(beta);
+    let tau = (beta_t - alpha) / beta_t;
+    let scale = T::ONE / (alpha - beta_t);
+    let v = x[1..].iter().map(|&z| z * scale).collect();
+    (v, tau, beta)
+}
+
+impl<T: Scalar> Qr<T> {
+    /// Factors `a` (any shape) into `Q R` using Householder reflections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::NotFinite`] when `a` contains NaN/∞ and
+    /// [`NumericError::InvalidArgument`] for empty matrices.
+    pub fn compute(a: &Matrix<T>) -> Result<Self, NumericError> {
+        if a.is_empty() {
+            return Err(NumericError::InvalidArgument {
+                what: "qr of empty matrix",
+            });
+        }
+        if !a.is_finite() {
+            return Err(NumericError::NotFinite { op: "qr" });
+        }
+        let (m, n) = a.dims();
+        let steps = m.min(n);
+        let mut f = a.clone();
+        let mut taus = Vec::with_capacity(steps);
+        for k in 0..steps {
+            let col: Vec<T> = (k..m).map(|i| f[(i, k)]).collect();
+            let (v, tau, beta) = reflector(&col);
+            f[(k, k)] = T::from_f64(beta);
+            for (i, &vi) in v.iter().enumerate() {
+                f[(k + 1 + i, k)] = vi;
+            }
+            // Apply H* to the trailing columns.
+            if tau != T::ZERO {
+                for j in k + 1..n {
+                    let mut s = f[(k, j)];
+                    for (i, &vi) in v.iter().enumerate() {
+                        s += vi.conj() * f[(k + 1 + i, j)];
+                    }
+                    let t = tau.conj() * s;
+                    f[(k, j)] -= t;
+                    for (i, &vi) in v.iter().enumerate() {
+                        let upd = f[(k + 1 + i, j)] - t * vi;
+                        f[(k + 1 + i, j)] = upd;
+                    }
+                }
+            }
+            taus.push(tau);
+        }
+        Ok(Qr { factors: f, taus })
+    }
+
+    /// The upper-trapezoidal factor `R` (`min(m,n) × n`).
+    pub fn r(&self) -> Matrix<T> {
+        let (m, n) = self.factors.dims();
+        let k = m.min(n);
+        Matrix::from_fn(k, n, |i, j| {
+            if j >= i {
+                self.factors[(i, j)]
+            } else {
+                T::ZERO
+            }
+        })
+    }
+
+    /// Thin orthonormal factor `Q` (`m × min(m,n)`).
+    pub fn q_thin(&self) -> Matrix<T> {
+        let (m, n) = self.factors.dims();
+        let k = m.min(n);
+        let mut q = Matrix::zeros(m, k);
+        for i in 0..k {
+            q[(i, i)] = T::ONE;
+        }
+        // Q = H_0 H_1 … H_{k-1} · I, applied back to front.
+        for step in (0..k).rev() {
+            let tau = self.taus[step];
+            if tau == T::ZERO {
+                continue;
+            }
+            for j in 0..k {
+                let mut s = q[(step, j)];
+                for i in step + 1..m {
+                    s += self.factors[(i, step)].conj() * q[(i, j)];
+                }
+                let t = tau * s;
+                q[(step, j)] -= t;
+                for i in step + 1..m {
+                    let upd = q[(i, j)] - t * self.factors[(i, step)];
+                    q[(i, j)] = upd;
+                }
+            }
+        }
+        q
+    }
+
+    /// Applies `Q*` to `b` in place semantics (returns the product).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `b.rows() != m`.
+    pub fn q_adjoint_mul(&self, b: &Matrix<T>) -> Result<Matrix<T>, NumericError> {
+        let (m, n) = self.factors.dims();
+        if b.rows() != m {
+            return Err(NumericError::ShapeMismatch {
+                op: "q_adjoint_mul",
+                left: (m, n),
+                right: b.dims(),
+            });
+        }
+        let mut x = b.clone();
+        for step in 0..m.min(n) {
+            let tau = self.taus[step];
+            if tau == T::ZERO {
+                continue;
+            }
+            for j in 0..x.cols() {
+                let mut s = x[(step, j)];
+                for i in step + 1..m {
+                    s += self.factors[(i, step)].conj() * x[(i, j)];
+                }
+                let t = tau.conj() * s;
+                x[(step, j)] -= t;
+                for i in step + 1..m {
+                    let upd = x[(i, j)] - t * self.factors[(i, step)];
+                    x[(i, j)] = upd;
+                }
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solves the least-squares problem `min ‖A x − b‖₂` for each column
+    /// of `b`; requires `m ≥ n` and full column rank.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::InvalidArgument`] when `m < n`,
+    /// [`NumericError::Singular`] when `R` has a (numerically) zero
+    /// diagonal, [`NumericError::ShapeMismatch`] on row-count mismatch.
+    pub fn solve_least_squares(&self, b: &Matrix<T>) -> Result<Matrix<T>, NumericError> {
+        let (m, n) = self.factors.dims();
+        if m < n {
+            return Err(NumericError::InvalidArgument {
+                what: "least squares requires m >= n (use lstsq for the general case)",
+            });
+        }
+        let tol = {
+            let max_diag = (0..n)
+                .map(|i| self.factors[(i, i)].abs())
+                .fold(0.0, f64::max);
+            max_diag * f64::EPSILON * (m.max(n) as f64)
+        };
+        let qtb = self.q_adjoint_mul(b)?;
+        let mut x = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            for i in (0..n).rev() {
+                let mut s = qtb[(i, j)];
+                for k in i + 1..n {
+                    let adj = self.factors[(i, k)] * x[(k, j)];
+                    s -= adj;
+                }
+                let d = self.factors[(i, i)];
+                if d.abs() <= tol {
+                    return Err(NumericError::Singular {
+                        op: "qr least squares",
+                    });
+                }
+                x[(i, j)] = s / d;
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::matrix::{CMatrix, RMatrix};
+
+    fn pseudo_random_real(m: usize, n: usize, mut seed: u64) -> RMatrix {
+        RMatrix::from_fn(m, n, |_, _| {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+    }
+
+    fn pseudo_random_complex(m: usize, n: usize, mut seed: u64) -> CMatrix {
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        CMatrix::from_fn(m, n, |_, _| c64(next(), next()))
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_complex_matrix() {
+        let a = pseudo_random_complex(7, 4, 42);
+        let qr = Qr::compute(&a).unwrap();
+        let q = qr.q_thin();
+        let r = qr.r();
+        assert!(q.matmul(&r).unwrap().approx_eq(&a, 1e-12));
+        let qhq = q.adjoint().matmul(&q).unwrap();
+        assert!(qhq.approx_eq(&CMatrix::identity(4), 1e-12));
+    }
+
+    #[test]
+    fn qr_reconstructs_wide_matrix() {
+        let a = pseudo_random_real(3, 6, 7);
+        let qr = Qr::compute(&a).unwrap();
+        let q = qr.q_thin();
+        let r = qr.r();
+        assert_eq!(q.dims(), (3, 3));
+        assert_eq!(r.dims(), (3, 6));
+        assert!(q.matmul(&r).unwrap().approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_real_diagonal_for_complex_input() {
+        let a = pseudo_random_complex(5, 5, 99);
+        let qr = Qr::compute(&a).unwrap();
+        let r = qr.r();
+        for i in 0..5 {
+            assert!(r[(i, i)].im.abs() < 1e-13, "diagonal should be real");
+            for j in 0..i {
+                assert_eq!(r[(i, j)], c64(0.0, 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = pseudo_random_real(10, 3, 1234);
+        let b = pseudo_random_real(10, 2, 5678);
+        let qr = Qr::compute(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        // Residual must be orthogonal to the column space: Aᵀ(Ax − b) = 0.
+        let resid = &a.matmul(&x).unwrap() - &b;
+        let ortho = a.transpose().matmul(&resid).unwrap();
+        assert!(ortho.norm_fro() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_exact_for_square_systems() {
+        let a = pseudo_random_complex(4, 4, 3);
+        let x_true = pseudo_random_complex(4, 1, 11);
+        let b = a.matmul(&x_true).unwrap();
+        let qr = Qr::compute(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-10));
+    }
+
+    #[test]
+    fn rank_deficient_least_squares_errors() {
+        let mut a = RMatrix::zeros(4, 2);
+        for i in 0..4 {
+            a[(i, 0)] = 1.0;
+            a[(i, 1)] = 2.0; // second column is a multiple of the first
+        }
+        let qr = Qr::compute(&a).unwrap();
+        let b = RMatrix::zeros(4, 1);
+        assert!(matches!(
+            qr.solve_least_squares(&b),
+            Err(NumericError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn underdetermined_least_squares_rejected() {
+        let a = RMatrix::zeros(2, 3);
+        let mut a = a;
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = 1.0;
+        let qr = Qr::compute(&a).unwrap();
+        assert!(qr.solve_least_squares(&RMatrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn empty_and_nonfinite_rejected() {
+        assert!(Qr::compute(&RMatrix::zeros(0, 0)).is_err());
+        let mut bad = RMatrix::identity(2);
+        bad[(1, 1)] = f64::INFINITY;
+        assert!(Qr::compute(&bad).is_err());
+    }
+
+    #[test]
+    fn q_adjoint_mul_is_inverse_action_of_q() {
+        let a = pseudo_random_complex(6, 3, 21);
+        let qr = Qr::compute(&a).unwrap();
+        let q = qr.q_thin();
+        // Q* Q b == b for b in the span basis coordinates.
+        let b = pseudo_random_complex(3, 2, 8);
+        let qb = q.matmul(&b).unwrap();
+        let back = qr.q_adjoint_mul(&qb).unwrap();
+        let top = back.submatrix(0, 0, 3, 2).unwrap();
+        assert!(top.approx_eq(&b, 1e-12));
+    }
+}

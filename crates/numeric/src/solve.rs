@@ -1,0 +1,135 @@
+//! High-level solve helpers combining the factorizations.
+
+use crate::error::NumericError;
+use crate::lu::Lu;
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::scalar::Scalar;
+use crate::svd::Svd;
+
+/// Solves the square linear system `A X = B` via LU with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`NumericError::NotSquare`] / [`NumericError::Singular`] /
+/// [`NumericError::ShapeMismatch`] as appropriate.
+///
+/// ```
+/// use mfti_numeric::{solve, RMatrix};
+///
+/// # fn main() -> Result<(), mfti_numeric::NumericError> {
+/// let a = RMatrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]])?;
+/// let b = RMatrix::col_vector(&[3.0, 5.0]);
+/// let x = solve(&a, &b)?;
+/// assert!((x[(0, 0)] - 0.8).abs() < 1e-12);
+/// assert!((x[(1, 0)] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>, NumericError> {
+    Lu::compute(a)?.solve(b)
+}
+
+/// Solves the least-squares problem `min ‖A X − B‖` for general (possibly
+/// rank-deficient or underdetermined) `A`.
+///
+/// Fast path: Householder QR when `A` is tall and full-rank. Falls back to
+/// the SVD pseudo-inverse (minimum-norm solution) otherwise, truncating
+/// singular values below `rel_tol · s_max`.
+///
+/// # Errors
+///
+/// Propagates factorization errors; shape mismatches are reported as
+/// [`NumericError::ShapeMismatch`].
+pub fn lstsq<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    rel_tol: f64,
+) -> Result<Matrix<T>, NumericError> {
+    if a.rows() != b.rows() {
+        return Err(NumericError::ShapeMismatch {
+            op: "lstsq",
+            left: a.dims(),
+            right: b.dims(),
+        });
+    }
+    if a.rows() >= a.cols() {
+        if let Ok(qr) = Qr::compute(a) {
+            match qr.solve_least_squares(b) {
+                Ok(x) => return Ok(x),
+                Err(NumericError::Singular { .. }) => {} // fall through to SVD
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    let svd = Svd::compute(a)?;
+    let x = svd.solve_min_norm(&b.to_complex(), rel_tol)?;
+    Ok(x.map(T::from_complex_lossy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::matrix::{CMatrix, RMatrix};
+
+    #[test]
+    fn solve_square_system() {
+        let a = CMatrix::from_rows(&[
+            vec![c64(1.0, 0.0), c64(0.0, 1.0)],
+            vec![c64(0.0, -1.0), c64(2.0, 0.0)],
+        ])
+        .unwrap();
+        let x_true = CMatrix::col_vector(&[c64(1.0, 1.0), c64(-2.0, 0.5)]);
+        let b = a.matmul(&x_true).unwrap();
+        let x = solve(&a, &b).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-12));
+    }
+
+    #[test]
+    fn lstsq_overdetermined_full_rank_uses_qr_path() {
+        let a = RMatrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+        ])
+        .unwrap();
+        // Fit y = 1 + 2x exactly.
+        let b = RMatrix::col_vector(&[1.0, 3.0, 5.0, 7.0]);
+        let x = lstsq(&a, &b, 1e-12).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_rank_deficient_falls_back_to_min_norm() {
+        // Columns are parallel: infinitely many minimizers; the SVD picks
+        // the minimum-norm one, which splits the weight evenly here.
+        let a = RMatrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let b = RMatrix::col_vector(&[2.0, 2.0]);
+        let x = lstsq(&a, &b, 1e-12).unwrap();
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-10);
+        assert!((x[(1, 0)] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_underdetermined_returns_consistent_solution() {
+        let a = RMatrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let b = RMatrix::col_vector(&[14.0]);
+        let x = lstsq(&a, &b, 1e-12).unwrap();
+        let r = &a.matmul(&x).unwrap() - &b;
+        assert!(r.norm_fro() < 1e-10);
+        // Minimum-norm solution is proportional to the row: x = (1,2,3).
+        assert!((x[(0, 0)] - 1.0).abs() < 1e-10);
+        assert!((x[(2, 0)] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mismatched_shapes_rejected() {
+        let a = RMatrix::zeros(3, 2);
+        let b = RMatrix::zeros(2, 1);
+        assert!(lstsq(&a, &b, 1e-12).is_err());
+        assert!(solve(&RMatrix::identity(2), &RMatrix::zeros(3, 1)).is_err());
+    }
+}

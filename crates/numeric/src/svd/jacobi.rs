@@ -1,0 +1,149 @@
+//! One-sided complex Jacobi SVD.
+//!
+//! Orthogonalizes the columns of `A` by a sequence of complex plane
+//! rotations; on convergence the column norms are the singular values and
+//! the normalized columns form `U`. Independent of the Golub–Kahan path,
+//! which makes it a valuable cross-check (the two backends share no code
+//! beyond the `Matrix` type) and an ablation point for the benches.
+//!
+//! Accuracy note: one-sided Jacobi is known for *high relative accuracy*
+//! on small singular values, which is exactly what the order-detection
+//! experiments (paper Fig. 1) look at.
+
+use crate::complex::Complex;
+use crate::error::NumericError;
+use crate::matrix::CMatrix;
+use crate::svd::normalize_triplets;
+
+const MAX_SWEEPS: usize = 64;
+
+/// Computes the thin SVD of `a` (`m × n`, requires `m ≥ n`):
+/// returns `(U m×n, s n, V n×n)` with `A = U diag(s) V*`.
+pub(crate) fn svd_jacobi(a: &CMatrix) -> Result<(CMatrix, Vec<f64>, CMatrix), NumericError> {
+    let (m, n) = a.dims();
+    debug_assert!(m >= n, "caller must pre-transpose wide matrices");
+    let mut w = a.clone();
+    let mut v = CMatrix::identity(n);
+    let eps = f64::EPSILON;
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut rotated = false;
+        for p in 0..n.saturating_sub(1) {
+            for q in p + 1..n {
+                // Implicit 2x2 Gram block of columns p, q.
+                let mut app = 0.0f64;
+                let mut aqq = 0.0f64;
+                let mut apq = Complex::ZERO;
+                for i in 0..m {
+                    let cp = w[(i, p)];
+                    let cq = w[(i, q)];
+                    app += cp.abs_sq();
+                    aqq += cq.abs_sq();
+                    apq += cp.conj() * cq;
+                }
+                let gamma = apq.abs();
+                if gamma <= eps * (app * aqq).sqrt() + f64::MIN_POSITIVE {
+                    continue;
+                }
+                rotated = true;
+                // De-phase column q so the 2x2 Gram block becomes real
+                // symmetric [[app, γ], [γ, aqq]], then apply the classical
+                // real Jacobi rotation that annihilates γ.
+                let phase = apq.scale(1.0 / gamma); // unit modulus
+                let phase_conj = phase.conj();
+                let tau = (aqq - app) / (2.0 * gamma);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for i in 0..m {
+                    let cp = w[(i, p)];
+                    let cq = w[(i, q)] * phase_conj;
+                    w[(i, p)] = cp.scale(c) - cq.scale(s);
+                    w[(i, q)] = cp.scale(s) + cq.scale(c);
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)] * phase_conj;
+                    v[(i, p)] = vp.scale(c) - vq.scale(s);
+                    v[(i, q)] = vp.scale(s) + vq.scale(c);
+                }
+            }
+        }
+        if !rotated {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(NumericError::NoConvergence {
+            op: "jacobi svd",
+            iterations: MAX_SWEEPS,
+        });
+    }
+
+    // Column norms are the singular values; normalized columns form U.
+    let mut s = vec![0.0f64; n];
+    let mut u = w;
+    for j in 0..n {
+        let norm = (0..m).map(|i| u[(i, j)].abs_sq()).sum::<f64>().sqrt();
+        s[j] = norm;
+        if norm > 0.0 {
+            for i in 0..m {
+                u[(i, j)] = u[(i, j)].scale(1.0 / norm);
+            }
+        }
+    }
+    let mut v = v;
+    normalize_triplets(&mut u, &mut s, &mut v);
+    Ok((u, s, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::complex::c64;
+    use crate::matrix::CMatrix;
+    use crate::svd::{Svd, SvdMethod};
+
+    #[test]
+    fn hilbert_like_ill_conditioned_matrix() {
+        // Complex Hilbert-flavoured matrix: notoriously ill-conditioned.
+        let n = 7;
+        let a = CMatrix::from_fn(n, n, |i, j| {
+            c64(1.0 / (i + j + 1) as f64, 0.1 / (i + j + 2) as f64)
+        });
+        let svd = Svd::compute_with(&a, SvdMethod::Jacobi).unwrap();
+        let err = (&svd.reconstruct() - &a).norm_fro();
+        assert!(err < 1e-12 * a.norm_fro());
+        // Condition number must be huge but finite.
+        assert!(svd.cond() > 1e6);
+    }
+
+    #[test]
+    fn orthonormal_input_gives_unit_singular_values() {
+        // A permutation matrix times a diagonal phase is unitary.
+        let n = 5;
+        let a = CMatrix::from_fn(n, n, |i, j| {
+            if (i + 1) % n == j {
+                c64(0.0, 1.0)
+            } else {
+                c64(0.0, 0.0)
+            }
+        });
+        let svd = Svd::compute_with(&a, SvdMethod::Jacobi).unwrap();
+        for &s in svd.singular_values() {
+            assert!((s - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn single_column_matrix() {
+        let a = CMatrix::from_rows(&[vec![c64(3.0, 0.0)], vec![c64(0.0, 4.0)]]).unwrap();
+        let svd = Svd::compute_with(&a, SvdMethod::Jacobi).unwrap();
+        assert!((svd.singular_values()[0] - 5.0).abs() < 1e-13);
+    }
+}

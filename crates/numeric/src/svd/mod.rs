@@ -1,0 +1,387 @@
+//! Singular value decomposition of dense complex (and real) matrices.
+//!
+//! Two independent backends are provided:
+//!
+//! * [`SvdMethod::GolubKahan`] — Householder bidiagonalization followed by
+//!   an implicit-shift bidiagonal QR iteration (the LAPACK `zgesvd` path,
+//!   ported from the LINPACK/JAMA iteration). This is the default.
+//! * [`SvdMethod::Jacobi`] — one-sided complex Jacobi. Slower but
+//!   structurally unrelated, which makes it a strong cross-check in tests
+//!   and an ablation point in the benchmark suite.
+//!
+//! The SVD is the analytical heart of the MFTI paper: singular values of
+//! the shifted Loewner pencil reveal the underlying system order (Fig. 1)
+//! and the truncated factors build the reduced realization (Lemma 3.4).
+
+mod golub_kahan;
+mod jacobi;
+
+use crate::complex::Complex;
+use crate::error::NumericError;
+use crate::matrix::{CMatrix, Matrix};
+use crate::scalar::Scalar;
+
+/// Backend used by [`Svd::compute_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SvdMethod {
+    /// Golub–Kahan bidiagonalization + implicit QR (default, fastest).
+    #[default]
+    GolubKahan,
+    /// One-sided complex Jacobi (independent cross-check).
+    Jacobi,
+}
+
+/// A (thin) singular value decomposition `A = U Σ V*`.
+///
+/// `U` is `m × r`, `V` is `n × r` with `r = min(m, n)`; singular values
+/// are sorted in descending order.
+///
+/// ```
+/// use mfti_numeric::{CMatrix, Svd, c64};
+///
+/// # fn main() -> Result<(), mfti_numeric::NumericError> {
+/// let a = CMatrix::from_rows(&[
+///     vec![c64(0.0, 2.0), c64(0.0, 0.0)],
+///     vec![c64(0.0, 0.0), c64(1.0, 0.0)],
+/// ])?;
+/// let svd = Svd::compute(&a)?;
+/// assert!((svd.singular_values()[0] - 2.0).abs() < 1e-12);
+/// assert!((svd.singular_values()[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Svd {
+    u: CMatrix,
+    s: Vec<f64>,
+    v: CMatrix,
+}
+
+impl Svd {
+    /// Computes the SVD with the default (Golub–Kahan) backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] for empty input,
+    /// [`NumericError::NotFinite`] for NaN/∞ entries and
+    /// [`NumericError::NoConvergence`] if the QR sweep stalls (not observed
+    /// in practice; the iteration budget is generous).
+    pub fn compute<T: Scalar>(a: &Matrix<T>) -> Result<Self, NumericError> {
+        Self::compute_with(a, SvdMethod::GolubKahan)
+    }
+
+    /// Computes the SVD with an explicitly chosen backend.
+    ///
+    /// # Errors
+    ///
+    /// See [`Svd::compute`].
+    pub fn compute_with<T: Scalar>(a: &Matrix<T>, method: SvdMethod) -> Result<Self, NumericError> {
+        if a.is_empty() {
+            return Err(NumericError::InvalidArgument {
+                what: "svd of empty matrix",
+            });
+        }
+        if !a.is_finite() {
+            return Err(NumericError::NotFinite { op: "svd" });
+        }
+        let ac = a.to_complex();
+        // Both backends assume m >= n; handle wide matrices through the
+        // adjoint: A = U Σ V*  ⇔  A* = V Σ U*.
+        if ac.rows() < ac.cols() {
+            let adj = ac.adjoint();
+            let svd = Self::dispatch(&adj, method)?;
+            return Ok(Svd {
+                u: svd.v,
+                s: svd.s,
+                v: svd.u,
+            });
+        }
+        Self::dispatch(&ac, method)
+    }
+
+    fn dispatch(a: &CMatrix, method: SvdMethod) -> Result<Self, NumericError> {
+        let (u, s, v) = match method {
+            SvdMethod::GolubKahan => golub_kahan::svd_golub_kahan(a)?,
+            SvdMethod::Jacobi => jacobi::svd_jacobi(a)?,
+        };
+        Ok(Svd { u, s, v })
+    }
+
+    /// Left singular vectors (`m × min(m,n)`).
+    pub fn u(&self) -> &CMatrix {
+        &self.u
+    }
+
+    /// Singular values in descending order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.s
+    }
+
+    /// Right singular vectors (`n × min(m,n)`), *not* conjugated:
+    /// `A = U diag(s) V*`.
+    pub fn v(&self) -> &CMatrix {
+        &self.v
+    }
+
+    /// Numerical rank: number of singular values above
+    /// `rel_tol · s_max` (with an absolute floor for the zero matrix).
+    pub fn rank(&self, rel_tol: f64) -> usize {
+        let smax = self.s.first().copied().unwrap_or(0.0);
+        if smax == 0.0 {
+            return 0;
+        }
+        self.s.iter().take_while(|&&x| x > rel_tol * smax).count()
+    }
+
+    /// Rebuilds `U Σ V*` (used by tests and examples to bound the backward
+    /// error).
+    pub fn reconstruct(&self) -> CMatrix {
+        let r = self.s.len();
+        let mut us = self.u.clone();
+        for j in 0..r {
+            for i in 0..us.rows() {
+                us[(i, j)] = us[(i, j)].scale(self.s[j]);
+            }
+        }
+        us.matmul(&self.v.adjoint()).expect("dims agree")
+    }
+
+    /// Truncates to the leading `r` singular triplets, returning
+    /// `(U_r, s_r, V_r)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` exceeds the number of singular values.
+    pub fn truncate(&self, r: usize) -> (CMatrix, Vec<f64>, CMatrix) {
+        assert!(r <= self.s.len(), "truncation rank {r} exceeds {}", self.s.len());
+        let idx: Vec<usize> = (0..r).collect();
+        (
+            self.u.select_cols(&idx).expect("in range"),
+            self.s[..r].to_vec(),
+            self.v.select_cols(&idx).expect("in range"),
+        )
+    }
+
+    /// Minimum-norm least-squares solution of `A x = b` through the
+    /// pseudo-inverse, truncating singular values below `rel_tol · s_max`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `b.rows()` differs from
+    /// `u.rows()`.
+    pub fn solve_min_norm(&self, b: &CMatrix, rel_tol: f64) -> Result<CMatrix, NumericError> {
+        if b.rows() != self.u.rows() {
+            return Err(NumericError::ShapeMismatch {
+                op: "svd solve",
+                left: self.u.dims(),
+                right: b.dims(),
+            });
+        }
+        let r = self.rank(rel_tol);
+        let mut y = self.u.adjoint().matmul(b)?; // r_full × nrhs
+        for i in 0..y.rows() {
+            let scale = if i < r { 1.0 / self.s[i] } else { 0.0 };
+            for j in 0..y.cols() {
+                y[(i, j)] = y[(i, j)].scale(scale);
+            }
+        }
+        self.v.matmul(&y)
+    }
+
+    /// Spectral condition number `s_max / s_min` (∞ when singular).
+    pub fn cond(&self) -> f64 {
+        match (self.s.first(), self.s.last()) {
+            (Some(&max), Some(&min)) if min > 0.0 => max / min,
+            (Some(_), _) => f64::INFINITY,
+            _ => f64::NAN,
+        }
+    }
+}
+
+/// Sorts singular triplets descending and flips signs so every σ ≥ 0.
+pub(crate) fn normalize_triplets(u: &mut CMatrix, s: &mut [f64], v: &mut CMatrix) {
+    let r = s.len();
+    // Flip negative singular values into V.
+    for j in 0..r {
+        if s[j] < 0.0 {
+            s[j] = -s[j];
+            for i in 0..v.rows() {
+                v[(i, j)] = -v[(i, j)];
+            }
+        }
+    }
+    // Selection-sort columns by descending σ (r is small relative to m·n).
+    for a in 0..r {
+        let mut best = a;
+        for b in a + 1..r {
+            if s[b] > s[best] {
+                best = b;
+            }
+        }
+        if best != a {
+            s.swap(a, best);
+            swap_cols(u, a, best);
+            swap_cols(v, a, best);
+        }
+    }
+}
+
+fn swap_cols(m: &mut CMatrix, a: usize, b: usize) {
+    for i in 0..m.rows() {
+        let t: Complex = m[(i, a)];
+        m[(i, a)] = m[(i, b)];
+        m[(i, b)] = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::matrix::RMatrix;
+
+    fn pseudo_random_complex(m: usize, n: usize, mut seed: u64) -> CMatrix {
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        CMatrix::from_fn(m, n, |_, _| c64(next(), next()))
+    }
+
+    fn check_svd(a: &CMatrix, svd: &Svd, tol: f64) {
+        let r = a.rows().min(a.cols());
+        assert_eq!(svd.u().dims(), (a.rows(), r));
+        assert_eq!(svd.v().dims(), (a.cols(), r));
+        assert_eq!(svd.singular_values().len(), r);
+        // Descending non-negative singular values.
+        for w in svd.singular_values().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "not sorted: {:?}", svd.singular_values());
+        }
+        assert!(svd.singular_values().iter().all(|&x| x >= 0.0));
+        // Reconstruction.
+        let err = (&svd.reconstruct() - a).norm_fro();
+        assert!(
+            err <= tol * a.norm_fro().max(1.0),
+            "reconstruction error {err}"
+        );
+        // Orthonormality.
+        let uhu = svd.u().adjoint().matmul(svd.u()).unwrap();
+        assert!(uhu.approx_eq(&CMatrix::identity(r), 1e-10), "U not orthonormal");
+        let vhv = svd.v().adjoint().matmul(svd.v()).unwrap();
+        assert!(vhv.approx_eq(&CMatrix::identity(r), 1e-10), "V not orthonormal");
+    }
+
+    #[test]
+    fn both_backends_handle_random_square() {
+        let a = pseudo_random_complex(12, 12, 42);
+        for method in [SvdMethod::GolubKahan, SvdMethod::Jacobi] {
+            let svd = Svd::compute_with(&a, method).unwrap();
+            check_svd(&a, &svd, 1e-11);
+        }
+    }
+
+    #[test]
+    fn both_backends_handle_tall_and_wide() {
+        for &(m, n) in &[(9, 4), (4, 9), (15, 3), (2, 7)] {
+            let a = pseudo_random_complex(m, n, (m * 31 + n) as u64);
+            for method in [SvdMethod::GolubKahan, SvdMethod::Jacobi] {
+                let svd = Svd::compute_with(&a, method).unwrap();
+                check_svd(&a, &svd, 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_singular_values() {
+        let a = pseudo_random_complex(10, 7, 7);
+        let gk = Svd::compute_with(&a, SvdMethod::GolubKahan).unwrap();
+        let ja = Svd::compute_with(&a, SvdMethod::Jacobi).unwrap();
+        for (x, y) in gk.singular_values().iter().zip(ja.singular_values()) {
+            assert!((x - y).abs() < 1e-9 * gk.singular_values()[0]);
+        }
+    }
+
+    #[test]
+    fn rank_of_outer_product_is_one() {
+        let u = pseudo_random_complex(8, 1, 3);
+        let v = pseudo_random_complex(1, 6, 5);
+        let a = u.matmul(&v).unwrap();
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        check_svd(&a, &svd, 1e-11);
+    }
+
+    #[test]
+    fn diagonal_matrix_singular_values_are_absolute_entries() {
+        let a = RMatrix::from_diag(&[-5.0, 3.0, 1.0, 0.0]);
+        let svd = Svd::compute(&a).unwrap();
+        let s = svd.singular_values();
+        assert!((s[0] - 5.0).abs() < 1e-12);
+        assert!((s[1] - 3.0).abs() < 1e-12);
+        assert!((s[2] - 1.0).abs() < 1e-12);
+        assert!(s[3].abs() < 1e-12);
+        assert_eq!(svd.rank(1e-12), 3);
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_rank() {
+        let a = CMatrix::zeros(4, 3);
+        let svd = Svd::compute(&a).unwrap();
+        assert_eq!(svd.rank(1e-12), 0);
+        assert!(svd.singular_values().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn min_norm_solve_matches_exact_solution_when_invertible() {
+        let a = pseudo_random_complex(6, 6, 77);
+        let x_true = pseudo_random_complex(6, 2, 78);
+        let b = a.matmul(&x_true).unwrap();
+        let svd = Svd::compute(&a).unwrap();
+        let x = svd.solve_min_norm(&b, 1e-13).unwrap();
+        assert!(x.approx_eq(&x_true, 1e-9));
+    }
+
+    #[test]
+    fn min_norm_solve_of_underdetermined_system_is_consistent() {
+        let a = pseudo_random_complex(3, 8, 11);
+        let b = pseudo_random_complex(3, 1, 12);
+        let svd = Svd::compute(&a).unwrap();
+        let x = svd.solve_min_norm(&b, 1e-12).unwrap();
+        let resid = &a.matmul(&x).unwrap() - &b;
+        assert!(resid.norm_fro() < 1e-10 * b.norm_fro());
+    }
+
+    #[test]
+    fn truncate_keeps_leading_triplets() {
+        let a = pseudo_random_complex(6, 5, 1);
+        let svd = Svd::compute(&a).unwrap();
+        let (u2, s2, v2) = svd.truncate(2);
+        assert_eq!(u2.dims(), (6, 2));
+        assert_eq!(v2.dims(), (5, 2));
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s2[0], svd.singular_values()[0]);
+    }
+
+    #[test]
+    fn spectral_norm_agrees_with_largest_singular_value() {
+        let a = pseudo_random_complex(9, 9, 1312);
+        let svd = Svd::compute(&a).unwrap();
+        assert!((a.norm_2() - svd.singular_values()[0]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(Svd::compute(&CMatrix::zeros(0, 0)).is_err());
+        let mut bad = CMatrix::identity(2);
+        bad[(0, 1)] = c64(f64::NAN, 0.0);
+        assert!(Svd::compute(&bad).is_err());
+    }
+
+    #[test]
+    fn cond_of_identity_is_one() {
+        let svd = Svd::compute(&CMatrix::identity(4)).unwrap();
+        assert!((svd.cond() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,144 @@
+//! Edge-case integration tests for the linear-algebra kernels: shapes
+//! and values at the boundaries of what the algorithms accept.
+
+use mfti_numeric::{
+    c64, eigenvalues, generalized_eigenvalues, CMatrix, Complex, Lu, Qr, RMatrix, Svd,
+    SvdMethod,
+};
+
+#[test]
+fn one_by_one_matrices_work_everywhere() {
+    let a = CMatrix::from_rows(&[vec![c64(3.0, -4.0)]]).unwrap();
+    let svd = Svd::compute(&a).unwrap();
+    assert!((svd.singular_values()[0] - 5.0).abs() < 1e-14);
+    let ev = eigenvalues(&a).unwrap();
+    assert!((ev[0] - c64(3.0, -4.0)).abs() < 1e-14);
+    let lu = Lu::compute(&a).unwrap();
+    assert!((lu.det() - c64(3.0, -4.0)).abs() < 1e-14);
+    let qr = Qr::compute(&a).unwrap();
+    assert!((qr.r()[(0, 0)].abs() - 5.0).abs() < 1e-12);
+}
+
+#[test]
+fn single_column_and_single_row_svd() {
+    let col = CMatrix::from_fn(7, 1, |i, _| c64(i as f64 + 1.0, -(i as f64)));
+    let svd = Svd::compute(&col).unwrap();
+    assert_eq!(svd.u().dims(), (7, 1));
+    assert_eq!(svd.v().dims(), (1, 1));
+    assert!((&svd.reconstruct() - &col).norm_fro() < 1e-12 * col.norm_fro());
+
+    let row = col.adjoint();
+    let svd = Svd::compute(&row).unwrap();
+    assert_eq!(svd.u().dims(), (1, 1));
+    assert!((&svd.reconstruct() - &row).norm_fro() < 1e-12 * row.norm_fro());
+}
+
+#[test]
+fn hermitian_matrix_has_real_eigenvalues() {
+    let h = CMatrix::from_rows(&[
+        vec![c64(2.0, 0.0), c64(1.0, 1.0), c64(0.0, -0.5)],
+        vec![c64(1.0, -1.0), c64(-1.0, 0.0), c64(0.3, 0.2)],
+        vec![c64(0.0, 0.5), c64(0.3, -0.2), c64(0.5, 0.0)],
+    ])
+    .unwrap();
+    // Verify hermitian-ness of the fixture itself first.
+    assert!((&h.adjoint() - &h).max_abs() < 1e-15);
+    for ev in eigenvalues(&h).unwrap() {
+        assert!(ev.im.abs() < 1e-9, "eigenvalue {ev} not real");
+    }
+}
+
+#[test]
+fn skew_hermitian_matrix_has_imaginary_eigenvalues() {
+    let s = CMatrix::from_rows(&[
+        vec![c64(0.0, 1.0), c64(2.0, 0.0)],
+        vec![c64(-2.0, 0.0), c64(0.0, -3.0)],
+    ])
+    .unwrap();
+    assert!((&s.adjoint() + &s).max_abs() < 1e-15);
+    for ev in eigenvalues(&s).unwrap() {
+        assert!(ev.re.abs() < 1e-10, "eigenvalue {ev} not imaginary");
+    }
+}
+
+#[test]
+fn unitary_matrix_eigenvalues_lie_on_the_unit_circle() {
+    // Block-diagonal unitary: a phase and a 2x2 rotation.
+    let t = 0.7f64;
+    let u = CMatrix::from_rows(&[
+        vec![Complex::from_polar(1.0, 1.1), Complex::ZERO, Complex::ZERO],
+        vec![Complex::ZERO, c64(t.cos(), 0.0), c64(-t.sin(), 0.0)],
+        vec![Complex::ZERO, c64(t.sin(), 0.0), c64(t.cos(), 0.0)],
+    ])
+    .unwrap();
+    for ev in eigenvalues(&u).unwrap() {
+        assert!((ev.abs() - 1.0).abs() < 1e-10, "eigenvalue {ev} off circle");
+    }
+}
+
+#[test]
+fn svd_of_rank_one_update_tracks_perturbation() {
+    // A = I + eps * uv^H: singular values near 1 with one excursion.
+    let n = 6;
+    let eps = 1e-6;
+    let u = CMatrix::from_fn(n, 1, |i, _| c64(1.0 / ((i + 1) as f64), 0.2));
+    let v = CMatrix::from_fn(n, 1, |i, _| c64(0.5, -0.1 * i as f64));
+    let a = &CMatrix::identity(n) + &u.matmul(&v.adjoint()).unwrap().map(|z| z.scale(eps));
+    let svd = Svd::compute(&a).unwrap();
+    for &s in svd.singular_values() {
+        assert!((s - 1.0).abs() < eps * u.norm_fro() * v.norm_fro() + 1e-12);
+    }
+}
+
+#[test]
+fn generalized_eigenvalues_match_similarity_for_invertible_e() {
+    let a = RMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+    let e = RMatrix::from_rows(&[vec![2.0, 0.0], vec![1.0, 1.0]]).unwrap();
+    let (mut pencil_ev, infinite) = generalized_eigenvalues(&a, &e).unwrap();
+    assert_eq!(infinite, 0);
+    // Compare with eig(E^{-1} A).
+    let e_inv_a = Lu::compute(&e).unwrap().solve(&a).unwrap();
+    let mut direct = eigenvalues(&e_inv_a).unwrap();
+    let key = |z: &mfti_numeric::Complex| (z.re * 1e9).round() as i64;
+    pencil_ev.sort_by_key(key);
+    direct.sort_by_key(key);
+    for (x, y) in pencil_ev.iter().zip(&direct) {
+        assert!((*x - *y).abs() < 1e-8, "{x} vs {y}");
+    }
+}
+
+#[test]
+fn lu_of_permutation_matrix_has_unit_magnitude_determinant() {
+    let n = 5;
+    let p = RMatrix::from_fn(n, n, |i, j| if (i + 2) % n == j { 1.0 } else { 0.0 });
+    let lu = Lu::compute(&p).unwrap();
+    assert!((lu.det().abs() - 1.0).abs() < 1e-14);
+    assert!((lu.rcond_estimate() - 1.0).abs() < 1e-12);
+}
+
+#[test]
+fn qr_of_orthonormal_input_returns_identity_r_up_to_signs() {
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let q_in = RMatrix::from_rows(&[vec![s, s], vec![s, -s]]).unwrap();
+    let qr = Qr::compute(&q_in).unwrap();
+    let r = qr.r();
+    for i in 0..2 {
+        assert!((r[(i, i)].abs() - 1.0).abs() < 1e-12);
+        for j in 0..i {
+            assert!(r[(i, j)].abs() < 1e-14);
+        }
+    }
+}
+
+#[test]
+fn both_svd_backends_handle_repeated_singular_values() {
+    // 2I has a doubly degenerate singular value.
+    let a = CMatrix::identity(4).map(|z| z.scale(2.0));
+    for method in [SvdMethod::GolubKahan, SvdMethod::Jacobi] {
+        let svd = Svd::compute_with(&a, method).unwrap();
+        for &s in svd.singular_values() {
+            assert!((s - 2.0).abs() < 1e-13);
+        }
+        assert!((&svd.reconstruct() - &a).norm_fro() < 1e-12);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the linear-algebra kernels.
+//!
+//! Each decomposition is checked against its defining identity on random
+//! matrices of random shapes, including the agreement of the two
+//! structurally-unrelated SVD backends.
+
+use mfti_numeric::{c64, eigenvalues, lstsq, CMatrix, Complex, Lu, Qr, Svd, SvdMethod};
+use proptest::prelude::*;
+
+/// Strategy: complex matrix with entries in [-1, 1]² and given shape range.
+fn cmatrix(rows: std::ops::RangeInclusive<usize>, cols: std::ops::RangeInclusive<usize>)
+    -> impl Strategy<Value = CMatrix> {
+    (rows, cols).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), m * n).prop_map(move |v| {
+            CMatrix::from_vec(m, n, v.into_iter().map(|(re, im)| c64(re, im)).collect())
+                .expect("length matches")
+        })
+    })
+}
+
+fn square_cmatrix(n: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = CMatrix> {
+    n.prop_flat_map(|k| cmatrix(k..=k, k..=k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn svd_reconstructs_and_is_orthonormal(a in cmatrix(1..=12, 1..=12)) {
+        let svd = Svd::compute(&a).unwrap();
+        let rel = a.norm_fro().max(1.0);
+        prop_assert!((&svd.reconstruct() - &a).norm_fro() <= 1e-11 * rel);
+        let r = a.rows().min(a.cols());
+        let uhu = svd.u().adjoint().matmul(svd.u()).unwrap();
+        prop_assert!(uhu.approx_eq(&CMatrix::identity(r), 1e-10));
+        let vhv = svd.v().adjoint().matmul(svd.v()).unwrap();
+        prop_assert!(vhv.approx_eq(&CMatrix::identity(r), 1e-10));
+        // Sorted descending, non-negative.
+        for w in svd.singular_values().windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(svd.singular_values().iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_backends_agree(a in cmatrix(1..=9, 1..=9)) {
+        let gk = Svd::compute_with(&a, SvdMethod::GolubKahan).unwrap();
+        let ja = Svd::compute_with(&a, SvdMethod::Jacobi).unwrap();
+        let smax = gk.singular_values().first().copied().unwrap_or(0.0).max(1e-300);
+        for (x, y) in gk.singular_values().iter().zip(ja.singular_values()) {
+            prop_assert!((x - y).abs() <= 1e-9 * smax, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn svd_singular_values_bound_operator_norm(a in cmatrix(1..=10, 1..=10)) {
+        let svd = Svd::compute(&a).unwrap();
+        let s0 = svd.singular_values()[0];
+        // ‖A x‖ ≤ σ_max ‖x‖ for a probe vector.
+        let x: Vec<Complex> = (0..a.cols()).map(|i| c64(1.0 / (i + 1) as f64, 0.3)).collect();
+        let ax = a.matvec(&x).unwrap();
+        let nx = x.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+        let nax = ax.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+        prop_assert!(nax <= s0 * nx + 1e-9);
+    }
+
+    #[test]
+    fn lu_solve_has_small_residual(a in square_cmatrix(1..=10)) {
+        let lu = Lu::compute(&a).unwrap();
+        if lu.rcond_estimate() > 1e-10 {
+            let b = CMatrix::from_fn(a.rows(), 2, |i, j| c64(i as f64 + 1.0, j as f64 - 0.5));
+            let x = lu.solve(&b).unwrap();
+            let resid = (&a.matmul(&x).unwrap() - &b).norm_fro();
+            prop_assert!(resid <= 1e-8 * b.norm_fro().max(1.0) / lu.rcond_estimate().min(1.0));
+        }
+    }
+
+    #[test]
+    fn lu_determinant_matches_eigenvalue_product(a in square_cmatrix(2..=8)) {
+        let lu = Lu::compute(&a).unwrap();
+        let det = lu.det();
+        let ev = eigenvalues(&a).unwrap();
+        let prod: Complex = ev.iter().copied().product();
+        let scale = det.abs().max(1.0);
+        prop_assert!((det - prod).abs() <= 1e-7 * scale, "{det} vs {prod}");
+    }
+
+    #[test]
+    fn qr_factors_reproduce_matrix(a in cmatrix(1..=12, 1..=12)) {
+        let qr = Qr::compute(&a).unwrap();
+        let q = qr.q_thin();
+        let r = qr.r();
+        prop_assert!(q.matmul(&r).unwrap().approx_eq(&a, 1e-11));
+        let k = a.rows().min(a.cols());
+        prop_assert!(q.adjoint().matmul(&q).unwrap().approx_eq(&CMatrix::identity(k), 1e-11));
+    }
+
+    #[test]
+    fn eigenvalue_sum_matches_trace(a in square_cmatrix(1..=10)) {
+        let ev = eigenvalues(&a).unwrap();
+        let sum: Complex = ev.iter().copied().sum();
+        let tr = a.trace();
+        prop_assert!((sum - tr).abs() <= 1e-8 * tr.abs().max(1.0), "{sum} vs {tr}");
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_column_space(a in cmatrix(4..=10, 1..=3)) {
+        let b = CMatrix::from_fn(a.rows(), 1, |i, _| c64((i as f64).sin(), (i as f64).cos()));
+        let x = lstsq(&a, &b, 1e-12).unwrap();
+        let resid = &a.matmul(&x).unwrap() - &b;
+        let ortho = a.adjoint().matmul(&resid).unwrap();
+        prop_assert!(ortho.norm_fro() <= 1e-8 * b.norm_fro().max(1.0));
+    }
+
+    #[test]
+    fn spectral_norm_is_submultiplicative(
+        a in cmatrix(2..=6, 2..=6),
+        seed in 0u64..1000,
+    ) {
+        let b = CMatrix::from_fn(a.cols(), 3, |i, j| {
+            let t = (seed as f64 + i as f64 * 3.7 + j as f64 * 1.9).sin();
+            c64(t, t * 0.5)
+        });
+        let ab = a.matmul(&b).unwrap();
+        prop_assert!(ab.norm_2() <= a.norm_2() * b.norm_2() + 1e-9);
+    }
+
+    #[test]
+    fn adjoint_is_involutive_and_reverses_products(
+        a in cmatrix(2..=5, 2..=5),
+        b in cmatrix(2..=5, 2..=5),
+    ) {
+        prop_assert!(a.adjoint().adjoint().approx_eq(&a, 0.0));
+        if a.cols() == b.rows() {
+            let lhs = a.matmul(&b).unwrap().adjoint();
+            let rhs = b.adjoint().matmul(&a.adjoint()).unwrap();
+            prop_assert!(lhs.approx_eq(&rhs, 1e-12));
+        }
+    }
+}

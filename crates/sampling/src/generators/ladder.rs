@@ -1,0 +1,187 @@
+//! Physically-flavoured ladder networks (RC diffusion line, lossy LC
+//! transmission line) used by the runnable examples.
+
+use mfti_numeric::RMatrix;
+use mfti_statespace::{DescriptorSystem, StateSpaceError};
+
+/// RC ladder (uniform diffusive line): `sections` identical series-R /
+/// shunt-C cells driven by a voltage source, output = far-end node
+/// voltage. A classic interconnect-delay model with all-real poles.
+///
+/// States are the capacitor voltages; the model is SISO.
+///
+/// # Errors
+///
+/// Returns [`StateSpaceError::DimensionMismatch`] for zero sections or
+/// non-positive element values.
+///
+/// ```
+/// use mfti_sampling::generators::rc_ladder;
+/// use mfti_statespace::TransferFunction;
+///
+/// # fn main() -> Result<(), mfti_statespace::StateSpaceError> {
+/// let line = rc_ladder(8, 100.0, 1e-12)?;
+/// // DC: the ladder passes the source through (unit gain).
+/// let dc = line.eval(mfti_numeric::Complex::ZERO)?;
+/// assert!((dc[(0, 0)].re - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn rc_ladder(
+    sections: usize,
+    r_ohm: f64,
+    c_farad: f64,
+) -> Result<DescriptorSystem<f64>, StateSpaceError> {
+    if sections == 0 || r_ohm <= 0.0 || c_farad <= 0.0 {
+        return Err(StateSpaceError::DimensionMismatch {
+            what: "need sections >= 1 and positive R, C",
+        });
+    }
+    let n = sections;
+    let g = 1.0 / (r_ohm * c_farad);
+    // C dv_i/dt = (v_{i-1} − v_i)/R − (v_i − v_{i+1})/R, v_0 = u, open end.
+    let mut a = RMatrix::zeros(n, n);
+    for i in 0..n {
+        let right_neighbor = if i + 1 < n { 1.0 } else { 0.0 };
+        a[(i, i)] = -(1.0 + right_neighbor) * g;
+        if i > 0 {
+            a[(i, i - 1)] = g;
+        }
+        if i + 1 < n {
+            a[(i, i + 1)] = g;
+        }
+    }
+    let mut b = RMatrix::zeros(n, 1);
+    b[(0, 0)] = g;
+    let mut c = RMatrix::zeros(1, n);
+    c[(0, n - 1)] = 1.0;
+    DescriptorSystem::from_state_space(a, b, c, RMatrix::zeros(1, 1))
+}
+
+/// Lossy LC transmission line as a lumped ladder, exposed as a 2-port
+/// admittance: inputs are the port voltages, outputs the port currents.
+///
+/// `sections` series R–L branches carry currents `i_k`; internal nodes
+/// hold shunt capacitors. Resonances make this a good "peaky" example
+/// workload for the fitting algorithms.
+///
+/// # Errors
+///
+/// Returns [`StateSpaceError::DimensionMismatch`] for fewer than two
+/// sections or non-positive element values.
+///
+/// ```
+/// use mfti_sampling::generators::lc_line;
+///
+/// # fn main() -> Result<(), mfti_statespace::StateSpaceError> {
+/// let line = lc_line(10, 1e-9, 1e-12, 0.1)?;
+/// assert_eq!(line.order(), 2 * 10 - 1);
+/// assert!(line.is_stable()?);
+/// # Ok(())
+/// # }
+/// ```
+pub fn lc_line(
+    sections: usize,
+    l_henry: f64,
+    c_farad: f64,
+    r_ohm: f64,
+) -> Result<DescriptorSystem<f64>, StateSpaceError> {
+    if sections < 2 || l_henry <= 0.0 || c_farad <= 0.0 || r_ohm < 0.0 {
+        return Err(StateSpaceError::DimensionMismatch {
+            what: "need sections >= 2, positive L and C, non-negative R",
+        });
+    }
+    let ns = sections; // inductor branches
+    let nv = sections - 1; // internal capacitor nodes
+    let n = ns + nv;
+    // State order: [i_1 … i_ns, v_1 … v_nv].
+    let mut a = RMatrix::zeros(n, n);
+    let mut b = RMatrix::zeros(n, 2);
+    // L di_k/dt = v_{k-1} − v_k − R i_k  (v_0 = u1, v_ns = u2)
+    for k in 0..ns {
+        a[(k, k)] = -r_ohm / l_henry;
+        if k > 0 {
+            a[(k, ns + k - 1)] = 1.0 / l_henry; // + v_{k-1}
+        } else {
+            b[(0, 0)] = 1.0 / l_henry; // + u1
+        }
+        if k < nv {
+            a[(k, ns + k)] = -1.0 / l_henry; // − v_k
+        } else {
+            b[(ns - 1, 1)] = -1.0 / l_henry; // − u2
+        }
+    }
+    // C dv_k/dt = i_k − i_{k+1}
+    for k in 0..nv {
+        a[(ns + k, k)] = 1.0 / c_farad;
+        a[(ns + k, k + 1)] = -1.0 / c_farad;
+    }
+    // Outputs: port currents y1 = i_1 (into port 1), y2 = −i_ns (into
+    // port 2 from the line side).
+    let mut c = RMatrix::zeros(2, n);
+    c[(0, 0)] = 1.0;
+    c[(1, ns - 1)] = -1.0;
+    DescriptorSystem::from_state_space(a, b, c, RMatrix::zeros(2, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_numeric::Complex;
+    use mfti_statespace::TransferFunction;
+
+    #[test]
+    fn rc_ladder_poles_are_real_and_stable() {
+        let line = rc_ladder(6, 50.0, 2e-12).unwrap();
+        for p in line.poles().unwrap() {
+            assert!(p.re < 0.0, "unstable pole {p}");
+            assert!(p.im.abs() < 1e-6 * p.re.abs(), "complex pole {p}");
+        }
+    }
+
+    #[test]
+    fn rc_ladder_is_a_lowpass() {
+        let line = rc_ladder(5, 1000.0, 1e-9).unwrap();
+        let dc = line.eval(Complex::ZERO).unwrap()[(0, 0)].abs();
+        // Well above the cutoff the response must collapse.
+        let hi = line.response_at_hz(1e9).unwrap()[(0, 0)].abs();
+        assert!((dc - 1.0).abs() < 1e-9);
+        assert!(hi < 1e-3 * dc);
+    }
+
+    #[test]
+    fn lc_line_is_reciprocal_two_port() {
+        let line = lc_line(8, 2e-9, 1e-12, 0.2).unwrap();
+        let y = line.response_at_hz(2e8).unwrap();
+        assert_eq!(y.dims(), (2, 2));
+        // Reciprocity: Y12 = Y21.
+        assert!(
+            (y[(0, 1)] - y[(1, 0)]).abs() < 1e-10 * y.max_abs(),
+            "Y12 {} vs Y21 {}",
+            y[(0, 1)],
+            y[(1, 0)]
+        );
+    }
+
+    #[test]
+    fn lc_line_has_resonances() {
+        let line = lc_line(12, 1e-9, 1e-12, 0.05).unwrap();
+        // |Y11| should vary by orders of magnitude across the band.
+        let grid = mfti_statespace::bode::log_grid(1e7, 2e10, 200);
+        let mags: Vec<f64> = grid
+            .iter()
+            .map(|&f| line.response_at_hz(f).unwrap()[(0, 0)].abs())
+            .collect();
+        let max = mags.iter().cloned().fold(0.0, f64::max);
+        let min = mags.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 50.0, "dynamic range {}", max / min);
+    }
+
+    #[test]
+    fn invalid_elements_rejected() {
+        assert!(rc_ladder(0, 1.0, 1.0).is_err());
+        assert!(rc_ladder(3, -1.0, 1.0).is_err());
+        assert!(lc_line(1, 1.0, 1.0, 0.0).is_err());
+        assert!(lc_line(4, 0.0, 1.0, 0.0).is_err());
+    }
+}

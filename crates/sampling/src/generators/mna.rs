@@ -1,0 +1,342 @@
+//! Modified nodal analysis: RLC netlists → descriptor systems.
+//!
+//! The paper singles out MNA circuits as the natural `m = p` case where
+//! Lemma 3.1's exact matrix interpolation applies ("which is the case
+//! for a large group of (e.g., MNA) circuits"). This builder turns an
+//! RLC netlist with voltage ports into exactly that object: a descriptor
+//! system `E ẋ = A x + B u`, `y = C x` whose transfer function is the
+//! port **admittance matrix** (inputs = port voltages, outputs = port
+//! currents into the network).
+//!
+//! Unknowns are stacked MNA-style: node voltages, inductor currents,
+//! port-source currents. `E = blkdiag(C, L, 0)` is singular whenever the
+//! circuit has ports or inductors — the true descriptor form the raw
+//! Loewner realization also produces, so these circuits exercise every
+//! singular-`E` code path (poles via the pencil, trapezoidal transient
+//! with algebraic states).
+//!
+//! ```
+//! use mfti_sampling::generators::MnaNetlist;
+//! use mfti_statespace::TransferFunction;
+//!
+//! # fn main() -> Result<(), mfti_statespace::StateSpaceError> {
+//! // Port — R — ground: Y must be 1/R at every frequency.
+//! let circuit = MnaNetlist::new()
+//!     .resistor(1, 0, 50.0)
+//!     .port(1)
+//!     .build()?;
+//! let y = circuit.response_at_hz(1e6)?;
+//! assert!((y[(0, 0)].re - 0.02).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+use mfti_numeric::RMatrix;
+use mfti_statespace::{DescriptorSystem, StateSpaceError};
+
+/// An element connecting two nodes (node 0 is ground).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TwoTerminal {
+    a: usize,
+    b: usize,
+    value: f64,
+}
+
+/// Builder for RLC netlists with voltage-driven ports.
+///
+/// Node numbering: `0` is ground; other node indices may be any positive
+/// integers (they are compacted internally).
+#[derive(Debug, Clone, Default)]
+pub struct MnaNetlist {
+    resistors: Vec<TwoTerminal>,
+    capacitors: Vec<TwoTerminal>,
+    inductors: Vec<TwoTerminal>,
+    ports: Vec<usize>,
+}
+
+impl MnaNetlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a resistor of `ohms` between nodes `a` and `b`.
+    pub fn resistor(mut self, a: usize, b: usize, ohms: f64) -> Self {
+        self.resistors.push(TwoTerminal { a, b, value: ohms });
+        self
+    }
+
+    /// Adds a capacitor of `farads` between nodes `a` and `b`.
+    pub fn capacitor(mut self, a: usize, b: usize, farads: f64) -> Self {
+        self.capacitors.push(TwoTerminal { a, b, value: farads });
+        self
+    }
+
+    /// Adds an inductor of `henries` between nodes `a` and `b`.
+    pub fn inductor(mut self, a: usize, b: usize, henries: f64) -> Self {
+        self.inductors.push(TwoTerminal { a, b, value: henries });
+        self
+    }
+
+    /// Declares a voltage port between `node` and ground. Port order
+    /// defines the input/output ordering of the admittance matrix.
+    pub fn port(mut self, node: usize) -> Self {
+        self.ports.push(node);
+        self
+    }
+
+    /// Assembles the MNA descriptor system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::DimensionMismatch`] when the netlist
+    /// has no ports, an element value is non-positive/non-finite, an
+    /// element shorts a node to itself, or a port is at ground or
+    /// duplicated.
+    pub fn build(&self) -> Result<DescriptorSystem<f64>, StateSpaceError> {
+        if self.ports.is_empty() {
+            return Err(StateSpaceError::DimensionMismatch {
+                what: "netlist needs at least one port",
+            });
+        }
+        for t in self
+            .resistors
+            .iter()
+            .chain(&self.capacitors)
+            .chain(&self.inductors)
+        {
+            if !(t.value > 0.0 && t.value.is_finite()) {
+                return Err(StateSpaceError::DimensionMismatch {
+                    what: "element values must be positive and finite",
+                });
+            }
+            if t.a == t.b {
+                return Err(StateSpaceError::DimensionMismatch {
+                    what: "element connects a node to itself",
+                });
+            }
+        }
+        for (i, &p) in self.ports.iter().enumerate() {
+            if p == 0 {
+                return Err(StateSpaceError::DimensionMismatch {
+                    what: "ports must not be at the ground node",
+                });
+            }
+            if self.ports[..i].contains(&p) {
+                return Err(StateSpaceError::DimensionMismatch {
+                    what: "duplicate port node",
+                });
+            }
+        }
+
+        // Compact node numbering: ground drops out, others map to 0..n.
+        let mut node_ids: Vec<usize> = self
+            .resistors
+            .iter()
+            .chain(&self.capacitors)
+            .chain(&self.inductors)
+            .flat_map(|t| [t.a, t.b])
+            .chain(self.ports.iter().copied())
+            .filter(|&n| n != 0)
+            .collect();
+        node_ids.sort_unstable();
+        node_ids.dedup();
+        let index_of = |node: usize| -> Option<usize> {
+            if node == 0 {
+                None
+            } else {
+                Some(node_ids.binary_search(&node).expect("collected above"))
+            }
+        };
+
+        let n_v = node_ids.len();
+        let n_l = self.inductors.len();
+        let n_p = self.ports.len();
+        let n = n_v + n_l + n_p;
+
+        let mut e = RMatrix::zeros(n, n);
+        let mut a = RMatrix::zeros(n, n);
+
+        // Resistor stamps: conductances into −G (A's node block is −G).
+        for r in &self.resistors {
+            let g = 1.0 / r.value;
+            stamp_conductance(&mut a, index_of(r.a), index_of(r.b), -g);
+        }
+        // Capacitor stamps into E's node block.
+        for c in &self.capacitors {
+            stamp_conductance(&mut e, index_of(c.a), index_of(c.b), c.value);
+        }
+        // Inductors: branch current unknowns.
+        for (k, l) in self.inductors.iter().enumerate() {
+            let row = n_v + k;
+            e[(row, row)] = l.value;
+            // L di/dt = v_a − v_b; KCL: current leaves a, enters b.
+            if let Some(ia) = index_of(l.a) {
+                a[(row, ia)] = 1.0;
+                a[(ia, row)] = -1.0;
+            }
+            if let Some(ib) = index_of(l.b) {
+                a[(row, ib)] = -1.0;
+                a[(ib, row)] = 1.0;
+            }
+        }
+        // Ports: source current unknowns + voltage constraints.
+        let mut b = RMatrix::zeros(n, n_p);
+        let mut c_out = RMatrix::zeros(n_p, n);
+        for (k, &pnode) in self.ports.iter().enumerate() {
+            let row = n_v + n_l + k;
+            let ip = index_of(pnode).expect("ports are never ground");
+            // KCL at the port node: + i_P leaves into the source.
+            a[(ip, row)] = -1.0;
+            // Constraint: v_node − u = 0.
+            a[(row, ip)] = 1.0;
+            b[(row, k)] = -1.0;
+            // Output: current into the network = −i_P.
+            c_out[(k, row)] = -1.0;
+        }
+
+        DescriptorSystem::new(e, a, b, c_out, RMatrix::zeros(n_p, n_p))
+    }
+}
+
+/// Symmetric two-terminal stamp: adds `g` at (a,a),(b,b) and `−g` at
+/// (a,b),(b,a), skipping grounded terminals.
+fn stamp_conductance(m: &mut RMatrix, a: Option<usize>, b: Option<usize>, g: f64) {
+    if let Some(ia) = a {
+        m[(ia, ia)] += g;
+    }
+    if let Some(ib) = b {
+        m[(ib, ib)] += g;
+    }
+    if let (Some(ia), Some(ib)) = (a, b) {
+        m[(ia, ib)] -= g;
+        m[(ib, ia)] -= g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_numeric::Complex;
+    use mfti_statespace::TransferFunction;
+
+    #[test]
+    fn resistor_divider_admittance() {
+        // Port at node 1, R1 to node 2, R2 to ground: Y = 1/(R1+R2).
+        let ckt = MnaNetlist::new()
+            .resistor(1, 2, 30.0)
+            .resistor(2, 0, 70.0)
+            .port(1)
+            .build()
+            .unwrap();
+        let y = ckt.eval(Complex::ZERO).unwrap()[(0, 0)];
+        assert!((y.re - 0.01).abs() < 1e-12);
+        assert!(y.im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn rc_corner_frequency() {
+        // Series R into shunt C: Y(jω) = jωC/(1 + jωRC); |Y| at the
+        // corner is 1/(R√2).
+        let (r, c) = (1000.0, 1e-9);
+        let ckt = MnaNetlist::new()
+            .resistor(1, 2, r)
+            .capacitor(2, 0, c)
+            .port(1)
+            .build()
+            .unwrap();
+        let f_corner = 1.0 / (std::f64::consts::TAU * r * c);
+        let y = ckt.response_at_hz(f_corner).unwrap()[(0, 0)];
+        assert!((y.abs() - 1.0 / (r * 2f64.sqrt())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lc_tank_resonates_at_the_analytic_frequency() {
+        // Port — R — (L ∥ C) to ground. With the port shorted the tank
+        // sees R in parallel; underdamped iff R > √(L/C)/2 ≈ 16 Ω, so
+        // R = 1 kΩ gives Q ≈ 32 and a resonance at f = 1/(2π√LC).
+        let (l, c) = (1e-9, 1e-12);
+        let ckt = MnaNetlist::new()
+            .resistor(1, 2, 1000.0)
+            .inductor(2, 0, l)
+            .capacitor(2, 0, c)
+            .port(1)
+            .build()
+            .unwrap();
+        let f0 = 1.0 / (std::f64::consts::TAU * (l * c).sqrt());
+        // The pole pair of the tank sits at ±jω0 (undamped L∥C behind R).
+        let poles = ckt.poles().unwrap();
+        let resonant = poles
+            .iter()
+            .filter(|p| p.im > 0.0)
+            .map(|p| p.im / std::f64::consts::TAU)
+            .collect::<Vec<_>>();
+        assert_eq!(resonant.len(), 1);
+        assert!(
+            (resonant[0] - f0).abs() < 1e-3 * f0,
+            "resonance {} vs {f0}",
+            resonant[0]
+        );
+    }
+
+    #[test]
+    fn two_port_network_is_reciprocal_and_square() {
+        // Pi network between two ports.
+        let ckt = MnaNetlist::new()
+            .capacitor(1, 0, 2e-12)
+            .resistor(1, 2, 25.0)
+            .inductor(1, 2, 1e-9)
+            .capacitor(2, 0, 2e-12)
+            .port(1)
+            .port(2)
+            .build()
+            .unwrap();
+        assert_eq!(ckt.inputs(), 2);
+        assert_eq!(ckt.outputs(), 2);
+        let y = ckt.response_at_hz(3e8).unwrap();
+        assert!(
+            (y[(0, 1)] - y[(1, 0)]).abs() < 1e-12 * y.max_abs(),
+            "RLC networks are reciprocal"
+        );
+    }
+
+    #[test]
+    fn descriptor_structure_is_genuinely_singular() {
+        let ckt = MnaNetlist::new()
+            .resistor(1, 2, 10.0)
+            .capacitor(2, 0, 1e-12)
+            .port(1)
+            .build()
+            .unwrap();
+        // One dynamic state (the capacitor) out of three unknowns.
+        assert_eq!(ckt.order(), 3);
+        assert_eq!(ckt.dynamic_order(), 1);
+    }
+
+    #[test]
+    fn invalid_netlists_are_rejected() {
+        assert!(MnaNetlist::new().resistor(1, 0, 1.0).build().is_err()); // no port
+        assert!(MnaNetlist::new().resistor(1, 1, 1.0).port(1).build().is_err());
+        assert!(MnaNetlist::new().resistor(1, 0, -5.0).port(1).build().is_err());
+        assert!(MnaNetlist::new().resistor(1, 0, 1.0).port(0).build().is_err());
+        assert!(MnaNetlist::new()
+            .resistor(1, 0, 1.0)
+            .port(1)
+            .port(1)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn sparse_node_numbering_is_compacted() {
+        // Node ids 7 and 42 work fine.
+        let ckt = MnaNetlist::new()
+            .resistor(7, 42, 10.0)
+            .resistor(42, 0, 10.0)
+            .port(7)
+            .build()
+            .unwrap();
+        let y = ckt.eval(Complex::ZERO).unwrap()[(0, 0)];
+        assert!((y.re - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded synthetic multi-port systems.
+//!
+//! These generators stand in for the data sources of the paper's
+//! evaluation (see DESIGN.md §4 for the substitution argument):
+//!
+//! * [`RandomSystemBuilder`] — random stable MIMO systems with prescribed
+//!   order, port counts and `rank(D)`; Example 1 uses
+//!   `order = 150, p = m = 30, rank(D) = 30`,
+//! * [`PdnBuilder`] — a synthetic 14-port power-distribution network
+//!   replacing the INC-board measurements of Example 2,
+//! * [`rc_ladder`] / [`lc_line`] — physically-flavoured ladder networks
+//!   for the runnable examples.
+
+mod ladder;
+mod mna;
+mod pdn;
+mod random_system;
+
+pub use ladder::{lc_line, rc_ladder};
+pub use mna::MnaNetlist;
+pub use pdn::PdnBuilder;
+pub use random_system::RandomSystemBuilder;

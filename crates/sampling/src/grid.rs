@@ -1,0 +1,244 @@
+use crate::SamplingError;
+
+/// An ordered set of sampling frequencies in hertz.
+///
+/// The constructors cover the three sampling regimes the paper evaluates:
+/// uniform grids (Table 1, Test 1), logarithmic grids (Fig. 2's plotting
+/// band) and grids *poorly distributed in the band of interest* —
+/// clustered in the high-frequency end — which make the interpolation
+/// problem ill-conditioned (Table 1, Test 2).
+///
+/// ```
+/// use mfti_sampling::FrequencyGrid;
+///
+/// # fn main() -> Result<(), mfti_sampling::SamplingError> {
+/// let g = FrequencyGrid::linear(10.0, 50.0, 5)?;
+/// assert_eq!(g.points(), &[10.0, 20.0, 30.0, 40.0, 50.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyGrid {
+    points_hz: Vec<f64>,
+}
+
+impl FrequencyGrid {
+    /// Uniformly spaced grid over `[f_lo, f_hi]` (inclusive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidGrid`] unless
+    /// `0 ≤ f_lo < f_hi` and `points ≥ 2`.
+    pub fn linear(f_lo: f64, f_hi: f64, points: usize) -> Result<Self, SamplingError> {
+        if !(f_lo >= 0.0 && f_hi > f_lo) {
+            return Err(SamplingError::InvalidGrid {
+                what: "need 0 <= f_lo < f_hi",
+            });
+        }
+        if points < 2 {
+            return Err(SamplingError::InvalidGrid {
+                what: "need at least two points",
+            });
+        }
+        let step = (f_hi - f_lo) / (points - 1) as f64;
+        Ok(FrequencyGrid {
+            points_hz: (0..points).map(|i| f_lo + step * i as f64).collect(),
+        })
+    }
+
+    /// Logarithmically spaced grid over `[f_lo, f_hi]` (inclusive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidGrid`] unless
+    /// `0 < f_lo < f_hi` and `points ≥ 2`.
+    pub fn log_space(f_lo: f64, f_hi: f64, points: usize) -> Result<Self, SamplingError> {
+        if !(f_lo > 0.0 && f_hi > f_lo) {
+            return Err(SamplingError::InvalidGrid {
+                what: "need 0 < f_lo < f_hi",
+            });
+        }
+        if points < 2 {
+            return Err(SamplingError::InvalidGrid {
+                what: "need at least two points",
+            });
+        }
+        Ok(FrequencyGrid {
+            points_hz: mfti_statespace::bode::log_grid(f_lo, f_hi, points),
+        })
+    }
+
+    /// Ill-conditioned grid: `frac_high` of the points crowd into the top
+    /// `top_decades` decades of the band, the remainder sparsely covers
+    /// the rest (paper Table 1, Test 2: "100 poorly distributed samples
+    /// concentrated in the high-frequency band").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidGrid`] for invalid ranges, counts
+    /// `< 4`, `frac_high ∉ (0, 1)` or non-positive `top_decades`.
+    pub fn clustered_high(
+        f_lo: f64,
+        f_hi: f64,
+        points: usize,
+        frac_high: f64,
+        top_decades: f64,
+    ) -> Result<Self, SamplingError> {
+        if !(f_lo > 0.0 && f_hi > f_lo) {
+            return Err(SamplingError::InvalidGrid {
+                what: "need 0 < f_lo < f_hi",
+            });
+        }
+        if points < 4 {
+            return Err(SamplingError::InvalidGrid {
+                what: "need at least four points",
+            });
+        }
+        if !(frac_high > 0.0 && frac_high < 1.0) {
+            return Err(SamplingError::InvalidGrid {
+                what: "frac_high must lie strictly between 0 and 1",
+            });
+        }
+        if top_decades <= 0.0 {
+            return Err(SamplingError::InvalidGrid {
+                what: "top_decades must be positive",
+            });
+        }
+        let total_decades = (f_hi / f_lo).log10();
+        let top = top_decades.min(total_decades * 0.5);
+        let split = f_hi / 10f64.powf(top);
+        let n_high = ((points as f64) * frac_high).round() as usize;
+        let n_high = n_high.clamp(2, points - 2);
+        let n_low = points - n_high;
+        let mut pts = mfti_statespace::bode::log_grid(f_lo, split, n_low + 1);
+        pts.pop(); // avoid duplicating the split point
+        pts.extend(mfti_statespace::bode::log_grid(split, f_hi, n_high));
+        Ok(FrequencyGrid { points_hz: pts })
+    }
+
+    /// Grid from explicit points (sorted ascending, duplicates removed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InvalidGrid`] for empty input or
+    /// non-finite/negative frequencies.
+    pub fn from_points(mut points_hz: Vec<f64>) -> Result<Self, SamplingError> {
+        if points_hz.is_empty() {
+            return Err(SamplingError::InvalidGrid {
+                what: "at least one point required",
+            });
+        }
+        if points_hz.iter().any(|f| !f.is_finite() || *f < 0.0) {
+            return Err(SamplingError::InvalidGrid {
+                what: "frequencies must be finite and non-negative",
+            });
+        }
+        points_hz.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        points_hz.dedup();
+        Ok(FrequencyGrid { points_hz })
+    }
+
+    /// The frequencies in hertz, ascending.
+    pub fn points(&self) -> &[f64] {
+        &self.points_hz
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.points_hz.len()
+    }
+
+    /// `true` for an empty grid (not constructible via the public API).
+    pub fn is_empty(&self) -> bool {
+        self.points_hz.is_empty()
+    }
+
+    /// Consumes the grid, returning the raw frequency vector.
+    pub fn into_points(self) -> Vec<f64> {
+        self.points_hz
+    }
+
+    /// Keeps every `stride`-th point starting at `offset` (used to thin a
+    /// measurement grid into a fitting grid plus a validation grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stride == 0`.
+    pub fn decimate(&self, stride: usize, offset: usize) -> FrequencyGrid {
+        assert!(stride > 0, "stride must be positive");
+        FrequencyGrid {
+            points_hz: self
+                .points_hz
+                .iter()
+                .skip(offset)
+                .step_by(stride)
+                .copied()
+                .collect(),
+        }
+    }
+}
+
+impl AsRef<[f64]> for FrequencyGrid {
+    fn as_ref(&self) -> &[f64] {
+        &self.points_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_grid_has_exact_endpoints() {
+        let g = FrequencyGrid::linear(0.0, 1.0, 11).unwrap();
+        assert_eq!(g.len(), 11);
+        assert_eq!(g.points()[0], 0.0);
+        assert_eq!(g.points()[10], 1.0);
+    }
+
+    #[test]
+    fn log_grid_is_geometric() {
+        let g = FrequencyGrid::log_space(1.0, 1e4, 5).unwrap();
+        for w in g.points().windows(2) {
+            assert!((w[1] / w[0] - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clustered_grid_crowds_the_top() {
+        let g = FrequencyGrid::clustered_high(1e1, 1e9, 100, 0.85, 1.0).unwrap();
+        assert_eq!(g.len(), 100);
+        let split = 1e8;
+        let high = g.points().iter().filter(|&&f| f >= split * 0.999).count();
+        assert!(high >= 80, "expected >=80 points in top decade, got {high}");
+        assert!(g.points().windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn invalid_ranges_are_rejected() {
+        assert!(FrequencyGrid::linear(5.0, 5.0, 3).is_err());
+        assert!(FrequencyGrid::linear(-1.0, 5.0, 3).is_err());
+        assert!(FrequencyGrid::log_space(0.0, 5.0, 3).is_err());
+        assert!(FrequencyGrid::linear(0.0, 1.0, 1).is_err());
+        assert!(FrequencyGrid::clustered_high(1.0, 10.0, 10, 1.5, 1.0).is_err());
+        assert!(FrequencyGrid::from_points(vec![]).is_err());
+        assert!(FrequencyGrid::from_points(vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn from_points_sorts_and_dedups() {
+        let g = FrequencyGrid::from_points(vec![3.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(g.points(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn decimate_splits_grid() {
+        let g = FrequencyGrid::linear(0.0, 9.0, 10).unwrap();
+        let even = g.decimate(2, 0);
+        let odd = g.decimate(2, 1);
+        assert_eq!(even.len(), 5);
+        assert_eq!(odd.len(), 5);
+        assert_eq!(even.points()[1], 2.0);
+        assert_eq!(odd.points()[0], 1.0);
+    }
+}

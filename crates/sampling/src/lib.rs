@@ -1,0 +1,118 @@
+//! Frequency-domain sampling machinery and synthetic workloads for the
+//! MFTI macromodeling workspace.
+//!
+//! The paper's algorithms consume scattering/admittance matrices sampled
+//! at discrete frequencies ("measured through experiments or calculated
+//! by EM simulators"). This crate provides everything around that data:
+//!
+//! * [`FrequencyGrid`] — uniform, logarithmic and *deliberately
+//!   ill-conditioned* (high-band-clustered) sampling grids (paper
+//!   Table 1, Test 2),
+//! * [`SampleSet`] — a frequency-indexed set of complex response
+//!   matrices, obtainable from any
+//!   [`TransferFunction`](mfti_statespace::TransferFunction),
+//! * [`NoiseModel`] — reproducible complex-Gaussian measurement noise,
+//! * [`generators`] — seeded synthetic systems: the random order-150 /
+//!   30-port system of Example 1, a 14-port power-distribution-network
+//!   stand-in for the paper's INC-board measurements (see DESIGN.md §4),
+//!   and RC/LC ladder networks for the examples,
+//! * [`touchstone`] — plain-text Touchstone-style import/export.
+//!
+//! # Example
+//!
+//! ```
+//! use mfti_sampling::{FrequencyGrid, SampleSet};
+//! use mfti_sampling::generators::RandomSystemBuilder;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let sys = RandomSystemBuilder::new(10, 2, 2).seed(7).build()?;
+//! let grid = FrequencyGrid::log_space(1e2, 1e6, 32)?;
+//! let samples = SampleSet::from_system(&sys, &grid)?;
+//! assert_eq!(samples.len(), 32);
+//! assert_eq!(samples.ports(), (2, 2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod generators;
+mod grid;
+mod noise;
+pub mod params;
+mod sample;
+pub mod touchstone;
+
+pub use grid::FrequencyGrid;
+pub use noise::NoiseModel;
+pub use sample::SampleSet;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the sampling machinery.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SamplingError {
+    /// A grid constructor was given an invalid range or point count.
+    InvalidGrid {
+        /// Human-readable description of the violated requirement.
+        what: &'static str,
+    },
+    /// Frequencies and matrices disagree in count or the matrices have
+    /// inconsistent shapes.
+    InconsistentData {
+        /// Human-readable description of the inconsistency.
+        what: &'static str,
+    },
+    /// Evaluating the sampled system failed.
+    System(mfti_statespace::StateSpaceError),
+    /// A Touchstone file could not be parsed.
+    Parse {
+        /// Line number (1-based) where parsing failed, when known.
+        line: usize,
+        /// Human-readable description.
+        what: String,
+    },
+    /// An I/O failure while reading or writing sample files.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::InvalidGrid { what } => write!(f, "invalid frequency grid: {what}"),
+            SamplingError::InconsistentData { what } => {
+                write!(f, "inconsistent sample data: {what}")
+            }
+            SamplingError::System(e) => write!(f, "system evaluation failed: {e}"),
+            SamplingError::Parse { line, what } => {
+                write!(f, "touchstone parse error at line {line}: {what}")
+            }
+            SamplingError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for SamplingError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SamplingError::System(e) => Some(e),
+            SamplingError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mfti_statespace::StateSpaceError> for SamplingError {
+    fn from(e: mfti_statespace::StateSpaceError) -> Self {
+        SamplingError::System(e)
+    }
+}
+
+impl From<std::io::Error> for SamplingError {
+    fn from(e: std::io::Error) -> Self {
+        SamplingError::Io(e)
+    }
+}

@@ -1,0 +1,180 @@
+//! Network-parameter conversions (scattering ↔ admittance).
+//!
+//! Measurement gear produces S-parameters; circuit solvers often want
+//! Y-parameters. For a uniform real reference impedance `Z₀` the maps
+//! are the standard bilinear transforms
+//!
+//! ```text
+//! S = (I − Z₀Y)(I + Z₀Y)⁻¹        Y = (1/Z₀)(I + S)⁻¹(I − S)
+//! ```
+//!
+//! applied sample-by-sample. Both directions are exposed on
+//! [`SampleSet`]-shaped data so fitted models can be compared in either
+//! domain.
+
+use mfti_numeric::{CMatrix, Lu};
+
+use crate::sample::SampleSet;
+use crate::SamplingError;
+
+/// Converts admittance samples to scattering samples with reference
+/// impedance `z0_ohm` (uniform across ports).
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InconsistentData`] for non-square samples,
+/// non-positive `z0_ohm`, or when `I + Z₀Y` is singular at some
+/// frequency (a pathological, exactly-reflective network).
+pub fn admittance_to_scattering(
+    samples: &SampleSet,
+    z0_ohm: f64,
+) -> Result<SampleSet, SamplingError> {
+    convert(samples, z0_ohm, Direction::YToS)
+}
+
+/// Converts scattering samples to admittance samples with reference
+/// impedance `z0_ohm`.
+///
+/// # Errors
+///
+/// As [`admittance_to_scattering`]; singular `I + S` means the network
+/// has a pole of `Y` at that frequency (e.g. an ideal open).
+pub fn scattering_to_admittance(
+    samples: &SampleSet,
+    z0_ohm: f64,
+) -> Result<SampleSet, SamplingError> {
+    convert(samples, z0_ohm, Direction::SToY)
+}
+
+enum Direction {
+    YToS,
+    SToY,
+}
+
+fn convert(
+    samples: &SampleSet,
+    z0_ohm: f64,
+    direction: Direction,
+) -> Result<SampleSet, SamplingError> {
+    let (p, m) = samples.ports();
+    if p != m {
+        return Err(SamplingError::InconsistentData {
+            what: "network-parameter conversion requires square matrices",
+        });
+    }
+    if !(z0_ohm > 0.0 && z0_ohm.is_finite()) {
+        return Err(SamplingError::InconsistentData {
+            what: "reference impedance must be positive and finite",
+        });
+    }
+    let eye = CMatrix::identity(p);
+    let mut out = Vec::with_capacity(samples.len());
+    for (_, mat) in samples.iter() {
+        let converted = match direction {
+            Direction::YToS => {
+                let z0y = mat.map(|z| z.scale(z0_ohm));
+                let denom = &eye + &z0y;
+                let lu = Lu::compute(&denom).map_err(numeric_to_sampling)?;
+                if lu.is_singular() {
+                    return Err(SamplingError::InconsistentData {
+                        what: "I + Z0*Y singular: network exactly reflective",
+                    });
+                }
+                let inv = lu.inverse().map_err(numeric_to_sampling)?;
+                (&eye - &z0y).matmul(&inv).map_err(numeric_to_sampling)?
+            }
+            Direction::SToY => {
+                let denom = &eye + mat;
+                let lu = Lu::compute(&denom).map_err(numeric_to_sampling)?;
+                if lu.is_singular() {
+                    return Err(SamplingError::InconsistentData {
+                        what: "I + S singular: admittance pole at this frequency",
+                    });
+                }
+                let inv = lu.inverse().map_err(numeric_to_sampling)?;
+                inv.matmul(&(&eye - mat))
+                    .map_err(numeric_to_sampling)?
+                    .map(|z| z.scale(1.0 / z0_ohm))
+            }
+        };
+        out.push(converted);
+    }
+    SampleSet::from_parts(samples.freqs_hz().to_vec(), out)
+}
+
+fn numeric_to_sampling(e: mfti_numeric::NumericError) -> SamplingError {
+    SamplingError::System(mfti_statespace::StateSpaceError::Numeric(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_numeric::{c64, Complex};
+
+    fn y_samples() -> SampleSet {
+        // A passive-looking 2-port admittance at two frequencies.
+        let y1 = CMatrix::from_rows(&[
+            vec![c64(0.02, 0.005), c64(-0.01, 0.0)],
+            vec![c64(-0.01, 0.0), c64(0.02, -0.003)],
+        ])
+        .unwrap();
+        let y2 = y1.map(|z| z * c64(1.1, 0.2));
+        SampleSet::from_parts(vec![1e6, 2e6], vec![y1, y2]).unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let y = y_samples();
+        let s = admittance_to_scattering(&y, 50.0).unwrap();
+        let back = scattering_to_admittance(&s, 50.0).unwrap();
+        for ((_, a), (_, b)) in y.iter().zip(back.iter()) {
+            assert!((&(b.clone()) - a).max_abs() < 1e-12 * a.max_abs());
+        }
+    }
+
+    #[test]
+    fn matched_termination_maps_to_zero_reflection() {
+        // Y = (1/Z0)·I  ⇔  S = 0.
+        let z0 = 50.0;
+        let y = SampleSet::from_parts(
+            vec![1.0],
+            vec![CMatrix::identity(2).map(|z: Complex| z.scale(1.0 / z0))],
+        )
+        .unwrap();
+        let s = admittance_to_scattering(&y, z0).unwrap();
+        assert!(s.matrices()[0].max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn short_circuit_reflects_fully() {
+        // Y → ∞ is not representable; an open (Y = 0) gives S = I.
+        let y = SampleSet::from_parts(vec![1.0], vec![CMatrix::zeros(2, 2)]).unwrap();
+        let s = admittance_to_scattering(&y, 50.0).unwrap();
+        assert!((&s.matrices()[0].clone() - &CMatrix::identity(2)).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn passive_admittance_gives_bounded_scattering() {
+        let y = y_samples();
+        let s = admittance_to_scattering(&y, 50.0).unwrap();
+        for (_, m) in s.iter() {
+            assert!(m.norm_2() <= 1.0 + 1e-9, "|S| = {}", m.norm_2());
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let rect = SampleSet::from_parts(vec![1.0], vec![CMatrix::zeros(2, 3)]).unwrap();
+        assert!(admittance_to_scattering(&rect, 50.0).is_err());
+        let y = y_samples();
+        assert!(admittance_to_scattering(&y, 0.0).is_err());
+        assert!(scattering_to_admittance(&y, f64::NAN).is_err());
+        // S = -I makes I + S singular.
+        let s = SampleSet::from_parts(
+            vec![1.0],
+            vec![CMatrix::identity(2).map(|z: Complex| -z)],
+        )
+        .unwrap();
+        assert!(scattering_to_admittance(&s, 50.0).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+use mfti_numeric::CMatrix;
+use mfti_statespace::TransferFunction;
+
+use crate::grid::FrequencyGrid;
+use crate::SamplingError;
+
+/// Frequency-response samples: pairs `(f_i, S(f_i))` with
+/// `S(f_i) ∈ ℂ^{p×m}` — the raw input of every fitting algorithm in the
+/// workspace (Eq. 2 of the paper).
+///
+/// ```
+/// use mfti_sampling::{FrequencyGrid, SampleSet};
+/// use mfti_numeric::CMatrix;
+///
+/// # fn main() -> Result<(), mfti_sampling::SamplingError> {
+/// let grid = FrequencyGrid::linear(1.0, 2.0, 2)?;
+/// let mats = vec![CMatrix::identity(2), CMatrix::identity(2)];
+/// let set = SampleSet::from_parts(grid.into_points(), mats)?;
+/// assert_eq!(set.ports(), (2, 2));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSet {
+    freqs_hz: Vec<f64>,
+    matrices: Vec<CMatrix>,
+}
+
+impl SampleSet {
+    /// Builds a sample set from parallel vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InconsistentData`] when the lengths
+    /// differ, the set is empty, or matrix shapes are inconsistent.
+    pub fn from_parts(freqs_hz: Vec<f64>, matrices: Vec<CMatrix>) -> Result<Self, SamplingError> {
+        if freqs_hz.is_empty() {
+            return Err(SamplingError::InconsistentData {
+                what: "empty sample set",
+            });
+        }
+        if freqs_hz.len() != matrices.len() {
+            return Err(SamplingError::InconsistentData {
+                what: "frequency and matrix counts differ",
+            });
+        }
+        let dims = matrices[0].dims();
+        if matrices.iter().any(|m| m.dims() != dims) {
+            return Err(SamplingError::InconsistentData {
+                what: "matrices have inconsistent shapes",
+            });
+        }
+        if freqs_hz.iter().any(|f| !f.is_finite()) {
+            return Err(SamplingError::InconsistentData {
+                what: "non-finite frequency",
+            });
+        }
+        Ok(SampleSet { freqs_hz, matrices })
+    }
+
+    /// Samples a transfer function on a grid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures (e.g. a grid point on a pole).
+    pub fn from_system<T: TransferFunction>(
+        sys: &T,
+        grid: &FrequencyGrid,
+    ) -> Result<Self, SamplingError> {
+        let matrices = sys.frequency_response(grid.points())?;
+        Self::from_parts(grid.points().to_vec(), matrices)
+    }
+
+    /// Number of samples `k`.
+    pub fn len(&self) -> usize {
+        self.freqs_hz.len()
+    }
+
+    /// `true` when the set has no samples (not constructible publicly).
+    pub fn is_empty(&self) -> bool {
+        self.freqs_hz.is_empty()
+    }
+
+    /// `(outputs p, inputs m)` of the sampled response.
+    pub fn ports(&self) -> (usize, usize) {
+        self.matrices[0].dims()
+    }
+
+    /// Sampling frequencies in hertz.
+    pub fn freqs_hz(&self) -> &[f64] {
+        &self.freqs_hz
+    }
+
+    /// Sampled matrices, parallel to [`SampleSet::freqs_hz`].
+    pub fn matrices(&self) -> &[CMatrix] {
+        &self.matrices
+    }
+
+    /// The `i`-th sample as a `(frequency, matrix)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= len()`.
+    pub fn get(&self, i: usize) -> (f64, &CMatrix) {
+        (self.freqs_hz[i], &self.matrices[i])
+    }
+
+    /// Iterates over `(frequency, matrix)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &CMatrix)> + '_ {
+        self.freqs_hz.iter().copied().zip(self.matrices.iter())
+    }
+
+    /// Sub-set at the given sample indices (order preserved, repeats
+    /// allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InconsistentData`] for out-of-range
+    /// indices or an empty selection.
+    pub fn subset(&self, indices: &[usize]) -> Result<SampleSet, SamplingError> {
+        if indices.is_empty() {
+            return Err(SamplingError::InconsistentData {
+                what: "empty subset selection",
+            });
+        }
+        if indices.iter().any(|&i| i >= self.len()) {
+            return Err(SamplingError::InconsistentData {
+                what: "subset index out of range",
+            });
+        }
+        Ok(SampleSet {
+            freqs_hz: indices.iter().map(|&i| self.freqs_hz[i]).collect(),
+            matrices: indices.iter().map(|&i| self.matrices[i].clone()).collect(),
+        })
+    }
+
+    /// Largest entry magnitude across all samples (used for noise
+    /// scaling and normalization).
+    pub fn max_abs(&self) -> f64 {
+        self.matrices.iter().map(|m| m.max_abs()).fold(0.0, f64::max)
+    }
+
+    /// Merges two measurement runs into one set sorted by frequency
+    /// (e.g. a low-band and a high-band VNA sweep).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InconsistentData`] when port counts
+    /// differ or the runs share a frequency.
+    pub fn merged(&self, other: &SampleSet) -> Result<SampleSet, SamplingError> {
+        if self.ports() != other.ports() {
+            return Err(SamplingError::InconsistentData {
+                what: "cannot merge sample sets with different port counts",
+            });
+        }
+        let mut pairs: Vec<(f64, CMatrix)> = self
+            .iter()
+            .chain(other.iter())
+            .map(|(f, m)| (f, m.clone()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite frequencies"));
+        if pairs.windows(2).any(|w| w[0].0 == w[1].0) {
+            return Err(SamplingError::InconsistentData {
+                what: "merged runs share a sampling frequency",
+            });
+        }
+        let (freqs, mats) = pairs.into_iter().unzip();
+        SampleSet::from_parts(freqs, mats)
+    }
+
+    /// Splits into `(fitting, validation)` sets by interleaving: even
+    /// positions fit, odd positions validate — the standard holdout for
+    /// judging a macromodel on data it never saw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SamplingError::InconsistentData`] when fewer than four
+    /// samples are available (each half needs at least two).
+    pub fn split_interleaved(&self) -> Result<(SampleSet, SampleSet), SamplingError> {
+        if self.len() < 4 {
+            return Err(SamplingError::InconsistentData {
+                what: "need at least four samples to split",
+            });
+        }
+        let even: Vec<usize> = (0..self.len()).step_by(2).collect();
+        let odd: Vec<usize> = (1..self.len()).step_by(2).collect();
+        Ok((self.subset(&even)?, self.subset(&odd)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_numeric::c64;
+    use mfti_statespace::DescriptorSystem;
+
+    fn lowpass() -> DescriptorSystem<f64> {
+        DescriptorSystem::from_state_space(
+            mfti_numeric::RMatrix::from_diag(&[-1.0]),
+            mfti_numeric::RMatrix::col_vector(&[1.0]),
+            mfti_numeric::RMatrix::row_vector(&[1.0]),
+            mfti_numeric::RMatrix::zeros(1, 1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(SampleSet::from_parts(vec![], vec![]).is_err());
+        assert!(SampleSet::from_parts(vec![1.0], vec![]).is_err());
+        assert!(SampleSet::from_parts(
+            vec![1.0, 2.0],
+            vec![CMatrix::identity(1), CMatrix::identity(2)]
+        )
+        .is_err());
+        assert!(SampleSet::from_parts(vec![f64::INFINITY], vec![CMatrix::identity(1)]).is_err());
+    }
+
+    #[test]
+    fn from_system_evaluates_grid() {
+        let grid = FrequencyGrid::linear(0.0, 1.0, 3).unwrap();
+        let set = SampleSet::from_system(&lowpass(), &grid).unwrap();
+        assert_eq!(set.len(), 3);
+        // DC gain is 1.
+        assert!((set.matrices()[0][(0, 0)] - c64(1.0, 0.0)).abs() < 1e-12);
+        let (f, m) = set.get(2);
+        assert_eq!(f, 1.0);
+        assert!(m[(0, 0)].abs() < 1.0);
+    }
+
+    #[test]
+    fn subset_selects_and_reorders() {
+        let grid = FrequencyGrid::linear(0.0, 4.0, 5).unwrap();
+        let set = SampleSet::from_system(&lowpass(), &grid).unwrap();
+        let sub = set.subset(&[3, 1]).unwrap();
+        assert_eq!(sub.freqs_hz(), &[3.0, 1.0]);
+        assert!(set.subset(&[9]).is_err());
+        assert!(set.subset(&[]).is_err());
+    }
+
+    #[test]
+    fn merged_runs_sort_by_frequency() {
+        let grid_lo = FrequencyGrid::linear(1.0, 3.0, 3).unwrap();
+        let grid_hi = FrequencyGrid::linear(1.5, 2.5, 2).unwrap();
+        let lo = SampleSet::from_system(&lowpass(), &grid_lo).unwrap();
+        let hi = SampleSet::from_system(&lowpass(), &grid_hi).unwrap();
+        let merged = lo.merged(&hi).unwrap();
+        assert_eq!(merged.freqs_hz(), &[1.0, 1.5, 2.0, 2.5, 3.0]);
+        // Duplicate frequency rejected.
+        assert!(lo.merged(&lo).is_err());
+    }
+
+    #[test]
+    fn merged_rejects_port_mismatch() {
+        let a = SampleSet::from_parts(vec![1.0], vec![CMatrix::identity(1)]).unwrap();
+        let b = SampleSet::from_parts(vec![2.0], vec![CMatrix::identity(2)]).unwrap();
+        assert!(a.merged(&b).is_err());
+    }
+
+    #[test]
+    fn interleaved_split_partitions_the_set() {
+        let grid = FrequencyGrid::linear(0.0, 5.0, 6).unwrap();
+        let set = SampleSet::from_system(&lowpass(), &grid).unwrap();
+        let (fit, val) = set.split_interleaved().unwrap();
+        assert_eq!(fit.freqs_hz(), &[0.0, 2.0, 4.0]);
+        assert_eq!(val.freqs_hz(), &[1.0, 3.0, 5.0]);
+        let tiny = set.subset(&[0, 1, 2]).unwrap();
+        assert!(tiny.split_interleaved().is_err());
+    }
+
+    #[test]
+    fn iter_yields_pairs_in_order() {
+        let grid = FrequencyGrid::linear(0.0, 1.0, 2).unwrap();
+        let set = SampleSet::from_system(&lowpass(), &grid).unwrap();
+        let fs: Vec<f64> = set.iter().map(|(f, _)| f).collect();
+        assert_eq!(fs, vec![0.0, 1.0]);
+    }
+}

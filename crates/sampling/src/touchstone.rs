@@ -1,0 +1,373 @@
+//! Minimal Touchstone (v1, `.sNp`) reader/writer.
+//!
+//! Enough of the de-facto standard to exchange data with EM solvers and
+//! VNA exports: `!` comments, the `#` option line (frequency unit,
+//! RI/MA/DB formats, reference resistance), wrapped data lines, and the
+//! classic 2-port column-major quirk (`S11 S21 S12 S22`). The port count
+//! is not encoded in v1 files (it lives in the file extension), so the
+//! reader takes it explicitly.
+//!
+//! Hand-rolled on purpose: no serialization dependency pulls its weight
+//! for a whitespace-separated text format (see DESIGN.md §6).
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use mfti_numeric::{c64, CMatrix, Complex};
+
+use crate::sample::SampleSet;
+use crate::SamplingError;
+
+/// Number format of the complex entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Real/imaginary pairs.
+    #[default]
+    Ri,
+    /// Magnitude (linear) and angle in degrees.
+    Ma,
+    /// Magnitude in dB and angle in degrees.
+    Db,
+}
+
+/// Frequency unit of the first column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrequencyUnit {
+    /// Hertz.
+    Hz,
+    /// Kilohertz.
+    KHz,
+    /// Megahertz.
+    MHz,
+    /// Gigahertz (the Touchstone default).
+    #[default]
+    GHz,
+}
+
+impl FrequencyUnit {
+    fn multiplier(self) -> f64 {
+        match self {
+            FrequencyUnit::Hz => 1.0,
+            FrequencyUnit::KHz => 1e3,
+            FrequencyUnit::MHz => 1e6,
+            FrequencyUnit::GHz => 1e9,
+        }
+    }
+
+    fn keyword(self) -> &'static str {
+        match self {
+            FrequencyUnit::Hz => "HZ",
+            FrequencyUnit::KHz => "KHZ",
+            FrequencyUnit::MHz => "MHZ",
+            FrequencyUnit::GHz => "GHZ",
+        }
+    }
+}
+
+/// Options controlling [`write`]; defaults match common tool output
+/// (`# HZ S RI R 50`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteOptions {
+    /// Number format.
+    pub format: Format,
+    /// Frequency unit of the first column.
+    pub unit: FrequencyUnit,
+    /// Reference resistance in ohms.
+    pub resistance: f64,
+}
+
+impl Default for WriteOptions {
+    fn default() -> Self {
+        WriteOptions {
+            format: Format::Ri,
+            unit: FrequencyUnit::Hz,
+            resistance: 50.0,
+        }
+    }
+}
+
+/// Writes a sample set in Touchstone v1 format.
+///
+/// # Errors
+///
+/// Returns [`SamplingError::InconsistentData`] for non-square sample
+/// matrices (Touchstone describes n-ports) and propagates I/O failures.
+pub fn write<W: Write>(
+    mut w: W,
+    samples: &SampleSet,
+    options: WriteOptions,
+) -> Result<(), SamplingError> {
+    let (p, m) = samples.ports();
+    if p != m {
+        return Err(SamplingError::InconsistentData {
+            what: "touchstone requires square (n-port) matrices",
+        });
+    }
+    writeln!(w, "! exported by mfti-sampling")?;
+    writeln!(
+        w,
+        "# {} S {} R {}",
+        options.unit.keyword(),
+        match options.format {
+            Format::Ri => "RI",
+            Format::Ma => "MA",
+            Format::Db => "DB",
+        },
+        options.resistance
+    )?;
+    let mult = options.unit.multiplier();
+    for (f_hz, s) in samples.iter() {
+        write!(w, "{:.12e}", f_hz / mult)?;
+        for (i, j) in entry_order(p) {
+            let z = s[(i, j)];
+            let (a, b) = match options.format {
+                Format::Ri => (z.re, z.im),
+                Format::Ma => (z.abs(), z.arg().to_degrees()),
+                Format::Db => (20.0 * z.abs().log10(), z.arg().to_degrees()),
+            };
+            write!(w, " {a:.12e} {b:.12e}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a Touchstone v1 stream with a known port count.
+///
+/// # Errors
+///
+/// Returns [`SamplingError::Parse`] for malformed numbers, truncated
+/// records or unknown option keywords, and propagates I/O failures.
+pub fn read<R: Read>(r: R, ports: usize) -> Result<SampleSet, SamplingError> {
+    if ports == 0 {
+        return Err(SamplingError::InconsistentData {
+            what: "port count must be positive",
+        });
+    }
+    let reader = BufReader::new(r);
+    let mut unit = FrequencyUnit::default();
+    let mut format = Format::default();
+    let mut saw_options = false;
+    let mut tokens: Vec<(f64, usize)> = Vec::new(); // (value, source line)
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line?;
+        let body = match line.find('!') {
+            Some(pos) => &line[..pos],
+            None => &line[..],
+        };
+        let body = body.trim();
+        if body.is_empty() {
+            continue;
+        }
+        if let Some(rest) = body.strip_prefix('#') {
+            if saw_options {
+                continue; // later option lines are ignored (v1 behaviour)
+            }
+            saw_options = true;
+            let mut words = rest.split_whitespace().map(str::to_ascii_uppercase);
+            while let Some(word) = words.next() {
+                match word.as_str() {
+                    "HZ" => unit = FrequencyUnit::Hz,
+                    "KHZ" => unit = FrequencyUnit::KHz,
+                    "MHZ" => unit = FrequencyUnit::MHz,
+                    "GHZ" => unit = FrequencyUnit::GHz,
+                    "RI" => format = Format::Ri,
+                    "MA" => format = Format::Ma,
+                    "DB" => format = Format::Db,
+                    "S" | "Y" | "Z" | "G" | "H" => {} // parameter type: carried by caller
+                    "R" => {
+                        let _ = words.next(); // reference resistance value
+                    }
+                    other => {
+                        return Err(SamplingError::Parse {
+                            line: lineno,
+                            what: format!("unknown option keyword `{other}`"),
+                        })
+                    }
+                }
+            }
+            continue;
+        }
+        for tok in body.split_whitespace() {
+            let value = tok.parse::<f64>().map_err(|_| SamplingError::Parse {
+                line: lineno,
+                what: format!("not a number: `{tok}`"),
+            })?;
+            tokens.push((value, lineno));
+        }
+    }
+
+    let per_record = 1 + 2 * ports * ports;
+    if tokens.is_empty() || tokens.len() % per_record != 0 {
+        return Err(SamplingError::Parse {
+            line: tokens.last().map(|t| t.1).unwrap_or(0),
+            what: format!(
+                "token count {} is not a multiple of {per_record} (1 + 2·p²)",
+                tokens.len()
+            ),
+        });
+    }
+
+    let mult = unit.multiplier();
+    let order = entry_order(ports);
+    let mut freqs = Vec::new();
+    let mut mats = Vec::new();
+    for rec in tokens.chunks(per_record) {
+        freqs.push(rec[0].0 * mult);
+        let mut mat = CMatrix::zeros(ports, ports);
+        for (slot, &(i, j)) in order.iter().enumerate() {
+            let a = rec[1 + 2 * slot].0;
+            let b = rec[2 + 2 * slot].0;
+            mat[(i, j)] = decode(format, a, b);
+        }
+        mats.push(mat);
+    }
+    SampleSet::from_parts(freqs, mats)
+}
+
+fn decode(format: Format, a: f64, b: f64) -> Complex {
+    match format {
+        Format::Ri => c64(a, b),
+        Format::Ma => Complex::from_polar(a, b.to_radians()),
+        Format::Db => Complex::from_polar(10f64.powf(a / 20.0), b.to_radians()),
+    }
+}
+
+/// Entry order used on disk: row-major for every port count except the
+/// historical 2-port quirk (`S11 S21 S12 S22`).
+fn entry_order(ports: usize) -> Vec<(usize, usize)> {
+    if ports == 2 {
+        vec![(0, 0), (1, 0), (0, 1), (1, 1)]
+    } else {
+        (0..ports)
+            .flat_map(|i| (0..ports).map(move |j| (i, j)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set(k: usize, n: usize) -> SampleSet {
+        let freqs: Vec<f64> = (1..=k).map(|i| i as f64 * 1e9).collect();
+        let mats: Vec<CMatrix> = (0..k)
+            .map(|t| {
+                CMatrix::from_fn(n, n, |i, j| {
+                    c64(
+                        (t + i) as f64 * 0.1 - j as f64 * 0.05,
+                        (t * 7 + i * 3 + j) as f64 * 0.01 - 0.1,
+                    )
+                })
+            })
+            .collect();
+        SampleSet::from_parts(freqs, mats).unwrap()
+    }
+
+    fn roundtrip(set: &SampleSet, opts: WriteOptions) -> SampleSet {
+        let mut buf = Vec::new();
+        write(&mut buf, set, opts).unwrap();
+        read(buf.as_slice(), set.ports().0).unwrap()
+    }
+
+    #[test]
+    fn ri_roundtrip_is_exact_within_print_precision() {
+        let set = sample_set(4, 3);
+        let back = roundtrip(&set, WriteOptions::default());
+        assert_eq!(back.len(), set.len());
+        for ((f1, a), (f2, b)) in set.iter().zip(back.iter()) {
+            assert!((f1 - f2).abs() < 1e-3);
+            assert!((&(b.clone()) - a).max_abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ma_and_db_formats_roundtrip() {
+        let set = sample_set(3, 2);
+        for format in [Format::Ma, Format::Db] {
+            let back = roundtrip(
+                &set,
+                WriteOptions {
+                    format,
+                    unit: FrequencyUnit::GHz,
+                    resistance: 75.0,
+                },
+            );
+            for ((_, a), (_, b)) in set.iter().zip(back.iter()) {
+                assert!(
+                    (&(b.clone()) - a).max_abs() < 1e-9,
+                    "roundtrip failed for {format:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_port_quirk_order_is_used() {
+        // Write a 2-port set, check that token 2 (after frequency) is S21.
+        let set = sample_set(1, 2);
+        let mut buf = Vec::new();
+        write(&mut buf, &set, WriteOptions::default()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let data_line = text.lines().last().unwrap();
+        let toks: Vec<f64> = data_line
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        let s21 = set.matrices()[0][(1, 0)];
+        assert!((toks[3] - s21.re).abs() < 1e-12);
+        assert!((toks[4] - s21.im).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comments_and_wrapped_lines_are_tolerated() {
+        let text = "! header comment\n\
+                    # MHZ S RI R 50\n\
+                    1.0 0.5 -0.25 ! trailing comment\n\
+                    \n\
+                    2.0\n\
+                    0.25 0.125\n";
+        let set = read(text.as_bytes(), 1).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!((set.freqs_hz()[0] - 1e6).abs() < 1e-6);
+        assert_eq!(set.matrices()[1][(0, 0)], c64(0.25, 0.125));
+    }
+
+    #[test]
+    fn option_defaults_are_ghz_ma() {
+        // No option line: Touchstone defaults GHz / MA.
+        let text = "1.0 1.0 0.0\n";
+        let set = read(text.as_bytes(), 1).unwrap();
+        assert!((set.freqs_hz()[0] - 1e9).abs() < 1.0);
+        assert_eq!(set.matrices()[0][(0, 0)], c64(1.0, 0.0));
+    }
+
+    #[test]
+    fn malformed_input_is_reported_with_line_numbers() {
+        let bad_number = "# HZ S RI R 50\n1.0 abc 0.0\n";
+        match read(bad_number.as_bytes(), 1) {
+            Err(SamplingError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let truncated = "# HZ S RI R 50\n1.0 0.5\n";
+        assert!(matches!(
+            read(truncated.as_bytes(), 1),
+            Err(SamplingError::Parse { .. })
+        ));
+        let unknown = "# HZ S XYZ R 50\n";
+        assert!(matches!(
+            read(unknown.as_bytes(), 1),
+            Err(SamplingError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_write_is_rejected() {
+        let set = SampleSet::from_parts(vec![1.0], vec![CMatrix::zeros(2, 3)]).unwrap();
+        assert!(matches!(
+            write(Vec::new(), &set, WriteOptions::default()),
+            Err(SamplingError::InconsistentData { .. })
+        ));
+    }
+}

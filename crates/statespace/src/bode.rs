@@ -1,0 +1,181 @@
+//! Bode-diagram extraction (magnitude/phase series over a log-frequency
+//! grid), used to regenerate the paper's Fig. 2.
+
+use crate::error::StateSpaceError;
+use crate::transfer::TransferFunction;
+
+/// One point of a Bode diagram for a single `(output, input)` entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodePoint {
+    /// Frequency in hertz.
+    pub f_hz: f64,
+    /// `|H_ij(j2πf)|` (linear, not dB).
+    pub magnitude: f64,
+    /// Phase in degrees, in `(−180, 180]`.
+    pub phase_deg: f64,
+}
+
+impl BodePoint {
+    /// Magnitude in decibels `20·log10|H|`.
+    pub fn magnitude_db(&self) -> f64 {
+        20.0 * self.magnitude.log10()
+    }
+}
+
+/// Logarithmically spaced frequency grid over `[f_lo, f_hi]` hertz
+/// (inclusive of both endpoints).
+///
+/// # Panics
+///
+/// Panics when `f_lo <= 0`, `f_hi <= f_lo` or `points < 2`.
+///
+/// ```
+/// let g = mfti_statespace::bode::log_grid(1.0, 100.0, 3);
+/// assert_eq!(g, vec![1.0, 10.0, 100.0]);
+/// ```
+pub fn log_grid(f_lo: f64, f_hi: f64, points: usize) -> Vec<f64> {
+    assert!(f_lo > 0.0 && f_hi > f_lo, "need 0 < f_lo < f_hi");
+    assert!(points >= 2, "need at least two grid points");
+    let l0 = f_lo.log10();
+    let l1 = f_hi.log10();
+    (0..points)
+        .map(|i| 10f64.powf(l0 + (l1 - l0) * i as f64 / (points - 1) as f64))
+        .collect()
+}
+
+/// Bode series of entry `(out, inp)` of `H` over the given grid.
+///
+/// # Errors
+///
+/// Fails if evaluation hits a pole (purely imaginary poles on the grid).
+///
+/// ```
+/// use mfti_statespace::{bode, DescriptorSystem};
+/// use mfti_numeric::RMatrix;
+///
+/// # fn main() -> Result<(), mfti_statespace::StateSpaceError> {
+/// let sys = DescriptorSystem::from_state_space(
+///     RMatrix::from_diag(&[-100.0]),
+///     RMatrix::col_vector(&[100.0]),
+///     RMatrix::row_vector(&[1.0]),
+///     RMatrix::zeros(1, 1),
+/// )?;
+/// let series = bode::bode_series(&sys, &bode::log_grid(0.1, 1e4, 61), 0, 0)?;
+/// // Low-pass: flat at DC, rolling off at high frequency.
+/// assert!(series.first().unwrap().magnitude > 0.99);
+/// assert!(series.last().unwrap().magnitude < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bode_series<T: TransferFunction>(
+    sys: &T,
+    freqs_hz: &[f64],
+    out: usize,
+    inp: usize,
+) -> Result<Vec<BodePoint>, StateSpaceError> {
+    assert!(out < sys.outputs(), "output index out of range");
+    assert!(inp < sys.inputs(), "input index out of range");
+    freqs_hz
+        .iter()
+        .map(|&f| {
+            let h = sys.response_at_hz(f)?;
+            let z = h[(out, inp)];
+            Ok(BodePoint {
+                f_hz: f,
+                magnitude: z.abs(),
+                phase_deg: z.arg().to_degrees(),
+            })
+        })
+        .collect()
+}
+
+/// Worst-case relative deviation between two transfer functions on a grid,
+/// `max_f ‖H₁ − H₂‖₂ / ‖H₂‖₂` — the headline number quoted when comparing
+/// a recovered model against the original system (Fig. 2's "fits well").
+///
+/// # Errors
+///
+/// Fails if either evaluation hits a pole.
+pub fn max_relative_deviation<A: TransferFunction, B: TransferFunction>(
+    fitted: &A,
+    reference: &B,
+    freqs_hz: &[f64],
+) -> Result<f64, StateSpaceError> {
+    let mut worst = 0.0f64;
+    for &f in freqs_hz {
+        let h1 = fitted.response_at_hz(f)?;
+        let h2 = reference.response_at_hz(f)?;
+        let denom = h2.norm_2().max(f64::MIN_POSITIVE);
+        worst = worst.max((&h1 - &h2).norm_2() / denom);
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::DescriptorSystem;
+    use mfti_numeric::RMatrix;
+
+    fn lowpass(corner_hz: f64) -> DescriptorSystem<f64> {
+        let w = std::f64::consts::TAU * corner_hz;
+        DescriptorSystem::from_state_space(
+            RMatrix::from_diag(&[-w]),
+            RMatrix::col_vector(&[w]),
+            RMatrix::row_vector(&[1.0]),
+            RMatrix::zeros(1, 1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn log_grid_endpoints_and_monotonicity() {
+        let g = log_grid(1e1, 1e5, 41);
+        assert_eq!(g.len(), 41);
+        assert!((g[0] - 10.0).abs() < 1e-9);
+        assert!((g[40] - 1e5).abs() < 1e-6);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < f_lo")]
+    fn log_grid_rejects_zero_start() {
+        let _ = log_grid(0.0, 10.0, 5);
+    }
+
+    #[test]
+    fn bode_of_lowpass_has_minus_3db_corner() {
+        let sys = lowpass(1000.0);
+        let pts = bode_series(&sys, &[1000.0], 0, 0).unwrap();
+        assert!((pts[0].magnitude_db() + 3.0103).abs() < 0.01);
+        assert!((pts[0].phase_deg + 45.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn max_relative_deviation_of_identical_systems_is_zero() {
+        let sys = lowpass(10.0);
+        let dev = max_relative_deviation(&sys, &sys, &log_grid(1.0, 100.0, 11)).unwrap();
+        assert!(dev < 1e-15);
+    }
+
+    #[test]
+    fn max_relative_deviation_detects_gain_error() {
+        let a = lowpass(10.0);
+        let b = DescriptorSystem::from_state_space(
+            RMatrix::from_diag(&[-std::f64::consts::TAU * 10.0]),
+            RMatrix::col_vector(&[std::f64::consts::TAU * 10.0 * 2.0]), // 2x gain
+            RMatrix::row_vector(&[1.0]),
+            RMatrix::zeros(1, 1),
+        )
+        .unwrap();
+        let dev = max_relative_deviation(&b, &a, &log_grid(0.1, 1.0, 5)).unwrap();
+        assert!((dev - 1.0).abs() < 0.05, "2x gain ⇒ 100% deviation, got {dev}");
+    }
+
+    #[test]
+    #[should_panic(expected = "output index")]
+    fn bode_series_checks_entry_indices() {
+        let sys = lowpass(1.0);
+        let _ = bode_series(&sys, &[1.0], 1, 0);
+    }
+}

@@ -1,0 +1,88 @@
+use std::error::Error;
+use std::fmt;
+
+use mfti_numeric::NumericError;
+
+/// Errors produced when building or evaluating system models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StateSpaceError {
+    /// The five state-space matrices have inconsistent dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the inconsistency.
+        what: &'static str,
+    },
+    /// The transfer function could not be evaluated at `s` because
+    /// `sE − A` is singular (`s` is a pole or the pencil is singular).
+    EvaluationAtPole {
+        /// Real part of the offending point.
+        re: f64,
+        /// Imaginary part of the offending point.
+        im: f64,
+    },
+    /// The model is not closed under conjugation, so no real realization
+    /// exists.
+    NotConjugateSymmetric,
+    /// A matrix expected to be real (within tolerance) had significant
+    /// imaginary parts.
+    NotReal {
+        /// Largest imaginary magnitude encountered.
+        max_imag: f64,
+    },
+    /// An underlying linear-algebra kernel failed.
+    Numeric(NumericError),
+}
+
+impl fmt::Display for StateSpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateSpaceError::DimensionMismatch { what } => {
+                write!(f, "inconsistent model dimensions: {what}")
+            }
+            StateSpaceError::EvaluationAtPole { re, im } => {
+                write!(f, "transfer function evaluated at a pole: s = {re}+{im}i")
+            }
+            StateSpaceError::NotConjugateSymmetric => {
+                write!(f, "model is not closed under complex conjugation")
+            }
+            StateSpaceError::NotReal { max_imag } => {
+                write!(f, "matrix is not real: largest imaginary part {max_imag:e}")
+            }
+            StateSpaceError::Numeric(e) => write!(f, "numeric kernel failed: {e}"),
+        }
+    }
+}
+
+impl Error for StateSpaceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StateSpaceError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for StateSpaceError {
+    fn from(e: NumericError) -> Self {
+        StateSpaceError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StateSpaceError::EvaluationAtPole { re: 0.0, im: 1.0 };
+        assert!(e.to_string().contains("pole"));
+        let e = StateSpaceError::Numeric(NumericError::Singular { op: "lu solve" });
+        assert!(e.to_string().contains("lu solve"));
+    }
+
+    #[test]
+    fn numeric_errors_convert_and_chain() {
+        let e: StateSpaceError = NumericError::Singular { op: "x" }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

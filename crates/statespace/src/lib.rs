@@ -1,0 +1,66 @@
+//! Descriptor state-space systems and pole–residue rational models.
+//!
+//! The MFTI paper identifies a descriptor system
+//!
+//! ```text
+//! E ẋ = A x + B u,    y = C x + D u,    H(s) = C (sE − A)⁻¹ B + D
+//! ```
+//!
+//! from frequency samples of its transfer function. This crate provides
+//! the model classes shared by every algorithm in the workspace:
+//!
+//! * [`DescriptorSystem`] — possibly-singular-`E` state-space models
+//!   (the output of MFTI/VFTI and the "original system" of the paper's
+//!   Example 1),
+//! * [`RationalModel`] — common-pole pole–residue models (the output of
+//!   vector fitting), convertible to a real descriptor realization,
+//! * [`TransferFunction`] — the evaluation interface all fitting
+//!   algorithms and error metrics are written against,
+//! * [`bode`] — Bode-diagram extraction helpers used to regenerate the
+//!   paper's Fig. 2.
+//!
+//! # Example
+//!
+//! ```
+//! use mfti_statespace::{DescriptorSystem, TransferFunction};
+//! use mfti_numeric::{RMatrix, c64};
+//!
+//! # fn main() -> Result<(), mfti_statespace::StateSpaceError> {
+//! // 1st-order low-pass: H(s) = 1 / (1 + s)
+//! let sys = DescriptorSystem::from_state_space(
+//!     RMatrix::from_diag(&[-1.0]),
+//!     RMatrix::col_vector(&[1.0]),
+//!     RMatrix::row_vector(&[1.0]),
+//!     RMatrix::zeros(1, 1),
+//! )?;
+//! let h = sys.eval(c64(0.0, 1.0))?; // at ω = 1 rad/s
+//! assert!((h[(0, 0)].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod bode;
+mod descriptor;
+mod error;
+pub mod passivity;
+mod rational;
+pub mod simulation;
+mod transfer;
+
+pub use descriptor::DescriptorSystem;
+pub use error::StateSpaceError;
+pub use rational::{complex_residue, RationalModel};
+pub use transfer::TransferFunction;
+
+/// Converts a frequency in hertz to the Laplace variable `s = j2πf`.
+///
+/// ```
+/// let s = mfti_statespace::s_at_hz(1.0);
+/// assert!((s.im - std::f64::consts::TAU).abs() < 1e-12 && s.re == 0.0);
+/// ```
+pub fn s_at_hz(f_hz: f64) -> mfti_numeric::Complex {
+    mfti_numeric::c64(0.0, std::f64::consts::TAU * f_hz)
+}

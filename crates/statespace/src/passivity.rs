@@ -1,0 +1,127 @@
+//! Passivity screening for scattering-parameter macromodels.
+//!
+//! A scattering representation is passive iff `‖S(jω)‖₂ ≤ 1` for all ω
+//! (bounded realness). Fitted macromodels can violate this between
+//! interpolation points even when the data were passive, so downstream
+//! SPICE co-simulation flows screen models on a dense grid before use.
+//! This module provides that screen; full LMI/Hamiltonian certification
+//! is out of scope for the paper's pipeline (listed as future work in
+//! DESIGN.md).
+
+use crate::error::StateSpaceError;
+use crate::transfer::TransferFunction;
+
+/// Result of a grid passivity screen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassivityReport {
+    /// Largest `‖S(jω)‖₂` seen on the grid.
+    pub max_gain: f64,
+    /// Frequency (Hz) where the maximum occurred.
+    pub worst_f_hz: f64,
+    /// Frequencies where `‖S‖₂ > 1 + tol` (violations).
+    pub violations: Vec<f64>,
+}
+
+impl PassivityReport {
+    /// `true` when no grid point violated the unit-gain bound.
+    pub fn is_passive(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Screens a scattering-parameter model on a frequency grid.
+///
+/// `tol` is the allowed overshoot (e.g. `1e-6` absorbs roundoff).
+///
+/// # Errors
+///
+/// Propagates evaluation failures (a grid point on a pole).
+///
+/// ```
+/// use mfti_statespace::passivity::check_on_grid;
+/// use mfti_statespace::DescriptorSystem;
+/// use mfti_numeric::RMatrix;
+///
+/// # fn main() -> Result<(), mfti_statespace::StateSpaceError> {
+/// // H(s) = 0.5/(s+1): gain ≤ 0.5 < 1 everywhere — passive.
+/// let sys = DescriptorSystem::from_state_space(
+///     RMatrix::from_diag(&[-1.0]),
+///     RMatrix::col_vector(&[1.0]),
+///     RMatrix::row_vector(&[0.5]),
+///     RMatrix::zeros(1, 1),
+/// )?;
+/// let report = check_on_grid(&sys, &[0.01, 0.1, 1.0, 10.0], 1e-9)?;
+/// assert!(report.is_passive());
+/// assert!(report.max_gain <= 0.5 + 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn check_on_grid<T: TransferFunction>(
+    model: &T,
+    freqs_hz: &[f64],
+    tol: f64,
+) -> Result<PassivityReport, StateSpaceError> {
+    let mut max_gain = 0.0f64;
+    let mut worst_f_hz = freqs_hz.first().copied().unwrap_or(0.0);
+    let mut violations = Vec::new();
+    for &f in freqs_hz {
+        let gain = model.response_at_hz(f)?.norm_2();
+        if gain > max_gain {
+            max_gain = gain;
+            worst_f_hz = f;
+        }
+        if gain > 1.0 + tol {
+            violations.push(f);
+        }
+    }
+    Ok(PassivityReport {
+        max_gain,
+        worst_f_hz,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::DescriptorSystem;
+    use mfti_numeric::RMatrix;
+
+    fn gain_system(g: f64) -> DescriptorSystem<f64> {
+        DescriptorSystem::from_state_space(
+            RMatrix::from_diag(&[-1.0]),
+            RMatrix::col_vector(&[1.0]),
+            RMatrix::row_vector(&[g]),
+            RMatrix::zeros(1, 1),
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn passive_system_passes() {
+        let report = check_on_grid(&gain_system(0.9), &[0.01, 0.1, 1.0], 1e-9).unwrap();
+        assert!(report.is_passive());
+        assert!(report.max_gain < 0.91);
+    }
+
+    #[test]
+    fn active_system_is_flagged_with_worst_frequency() {
+        // DC gain 2 > 1 — violation at low frequency, decaying with ω.
+        let report =
+            check_on_grid(&gain_system(2.0), &[0.001, 0.01, 1.0, 100.0], 1e-9).unwrap();
+        assert!(!report.is_passive());
+        assert!(report.max_gain > 1.9);
+        assert!(report.worst_f_hz <= 0.01);
+        assert!(!report.violations.is_empty());
+        // High-frequency points roll off below 1 and are not violations.
+        assert!(!report.violations.contains(&100.0));
+    }
+
+    #[test]
+    fn tolerance_absorbs_marginal_overshoot() {
+        let report = check_on_grid(&gain_system(1.0 + 1e-9), &[1e-6], 1e-6).unwrap();
+        assert!(report.is_passive());
+        let strict = check_on_grid(&gain_system(1.0 + 1e-3), &[1e-6], 1e-6).unwrap();
+        assert!(!strict.is_passive());
+    }
+}

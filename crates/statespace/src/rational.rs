@@ -1,0 +1,423 @@
+use mfti_numeric::{CMatrix, Complex, RMatrix};
+
+use crate::descriptor::DescriptorSystem;
+use crate::error::StateSpaceError;
+use crate::transfer::TransferFunction;
+
+/// A common-pole pole–residue model
+/// `H(s) = D + Σ_k R_k / (s − p_k)` with matrix residues `R_k ∈ ℂ^{p×m}`.
+///
+/// This is the native output format of vector fitting (the paper's VF
+/// baseline) and a convenient intermediate for building synthetic
+/// benchmark systems with prescribed modal structure.
+///
+/// ```
+/// use mfti_statespace::{RationalModel, TransferFunction};
+/// use mfti_numeric::{c64, CMatrix, Complex};
+///
+/// # fn main() -> Result<(), mfti_statespace::StateSpaceError> {
+/// // H(s) = 1/(s+1): one real pole, residue 1.
+/// let model = RationalModel::new(
+///     vec![c64(-1.0, 0.0)],
+///     vec![CMatrix::identity(1)],
+///     CMatrix::zeros(1, 1),
+/// )?;
+/// let dc = model.eval(Complex::ZERO)?;
+/// assert!((dc[(0, 0)].re - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RationalModel {
+    poles: Vec<Complex>,
+    residues: Vec<CMatrix>,
+    d: CMatrix,
+}
+
+impl RationalModel {
+    /// Builds a pole–residue model, validating dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::DimensionMismatch`] when the number of
+    /// residues differs from the number of poles or residue shapes are
+    /// inconsistent with `d`.
+    pub fn new(
+        poles: Vec<Complex>,
+        residues: Vec<CMatrix>,
+        d: CMatrix,
+    ) -> Result<Self, StateSpaceError> {
+        if poles.len() != residues.len() {
+            return Err(StateSpaceError::DimensionMismatch {
+                what: "one residue matrix per pole required",
+            });
+        }
+        if residues.iter().any(|r| r.dims() != d.dims()) {
+            return Err(StateSpaceError::DimensionMismatch {
+                what: "all residues must share the p×m shape of D",
+            });
+        }
+        Ok(RationalModel { poles, residues, d })
+    }
+
+    /// The common poles.
+    pub fn poles(&self) -> &[Complex] {
+        &self.poles
+    }
+
+    /// The matrix residues (one per pole).
+    pub fn residues(&self) -> &[CMatrix] {
+        &self.residues
+    }
+
+    /// The constant (feed-through) term `D`.
+    pub fn d(&self) -> &CMatrix {
+        &self.d
+    }
+
+    /// Number of poles (what the paper's Table 1 reports as the VF
+    /// "reduced order").
+    pub fn order(&self) -> usize {
+        self.poles.len()
+    }
+
+    /// `true` when all poles have strictly negative real parts.
+    pub fn is_stable(&self) -> bool {
+        self.poles.iter().all(|p| p.re < 0.0)
+    }
+
+    /// Reflects unstable poles into the left half-plane (the standard
+    /// vector-fitting stabilization step), leaving residues untouched.
+    pub fn flip_unstable_poles(&mut self) {
+        for p in &mut self.poles {
+            if p.re > 0.0 {
+                p.re = -p.re;
+            }
+        }
+    }
+
+    /// Checks closure under conjugation within `tol`: every complex pole
+    /// has a conjugate partner with conjugated residue, and (near-)real
+    /// poles carry (near-)real residues. A model with this property has a
+    /// real transfer function on the real axis and admits a real
+    /// state-space realization.
+    pub fn is_conjugate_symmetric(&self, tol: f64) -> bool {
+        let scale = self
+            .poles
+            .iter()
+            .map(|p| p.abs())
+            .fold(1.0f64, f64::max);
+        let mut used = vec![false; self.poles.len()];
+        for i in 0..self.poles.len() {
+            if used[i] {
+                continue;
+            }
+            let p = self.poles[i];
+            if p.im.abs() <= tol * scale {
+                if !self.residues[i].is_real_within(tol * self.residues[i].max_abs().max(1.0)) {
+                    return false;
+                }
+                used[i] = true;
+                continue;
+            }
+            // Find the conjugate partner.
+            let mut found = false;
+            for j in i + 1..self.poles.len() {
+                if used[j] {
+                    continue;
+                }
+                if (self.poles[j] - p.conj()).abs() <= tol * scale {
+                    let rdiff = (&self.residues[j] - &self.residues[i].conj()).max_abs();
+                    if rdiff <= tol * self.residues[i].max_abs().max(1.0) {
+                        used[i] = true;
+                        used[j] = true;
+                        found = true;
+                        break;
+                    }
+                }
+            }
+            if !found {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Converts to a **real** state-space realization (`E = I`).
+    ///
+    /// Real poles contribute `m` states each (`A`-block `p·I_m`), complex
+    /// conjugate pairs contribute `2m` states with the standard
+    /// `[[σI, ωI], [−ωI, σI]]` block; the realization order is therefore
+    /// `m·(#real + 2·#pairs)`, larger than [`RationalModel::order`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateSpaceError::NotConjugateSymmetric`] when the model
+    /// is not closed under conjugation within `tol`.
+    pub fn to_state_space(&self, tol: f64) -> Result<DescriptorSystem<f64>, StateSpaceError> {
+        if !self.is_conjugate_symmetric(tol) {
+            return Err(StateSpaceError::NotConjugateSymmetric);
+        }
+        let (p_out, m_in) = self.d.dims();
+        let scale = self
+            .poles
+            .iter()
+            .map(|p| p.abs())
+            .fold(1.0f64, f64::max);
+
+        let mut a_blocks: Vec<RMatrix> = Vec::new();
+        let mut b_blocks: Vec<RMatrix> = Vec::new();
+        let mut c_blocks: Vec<RMatrix> = Vec::new();
+        let mut used = vec![false; self.poles.len()];
+
+        for i in 0..self.poles.len() {
+            if used[i] {
+                continue;
+            }
+            let p = self.poles[i];
+            if p.im.abs() <= tol * scale {
+                // Real pole: A-block = p·I_m, B = I_m, C = Re(R).
+                used[i] = true;
+                a_blocks.push(&RMatrix::identity(m_in) * p.re);
+                b_blocks.push(RMatrix::identity(m_in));
+                c_blocks.push(self.residues[i].real_part());
+            } else {
+                // Complex pair: find the partner (guaranteed by the
+                // symmetry check above).
+                let j = (i + 1..self.poles.len())
+                    .find(|&j| !used[j] && (self.poles[j] - p.conj()).abs() <= tol * scale)
+                    .expect("checked by is_conjugate_symmetric");
+                used[i] = true;
+                used[j] = true;
+                let sigma = p.re;
+                let omega = p.im;
+                let mut a = RMatrix::zeros(2 * m_in, 2 * m_in);
+                for k in 0..m_in {
+                    a[(k, k)] = sigma;
+                    a[(k, m_in + k)] = omega;
+                    a[(m_in + k, k)] = -omega;
+                    a[(m_in + k, m_in + k)] = sigma;
+                }
+                let mut b = RMatrix::zeros(2 * m_in, m_in);
+                for k in 0..m_in {
+                    b[(k, k)] = 1.0;
+                }
+                let re = self.residues[i].real_part();
+                let im = self.residues[i].imag_part();
+                let c = RMatrix::hstack(&[&re.scale(2.0), &im.scale(2.0)])
+                    .expect("blocks share p rows");
+                a_blocks.push(a);
+                b_blocks.push(b);
+                c_blocks.push(c);
+            }
+        }
+
+        let (a, b, c) = if a_blocks.is_empty() {
+            (RMatrix::zeros(0, 0), RMatrix::zeros(0, m_in), RMatrix::zeros(p_out, 0))
+        } else {
+            let a_refs: Vec<&RMatrix> = a_blocks.iter().collect();
+            let b_refs: Vec<&RMatrix> = b_blocks.iter().collect();
+            let c_refs: Vec<&RMatrix> = c_blocks.iter().collect();
+            (
+                RMatrix::block_diag(&a_refs).expect("non-empty"),
+                RMatrix::vstack(&b_refs).expect("equal m columns"),
+                RMatrix::hstack(&c_refs).expect("equal p rows"),
+            )
+        };
+        DescriptorSystem::from_state_space(a, b, c, self.d.real_part())
+    }
+}
+
+impl TransferFunction for RationalModel {
+    fn outputs(&self) -> usize {
+        self.d.rows()
+    }
+
+    fn inputs(&self) -> usize {
+        self.d.cols()
+    }
+
+    fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError> {
+        let (p, m) = self.d.dims();
+        let mut h = self.d.clone();
+        for (pole, res) in self.poles.iter().zip(&self.residues) {
+            let denom = s - *pole;
+            if denom.abs() == 0.0 {
+                return Err(StateSpaceError::EvaluationAtPole { re: s.re, im: s.im });
+            }
+            let w = denom.recip();
+            for i in 0..p {
+                for j in 0..m {
+                    let inc = res[(i, j)] * w;
+                    h[(i, j)] += inc;
+                }
+            }
+        }
+        Ok(h)
+    }
+}
+
+/// Builds the residue pair `(R, conj(R))` helper for synthetic systems:
+/// given a real gain matrix and a phase, returns a complex residue.
+///
+/// ```
+/// use mfti_numeric::RMatrix;
+/// let r = mfti_statespace::complex_residue(&RMatrix::identity(2), 0.5);
+/// assert_eq!(r.dims(), (2, 2));
+/// ```
+pub fn complex_residue(gain: &RMatrix, phase: f64) -> CMatrix {
+    let w = Complex::from_polar(1.0, phase);
+    gain.map(|g| w.scale(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_numeric::c64;
+
+    fn one_by_one(z: Complex) -> CMatrix {
+        CMatrix::from_rows(&[vec![z]]).unwrap()
+    }
+
+    fn simple_pair_model() -> RationalModel {
+        // Conjugate pair at −1 ± 2i with residues (1∓1i)/2 … conjugated.
+        let p = c64(-1.0, 2.0);
+        let r = one_by_one(c64(0.5, -0.5));
+        RationalModel::new(
+            vec![p, p.conj()],
+            vec![r.clone(), r.conj()],
+            CMatrix::zeros(1, 1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_mismatches() {
+        assert!(RationalModel::new(
+            vec![c64(-1.0, 0.0)],
+            vec![],
+            CMatrix::zeros(1, 1)
+        )
+        .is_err());
+        assert!(RationalModel::new(
+            vec![c64(-1.0, 0.0)],
+            vec![CMatrix::zeros(2, 2)],
+            CMatrix::zeros(1, 1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn eval_matches_partial_fractions_by_hand() {
+        let m = simple_pair_model();
+        let s = c64(0.0, 1.0);
+        let want = c64(0.5, -0.5) / (s - c64(-1.0, 2.0)) + c64(0.5, 0.5) / (s - c64(-1.0, -2.0));
+        let got = m.eval(s).unwrap()[(0, 0)];
+        assert!((got - want).abs() < 1e-14);
+    }
+
+    #[test]
+    fn conjugate_symmetric_model_is_real_on_real_axis() {
+        let m = simple_pair_model();
+        assert!(m.is_conjugate_symmetric(1e-12));
+        let h = m.eval(c64(0.5, 0.0)).unwrap()[(0, 0)];
+        assert!(h.im.abs() < 1e-14);
+    }
+
+    #[test]
+    fn asymmetric_model_is_detected() {
+        let m = RationalModel::new(
+            vec![c64(-1.0, 2.0)],
+            vec![one_by_one(c64(1.0, 0.0))],
+            CMatrix::zeros(1, 1),
+        )
+        .unwrap();
+        assert!(!m.is_conjugate_symmetric(1e-12));
+        assert!(matches!(
+            m.to_state_space(1e-12),
+            Err(StateSpaceError::NotConjugateSymmetric)
+        ));
+    }
+
+    #[test]
+    fn state_space_realization_matches_rational_eval() {
+        let m = simple_pair_model();
+        let ss = m.to_state_space(1e-12).unwrap();
+        assert_eq!(ss.order(), 2); // one pair × m=1 inputs × 2
+        for &f in &[0.01, 0.1, 1.0, 10.0] {
+            let s = crate::s_at_hz(f);
+            let h1 = m.eval(s).unwrap();
+            let h2 = ss.eval(s).unwrap();
+            assert!(
+                (&h1 - &h2).max_abs() < 1e-12,
+                "mismatch at {f} Hz: {h1:?} vs {h2:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn real_pole_realization_matches() {
+        let m = RationalModel::new(
+            vec![c64(-3.0, 0.0)],
+            vec![one_by_one(c64(2.0, 0.0))],
+            one_by_one(c64(0.5, 0.0)),
+        )
+        .unwrap();
+        let ss = m.to_state_space(1e-12).unwrap();
+        assert_eq!(ss.order(), 1);
+        let s = c64(1.0, 1.0);
+        assert!((m.eval(s).unwrap()[(0, 0)] - ss.eval(s).unwrap()[(0, 0)]).abs() < 1e-13);
+    }
+
+    #[test]
+    fn mimo_realization_matches() {
+        // 2x2 residues on a conjugate pair plus a real pole.
+        let p = c64(-0.5, 3.0);
+        let r = CMatrix::from_rows(&[
+            vec![c64(1.0, 0.2), c64(0.1, -0.3)],
+            vec![c64(-0.4, 0.5), c64(0.8, 0.0)],
+        ])
+        .unwrap();
+        let r_real = CMatrix::from_rows(&[
+            vec![c64(0.3, 0.0), c64(0.0, 0.0)],
+            vec![c64(0.1, 0.0), c64(-0.2, 0.0)],
+        ])
+        .unwrap();
+        let m = RationalModel::new(
+            vec![p, p.conj(), c64(-2.0, 0.0)],
+            vec![r.clone(), r.conj(), r_real],
+            CMatrix::identity(2),
+        )
+        .unwrap();
+        let ss = m.to_state_space(1e-12).unwrap();
+        assert_eq!(ss.order(), 2 * 2 + 2); // pair: 2m=4, real pole: m=2
+        for &f in &[0.0, 0.3, 2.0] {
+            let s = crate::s_at_hz(f);
+            let diff = (&m.eval(s).unwrap() - &ss.eval(s).unwrap()).max_abs();
+            assert!(diff < 1e-12, "mismatch at {f} Hz: {diff}");
+        }
+    }
+
+    #[test]
+    fn flip_unstable_poles_stabilizes() {
+        let mut m = RationalModel::new(
+            vec![c64(1.0, 2.0), c64(1.0, -2.0)],
+            vec![one_by_one(c64(1.0, 0.0)), one_by_one(c64(1.0, 0.0))],
+            CMatrix::zeros(1, 1),
+        )
+        .unwrap();
+        assert!(!m.is_stable());
+        m.flip_unstable_poles();
+        assert!(m.is_stable());
+        assert!((m.poles()[0] - c64(-1.0, 2.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eval_at_pole_is_an_error() {
+        let m = simple_pair_model();
+        assert!(matches!(
+            m.eval(c64(-1.0, 2.0)),
+            Err(StateSpaceError::EvaluationAtPole { .. })
+        ));
+    }
+}

@@ -1,0 +1,106 @@
+use mfti_numeric::{CMatrix, Complex};
+
+use crate::error::StateSpaceError;
+use crate::s_at_hz;
+
+/// Anything that can be evaluated as a `p × m` matrix transfer function
+/// `H(s)`.
+///
+/// The fitting algorithms, error metrics, Bode helpers and sampling
+/// machinery are all written against this trait, so descriptor systems,
+/// pole–residue models and (in tests) closed-form functions are
+/// interchangeable.
+pub trait TransferFunction {
+    /// Number of outputs `p` (rows of `H`).
+    fn outputs(&self) -> usize;
+
+    /// Number of inputs `m` (columns of `H`).
+    fn inputs(&self) -> usize;
+
+    /// Evaluates `H(s)` at a point of the complex plane.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`StateSpaceError::EvaluationAtPole`] when
+    /// `s` coincides with a pole (or the pencil is singular there).
+    fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError>;
+
+    /// Evaluates `H(j2πf)` at a frequency in hertz.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TransferFunction::eval`].
+    fn response_at_hz(&self, f_hz: f64) -> Result<CMatrix, StateSpaceError> {
+        self.eval(s_at_hz(f_hz))
+    }
+
+    /// Evaluates the response on a whole frequency grid (hertz).
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first frequency that coincides with a pole.
+    fn frequency_response(&self, freqs_hz: &[f64]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        freqs_hz.iter().map(|&f| self.response_at_hz(f)).collect()
+    }
+}
+
+impl<T: TransferFunction + ?Sized> TransferFunction for &T {
+    fn outputs(&self) -> usize {
+        (**self).outputs()
+    }
+    fn inputs(&self) -> usize {
+        (**self).inputs()
+    }
+    fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError> {
+        (**self).eval(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_numeric::c64;
+
+    /// Closed-form H(s) = [[1/(s+1)]] used to validate the default methods.
+    #[derive(Debug)]
+    struct LowPass;
+
+    impl TransferFunction for LowPass {
+        fn outputs(&self) -> usize {
+            1
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError> {
+            let h = (s + 1.0).recip();
+            Ok(CMatrix::from_rows(&[vec![h]]).expect("1x1"))
+        }
+    }
+
+    #[test]
+    fn response_at_hz_uses_j_two_pi_f() {
+        let sys = LowPass;
+        let f = 1.0 / std::f64::consts::TAU; // ω = 1 rad/s
+        let h = sys.response_at_hz(f).unwrap();
+        assert!((h[(0, 0)] - c64(0.5, -0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_response_maps_the_grid() {
+        let sys = LowPass;
+        let grid = [0.0, 1.0, 10.0];
+        let resp = sys.frequency_response(&grid).unwrap();
+        assert_eq!(resp.len(), 3);
+        assert!((resp[0][(0, 0)] - c64(1.0, 0.0)).abs() < 1e-12); // DC gain
+    }
+
+    #[test]
+    fn trait_is_usable_through_references() {
+        fn dc_gain<T: TransferFunction>(t: T) -> f64 {
+            t.eval(Complex::ZERO).unwrap()[(0, 0)].abs()
+        }
+        let sys = LowPass;
+        assert!((dc_gain(&sys) - 1.0).abs() < 1e-12);
+    }
+}

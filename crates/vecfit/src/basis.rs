@@ -1,0 +1,165 @@
+//! Real-valued partial-fraction basis (the Gustavsen formulation).
+//!
+//! For a conjugate-closed pole list with pairs adjacent, the basis
+//! columns over a sample point `s` are
+//!
+//! * real pole `a`:   `φ(s) = 1/(s − a)` (one column),
+//! * pair `(a, ā)`:   `φ₁ = 1/(s−a) + 1/(s−ā)`,
+//!                    `φ₂ = j/(s−a) − j/(s−ā)` (two columns),
+//!
+//! so that real coefficients `(c′, c″)` encode the complex residue
+//! `c = c′ + j c″` at `a` (and `c̄` at `ā`). Splitting rows into real and
+//! imaginary parts yields an all-real least-squares problem.
+
+use mfti_numeric::{CMatrix, Complex, RMatrix};
+
+use crate::poles::{pole_blocks, PoleBlock};
+
+/// Complex basis matrix `Φ` (`k × n`) over the sample points
+/// `s_i = j2πf_i` for the given conjugate-closed pole list.
+pub(crate) fn complex_basis(s_points: &[Complex], poles: &[Complex]) -> CMatrix {
+    let blocks = pole_blocks(poles);
+    let n = poles.len();
+    let k = s_points.len();
+    let mut phi = CMatrix::zeros(k, n);
+    for (i, &s) in s_points.iter().enumerate() {
+        let mut col = 0;
+        for b in &blocks {
+            match *b {
+                PoleBlock::Real { idx } => {
+                    phi[(i, col)] = (s - poles[idx]).recip();
+                    col += 1;
+                }
+                PoleBlock::Pair { idx } => {
+                    let f1 = (s - poles[idx]).recip();
+                    let f2 = (s - poles[idx + 1]).recip();
+                    phi[(i, col)] = f1 + f2;
+                    phi[(i, col + 1)] = (f1 - f2) * Complex::I;
+                    col += 2;
+                }
+            }
+        }
+        debug_assert_eq!(col, n);
+    }
+    phi
+}
+
+/// Stacks a complex matrix into its real/imaginary row halves:
+/// `[Re(A); Im(A)]` (`2k × n`).
+pub(crate) fn stack_real(a: &CMatrix) -> RMatrix {
+    let (k, n) = a.dims();
+    RMatrix::from_fn(2 * k, n, |i, j| {
+        if i < k {
+            a[(i, j)].re
+        } else {
+            a[(i - k, j)].im
+        }
+    })
+}
+
+/// Recovers the complex residues from real basis coefficients: one
+/// complex residue per pole, conjugate-closed.
+#[cfg(test)]
+pub(crate) fn coefficients_to_residues(coeffs: &[f64], poles: &[Complex]) -> Vec<Complex> {
+    use mfti_numeric::c64;
+    let blocks = pole_blocks(poles);
+    let mut residues = vec![Complex::ZERO; poles.len()];
+    let mut col = 0;
+    for b in &blocks {
+        match *b {
+            PoleBlock::Real { idx } => {
+                residues[idx] = c64(coeffs[col], 0.0);
+                col += 1;
+            }
+            PoleBlock::Pair { idx } => {
+                residues[idx] = c64(coeffs[col], coeffs[col + 1]);
+                residues[idx + 1] = residues[idx].conj();
+                col += 2;
+            }
+        }
+    }
+    residues
+}
+
+/// Evaluates `Σ c_k/(s − a_k) + d` for testing and the sigma iteration.
+#[cfg(test)]
+pub(crate) fn eval_partial_fractions(
+    s: Complex,
+    poles: &[Complex],
+    residues: &[Complex],
+    d: f64,
+) -> Complex {
+    let mut acc = mfti_numeric::c64(d, 0.0);
+    for (&a, &c) in poles.iter().zip(residues) {
+        acc += c / (s - a);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use mfti_numeric::c64;
+    use super::*;
+    use mfti_statespace::s_at_hz;
+
+    #[test]
+    fn real_coefficients_reproduce_conjugate_closed_function() {
+        // Known function: pair at −1 ± 5i with residue 2 ∓ 3i? (c = 2+3i
+        // at +im pole), plus real pole −4 with residue 0.7.
+        let poles = vec![c64(-1.0, 5.0), c64(-1.0, -5.0), c64(-4.0, 0.0)];
+        let residues = vec![c64(2.0, 3.0), c64(2.0, -3.0), c64(0.7, 0.0)];
+        let s_points: Vec<Complex> = (1..=8).map(|i| s_at_hz(i as f64 * 0.3)).collect();
+
+        let phi = complex_basis(&s_points, &poles);
+        // Coefficients in real layout: (c', c'', real residue).
+        let coeffs = [2.0, 3.0, 0.7];
+        for (i, &s) in s_points.iter().enumerate() {
+            let via_basis: Complex = (0..3).map(|j| phi[(i, j)] * coeffs[j]).sum();
+            let direct = eval_partial_fractions(s, &poles, &residues, 0.0);
+            assert!((via_basis - direct).abs() < 1e-12, "mismatch at {s}");
+        }
+    }
+
+    #[test]
+    fn coefficients_round_trip_to_residues() {
+        let poles = vec![c64(-1.0, 5.0), c64(-1.0, -5.0), c64(-4.0, 0.0)];
+        let res = coefficients_to_residues(&[2.0, 3.0, 0.7], &poles);
+        assert_eq!(res[0], c64(2.0, 3.0));
+        assert_eq!(res[1], c64(2.0, -3.0));
+        assert_eq!(res[2], c64(0.7, 0.0));
+    }
+
+    #[test]
+    fn stack_real_splits_rows() {
+        let a = CMatrix::from_rows(&[vec![c64(1.0, 2.0), c64(3.0, -4.0)]]).unwrap();
+        let r = stack_real(&a);
+        assert_eq!(r.dims(), (2, 2));
+        assert_eq!(r[(0, 0)], 1.0);
+        assert_eq!(r[(1, 0)], 2.0);
+        assert_eq!(r[(1, 1)], -4.0);
+    }
+
+    #[test]
+    fn least_squares_on_real_basis_recovers_residues() {
+        // Fit with the TRUE poles fixed: LS must return exact residues.
+        let poles = vec![c64(-2.0, 10.0), c64(-2.0, -10.0)];
+        let res_true = vec![c64(1.5, -0.5), c64(1.5, 0.5)];
+        let s_points: Vec<Complex> = (1..=12).map(|i| s_at_hz(i as f64)).collect();
+        let h: Vec<Complex> = s_points
+            .iter()
+            .map(|&s| eval_partial_fractions(s, &poles, &res_true, 0.25))
+            .collect();
+
+        let phi = complex_basis(&s_points, &poles);
+        // Append the constant column for d.
+        let ones = CMatrix::from_fn(s_points.len(), 1, |_, _| Complex::ONE);
+        let a_c = phi.append_cols(&ones).unwrap();
+        let a = stack_real(&a_c);
+        let b_c = CMatrix::from_fn(s_points.len(), 1, |i, _| h[i]);
+        let b = stack_real(&b_c);
+        let x = mfti_numeric::lstsq(&a, &b, 1e-12).unwrap();
+        assert!((x[(0, 0)] - 1.5).abs() < 1e-10);
+        assert!((x[(1, 0)] + 0.5).abs() < 1e-10);
+        assert!((x[(2, 0)] - 0.25).abs() < 1e-10);
+    }
+}

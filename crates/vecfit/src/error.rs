@@ -1,0 +1,75 @@
+use std::error::Error;
+use std::fmt;
+
+use mfti_numeric::NumericError;
+use mfti_statespace::StateSpaceError;
+
+/// Errors produced by the vector-fitting baseline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum VecFitError {
+    /// The requested configuration cannot work (zero poles, too few
+    /// samples, invalid band, …).
+    InvalidConfig {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The sigma iteration collapsed (σ ≡ 0 or non-finite poles).
+    IterationCollapsed {
+        /// Iteration number (1-based) at which the collapse happened.
+        iteration: usize,
+    },
+    /// An underlying linear-algebra kernel failed.
+    Numeric(NumericError),
+    /// Building/evaluating the rational model failed.
+    StateSpace(StateSpaceError),
+}
+
+impl fmt::Display for VecFitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VecFitError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            VecFitError::IterationCollapsed { iteration } => {
+                write!(f, "sigma iteration collapsed at iteration {iteration}")
+            }
+            VecFitError::Numeric(e) => write!(f, "numeric kernel failed: {e}"),
+            VecFitError::StateSpace(e) => write!(f, "model construction failed: {e}"),
+        }
+    }
+}
+
+impl Error for VecFitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VecFitError::Numeric(e) => Some(e),
+            VecFitError::StateSpace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for VecFitError {
+    fn from(e: NumericError) -> Self {
+        VecFitError::Numeric(e)
+    }
+}
+
+impl From<StateSpaceError> for VecFitError {
+    fn from(e: StateSpaceError) -> Self {
+        VecFitError::StateSpace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = VecFitError::from(NumericError::Singular { op: "qr" });
+        assert!(e.to_string().contains("qr"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = VecFitError::IterationCollapsed { iteration: 3 };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,300 @@
+//! The top-level vector-fitting driver.
+
+use std::time::{Duration, Instant};
+
+use mfti_numeric::Complex;
+use mfti_sampling::SampleSet;
+use mfti_statespace::{s_at_hz, RationalModel};
+
+use crate::error::VecFitError;
+use crate::poles::initial_poles;
+use crate::residues::identify_residues;
+use crate::sigma::sigma_step;
+
+/// Scalar reduction of the matrix samples used for pole identification
+/// (the vectfit3 "sum of elements" practice for multi-port data; see
+/// DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SigmaTarget {
+    /// Mean of all `p·m` entries (default — every port participates).
+    #[default]
+    MeanEntries,
+    /// Mean of the diagonal entries (robust when off-diagonal coupling
+    /// nearly cancels).
+    Trace,
+}
+
+/// Result of a vector-fitting run.
+#[derive(Debug, Clone)]
+pub struct VfFit {
+    /// The fitted common-pole model.
+    pub model: RationalModel,
+    /// `d̃` after each sigma iteration (→ 1 at convergence).
+    pub d_tilde_history: Vec<f64>,
+    /// RMS residual of each linearized sigma fit.
+    pub sigma_residuals: Vec<f64>,
+    /// Wall-clock time of the whole fit.
+    pub elapsed: Duration,
+}
+
+/// Configurable vector-fitting driver (see the crate docs for the
+/// algorithm outline).
+#[derive(Debug, Clone)]
+pub struct VectorFitter {
+    n_poles: usize,
+    iterations: usize,
+    stabilize: bool,
+    target: SigmaTarget,
+    band_hz: Option<(f64, f64)>,
+}
+
+impl VectorFitter {
+    /// Fitter with `n_poles` poles, 10 iterations (the paper's Table 1
+    /// setting), unstable-pole flipping on, mean-entries sigma target,
+    /// and the starting-pole band inferred from the samples.
+    pub fn new(n_poles: usize) -> Self {
+        VectorFitter {
+            n_poles,
+            iterations: 10,
+            stabilize: true,
+            target: SigmaTarget::default(),
+            band_hz: None,
+        }
+    }
+
+    /// Number of sigma iterations.
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Whether to reflect unstable poles after each relocation.
+    pub fn stabilize(mut self, stabilize: bool) -> Self {
+        self.stabilize = stabilize;
+        self
+    }
+
+    /// Scalar target used for pole identification.
+    pub fn sigma_target(mut self, target: SigmaTarget) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Overrides the starting-pole band (defaults to the sample span).
+    pub fn band(mut self, f_lo_hz: f64, f_hi_hz: f64) -> Self {
+        self.band_hz = Some((f_lo_hz, f_hi_hz));
+        self
+    }
+
+    /// Runs the fit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VecFitError::InvalidConfig`] for unusable inputs and
+    /// propagates iteration/solve failures.
+    pub fn fit(&self, samples: &SampleSet) -> Result<VfFit, VecFitError> {
+        let start = Instant::now();
+        if self.n_poles == 0 {
+            return Err(VecFitError::InvalidConfig {
+                what: "need at least one pole".to_string(),
+            });
+        }
+        if samples.len() < 2 {
+            return Err(VecFitError::InvalidConfig {
+                what: "need at least two samples".to_string(),
+            });
+        }
+        let s_points: Vec<Complex> = samples.freqs_hz().iter().map(|&f| s_at_hz(f)).collect();
+        let g = self.scalar_target(samples);
+
+        let (f_lo, f_hi) = match self.band_hz {
+            Some(band) => band,
+            None => {
+                let mut pos: Vec<f64> = samples
+                    .freqs_hz()
+                    .iter()
+                    .copied()
+                    .filter(|&f| f > 0.0)
+                    .collect();
+                pos.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                match (pos.first(), pos.last()) {
+                    (Some(&lo), Some(&hi)) if hi > lo => (lo, hi),
+                    _ => {
+                        return Err(VecFitError::InvalidConfig {
+                            what: "samples span no positive frequency band".to_string(),
+                        })
+                    }
+                }
+            }
+        };
+
+        let mut poles = initial_poles(self.n_poles, f_lo, f_hi)?;
+        let mut d_tilde_history = Vec::with_capacity(self.iterations);
+        let mut sigma_residuals = Vec::with_capacity(self.iterations);
+        for it in 0..self.iterations {
+            let out = sigma_step(&s_points, &g, &poles, self.stabilize, it + 1)?;
+            poles = out.new_poles;
+            d_tilde_history.push(out.d_tilde);
+            sigma_residuals.push(out.rms_residual);
+        }
+        let model = identify_residues(&s_points, samples, &poles)?;
+        Ok(VfFit {
+            model,
+            d_tilde_history,
+            sigma_residuals,
+            elapsed: start.elapsed(),
+        })
+    }
+
+    fn scalar_target(&self, samples: &SampleSet) -> Vec<Complex> {
+        let (p, m) = samples.ports();
+        samples
+            .iter()
+            .map(|(_, s)| match self.target {
+                SigmaTarget::MeanEntries => {
+                    let mut acc = Complex::ZERO;
+                    for i in 0..p {
+                        for j in 0..m {
+                            acc += s[(i, j)];
+                        }
+                    }
+                    acc.scale(1.0 / (p * m) as f64)
+                }
+                SigmaTarget::Trace => {
+                    let d = p.min(m);
+                    let mut acc = Complex::ZERO;
+                    for i in 0..d {
+                        acc += s[(i, i)];
+                    }
+                    acc.scale(1.0 / d as f64)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_numeric::{c64, CMatrix};
+    use mfti_sampling::generators::RandomSystemBuilder;
+    use mfti_sampling::{FrequencyGrid, NoiseModel};
+    use mfti_statespace::TransferFunction;
+
+    fn rational_truth() -> RationalModel {
+        let poles = vec![
+            c64(-20.0, 500.0),
+            c64(-20.0, -500.0),
+            c64(-80.0, 3000.0),
+            c64(-80.0, -3000.0),
+        ];
+        let r1 = CMatrix::from_rows(&[
+            vec![c64(30.0, 10.0), c64(5.0, -3.0)],
+            vec![c64(5.0, -3.0), c64(20.0, 8.0)],
+        ])
+        .unwrap();
+        let r2 = CMatrix::from_rows(&[
+            vec![c64(200.0, -40.0), c64(30.0, 12.0)],
+            vec![c64(30.0, 12.0), c64(150.0, 0.0)],
+        ])
+        .unwrap();
+        let d = CMatrix::identity(2).map(|z| z.scale(0.2));
+        RationalModel::new(poles, vec![r1.clone(), r1.conj(), r2.clone(), r2.conj()], d)
+            .unwrap()
+    }
+
+    #[test]
+    fn recovers_known_rational_model() {
+        let truth = rational_truth();
+        let grid = FrequencyGrid::log_space(10.0, 2000.0, 80).unwrap();
+        let set = SampleSet::from_system(&truth, &grid).unwrap();
+        let fit = VectorFitter::new(4).iterations(12).fit(&set).unwrap();
+        // Poles converge to the truth.
+        let mut found: Vec<f64> = fit
+            .model
+            .poles()
+            .iter()
+            .filter(|p| p.im > 0.0)
+            .map(|p| p.im)
+            .collect();
+        found.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((found[0] - 500.0).abs() < 0.5, "poles {found:?}");
+        assert!((found[1] - 3000.0).abs() < 2.0, "poles {found:?}");
+        // Response error is tiny on and off the grid.
+        for &f in &[15.0, 79.6, 477.5, 1500.0] {
+            let a = truth.response_at_hz(f).unwrap();
+            let b = fit.model.response_at_hz(f).unwrap();
+            assert!(
+                (&a - &b).norm_2() / a.norm_2() < 1e-6,
+                "mismatch at {f} Hz"
+            );
+        }
+        // d̃ converged to ≈ 1.
+        assert!((fit.d_tilde_history.last().unwrap() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn fits_state_space_workload_reasonably() {
+        let sys = RandomSystemBuilder::new(10, 2, 2)
+            .d_rank(2)
+            .seed(21)
+            .build()
+            .unwrap();
+        let grid = FrequencyGrid::log_space(1e1, 1e5, 100).unwrap();
+        let set = SampleSet::from_system(&sys, &grid).unwrap();
+        let fit = VectorFitter::new(10).iterations(10).fit(&set).unwrap();
+        let mut worst = 0.0f64;
+        for (f, s) in set.iter() {
+            let h = fit.model.response_at_hz(f).unwrap();
+            worst = worst.max((&h - s).norm_2() / s.norm_2().max(1e-12));
+        }
+        assert!(worst < 1e-2, "worst relative error {worst}");
+    }
+
+    #[test]
+    fn stabilize_keeps_model_stable_even_with_noise() {
+        let sys = RandomSystemBuilder::new(8, 2, 2).seed(3).build().unwrap();
+        let grid = FrequencyGrid::log_space(1e1, 1e5, 60).unwrap();
+        let set = SampleSet::from_system(&sys, &grid).unwrap();
+        let noisy = NoiseModel::additive_relative(1e-3).apply(&set, 8);
+        let fit = VectorFitter::new(8).iterations(8).fit(&noisy).unwrap();
+        assert!(fit.model.is_stable());
+    }
+
+    #[test]
+    fn conjugate_symmetry_of_the_result() {
+        let truth = rational_truth();
+        let grid = FrequencyGrid::log_space(10.0, 2000.0, 40).unwrap();
+        let set = SampleSet::from_system(&truth, &grid).unwrap();
+        let fit = VectorFitter::new(6).iterations(6).fit(&set).unwrap();
+        assert!(fit.model.is_conjugate_symmetric(1e-8));
+        // Realizable as a real state space.
+        assert!(fit.model.to_state_space(1e-8).is_ok());
+    }
+
+    #[test]
+    fn trace_target_works_too() {
+        let truth = rational_truth();
+        let grid = FrequencyGrid::log_space(10.0, 2000.0, 60).unwrap();
+        let set = SampleSet::from_system(&truth, &grid).unwrap();
+        let fit = VectorFitter::new(4)
+            .iterations(10)
+            .sigma_target(SigmaTarget::Trace)
+            .fit(&set)
+            .unwrap();
+        let f = 200.0;
+        let a = truth.response_at_hz(f).unwrap();
+        let b = fit.model.response_at_hz(f).unwrap();
+        assert!((&a - &b).norm_2() / a.norm_2() < 1e-4);
+    }
+
+    #[test]
+    fn invalid_configurations_rejected() {
+        let truth = rational_truth();
+        let grid = FrequencyGrid::log_space(10.0, 2000.0, 4).unwrap();
+        let set = SampleSet::from_system(&truth, &grid).unwrap();
+        assert!(VectorFitter::new(0).fit(&set).is_err());
+        let one = set.subset(&[0]).unwrap();
+        assert!(VectorFitter::new(2).fit(&one).is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Initial pole placement and pole-set bookkeeping.
+
+use mfti_numeric::{c64, Complex};
+
+use crate::error::VecFitError;
+
+/// Generates the standard vector-fitting starting poles: complex
+/// conjugate pairs with imaginary parts log-spaced across
+/// `[2π·f_lo, 2π·f_hi]` and real parts `−ω/100` (lightly damped), plus
+/// one real pole at `−2π·f_lo` when `n` is odd.
+///
+/// Pairs are returned adjacent: `(a₁, ā₁, a₂, ā₂, …)`.
+///
+/// # Errors
+///
+/// Returns [`VecFitError::InvalidConfig`] when `n == 0` or the band is
+/// invalid.
+///
+/// ```
+/// let poles = mfti_vecfit::initial_poles(6, 1e3, 1e9).unwrap();
+/// assert_eq!(poles.len(), 6);
+/// assert!(poles.iter().all(|p| p.re < 0.0));
+/// ```
+pub fn initial_poles(n: usize, f_lo_hz: f64, f_hi_hz: f64) -> Result<Vec<Complex>, VecFitError> {
+    if n == 0 {
+        return Err(VecFitError::InvalidConfig {
+            what: "need at least one pole".to_string(),
+        });
+    }
+    if !(f_lo_hz > 0.0 && f_hi_hz > f_lo_hz) {
+        return Err(VecFitError::InvalidConfig {
+            what: format!("invalid band [{f_lo_hz}, {f_hi_hz}]"),
+        });
+    }
+    let pairs = n / 2;
+    let mut poles = Vec::with_capacity(n);
+    let l0 = f_lo_hz.log10();
+    let l1 = f_hi_hz.log10();
+    for k in 0..pairs {
+        let frac = if pairs > 1 {
+            k as f64 / (pairs - 1) as f64
+        } else {
+            0.5
+        };
+        let omega = std::f64::consts::TAU * 10f64.powf(l0 + (l1 - l0) * frac);
+        let pole = c64(-omega / 100.0, omega);
+        poles.push(pole);
+        poles.push(pole.conj());
+    }
+    if n % 2 == 1 {
+        poles.push(c64(-std::f64::consts::TAU * f_lo_hz, 0.0));
+    }
+    Ok(poles)
+}
+
+/// Classification of the pole list into real poles and conjugate pairs,
+/// assuming pairs are adjacent (the invariant maintained throughout the
+/// iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PoleBlock {
+    /// A single real pole at list position `idx`.
+    Real {
+        /// Index into the pole list.
+        idx: usize,
+    },
+    /// A conjugate pair occupying positions `idx` (positive imaginary
+    /// part) and `idx + 1`.
+    Pair {
+        /// Index of the pair member with `im > 0`.
+        idx: usize,
+    },
+}
+
+/// Splits a conjugate-closed pole list (pairs adjacent) into blocks.
+pub(crate) fn pole_blocks(poles: &[Complex]) -> Vec<PoleBlock> {
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < poles.len() {
+        if poles[i].im.abs() > 0.0 {
+            blocks.push(PoleBlock::Pair { idx: i });
+            i += 2;
+        } else {
+            blocks.push(PoleBlock::Real { idx: i });
+            i += 1;
+        }
+    }
+    blocks
+}
+
+/// Rebuilds a conjugate-closed, pairs-adjacent pole list from raw
+/// eigenvalues: near-real eigenvalues are snapped to the real axis,
+/// complex ones are paired with their conjugates (keeping the `im > 0`
+/// member first). Optionally reflects unstable poles.
+pub(crate) fn sanitize_poles(raw: &[Complex], flip_unstable: bool) -> Vec<Complex> {
+    let scale = raw.iter().map(|p| p.abs()).fold(1.0f64, f64::max);
+    let tol = 1e-9 * scale;
+    let mut reals = Vec::new();
+    let mut pos_imag = Vec::new();
+    for &p in raw {
+        let mut p = p;
+        if flip_unstable && p.re > 0.0 {
+            p.re = -p.re;
+        }
+        if p.re == 0.0 {
+            // Avoid marginally stable poles (σ has zeros there).
+            p.re = -1e-6 * scale.max(1.0);
+        }
+        if p.im.abs() <= tol {
+            reals.push(c64(p.re, 0.0));
+        } else if p.im > 0.0 {
+            pos_imag.push(p);
+        }
+        // Negative-imaginary members are regenerated from the positive
+        // ones, which also repairs slightly asymmetric eigenpairs.
+    }
+    let mut out = Vec::with_capacity(raw.len());
+    for p in pos_imag {
+        out.push(p);
+        out.push(p.conj());
+    }
+    out.extend(reals);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_poles_are_conjugate_closed_and_stable() {
+        let poles = initial_poles(7, 1e2, 1e6).unwrap();
+        assert_eq!(poles.len(), 7);
+        for pair in poles.chunks(2).take(3) {
+            assert_eq!(pair[0].conj(), pair[1]);
+            assert!(pair[0].re < 0.0);
+            assert!((pair[0].re.abs() - pair[0].im.abs() / 100.0).abs() < 1e-9);
+        }
+        assert_eq!(poles[6].im, 0.0);
+    }
+
+    #[test]
+    fn initial_poles_cover_the_band_logarithmically() {
+        let poles = initial_poles(8, 1e1, 1e7).unwrap();
+        let freqs: Vec<f64> = poles
+            .iter()
+            .filter(|p| p.im > 0.0)
+            .map(|p| p.im / std::f64::consts::TAU)
+            .collect();
+        assert!((freqs[0] - 1e1).abs() < 1e-6);
+        assert!((freqs[3] - 1e7).abs() < 1.0);
+        // Geometric spacing.
+        assert!((freqs[1] / freqs[0] - freqs[2] / freqs[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(initial_poles(0, 1.0, 2.0).is_err());
+        assert!(initial_poles(4, 2.0, 1.0).is_err());
+        assert!(initial_poles(4, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn blocks_classify_pairs_and_reals() {
+        let poles = vec![c64(-1.0, 2.0), c64(-1.0, -2.0), c64(-3.0, 0.0)];
+        let blocks = pole_blocks(&poles);
+        assert_eq!(
+            blocks,
+            vec![PoleBlock::Pair { idx: 0 }, PoleBlock::Real { idx: 2 }]
+        );
+    }
+
+    #[test]
+    fn sanitize_repairs_and_flips() {
+        let raw = vec![
+            c64(0.5, 3.0),   // unstable pair member
+            c64(0.5, -3.0),
+            c64(-2.0, 1e-15), // nearly real
+        ];
+        let out = sanitize_poles(&raw, true);
+        assert_eq!(out.len(), 3);
+        assert!(out[0].re < 0.0 && out[0].im > 0.0);
+        assert_eq!(out[0].conj(), out[1]);
+        assert_eq!(out[2].im, 0.0);
+    }
+
+    #[test]
+    fn sanitize_keeps_unstable_when_not_flipping() {
+        let raw = vec![c64(0.5, 3.0), c64(0.5, -3.0)];
+        let out = sanitize_poles(&raw, false);
+        assert!(out[0].re > 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Residue identification with fixed poles: one shared least-squares
+//! factorization, one right-hand side per matrix entry.
+
+use mfti_numeric::{lstsq, CMatrix, Complex, RMatrix};
+use mfti_sampling::SampleSet;
+use mfti_statespace::RationalModel;
+
+use crate::basis::{complex_basis, stack_real};
+use crate::error::VecFitError;
+use crate::poles::{pole_blocks, PoleBlock};
+
+/// Solves for the matrix residues `R_k` and feed-through `D` given the
+/// final poles, returning the assembled [`RationalModel`].
+///
+/// # Errors
+///
+/// Propagates least-squares failures and model-construction errors.
+pub(crate) fn identify_residues(
+    s_points: &[Complex],
+    samples: &SampleSet,
+    poles: &[Complex],
+) -> Result<RationalModel, VecFitError> {
+    let k = s_points.len();
+    let n = poles.len();
+    let (p, m) = samples.ports();
+
+    // Shared basis [Φ | 1] → real 2k × (n+1).
+    let phi = complex_basis(s_points, poles);
+    let ones = CMatrix::from_fn(k, 1, |_, _| Complex::ONE);
+    let a_real = stack_real(&phi.append_cols(&ones)?);
+
+    // All entries as right-hand sides (2k × p·m).
+    let mut b_real = RMatrix::zeros(2 * k, p * m);
+    for (idx, (_, s_mat)) in samples.iter().enumerate() {
+        for i in 0..p {
+            for j in 0..m {
+                let z = s_mat[(i, j)];
+                b_real[(idx, i * m + j)] = z.re;
+                b_real[(k + idx, i * m + j)] = z.im;
+            }
+        }
+    }
+
+    let x = lstsq(&a_real, &b_real, 1e-10)?; // (n+1) × p·m
+
+    // Reassemble complex residues per pole.
+    let blocks = pole_blocks(poles);
+    let mut residues: Vec<CMatrix> = vec![CMatrix::zeros(p, m); n];
+    let mut row = 0usize;
+    for b in &blocks {
+        match *b {
+            PoleBlock::Real { idx } => {
+                residues[idx] = CMatrix::from_fn(p, m, |i, j| {
+                    Complex::from_real(x[(row, i * m + j)])
+                });
+                row += 1;
+            }
+            PoleBlock::Pair { idx } => {
+                residues[idx] = CMatrix::from_fn(p, m, |i, j| {
+                    mfti_numeric::c64(x[(row, i * m + j)], x[(row + 1, i * m + j)])
+                });
+                residues[idx + 1] = residues[idx].conj();
+                row += 2;
+            }
+        }
+    }
+    let d = CMatrix::from_fn(p, m, |i, j| Complex::from_real(x[(n, i * m + j)]));
+    Ok(RationalModel::new(poles.to_vec(), residues, d)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_numeric::c64;
+    use mfti_sampling::{FrequencyGrid, SampleSet};
+    use mfti_statespace::{s_at_hz, TransferFunction};
+
+    #[test]
+    fn exact_poles_give_exact_residues_for_mimo_data() {
+        // 2x2 model with one conjugate pair and one real pole.
+        let poles = vec![c64(-5.0, 100.0), c64(-5.0, -100.0), c64(-50.0, 0.0)];
+        let r_pair = CMatrix::from_rows(&[
+            vec![c64(1.0, 2.0), c64(0.5, -0.2)],
+            vec![c64(0.5, -0.2), c64(2.0, 1.0)],
+        ])
+        .unwrap();
+        let r_real = CMatrix::from_rows(&[
+            vec![c64(3.0, 0.0), c64(-1.0, 0.0)],
+            vec![c64(-1.0, 0.0), c64(0.5, 0.0)],
+        ])
+        .unwrap();
+        let d = CMatrix::identity(2).map(|z| z.scale(0.1));
+        let truth = RationalModel::new(
+            poles.clone(),
+            vec![r_pair.clone(), r_pair.conj(), r_real.clone()],
+            d.clone(),
+        )
+        .unwrap();
+
+        let grid = FrequencyGrid::log_space(1.0, 100.0, 30).unwrap();
+        let set = SampleSet::from_system(&truth, &grid).unwrap();
+        let s_points: Vec<Complex> = grid.points().iter().map(|&f| s_at_hz(f)).collect();
+
+        let model = identify_residues(&s_points, &set, &poles).unwrap();
+        assert!((&model.residues()[0] - &r_pair).max_abs() < 1e-9);
+        assert!((&model.residues()[2] - &r_real).max_abs() < 1e-9);
+        assert!((&model.d().clone() - &d).max_abs() < 1e-9);
+        // And the model evaluates identically to the truth off-grid.
+        let f = 37.7;
+        let a = truth.response_at_hz(f).unwrap();
+        let b = model.response_at_hz(f).unwrap();
+        assert!((&a - &b).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_poles_still_produce_a_valid_conjugate_model() {
+        let true_poles = vec![c64(-5.0, 100.0), c64(-5.0, -100.0)];
+        let truth = RationalModel::new(
+            true_poles,
+            vec![CMatrix::identity(1), CMatrix::identity(1)],
+            CMatrix::zeros(1, 1),
+        )
+        .unwrap();
+        let grid = FrequencyGrid::log_space(1.0, 100.0, 20).unwrap();
+        let set = SampleSet::from_system(&truth, &grid).unwrap();
+        let s_points: Vec<Complex> = grid.points().iter().map(|&f| s_at_hz(f)).collect();
+        let off_poles = vec![c64(-10.0, 80.0), c64(-10.0, -80.0), c64(-30.0, 0.0)];
+        let model = identify_residues(&s_points, &set, &off_poles).unwrap();
+        assert!(model.is_conjugate_symmetric(1e-9));
+    }
+}

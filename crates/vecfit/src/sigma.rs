@@ -1,0 +1,192 @@
+//! The (relaxed) sigma iteration: one pole-relocation step.
+
+use mfti_numeric::{eigenvalues, lstsq, CMatrix, Complex, RMatrix};
+
+use crate::basis::{complex_basis, stack_real};
+use crate::error::VecFitError;
+use crate::poles::{pole_blocks, sanitize_poles, PoleBlock};
+
+/// Outcome of one sigma step.
+#[derive(Debug, Clone)]
+pub(crate) struct SigmaOutcome {
+    /// Relocated poles (conjugate-closed, pairs adjacent).
+    pub new_poles: Vec<Complex>,
+    /// The relaxation coefficient `d̃` (≈ 1 near convergence).
+    pub d_tilde: f64,
+    /// RMS residual of the linearized fit (diagnostic).
+    pub rms_residual: f64,
+}
+
+/// Performs one relaxed-VF iteration: fit `p(s) − σ(s)·g(s) ≈ 0` with
+/// `σ = d̃ + Σ c̃_j φ_j`, then relocate the poles to the zeros of σ.
+///
+/// # Errors
+///
+/// Returns [`VecFitError::IterationCollapsed`] when the relocated poles
+/// come out non-finite, and propagates least-squares failures.
+pub(crate) fn sigma_step(
+    s_points: &[Complex],
+    g: &[Complex],
+    poles: &[Complex],
+    flip_unstable: bool,
+    iteration: usize,
+) -> Result<SigmaOutcome, VecFitError> {
+    let k = s_points.len();
+    let n = poles.len();
+    let phi = complex_basis(s_points, poles);
+
+    // Columns: [ĉ (n) | d̂ (1) | c̃ (n) | d̃ (1)], rows: samples + relaxation.
+    let mut a_c = CMatrix::zeros(k, 2 * n + 2);
+    for i in 0..k {
+        for j in 0..n {
+            a_c[(i, j)] = phi[(i, j)];
+            a_c[(i, n + 1 + j)] = -(g[i] * phi[(i, j)]);
+        }
+        a_c[(i, n)] = Complex::ONE;
+        a_c[(i, 2 * n + 1)] = -g[i];
+    }
+    let a_real = stack_real(&a_c); // 2k × (2n+2)
+    let mut b_real = RMatrix::zeros(2 * k + 1, 1);
+
+    // Relaxation row: (‖g‖/k) · ( Σ_i Re σ(s_i) ) = ‖g‖ — excludes σ ≡ 0.
+    let g_norm = g.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt().max(1e-300);
+    let w = g_norm / k as f64;
+    let mut relax = RMatrix::zeros(1, 2 * n + 2);
+    for j in 0..n {
+        let col_sum: f64 = (0..k).map(|i| phi[(i, j)].re).sum();
+        relax[(0, n + 1 + j)] = w * col_sum;
+    }
+    relax[(0, 2 * n + 1)] = w * k as f64;
+    b_real[(2 * k, 0)] = w * k as f64;
+
+    let a_full = a_real.append_rows(&relax)?;
+    let x = lstsq(&a_full, &b_real, 1e-12)?;
+
+    let mut d_tilde = x[(2 * n + 1, 0)];
+    // Guard against a collapsing σ (vectfit3's tolD clamp).
+    let d_floor = 1e-8;
+    if d_tilde.abs() < d_floor {
+        d_tilde = if d_tilde < 0.0 { -d_floor } else { d_floor };
+    }
+
+    // RMS residual of the linear system (diagnostic only).
+    let resid = &a_full.matmul(&x)? - &b_real;
+    let rms_residual = resid.norm_fro() / (2 * k + 1) as f64;
+
+    // Zeros of σ: eig(A − b c̃ᵀ / d̃) over the real block realization.
+    let blocks = pole_blocks(poles);
+    let mut a_mat = RMatrix::zeros(n, n);
+    let mut b_vec = RMatrix::zeros(n, 1);
+    let mut row = 0usize;
+    let mut col_coeff = 0usize;
+    let mut c_vec = RMatrix::zeros(1, n);
+    for b in &blocks {
+        match *b {
+            PoleBlock::Real { idx } => {
+                a_mat[(row, row)] = poles[idx].re;
+                b_vec[(row, 0)] = 1.0;
+                c_vec[(0, row)] = x[(n + 1 + col_coeff, 0)];
+                row += 1;
+                col_coeff += 1;
+            }
+            PoleBlock::Pair { idx } => {
+                let sigma = poles[idx].re;
+                let omega = poles[idx].im;
+                a_mat[(row, row)] = sigma;
+                a_mat[(row, row + 1)] = omega;
+                a_mat[(row + 1, row)] = -omega;
+                a_mat[(row + 1, row + 1)] = sigma;
+                b_vec[(row, 0)] = 2.0;
+                c_vec[(0, row)] = x[(n + 1 + col_coeff, 0)];
+                c_vec[(0, row + 1)] = x[(n + 1 + col_coeff + 1, 0)];
+                row += 2;
+                col_coeff += 2;
+            }
+        }
+    }
+    let update = b_vec.matmul(&c_vec)?.scale(1.0 / d_tilde);
+    let h = &a_mat - &update;
+    let raw = eigenvalues(&h)?;
+    if raw.iter().any(|z| !z.is_finite()) {
+        return Err(VecFitError::IterationCollapsed { iteration });
+    }
+    let new_poles = sanitize_poles(&raw, flip_unstable);
+    if new_poles.len() != n {
+        // Pairing can shrink the set only if eigenvalues were lost.
+        return Err(VecFitError::IterationCollapsed { iteration });
+    }
+    Ok(SigmaOutcome {
+        new_poles,
+        d_tilde,
+        rms_residual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basis::eval_partial_fractions;
+    use crate::poles::initial_poles;
+    use mfti_numeric::c64;
+    use mfti_statespace::s_at_hz;
+
+    /// Reference SISO target: two conjugate pairs plus a constant.
+    fn target(s: Complex) -> Complex {
+        let poles = [
+            c64(-30.0, 600.0),
+            c64(-30.0, -600.0),
+            c64(-100.0, 4000.0),
+            c64(-100.0, -4000.0),
+        ];
+        let residues = [
+            c64(40.0, -20.0),
+            c64(40.0, 20.0),
+            c64(500.0, 80.0),
+            c64(500.0, -80.0),
+        ];
+        eval_partial_fractions(s, &poles, &residues, 0.3)
+    }
+
+    #[test]
+    fn sigma_iteration_relocates_poles_toward_truth() {
+        let freqs: Vec<f64> = (1..=60).map(|i| 2.0 * i as f64 * 20.0).collect();
+        let s_points: Vec<Complex> = freqs.iter().map(|&f| s_at_hz(f)).collect();
+        let g: Vec<Complex> = s_points.iter().map(|&s| target(s)).collect();
+
+        let mut poles = initial_poles(4, 20.0, 2500.0).unwrap();
+        let mut d_tilde = 0.0;
+        for it in 0..12 {
+            let out = sigma_step(&s_points, &g, &poles, true, it).unwrap();
+            poles = out.new_poles;
+            d_tilde = out.d_tilde;
+        }
+        // Near convergence σ → constant: d̃ ≈ 1.
+        assert!((d_tilde - 1.0).abs() < 0.2, "d_tilde {d_tilde}");
+        // The two target pole frequencies must be found.
+        let mut freqs_found: Vec<f64> = poles
+            .iter()
+            .filter(|p| p.im > 0.0)
+            .map(|p| p.im)
+            .collect();
+        freqs_found.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!(
+            (freqs_found[0] - 600.0).abs() < 1.0,
+            "found {freqs_found:?}"
+        );
+        assert!(
+            (freqs_found[1] - 4000.0).abs() < 5.0,
+            "found {freqs_found:?}"
+        );
+    }
+
+    #[test]
+    fn flip_unstable_keeps_poles_in_left_half_plane() {
+        let freqs: Vec<f64> = (1..=40).map(|i| i as f64 * 25.0).collect();
+        let s_points: Vec<Complex> = freqs.iter().map(|&f| s_at_hz(f)).collect();
+        let g: Vec<Complex> = s_points.iter().map(|&s| target(s)).collect();
+        let poles = initial_poles(6, 25.0, 1000.0).unwrap();
+        let out = sigma_step(&s_points, &g, &poles, true, 0).unwrap();
+        assert!(out.new_poles.iter().all(|p| p.re < 0.0));
+        assert_eq!(out.new_poles.len(), 6);
+    }
+}

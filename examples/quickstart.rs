@@ -1,0 +1,69 @@
+//! Quickstart: macromodel a multi-port system from frequency samples.
+//!
+//! Builds a random 12-state, 3-port system, "measures" it at 10
+//! frequencies, recovers a descriptor macromodel with MFTI, and checks
+//! the fit on and off the sampling grid.
+//!
+//! Run: `cargo run --example quickstart`
+
+use mfti::core::{metrics, Mfti};
+use mfti::sampling::generators::RandomSystemBuilder;
+use mfti::sampling::{FrequencyGrid, SampleSet};
+use mfti::statespace::TransferFunction;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The "device under test": order 12, 3x3 ports, resonances in
+    //    100 Hz – 10 kHz. In a real flow this is your EM solver or VNA.
+    let dut = RandomSystemBuilder::new(12, 3, 3)
+        .band(1e2, 1e4)
+        .d_rank(3)
+        .seed(42)
+        .build()?;
+
+    // 2. Sample the scattering data at 10 log-spaced frequencies. MFTI
+    //    needs only ~(order + rank D)/ports = 5 matrix samples here.
+    let grid = FrequencyGrid::log_space(1e2, 1e4, 10)?;
+    let samples = SampleSet::from_system(&dut, &grid)?;
+    println!(
+        "sampled a {}x{} response at {} frequencies",
+        samples.ports().0,
+        samples.ports().1,
+        samples.len()
+    );
+
+    // 3. Fit. Defaults: full matrix directions (t = min(m, p)), real
+    //    state-space output, automatic order detection.
+    let fit = Mfti::new().fit(&samples)?;
+    println!(
+        "recovered order {} from a {}-column Loewner pencil in {:?}",
+        fit.detected_order, fit.pencil_order, fit.elapsed
+    );
+
+    // 4. Validate on the sampling grid (the paper's ERR metric) …
+    let err = metrics::err_rms_of(&fit.model, &samples)?;
+    println!("ERR on the sampling grid: {err:.3e}");
+
+    // 5. … and off-grid against the true system.
+    let f_test = 777.0;
+    let h = fit.model.response_at_hz(f_test)?;
+    let s = dut.response_at_hz(f_test)?;
+    let off_grid = (&h - &s).norm_2() / s.norm_2();
+    println!("relative error at {f_test} Hz (off-grid): {off_grid:.3e}");
+
+    // 6. The model is a real descriptor system, ready for SPICE-style
+    //    stamping or time-domain simulation.
+    let model = fit.model.as_real().expect("default path is real");
+    println!(
+        "model matrices: E {}x{}, A {}x{}, B {}x{}, C {}x{}",
+        model.e().rows(),
+        model.e().cols(),
+        model.a().rows(),
+        model.a().cols(),
+        model.b().rows(),
+        model.b().cols(),
+        model.c().rows(),
+        model.c().cols(),
+    );
+    assert!(err < 1e-8 && off_grid < 1e-6, "quickstart should fit exactly");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! End-to-end file workflow: export measurements to a Touchstone file,
+//! read them back (as if they came from a VNA or EM solver), fit a
+//! macromodel, and inspect its poles.
+//!
+//! Run: `cargo run --example touchstone_workflow`
+
+use mfti::core::{metrics, Mfti};
+use mfti::sampling::generators::lc_line;
+use mfti::sampling::{touchstone, FrequencyGrid, SampleSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A lossy LC transmission line as the 2-port device.
+    let line = lc_line(12, 1e-9, 1e-12, 0.4)?;
+    let grid = FrequencyGrid::log_space(1e7, 2e10, 40)?;
+    let measured = SampleSet::from_system(&line, &grid)?;
+
+    // Export (RI format, frequencies in GHz) — bytes on the wire exactly
+    // as a `.s2p` file.
+    let mut file = Vec::new();
+    touchstone::write(
+        &mut file,
+        &measured,
+        touchstone::WriteOptions {
+            format: touchstone::Format::Ri,
+            unit: touchstone::FrequencyUnit::GHz,
+            resistance: 50.0,
+        },
+    )?;
+    println!("wrote {} bytes of touchstone data; first lines:", file.len());
+    for line in String::from_utf8_lossy(&file).lines().take(3) {
+        let shown: String = line.chars().take(72).collect();
+        println!("  {shown}…");
+    }
+
+    // Read back and fit.
+    let loaded = touchstone::read(file.as_slice(), 2)?;
+    assert_eq!(loaded.len(), measured.len());
+    let fit = Mfti::new().fit(&loaded)?;
+    let err = metrics::err_rms_of(&fit.model, &loaded)?;
+    println!(
+        "\nfitted order {} from the file, ERR {err:.2e}",
+        fit.detected_order
+    );
+
+    // Poles of the macromodel = resonances of the line.
+    let model = fit.model.as_real().expect("real path");
+    let mut poles = model.poles()?;
+    poles.retain(|p| p.im > 0.0);
+    poles.sort_by(|a, b| a.im.partial_cmp(&b.im).expect("finite"));
+    println!("first resonances (GHz):");
+    for p in poles.iter().take(5) {
+        println!(
+            "  {:.3} GHz  (Q = {:.1})",
+            p.im / std::f64::consts::TAU / 1e9,
+            p.im.abs() / (2.0 * p.re.abs())
+        );
+    }
+    Ok(())
+}

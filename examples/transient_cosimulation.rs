@@ -1,0 +1,66 @@
+//! Fit a frequency-domain macromodel, then use it in the time domain —
+//! the complete workflow a signal-integrity engineer runs: S-params in,
+//! transient waveforms out.
+//!
+//! Run: `cargo run --release --example transient_cosimulation`
+
+use mfti::core::Mfti;
+use mfti::sampling::generators::rc_ladder;
+use mfti::sampling::{FrequencyGrid, SampleSet};
+use mfti::statespace::simulation::step_response;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The "measured" interconnect: an 8-section RC ladder (delay line).
+    let interconnect = rc_ladder(8, 120.0, 0.8e-12)?;
+
+    // Frequency-domain characterization …
+    let grid = FrequencyGrid::log_space(1e6, 2e10, 24)?;
+    let samples = SampleSet::from_system(&interconnect, &grid)?;
+
+    // … macromodel extraction …
+    let fit = Mfti::new().fit(&samples)?;
+    let model = fit.model.as_real().expect("real realization").clone();
+    println!(
+        "macromodel: order {} (from {} samples)",
+        fit.detected_order,
+        samples.len()
+    );
+
+    // … and transient co-simulation of both against a 1 V step.
+    let dt = 2e-12;
+    let steps = 1500;
+    let reference = step_response(&interconnect, 0, 0, dt, steps)?;
+    let fitted = step_response(&model, 0, 0, dt, steps)?;
+
+    let mut worst = 0.0f64;
+    for (a, b) in reference.iter().zip(&fitted) {
+        worst = worst.max((a - b).abs());
+    }
+    println!("worst waveform deviation over {steps} steps: {worst:.3e} V");
+
+    // Print the rising edge (10 ps resolution).
+    println!("\n   t (ps)   reference   macromodel");
+    for k in (4..steps).step_by(150) {
+        println!(
+            "{:>9.1}   {:>9.5}   {:>10.5}",
+            (k + 1) as f64 * dt * 1e12,
+            reference[k],
+            fitted[k]
+        );
+    }
+
+    // 50% delay comparison — the number an SI engineer reads off.
+    let delay = |w: &[f64]| {
+        w.iter()
+            .position(|&v| v >= 0.5)
+            .map(|k| (k + 1) as f64 * dt * 1e12)
+    };
+    match (delay(&reference), delay(&fitted)) {
+        (Some(d_ref), Some(d_fit)) => {
+            println!("\n50% delay: reference {d_ref:.1} ps, macromodel {d_fit:.1} ps");
+        }
+        _ => println!("\n50% threshold not reached in the simulated window"),
+    }
+    assert!(worst < 1e-6, "macromodel transient must track the reference");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! The paper's Example 1 at laptop scale: when samples are scarce,
+//! matrix-format directions beat vector-format directions decisively.
+//!
+//! An order-60, 12-port system is sampled at just 8 frequencies. VFTI
+//! (one vector per sample) cannot even detect the order — its pencil
+//! has only 8 singular values. MFTI (full 12-column blocks) recovers
+//! the system exactly from the same data.
+//!
+//! Run: `cargo run --release --example undersampled_macromodel`
+
+use mfti::core::{metrics, minimal_samples, Mfti, Vfti};
+use mfti::sampling::generators::RandomSystemBuilder;
+use mfti::sampling::{FrequencyGrid, SampleSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let order = 60;
+    let ports = 12;
+    let dut = RandomSystemBuilder::new(order, ports, ports)
+        .band(1e1, 1e5)
+        .d_rank(ports)
+        .seed(2010)
+        .build()?;
+
+    let bounds = minimal_samples(order, order, ports, ports, ports);
+    println!(
+        "Theorem 3.5: k_min in [{}, {}], empirically {} matrix samples",
+        bounds.lower, bounds.upper, bounds.empirical
+    );
+
+    let grid = FrequencyGrid::log_space(1e1, 1e5, 8)?;
+    let samples = SampleSet::from_system(&dut, &grid)?;
+    println!("\nsampling {} matrices (>= {} needed)", samples.len(), bounds.empirical);
+
+    let mfti = Mfti::new().fit(&samples)?;
+    let vfti = Vfti::new().fit(&samples)?;
+
+    // The singular-value story of the paper's Fig. 1:
+    let show = |name: &str, sv: &[f64]| {
+        let drop = sv
+            .windows(2)
+            .enumerate()
+            .max_by(|a, b| {
+                (a.1[0] / a.1[1].max(f64::MIN_POSITIVE))
+                    .partial_cmp(&(b.1[0] / b.1[1].max(f64::MIN_POSITIVE)))
+                    .expect("finite")
+            })
+            .map(|(i, _)| i + 1)
+            .unwrap_or(0);
+        println!(
+            "{name}: pencil size {}, largest singular-value drop after #{drop} \
+             (sv1 {:.1e}, last {:.1e})",
+            sv.len(),
+            sv.first().copied().unwrap_or(0.0),
+            sv.last().copied().unwrap_or(0.0),
+        );
+    };
+    show("MFTI", &mfti.pencil_singular_values);
+    show("VFTI", &vfti.pencil_singular_values);
+
+    let err_mfti = metrics::err_rms_of(&mfti.model, &samples)?;
+    let err_vfti = metrics::err_rms_of(&vfti.model, &samples)?;
+    println!("\nERR on the 8 samples:  MFTI {err_mfti:.2e}   VFTI {err_vfti:.2e}");
+    println!(
+        "MFTI detected order {} (truth: {}), VFTI was capped at {}",
+        mfti.detected_order,
+        order + ports,
+        vfti.detected_order
+    );
+    assert!(err_mfti < 1e-8, "MFTI must recover the system");
+    assert!(err_vfti > 1e-3, "VFTI cannot, with 8 samples");
+    Ok(())
+}

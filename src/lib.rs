@@ -1,0 +1,47 @@
+//! # mfti — Matrix-Format Tangential Interpolation
+//!
+//! Facade crate re-exporting the whole MFTI macromodeling workspace, a
+//! from-scratch Rust reproduction of
+//! *Wang, Lei, Pang, Wong — "MFTI: Matrix-Format Tangential Interpolation
+//! for Modeling Multi-Port Systems", DAC 2010*.
+//!
+//! Downstream users depend on this crate and get:
+//!
+//! * [`numeric`] — dense complex linear algebra (LU/QR/SVD/eig),
+//! * [`statespace`] — descriptor systems and pole–residue models,
+//! * [`sampling`] — frequency grids, noise models, synthetic workloads,
+//! * [`core`] — the MFTI/VFTI Loewner-pencil fitting algorithms,
+//! * [`vecfit`] — the vector-fitting baseline.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+pub use mfti_core as core;
+pub use mfti_numeric as numeric;
+pub use mfti_sampling as sampling;
+pub use mfti_statespace as statespace;
+pub use mfti_vecfit as vecfit;
+
+/// One-line import for the common fitting workflow.
+///
+/// ```
+/// use mfti::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = RandomSystemBuilder::new(6, 2, 2).seed(1).build()?;
+/// let samples = SampleSet::from_system(&sys, &FrequencyGrid::log_space(1e2, 1e4, 8)?)?;
+/// let fit = Mfti::new().fit(&samples)?;
+/// assert!(err_rms_of(&fit.model, &samples)? < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+pub mod prelude {
+    pub use mfti_core::metrics::{err_max, err_rms, err_rms_of, relative_errors};
+    pub use mfti_core::{
+        DirectionKind, FitResult, FittedModel, Mfti, OrderSelection, RealizationPath,
+        RecursiveMfti, SelectionOrder, Vfti, Weights,
+    };
+    pub use mfti_sampling::generators::{lc_line, rc_ladder, PdnBuilder, RandomSystemBuilder};
+    pub use mfti_sampling::{FrequencyGrid, NoiseModel, SampleSet};
+    pub use mfti_statespace::{DescriptorSystem, RationalModel, TransferFunction};
+    pub use mfti_vecfit::VectorFitter;
+}

@@ -1,0 +1,96 @@
+//! Cross-crate baseline comparisons: vector fitting vs the Loewner
+//! methods on shared workloads (the Table 1 situation in miniature).
+
+use mfti::core::{metrics, Mfti, OrderSelection, Weights};
+use mfti::sampling::generators::{lc_line, rc_ladder, PdnBuilder};
+use mfti::sampling::{FrequencyGrid, NoiseModel, SampleSet};
+use mfti::statespace::TransferFunction;
+use mfti::vecfit::{SigmaTarget, VectorFitter};
+
+#[test]
+fn vecfit_and_mfti_agree_on_easy_clean_data() {
+    // RC ladder: smooth all-real-pole response — the classic vector
+    // fitting workload.
+    // Band limited to where the ladder's response is non-negligible:
+    // vector fitting minimizes absolute error, so sampling deep into the
+    // 8-pole rolloff would make the *relative* metric meaningless.
+    let ladder = rc_ladder(8, 100.0, 1e-12).expect("valid");
+    let grid = FrequencyGrid::log_space(1e5, 1e9, 60).expect("grid");
+    let samples = SampleSet::from_system(&ladder, &grid).expect("sampling");
+
+    let vf = VectorFitter::new(8)
+        .iterations(12)
+        .sigma_target(SigmaTarget::Trace)
+        .fit(&samples)
+        .expect("vf");
+    let mfti = Mfti::new().fit(&samples).expect("mfti");
+
+    let e_vf = metrics::err_rms_of(&vf.model, &samples).expect("eval");
+    let e_mfti = metrics::err_rms_of(&mfti.model, &samples).expect("eval");
+    assert!(e_vf < 5e-3, "VF ERR {e_vf:.2e}");
+    assert!(e_mfti < 1e-8, "MFTI ERR {e_mfti:.2e}");
+}
+
+#[test]
+fn mfti_handles_the_high_q_line_that_defeats_iterative_fitting() {
+    // The lossy LC line has narrow resonances that a log grid barely
+    // resolves; the non-iterative Loewner approach still interpolates
+    // exactly while iterated rational fitting stalls.
+    let line = lc_line(8, 1e-9, 1e-12, 0.5).expect("valid");
+    let grid = FrequencyGrid::log_space(1e7, 1e10, 80).expect("grid");
+    let samples = SampleSet::from_system(&line, &grid).expect("sampling");
+    let mfti = Mfti::new().fit(&samples).expect("mfti");
+    let e_mfti = metrics::err_rms_of(&mfti.model, &samples).expect("eval");
+    assert!(e_mfti < 1e-8, "MFTI ERR {e_mfti:.2e}");
+}
+
+#[test]
+fn mfti_beats_vecfit_on_noisy_pdn() {
+    let pdn = PdnBuilder::new(6)
+        .resonance_pairs(14)
+        .band(1e7, 1e9)
+        .seed(9)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e7, 1e9, 60).expect("grid");
+    let clean = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    let noisy = NoiseModel::additive_relative(1e-4).apply(&clean, 9);
+
+    let vf = VectorFitter::new(32).iterations(10).fit(&noisy).expect("vf");
+    // Table 1 configuration: moderate block width keeps the pencil small
+    // (full weights would build a K = 2·p·k/2 pencil whose SVD dominates).
+    let mfti = Mfti::new()
+        .weights(Weights::Uniform(2))
+        .order_selection(OrderSelection::NoiseFloor { factor: 10.0 })
+        .fit(&noisy)
+        .expect("mfti");
+
+    let e_vf = metrics::err_rms_of(&vf.model, &noisy).expect("eval");
+    let e_mfti = metrics::err_rms_of(&mfti.model, &noisy).expect("eval");
+    assert!(
+        e_mfti < e_vf,
+        "MFTI {e_mfti:.2e} should beat VF {e_vf:.2e} (paper Table 1 shape)"
+    );
+}
+
+#[test]
+fn vecfit_model_realizes_and_matches_its_own_rational_form() {
+    let pdn = PdnBuilder::new(3)
+        .resonance_pairs(6)
+        .band(1e7, 1e9)
+        .seed(2)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::log_space(1e7, 1e9, 50).expect("grid");
+    let samples = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    let vf = VectorFitter::new(12).iterations(10).fit(&samples).expect("vf");
+    let ss = vf.model.to_state_space(1e-8).expect("realization");
+    for &f in &[2e7, 1.3e8, 7e8] {
+        let a = vf.model.response_at_hz(f).expect("eval");
+        let b = ss.response_at_hz(f).expect("eval");
+        assert!(
+            (&a - &b).max_abs() < 1e-9 * a.max_abs().max(1e-12),
+            "rational vs realization mismatch at {f} Hz"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! File-driven pipeline: Touchstone round-trips feeding the fitters,
+//! exactly as a user with VNA exports would run the library.
+
+use mfti::core::{metrics, Mfti};
+use mfti::sampling::generators::{lc_line, PdnBuilder};
+use mfti::sampling::{touchstone, FrequencyGrid, SampleSet};
+
+#[test]
+fn touchstone_roundtrip_preserves_fit_quality() {
+    let line = lc_line(10, 2e-9, 1e-12, 0.3).expect("valid");
+    let grid = FrequencyGrid::log_space(1e7, 1e10, 36).expect("grid");
+    let measured = SampleSet::from_system(&line, &grid).expect("sampling");
+
+    let mut buf = Vec::new();
+    touchstone::write(&mut buf, &measured, touchstone::WriteOptions::default())
+        .expect("write");
+    let loaded = touchstone::read(buf.as_slice(), 2).expect("read");
+
+    let direct = Mfti::new().fit(&measured).expect("fit direct");
+    let from_file = Mfti::new().fit(&loaded).expect("fit from file");
+    assert_eq!(direct.detected_order, from_file.detected_order);
+    let e1 = metrics::err_rms_of(&direct.model, &measured).expect("eval");
+    let e2 = metrics::err_rms_of(&from_file.model, &measured).expect("eval");
+    assert!(e1 < 1e-8 && e2 < 1e-8, "direct {e1:.1e}, file {e2:.1e}");
+}
+
+#[test]
+fn all_formats_and_units_round_trip_a_pdn() {
+    let pdn = PdnBuilder::new(4)
+        .resonance_pairs(8)
+        .band(1e8, 1e9)
+        .seed(6)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e8, 1e9, 12).expect("grid");
+    let measured = SampleSet::from_system(&pdn, &grid).expect("sampling");
+
+    for format in [
+        touchstone::Format::Ri,
+        touchstone::Format::Ma,
+        touchstone::Format::Db,
+    ] {
+        for unit in [
+            touchstone::FrequencyUnit::Hz,
+            touchstone::FrequencyUnit::MHz,
+            touchstone::FrequencyUnit::GHz,
+        ] {
+            let mut buf = Vec::new();
+            touchstone::write(
+                &mut buf,
+                &measured,
+                touchstone::WriteOptions {
+                    format,
+                    unit,
+                    resistance: 50.0,
+                },
+            )
+            .expect("write");
+            let loaded = touchstone::read(buf.as_slice(), 4).expect("read");
+            assert_eq!(loaded.len(), measured.len());
+            for ((f1, a), (f2, b)) in measured.iter().zip(loaded.iter()) {
+                assert!((f1 - f2).abs() <= 1e-6 * f1, "{format:?}/{unit:?}");
+                assert!(
+                    (&(b.clone()) - a).max_abs() < 1e-8 * a.max_abs().max(1.0),
+                    "{format:?}/{unit:?} corrupted data"
+                );
+            }
+        }
+    }
+}

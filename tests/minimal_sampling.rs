@@ -1,0 +1,91 @@
+//! Empirical verification of Theorem 3.5: the minimum number of
+//! noise-free samples MFTI needs is `(order + rank D)/min(m, p)`,
+//! while VFTI needs `order + rank D`.
+
+use mfti::core::{metrics, minimal_samples, vfti_minimal_samples, Mfti, Vfti};
+use mfti::sampling::generators::RandomSystemBuilder;
+use mfti::sampling::{FrequencyGrid, SampleSet};
+
+const RECOVERY: f64 = 1e-7;
+
+/// Smallest even k in the probe list for which the fitter recovers the
+/// system (ERR < tol on a validation grid).
+fn empirical_k_min(
+    order: usize,
+    ports: usize,
+    d_rank: usize,
+    probe: &[usize],
+    vfti: bool,
+) -> Option<usize> {
+    let dut = RandomSystemBuilder::new(order, ports, ports)
+        .band(1e2, 1e5)
+        .d_rank(d_rank)
+        .seed(1234)
+        .build()
+        .expect("valid");
+    let validation = SampleSet::from_system(
+        &dut,
+        &FrequencyGrid::log_space(1.3e2, 0.9e5, 21).expect("grid"),
+    )
+    .expect("sampling");
+    for &k in probe {
+        let grid = FrequencyGrid::log_space(1e2, 1e5, k).expect("grid");
+        let samples = SampleSet::from_system(&dut, &grid).expect("sampling");
+        let model = if vfti {
+            Vfti::new().fit(&samples).map(|f| f.model)
+        } else {
+            Mfti::new().fit(&samples).map(|f| f.model)
+        };
+        if let Ok(model) = model {
+            if metrics::err_rms_of(&model, &validation).unwrap_or(f64::INFINITY) < RECOVERY {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn theorem_3_5_exact_for_divisible_orders() {
+    // order 12, rank(D) 4, 4 ports → k_min = 16/4 = 4.
+    let bounds = minimal_samples(12, 12, 4, 4, 4);
+    assert_eq!(bounds.empirical, 4);
+    let got = empirical_k_min(12, 4, 4, &[2, 4, 6, 8], false).expect("recovers");
+    assert_eq!(got, bounds.empirical);
+}
+
+#[test]
+fn theorem_3_5_rounds_up_for_indivisible_orders() {
+    // order 10, rank(D) 3, 3 ports → k_min = ceil(13/3) = 5 → even probe 6.
+    let bounds = minimal_samples(10, 10, 3, 3, 3);
+    assert_eq!(bounds.empirical, 5);
+    // The pipeline needs an even sample count, so the effective minimum
+    // is the next even number ≥ empirical.
+    let got = empirical_k_min(10, 3, 3, &[2, 4, 6, 8, 10], false).expect("recovers");
+    assert!(got <= bounds.empirical + 1, "got {got}");
+}
+
+#[test]
+fn vfti_needs_order_plus_rank_d_samples() {
+    // order 8, rank(D) 2, 2 ports: VFTI minimum = 10; MFTI minimum = 5.
+    assert_eq!(vfti_minimal_samples(8, 2), 10);
+    let got = empirical_k_min(8, 2, 2, &[4, 6, 8, 10, 12], true).expect("recovers");
+    assert_eq!(got, 10);
+    let got_mfti = empirical_k_min(8, 2, 2, &[2, 4, 6, 8], false).expect("recovers");
+    assert!(got_mfti <= 6, "MFTI needed {got_mfti}");
+}
+
+#[test]
+fn below_the_bound_recovery_fails() {
+    // order 12 + rank(D) 4 over 4 ports: 2 samples (< 4) cannot suffice.
+    assert!(empirical_k_min(12, 4, 4, &[2], false).is_none());
+}
+
+#[test]
+fn bounds_scale_inversely_with_port_count() {
+    let small = minimal_samples(120, 120, 12, 12, 12);
+    let large = minimal_samples(120, 120, 24, 24, 24);
+    assert_eq!(small.empirical, 11);
+    assert_eq!(large.empirical, 6);
+    assert!(large.empirical < small.empirical);
+}

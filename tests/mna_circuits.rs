@@ -1,0 +1,106 @@
+//! MNA circuits through the whole pipeline — the paper's own framing:
+//! "if the number of inputs is identical to the number of outputs
+//! (i.e., m = p), which is the case for a large group of (e.g., MNA)
+//! circuits, (3) is satisfied exactly" (Lemma 3.1).
+
+use mfti::core::{metrics, Mfti, Weights};
+use mfti::prelude::TransferFunction;
+use mfti::sampling::generators::MnaNetlist;
+use mfti::sampling::{FrequencyGrid, SampleSet};
+use mfti::statespace::simulation::step_response;
+
+/// A 2-port RLC interconnect: series RL segments with shunt C loads.
+fn interconnect() -> mfti::statespace::DescriptorSystem<f64> {
+    MnaNetlist::new()
+        .resistor(1, 2, 5.0)
+        .inductor(2, 3, 2e-9)
+        .capacitor(3, 0, 1e-12)
+        .resistor(3, 4, 5.0)
+        .inductor(4, 5, 2e-9)
+        .capacitor(5, 0, 1e-12)
+        .port(1)
+        .port(5)
+        .build()
+        .expect("valid netlist")
+}
+
+#[test]
+fn lemma_3_1_exact_matrix_interpolation_on_an_mna_circuit() {
+    let ckt = interconnect();
+    assert_eq!(ckt.inputs(), ckt.outputs(), "MNA port circuits are square");
+    let grid = FrequencyGrid::log_space(1e7, 1e10, 10).expect("grid");
+    let samples = SampleSet::from_system(&ckt, &grid).expect("sampling");
+
+    let fit = Mfti::new().fit(&samples).expect("fit");
+    // Full-weight MFTI interpolates every entry of every sample matrix.
+    for (f, s) in samples.iter() {
+        let h = fit.model.response_at_hz(f).expect("eval");
+        assert!(
+            (&h - s).max_abs() < 1e-9 * s.max_abs().max(1e-12),
+            "entry-wise interpolation failed at {f} Hz"
+        );
+    }
+    // And recovers the circuit between samples.
+    let f = 3.3e8;
+    let h = fit.model.response_at_hz(f).expect("eval");
+    let s = ckt.response_at_hz(f).expect("eval");
+    assert!((&h - &s).norm_2() / s.norm_2() < 1e-7);
+}
+
+#[test]
+fn macromodel_of_the_circuit_matches_its_transient() {
+    let ckt = interconnect();
+    let grid = FrequencyGrid::log_space(1e7, 1e10, 12).expect("grid");
+    let samples = SampleSet::from_system(&ckt, &grid).expect("sampling");
+    let fit = Mfti::new().fit(&samples).expect("fit");
+    let model = fit.model.as_real().expect("real path").clone();
+
+    let dt = 1e-11;
+    let reference = step_response(&ckt, 0, 1, dt, 400).expect("circuit sim");
+    let fitted = step_response(&model, 0, 1, dt, 400).expect("model sim");
+    let worst = reference
+        .iter()
+        .zip(&fitted)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    let scale = reference
+        .iter()
+        .map(|v| v.abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    assert!(worst / scale < 1e-6, "relative transient deviation {:.2e}", worst / scale);
+}
+
+#[test]
+fn reduced_weights_still_recover_the_small_circuit() {
+    // The circuit has few dynamic states; even t = 1 (VFTI-style) data
+    // from enough samples recovers it exactly.
+    let ckt = interconnect();
+    let grid = FrequencyGrid::log_space(1e7, 1e10, 16).expect("grid");
+    let samples = SampleSet::from_system(&ckt, &grid).expect("sampling");
+    let fit = Mfti::new()
+        .weights(Weights::Uniform(1))
+        .fit(&samples)
+        .expect("fit");
+    let err = metrics::err_rms_of(&fit.model, &samples).expect("eval");
+    assert!(err < 1e-7, "t=1 ERR {err:.2e}");
+}
+
+#[test]
+fn fitted_order_matches_the_circuit_dynamics() {
+    // Dynamic order = #C + #L = 4; the feed-through of the admittance
+    // at s → ∞ is set by the capacitor-port coupling.
+    let ckt = interconnect();
+    assert_eq!(ckt.dynamic_order(), 4);
+    let grid = FrequencyGrid::log_space(1e7, 1e10, 10).expect("grid");
+    let samples = SampleSet::from_system(&ckt, &grid).expect("sampling");
+    let fit = Mfti::new().fit(&samples).expect("fit");
+    // The Loewner order is the McMillan degree of the port behaviour,
+    // bounded by dynamic states + rank of the direct term.
+    assert!(
+        fit.detected_order <= 4 + 2,
+        "detected {} exceeds dynamics + feed-through",
+        fit.detected_order
+    );
+    assert!(fit.detected_order >= 4, "detected {}", fit.detected_order);
+}

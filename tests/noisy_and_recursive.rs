@@ -1,0 +1,142 @@
+//! Noisy-data behaviour across the whole stack: MFTI's redundancy
+//! advantage over VFTI, the recursive algorithm's sample selection, and
+//! the weighting feature on ill-conditioned grids.
+
+use mfti::core::{
+    metrics, Mfti, OrderSelection, RecursiveMfti, SelectionOrder, Vfti, Weights,
+};
+use mfti::sampling::generators::PdnBuilder;
+use mfti::sampling::{FrequencyGrid, NoiseModel, SampleSet};
+
+fn pdn_workload(seed: u64) -> (SampleSet, SampleSet) {
+    let pdn = PdnBuilder::new(6)
+        .resonance_pairs(16)
+        .band(1e7, 1e9)
+        .seed(seed)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e7, 1e9, 60).expect("grid");
+    let clean = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    let noisy = NoiseModel::additive_relative(1e-4).apply(&clean, seed);
+    (clean, noisy)
+}
+
+#[test]
+fn mfti_beats_vfti_on_noisy_data() {
+    let (_, noisy) = pdn_workload(3);
+    let selection = OrderSelection::NoiseFloor { factor: 10.0 };
+    let mfti = Mfti::new()
+        .weights(Weights::Uniform(2))
+        .order_selection(selection)
+        .fit(&noisy)
+        .expect("mfti");
+    let vfti = Vfti::new().order_selection(selection).fit(&noisy).expect("vfti");
+    let e_m = metrics::err_rms_of(&mfti.model, &noisy).expect("eval");
+    let e_v = metrics::err_rms_of(&vfti.model, &noisy).expect("eval");
+    assert!(
+        e_m * 3.0 < e_v,
+        "MFTI ({e_m:.2e}) should clearly beat VFTI ({e_v:.2e})"
+    );
+    assert!(e_m < 1e-2, "MFTI ERR {e_m:.2e}");
+}
+
+#[test]
+fn noisy_fit_tracks_the_clean_truth() {
+    let (clean, noisy) = pdn_workload(11);
+    let fit = Mfti::new()
+        .weights(Weights::Uniform(2))
+        .order_selection(OrderSelection::NoiseFloor { factor: 10.0 })
+        .fit(&noisy)
+        .expect("fit");
+    // Error against the clean truth stays near the noise level: the fit
+    // does not hallucinate structure from noise.
+    let e_truth = metrics::err_rms_of(&fit.model, &clean).expect("eval");
+    assert!(e_truth < 5e-3, "error vs clean truth {e_truth:.2e}");
+}
+
+#[test]
+fn recursive_mfti_converges_with_a_subset_and_matches_full_fit() {
+    let (_, noisy) = pdn_workload(21);
+    let selection = OrderSelection::NoiseFloor { factor: 10.0 };
+    let full = Mfti::new()
+        .weights(Weights::Uniform(2))
+        .order_selection(selection)
+        .fit(&noisy)
+        .expect("full");
+    let rec = RecursiveMfti::new()
+        .weights(Weights::Uniform(2))
+        .order_selection(selection)
+        .batch_pairs(4)
+        .threshold(1e-3)
+        .fit(&noisy)
+        .expect("recursive");
+    assert!(
+        rec.used_pairs.len() < noisy.len() / 2,
+        "recursion should stop before using all {} pairs",
+        noisy.len() / 2
+    );
+    let e_full = metrics::err_rms_of(&full.model, &noisy).expect("eval");
+    let e_rec = metrics::err_rms_of(&rec.result.model, &noisy).expect("eval");
+    assert!(
+        e_rec < 10.0 * e_full.max(1e-4),
+        "recursive ERR {e_rec:.2e} vs full {e_full:.2e}"
+    );
+    // Round history is recorded and the residuals end below threshold
+    // (or the pool is exhausted).
+    assert!(!rec.rounds.is_empty());
+    let last = rec.rounds.last().expect("rounds");
+    assert!(last.mean_remaining_err <= 1e-3 || rec.used_pairs.len() == noisy.len() / 2);
+}
+
+#[test]
+fn recursive_selection_order_is_configurable_and_differs() {
+    let (_, noisy) = pdn_workload(31);
+    let selection = OrderSelection::NoiseFloor { factor: 10.0 };
+    let make = |order: SelectionOrder| {
+        RecursiveMfti::new()
+            .weights(Weights::Uniform(2))
+            .order_selection(selection)
+            .batch_pairs(3)
+            .threshold(1e-9)
+            .max_rounds(4)
+            .selection_order(order)
+            .fit(&noisy)
+            .expect("fit")
+    };
+    let worst = make(SelectionOrder::WorstFirst);
+    let best = make(SelectionOrder::BestFirst);
+    assert_ne!(worst.used_pairs, best.used_pairs);
+}
+
+#[test]
+fn weighting_helps_on_clustered_grids() {
+    let pdn = PdnBuilder::new(6)
+        .resonance_pairs(16)
+        .band(1e7, 1e9)
+        .seed(41)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::clustered_high(1e7, 1e9, 60, 0.8, 1.0).expect("grid");
+    let clean = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    let noisy = NoiseModel::additive_relative(1e-4).apply(&clean, 41);
+    let pairs = noisy.len() / 2;
+    let selection = OrderSelection::NoiseFloor { factor: 10.0 };
+
+    let uniform = Mfti::new()
+        .weights(Weights::Uniform(2))
+        .order_selection(selection)
+        .fit(&noisy)
+        .expect("uniform");
+    let weighted = Mfti::new()
+        .weights(Weights::PerPair(
+            (0..pairs).map(|j| if j < pairs / 4 { 4 } else { 2 }).collect(),
+        ))
+        .order_selection(selection)
+        .fit(&noisy)
+        .expect("weighted");
+    let e_u = metrics::err_rms_of(&uniform.model, &noisy).expect("eval");
+    let e_w = metrics::err_rms_of(&weighted.model, &noisy).expect("eval");
+    // The weighted fit uses strictly more information; it must not be
+    // substantially worse, and typically wins.
+    assert!(e_w < 2.0 * e_u, "weighted {e_w:.2e} vs uniform {e_u:.2e}");
+}

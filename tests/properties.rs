@@ -1,0 +1,121 @@
+//! Cross-crate property-based tests: pipeline invariants that must hold
+//! for arbitrary (valid) configurations, not just the curated examples.
+
+use mfti::core::{
+    metrics, realify, DirectionKind, LoewnerPencil, Mfti, TangentialData, Weights,
+};
+use mfti::sampling::generators::RandomSystemBuilder;
+use mfti::sampling::{FrequencyGrid, NoiseModel, SampleSet};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    order: usize,
+    ports: usize,
+    d_rank: usize,
+    k: usize,
+    t: usize,
+    seed: u64,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..=4, 1u64..500).prop_flat_map(|(ports, seed)| {
+        (2usize..=7, 0usize..=ports, 3usize..=6, 1usize..=ports).prop_map(
+            move |(half_order, d_rank, half_k, t)| Scenario {
+                order: 2 * half_order,
+                ports,
+                d_rank,
+                k: 2 * half_k,
+                t,
+                seed,
+            },
+        )
+    })
+}
+
+fn build(sc: &Scenario) -> (SampleSet, TangentialData, LoewnerPencil) {
+    let dut = RandomSystemBuilder::new(sc.order, sc.ports, sc.ports)
+        .band(1e2, 1e5)
+        .d_rank(sc.d_rank)
+        .seed(sc.seed)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::log_space(1e2, 1e5, sc.k).expect("grid");
+    let samples = SampleSet::from_system(&dut, &grid).expect("sampling");
+    let data = TangentialData::build(
+        &samples,
+        DirectionKind::RandomOrthonormal { seed: sc.seed ^ 0xabc },
+        &Weights::Uniform(sc.t),
+    )
+    .expect("data");
+    let pencil = LoewnerPencil::build(&data).expect("pencil");
+    (samples, data, pencil)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Eq. (13): both Sylvester identities hold for every configuration.
+    #[test]
+    fn sylvester_equations_hold(sc in scenario()) {
+        let (_, data, pencil) = build(&sc);
+        let (r1, r2) = pencil.sylvester_residuals(&data).expect("residuals");
+        prop_assert!(r1 < 1e-9, "Loewner residual {r1}");
+        prop_assert!(r2 < 1e-9, "shifted residual {r2}");
+    }
+
+    /// Lemma 3.3: rank(x₀𝕃 − σ𝕃) ≤ order + rank(D).
+    #[test]
+    fn pencil_rank_is_bounded_by_system_complexity(sc in scenario()) {
+        let (_, _, pencil) = build(&sc);
+        let sv = pencil
+            .shifted_pencil_singular_values(pencil.default_x0())
+            .expect("svd");
+        let rank = sv.iter().filter(|&&s| s > 1e-9 * sv[0]).count();
+        prop_assert!(
+            rank <= sc.order + sc.d_rank,
+            "rank {rank} exceeds order {} + rank(D) {}",
+            sc.order,
+            sc.d_rank
+        );
+    }
+
+    /// Lemma 3.2: realification leaves no imaginary residue on clean,
+    /// conjugate-closed data.
+    #[test]
+    fn realification_is_exact(sc in scenario()) {
+        let (_, _, pencil) = build(&sc);
+        let real = realify(&pencil, 1e-8).expect("realify");
+        prop_assert!(real.max_imag_residual() < 1e-10);
+    }
+
+    /// With full weights and enough samples, MFTI recovers the system
+    /// regardless of the random seed/shape.
+    #[test]
+    fn full_weight_fit_interpolates(sc in scenario()) {
+        prop_assume!(sc.t == sc.ports); // full matrix weights
+        prop_assume!(sc.k * sc.ports >= 2 * (sc.order + sc.d_rank));
+        let (samples, _, _) = build(&sc);
+        let fit = Mfti::new().fit(&samples).expect("fit");
+        let err = metrics::err_rms_of(&fit.model, &samples).expect("eval");
+        prop_assert!(err < 1e-6, "ERR {err:.2e} for {sc:?}");
+    }
+
+    /// The error metric is invariant under sample reordering and
+    /// scales linearly with uniform response scaling errors.
+    #[test]
+    fn err_metric_basic_properties(sc in scenario(), noise in 1e-6f64..1e-2) {
+        let (samples, _, _) = build(&sc);
+        let noisy = NoiseModel::additive_relative(noise).apply(&samples, sc.seed);
+        // Against itself the noisy set has zero error...
+        let errs: Vec<f64> = samples
+            .iter()
+            .zip(noisy.iter())
+            .map(|((_, a), (_, b))| (&(b.clone()) - a).norm_2() / a.norm_2())
+            .collect();
+        // ...and the injected perturbation has the requested magnitude.
+        let rms = metrics::err_rms(&errs);
+        prop_assert!(rms < 20.0 * noise, "rms {rms} vs noise {noise}");
+        prop_assert!(rms > noise / 20.0, "rms {rms} vs noise {noise}");
+    }
+}

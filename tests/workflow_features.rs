@@ -1,0 +1,105 @@
+//! Workflow features around the core fit: holdout validation,
+//! network-parameter conversion, passivity screening and time-domain
+//! co-simulation — the full life of a macromodel after fitting.
+
+use mfti::core::{metrics, Mfti};
+use mfti::sampling::generators::{rc_ladder, PdnBuilder};
+use mfti::sampling::{params, FrequencyGrid, SampleSet};
+use mfti::statespace::{passivity, simulation};
+
+#[test]
+fn holdout_validation_via_interleaved_split() {
+    let pdn = PdnBuilder::new(4)
+        .resonance_pairs(10)
+        .band(1e7, 1e9)
+        .seed(13)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e7, 1e9, 48).expect("grid");
+    let all = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    let (fitting, validation) = all.split_interleaved().expect("split");
+
+    let fit = Mfti::new().fit(&fitting).expect("fit");
+    // The model must generalize to the held-out half, not just
+    // interpolate its own inputs.
+    let err_fit = metrics::err_rms_of(&fit.model, &fitting).expect("eval");
+    let err_val = metrics::err_rms_of(&fit.model, &validation).expect("eval");
+    assert!(err_fit < 1e-8, "fitting ERR {err_fit:.2e}");
+    assert!(err_val < 1e-6, "validation ERR {err_val:.2e}");
+}
+
+#[test]
+fn admittance_data_fit_in_the_scattering_domain() {
+    // Convert admittance samples to S-parameters, fit there, convert the
+    // model response back — consistency across representations.
+    let pdn = PdnBuilder::new(3)
+        .resonance_pairs(8)
+        .band(1e7, 1e9)
+        .seed(8)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e7, 1e9, 30).expect("grid");
+    let y_data = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    let s_data = params::admittance_to_scattering(&y_data, 50.0).expect("convert");
+
+    let fit = Mfti::new().fit(&s_data).expect("fit in S domain");
+    let err = metrics::err_rms_of(&fit.model, &s_data).expect("eval");
+    assert!(err < 1e-8, "S-domain ERR {err:.2e}");
+
+    // Round-trip consistency of the data path itself.
+    let back = params::scattering_to_admittance(&s_data, 50.0).expect("back");
+    for ((_, a), (_, b)) in y_data.iter().zip(back.iter()) {
+        assert!((&(b.clone()) - a).max_abs() < 1e-10 * a.max_abs().max(1e-12));
+    }
+}
+
+#[test]
+fn fitted_scattering_model_passes_the_passivity_screen() {
+    let pdn = PdnBuilder::new(4)
+        .resonance_pairs(10)
+        .band(1e7, 1e9)
+        .seed(23)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e7, 1e9, 40).expect("grid");
+    let y_data = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    let s_data = params::admittance_to_scattering(&y_data, 50.0).expect("convert");
+    // The synthetic PDN is not enforced positive-real (random residue
+    // phases), so screen the *fitted model* against the data's own gain
+    // envelope: the fit must not invent gain beyond what it was shown.
+    let data_max = s_data
+        .iter()
+        .map(|(_, m)| m.norm_2())
+        .fold(0.0f64, f64::max);
+    let fit = Mfti::new().fit(&s_data).expect("fit");
+    let dense = mfti::statespace::bode::log_grid(1.2e7, 0.9e9, 101);
+    let report = passivity::check_on_grid(&fit.model, &dense, 1e-6).expect("screen");
+    assert!(
+        report.max_gain < 1.3 * data_max,
+        "fitted S model gain {:.3} at {:.2e} Hz exceeds data envelope {:.3}",
+        report.max_gain,
+        report.worst_f_hz,
+        data_max
+    );
+    // The report must name a worst frequency inside the screened band.
+    assert!(report.worst_f_hz >= 1.2e7 && report.worst_f_hz <= 0.9e9);
+}
+
+#[test]
+fn fitted_model_transient_tracks_the_original() {
+    let ladder = rc_ladder(6, 150.0, 1e-12).expect("valid");
+    let grid = FrequencyGrid::log_space(1e6, 1e10, 20).expect("grid");
+    let samples = SampleSet::from_system(&ladder, &grid).expect("sampling");
+    let fit = Mfti::new().fit(&samples).expect("fit");
+    let model = fit.model.as_real().expect("real").clone();
+
+    let dt = 5e-12;
+    let reference = simulation::step_response(&ladder, 0, 0, dt, 600).expect("sim");
+    let fitted = simulation::step_response(&model, 0, 0, dt, 600).expect("sim");
+    let worst = reference
+        .iter()
+        .zip(&fitted)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(worst < 1e-8, "transient deviation {worst:.2e} V");
+}
