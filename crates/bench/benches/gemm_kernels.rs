@@ -1,0 +1,53 @@
+//! Criterion bench: naive per-element GEMM vs the cache-blocked,
+//! transpose-packed kernel layer in `mfti-numeric`.
+//!
+//! The acceptance bar for the kernel refactor is a ≥ 3× speedup on a
+//! 256×256 complex product; smaller sizes are included to show where
+//! blocking starts to pay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mfti_bench::random_complex;
+use mfti_numeric::kernel;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_c64");
+    for &n in &[64usize, 128, 256] {
+        let a = random_complex(n, 0x5eed ^ n as u64);
+        let b = random_complex(n, 0xbeef ^ n as u64);
+        group.bench_with_input(
+            BenchmarkId::new("naive", n),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| kernel::mul_naive(a, b).expect("gemm")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blocked", n),
+            &(&a, &b),
+            |bench, (a, b)| bench.iter(|| kernel::mul(a, b).expect("gemm")),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fused(c: &mut Criterion) {
+    let n = 192;
+    let a = random_complex(n, 11);
+    let b = random_complex(n, 17);
+    let mut group = c.benchmark_group("fused_c64_192");
+    group.bench_function("adjoint_then_mul", |bench| {
+        bench.iter(|| a.adjoint().matmul(&b).expect("gemm"))
+    });
+    group.bench_function("mul_hermitian_left", |bench| {
+        bench.iter(|| kernel::mul_hermitian_left(&a, &b).expect("gemm"))
+    });
+    group.bench_function("transpose_then_mul", |bench| {
+        bench.iter(|| a.matmul(&b.transpose()).expect("gemm"))
+    });
+    group.bench_function("mul_transpose_right", |bench| {
+        bench.iter(|| kernel::mul_transpose_right(&a, &b).expect("gemm"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_fused);
+criterion_main!(benches);

@@ -5,17 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use mfti_numeric::{c64, CMatrix, Svd, SvdMethod};
-
-fn random_complex(n: usize, mut seed: u64) -> CMatrix {
-    let mut next = move || {
-        seed ^= seed << 13;
-        seed ^= seed >> 7;
-        seed ^= seed << 17;
-        (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
-    };
-    CMatrix::from_fn(n, n, |_, _| c64(next(), next()))
-}
+use mfti_bench::random_complex;
+use mfti_numeric::{Svd, SvdMethod};
 
 fn bench_svd(c: &mut Criterion) {
     let mut group = c.benchmark_group("svd_backends");

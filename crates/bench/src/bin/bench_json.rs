@@ -1,0 +1,75 @@
+//! Machine-readable timing summary of the end-to-end fitting pipeline.
+//!
+//! Runs the Table-1-shaped workload (noisy 6-port PDN) through MFTI
+//! (t = 2 and full weights), VFTI and vector fitting, plus the raw
+//! 256×256 complex GEMM kernel pair, and writes a `BENCH_*.json`
+//! summary so the perf trajectory of the repo is recorded per PR.
+//!
+//! Timing and serialization both come from the criterion shim, so this
+//! snapshot and `BENCH_JSON`-env bench runs share one schema:
+//! `[{id, iterations, min_ns, median_ns, mean_ns}, …]`.
+//!
+//! Usage: `cargo run --release -p mfti-bench --bin bench_json [OUT.json]`
+//! (default output path: `BENCH_end_to_end.json` in the current
+//! directory).
+
+use criterion::Criterion;
+
+use mfti_bench::random_complex;
+use mfti_core::{Mfti, OrderSelection, Vfti, Weights};
+use mfti_numeric::kernel;
+use mfti_sampling::generators::PdnBuilder;
+use mfti_sampling::{FrequencyGrid, NoiseModel, SampleSet};
+use mfti_vecfit::VectorFitter;
+
+fn workload() -> SampleSet {
+    let pdn = PdnBuilder::new(6)
+        .resonance_pairs(20)
+        .band(1e7, 1e9)
+        .seed(3)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e7, 1e9, 40).expect("valid");
+    let clean = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    NoiseModel::additive_relative(1e-3).apply(&clean, 9)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_end_to_end.json".to_string());
+
+    let samples = workload();
+    let selection = OrderSelection::NoiseFloor { factor: 5.0 };
+    let mut c = Criterion::default();
+    c.sample_size(10);
+
+    let mfti_t2 = Mfti::new().weights(Weights::Uniform(2)).order_selection(selection);
+    c.bench_function("end_to_end/mfti_t2", |b| {
+        b.iter(|| mfti_t2.fit(&samples).expect("fit"))
+    });
+    let mfti_full = Mfti::new().order_selection(selection);
+    c.bench_function("end_to_end/mfti_full", |b| {
+        b.iter(|| mfti_full.fit(&samples).expect("fit"))
+    });
+    let vfti = Vfti::new().order_selection(selection);
+    c.bench_function("end_to_end/vfti", |b| {
+        b.iter(|| vfti.fit(&samples).expect("fit"))
+    });
+    let vf = VectorFitter::new(40).iterations(10);
+    c.bench_function("end_to_end/vecfit_n40_10it", |b| {
+        b.iter(|| vf.fit(&samples).expect("fit"))
+    });
+
+    let a = random_complex(256, 0x5eed);
+    let b_mat = random_complex(256, 0xbeef);
+    c.sample_size(20).bench_function("gemm_c64_256/blocked", |b| {
+        b.iter(|| kernel::mul(&a, &b_mat).expect("gemm"))
+    });
+    c.sample_size(10).bench_function("gemm_c64_256/naive", |b| {
+        b.iter(|| kernel::mul_naive(&a, &b_mat).expect("gemm"))
+    });
+
+    criterion::write_json(c.results(), &out_path).expect("write timing summary");
+    println!("wrote {out_path}");
+}

@@ -24,6 +24,20 @@ use mfti_statespace::{DescriptorSystem, RationalModel};
 /// Seed shared by all paper-reproduction workloads.
 pub const PAPER_SEED: u64 = 0x0DAC_2010;
 
+/// Deterministic `n × n` complex matrix with xorshift entries in
+/// `[-1, 1]²` — the shared input generator of the GEMM/SVD kernel
+/// benches and the `bench_json` snapshot binary.
+pub fn random_complex(n: usize, seed: u64) -> mfti_numeric::CMatrix {
+    let mut s = seed | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    mfti_numeric::CMatrix::from_fn(n, n, |_, _| mfti_numeric::c64(next(), next()))
+}
+
 /// Example 1's underlying system: order 150, 30 ports, full-rank `D`
 /// (the paper's observed rank pattern 150/180/180 implies
 /// `rank(D₀) = 30`), resonances across the Fig. 2 band 10 Hz – 100 kHz.

@@ -19,8 +19,12 @@ use crate::error::MftiError;
 /// knob, Section 3.1).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Weights {
-    /// The same `t` for every sample pair. `t = min(m, p)` exploits every
-    /// entry of each sample (Lemma 3.1); `t = 1` degenerates to VFTI.
+    /// Full matrix weights `t = min(m, p)` for every pair, resolved
+    /// against the sample dimensions at build time — every entry of each
+    /// sample is exploited (Lemma 3.1). The default of the fitters.
+    Full,
+    /// The same `t` for every sample pair. `t = min(m, p)` is equivalent
+    /// to [`Weights::Full`]; `t = 1` degenerates to VFTI.
     Uniform(usize),
     /// An explicit `t_j` per sample *pair* (pair `j` = samples
     /// `2j`/`2j+1`). Larger weights emphasize the corresponding
@@ -29,8 +33,11 @@ pub enum Weights {
 }
 
 impl Weights {
-    fn resolve(&self, pairs: usize) -> Result<Vec<usize>, MftiError> {
+    /// Expands to per-pair widths; `full_t` is the `min(m, p)` of the
+    /// sample set, substituted for [`Weights::Full`].
+    fn resolve(&self, pairs: usize, full_t: usize) -> Result<Vec<usize>, MftiError> {
         match self {
+            Weights::Full => Ok(vec![full_t; pairs]),
             Weights::Uniform(t) => Ok(vec![*t; pairs]),
             Weights::PerPair(v) => {
                 if v.len() != pairs {
@@ -99,7 +106,7 @@ impl TangentialData {
         weights: &Weights,
     ) -> Result<Self, MftiError> {
         let k = samples.len();
-        if k < 2 || k % 2 != 0 {
+        if k < 2 || !k.is_multiple_of(2) {
             return Err(MftiError::InvalidSamples {
                 what: format!("need an even number of samples >= 2, got {k}"),
             });
@@ -122,7 +129,7 @@ impl TangentialData {
 
         let (p, m) = samples.ports();
         let pairs = k / 2;
-        let ts = weights.resolve(pairs)?;
+        let ts = weights.resolve(pairs, p.min(m))?;
         let dirs: DirectionSet = generate_directions(directions, p, m, &ts, &ts)?;
 
         let mut right = Vec::with_capacity(k);

@@ -146,19 +146,44 @@ impl LoewnerPencil {
             }
         }
 
+        // Promote the real direction blocks to complex once per triple —
+        // `block` below runs O(K²) times and must not re-allocate these.
+        // Triple indices are dense (2j / 2j+1), so a Vec keeps the hot
+        // assembly loop free of hashing.
+        let num_triples = 2 * data.num_pairs();
+        let mut r_promoted: Vec<Option<CMatrix>> = vec![None; num_triples];
+        let mut l_promoted: Vec<Option<CMatrix>> = vec![None; num_triples];
+        for &j in all_pairs.iter() {
+            for idx in triples_of(j) {
+                r_promoted[idx] = Some(data.right()[idx].r.to_complex());
+                l_promoted[idx] = Some(data.left()[idx].l.to_complex());
+            }
+        }
+
         // Grow 𝕃 and σ𝕃: [[old, B_new_cols], [C_new_rows, D_corner]].
         let block = |left_idx: usize, right_idx: usize| -> Result<(CMatrix, CMatrix), MftiError> {
             let lt = &data.left()[left_idx];
             let rt = &data.right()[right_idx];
-            let vr = lt.v.matmul(&rt.r.to_complex())?;
-            let lw = lt.l.to_complex().matmul(&rt.w)?;
+            let r_c = r_promoted[right_idx].as_ref().expect("promoted above");
+            let l_c = l_promoted[left_idx].as_ref().expect("promoted above");
+            let vr = lt.v.matmul(r_c)?;
+            let lw = l_c.matmul(&rt.w)?;
             let mu_n = lt.mu.scale(inv_scale);
             let lambda_n = rt.lambda.scale(inv_scale);
             let denom = mu_n - lambda_n;
             let inv = denom.recip();
-            let ll = (&vr - &lw).map(|z| z * inv);
-            let sll = (&vr.map(|z| z * mu_n) - &lw.map(|z| z * lambda_n)).map(|z| z * inv);
-            Ok((ll, sll))
+            // Single fused pass: 𝕃 = (VR − LW)/(μ−λ), σ𝕃 = (μVR − λLW)/(μ−λ).
+            let (rows, cols) = vr.dims();
+            let mut ll_data = Vec::with_capacity(rows * cols);
+            let mut sll_data = Vec::with_capacity(rows * cols);
+            for (&vr_e, &lw_e) in vr.as_slice().iter().zip(lw.as_slice()) {
+                ll_data.push((vr_e - lw_e) * inv);
+                sll_data.push((vr_e * mu_n - lw_e * lambda_n) * inv);
+            }
+            Ok((
+                CMatrix::from_vec(rows, cols, ll_data)?,
+                CMatrix::from_vec(rows, cols, sll_data)?,
+            ))
         };
 
         // Assemble row-block lists per (left pair, right pair) region.
@@ -226,7 +251,6 @@ impl LoewnerPencil {
             self.included_pairs.push(j);
             self.pair_ts.push(data.pair_weights()[j]);
         }
-        let _ = all_pairs;
         Ok(())
     }
 
@@ -312,17 +336,20 @@ impl LoewnerPencil {
         let scale_cols = |m: &CMatrix, d: &[Complex]| -> CMatrix {
             let mut out = m.clone();
             for i in 0..out.rows() {
-                for j in 0..out.cols() {
-                    out[(i, j)] *= d[j];
+                for (o, &s) in out.row_mut(i).iter_mut().zip(d) {
+                    *o *= s;
                 }
             }
             out
         };
         let scale_rows = |m: &CMatrix, d: &[Complex]| -> CMatrix {
             let mut out = m.clone();
-            for i in 0..out.rows() {
-                for j in 0..out.cols() {
-                    out[(i, j)] *= d[i];
+            let cols = out.cols();
+            if cols > 0 {
+                for (row, &s) in out.as_mut_slice().chunks_mut(cols).zip(d) {
+                    for o in row {
+                        *o *= s;
+                    }
                 }
             }
             out
@@ -348,7 +375,16 @@ impl LoewnerPencil {
     ///
     /// Propagates SVD failures.
     pub fn shifted_pencil_singular_values(&self, x0: Complex) -> Result<Vec<f64>, MftiError> {
-        let shifted = &self.ll.map(|z| z * x0) - &self.sll;
+        // One fused pass for x₀𝕃 − σ𝕃 (no intermediate x₀𝕃 temporary).
+        let data: Vec<Complex> = self
+            .ll
+            .as_slice()
+            .iter()
+            .zip(self.sll.as_slice())
+            .map(|(&l, &sl)| l * x0 - sl)
+            .collect();
+        let shifted = CMatrix::from_vec(self.ll.rows(), self.ll.cols(), data)
+            .expect("ll and sll share dims");
         Ok(Svd::compute(&shifted)?.singular_values().to_vec())
     }
 

@@ -139,12 +139,13 @@ impl Default for Mfti {
 
 impl Mfti {
     /// Fitter with default configuration: random orthonormal directions,
-    /// uniform full weights (`t = min(m, p)`, resolved at fit time),
-    /// threshold order detection at `1e-12`, real realization.
+    /// full matrix weights ([`Weights::Full`], i.e. `t = min(m, p)`
+    /// resolved at fit time), threshold order detection at `1e-12`, real
+    /// realization.
     pub fn new() -> Self {
         Mfti {
             directions: DirectionKind::default(),
-            weights: Weights::Uniform(usize::MAX), // sentinel: full weight
+            weights: Weights::Full,
             order_selection: OrderSelection::default(),
             path: RealizationPath::default(),
             realify_tol: 1e-6,
@@ -183,7 +184,7 @@ impl Mfti {
         self
     }
 
-    /// Configured weights (Algorithm 2 resolves the same sentinel).
+    /// Configured weights ([`Weights::Full`] resolves at build time).
     pub(crate) fn weights_ref(&self) -> &Weights {
         &self.weights
     }
@@ -193,15 +194,6 @@ impl Mfti {
         self.directions
     }
 
-    /// Resolves the `Uniform(usize::MAX)` sentinel to full weight.
-    fn resolve_weights(&self, samples: &SampleSet) -> Weights {
-        let (p, m) = samples.ports();
-        match &self.weights {
-            Weights::Uniform(t) if *t == usize::MAX => Weights::Uniform(p.min(m)),
-            w => w.clone(),
-        }
-    }
-
     /// Runs Algorithm 1 on the sample set.
     ///
     /// # Errors
@@ -209,8 +201,7 @@ impl Mfti {
     /// Propagates data-validation, SVD and order-selection failures.
     pub fn fit(&self, samples: &SampleSet) -> Result<FitResult, MftiError> {
         let start = Instant::now();
-        let weights = self.resolve_weights(samples);
-        let data = TangentialData::build(samples, self.directions, &weights)?;
+        let data = TangentialData::build(samples, self.directions, &self.weights)?;
         let pencil = LoewnerPencil::build(&data)?;
         self.fit_pencil(&pencil, start)
     }

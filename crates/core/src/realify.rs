@@ -70,12 +70,13 @@ impl RealifiedPencil {
 /// means the pencil was not built from conjugate-closed data.
 pub fn realify(pencil: &LoewnerPencil, tol: f64) -> Result<RealifiedPencil, MftiError> {
     let t_matrix = build_t(pencil.pair_ts());
-    let t_h = t_matrix.adjoint();
 
-    let ll_c = t_h.matmul(pencil.ll())?.matmul(&t_matrix)?;
-    let sll_c = t_h.matmul(pencil.sll())?.matmul(&t_matrix)?;
+    // Fused T*·X products: the conjugate transpose is folded into the
+    // kernel packing instead of materializing a K×K adjoint temporary.
+    let ll_c = t_matrix.mul_hermitian_left(pencil.ll())?.matmul(&t_matrix)?;
+    let sll_c = t_matrix.mul_hermitian_left(pencil.sll())?.matmul(&t_matrix)?;
     let w_c = pencil.w().matmul(&t_matrix)?;
-    let v_c = t_h.matmul(pencil.v())?;
+    let v_c = t_matrix.mul_hermitian_left(pencil.v())?;
 
     let mut max_imag = 0.0f64;
     for m in [&ll_c, &sll_c, &w_c, &v_c] {
@@ -137,7 +138,7 @@ mod tests {
     #[test]
     fn t_is_unitary() {
         let t = build_t(&[2, 1, 3]);
-        let id = t.adjoint().matmul(&t).unwrap();
+        let id = t.mul_hermitian_left(&t).unwrap();
         assert!(id.approx_eq(&CMatrix::identity(12), 1e-14));
     }
 
@@ -181,7 +182,7 @@ mod tests {
         // transmuting the public API is not possible, so test build_t's
         // sensitivity directly instead).
         let t = build_t(bad.pair_ts());
-        let conv = t.adjoint().matmul(&ll2).unwrap().matmul(&t).unwrap();
+        let conv = t.mul_hermitian_left(&ll2).unwrap().matmul(&t).unwrap();
         let rel = conv.imag_part().max_abs() / conv.max_abs();
         assert!(rel > 1e-3, "corruption must surface as imaginary residual");
     }

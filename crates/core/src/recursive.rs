@@ -170,11 +170,7 @@ impl RecursiveMfti {
     /// Propagates data-validation and realization failures.
     pub fn fit(&self, samples: &SampleSet) -> Result<RecursiveFit, MftiError> {
         let start = Instant::now();
-        let (p, m) = samples.ports();
-        let weights = match &self.base_weights() {
-            Weights::Uniform(t) if *t == usize::MAX => Weights::Uniform(p.min(m)),
-            w => (*w).clone(),
-        };
+        let weights = self.base_weights();
         let data = TangentialData::build(samples, self.base_directions(), &weights)?;
         let total = data.num_pairs();
 
@@ -193,6 +189,17 @@ impl RecursiveMfti {
         let mut pencil: Option<LoewnerPencil> = None;
         let mut rounds: Vec<RoundInfo> = Vec::new();
 
+        // Promote the real direction blocks once: the residual loop below
+        // re-evaluates them every round for every remaining pair.
+        let promoted: Vec<(mfti_numeric::CMatrix, mfti_numeric::CMatrix)> = (0..total)
+            .map(|j| {
+                (
+                    data.right()[2 * j].r.to_complex(),
+                    data.left()[2 * j].l.to_complex(),
+                )
+            })
+            .collect();
+
         let result = loop {
             let take = k0.min(remaining.len());
             let batch: Vec<usize> = remaining.drain(..take).collect();
@@ -209,10 +216,11 @@ impl RecursiveMfti {
             for &j in &remaining {
                 let rt = &data.right()[2 * j];
                 let lt = &data.left()[2 * j];
+                let (r_c, l_c) = &promoted[j];
                 let h_r = fit.model.eval(rt.lambda)?;
                 let h_l = fit.model.eval(lt.mu)?;
-                let right_res = (&h_r.matmul(&rt.r.to_complex())? - &rt.w).norm_fro();
-                let left_res = (&lt.l.to_complex().matmul(&h_l)? - &lt.v).norm_fro();
+                let right_res = (&h_r.matmul(r_c)? - &rt.w).norm_fro();
+                let left_res = (&l_c.matmul(&h_l)? - &lt.v).norm_fro();
                 errs.push((j, right_res + left_res));
             }
             let mean_err = if errs.is_empty() {

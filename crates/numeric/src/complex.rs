@@ -234,6 +234,7 @@ impl Mul for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w ≡ z·w⁻¹ with a guarded reciprocal
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

@@ -113,7 +113,7 @@ pub(crate) fn hessenberg_eigenvalues(mut h: CMatrix) -> Result<Vec<Complex>, Num
 
         // Shift: Wilkinson by default; occasionally an exceptional shift to
         // break symmetry-induced cycling.
-        let mu = if iters_this_window % 24 == 0 {
+        let mu = if iters_this_window.is_multiple_of(24) {
             let m = h[(hi, hi - 1)].abs() + h[(hi - 1, hi - 2)].abs();
             h[(hi, hi)] + c64(0.75 * m, 0.3 * m)
         } else {

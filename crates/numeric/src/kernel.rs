@@ -1,0 +1,704 @@
+//! Cache-blocked dense product kernels — the single hot path every
+//! matrix product in the workspace routes through.
+//!
+//! The Loewner-pencil algorithms spend almost all of their time in a
+//! handful of dense product shapes (pencil assembly, shifted-pencil SVD
+//! inputs, the Lemma 3.4 projections). This module implements them over
+//! raw row-major slices with:
+//!
+//! * **transpose packing** — the right operand is packed so that both
+//!   operands of every inner product are contiguous in the shared `k`
+//!   dimension (and bounds checks vanish from the inner loop),
+//! * **cache blocking** — panels of [`KC`]×[`NB`] keep the packed
+//!   working set resident in L1/L2 across the `i` sweep,
+//! * **register tiling** — a 1×4 micro-kernel reuses each element of
+//!   the left row across four output columns with independent
+//!   accumulator chains,
+//! * **fused operand transposes** — [`mul_hermitian_left`] (`AᴴB`) and
+//!   [`mul_transpose_right`] (`ABᵀ`) fold the transpose into the packing
+//!   (or skip packing entirely: `ABᵀ` is already two row-major
+//!   `k`-contiguous operands), so call sites never materialize an
+//!   explicit conjugate-transpose temporary,
+//! * **fused accumulation** — [`accumulate_scaled`] computes
+//!   `C ← C + αAB` without allocating the product.
+//!
+//! [`mul_naive`] keeps the textbook per-element triple loop as the
+//! correctness reference for property tests and the benchmark baseline
+//! (`crates/bench/benches/gemm_kernels.rs` tracks the speedup).
+
+use crate::error::NumericError;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+
+/// Block length along the shared `k` dimension: a packed row panel of
+/// `KC` scalars (4 KiB for complex) stays in L1 while it is reused.
+const KC: usize = 256;
+
+/// Right-operand rows per panel: `NB × KC` packed scalars (~192 KiB for
+/// complex) stay L2-resident across the whole `i` sweep of a block.
+const NB: usize = 48;
+
+/// Inner product of two equal-length contiguous slices with four
+/// independent accumulator chains.
+#[inline(always)]
+fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    let mut acc0 = T::ZERO;
+    let mut acc1 = T::ZERO;
+    let mut acc2 = T::ZERO;
+    let mut acc3 = T::ZERO;
+    let mut xc = x.chunks_exact(4);
+    let mut yc = y.chunks_exact(4);
+    for (xa, ya) in (&mut xc).zip(&mut yc) {
+        acc0 += xa[0] * ya[0];
+        acc1 += xa[1] * ya[1];
+        acc2 += xa[2] * ya[2];
+        acc3 += xa[3] * ya[3];
+    }
+    let mut tail = T::ZERO;
+    for (&a, &b) in xc.remainder().iter().zip(yc.remainder()) {
+        tail += a * b;
+    }
+    ((acc0 + acc1) + (acc2 + acc3)) + tail
+}
+
+/// 1×4 micro-kernel: four inner products sharing one pass over `x`.
+#[inline(always)]
+fn dot4<T: Scalar>(x: &[T], y0: &[T], y1: &[T], y2: &[T], y3: &[T]) -> [T; 4] {
+    let n = x.len();
+    let (y0, y1, y2, y3) = (&y0[..n], &y1[..n], &y2[..n], &y3[..n]);
+    let mut a0 = T::ZERO;
+    let mut a1 = T::ZERO;
+    let mut a2 = T::ZERO;
+    let mut a3 = T::ZERO;
+    for i in 0..n {
+        let xv = x[i];
+        a0 += xv * y0[i];
+        a1 += xv * y1[i];
+        a2 += xv * y2[i];
+        a3 += xv * y3[i];
+    }
+    [a0, a1, a2, a3]
+}
+
+/// Splits a complex matrix into separate re/im planes, row-major.
+///
+/// Split storage is what makes the complex kernels fast: a complex
+/// multiply-accumulate over interleaved storage defeats the loop
+/// vectorizer, while the same product over split planes is four
+/// independent real FMA chains that vectorize to full width.
+fn split_rows<T: Scalar>(m: &Matrix<T>, conjugate: bool) -> (Vec<f64>, Vec<f64>) {
+    let src = m.as_slice();
+    let re: Vec<f64> = src.iter().map(|z| z.re()).collect();
+    let im: Vec<f64> = if conjugate {
+        src.iter().map(|z| -z.im()).collect()
+    } else {
+        src.iter().map(|z| z.im()).collect()
+    };
+    (re, im)
+}
+
+/// Splits the transpose of `m` into re/im planes of shape `cols × rows`
+/// (optionally conjugating), tiled the same way as [`pack_transpose`].
+fn split_transpose<T: Scalar>(m: &Matrix<T>, conjugate: bool) -> (Vec<f64>, Vec<f64>) {
+    let (rows, cols) = m.dims();
+    let src = m.as_slice();
+    let mut re = vec![0.0f64; rows * cols];
+    let mut im = vec![0.0f64; rows * cols];
+    const TILE: usize = 32;
+    for ib in (0..rows).step_by(TILE) {
+        let iend = (ib + TILE).min(rows);
+        for jb in (0..cols).step_by(TILE) {
+            let jend = (jb + TILE).min(cols);
+            for i in ib..iend {
+                let src_row = &src[i * cols..(i + 1) * cols];
+                for j in jb..jend {
+                    let z = src_row[j];
+                    re[j * rows + i] = z.re();
+                    im[j * rows + i] = if conjugate { -z.im() } else { z.im() };
+                }
+            }
+        }
+    }
+    (re, im)
+}
+
+/// Four-chain real inner product of a split-complex row pair:
+/// returns `(Σ aᵣbᵣ − Σ aᵢbᵢ, Σ aᵣbᵢ + Σ aᵢbᵣ)`.
+///
+/// Scalar fallback; [`gemm_split`] dispatches to [`cdot_fma`] when the
+/// host supports AVX2+FMA. The explicit intrinsic path exists because
+/// Rust's strict FP semantics (rightly) forbid the compiler from
+/// reassociating reductions or fusing mul+add, so this loop compiles to
+/// scalar code no matter the target flags.
+#[inline(always)]
+fn cdot_scalar(are: &[f64], aim: &[f64], bre: &[f64], bim: &[f64]) -> (f64, f64) {
+    let n = are.len();
+    let (aim, bre, bim) = (&aim[..n], &bre[..n], &bim[..n]);
+    let mut rr = 0.0f64;
+    let mut ii = 0.0f64;
+    let mut ri = 0.0f64;
+    let mut ir = 0.0f64;
+    for k in 0..n {
+        rr += are[k] * bre[k];
+        ii += aim[k] * bim[k];
+        ri += are[k] * bim[k];
+        ir += aim[k] * bre[k];
+    }
+    (rr - ii, ri + ir)
+}
+
+/// AVX2+FMA widening of [`cdot_scalar`]: 4-lane f64 FMAs, two
+/// accumulator sets per chain to cover the FMA latency.
+///
+/// # Safety
+///
+/// Callers must ensure the host CPU supports `avx2` and `fma` (checked
+/// once per [`gemm_split`] via `is_x86_feature_detected!`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn cdot_fma(are: &[f64], aim: &[f64], bre: &[f64], bim: &[f64]) -> (f64, f64) {
+    use std::arch::x86_64::*;
+    let n = are.len();
+    debug_assert!(aim.len() == n && bre.len() == n && bim.len() == n);
+    let mut rr0 = _mm256_setzero_pd();
+    let mut ii0 = _mm256_setzero_pd();
+    let mut ri0 = _mm256_setzero_pd();
+    let mut ir0 = _mm256_setzero_pd();
+    let mut rr1 = _mm256_setzero_pd();
+    let mut ii1 = _mm256_setzero_pd();
+    let mut ri1 = _mm256_setzero_pd();
+    let mut ir1 = _mm256_setzero_pd();
+    let mut k = 0;
+    while k + 8 <= n {
+        let ar = _mm256_loadu_pd(are.as_ptr().add(k));
+        let ai = _mm256_loadu_pd(aim.as_ptr().add(k));
+        let br = _mm256_loadu_pd(bre.as_ptr().add(k));
+        let bi = _mm256_loadu_pd(bim.as_ptr().add(k));
+        rr0 = _mm256_fmadd_pd(ar, br, rr0);
+        ii0 = _mm256_fmadd_pd(ai, bi, ii0);
+        ri0 = _mm256_fmadd_pd(ar, bi, ri0);
+        ir0 = _mm256_fmadd_pd(ai, br, ir0);
+        let ar = _mm256_loadu_pd(are.as_ptr().add(k + 4));
+        let ai = _mm256_loadu_pd(aim.as_ptr().add(k + 4));
+        let br = _mm256_loadu_pd(bre.as_ptr().add(k + 4));
+        let bi = _mm256_loadu_pd(bim.as_ptr().add(k + 4));
+        rr1 = _mm256_fmadd_pd(ar, br, rr1);
+        ii1 = _mm256_fmadd_pd(ai, bi, ii1);
+        ri1 = _mm256_fmadd_pd(ar, bi, ri1);
+        ir1 = _mm256_fmadd_pd(ai, br, ir1);
+        k += 8;
+    }
+    #[inline(always)]
+    unsafe fn sum4(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd(v, 1);
+        let s = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s))
+    }
+    let mut rr = sum4(_mm256_add_pd(rr0, rr1));
+    let mut ii = sum4(_mm256_add_pd(ii0, ii1));
+    let mut ri = sum4(_mm256_add_pd(ri0, ri1));
+    let mut ir = sum4(_mm256_add_pd(ir0, ir1));
+    while k < n {
+        rr += are[k] * bre[k];
+        ii += aim[k] * bim[k];
+        ri += are[k] * bim[k];
+        ir += aim[k] * bre[k];
+        k += 1;
+    }
+    (rr - ii, ri + ir)
+}
+
+/// `true` when the AVX2+FMA micro-kernel is usable on this host.
+/// The detection macro caches, so this is a relaxed atomic load.
+#[inline]
+fn fma_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Blocked split-complex kernel:
+/// `out[i·n + j] += α · Σ_k (atᵣ + i·atᵢ)[i,k] · (btᵣ + i·btᵢ)[j,k]`.
+///
+/// Both operand pairs are `k`-contiguous plane pairs (`m × kdim` and
+/// `n × kdim`). `out` is interleaved `Matrix` storage and must come in
+/// zeroed unless accumulating.
+#[allow(clippy::too_many_arguments)]
+fn gemm_split<T: Scalar>(
+    atre: &[f64],
+    atim: &[f64],
+    btre: &[f64],
+    btim: &[f64],
+    m: usize,
+    n: usize,
+    kdim: usize,
+    alpha: T,
+    out: &mut [T],
+) {
+    debug_assert_eq!(atre.len(), m * kdim);
+    debug_assert_eq!(btre.len(), n * kdim);
+    debug_assert_eq!(out.len(), m * n);
+    let scale = alpha != T::ONE;
+    let use_fma = fma_available();
+    for jb in (0..n).step_by(NB) {
+        let jend = (jb + NB).min(n);
+        for kb in (0..kdim).step_by(KC) {
+            let kend = (kb + KC).min(kdim);
+            for i in 0..m {
+                let arow_re = &atre[i * kdim + kb..i * kdim + kend];
+                let arow_im = &atim[i * kdim + kb..i * kdim + kend];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for j in jb..jend {
+                    let brow_re = &btre[j * kdim + kb..j * kdim + kend];
+                    let brow_im = &btim[j * kdim + kb..j * kdim + kend];
+                    #[cfg(target_arch = "x86_64")]
+                    let (re, im) = if use_fma {
+                        // SAFETY: `use_fma` witnessed avx2+fma support.
+                        unsafe { cdot_fma(arow_re, arow_im, brow_re, brow_im) }
+                    } else {
+                        cdot_scalar(arow_re, arow_im, brow_re, brow_im)
+                    };
+                    #[cfg(not(target_arch = "x86_64"))]
+                    let (re, im) = {
+                        let _ = use_fma;
+                        cdot_scalar(arow_re, arow_im, brow_re, brow_im)
+                    };
+                    let v = T::from_complex_lossy(crate::complex::c64(re, im));
+                    out_row[j] += if scale { alpha * v } else { v };
+                }
+            }
+        }
+    }
+}
+
+/// Packs the transpose of `m` (optionally conjugated) into a row-major
+/// `cols × rows` buffer, so its rows are contiguous in `m`'s row index.
+fn pack_transpose<T: Scalar>(m: &Matrix<T>, conjugate: bool) -> Vec<T> {
+    let (rows, cols) = m.dims();
+    let src = m.as_slice();
+    let mut packed = vec![T::ZERO; rows * cols];
+    // Tile the transpose so both source and destination touch a bounded
+    // set of cache lines per tile.
+    const TILE: usize = 32;
+    for ib in (0..rows).step_by(TILE) {
+        let iend = (ib + TILE).min(rows);
+        for jb in (0..cols).step_by(TILE) {
+            let jend = (jb + TILE).min(cols);
+            for i in ib..iend {
+                let src_row = &src[i * cols..(i + 1) * cols];
+                if conjugate {
+                    for j in jb..jend {
+                        packed[j * rows + i] = src_row[j].conj();
+                    }
+                } else {
+                    for j in jb..jend {
+                        packed[j * rows + i] = src_row[j];
+                    }
+                }
+            }
+        }
+    }
+    packed
+}
+
+/// Core blocked kernel over pre-arranged operands:
+/// `out[i·n + j] (+)= α · Σ_k at[i·kdim + k] · bt[j·kdim + k]`.
+///
+/// Both operands are "k-contiguous": `at` holds `m` rows of length
+/// `kdim`, `bt` holds `n` rows of length `kdim`. When `accumulate` is
+/// false, `out` must come in zeroed.
+fn gemm_packed<T: Scalar>(
+    at: &[T],
+    bt: &[T],
+    m: usize,
+    n: usize,
+    kdim: usize,
+    alpha: T,
+    out: &mut [T],
+) {
+    debug_assert_eq!(at.len(), m * kdim);
+    debug_assert_eq!(bt.len(), n * kdim);
+    debug_assert_eq!(out.len(), m * n);
+    let scale = alpha != T::ONE;
+    for jb in (0..n).step_by(NB) {
+        let jend = (jb + NB).min(n);
+        for kb in (0..kdim).step_by(KC) {
+            let kend = (kb + KC).min(kdim);
+            for i in 0..m {
+                let arow = &at[i * kdim + kb..i * kdim + kend];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                let mut j = jb;
+                while j + 4 <= jend {
+                    let base = j * kdim + kb;
+                    let len = kend - kb;
+                    let [d0, d1, d2, d3] = dot4(
+                        arow,
+                        &bt[base..base + len],
+                        &bt[base + kdim..base + kdim + len],
+                        &bt[base + 2 * kdim..base + 2 * kdim + len],
+                        &bt[base + 3 * kdim..base + 3 * kdim + len],
+                    );
+                    if scale {
+                        out_row[j] += alpha * d0;
+                        out_row[j + 1] += alpha * d1;
+                        out_row[j + 2] += alpha * d2;
+                        out_row[j + 3] += alpha * d3;
+                    } else {
+                        out_row[j] += d0;
+                        out_row[j + 1] += d1;
+                        out_row[j + 2] += d2;
+                        out_row[j + 3] += d3;
+                    }
+                    j += 4;
+                }
+                while j < jend {
+                    let d = dot(arow, &bt[j * kdim + kb..j * kdim + kend]);
+                    out_row[j] += if scale { alpha * d } else { d };
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Products with at most this many multiply-accumulates skip packing:
+/// below it the split-plane allocations cost more than they save, and
+/// per-frequency hot loops (`DescriptorSystem::eval`'s `C·x`, the
+/// recursive fitter's tangential residuals) live entirely in this range.
+const SMALL_GEMM_OPS: usize = 4096;
+
+/// Streaming `i-k-j` product over row slices — no packing, no extra
+/// allocations beyond the output. The small-shape fast path of [`mul`].
+fn mul_small<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let (m, kdim, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (k, &aik) in a_row.iter().enumerate().take(kdim) {
+            let b_row = &b.as_slice()[k * n..(k + 1) * n];
+            for (o, &r) in out_row.iter_mut().zip(b_row) {
+                *o += aik * r;
+            }
+        }
+    }
+    out
+}
+
+fn shape_err<T: Scalar>(op: &'static str, a: &Matrix<T>, b: &Matrix<T>) -> NumericError {
+    NumericError::ShapeMismatch {
+        op,
+        left: a.dims(),
+        right: b.dims(),
+    }
+}
+
+/// Blocked product `A·B`.
+///
+/// The left operand's rows are already `k`-contiguous; the right operand
+/// is transpose-packed once and reused across the whole sweep.
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] when `a.cols() != b.rows()`.
+pub fn mul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>, NumericError> {
+    if a.cols() != b.rows() {
+        return Err(shape_err("matmul", a, b));
+    }
+    let (m, kdim, n) = (a.rows(), a.cols(), b.cols());
+    if m * kdim * n <= SMALL_GEMM_OPS {
+        return Ok(mul_small(a, b));
+    }
+    let mut out = Matrix::zeros(m, n);
+    if T::IS_COMPLEX {
+        let (are, aim) = split_rows(a, false);
+        let (bre, bim) = split_transpose(b, false);
+        gemm_split(&are, &aim, &bre, &bim, m, n, kdim, T::ONE, out.as_mut_slice());
+    } else {
+        let bt = pack_transpose(b, false);
+        gemm_packed(a.as_slice(), &bt, m, n, kdim, T::ONE, out.as_mut_slice());
+    }
+    Ok(out)
+}
+
+/// Fused `Aᴴ·B` (conjugate-transpose folded into the packing).
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] when `a.rows() != b.rows()`.
+pub fn mul_hermitian_left<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Result<Matrix<T>, NumericError> {
+    if a.rows() != b.rows() {
+        return Err(shape_err("mul_hermitian_left", a, b));
+    }
+    let (m, kdim, n) = (a.cols(), a.rows(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    if T::IS_COMPLEX {
+        let (are, aim) = split_transpose(a, true);
+        let (bre, bim) = split_transpose(b, false);
+        gemm_split(&are, &aim, &bre, &bim, m, n, kdim, T::ONE, out.as_mut_slice());
+    } else {
+        let at = pack_transpose(a, true);
+        let bt = pack_transpose(b, false);
+        gemm_packed(&at, &bt, m, n, kdim, T::ONE, out.as_mut_slice());
+    }
+    Ok(out)
+}
+
+/// Fused `A·Bᵀ` (no conjugation, and **no packing at all**: both
+/// operands are already row-major over the shared dimension).
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] when `a.cols() != b.cols()`.
+pub fn mul_transpose_right<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Result<Matrix<T>, NumericError> {
+    if a.cols() != b.cols() {
+        return Err(shape_err("mul_transpose_right", a, b));
+    }
+    let (m, kdim, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    if T::IS_COMPLEX {
+        let (are, aim) = split_rows(a, false);
+        let (bre, bim) = split_rows(b, false);
+        gemm_split(&are, &aim, &bre, &bim, m, n, kdim, T::ONE, out.as_mut_slice());
+    } else {
+        gemm_packed(
+            a.as_slice(),
+            b.as_slice(),
+            m,
+            n,
+            kdim,
+            T::ONE,
+            out.as_mut_slice(),
+        );
+    }
+    Ok(out)
+}
+
+/// Fused `A·Bᴴ` (conjugation folded into the sweep; like
+/// [`mul_transpose_right`] both operands are already `k`-contiguous, the
+/// right one is conjugate-packed to keep the inner loop branch-free).
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] when `a.cols() != b.cols()`.
+pub fn mul_adjoint_right<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Result<Matrix<T>, NumericError> {
+    if a.cols() != b.cols() {
+        return Err(shape_err("mul_adjoint_right", a, b));
+    }
+    if !T::IS_COMPLEX {
+        return mul_transpose_right(a, b);
+    }
+    let (m, kdim, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    let (are, aim) = split_rows(a, false);
+    let (bre, bim) = split_rows(b, true);
+    gemm_split(&are, &aim, &bre, &bim, m, n, kdim, T::ONE, out.as_mut_slice());
+    Ok(out)
+}
+
+/// Fused scaled accumulate `C ← C + α·A·B`, no product temporary.
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] when `a.cols() != b.rows()`
+/// or `c.dims() != (a.rows(), b.cols())`.
+pub fn accumulate_scaled<T: Scalar>(
+    c: &mut Matrix<T>,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Result<(), NumericError> {
+    if a.cols() != b.rows() {
+        return Err(shape_err("accumulate_scaled", a, b));
+    }
+    if c.dims() != (a.rows(), b.cols()) {
+        return Err(NumericError::ShapeMismatch {
+            op: "accumulate_scaled",
+            left: c.dims(),
+            right: (a.rows(), b.cols()),
+        });
+    }
+    let (m, kdim, n) = (a.rows(), a.cols(), b.cols());
+    if T::IS_COMPLEX {
+        let (are, aim) = split_rows(a, false);
+        let (bre, bim) = split_transpose(b, false);
+        gemm_split(&are, &aim, &bre, &bim, m, n, kdim, alpha, c.as_mut_slice());
+    } else {
+        let bt = pack_transpose(b, false);
+        gemm_packed(a.as_slice(), &bt, m, n, kdim, alpha, c.as_mut_slice());
+    }
+    Ok(())
+}
+
+/// Reference textbook product: per-element `i-j-k` triple loop through
+/// the `Index` operator. Kept as the oracle for property tests and the
+/// baseline the `gemm_kernels` bench measures the blocked path against.
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] when `a.cols() != b.rows()`.
+pub fn mul_naive<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>, NumericError> {
+    if a.cols() != b.rows() {
+        return Err(shape_err("matmul", a, b));
+    }
+    let (m, kdim, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = T::ZERO;
+            for k in 0..kdim {
+                acc += a[(i, k)] * b[(k, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::matrix::{CMatrix, RMatrix};
+
+    fn cmat(rows: usize, cols: usize, seed: u64) -> CMatrix {
+        let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        };
+        CMatrix::from_fn(rows, cols, |_, _| c64(next(), next()))
+    }
+
+    #[test]
+    fn blocked_matches_naive_across_shapes() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (4, 4, 4),
+            (7, 13, 5),
+            (17, 33, 9),
+            (48, 50, 52),
+            (65, 3, 70),
+            (1, 300, 1),
+        ] {
+            let a = cmat(m, k, (m * 1000 + k) as u64);
+            let b = cmat(k, n, (k * 1000 + n) as u64);
+            let fast = mul(&a, &b).unwrap();
+            let slow = mul_naive(&a, &b).unwrap();
+            assert!(
+                fast.approx_eq(&slow, 1e-13 * (k as f64).max(1.0)),
+                "mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_produce_empty_or_zero_results() {
+        let a = CMatrix::zeros(0, 4);
+        let b = CMatrix::zeros(4, 3);
+        assert_eq!(mul(&a, &b).unwrap().dims(), (0, 3));
+        let a = CMatrix::zeros(3, 0);
+        let b = CMatrix::zeros(0, 2);
+        let p = mul(&a, &b).unwrap();
+        assert_eq!(p.dims(), (3, 2));
+        assert!(p.iter().all(|&z| z == c64(0.0, 0.0)));
+        assert_eq!(
+            mul_hermitian_left(&CMatrix::zeros(0, 2), &CMatrix::zeros(0, 5))
+                .unwrap()
+                .dims(),
+            (2, 5)
+        );
+        assert_eq!(
+            mul_transpose_right(&CMatrix::zeros(2, 0), &CMatrix::zeros(5, 0))
+                .unwrap()
+                .dims(),
+            (2, 5)
+        );
+    }
+
+    #[test]
+    fn hermitian_left_matches_explicit_adjoint() {
+        let a = cmat(9, 4, 1);
+        let b = cmat(9, 6, 2);
+        let fused = mul_hermitian_left(&a, &b).unwrap();
+        let explicit = a.adjoint().matmul(&b).unwrap();
+        assert!(fused.approx_eq(&explicit, 1e-13));
+    }
+
+    #[test]
+    fn transpose_right_matches_explicit_transpose() {
+        let a = cmat(5, 8, 3);
+        let b = cmat(7, 8, 4);
+        let fused = mul_transpose_right(&a, &b).unwrap();
+        let explicit = a.matmul(&b.transpose()).unwrap();
+        assert!(fused.approx_eq(&explicit, 1e-13));
+    }
+
+    #[test]
+    fn adjoint_right_matches_explicit_adjoint() {
+        let a = cmat(5, 8, 5);
+        let b = cmat(7, 8, 6);
+        let fused = mul_adjoint_right(&a, &b).unwrap();
+        let explicit = a.matmul(&b.adjoint()).unwrap();
+        assert!(fused.approx_eq(&explicit, 1e-13));
+        // Real path short-circuits to the transpose kernel.
+        let ar = RMatrix::from_fn(3, 4, |i, j| (i * 7 + j) as f64 - 5.0);
+        let br = RMatrix::from_fn(2, 4, |i, j| (i * 3 + j) as f64 * 0.5);
+        let fr = mul_adjoint_right(&ar, &br).unwrap();
+        let er = ar.matmul(&br.transpose()).unwrap();
+        assert!(fr.approx_eq(&er, 1e-14));
+    }
+
+    #[test]
+    fn accumulate_scaled_fuses_product_and_sum() {
+        let a = cmat(6, 10, 7);
+        let b = cmat(10, 5, 8);
+        let alpha = c64(0.3, -1.2);
+        let mut c = cmat(6, 5, 9);
+        let expect = &c + &(&a.matmul(&b).unwrap() * alpha);
+        accumulate_scaled(&mut c, alpha, &a, &b).unwrap();
+        assert!(c.approx_eq(&expect, 1e-13));
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        assert!(mul(&a, &b).is_err());
+        assert!(mul_hermitian_left(&CMatrix::zeros(3, 2), &CMatrix::zeros(4, 2)).is_err());
+        assert!(mul_transpose_right(&CMatrix::zeros(2, 3), &CMatrix::zeros(2, 4)).is_err());
+        let mut c = CMatrix::zeros(2, 2);
+        assert!(accumulate_scaled(&mut c, c64(1.0, 0.0), &CMatrix::zeros(2, 3), &b).is_err());
+        let mut c_bad = CMatrix::zeros(3, 3);
+        let a_ok = CMatrix::zeros(2, 3);
+        let b_ok = CMatrix::zeros(3, 2);
+        assert!(accumulate_scaled(&mut c_bad, c64(1.0, 0.0), &a_ok, &b_ok).is_err());
+    }
+
+    #[test]
+    fn real_matrices_use_the_same_kernels() {
+        let a = RMatrix::from_fn(13, 21, |i, j| ((i * 31 + j * 7) % 11) as f64 - 5.0);
+        let b = RMatrix::from_fn(21, 8, |i, j| ((i * 13 + j * 5) % 9) as f64 - 4.0);
+        let fast = mul(&a, &b).unwrap();
+        let slow = mul_naive(&a, &b).unwrap();
+        assert!(fast.approx_eq(&slow, 1e-11));
+    }
+}

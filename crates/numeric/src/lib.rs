@@ -7,6 +7,9 @@
 //! * [`Complex`] — a `f64`-based complex scalar (constructed with [`c64`]),
 //! * [`Matrix`] — a dense, row-major matrix generic over [`Scalar`]
 //!   (instantiated as [`CMatrix`] and [`RMatrix`]),
+//! * [`kernel`] — cache-blocked, transpose-packed GEMM and the fused
+//!   product forms (`AᴴB`, `ABᵀ`, `C ← C + αAB`) every dense product in
+//!   the workspace routes through,
 //! * [`Lu`] — LU factorization with partial pivoting (solve / det / inverse),
 //! * [`Qr`] — Householder QR (orthonormal bases, least squares),
 //! * [`Svd`] — singular value decomposition of complex matrices via
@@ -46,6 +49,7 @@ mod scalar;
 mod solve;
 
 pub mod eig;
+pub mod kernel;
 pub mod svd;
 
 pub use complex::{c64, Complex};

@@ -292,34 +292,57 @@ impl<T: Scalar> Matrix<T> {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Uses an `i-k-j` loop order so the inner loop streams rows of `rhs`.
+    /// Routes through the cache-blocked, transpose-packed
+    /// [`kernel`](crate::kernel) layer (as do the fused variants
+    /// [`Matrix::mul_hermitian_left`] and [`Matrix::mul_transpose_right`]).
     ///
     /// # Errors
     ///
     /// Returns [`NumericError::ShapeMismatch`] when `self.cols != rhs.rows`.
     pub fn matmul(&self, rhs: &Self) -> Result<Self, NumericError> {
-        if self.cols != rhs.rows {
-            return Err(NumericError::ShapeMismatch {
-                op: "matmul",
-                left: self.dims(),
-                right: rhs.dims(),
-            });
-        }
-        let mut out = Self::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let aik = self[(i, k)];
-                if aik == T::ZERO {
-                    continue;
-                }
-                let rhs_row = rhs.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                    *o += aik * r;
-                }
-            }
-        }
-        Ok(out)
+        crate::kernel::mul(self, rhs)
+    }
+
+    /// Fused product `selfᴴ · rhs` without materializing the adjoint.
+    ///
+    /// For real matrices this is `selfᵀ · rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `self.rows != rhs.rows`.
+    pub fn mul_hermitian_left(&self, rhs: &Self) -> Result<Self, NumericError> {
+        crate::kernel::mul_hermitian_left(self, rhs)
+    }
+
+    /// Fused product `self · rhsᵀ` (no conjugation) without materializing
+    /// the transpose — both operands are already contiguous along the
+    /// shared dimension, so this is the cheapest product shape of all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `self.cols != rhs.cols`.
+    pub fn mul_transpose_right(&self, rhs: &Self) -> Result<Self, NumericError> {
+        crate::kernel::mul_transpose_right(self, rhs)
+    }
+
+    /// Fused product `self · rhsᴴ` without materializing the adjoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `self.cols != rhs.cols`.
+    pub fn mul_adjoint_right(&self, rhs: &Self) -> Result<Self, NumericError> {
+        crate::kernel::mul_adjoint_right(self, rhs)
+    }
+
+    /// Fused scaled accumulate `self ← self + α·a·b` without allocating
+    /// the intermediate product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::ShapeMismatch`] when `a.cols != b.rows` or
+    /// `self.dims() != (a.rows, b.cols)`.
+    pub fn add_scaled_mul(&mut self, alpha: T, a: &Self, b: &Self) -> Result<(), NumericError> {
+        crate::kernel::accumulate_scaled(self, alpha, a, b)
     }
 
     /// Matrix-vector product `self · v`.

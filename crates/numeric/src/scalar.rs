@@ -202,7 +202,7 @@ mod tests {
         assert_eq!(Scalar::conj(z), c64(1.0, 2.0));
         assert_eq!(Scalar::re(z), 1.0);
         assert_eq!(Scalar::im(z), -2.0);
-        assert!(Complex::IS_COMPLEX && !f64::IS_COMPLEX);
+        const _: () = assert!(Complex::IS_COMPLEX && !f64::IS_COMPLEX);
         assert_eq!(Scalar::to_complex(z), z);
     }
 

@@ -98,7 +98,6 @@ pub(crate) fn svd_jacobi(a: &CMatrix) -> Result<(CMatrix, Vec<f64>, CMatrix), Nu
             }
         }
     }
-    let mut v = v;
     normalize_triplets(&mut u, &mut s, &mut v);
     Ok((u, s, v))
 }

@@ -1,0 +1,152 @@
+//! Property-based tests for the cache-blocked kernel layer.
+//!
+//! Every fused product form must agree with the naive per-element
+//! reference ([`mfti_numeric::kernel::mul_naive`]) to near machine
+//! precision across random rectangular shapes — including degenerate
+//! `0×n` / `n×0` / inner-dimension-zero edges, which the generators
+//! below produce with positive probability.
+
+use mfti_numeric::kernel;
+use mfti_numeric::{c64, CMatrix, Complex, RMatrix};
+use proptest::prelude::*;
+
+/// Strategy: complex matrix with entries in `[-1, 1]²`; dimensions may
+/// be zero (degenerate shapes are the classic blocked-kernel bug nest).
+fn cmatrix(
+    rows: std::ops::RangeInclusive<usize>,
+    cols: std::ops::RangeInclusive<usize>,
+) -> impl Strategy<Value = CMatrix> {
+    (rows, cols).prop_flat_map(|(m, n)| {
+        proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), m * n).prop_map(move |v| {
+            CMatrix::from_vec(m, n, v.into_iter().map(|(re, im)| c64(re, im)).collect())
+                .expect("length matches")
+        })
+    })
+}
+
+/// Paired shapes `(A: m×k, B: k×n)` for product tests, `k` shared.
+fn product_pair() -> impl Strategy<Value = (CMatrix, CMatrix)> {
+    (0usize..=40, 0usize..=70, 0usize..=40).prop_flat_map(|(m, k, n)| {
+        (cmatrix(m..=m, k..=k), cmatrix(k..=k, n..=n))
+    })
+}
+
+/// Agreement tolerance: the blocked kernel sums in a different order
+/// than the naive reference, so allow roundoff proportional to the
+/// contraction length.
+fn tol(k: usize) -> f64 {
+    1e-13 * (k as f64).max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn blocked_mul_matches_naive((a, b) in product_pair()) {
+        let fast = kernel::mul(&a, &b).unwrap();
+        let slow = kernel::mul_naive(&a, &b).unwrap();
+        prop_assert_eq!(fast.dims(), slow.dims());
+        prop_assert!(fast.approx_eq(&slow, tol(a.cols())));
+    }
+
+    #[test]
+    fn hermitian_left_matches_naive_adjoint(
+        a in cmatrix(0..=40, 0..=24),
+        b_cols in 0usize..=24,
+    ) {
+        // Shared leading dimension: Aᴴ·B requires a.rows == b.rows.
+        let k = a.rows();
+        let b = CMatrix::from_fn(k, b_cols, |i, j| {
+            c64((i as f64 * 1.3 + j as f64).sin(), (i as f64 - 0.7 * j as f64).cos())
+        });
+        let fused = kernel::mul_hermitian_left(&a, &b).unwrap();
+        let reference = kernel::mul_naive(&a.adjoint(), &b).unwrap();
+        prop_assert_eq!(fused.dims(), (a.cols(), b_cols));
+        prop_assert!(fused.approx_eq(&reference, tol(k)));
+    }
+
+    #[test]
+    fn transpose_right_matches_naive_transpose(
+        a in cmatrix(0..=40, 0..=24),
+        b_rows in 0usize..=24,
+    ) {
+        // Shared trailing dimension: A·Bᵀ requires a.cols == b.cols.
+        let k = a.cols();
+        let b = CMatrix::from_fn(b_rows, k, |i, j| {
+            c64((i as f64 + 2.1 * j as f64).cos(), (0.5 * i as f64 - j as f64).sin())
+        });
+        let fused = kernel::mul_transpose_right(&a, &b).unwrap();
+        let reference = kernel::mul_naive(&a, &b.transpose()).unwrap();
+        prop_assert_eq!(fused.dims(), (a.rows(), b_rows));
+        prop_assert!(fused.approx_eq(&reference, tol(k)));
+    }
+
+    #[test]
+    fn adjoint_right_matches_naive_adjoint(
+        a in cmatrix(0..=30, 0..=20),
+        b_rows in 0usize..=20,
+    ) {
+        let k = a.cols();
+        let b = CMatrix::from_fn(b_rows, k, |i, j| {
+            c64((1.7 * i as f64 - j as f64).sin(), (i as f64 * j as f64 * 0.13).cos())
+        });
+        let fused = kernel::mul_adjoint_right(&a, &b).unwrap();
+        let reference = kernel::mul_naive(&a, &b.adjoint()).unwrap();
+        prop_assert!(fused.approx_eq(&reference, tol(k)));
+    }
+
+    #[test]
+    fn accumulate_scaled_matches_unfused(
+        (a, b) in product_pair(),
+        alpha_re in -2.0f64..2.0,
+        alpha_im in -2.0f64..2.0,
+    ) {
+        let alpha = c64(alpha_re, alpha_im);
+        let mut c = CMatrix::from_fn(a.rows(), b.cols(), |i, j| {
+            c64((i as f64 - j as f64).sin(), (i + j) as f64 * 0.01)
+        });
+        let expect = {
+            let prod = kernel::mul_naive(&a, &b).unwrap();
+            &c + &prod.map(|z| z * alpha)
+        };
+        kernel::accumulate_scaled(&mut c, alpha, &a, &b).unwrap();
+        prop_assert!(c.approx_eq(&expect, tol(a.cols())));
+    }
+
+    #[test]
+    fn real_blocked_mul_matches_naive(
+        (m, k, n) in (0usize..=30, 0usize..=60, 0usize..=30),
+        seed in 0u64..1000,
+    ) {
+        let a = RMatrix::from_fn(m, k, |i, j| ((seed + (i * 31 + j * 7) as u64) as f64 * 0.77).sin());
+        let b = RMatrix::from_fn(k, n, |i, j| ((seed + (i * 13 + j * 5) as u64) as f64 * 0.33).cos());
+        let fast = kernel::mul(&a, &b).unwrap();
+        let slow = kernel::mul_naive(&a, &b).unwrap();
+        prop_assert!(fast.approx_eq(&slow, tol(k)));
+    }
+
+    #[test]
+    fn operator_and_method_route_through_the_kernel((a, b) in product_pair()) {
+        // Matrix::matmul must be exactly the kernel path (same op, same
+        // summation order, bit-identical results).
+        let via_kernel = kernel::mul(&a, &b).unwrap();
+        let via_method = a.matmul(&b).unwrap();
+        prop_assert!(via_kernel.approx_eq(&via_method, 0.0));
+    }
+
+    #[test]
+    fn fused_products_satisfy_adjoint_algebra(a in cmatrix(1..=16, 1..=16)) {
+        // (AᴴA) is Hermitian positive semidefinite.
+        let g = a.mul_hermitian_left(&a).unwrap();
+        let gh = g.adjoint();
+        prop_assert!(g.approx_eq(&gh, 1e-12));
+        for i in 0..g.rows() {
+            prop_assert!(g[(i, i)].re >= -1e-12);
+            prop_assert!(g[(i, i)].im.abs() <= 1e-12);
+        }
+        // trace(AᴴA) = ‖A‖_F².
+        let tr: Complex = (0..g.rows()).map(|i| g[(i, i)]).fold(Complex::ZERO, |s, z| s + z);
+        let fro2 = a.norm_fro().powi(2);
+        prop_assert!((tr.re - fro2).abs() <= 1e-11 * fro2.max(1.0));
+    }
+}

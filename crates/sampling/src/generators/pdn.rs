@@ -168,7 +168,7 @@ impl PdnBuilder {
 
         let mut poles = Vec::with_capacity(2 * self.resonance_pairs);
         let mut residues = Vec::with_capacity(2 * self.resonance_pairs);
-        for k in 0..self.resonance_pairs {
+        for (k, &taper_rank_k) in taper_rank.iter().enumerate() {
             let frac = if self.resonance_pairs > 1 {
                 k as f64 / (self.resonance_pairs - 1) as f64
             } else {
@@ -192,11 +192,11 @@ impl PdnBuilder {
             let v = RMatrix::from_fn(p, 1, |i, _| {
                 gaussian(&mut rng) + self.coupling * shared[(i, 0)]
             });
-            let mode = v.matmul(&v.transpose()).expect("outer product");
+            let mode = v.mul_transpose_right(&v).expect("outer product");
             // Log-linear strength taper across the configured dynamic
             // range, plus jitter so no single resonance dominates.
             let taper = if self.resonance_pairs > 1 {
-                let frac = taper_rank[k] as f64 / (self.resonance_pairs - 1) as f64;
+                let frac = taper_rank_k as f64 / (self.resonance_pairs - 1) as f64;
                 10f64.powf(-self.strength_decades * frac)
             } else {
                 1.0
@@ -232,7 +232,7 @@ impl PdnBuilder {
         for f in grid {
             peak = peak.max(model.response_at_hz(f)?.max_abs());
         }
-        if peak > 0.0 && (peak < 0.5 || peak > 2.0) {
+        if peak > 0.0 && !(0.5..=2.0).contains(&peak) {
             let inv = 1.0 / peak;
             let residues = model
                 .residues()

@@ -199,7 +199,7 @@ pub fn read<R: Read>(r: R, ports: usize) -> Result<SampleSet, SamplingError> {
     }
 
     let per_record = 1 + 2 * ports * ports;
-    if tokens.is_empty() || tokens.len() % per_record != 0 {
+    if tokens.is_empty() || !tokens.len().is_multiple_of(per_record) {
         return Err(SamplingError::Parse {
             line: tokens.last().map(|t| t.1).unwrap_or(0),
             what: format!(

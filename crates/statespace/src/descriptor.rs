@@ -229,16 +229,29 @@ impl<T: Scalar> TransferFunction for DescriptorSystem<T> {
     }
 
     fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError> {
-        // H(s) = C (sE − A)⁻¹ B + D via one LU solve.
-        let se = self.e.to_complex().map(|x| x * s);
-        let pencil = &se - &self.a.to_complex();
+        // H(s) = C (sE − A)⁻¹ B + D via one LU solve. The pencil sE − A
+        // is assembled in a single fused pass (bode sweeps call this per
+        // frequency, so the temporaries of the naive `to_complex` chain
+        // would dominate small-model evaluation).
+        let n = self.a.rows();
+        let pencil_data: Vec<Complex> = self
+            .e
+            .as_slice()
+            .iter()
+            .zip(self.a.as_slice())
+            .map(|(&e, &a)| e.to_complex() * s - a.to_complex())
+            .collect();
+        let pencil = CMatrix::from_vec(n, n, pencil_data).expect("E and A are n×n");
         let lu = Lu::compute(&pencil)?;
         if lu.is_singular() {
             return Err(StateSpaceError::EvaluationAtPole { re: s.re, im: s.im });
         }
         let x = lu.solve(&self.b.to_complex())?;
-        let cx = self.c.to_complex().matmul(&x)?;
-        Ok(&cx + &self.d.to_complex())
+        let mut h = self.c.to_complex().matmul(&x)?;
+        for (h_e, &d_e) in h.as_mut_slice().iter_mut().zip(self.d.as_slice()) {
+            *h_e += d_e.to_complex();
+        }
+        Ok(h)
     }
 }
 

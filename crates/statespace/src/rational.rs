@@ -238,7 +238,6 @@ impl TransferFunction for RationalModel {
     }
 
     fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError> {
-        let (p, m) = self.d.dims();
         let mut h = self.d.clone();
         for (pole, res) in self.poles.iter().zip(&self.residues) {
             let denom = s - *pole;
@@ -246,11 +245,9 @@ impl TransferFunction for RationalModel {
                 return Err(StateSpaceError::EvaluationAtPole { re: s.re, im: s.im });
             }
             let w = denom.recip();
-            for i in 0..p {
-                for j in 0..m {
-                    let inc = res[(i, j)] * w;
-                    h[(i, j)] += inc;
-                }
+            // Scaled accumulate over the flat storage (h ← h + w·R).
+            for (h_e, &r_e) in h.as_mut_slice().iter_mut().zip(res.as_slice()) {
+                *h_e += r_e * w;
             }
         }
         Ok(h)

@@ -5,7 +5,7 @@
 //!
 //! * real pole `a`:   `φ(s) = 1/(s − a)` (one column),
 //! * pair `(a, ā)`:   `φ₁ = 1/(s−a) + 1/(s−ā)`,
-//!                    `φ₂ = j/(s−a) − j/(s−ā)` (two columns),
+//!   `φ₂ = j/(s−a) − j/(s−ā)` (two columns),
 //!
 //! so that real coefficients `(c′, c″)` encode the complex residue
 //! `c = c′ + j c″` at `a` (and `c̄` at `ā`). Splitting rows into real and

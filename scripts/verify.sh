@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1-plus verification for the MFTI workspace:
+#   build → tests → benches compile → lint → perf snapshot.
+#
+# Usage: scripts/verify.sh [--no-bench-run]
+#   --no-bench-run  skip the timing snapshot (CI boxes with noisy clocks)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() { echo "==> $*"; "$@"; }
+
+run cargo build --release --workspace
+run cargo test -q --workspace
+run cargo bench --no-run --workspace
+run cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "--no-bench-run" ]]; then
+    # Perf trajectory: one JSON snapshot of the end-to-end fit + GEMM
+    # kernels per verify run (BENCH_end_to_end.json, gitignored).
+    run cargo run --release -p mfti-bench --bin bench_json
+fi
+
+echo "verify: all green"

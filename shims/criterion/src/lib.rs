@@ -1,0 +1,352 @@
+//! Offline shim for the subset of the `criterion` benchmarking API the
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so benches link
+//! against this minimal harness instead of the real crate. It keeps the
+//! same source-level API (`criterion_group!` / `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`],
+//! [`black_box`]) so the bench sources stay byte-for-byte compatible
+//! with real criterion, and measures wall-clock time with a warmup
+//! phase, reporting min/median/mean per benchmark.
+//!
+//! Set `BENCH_JSON=/path/to/out.json` to additionally dump a machine
+//! readable summary (one entry per benchmark: id, iterations, and
+//! nanoseconds min/median/mean) — the workspace's perf-trajectory
+//! tooling consumes this.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark: identifier plus per-iteration statistics.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id, `group/function` or `group/function/param`.
+    pub id: String,
+    /// Number of timed iterations contributing to the statistics.
+    pub iterations: u64,
+    /// Fastest observed per-iteration time, in nanoseconds.
+    pub min_ns: f64,
+    /// Median per-iteration time, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time, in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    samples_target: usize,
+    measured: Vec<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing each call after a warmup.
+    ///
+    /// Keeps total per-benchmark cost bounded (~2 s) even for slow
+    /// routines by shrinking the sample count adaptively.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup + cost estimate.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let est = warm_start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = Duration::from_secs(2);
+        let affordable = (budget.as_nanos() / est.as_nanos()).max(1) as usize;
+        let samples = self.samples_target.min(affordable).max(1);
+
+        // Warm up a little more for fast routines so caches settle.
+        if est < Duration::from_millis(1) {
+            let warm_until = Instant::now() + Duration::from_millis(50);
+            while Instant::now() < warm_until {
+                black_box(routine());
+            }
+        }
+
+        // For very fast routines, batch iterations per sample so each
+        // timed interval is long enough for the clock to resolve.
+        let batch = (Duration::from_micros(200).as_nanos() / est.as_nanos()).max(1) as u64;
+
+        self.measured.clear();
+        self.iterations = 0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.measured.push(elapsed / batch as u32);
+            self.iterations += batch;
+        }
+    }
+
+    fn result(&self, id: &str) -> BenchResult {
+        let mut ns: Vec<f64> = self.measured.iter().map(|d| d.as_nanos() as f64).collect();
+        ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = ns.first().copied().unwrap_or(0.0);
+        let median = if ns.is_empty() {
+            0.0
+        } else {
+            ns[ns.len() / 2]
+        };
+        let mean = if ns.is_empty() {
+            0.0
+        } else {
+            ns.iter().sum::<f64>() / ns.len() as f64
+        };
+        BenchResult {
+            id: id.to_string(),
+            iterations: self.iterations,
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Top-level harness state, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    default_sample_size: Option<usize>,
+}
+
+const DEFAULT_SAMPLES: usize = 30;
+
+impl Criterion {
+    /// Overrides the default sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_sample_size = Some(n);
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.default_sample_size.unwrap_or(DEFAULT_SAMPLES);
+        let result = run_one(id, samples, f);
+        self.results.push(result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the final table and honours `BENCH_JSON`.
+    pub fn finalize(&self) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            if !path.is_empty() {
+                match write_json(&self.results, &path) {
+                    Err(e) => eprintln!("criterion-shim: failed to write {path}: {e}"),
+                    Ok(()) => eprintln!(
+                        "criterion-shim: wrote {} results to {path}",
+                        self.results.len()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Serializes measured results as the workspace's `BENCH_*.json` schema:
+/// `[{id, iterations, min_ns, median_ns, mean_ns}, …]`. Shared by the
+/// `BENCH_JSON` env hook and the `bench_json` snapshot binary.
+pub fn write_json(results: &[BenchResult], path: &str) -> std::io::Result<()> {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"iterations\": {}, \"min_ns\": {:.1}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+            r.id.replace('"', "'"),
+            r.iterations,
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(path, out)
+}
+
+fn run_one(id: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) -> BenchResult {
+    let mut bencher = Bencher {
+        samples_target: samples,
+        measured: Vec::new(),
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let result = bencher.result(id);
+    println!(
+        "{:<48} time: [min {} / median {} / mean {}]  ({} iters)",
+        result.id,
+        human(result.min_ns),
+        human(result.median_ns),
+        human(result.mean_ns),
+        result.iterations
+    );
+    result
+}
+
+/// A named benchmark group, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn samples(&self) -> usize {
+        self.sample_size
+            .or(self.criterion.default_sample_size)
+            .unwrap_or(DEFAULT_SAMPLES)
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().label);
+        let result = run_one(&full, self.samples(), f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Runs a benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.label);
+        let result = run_one(&full, self.samples(), |b| f(b, input));
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Ends the group (prints nothing extra; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group runner, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        c.sample_size(5).bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].iterations >= 1);
+        assert!(c.results()[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+            g.bench_with_input(BenchmarkId::new("g", 7), &7usize, |b, &n| {
+                b.iter(|| black_box(n * n))
+            });
+            g.finish();
+        }
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["grp/f", "grp/g/7"]);
+    }
+}

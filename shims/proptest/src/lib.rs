@@ -1,0 +1,464 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the property
+//! suites link against this minimal, dependency-free re-implementation.
+//! It keeps source compatibility for:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * range strategies (`0u64..1000`, `1usize..=12`, `-1.0f64..1.0`),
+//!   tuple strategies up to arity 6, [`strategy::Just`], and
+//!   [`collection::vec`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from real proptest: generation is purely random (no
+//! shrinking — failures report the full generated inputs instead), and
+//! rejection sampling via `prop_assume!` counts against a bounded
+//! attempt budget of `16 × cases`.
+//!
+//! Set `PROPTEST_SEED=<u64>` to reproduce a failing run; the default
+//! seed is fixed so CI runs are deterministic.
+
+/// Test-runner plumbing: config, rng, and case outcomes.
+pub mod test_runner {
+    /// Run configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject(String),
+        /// `prop_assert!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    /// Runs one case body; exists to pin the closure's `Result` type.
+    pub fn run_case(
+        f: impl FnOnce() -> Result<(), TestCaseError>,
+    ) -> Result<(), TestCaseError> {
+        f()
+    }
+
+    /// Deterministic per-case random source (SplitMix64 → xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Base seed: `PROPTEST_SEED` env var when set, else a fixed
+        /// constant so unseeded runs are reproducible.
+        pub fn base_seed() -> u64 {
+            std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0x0DAC_2010_C0FF_EE00)
+        }
+
+        /// Rng for the `case`-th attempt of a test named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            let mut h = Self::base_seed() ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01B3);
+            }
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = h;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *word = z ^ (z >> 31);
+            }
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 1;
+            }
+            TestRng { s }
+        }
+
+        /// Next 64 uniform random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[lo, hi]` (inclusive).
+        pub fn int_inclusive(&mut self, lo: i128, hi: i128) -> i128 {
+            debug_assert!(lo <= hi);
+            let span = (hi - lo) as u128 + 1;
+            let offset = ((self.next_u64() as u128) * span) >> 64;
+            lo + offset as i128
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of an associated type.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a
+    /// strategy simply draws a fresh value from a [`TestRng`].
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into a second, value-dependent strategy.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.int_inclusive(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    rng.int_inclusive(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for std::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            lo + (hi - lo) * rng.unit_f64()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing `Vec`s of exactly `size` elements.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: usize,
+    }
+
+    /// Generates vectors of `size` values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: usize) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.size).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the property suites import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Fails the current case (the whole test) when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality flavour of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Rejects the current case (re-drawn) when the condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let max_attempts = config.cases.saturating_mul(16).max(64);
+                let mut accepted: u32 = 0;
+                let mut attempts: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases && attempts < max_attempts {
+                    let case = attempts;
+                    attempts += 1;
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    let mut __inputs = String::new();
+                    $(
+                        let __generated =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                        __inputs.push_str(&format!(
+                            "  {} = {:?}\n", stringify!($arg), &__generated
+                        ));
+                        let $arg = __generated;
+                    )+
+                    let __result = $crate::test_runner::run_case(move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    });
+                    match __result {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            continue;
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!(
+                            "proptest `{}` failed at case {} (base seed {}): {}\ninputs:\n{}",
+                            stringify!($name),
+                            case,
+                            $crate::test_runner::TestRng::base_seed(),
+                            msg,
+                            __inputs,
+                        ),
+                    }
+                }
+                // Mirror real proptest's "too many global rejects": a
+                // run that exhausts its attempt budget on `prop_assume!`
+                // rejections must not pass vacuously.
+                if accepted < config.cases {
+                    panic!(
+                        "proptest `{}` exhausted {} attempts with only {}/{} accepted \
+                         cases ({} rejected by prop_assume!) — strategy/assumption too \
+                         restrictive",
+                        stringify!($name), attempts, accepted, config.cases, rejected,
+                    );
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(n in 1usize..=12, x in -1.0f64..1.0, s in 5u64..100) {
+            prop_assert!((1..=12).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!((5..100).contains(&s));
+        }
+
+        #[test]
+        fn flat_map_and_collection_vec_compose(v in (1usize..=4).prop_flat_map(|n| {
+            crate::collection::vec((0.0f64..1.0, 0.0f64..1.0), n * 2)
+        })) {
+            prop_assert!(v.len() % 2 == 0);
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&(a, b)| (0.0..1.0).contains(&a) && (0.0..1.0).contains(&b)));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn map_transforms(doubled in (1usize..=6).prop_map(|n| n * 2)) {
+            prop_assert!(doubled % 2 == 0);
+            prop_assert!(doubled <= 12);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0.0f64..1.0;
+        let mut r1 = crate::test_runner::TestRng::for_case("x", 0);
+        let mut r2 = crate::test_runner::TestRng::for_case("x", 0);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

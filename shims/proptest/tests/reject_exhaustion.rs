@@ -1,0 +1,15 @@
+//! A test whose `prop_assume!` always rejects must fail loudly (real
+//! proptest's "too many global rejects"), never pass vacuously.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn impossible_assumption_panics(n in 0usize..10) {
+        prop_assume!(n > 100); // never true
+        prop_assert!(false, "unreachable: every case is rejected");
+    }
+}

@@ -1,0 +1,308 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal, dependency-free implementation: [`rngs::StdRng`]
+//! seeded via [`SeedableRng::seed_from_u64`], and the [`Rng`] extension
+//! trait providing `gen::<f64>()`, `gen::<u64>()`, `gen_bool` and
+//! `gen_range` over integer/float ranges.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — the same
+//! construction rand 0.8 uses for `SmallRng` — so streams are uniform,
+//! fast and reproducible. Sequences are *not* bit-identical to the real
+//! `rand` crate (StdRng there is ChaCha12); all workspace consumers only
+//! rely on determinism for a fixed seed, not on a specific stream.
+
+/// Core trait: a source of uniformly distributed `u64` words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a full seed array.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanding it with SplitMix64.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Extension trait with the sampling helpers consumers call.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64` in `[0, 1)`, integers uniform over their full range,
+    /// `bool` as a fair coin).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: UniformSample,
+        R: IntoUniformRange<T>,
+    {
+        let (lo, hi_inclusive) = range.bounds();
+        T::sample_inclusive(self, lo, hi_inclusive)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types sampleable by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution for `Self`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Scalar types usable with [`Rng::gen_range`].
+pub trait UniformSample: Copy + PartialOrd {
+    /// Uniform sample from the inclusive interval `[lo, hi]`.
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// The largest value strictly below `self` (used to convert
+    /// exclusive upper bounds); `None` when no such value exists.
+    fn prev(self) -> Option<Self>;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range called with an empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                // Multiply-shift rejection-free mapping is fine here: span
+                // is tiny relative to 2^64 in every workspace call site, so
+                // modulo bias is < 2^-40 and irrelevant for test workloads.
+                let word = rng.next_u64() as u128;
+                let offset = (word * span) >> 64;
+                (lo as i128 + offset as i128) as $t
+            }
+            fn prev(self) -> Option<Self> {
+                self.checked_sub(1)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    fn sample_inclusive<R: RngCore>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range called with an empty range");
+        let u = f64::sample(rng);
+        lo + (hi - lo) * u
+    }
+    fn prev(self) -> Option<Self> {
+        // Treat `lo..hi` over floats as the half-open interval directly.
+        Some(self)
+    }
+}
+
+/// Conversion of range syntax into inclusive bounds.
+pub trait IntoUniformRange<T: UniformSample> {
+    /// Returns `(lo, hi_inclusive)`.
+    fn bounds(self) -> (T, T);
+}
+
+impl<T: UniformSample> IntoUniformRange<T> for std::ops::Range<T> {
+    fn bounds(self) -> (T, T) {
+        let hi = self
+            .end
+            .prev()
+            .expect("gen_range called with an empty range");
+        (self.start, hi)
+    }
+}
+
+impl<T: UniformSample> IntoUniformRange<T> for std::ops::RangeInclusive<T> {
+    fn bounds(self) -> (T, T) {
+        (*self.start(), *self.end())
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256**).
+    ///
+    /// Not stream-compatible with `rand`'s ChaCha-based `StdRng`, but a
+    /// high-quality uniform generator with the same construction API.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(bytes);
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s.iter().all(|&w| w == 0) {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..200usize {
+            let j = rng.gen_range(0..=i);
+            assert!(j <= i);
+            if i > 0 {
+                let k = rng.gen_range(0..i);
+                assert!(k < i);
+            }
+        }
+        let x = rng.gen_range(-2.0f64..3.0);
+        assert!((-2.0..3.0).contains(&x));
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert_eq!(same, 0);
+    }
+}
