@@ -15,11 +15,9 @@ fn bench_gemm(c: &mut Criterion) {
     for &n in &[64usize, 128, 256] {
         let a = random_complex(n, 0x5eed ^ n as u64);
         let b = random_complex(n, 0xbeef ^ n as u64);
-        group.bench_with_input(
-            BenchmarkId::new("naive", n),
-            &(&a, &b),
-            |bench, (a, b)| bench.iter(|| kernel::mul_naive(a, b).expect("gemm")),
-        );
+        group.bench_with_input(BenchmarkId::new("naive", n), &(&a, &b), |bench, (a, b)| {
+            bench.iter(|| kernel::mul_naive(a, b).expect("gemm"))
+        });
         group.bench_with_input(
             BenchmarkId::new("blocked", n),
             &(&a, &b),

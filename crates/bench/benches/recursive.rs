@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mfti_core::{Mfti, OrderSelection, RecursiveMfti, SelectionOrder, Weights};
+use mfti_core::{Fitter, Mfti, OrderSelection, RecursiveMfti, SelectionOrder, Weights};
 use mfti_sampling::generators::PdnBuilder;
 use mfti_sampling::{FrequencyGrid, NoiseModel, SampleSet};
 

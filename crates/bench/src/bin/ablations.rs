@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use mfti_bench::{print_table, secs, table1_samples};
 use mfti_core::{
-    metrics, DirectionKind, Mfti, OrderSelection, RealizationPath, RecursiveMfti,
+    metrics, DirectionKind, Fitter, Mfti, OrderSelection, RealizationPath, RecursiveMfti,
     SelectionOrder, Weights,
 };
 use mfti_numeric::{c64, CMatrix, Svd, SvdMethod};
@@ -24,7 +24,10 @@ fn main() {
     println!("MFTI t=2 on the Table-1 workload: directions x realization\n");
     let mut rows = Vec::new();
     for (dname, dirs) in [
-        ("random orthonormal", DirectionKind::RandomOrthonormal { seed: 7 }),
+        (
+            "random orthonormal",
+            DirectionKind::RandomOrthonormal { seed: 7 },
+        ),
         ("cyclic identity", DirectionKind::CyclicIdentity),
     ] {
         for (pname, path) in [
@@ -40,12 +43,11 @@ fn main() {
                 .fit(&noisy)
             {
                 Ok(fit) => {
-                    let err = metrics::err_rms_of(&fit.model, &noisy)
-                        .unwrap_or(f64::INFINITY);
+                    let err = metrics::err_rms_of(fit.model(), &noisy).unwrap_or(f64::INFINITY);
                     rows.push(vec![
                         dname.to_string(),
                         pname.to_string(),
-                        fit.detected_order.to_string(),
+                        fit.order().to_string(),
                         secs(t0.elapsed()),
                         format!("{err:.2e}"),
                     ]);
@@ -54,14 +56,20 @@ fn main() {
             }
         }
     }
-    print_table(&["directions", "realization", "order", "time(s)", "ERR"], &rows);
+    print_table(
+        &["directions", "realization", "order", "time(s)", "ERR"],
+        &rows,
+    );
 
     // --- Recursive admission order ---------------------------------------
     println!("\nAlgorithm 2 admission order (t=2, batch 5):\n");
     let mut rows = Vec::new();
     for (name, order) in [
         ("worst-first (default)", SelectionOrder::WorstFirst),
-        ("best-first (literal pseudo-code)", SelectionOrder::BestFirst),
+        (
+            "best-first (literal pseudo-code)",
+            SelectionOrder::BestFirst,
+        ),
     ] {
         let t0 = Instant::now();
         match RecursiveMfti::new()
@@ -73,12 +81,13 @@ fn main() {
             .fit(&noisy)
         {
             Ok(fit) => {
-                let err = metrics::err_rms_of(&fit.result.model, &noisy)
-                    .unwrap_or(f64::INFINITY);
+                let err = metrics::err_rms_of(fit.model(), &noisy).unwrap_or(f64::INFINITY);
+                let used = fit.used_pairs().expect("recursive diagnostics");
+                let rounds = fit.rounds().expect("recursive diagnostics");
                 rows.push(vec![
                     name.to_string(),
-                    format!("{}/{}", fit.used_pairs.len(), noisy.len() / 2),
-                    fit.rounds.len().to_string(),
+                    format!("{}/{}", used.len(), noisy.len() / 2),
+                    rounds.len().to_string(),
                     secs(t0.elapsed()),
                     format!("{err:.2e}"),
                 ]);
@@ -86,7 +95,10 @@ fn main() {
             Err(e) => eprintln!("{name} failed: {e}"),
         }
     }
-    print_table(&["admission", "pairs used", "rounds", "time(s)", "ERR"], &rows);
+    print_table(
+        &["admission", "pairs used", "rounds", "time(s)", "ERR"],
+        &rows,
+    );
 
     // --- SVD backend agreement on the actual pencil ----------------------
     println!("\nSVD backends on a 120x120 complex probe (accuracy cross-check):\n");

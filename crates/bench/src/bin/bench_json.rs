@@ -1,9 +1,12 @@
 //! Machine-readable timing summary of the end-to-end fitting pipeline.
 //!
-//! Runs the Table-1-shaped workload (noisy 6-port PDN) through MFTI
-//! (t = 2 and full weights), VFTI and vector fitting, plus the raw
-//! 256×256 complex GEMM kernel pair, and writes a `BENCH_*.json`
-//! summary so the perf trajectory of the repo is recorded per PR.
+//! Runs the Table-1-shaped workload (noisy 6-port PDN) through **every
+//! fitting engine behind the generic `Fitter` trait** (MFTI t = 2 and
+//! full weights, VFTI, recursive MFTI, vector fitting), benchmarks the
+//! batched `Macromodel::eval_batch` sweep path against the per-frequency
+//! evaluation loop on an order-48 descriptor model, and times the raw
+//! 256×256 complex GEMM kernel pair. The `BENCH_*.json` summary records
+//! the perf trajectory of the repo per PR.
 //!
 //! Timing and serialization both come from the criterion shim, so this
 //! snapshot and `BENCH_JSON`-env bench runs share one schema:
@@ -16,10 +19,11 @@
 use criterion::Criterion;
 
 use mfti_bench::random_complex;
-use mfti_core::{Mfti, OrderSelection, Vfti, Weights};
+use mfti_core::{Fitter, Mfti, OrderSelection, RecursiveMfti, Vfti, Weights};
 use mfti_numeric::kernel;
-use mfti_sampling::generators::PdnBuilder;
+use mfti_sampling::generators::{PdnBuilder, RandomSystemBuilder};
 use mfti_sampling::{FrequencyGrid, NoiseModel, SampleSet};
+use mfti_statespace::{Macromodel, TransferFunction};
 use mfti_vecfit::VectorFitter;
 
 fn workload() -> SampleSet {
@@ -44,32 +48,101 @@ fn main() {
     let mut c = Criterion::default();
     c.sample_size(10);
 
-    let mfti_t2 = Mfti::new().weights(Weights::Uniform(2)).order_selection(selection);
-    c.bench_function("end_to_end/mfti_t2", |b| {
-        b.iter(|| mfti_t2.fit(&samples).expect("fit"))
-    });
-    let mfti_full = Mfti::new().order_selection(selection);
-    c.bench_function("end_to_end/mfti_full", |b| {
-        b.iter(|| mfti_full.fit(&samples).expect("fit"))
-    });
-    let vfti = Vfti::new().order_selection(selection);
-    c.bench_function("end_to_end/vfti", |b| {
-        b.iter(|| vfti.fit(&samples).expect("fit"))
-    });
-    let vf = VectorFitter::new(40).iterations(10);
-    c.bench_function("end_to_end/vecfit_n40_10it", |b| {
-        b.iter(|| vf.fit(&samples).expect("fit"))
-    });
+    // --- end-to-end fits, one generic loop over every engine ----------
+    let engines: Vec<(&str, Box<dyn Fitter>)> = vec![
+        (
+            "mfti_t2",
+            Box::new(
+                Mfti::new()
+                    .weights(Weights::Uniform(2))
+                    .order_selection(selection),
+            ),
+        ),
+        (
+            "mfti_full",
+            Box::new(Mfti::new().order_selection(selection)),
+        ),
+        ("vfti", Box::new(Vfti::new().order_selection(selection))),
+        (
+            "recursive_mfti_t2",
+            Box::new(
+                RecursiveMfti::new()
+                    .weights(Weights::Uniform(2))
+                    .order_selection(selection)
+                    .batch_pairs(5)
+                    .threshold(1e-2),
+            ),
+        ),
+        (
+            "vecfit_n40_10it",
+            Box::new(VectorFitter::new(40).iterations(10)),
+        ),
+    ];
+    for (label, engine) in &engines {
+        c.bench_function(&format!("end_to_end/{label}"), |b| {
+            b.iter(|| engine.fit(&samples).expect("fit"))
+        });
+    }
 
+    // --- batched sweep vs per-frequency loop ---------------------------
+    // Order-48 dense descriptor model, 100-point sweep over 2 decades:
+    // the Macromodel::eval_batch acceptance workload (>= 2x speed-up).
+    let sweep_model = RandomSystemBuilder::new(48, 3, 3)
+        .band(1e7, 1e9)
+        .d_rank(3)
+        .seed(0x40)
+        .build()
+        .expect("valid");
+    let sweep_grid = FrequencyGrid::log_space(1e7, 1e9, 100).expect("valid");
+    let sweep_pts: Vec<mfti_numeric::Complex> = sweep_grid
+        .points()
+        .iter()
+        .map(|&f| mfti_statespace::s_at_hz(f))
+        .collect();
+    // Cross-check agreement before timing anything.
+    let batch = sweep_model.eval_batch(&sweep_pts).expect("batch eval");
+    for (&s, h) in sweep_pts.iter().zip(&batch) {
+        let direct = sweep_model.eval(s).expect("eval");
+        let rel = (h - &direct).max_abs() / direct.max_abs();
+        assert!(rel < 1e-11, "sweep deviates from LU path: {rel:.2e}");
+    }
+    c.sample_size(20)
+        .bench_function("eval_sweep_n48_100pts/batch", |b| {
+            b.iter(|| sweep_model.eval_batch(&sweep_pts).expect("batch"))
+        });
+    c.sample_size(10)
+        .bench_function("eval_sweep_n48_100pts/loop", |b| {
+            b.iter(|| {
+                sweep_pts
+                    .iter()
+                    .map(|&s| sweep_model.eval(s).expect("eval"))
+                    .collect::<Vec<_>>()
+            })
+        });
+
+    // --- raw GEMM kernels ----------------------------------------------
     let a = random_complex(256, 0x5eed);
     let b_mat = random_complex(256, 0xbeef);
-    c.sample_size(20).bench_function("gemm_c64_256/blocked", |b| {
-        b.iter(|| kernel::mul(&a, &b_mat).expect("gemm"))
-    });
+    c.sample_size(20)
+        .bench_function("gemm_c64_256/blocked", |b| {
+            b.iter(|| kernel::mul(&a, &b_mat).expect("gemm"))
+        });
     c.sample_size(10).bench_function("gemm_c64_256/naive", |b| {
         b.iter(|| kernel::mul_naive(&a, &b_mat).expect("gemm"))
     });
 
-    criterion::write_json(c.results(), &out_path).expect("write timing summary");
+    let results = c.results();
+    let median_of = |id: &str| {
+        results
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.median_ns)
+            .unwrap_or(f64::NAN)
+    };
+    let speedup =
+        median_of("eval_sweep_n48_100pts/loop") / median_of("eval_sweep_n48_100pts/batch");
+    println!("eval_batch sweep speed-up over per-frequency loop: {speedup:.2}x");
+
+    criterion::write_json(results, &out_path).expect("write timing summary");
     println!("wrote {out_path}");
 }

@@ -5,7 +5,7 @@
 //! Run: `cargo run --release -p mfti-bench --bin ex1_sample_sweep`
 
 use mfti_bench::{example1_samples, example1_system, print_table};
-use mfti_core::{metrics, minimal_samples, vfti_minimal_samples, Mfti, Vfti};
+use mfti_core::{metrics, minimal_samples, vfti_minimal_samples, Fitter, Mfti, Vfti};
 use mfti_sampling::{FrequencyGrid, SampleSet};
 
 const RECOVERY_ERR: f64 = 1e-6;
@@ -37,8 +37,8 @@ fn main() {
         let outcome = Mfti::new().fit(&samples);
         let (err, order) = match &outcome {
             Ok(fit) => (
-                metrics::err_rms_of(&fit.model, &validation).unwrap_or(f64::INFINITY),
-                fit.detected_order.to_string(),
+                metrics::err_rms_of(fit.model(), &validation).unwrap_or(f64::INFINITY),
+                fit.order().to_string(),
             ),
             Err(e) => {
                 println!("MFTI k={k}: {e}");
@@ -67,8 +67,8 @@ fn main() {
         let outcome = Vfti::new().fit(&samples);
         let (err, order) = match &outcome {
             Ok(fit) => (
-                metrics::err_rms_of(&fit.model, &validation).unwrap_or(f64::INFINITY),
-                fit.detected_order.to_string(),
+                metrics::err_rms_of(fit.model(), &validation).unwrap_or(f64::INFINITY),
+                fit.order().to_string(),
             ),
             Err(e) => {
                 println!("VFTI k={k}: {e}");

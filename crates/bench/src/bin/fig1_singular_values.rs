@@ -67,7 +67,9 @@ fn main() {
 
     println!("MFTI singular values (selected indices around the drops):");
     let interesting: Vec<usize> = (0..m_ll.len())
-        .filter(|&i| i < 4 || (144..156).contains(&i) || (174..186).contains(&i) || i >= m_ll.len() - 2)
+        .filter(|&i| {
+            i < 4 || (144..156).contains(&i) || (174..186).contains(&i) || i >= m_ll.len() - 2
+        })
         .collect();
     let rows: Vec<Vec<String>> = interesting
         .iter()
@@ -98,11 +100,7 @@ fn main() {
     if std::env::args().any(|a| a == "--csv") {
         println!("\nindex,vfti_ll,vfti_sll,vfti_sh,mfti_ll,mfti_sll,mfti_sh");
         for i in 0..m_ll.len() {
-            let v = |s: &[f64]| {
-                s.get(i)
-                    .map(|x| format!("{x:.6e}"))
-                    .unwrap_or_default()
-            };
+            let v = |s: &[f64]| s.get(i).map(|x| format!("{x:.6e}")).unwrap_or_default();
             println!(
                 "{},{},{},{},{},{},{}",
                 i + 1,

@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p mfti-bench --bin fig2_bode`
 
 use mfti_bench::{example1_samples, example1_system, print_table};
-use mfti_core::{metrics, Mfti, Vfti};
+use mfti_core::{metrics, Fitter, Mfti, Vfti};
 use mfti_statespace::bode::{bode_series, log_grid, max_relative_deviation};
 
 fn main() {
@@ -22,17 +22,19 @@ fn main() {
     let vfti = Vfti::new().fit(&samples).expect("VFTI fit");
     println!(
         "MFTI: pencil K={}, detected order {}",
-        mfti.pencil_order, mfti.detected_order
+        mfti.pencil_order().expect("loewner"),
+        mfti.order()
     );
     println!(
         "VFTI: pencil K={}, detected order {}\n",
-        vfti.pencil_order, vfti.detected_order
+        vfti.pencil_order().expect("loewner"),
+        vfti.order()
     );
 
     let grid = log_grid(1e1, 1e5, 41);
     let orig = bode_series(&sys, &grid, 0, 0).expect("original Bode");
-    let b_mfti = bode_series(&mfti.model, &grid, 0, 0).expect("MFTI Bode");
-    let b_vfti = bode_series(&vfti.model, &grid, 0, 0).expect("VFTI Bode");
+    let b_mfti = bode_series(mfti.model(), &grid, 0, 0).expect("MFTI Bode");
+    let b_vfti = bode_series(vfti.model(), &grid, 0, 0).expect("VFTI Bode");
 
     let rows: Vec<Vec<String>> = grid
         .iter()
@@ -49,13 +51,13 @@ fn main() {
     print_table(&["f (Hz)", "|H| original", "|H| MFTI", "|H| VFTI"], &rows);
 
     let dense = log_grid(1e1, 1e5, 201);
-    let dev_mfti = max_relative_deviation(&mfti.model, &sys, &dense).expect("eval");
-    let dev_vfti = max_relative_deviation(&vfti.model, &sys, &dense).expect("eval");
+    let dev_mfti = max_relative_deviation(mfti.model(), &sys, &dense).expect("eval");
+    let dev_vfti = max_relative_deviation(vfti.model(), &sys, &dense).expect("eval");
     println!("\nmax relative deviation over 201 log-spaced points:");
     println!("  MFTI : {dev_mfti:.3e}   (paper: overlays the original)");
     println!("  VFTI : {dev_vfti:.3e}   (paper: visible mismatch)");
 
-    let err_mfti = metrics::err_rms_of(&mfti.model, &samples).expect("eval");
-    let err_vfti = metrics::err_rms_of(&vfti.model, &samples).expect("eval");
+    let err_mfti = metrics::err_rms_of(mfti.model(), &samples).expect("eval");
+    let err_vfti = metrics::err_rms_of(vfti.model(), &samples).expect("eval");
     println!("\nERR on the 8 samples:  MFTI {err_mfti:.3e}   VFTI {err_vfti:.3e}");
 }

@@ -19,10 +19,8 @@
 //!
 //! Run: `cargo run --release -p mfti-bench --bin table1_noisy`
 
-use std::time::Instant;
-
 use mfti_bench::{print_table, secs, table1_samples, PDN_NOISE_SIGMA};
-use mfti_core::{metrics, Mfti, OrderSelection, RecursiveMfti, Vfti, Weights};
+use mfti_core::{metrics, Fitter, Mfti, OrderSelection, RecursiveMfti, Vfti, Weights};
 use mfti_sampling::SampleSet;
 use mfti_vecfit::VectorFitter;
 
@@ -46,36 +44,25 @@ fn low_band_weights(samples: &SampleSet, t_low: usize, t_high: usize) -> Weights
 }
 
 fn run_test(test: usize, noisy: &SampleSet) -> Vec<Row> {
-    let mut rows = Vec::new();
     let selection = OrderSelection::NoiseFloor { factor: 10.0 };
 
-    // --- VF, 10 iterations, n = 140 and n = 280 ------------------------
-    for &n in &[140usize, 280] {
-        let t0 = Instant::now();
-        match VectorFitter::new(n).iterations(10).fit(noisy) {
-            Ok(fit) => rows.push(Row {
-                name: format!("VF (10 it.) n={n}"),
-                order: fit.model.order(),
-                time: t0.elapsed(),
-                err: metrics::err_rms_of(&fit.model, noisy).unwrap_or(f64::INFINITY),
-            }),
-            Err(e) => eprintln!("VF n={n} failed: {e}"),
-        }
-    }
-
-    // --- VFTI -----------------------------------------------------------
-    let t0 = Instant::now();
-    match Vfti::new().order_selection(selection).fit(noisy) {
-        Ok(fit) => rows.push(Row {
-            name: "VFTI".to_string(),
-            order: fit.detected_order,
-            time: t0.elapsed(),
-            err: metrics::err_rms_of(&fit.model, noisy).unwrap_or(f64::INFINITY),
-        }),
-        Err(e) => eprintln!("VFTI failed: {e}"),
-    }
-
-    // --- MFTI-1: uniform t (Test 1) or low-band weighting (Test 2) ------
+    // Every Table 1 row is a configured engine behind the same trait
+    // object; the measurement loop below is fully method-agnostic.
+    let mut engines: Vec<(String, Box<dyn Fitter>)> = vec![
+        (
+            "VF (10 it.) n=140".to_string(),
+            Box::new(VectorFitter::new(140).iterations(10)),
+        ),
+        (
+            "VF (10 it.) n=280".to_string(),
+            Box::new(VectorFitter::new(280).iterations(10)),
+        ),
+        (
+            "VFTI".to_string(),
+            Box::new(Vfti::new().order_selection(selection)),
+        ),
+    ];
+    // MFTI-1: uniform t (Test 1) or low-band weighting (Test 2).
     let configs: Vec<(String, Weights)> = if test == 1 {
         vec![
             ("MFTI-1 t=2".to_string(), Weights::Uniform(2)),
@@ -88,40 +75,34 @@ fn run_test(test: usize, noisy: &SampleSet) -> Vec<Row> {
         ]
     };
     for (name, weights) in configs {
-        let t0 = Instant::now();
-        match Mfti::new()
-            .weights(weights)
-            .order_selection(selection)
-            .fit(noisy)
-        {
-            Ok(fit) => rows.push(Row {
-                name,
-                order: fit.detected_order,
-                time: t0.elapsed(),
-                err: metrics::err_rms_of(&fit.model, noisy).unwrap_or(f64::INFINITY),
+        engines.push((
+            name,
+            Box::new(Mfti::new().weights(weights).order_selection(selection)),
+        ));
+    }
+    engines.push((
+        "MFTI-2 (recursive)".to_string(),
+        Box::new(
+            RecursiveMfti::new()
+                .weights(Weights::Uniform(2))
+                .order_selection(selection)
+                .batch_pairs(5)
+                .threshold(10.0 * PDN_NOISE_SIGMA),
+        ),
+    ));
+
+    let mut rows = Vec::new();
+    for (name, engine) in &engines {
+        match engine.fit(noisy) {
+            Ok(outcome) => rows.push(Row {
+                name: name.clone(),
+                order: outcome.order(),
+                time: outcome.elapsed(),
+                err: metrics::err_rms_of(outcome.model(), noisy).unwrap_or(f64::INFINITY),
             }),
             Err(e) => eprintln!("{name} failed: {e}"),
         }
     }
-
-    // --- MFTI-2 (recursive) ----------------------------------------------
-    let t0 = Instant::now();
-    match RecursiveMfti::new()
-        .weights(Weights::Uniform(2))
-        .order_selection(selection)
-        .batch_pairs(5)
-        .threshold(10.0 * PDN_NOISE_SIGMA)
-        .fit(noisy)
-    {
-        Ok(fit) => rows.push(Row {
-            name: "MFTI-2 (recursive)".to_string(),
-            order: fit.result.detected_order,
-            time: t0.elapsed(),
-            err: metrics::err_rms_of(&fit.result.model, noisy).unwrap_or(f64::INFINITY),
-        }),
-        Err(e) => eprintln!("MFTI-2 failed: {e}"),
-    }
-
     rows
 }
 

@@ -17,7 +17,18 @@ use crate::error::MftiError;
 
 /// Per-sample block widths `t_i` (the paper's accuracy/speed/weighting
 /// knob, Section 3.1).
+///
+/// # Resolution semantics
+///
+/// Weights are *resolved* against the sample set when
+/// [`TangentialData::build`] runs: each variant expands to one `t_j ∈
+/// [1, min(m, p)]` per sample **pair** (pair `j` = samples `2j`/`2j+1`),
+/// and pair `j` then contributes `2·t_j` rows and columns to the
+/// Loewner pencil (`K = Σ 2 t_j`). [`Weights::Full`] defers the choice
+/// of `t` to resolution time, so one fitter configuration works across
+/// sample sets of different port counts.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Weights {
     /// Full matrix weights `t = min(m, p)` for every pair, resolved
     /// against the sample dimensions at build time — every entry of each
@@ -191,7 +202,7 @@ impl TangentialData {
     }
 
     /// The frequency normalization ω₀ (max |λ|) used by the Loewner
-    /// pencil; interpolation points inside [`LoewnerPencil`] are divided
+    /// pencil; interpolation points inside [`LoewnerPencil`](crate::LoewnerPencil) are divided
     /// by this factor and the realizations denormalize `E` accordingly.
     pub fn freq_scale(&self) -> f64 {
         self.freq_scale
@@ -247,9 +258,8 @@ mod tests {
     #[test]
     fn build_splits_samples_alternately() {
         let (set, _) = samples(6, 2);
-        let data =
-            TangentialData::build(&set, DirectionKind::CyclicIdentity, &Weights::Uniform(2))
-                .unwrap();
+        let data = TangentialData::build(&set, DirectionKind::CyclicIdentity, &Weights::Uniform(2))
+            .unwrap();
         assert_eq!(data.num_pairs(), 3);
         assert_eq!(data.right().len(), 6);
         assert_eq!(data.left().len(), 6);
@@ -262,9 +272,12 @@ mod tests {
     #[test]
     fn conjugate_triples_are_adjacent_and_conjugated() {
         let (set, _) = samples(4, 3);
-        let data =
-            TangentialData::build(&set, DirectionKind::RandomOrthonormal { seed: 1 }, &Weights::Uniform(3))
-                .unwrap();
+        let data = TangentialData::build(
+            &set,
+            DirectionKind::RandomOrthonormal { seed: 1 },
+            &Weights::Uniform(3),
+        )
+        .unwrap();
         for pair in data.right().chunks(2) {
             assert_eq!(pair[0].lambda, -pair[1].lambda);
             assert_eq!(pair[0].r, pair[1].r);
@@ -279,9 +292,12 @@ mod tests {
     #[test]
     fn interpolation_data_satisfy_their_definition() {
         let (set, sys) = samples(4, 2);
-        let data =
-            TangentialData::build(&set, DirectionKind::RandomOrthonormal { seed: 5 }, &Weights::Uniform(2))
-                .unwrap();
+        let data = TangentialData::build(
+            &set,
+            DirectionKind::RandomOrthonormal { seed: 5 },
+            &Weights::Uniform(2),
+        )
+        .unwrap();
         // W_i = S(f_i) R_i must equal H(λ_i) R_i for the true system.
         for t in data.right().iter().step_by(2) {
             let h = sys.eval(t.lambda).unwrap();
@@ -299,16 +315,20 @@ mod tests {
     fn odd_and_tiny_sample_counts_are_rejected() {
         let (set, _) = samples(6, 2);
         let odd = set.subset(&[0, 1, 2]).unwrap();
-        assert!(TangentialData::build(&odd, DirectionKind::CyclicIdentity, &Weights::Uniform(1))
-            .is_err());
+        assert!(
+            TangentialData::build(&odd, DirectionKind::CyclicIdentity, &Weights::Uniform(1))
+                .is_err()
+        );
     }
 
     #[test]
     fn duplicate_frequencies_are_rejected() {
         let (set, _) = samples(4, 2);
         let dup = set.subset(&[0, 0, 1, 2]).unwrap();
-        assert!(TangentialData::build(&dup, DirectionKind::CyclicIdentity, &Weights::Uniform(1))
-            .is_err());
+        assert!(
+            TangentialData::build(&dup, DirectionKind::CyclicIdentity, &Weights::Uniform(1))
+                .is_err()
+        );
     }
 
     #[test]

@@ -16,14 +16,22 @@ use rand::{Rng, SeedableRng};
 use crate::error::MftiError;
 
 /// Strategy for generating interpolation direction blocks.
+///
+/// Both strategies are **prefix-stable**: the directions of pair `j`
+/// depend only on `j` (and the seed), never on how many pairs follow.
+/// Growing a sample set therefore leaves the directions of the existing
+/// pairs untouched, which is what lets
+/// [`FitSession`](crate::FitSession) extend its Loewner pencil
+/// incrementally instead of rebuilding it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DirectionKind {
     /// Cycled identity columns/rows: sample `i` probes columns
     /// `(offset + 0..t_i) mod m` — the standard choice in the Loewner
     /// literature, and exactly the VFTI baseline when `t_i = 1`.
     CyclicIdentity,
-    /// Random orthonormal blocks (seeded Gaussian + QR). Spreads
-    /// information across all ports even when `t_i < min(m, p)`.
+    /// Random orthonormal blocks (Gaussian + QR, seeded per pair).
+    /// Spreads information across all ports even when `t_i < min(m, p)`.
     RandomOrthonormal {
         /// RNG seed; fixed seed ⇒ reproducible fits.
         seed: u64,
@@ -89,30 +97,51 @@ pub fn generate_directions(
             Ok(DirectionSet { right, left })
         }
         DirectionKind::RandomOrthonormal { seed } => {
-            let mut rng = StdRng::seed_from_u64(seed);
+            // One RNG stream per (side, pair) keeps every block a pure
+            // function of its pair index: appending pairs to a session
+            // can never perturb the blocks already woven into a pencil.
             let right = right_ts
                 .iter()
-                .map(|&t| random_orthonormal(&mut rng, inputs, t))
+                .enumerate()
+                .map(|(j, &t)| random_orthonormal(&mut block_rng(seed, 0, j), inputs, t))
                 .collect::<Result<Vec<_>, _>>()?;
             let left = left_ts
                 .iter()
-                .map(|&t| Ok(random_orthonormal(&mut rng, outputs, t)?.transpose()))
+                .enumerate()
+                .map(|(j, &t)| {
+                    Ok(random_orthonormal(&mut block_rng(seed, 1, j), outputs, t)?.transpose())
+                })
                 .collect::<Result<Vec<_>, MftiError>>()?;
             Ok(DirectionSet { right, left })
         }
     }
 }
 
+/// Independent RNG for direction block `index` of one side (0 = right,
+/// 1 = left), derived from the user seed by a splitmix64 finalizer.
+fn block_rng(seed: u64, side: u64, index: usize) -> StdRng {
+    let mut z = seed
+        ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(side.wrapping_add(1))
+        ^ 0xD1B5_4A32_D192_ED03u64.wrapping_mul(index as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
 /// `dim × t` matrix whose columns are identity columns
 /// `e_{(offset+c) mod dim}`.
 fn cyclic_columns(dim: usize, t: usize, offset: usize) -> RMatrix {
-    RMatrix::from_fn(dim, t, |i, c| {
-        if i == (offset + c) % dim {
-            1.0
-        } else {
-            0.0
-        }
-    })
+    RMatrix::from_fn(
+        dim,
+        t,
+        |i, c| {
+            if i == (offset + c) % dim {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    )
 }
 
 /// Orthonormal `dim × t` block via QR of a Gaussian matrix.
@@ -166,8 +195,7 @@ mod tests {
 
     #[test]
     fn full_weight_cyclic_blocks_are_permutations() {
-        let set =
-            generate_directions(DirectionKind::CyclicIdentity, 4, 4, &[4, 4], &[4]).unwrap();
+        let set = generate_directions(DirectionKind::CyclicIdentity, 4, 4, &[4, 4], &[4]).unwrap();
         for r in &set.right {
             check_orthonormal_cols(r);
             assert_eq!(r.dims(), (4, 4));
@@ -196,12 +224,53 @@ mod tests {
 
     #[test]
     fn random_directions_are_seed_deterministic() {
-        let a = generate_directions(DirectionKind::RandomOrthonormal { seed: 1 }, 3, 3, &[2], &[2])
-            .unwrap();
-        let b = generate_directions(DirectionKind::RandomOrthonormal { seed: 1 }, 3, 3, &[2], &[2])
-            .unwrap();
+        let a = generate_directions(
+            DirectionKind::RandomOrthonormal { seed: 1 },
+            3,
+            3,
+            &[2],
+            &[2],
+        )
+        .unwrap();
+        let b = generate_directions(
+            DirectionKind::RandomOrthonormal { seed: 1 },
+            3,
+            3,
+            &[2],
+            &[2],
+        )
+        .unwrap();
         assert_eq!(a.right[0], b.right[0]);
         assert_eq!(a.left[0], b.left[0]);
+    }
+
+    #[test]
+    fn random_directions_are_prefix_stable() {
+        // Generating more pairs must not disturb the earlier blocks —
+        // the property FitSession's incremental pencil growth rests on.
+        let short = generate_directions(
+            DirectionKind::RandomOrthonormal { seed: 9 },
+            3,
+            3,
+            &[2, 2],
+            &[2, 2],
+        )
+        .unwrap();
+        let long = generate_directions(
+            DirectionKind::RandomOrthonormal { seed: 9 },
+            3,
+            3,
+            &[2, 2, 2, 2],
+            &[2, 2, 2, 2],
+        )
+        .unwrap();
+        for j in 0..2 {
+            assert_eq!(short.right[j], long.right[j]);
+            assert_eq!(short.left[j], long.left[j]);
+        }
+        // Sides and pair indices draw from distinct streams.
+        assert_ne!(long.right[0], long.right[1]);
+        assert_ne!(long.right[0], long.left[0].transpose());
     }
 
     #[test]

@@ -21,13 +21,17 @@
 //! 5. [`realize_direct`] / [`realize_complex`] / [`realize_real`] —
 //!    Lemmas 3.1 and 3.4;
 //! 6. [`Mfti`] (Algorithm 1), [`RecursiveMfti`] (Algorithm 2) and the
-//!    [`Vfti`] baseline as ready-made fitters;
-//! 7. [`metrics`] and [`minimal_samples`] (Theorem 3.5) for evaluation.
+//!    [`Vfti`] baseline as ready-made fitters, all usable through the
+//!    algorithm-agnostic [`Fitter`] trait (which classical vector
+//!    fitting from `mfti-vecfit` implements too);
+//! 7. [`FitSession`] — the pipeline as a staged object: append samples,
+//!    grow the pencil incrementally, re-run order selection cheaply;
+//! 8. [`metrics`] and [`minimal_samples`] (Theorem 3.5) for evaluation.
 //!
 //! # Example
 //!
 //! ```
-//! use mfti_core::Mfti;
+//! use mfti_core::{Fitter, Mfti};
 //! use mfti_core::metrics::err_rms_of;
 //! use mfti_sampling::generators::RandomSystemBuilder;
 //! use mfti_sampling::{FrequencyGrid, SampleSet};
@@ -38,8 +42,8 @@
 //! let grid = FrequencyGrid::log_space(1e2, 1e4, 8)?;
 //! let samples = SampleSet::from_system(&sys, &grid)?;
 //! // … is recovered exactly by MFTI (VFTI would need ≥ 15 samples).
-//! let fit = Mfti::new().fit(&samples)?;
-//! assert!(err_rms_of(&fit.model, &samples)? < 1e-8);
+//! let outcome = Mfti::new().fit(&samples)?;
+//! assert!(err_rms_of(outcome.model(), &samples)? < 1e-8);
 //! # Ok(())
 //! # }
 //! ```
@@ -50,6 +54,7 @@
 mod data;
 mod directions;
 mod error;
+mod fitter;
 mod loewner;
 pub mod metrics;
 mod mfti;
@@ -57,17 +62,20 @@ mod realify;
 mod realize;
 mod recursive;
 mod sampling_bounds;
+mod session;
 mod vfti;
 
 pub use data::{LeftTriple, RightTriple, TangentialData, Weights};
 pub use directions::{generate_directions, DirectionKind, DirectionSet};
 pub use error::MftiError;
+pub use fitter::{AnyModel, FitError, FitOutcome, Fitter};
 pub use loewner::LoewnerPencil;
 pub use mfti::{FitResult, FittedModel, Mfti, RealizationPath};
 pub use realify::{realify, RealifiedPencil};
 pub use realize::{realize_complex, realize_direct, realize_real, OrderSelection};
 pub use recursive::{RecursiveFit, RecursiveMfti, RoundInfo, SelectionOrder};
 pub use sampling_bounds::{minimal_samples, vfti_minimal_samples, SampleBounds};
+pub use session::FitSession;
 pub use vfti::Vfti;
 
 /// Relative singular-value level below which directions are considered

@@ -104,10 +104,9 @@ impl LoewnerPencil {
                 what: "pair index out of range".to_string(),
             });
         }
-        if new_pairs
-            .iter()
-            .any(|j| self.included_pairs.contains(j) || new_pairs.iter().filter(|&x| x == j).count() > 1)
-        {
+        if new_pairs.iter().any(|j| {
+            self.included_pairs.contains(j) || new_pairs.iter().filter(|&x| x == j).count() > 1
+        }) {
             return Err(MftiError::InvalidSamples {
                 what: "pair already included".to_string(),
             });
@@ -187,7 +186,9 @@ impl LoewnerPencil {
         };
 
         // Assemble row-block lists per (left pair, right pair) region.
-        let assemble = |left_pairs: &[usize], right_pairs: &[usize]| -> Result<(CMatrix, CMatrix), MftiError> {
+        let assemble = |left_pairs: &[usize],
+                        right_pairs: &[usize]|
+         -> Result<(CMatrix, CMatrix), MftiError> {
             let mut ll_rows: Vec<CMatrix> = Vec::new();
             let mut sll_rows: Vec<CMatrix> = Vec::new();
             for &lp in left_pairs {
@@ -383,8 +384,8 @@ impl LoewnerPencil {
             .zip(self.sll.as_slice())
             .map(|(&l, &sl)| l * x0 - sl)
             .collect();
-        let shifted = CMatrix::from_vec(self.ll.rows(), self.ll.cols(), data)
-            .expect("ll and sll share dims");
+        let shifted =
+            CMatrix::from_vec(self.ll.rows(), self.ll.cols(), data).expect("ll and sll share dims");
         Ok(Svd::compute(&shifted)?.singular_values().to_vec())
     }
 
@@ -422,21 +423,19 @@ mod tests {
     use mfti_sampling::generators::RandomSystemBuilder;
     use mfti_sampling::{FrequencyGrid, SampleSet};
 
-    fn make_data(
-        order: usize,
-        ports: usize,
-        k: usize,
-        t: usize,
-    ) -> (TangentialData, SampleSet) {
+    fn make_data(order: usize, ports: usize, k: usize, t: usize) -> (TangentialData, SampleSet) {
         let sys = RandomSystemBuilder::new(order, ports, ports)
             .seed(42)
             .build()
             .unwrap();
         let grid = FrequencyGrid::log_space(1e2, 1e4, k).unwrap();
         let set = SampleSet::from_system(&sys, &grid).unwrap();
-        let data =
-            TangentialData::build(&set, DirectionKind::RandomOrthonormal { seed: 9 }, &Weights::Uniform(t))
-                .unwrap();
+        let data = TangentialData::build(
+            &set,
+            DirectionKind::RandomOrthonormal { seed: 9 },
+            &Weights::Uniform(t),
+        )
+        .unwrap();
         (data, set)
     }
 

@@ -46,10 +46,7 @@ pub fn err_max(errors: &[f64]) -> f64 {
 /// # Errors
 ///
 /// Same as [`relative_errors`].
-pub fn err_rms_of<T: TransferFunction>(
-    model: &T,
-    reference: &SampleSet,
-) -> Result<f64, MftiError> {
+pub fn err_rms_of<T: TransferFunction>(model: &T, reference: &SampleSet) -> Result<f64, MftiError> {
     Ok(err_rms(&relative_errors(model, reference)?))
 }
 
@@ -92,7 +89,11 @@ mod tests {
 
     #[test]
     fn gain_error_shows_up_proportionally() {
-        let sys = RandomSystemBuilder::new(4, 2, 2).d_rank(0).seed(2).build().unwrap();
+        let sys = RandomSystemBuilder::new(4, 2, 2)
+            .d_rank(0)
+            .seed(2)
+            .build()
+            .unwrap();
         let grid = FrequencyGrid::log_space(1e2, 1e4, 5).unwrap();
         let set = SampleSet::from_system(&sys, &grid).unwrap();
         // A model with 2x gain everywhere → relative error 1.0 at all samples.

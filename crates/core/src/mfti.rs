@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 
 use mfti_numeric::{CMatrix, Complex};
 use mfti_sampling::SampleSet;
-use mfti_statespace::{DescriptorSystem, StateSpaceError, TransferFunction};
+use mfti_statespace::{DescriptorSystem, Macromodel, StateSpaceError, TransferFunction};
 
 use crate::data::{TangentialData, Weights};
 use crate::directions::DirectionKind;
@@ -84,6 +84,25 @@ impl TransferFunction for FittedModel {
             FittedModel::Complex(sys) => sys.eval(s),
         }
     }
+
+    fn frequency_response(&self, freqs_hz: &[f64]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        self.response_batch_hz(freqs_hz)
+    }
+}
+
+impl Macromodel for FittedModel {
+    fn order(&self) -> usize {
+        FittedModel::order(self)
+    }
+
+    fn eval_batch(&self, s: &[Complex]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        // Delegate to the descriptor sweep evaluator (Hessenberg
+        // factorization hoisted out of the frequency loop).
+        match self {
+            FittedModel::Real(sys) => sys.eval_batch(s),
+            FittedModel::Complex(sys) => sys.eval_batch(s),
+        }
+    }
 }
 
 /// Result of an MFTI/VFTI fit, with the diagnostics the paper plots.
@@ -103,25 +122,39 @@ pub struct FitResult {
 
 /// Configurable MFTI fitter (paper Algorithm 1).
 ///
+/// The default configuration uses [`Weights::Full`]: every sample pair
+/// gets the maximal block width `t = min(m, p)`, resolved against the
+/// sample dimensions at fit time (see the [`Weights`] docs in `data`
+/// for the resolution semantics), so each of the 8 matrix samples below
+/// contributes 3 columns *and* 3 rows of information:
+///
 /// ```
-/// use mfti_core::{Mfti, Weights};
+/// use mfti_core::{Fitter, Mfti};
 /// use mfti_sampling::generators::RandomSystemBuilder;
 /// use mfti_sampling::{FrequencyGrid, SampleSet};
-/// use mfti_statespace::TransferFunction;
+/// use mfti_statespace::Macromodel;
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let sys = RandomSystemBuilder::new(12, 3, 3).d_rank(3).seed(1).build()?;
 /// let grid = FrequencyGrid::log_space(1e2, 1e4, 8)?;
 /// let samples = SampleSet::from_system(&sys, &grid)?;
 ///
-/// let fit = Mfti::new().weights(Weights::Uniform(3)).fit(&samples)?;
-/// // The model reproduces the samples:
-/// let (f, s) = (samples.freqs_hz()[0], &samples.matrices()[0]);
-/// let h = fit.model.response_at_hz(f)?;
-/// assert!((&h - s).norm_2() / s.norm_2() < 1e-7);
+/// // Full weights (the default): the K = 2·3·4 = 24 pencil exposes the
+/// // complete order-15 system from just 8 samples.
+/// let outcome = Mfti::new().fit(&samples)?;
+/// assert_eq!(outcome.order(), 15); // n + rank(D)
+/// // The model reproduces the samples (batched sweep evaluation):
+/// let resp = outcome.model().response_batch_hz(samples.freqs_hz())?;
+/// for (h, s) in resp.iter().zip(samples.matrices()) {
+///     assert!((h - s).norm_2() / s.norm_2() < 1e-7);
+/// }
 /// # Ok(())
 /// # }
 /// ```
+///
+/// Narrower uniform or per-pair widths ([`Weights::Uniform`],
+/// [`Weights::PerPair`]) trade pencil size for accuracy/emphasis — the
+/// paper's Section 3.1 knob.
 #[derive(Debug, Clone)]
 pub struct Mfti {
     directions: DirectionKind,
@@ -194,12 +227,26 @@ impl Mfti {
         self.directions
     }
 
-    /// Runs Algorithm 1 on the sample set.
+    /// Configured order-selection rule.
+    pub(crate) fn order_selection_ref(&self) -> OrderSelection {
+        self.order_selection
+    }
+
+    /// Runs Algorithm 1 on the sample set, returning the full
+    /// method-specific result.
+    ///
+    /// Most callers should use the generic [`Fitter::fit`] instead
+    /// (`FitResult` converts into the method-agnostic
+    /// [`FitOutcome`](crate::FitOutcome) it returns); this detailed
+    /// entry point exists for code that composes the pipeline stages
+    /// itself.
+    ///
+    /// [`Fitter::fit`]: crate::Fitter::fit
     ///
     /// # Errors
     ///
     /// Propagates data-validation, SVD and order-selection failures.
-    pub fn fit(&self, samples: &SampleSet) -> Result<FitResult, MftiError> {
+    pub fn fit_detailed(&self, samples: &SampleSet) -> Result<FitResult, MftiError> {
         let start = Instant::now();
         let data = TangentialData::build(samples, self.directions, &self.weights)?;
         let pencil = LoewnerPencil::build(&data)?;
@@ -216,21 +263,33 @@ impl Mfti {
         let x0 = pencil.default_x0();
         let sv = pencil.shifted_pencil_singular_values(x0)?;
         let order = self.order_selection.detect(&sv)?;
-        let model = match self.path {
-            RealizationPath::Real => {
-                let real = realify(pencil, self.realify_tol)?;
-                FittedModel::Real(realize_real(&real, order)?)
-            }
-            RealizationPath::Complex => {
-                FittedModel::Complex(realize_complex(pencil, x0, order)?)
-            }
-        };
+        let model = self.realize_pencil(pencil, order)?;
         Ok(FitResult {
             model,
             pencil_singular_values: sv,
             detected_order: order,
             pencil_order: pencil.order(),
             elapsed: start.elapsed(),
+        })
+    }
+
+    /// Realizes an order-`order` model from a pencil along the
+    /// configured arithmetic path (the last pipeline stage, also driven
+    /// directly by [`FitSession`](crate::FitSession) when re-running
+    /// order selection on cached singular values).
+    pub(crate) fn realize_pencil(
+        &self,
+        pencil: &LoewnerPencil,
+        order: usize,
+    ) -> Result<FittedModel, MftiError> {
+        Ok(match self.path {
+            RealizationPath::Real => {
+                let real = realify(pencil, self.realify_tol)?;
+                FittedModel::Real(realize_real(&real, order)?)
+            }
+            RealizationPath::Complex => {
+                FittedModel::Complex(realize_complex(pencil, pencil.default_x0(), order)?)
+            }
         })
     }
 }
@@ -260,7 +319,7 @@ mod tests {
     #[test]
     fn default_fit_recovers_system_exactly() {
         let (set, sys) = samples(10, 2, 2, 12, 5);
-        let fit = Mfti::new().fit(&set).unwrap();
+        let fit = Mfti::new().fit_detailed(&set).unwrap();
         assert_eq!(fit.detected_order, 12); // n + rank(D)
         assert_eq!(fit.pencil_order, 24);
         assert!(fit.model.as_real().is_some());
@@ -274,10 +333,10 @@ mod tests {
     #[test]
     fn complex_path_matches_real_path_quality() {
         let (set, sys) = samples(8, 2, 0, 10, 6);
-        let real = Mfti::new().fit(&set).unwrap();
+        let real = Mfti::new().fit_detailed(&set).unwrap();
         let cplx = Mfti::new()
             .realization(RealizationPath::Complex)
-            .fit(&set)
+            .fit_detailed(&set)
             .unwrap();
         assert!(cplx.model.as_complex().is_some());
         let f = 2.5e3;
@@ -294,7 +353,7 @@ mod tests {
         let noisy = NoiseModel::additive_relative(1e-4).apply(&set, 3);
         let fit = Mfti::new()
             .order_selection(OrderSelection::NoiseFloor { factor: 3.0 })
-            .fit(&noisy)
+            .fit_detailed(&noisy)
             .unwrap();
         // Fit error on the clean reference should be ~noise level.
         let mut worst = 0.0f64;
@@ -308,7 +367,7 @@ mod tests {
     #[test]
     fn weight_sentinel_resolves_to_full() {
         let (set, _) = samples(6, 3, 0, 6, 2);
-        let fit = Mfti::new().fit(&set).unwrap();
+        let fit = Mfti::new().fit_detailed(&set).unwrap();
         // Full weight: K = 2 · t · (k/2) = 2·3·3 = 18.
         assert_eq!(fit.pencil_order, 18);
     }
@@ -316,7 +375,7 @@ mod tests {
     #[test]
     fn elapsed_time_is_recorded() {
         let (set, _) = samples(6, 2, 0, 6, 3);
-        let fit = Mfti::new().fit(&set).unwrap();
+        let fit = Mfti::new().fit_detailed(&set).unwrap();
         assert!(fit.elapsed > Duration::ZERO);
     }
 }

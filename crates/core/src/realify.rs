@@ -73,8 +73,12 @@ pub fn realify(pencil: &LoewnerPencil, tol: f64) -> Result<RealifiedPencil, Mfti
 
     // Fused T*·X products: the conjugate transpose is folded into the
     // kernel packing instead of materializing a K×K adjoint temporary.
-    let ll_c = t_matrix.mul_hermitian_left(pencil.ll())?.matmul(&t_matrix)?;
-    let sll_c = t_matrix.mul_hermitian_left(pencil.sll())?.matmul(&t_matrix)?;
+    let ll_c = t_matrix
+        .mul_hermitian_left(pencil.ll())?
+        .matmul(&t_matrix)?;
+    let sll_c = t_matrix
+        .mul_hermitian_left(pencil.sll())?
+        .matmul(&t_matrix)?;
     let w_c = pencil.w().matmul(&t_matrix)?;
     let v_c = t_matrix.mul_hermitian_left(pencil.v())?;
 
@@ -129,9 +133,12 @@ mod tests {
             .unwrap();
         let grid = FrequencyGrid::log_space(1e2, 1e4, k).unwrap();
         let set = SampleSet::from_system(&sys, &grid).unwrap();
-        let data =
-            TangentialData::build(&set, DirectionKind::RandomOrthonormal { seed: 4 }, &Weights::Uniform(t))
-                .unwrap();
+        let data = TangentialData::build(
+            &set,
+            DirectionKind::RandomOrthonormal { seed: 4 },
+            &Weights::Uniform(t),
+        )
+        .unwrap();
         (LoewnerPencil::build(&data).unwrap(), data)
     }
 
@@ -159,11 +166,7 @@ mod tests {
         let real = realify(&p, 1e-10).unwrap();
         let sv_c = mfti_numeric::Svd::compute(p.ll()).unwrap();
         let sv_r = mfti_numeric::Svd::compute(real.ll()).unwrap();
-        for (a, b) in sv_c
-            .singular_values()
-            .iter()
-            .zip(sv_r.singular_values())
-        {
+        for (a, b) in sv_c.singular_values().iter().zip(sv_r.singular_values()) {
             assert!((a - b).abs() < 1e-10 * sv_c.singular_values()[0].max(1.0));
         }
     }

@@ -22,6 +22,7 @@ use crate::realify::RealifiedPencil;
 /// How to pick the reduced order from the singular-value profile of
 /// `x₀𝕃 − σ𝕃`.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum OrderSelection {
     /// Keep singular values above `rel_tol · σ₁` (noise-free data:
     /// `1e-12` finds the exact order — weakly coupled modes can sit many
@@ -305,7 +306,9 @@ mod tests {
         let mut sv = vec![10.0, 5.0, 2.0, 0.9, 0.3, 0.1];
         sv.extend(std::iter::repeat_n(1.1e-3, 6));
         sv.extend(std::iter::repeat_n(0.9e-3, 12));
-        let got = OrderSelection::NoiseFloor { factor: 5.0 }.detect(&sv).unwrap();
+        let got = OrderSelection::NoiseFloor { factor: 5.0 }
+            .detect(&sv)
+            .unwrap();
         assert_eq!(got, 6, "floor ≈ 1e-3, cut at 5e-3 keeps the 6 signals");
     }
 
@@ -315,7 +318,9 @@ mod tests {
         // relative guard must prevent keeping garbage directions.
         let mut sv = vec![1.0, 0.5, 0.25];
         sv.extend((0..17).map(|i| 1e-15 / (i + 1) as f64));
-        let got = OrderSelection::NoiseFloor { factor: 3.0 }.detect(&sv).unwrap();
+        let got = OrderSelection::NoiseFloor { factor: 3.0 }
+            .detect(&sv)
+            .unwrap();
         assert_eq!(got, 3);
     }
 

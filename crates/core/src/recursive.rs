@@ -75,7 +75,7 @@ pub struct RecursiveFit {
 ///     .weights(Weights::Uniform(2))
 ///     .batch_pairs(2)
 ///     .threshold(1e-8)
-///     .fit(&samples)?;
+///     .fit_detailed(&samples)?;
 /// // Converged without using all 10 sample pairs.
 /// assert!(fit.used_pairs.len() < 10);
 /// # Ok(())
@@ -163,12 +163,14 @@ impl RecursiveMfti {
         self
     }
 
-    /// Runs Algorithm 2.
+    /// Runs Algorithm 2, returning the full method-specific result
+    /// (most callers should use the generic
+    /// [`Fitter::fit`](crate::Fitter::fit) instead).
     ///
     /// # Errors
     ///
     /// Propagates data-validation and realization failures.
-    pub fn fit(&self, samples: &SampleSet) -> Result<RecursiveFit, MftiError> {
+    pub fn fit_detailed(&self, samples: &SampleSet) -> Result<RecursiveFit, MftiError> {
         let start = Instant::now();
         let weights = self.base_weights();
         let data = TangentialData::build(samples, self.base_directions(), &weights)?;
@@ -283,12 +285,7 @@ mod tests {
     use mfti_sampling::generators::RandomSystemBuilder;
     use mfti_sampling::{FrequencyGrid, NoiseModel};
 
-    fn noisy_samples(
-        order: usize,
-        ports: usize,
-        k: usize,
-        sigma: f64,
-    ) -> (SampleSet, SampleSet) {
+    fn noisy_samples(order: usize, ports: usize, k: usize, sigma: f64) -> (SampleSet, SampleSet) {
         let sys = RandomSystemBuilder::new(order, ports, ports)
             .d_rank(ports)
             .seed(77)
@@ -307,7 +304,7 @@ mod tests {
             .weights(Weights::Uniform(2))
             .batch_pairs(3)
             .threshold(1e-8)
-            .fit(&clean)
+            .fit_detailed(&clean)
             .unwrap();
         assert!(
             fit.used_pairs.len() < 12,
@@ -325,7 +322,7 @@ mod tests {
             .weights(Weights::Uniform(2))
             .batch_pairs(2)
             .threshold(0.0) // force all rounds
-            .fit(&clean)
+            .fit_detailed(&clean)
             .unwrap();
         // Once the model order is reached, residuals collapse.
         let last = fit.rounds.last().unwrap();
@@ -346,7 +343,7 @@ mod tests {
             .order_selection(OrderSelection::NoiseFloor { factor: 3.0 })
             .batch_pairs(3)
             .threshold(2e-3)
-            .fit(&noisy)
+            .fit_detailed(&noisy)
             .unwrap();
         let err = metrics::err_rms_of(&fit.result.model, &clean).unwrap();
         assert!(err < 2e-2, "ERR vs clean reference {err}");
@@ -363,7 +360,7 @@ mod tests {
             })
             .threshold(1e-9)
             .max_rounds(3)
-            .fit(&noisy)
+            .fit_detailed(&noisy)
             .unwrap();
         let best = RecursiveMfti::new()
             .weights(Weights::Uniform(2))
@@ -374,7 +371,7 @@ mod tests {
             .threshold(1e-9)
             .max_rounds(3)
             .selection_order(SelectionOrder::BestFirst)
-            .fit(&noisy)
+            .fit_detailed(&noisy)
             .unwrap();
         // After round 1 the admission order diverges.
         assert_ne!(worst.used_pairs, best.used_pairs);
@@ -387,7 +384,7 @@ mod tests {
             .weights(Weights::Uniform(1))
             .threshold(0.0)
             .max_rounds(2)
-            .fit(&clean)
+            .fit_detailed(&clean)
             .unwrap();
         assert_eq!(fit.rounds.len(), 2);
     }

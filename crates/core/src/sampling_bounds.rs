@@ -72,7 +72,14 @@ mod tests {
         // Paper: 150-order, 30-port, rank(D)=30 → MFTI needs 6 samples,
         // VFTI needs 180 — a 30x ratio.
         let b = minimal_samples(150, 150, 30, 30, 30);
-        assert_eq!(b, SampleBounds { lower: 5, upper: 6, empirical: 6 });
+        assert_eq!(
+            b,
+            SampleBounds {
+                lower: 5,
+                upper: 6,
+                empirical: 6
+            }
+        );
         assert_eq!(vfti_minimal_samples(150, 30), 180);
         assert_eq!(vfti_minimal_samples(150, 30) / b.empirical, 30);
     }

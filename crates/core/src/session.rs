@@ -1,0 +1,404 @@
+//! [`FitSession`]: the MFTI pipeline as an explicit staged object.
+//!
+//! [`Mfti::fit`](crate::Fitter::fit) runs directions → tangential data
+//! → Loewner pencil → realization in one shot and throws the
+//! intermediate state away. A session *owns* that state, which buys
+//! three things the one-shot call cannot offer:
+//!
+//! 1. **Incremental refits** — [`FitSession::append`] merges new
+//!    samples and grows the existing pencil block-wise
+//!    ([`LoewnerPencil::extend`], the machinery Algorithm 2 uses
+//!    internally) instead of rebuilding `O(K²)` blocks from scratch;
+//! 2. **Cheap order re-selection** — the order-detection singular
+//!    values are cached, so [`FitSession::realize_with`] re-runs order
+//!    selection at a different tolerance and only repeats the final
+//!    projection;
+//! 3. **Stage inspection** — the tangential data, the pencil and the
+//!    singular-value profile are all borrowable between stages.
+
+use std::time::Instant;
+
+use mfti_sampling::SampleSet;
+
+use crate::data::TangentialData;
+use crate::error::MftiError;
+use crate::fitter::{FitError, FitOutcome};
+use crate::loewner::LoewnerPencil;
+use crate::mfti::{FitResult, Mfti};
+use crate::realize::OrderSelection;
+
+/// A staged, incrementally refittable MFTI pipeline.
+///
+/// ```
+/// use mfti_core::{FitSession, Mfti, OrderSelection};
+/// use mfti_sampling::generators::RandomSystemBuilder;
+/// use mfti_sampling::{FrequencyGrid, SampleSet};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = RandomSystemBuilder::new(10, 2, 2).d_rank(2).seed(7).build()?;
+/// let grid = FrequencyGrid::log_space(1e2, 1e5, 12)?;
+/// let all = SampleSet::from_system(&sys, &grid)?;
+/// // Band edges go into the first batch (they set the normalization).
+/// let first = all.subset(&[0, 11, 1, 2, 3, 4])?;
+/// let rest = all.subset(&[5, 6, 7, 8, 9, 10])?;
+///
+/// let mut session = FitSession::new(Mfti::new());
+/// session.append(&first)?;
+/// let coarse = session.realize()?; // under-sampled: K = 12 < 2(n + rank D)
+///
+/// // New measurements arrive: only the new pencil blocks are computed.
+/// session.append(&rest)?;
+/// let refined = session.realize()?;
+/// assert_eq!(refined.order(), 12);
+/// assert!(refined.order() >= coarse.order());
+///
+/// // Re-run order selection at another tolerance — no pencil rebuild.
+/// let truncated = session.realize_with(OrderSelection::Fixed(6))?;
+/// assert_eq!(truncated.order(), 6);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Consistency rules
+///
+/// * The direction strategies are prefix-stable (see
+///   [`DirectionKind`](crate::DirectionKind)), so appending samples
+///   never perturbs the blocks already woven into the pencil.
+/// * The pencil keeps the frequency normalization `ω₀` of the **first**
+///   batch. Appending samples far above the original band still fits
+///   correctly but degrades the pencil's balance; start the session
+///   with a batch that spans the band of interest.
+/// * [`Weights::PerPair`](crate::Weights) vectors must match the grown
+///   pair count on every append, so sessions are most naturally driven
+///   with [`Weights::Full`](crate::Weights) or
+///   [`Weights::Uniform`](crate::Weights).
+#[derive(Debug, Clone)]
+pub struct FitSession {
+    config: Mfti,
+    samples: Option<SampleSet>,
+    data: Option<TangentialData>,
+    pencil: Option<LoewnerPencil>,
+    /// Cached singular values of `x₀𝕃 − σ𝕃`; invalidated by `append`.
+    sv: Option<Vec<f64>>,
+}
+
+impl Default for FitSession {
+    fn default() -> Self {
+        Self::new(Mfti::new())
+    }
+}
+
+impl FitSession {
+    /// Creates an empty session with the given fitter configuration
+    /// (weights, directions, order selection, realization path).
+    pub fn new(config: Mfti) -> Self {
+        FitSession {
+            config,
+            samples: None,
+            data: None,
+            pencil: None,
+            sv: None,
+        }
+    }
+
+    /// The fitter configuration driving this session.
+    pub fn config(&self) -> &Mfti {
+        &self.config
+    }
+
+    /// Appends samples and grows the pipeline state: tangential data
+    /// are rebuilt (the existing triples are bit-identical thanks to
+    /// prefix-stable directions), and **only the new rows/columns** of
+    /// the Loewner pencil are computed. The cached order-detection
+    /// signal is invalidated.
+    ///
+    /// The operation is transactional: on error the session is left
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// * [`FitError::Mfti`] with [`MftiError::InvalidSamples`] when the
+    ///   grown set is odd-sized, shares a frequency or mixes port
+    ///   counts;
+    /// * [`FitError::Mfti`] with [`MftiError::InvalidWeights`] when a
+    ///   `PerPair` weight vector no longer matches the pair count.
+    pub fn append(&mut self, new: &SampleSet) -> Result<(), FitError> {
+        let merged = match &self.samples {
+            None => new.clone(),
+            // Order-preserving concatenation: `SampleSet::merged` sorts
+            // by frequency, which would re-pair the existing samples.
+            Some(old) => {
+                let freqs: Vec<f64> = old
+                    .freqs_hz()
+                    .iter()
+                    .chain(new.freqs_hz())
+                    .copied()
+                    .collect();
+                let mats = old
+                    .matrices()
+                    .iter()
+                    .chain(new.matrices())
+                    .cloned()
+                    .collect();
+                SampleSet::from_parts(freqs, mats).map_err(MftiError::from)?
+            }
+        };
+        let data = TangentialData::build(
+            &merged,
+            self.config.directions_ref(),
+            self.config.weights_ref(),
+        )?;
+        let grown = data.num_pairs();
+        let pencil = match &self.pencil {
+            None => LoewnerPencil::build(&data)?,
+            Some(existing) => {
+                let fresh: Vec<usize> = (existing.included_pairs().len()..grown).collect();
+                let mut extended = existing.clone();
+                extended.extend(&data, &fresh)?;
+                extended
+            }
+        };
+        self.samples = Some(merged);
+        self.data = Some(data);
+        self.pencil = Some(pencil);
+        self.sv = None;
+        Ok(())
+    }
+
+    /// The accumulated sample set, in append order.
+    pub fn samples(&self) -> Option<&SampleSet> {
+        self.samples.as_ref()
+    }
+
+    /// The tangential data of the current samples (stage 2).
+    pub fn data(&self) -> Option<&TangentialData> {
+        self.data.as_ref()
+    }
+
+    /// The incrementally grown Loewner pencil (stage 3).
+    pub fn pencil(&self) -> Option<&LoewnerPencil> {
+        self.pencil.as_ref()
+    }
+
+    /// Number of sample pairs currently woven into the pencil.
+    pub fn num_pairs(&self) -> usize {
+        self.pencil.as_ref().map_or(0, |p| p.included_pairs().len())
+    }
+
+    /// Current pencil order `K` (0 before the first append).
+    pub fn pencil_order(&self) -> usize {
+        self.pencil.as_ref().map_or(0, LoewnerPencil::order)
+    }
+
+    /// Singular values of `x₀𝕃 − σ𝕃` for the current pencil — the
+    /// order-detection signal, computed on first use and cached until
+    /// the next [`FitSession::append`].
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::Session`] before any samples are appended; SVD
+    /// failures otherwise.
+    pub fn singular_values(&mut self) -> Result<&[f64], FitError> {
+        let pencil = self.pencil.as_ref().ok_or(FitError::Session {
+            what: "no samples appended yet",
+        })?;
+        if self.sv.is_none() {
+            let x0 = pencil.default_x0();
+            self.sv = Some(pencil.shifted_pencil_singular_values(x0)?);
+        }
+        Ok(self.sv.as_deref().expect("just computed"))
+    }
+
+    /// Runs the realization stage with the session's configured order
+    /// selection.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FitSession::realize_with`].
+    pub fn realize(&mut self) -> Result<FitOutcome, FitError> {
+        let selection = self.config.order_selection_ref();
+        self.realize_with(selection)
+    }
+
+    /// Runs order selection with `selection` on the **cached** singular
+    /// values, then projects the pencil to the detected order — the
+    /// pencil and its SVD signal are reused across calls, so trying a
+    /// different tolerance costs only the final projection.
+    ///
+    /// The outcome's `elapsed` covers this realization call, not the
+    /// accumulated session lifetime.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::Session`] before any samples are appended;
+    /// order-selection and realization failures otherwise.
+    pub fn realize_with(&mut self, selection: OrderSelection) -> Result<FitOutcome, FitError> {
+        let start = Instant::now();
+        self.singular_values()?;
+        let sv = self.sv.clone().expect("cached by singular_values");
+        let pencil = self.pencil.as_ref().expect("pencil exists if sv does");
+        let order = selection.detect(&sv)?;
+        let model = self.config.realize_pencil(pencil, order)?;
+        Ok(FitOutcome::from_loewner(
+            "mfti-session",
+            FitResult {
+                model,
+                pencil_singular_values: sv,
+                detected_order: order,
+                pencil_order: pencil.order(),
+                elapsed: start.elapsed(),
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Weights;
+    use crate::fitter::Fitter;
+    use crate::metrics::err_rms_of;
+    use mfti_sampling::generators::RandomSystemBuilder;
+    use mfti_sampling::FrequencyGrid;
+
+    fn workload(k: usize) -> SampleSet {
+        let sys = RandomSystemBuilder::new(10, 2, 2)
+            .d_rank(2)
+            .seed(404)
+            .build()
+            .unwrap();
+        let grid = FrequencyGrid::log_space(1e3, 1e6, k).unwrap();
+        SampleSet::from_system(&sys, &grid).unwrap()
+    }
+
+    /// Splits `all` so the first part contains the band edges (the
+    /// session's frequency normalization is set by the first batch).
+    fn split_edges_first(all: &SampleSet, first: usize) -> (SampleSet, SampleSet) {
+        let k = all.len();
+        let mut order: Vec<usize> = vec![0, k - 1];
+        order.extend(1..k - 1);
+        let head = all.subset(&order[..first]).unwrap();
+        let tail = all.subset(&order[first..]).unwrap();
+        (head, tail)
+    }
+
+    #[test]
+    fn incremental_session_matches_from_scratch_fit_exactly() {
+        let all = workload(12);
+        let (head, tail) = split_edges_first(&all, 6);
+
+        let mut session = FitSession::new(Mfti::new());
+        session.append(&head).unwrap();
+        let k_head = session.pencil_order();
+        session.append(&tail).unwrap();
+        assert!(session.pencil_order() > k_head);
+        let incremental = session.realize().unwrap();
+
+        // From-scratch reference on the same sample ordering.
+        let mut scratch = FitSession::new(Mfti::new());
+        let combined = {
+            let freqs: Vec<f64> = head
+                .freqs_hz()
+                .iter()
+                .chain(tail.freqs_hz())
+                .copied()
+                .collect();
+            let mats = head
+                .matrices()
+                .iter()
+                .chain(tail.matrices())
+                .cloned()
+                .collect();
+            SampleSet::from_parts(freqs, mats).unwrap()
+        };
+        scratch.append(&combined).unwrap();
+        let reference = scratch.realize().unwrap();
+
+        assert_eq!(incremental.order(), reference.order());
+        let (a, b) = (
+            incremental.model().as_real().unwrap(),
+            reference.model().as_real().unwrap(),
+        );
+        // Identical pencils ⇒ identical realizations (not just close).
+        assert!(a.e().approx_eq(b.e(), 1e-13));
+        assert!(a.a().approx_eq(b.a(), 1e-13));
+        assert!(a.b().approx_eq(b.b(), 1e-13));
+        assert!(a.c().approx_eq(b.c(), 1e-13));
+
+        // And the one-shot fitter agrees too (same data ordering).
+        let one_shot = Fitter::fit(&Mfti::new(), &combined).unwrap();
+        assert_eq!(one_shot.order(), incremental.order());
+    }
+
+    #[test]
+    fn session_stages_are_inspectable() {
+        let all = workload(8);
+        let mut session = FitSession::default();
+        assert!(session.samples().is_none());
+        assert_eq!(session.pencil_order(), 0);
+        assert!(matches!(
+            session.singular_values(),
+            Err(FitError::Session { .. })
+        ));
+
+        session.append(&all).unwrap();
+        assert_eq!(session.samples().unwrap().len(), 8);
+        assert_eq!(session.num_pairs(), 4);
+        assert_eq!(session.data().unwrap().num_pairs(), 4);
+        assert_eq!(session.pencil_order(), 16); // 2·t·pairs = 2·2·4
+        let sv = session.singular_values().unwrap();
+        assert_eq!(sv.len(), 16);
+    }
+
+    #[test]
+    fn reselection_reuses_the_cached_signal() {
+        let all = workload(12);
+        let mut session = FitSession::new(Mfti::new());
+        session.append(&all).unwrap();
+        let auto = session.realize().unwrap();
+        assert_eq!(auto.order(), 12); // n + rank(D)
+        let err = err_rms_of(auto.model(), &all).unwrap();
+        assert!(err < 1e-7, "ERR {err:.2e}");
+
+        // Order re-selection without rebuilding anything.
+        let fixed = session.realize_with(OrderSelection::Fixed(6)).unwrap();
+        assert_eq!(fixed.order(), 6);
+        let coarse_err = err_rms_of(fixed.model(), &all).unwrap();
+        assert!(coarse_err > err, "truncation must cost accuracy");
+
+        // The full-accuracy realization is still reproducible.
+        let again = session.realize().unwrap();
+        assert_eq!(again.order(), 12);
+    }
+
+    #[test]
+    fn append_is_transactional_on_bad_input() {
+        let all = workload(8);
+        let mut session = FitSession::new(Mfti::new());
+        session.append(&all).unwrap();
+        let k = session.pencil_order();
+
+        // Odd-sized growth is rejected …
+        let odd = all.subset(&[0]).unwrap();
+        let mut probe = session.clone();
+        assert!(probe.append(&odd).is_err());
+
+        // … duplicate frequencies are rejected …
+        assert!(session.append(&all.subset(&[0, 1]).unwrap()).is_err());
+
+        // … and the session still realizes as before.
+        assert_eq!(session.pencil_order(), k);
+        assert!(session.realize().is_ok());
+    }
+
+    #[test]
+    fn per_pair_weights_demand_matching_growth() {
+        let all = workload(8);
+        let mut session = FitSession::new(Mfti::new().weights(Weights::PerPair(vec![2, 2, 1, 1])));
+        session.append(&all).unwrap();
+        assert_eq!(session.pencil_order(), 12);
+        // Growing invalidates the fixed-length weight vector.
+        let more = workload(12).subset(&[8, 9]).unwrap();
+        assert!(session.append(&more).is_err());
+    }
+}

@@ -27,7 +27,7 @@ use crate::realize::OrderSelection;
 /// // VFTI needs ~order+rank(D) samples: K = k here (t_i = 1).
 /// let grid = FrequencyGrid::log_space(1e2, 1e4, 12)?;
 /// let samples = SampleSet::from_system(&sys, &grid)?;
-/// let fit = Vfti::new().fit(&samples)?;
+/// let fit = Vfti::new().fit_detailed(&samples)?;
 /// assert_eq!(fit.pencil_order, 12);
 /// # Ok(())
 /// # }
@@ -69,13 +69,15 @@ impl Vfti {
         self
     }
 
-    /// Runs the VFTI fit.
+    /// Runs the VFTI fit, returning the full method-specific result
+    /// (most callers should use the generic
+    /// [`Fitter::fit`](crate::Fitter::fit) instead).
     ///
     /// # Errors
     ///
-    /// Same failure modes as [`Mfti::fit`].
-    pub fn fit(&self, samples: &SampleSet) -> Result<FitResult, MftiError> {
-        self.inner.fit(samples)
+    /// Same failure modes as [`Mfti::fit_detailed`].
+    pub fn fit_detailed(&self, samples: &SampleSet) -> Result<FitResult, MftiError> {
+        self.inner.fit_detailed(samples)
     }
 }
 
@@ -88,10 +90,14 @@ mod tests {
 
     #[test]
     fn vfti_pencil_order_equals_sample_count() {
-        let sys = RandomSystemBuilder::new(6, 3, 3).d_rank(0).seed(1).build().unwrap();
+        let sys = RandomSystemBuilder::new(6, 3, 3)
+            .d_rank(0)
+            .seed(1)
+            .build()
+            .unwrap();
         let grid = FrequencyGrid::log_space(1e2, 1e4, 10).unwrap();
         let set = mfti_sampling::SampleSet::from_system(&sys, &grid).unwrap();
-        let fit = Vfti::new().fit(&set).unwrap();
+        let fit = Vfti::new().fit_detailed(&set).unwrap();
         // t_i = 1: K = 2 pairs-per-side totals = k.
         assert_eq!(fit.pencil_order, 10);
     }
@@ -99,10 +105,14 @@ mod tests {
     #[test]
     fn vfti_recovers_small_system_with_enough_samples() {
         // order + rank(D) = 6 ⇒ VFTI needs K = k ≥ 6 samples.
-        let sys = RandomSystemBuilder::new(4, 2, 2).d_rank(2).seed(4).build().unwrap();
+        let sys = RandomSystemBuilder::new(4, 2, 2)
+            .d_rank(2)
+            .seed(4)
+            .build()
+            .unwrap();
         let grid = FrequencyGrid::log_space(1e2, 1e4, 12).unwrap();
         let set = mfti_sampling::SampleSet::from_system(&sys, &grid).unwrap();
-        let fit = Vfti::new().fit(&set).unwrap();
+        let fit = Vfti::new().fit_detailed(&set).unwrap();
         assert_eq!(fit.detected_order, 6);
         let f = 1.7e3;
         let h = fit.model.response_at_hz(f).unwrap();
@@ -116,17 +126,24 @@ mod tests {
         // order-12 system sampled 8 times gives VFTI a K=8 pencil, so no
         // singular-value drop can appear and the fit is garbage, while
         // MFTI on the same 8 samples recovers the system.
-        let sys = RandomSystemBuilder::new(12, 3, 3).d_rank(3).seed(6).build().unwrap();
+        let sys = RandomSystemBuilder::new(12, 3, 3)
+            .d_rank(3)
+            .seed(6)
+            .build()
+            .unwrap();
         let grid = FrequencyGrid::log_space(1e2, 1e4, 8).unwrap();
         let set = mfti_sampling::SampleSet::from_system(&sys, &grid).unwrap();
 
-        let vfti = Vfti::new().fit(&set).unwrap();
+        let vfti = Vfti::new().fit_detailed(&set).unwrap();
         assert_eq!(vfti.pencil_order, 8); // < order + rank(D) = 15
         let no_drop = vfti.pencil_singular_values.last().unwrap()
             / vfti.pencil_singular_values.first().unwrap();
-        assert!(no_drop > 1e-9, "VFTI should see no rank drop, got {no_drop}");
+        assert!(
+            no_drop > 1e-9,
+            "VFTI should see no rank drop, got {no_drop}"
+        );
 
-        let mfti = crate::mfti::Mfti::new().fit(&set).unwrap();
+        let mfti = crate::mfti::Mfti::new().fit_detailed(&set).unwrap();
         let drop = mfti.pencil_singular_values.last().unwrap()
             / mfti.pencil_singular_values.first().unwrap();
         assert!(drop < 1e-10, "MFTI should see a sharp drop, got {drop}");

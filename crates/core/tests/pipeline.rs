@@ -1,10 +1,11 @@
 //! Integration tests of the mfti-core pipeline at the crate boundary:
-//! the staged API (data → pencil → realify → realize) must compose the
-//! same way the one-call fitters do.
+//! the staged API (data → pencil → realify → realize, and its stateful
+//! [`FitSession`] packaging) must compose the same way the one-call
+//! [`Fitter`] implementations do.
 
 use mfti_core::{
-    metrics, realify, realize_complex, realize_real, DirectionKind, FittedModel,
-    LoewnerPencil, Mfti, OrderSelection, TangentialData, Vfti, Weights,
+    metrics, realify, realize_complex, realize_real, DirectionKind, FitSession, FittedModel,
+    Fitter, LoewnerPencil, Mfti, OrderSelection, TangentialData, Vfti, Weights,
 };
 use mfti_sampling::generators::RandomSystemBuilder;
 use mfti_sampling::{FrequencyGrid, SampleSet};
@@ -25,31 +26,38 @@ fn workload() -> SampleSet {
 fn staged_api_matches_the_one_call_fitter() {
     let samples = workload();
 
-    // One-call path.
+    // One-call path (generic Fitter surface).
     let fit = Mfti::new().fit(&samples).expect("fit");
 
     // Staged path with the same configuration.
-    let data = TangentialData::build(
-        &samples,
-        DirectionKind::default(),
-        &Weights::Uniform(2),
-    )
-    .expect("data");
+    let data = TangentialData::build(&samples, DirectionKind::default(), &Weights::Uniform(2))
+        .expect("data");
     let pencil = LoewnerPencil::build(&data).expect("pencil");
     let sv = pencil
         .shifted_pencil_singular_values(pencil.default_x0())
         .expect("svd");
     let order = OrderSelection::default().detect(&sv).expect("order");
-    assert_eq!(order, fit.detected_order);
+    assert_eq!(order, fit.order());
     let real = realify(&pencil, 1e-6).expect("realify");
     let staged = realize_real(&real, order).expect("realize");
 
+    // Session path: same stages, owned state.
+    let mut session = FitSession::new(Mfti::new());
+    session.append(&samples).expect("append");
+    let from_session = session.realize().expect("realize");
+    assert_eq!(from_session.order(), fit.order());
+
     for (f, _) in samples.iter().take(4) {
-        let a = fit.model.response_at_hz(f).expect("eval");
+        let a = fit.model().response_at_hz(f).expect("eval");
         let b = staged.response_at_hz(f).expect("eval");
+        let c = from_session.model().response_at_hz(f).expect("eval");
         assert!(
             (&a - &b).norm_2() < 1e-8 * a.norm_2().max(1e-12),
             "staged and one-call paths disagree at {f} Hz"
+        );
+        assert!(
+            (&a - &c).norm_2() < 1e-8 * a.norm_2().max(1e-12),
+            "session and one-call paths disagree at {f} Hz"
         );
     }
 }
@@ -82,17 +90,19 @@ fn complex_and_real_realizations_share_the_transfer_function() {
 fn fitted_model_accessors_are_consistent() {
     let samples = workload();
     let real_fit = Mfti::new().fit(&samples).expect("real fit");
-    match &real_fit.model {
+    let model = real_fit.model().as_fitted().expect("loewner model");
+    match model {
         FittedModel::Real(sys) => {
-            assert_eq!(sys.order(), real_fit.detected_order);
-            assert_eq!(real_fit.model.order(), sys.order());
-            assert!(real_fit.model.as_real().is_some());
-            assert!(real_fit.model.as_complex().is_none());
+            assert_eq!(sys.order(), real_fit.order());
+            assert_eq!(model.order(), sys.order());
+            assert!(real_fit.model().as_real().is_some());
+            assert!(real_fit.model().as_complex().is_none());
+            assert!(real_fit.model().as_rational().is_none());
         }
         FittedModel::Complex(_) => panic!("default path must be real"),
     }
-    assert_eq!(real_fit.model.outputs(), 2);
-    assert_eq!(real_fit.model.inputs(), 2);
+    assert_eq!(real_fit.model().outputs(), 2);
+    assert_eq!(real_fit.model().inputs(), 2);
 }
 
 #[test]
@@ -104,14 +114,12 @@ fn vfti_equals_mfti_with_unit_weights_and_same_directions() {
         .directions(DirectionKind::CyclicIdentity)
         .fit(&samples)
         .expect("mfti t=1");
-    assert_eq!(vfti.pencil_order, mfti_t1.pencil_order);
-    assert_eq!(vfti.detected_order, mfti_t1.detected_order);
-    for (a, b) in vfti
-        .pencil_singular_values
-        .iter()
-        .zip(&mfti_t1.pencil_singular_values)
-    {
-        assert!((a - b).abs() < 1e-12 * vfti.pencil_singular_values[0]);
+    assert_eq!(vfti.pencil_order(), mfti_t1.pencil_order());
+    assert_eq!(vfti.order(), mfti_t1.order());
+    let sv_v = vfti.pencil_singular_values().expect("loewner method");
+    let sv_m = mfti_t1.pencil_singular_values().expect("loewner method");
+    for (a, b) in sv_v.iter().zip(sv_m) {
+        assert!((a - b).abs() < 1e-12 * sv_v[0]);
     }
 }
 
@@ -119,7 +127,7 @@ fn vfti_equals_mfti_with_unit_weights_and_same_directions() {
 fn fit_error_metrics_cover_every_sample() {
     let samples = workload();
     let fit = Mfti::new().fit(&samples).expect("fit");
-    let errs = metrics::relative_errors(&fit.model, &samples).expect("errs");
+    let errs = metrics::relative_errors(fit.model(), &samples).expect("errs");
     assert_eq!(errs.len(), samples.len());
     assert!(metrics::err_max(&errs) >= metrics::err_rms(&errs));
 }

@@ -362,7 +362,13 @@ mod tests {
 
     #[test]
     fn sqrt_squares_back() {
-        for &(re, im) in &[(4.0, 0.0), (-9.0, 0.0), (3.0, 4.0), (-1.0, -1.0), (0.0, 2.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-9.0, 0.0),
+            (3.0, 4.0),
+            (-1.0, -1.0),
+            (0.0, 2.0),
+        ] {
             let z = c64(re, im);
             let r = z.sqrt();
             assert!(close(r * r, z, 1e-12), "sqrt failed for {z}");
@@ -427,6 +433,10 @@ mod tests {
         let s: Complex = zs.iter().copied().sum();
         assert!(close(s, c64(3.5, 0.0), 1e-15));
         let p: Complex = zs.iter().copied().product();
-        assert!(close(p, c64(1.0, 1.0) * c64(2.0, -1.0) * c64(0.5, 0.0), 1e-15));
+        assert!(close(
+            p,
+            c64(1.0, 1.0) * c64(2.0, -1.0) * c64(0.5, 0.0),
+            1e-15
+        ));
     }
 }

@@ -134,7 +134,6 @@ pub fn generalized_eigenvalues<T: Scalar>(
     })
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -176,8 +176,14 @@ mod tests {
             // G [a; b] = [r; 0]
             let top = a.scale(c) + s * b;
             let bot = b.scale(c) - s.conj() * a;
-            assert!((top - r).abs() < 1e-9 * r.abs().max(1.0), "top residual for ({a},{b})");
-            assert!(bot.abs() < 1e-9 * (a.abs() + b.abs()).max(1.0), "bottom {bot}");
+            assert!(
+                (top - r).abs() < 1e-9 * r.abs().max(1.0),
+                "top residual for ({a},{b})"
+            );
+            assert!(
+                bot.abs() < 1e-9 * (a.abs() + b.abs()).max(1.0),
+                "bottom {bot}"
+            );
             // Unitarity: c² + |s|² = 1.
             assert!((c * c + s.abs_sq() - 1.0).abs() < 1e-12);
         }

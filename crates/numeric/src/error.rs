@@ -70,7 +70,11 @@ impl fmt::Display for NumericError {
                 left.0, left.1, right.0, right.1
             ),
             NumericError::NotSquare { op, dims } => {
-                write!(f, "{op} requires a square matrix, got {}x{}", dims.0, dims.1)
+                write!(
+                    f,
+                    "{op} requires a square matrix, got {}x{}",
+                    dims.0, dims.1
+                )
             }
             NumericError::Singular { op } => write!(f, "matrix is singular in {op}"),
             NumericError::NoConvergence { op, iterations } => {

@@ -36,7 +36,11 @@ pub(crate) fn make_reflector(x: &[Complex]) -> Reflector {
         };
     }
     let norm_full = (alpha.abs_sq() + xnorm * xnorm).sqrt();
-    let beta = if alpha.re >= 0.0 { -norm_full } else { norm_full };
+    let beta = if alpha.re >= 0.0 {
+        -norm_full
+    } else {
+        norm_full
+    };
     let tau = c64((beta - alpha.re) / beta, -alpha.im / beta);
     let denom = alpha - beta;
     let scale = denom.recip();

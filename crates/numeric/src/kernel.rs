@@ -9,7 +9,7 @@
 //! * **transpose packing** — the right operand is packed so that both
 //!   operands of every inner product are contiguous in the shared `k`
 //!   dimension (and bounds checks vanish from the inner loop),
-//! * **cache blocking** — panels of [`KC`]×[`NB`] keep the packed
+//! * **cache blocking** — panels of `KC`×`NB` keep the packed
 //!   working set resident in L1/L2 across the `i` sweep,
 //! * **register tiling** — a 1×4 micro-kernel reuses each element of
 //!   the left row across four output columns with independent
@@ -419,7 +419,17 @@ pub fn mul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>, Numeric
     if T::IS_COMPLEX {
         let (are, aim) = split_rows(a, false);
         let (bre, bim) = split_transpose(b, false);
-        gemm_split(&are, &aim, &bre, &bim, m, n, kdim, T::ONE, out.as_mut_slice());
+        gemm_split(
+            &are,
+            &aim,
+            &bre,
+            &bim,
+            m,
+            n,
+            kdim,
+            T::ONE,
+            out.as_mut_slice(),
+        );
     } else {
         let bt = pack_transpose(b, false);
         gemm_packed(a.as_slice(), &bt, m, n, kdim, T::ONE, out.as_mut_slice());
@@ -444,7 +454,17 @@ pub fn mul_hermitian_left<T: Scalar>(
     if T::IS_COMPLEX {
         let (are, aim) = split_transpose(a, true);
         let (bre, bim) = split_transpose(b, false);
-        gemm_split(&are, &aim, &bre, &bim, m, n, kdim, T::ONE, out.as_mut_slice());
+        gemm_split(
+            &are,
+            &aim,
+            &bre,
+            &bim,
+            m,
+            n,
+            kdim,
+            T::ONE,
+            out.as_mut_slice(),
+        );
     } else {
         let at = pack_transpose(a, true);
         let bt = pack_transpose(b, false);
@@ -471,7 +491,17 @@ pub fn mul_transpose_right<T: Scalar>(
     if T::IS_COMPLEX {
         let (are, aim) = split_rows(a, false);
         let (bre, bim) = split_rows(b, false);
-        gemm_split(&are, &aim, &bre, &bim, m, n, kdim, T::ONE, out.as_mut_slice());
+        gemm_split(
+            &are,
+            &aim,
+            &bre,
+            &bim,
+            m,
+            n,
+            kdim,
+            T::ONE,
+            out.as_mut_slice(),
+        );
     } else {
         gemm_packed(
             a.as_slice(),
@@ -507,7 +537,17 @@ pub fn mul_adjoint_right<T: Scalar>(
     let mut out = Matrix::zeros(m, n);
     let (are, aim) = split_rows(a, false);
     let (bre, bim) = split_rows(b, true);
-    gemm_split(&are, &aim, &bre, &bim, m, n, kdim, T::ONE, out.as_mut_slice());
+    gemm_split(
+        &are,
+        &aim,
+        &bre,
+        &bim,
+        m,
+        n,
+        kdim,
+        T::ONE,
+        out.as_mut_slice(),
+    );
     Ok(out)
 }
 

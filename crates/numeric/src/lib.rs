@@ -11,6 +11,9 @@
 //!   product forms (`AᴴB`, `ABᵀ`, `C ← C + αAB`) every dense product in
 //!   the workspace routes through,
 //! * [`Lu`] — LU factorization with partial pivoting (solve / det / inverse),
+//! * [`Hessenberg`] / [`solve_shifted_hessenberg`] — unitary reduction
+//!   `A = Q H Q*` with accumulated `Q`, plus an `O(n²)` Givens solver for
+//!   `(αI + βH)X = B` — the backbone of batched frequency sweeps,
 //! * [`Qr`] — Householder QR (orthonormal bases, least squares),
 //! * [`Svd`] — singular value decomposition of complex matrices via
 //!   Golub–Kahan bidiagonalization with an implicit-shift QR sweep, plus an
@@ -39,6 +42,7 @@
 mod blocks;
 mod complex;
 mod error;
+mod hessenberg;
 mod householder;
 mod lu;
 mod matrix;
@@ -55,6 +59,7 @@ pub mod svd;
 pub use complex::{c64, Complex};
 pub use eig::{eigenvalues, generalized_eigenvalues};
 pub use error::NumericError;
+pub use hessenberg::{solve_shifted_hessenberg, Hessenberg};
 pub use lu::Lu;
 pub use matrix::{CMatrix, Matrix, RMatrix};
 pub use qr::Qr;

@@ -129,7 +129,11 @@ impl<T: Scalar> Lu<T> {
     /// Determinant of the original matrix.
     pub fn det(&self) -> T {
         let n = self.order();
-        let mut d = if self.swap_count.is_multiple_of(2) { T::ONE } else { -T::ONE };
+        let mut d = if self.swap_count.is_multiple_of(2) {
+            T::ONE
+        } else {
+            -T::ONE
+        };
         for i in 0..n {
             d *= self.factors[(i, i)];
         }

@@ -398,7 +398,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
     type Output = T;
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -406,7 +409,10 @@ impl<T: Scalar> Index<(usize, usize)> for Matrix<T> {
 impl<T: Scalar> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }

@@ -16,9 +16,7 @@ use crate::svd::normalize_triplets;
 
 /// Computes the thin SVD of `a` (`m × n`, requires `m ≥ n`):
 /// returns `(U m×n, s n, V n×n)` with `A = U diag(s) V*`.
-pub(crate) fn svd_golub_kahan(
-    a: &CMatrix,
-) -> Result<(CMatrix, Vec<f64>, CMatrix), NumericError> {
+pub(crate) fn svd_golub_kahan(a: &CMatrix) -> Result<(CMatrix, Vec<f64>, CMatrix), NumericError> {
     let (m, n) = a.dims();
     debug_assert!(m >= n, "caller must pre-transpose wide matrices");
 
@@ -167,8 +165,11 @@ fn bidiag_qr(
             let mut ks: isize = p as isize - 1;
             while ks > k {
                 let ksu = ks as usize;
-                let t = if ks != p as isize - 1 { e[ksu].abs() } else { 0.0 }
-                    + if ks != k + 1 { e[ksu - 1].abs() } else { 0.0 };
+                let t = if ks != p as isize - 1 {
+                    e[ksu].abs()
+                } else {
+                    0.0
+                } + if ks != k + 1 { e[ksu - 1].abs() } else { 0.0 };
                 if d[ksu].abs() <= tiny + eps * t {
                     d[ksu] = 0.0;
                     break;

@@ -153,7 +153,11 @@ impl Svd {
     ///
     /// Panics when `r` exceeds the number of singular values.
     pub fn truncate(&self, r: usize) -> (CMatrix, Vec<f64>, CMatrix) {
-        assert!(r <= self.s.len(), "truncation rank {r} exceeds {}", self.s.len());
+        assert!(
+            r <= self.s.len(),
+            "truncation rank {r} exceeds {}",
+            self.s.len()
+        );
         let idx: Vec<usize> = (0..r).collect();
         (
             self.u.select_cols(&idx).expect("in range"),
@@ -257,7 +261,11 @@ mod tests {
         assert_eq!(svd.singular_values().len(), r);
         // Descending non-negative singular values.
         for w in svd.singular_values().windows(2) {
-            assert!(w[0] >= w[1] - 1e-12, "not sorted: {:?}", svd.singular_values());
+            assert!(
+                w[0] >= w[1] - 1e-12,
+                "not sorted: {:?}",
+                svd.singular_values()
+            );
         }
         assert!(svd.singular_values().iter().all(|&x| x >= 0.0));
         // Reconstruction.
@@ -268,9 +276,15 @@ mod tests {
         );
         // Orthonormality.
         let uhu = svd.u().adjoint().matmul(svd.u()).unwrap();
-        assert!(uhu.approx_eq(&CMatrix::identity(r), 1e-10), "U not orthonormal");
+        assert!(
+            uhu.approx_eq(&CMatrix::identity(r), 1e-10),
+            "U not orthonormal"
+        );
         let vhv = svd.v().adjoint().matmul(svd.v()).unwrap();
-        assert!(vhv.approx_eq(&CMatrix::identity(r), 1e-10), "V not orthonormal");
+        assert!(
+            vhv.approx_eq(&CMatrix::identity(r), 1e-10),
+            "V not orthonormal"
+        );
     }
 
     #[test]

@@ -2,8 +2,7 @@
 //! and values at the boundaries of what the algorithms accept.
 
 use mfti_numeric::{
-    c64, eigenvalues, generalized_eigenvalues, CMatrix, Complex, Lu, Qr, RMatrix, Svd,
-    SvdMethod,
+    c64, eigenvalues, generalized_eigenvalues, CMatrix, Complex, Lu, Qr, RMatrix, Svd, SvdMethod,
 };
 
 #[test]

@@ -26,9 +26,8 @@ fn cmatrix(
 
 /// Paired shapes `(A: m×k, B: k×n)` for product tests, `k` shared.
 fn product_pair() -> impl Strategy<Value = (CMatrix, CMatrix)> {
-    (0usize..=40, 0usize..=70, 0usize..=40).prop_flat_map(|(m, k, n)| {
-        (cmatrix(m..=m, k..=k), cmatrix(k..=k, n..=n))
-    })
+    (0usize..=40, 0usize..=70, 0usize..=40)
+        .prop_flat_map(|(m, k, n)| (cmatrix(m..=m, k..=k), cmatrix(k..=k, n..=n)))
 }
 
 /// Agreement tolerance: the blocked kernel sums in a different order

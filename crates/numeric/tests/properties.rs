@@ -8,8 +8,10 @@ use mfti_numeric::{c64, eigenvalues, lstsq, CMatrix, Complex, Lu, Qr, Svd, SvdMe
 use proptest::prelude::*;
 
 /// Strategy: complex matrix with entries in [-1, 1]² and given shape range.
-fn cmatrix(rows: std::ops::RangeInclusive<usize>, cols: std::ops::RangeInclusive<usize>)
-    -> impl Strategy<Value = CMatrix> {
+fn cmatrix(
+    rows: std::ops::RangeInclusive<usize>,
+    cols: std::ops::RangeInclusive<usize>,
+) -> impl Strategy<Value = CMatrix> {
     (rows, cols).prop_flat_map(|(m, n)| {
         proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), m * n).prop_map(move |v| {
             CMatrix::from_vec(m, n, v.into_iter().map(|(re, im)| c64(re, im)).collect())

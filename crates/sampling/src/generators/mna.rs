@@ -68,13 +68,21 @@ impl MnaNetlist {
 
     /// Adds a capacitor of `farads` between nodes `a` and `b`.
     pub fn capacitor(mut self, a: usize, b: usize, farads: f64) -> Self {
-        self.capacitors.push(TwoTerminal { a, b, value: farads });
+        self.capacitors.push(TwoTerminal {
+            a,
+            b,
+            value: farads,
+        });
         self
     }
 
     /// Adds an inductor of `henries` between nodes `a` and `b`.
     pub fn inductor(mut self, a: usize, b: usize, henries: f64) -> Self {
-        self.inductors.push(TwoTerminal { a, b, value: henries });
+        self.inductors.push(TwoTerminal {
+            a,
+            b,
+            value: henries,
+        });
         self
     }
 
@@ -316,9 +324,21 @@ mod tests {
     #[test]
     fn invalid_netlists_are_rejected() {
         assert!(MnaNetlist::new().resistor(1, 0, 1.0).build().is_err()); // no port
-        assert!(MnaNetlist::new().resistor(1, 1, 1.0).port(1).build().is_err());
-        assert!(MnaNetlist::new().resistor(1, 0, -5.0).port(1).build().is_err());
-        assert!(MnaNetlist::new().resistor(1, 0, 1.0).port(0).build().is_err());
+        assert!(MnaNetlist::new()
+            .resistor(1, 1, 1.0)
+            .port(1)
+            .build()
+            .is_err());
+        assert!(MnaNetlist::new()
+            .resistor(1, 0, -5.0)
+            .port(1)
+            .build()
+            .is_err());
+        assert!(MnaNetlist::new()
+            .resistor(1, 0, 1.0)
+            .port(0)
+            .build()
+            .is_err());
         assert!(MnaNetlist::new()
             .resistor(1, 0, 1.0)
             .port(1)

@@ -252,7 +252,11 @@ mod tests {
 
     #[test]
     fn pdn_has_requested_structure() {
-        let pdn = PdnBuilder::new(14).resonance_pairs(20).seed(3).build().unwrap();
+        let pdn = PdnBuilder::new(14)
+            .resonance_pairs(20)
+            .seed(3)
+            .build()
+            .unwrap();
         assert_eq!(pdn.order(), 40);
         assert_eq!(pdn.d().dims(), (14, 14));
         assert!(pdn.is_stable());
@@ -262,7 +266,11 @@ mod tests {
     #[test]
     fn pdn_is_reciprocal() {
         // Residues are symmetric by construction ⇒ H(s) = H(s)^T.
-        let pdn = PdnBuilder::new(6).resonance_pairs(10).seed(9).build().unwrap();
+        let pdn = PdnBuilder::new(6)
+            .resonance_pairs(10)
+            .seed(9)
+            .build()
+            .unwrap();
         let h = pdn.response_at_hz(5e7).unwrap();
         let asym = (&h - &h.transpose()).max_abs();
         assert!(asym < 1e-12 * h.max_abs(), "asymmetry {asym}");
@@ -270,7 +278,11 @@ mod tests {
 
     #[test]
     fn pdn_realizes_as_real_state_space() {
-        let pdn = PdnBuilder::new(4).resonance_pairs(8).seed(5).build().unwrap();
+        let pdn = PdnBuilder::new(4)
+            .resonance_pairs(8)
+            .seed(5)
+            .build()
+            .unwrap();
         let ss = pdn.to_state_space(1e-9).unwrap();
         // pairs × 2m states.
         assert_eq!(ss.order(), 8 * 2 * 4);
@@ -282,7 +294,11 @@ mod tests {
 
     #[test]
     fn pdn_peak_response_is_order_one() {
-        let pdn = PdnBuilder::new(14).resonance_pairs(50).seed(1).build().unwrap();
+        let pdn = PdnBuilder::new(14)
+            .resonance_pairs(50)
+            .seed(1)
+            .build()
+            .unwrap();
         let grid = mfti_statespace::bode::log_grid(1e6, 1e10, 100);
         let mut peak = 0.0f64;
         for f in grid {
@@ -293,8 +309,16 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = PdnBuilder::new(3).resonance_pairs(4).seed(42).build().unwrap();
-        let b = PdnBuilder::new(3).resonance_pairs(4).seed(42).build().unwrap();
+        let a = PdnBuilder::new(3)
+            .resonance_pairs(4)
+            .seed(42)
+            .build()
+            .unwrap();
+        let b = PdnBuilder::new(3)
+            .resonance_pairs(4)
+            .seed(42)
+            .build()
+            .unwrap();
         assert_eq!(a, b);
     }
 

@@ -153,7 +153,9 @@ impl RandomSystemBuilder {
             a[(n - 1, n - 1)] = -omega;
         }
 
-        let b = RMatrix::from_fn(n, self.inputs, |_, _| gaussian(&mut rng) / (n as f64).sqrt());
+        let b = RMatrix::from_fn(n, self.inputs, |_, _| {
+            gaussian(&mut rng) / (n as f64).sqrt()
+        });
         let mut c = RMatrix::from_fn(self.outputs, n, |_, _| gaussian(&mut rng));
 
         // Normalize so the peak |H| over a probe grid is ≈ 1 before D.
@@ -176,10 +178,8 @@ impl RandomSystemBuilder {
         let d = if self.d_rank == 0 {
             RMatrix::zeros(self.outputs, self.inputs)
         } else {
-            let p_factor =
-                RMatrix::from_fn(self.outputs, self.d_rank, |_, _| gaussian(&mut rng));
-            let q_factor =
-                RMatrix::from_fn(self.d_rank, self.inputs, |_, _| gaussian(&mut rng));
+            let p_factor = RMatrix::from_fn(self.outputs, self.d_rank, |_, _| gaussian(&mut rng));
+            let q_factor = RMatrix::from_fn(self.d_rank, self.inputs, |_, _| gaussian(&mut rng));
             p_factor
                 .matmul(&q_factor)
                 .expect("conformal by construction")
@@ -256,10 +256,7 @@ mod tests {
         for p in sys.poles().unwrap() {
             let f = p.im.abs() / std::f64::consts::TAU;
             if f > 0.0 {
-                assert!(
-                    f > 0.5e3 && f < 2e6,
-                    "pole frequency {f} Hz outside band"
-                );
+                assert!(f > 0.5e3 && f < 2e6, "pole frequency {f} Hz outside band");
             }
         }
     }
@@ -268,7 +265,10 @@ mod tests {
     fn invalid_configurations_are_rejected() {
         assert!(RandomSystemBuilder::new(0, 2, 2).build().is_err());
         assert!(RandomSystemBuilder::new(4, 0, 2).build().is_err());
-        assert!(RandomSystemBuilder::new(4, 2, 2).band(5.0, 5.0).build().is_err());
+        assert!(RandomSystemBuilder::new(4, 2, 2)
+            .band(5.0, 5.0)
+            .build()
+            .is_err());
         assert!(RandomSystemBuilder::new(4, 2, 2).d_rank(3).build().is_err());
     }
 }

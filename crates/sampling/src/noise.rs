@@ -97,10 +97,8 @@ impl NoiseModel {
                     let scale = sigma / 2f64.sqrt();
                     for i in 0..p {
                         for j in 0..m {
-                            let g = c64(
-                                1.0 + gaussian(&mut rng) * scale,
-                                gaussian(&mut rng) * scale,
-                            );
+                            let g =
+                                c64(1.0 + gaussian(&mut rng) * scale, gaussian(&mut rng) * scale);
                             out[(i, j)] *= g;
                         }
                     }

@@ -170,11 +170,8 @@ mod tests {
         assert!(admittance_to_scattering(&y, 0.0).is_err());
         assert!(scattering_to_admittance(&y, f64::NAN).is_err());
         // S = -I makes I + S singular.
-        let s = SampleSet::from_parts(
-            vec![1.0],
-            vec![CMatrix::identity(2).map(|z: Complex| -z)],
-        )
-        .unwrap();
+        let s = SampleSet::from_parts(vec![1.0], vec![CMatrix::identity(2).map(|z: Complex| -z)])
+            .unwrap();
         assert!(scattering_to_admittance(&s, 50.0).is_err());
     }
 }

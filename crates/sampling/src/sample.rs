@@ -137,7 +137,10 @@ impl SampleSet {
     /// Largest entry magnitude across all samples (used for noise
     /// scaling and normalization).
     pub fn max_abs(&self) -> f64 {
-        self.matrices.iter().map(|m| m.max_abs()).fold(0.0, f64::max)
+        self.matrices
+            .iter()
+            .map(|m| m.max_abs())
+            .fold(0.0, f64::max)
     }
 
     /// Merges two measurement runs into one set sorted by frequency

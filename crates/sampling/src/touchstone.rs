@@ -63,7 +63,7 @@ impl FrequencyUnit {
     }
 }
 
-/// Options controlling [`write`]; defaults match common tool output
+/// Options controlling [`write()`]; defaults match common tool output
 /// (`# HZ S RI R 50`).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WriteOptions {

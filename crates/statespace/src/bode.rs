@@ -169,7 +169,10 @@ mod tests {
         )
         .unwrap();
         let dev = max_relative_deviation(&b, &a, &log_grid(0.1, 1.0, 5)).unwrap();
-        assert!((dev - 1.0).abs() < 0.05, "2x gain ⇒ 100% deviation, got {dev}");
+        assert!(
+            (dev - 1.0).abs() < 0.05,
+            "2x gain ⇒ 100% deviation, got {dev}"
+        );
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //!   Example 1),
 //! * [`RationalModel`] — common-pole pole–residue models (the output of
 //!   vector fitting), convertible to a real descriptor realization,
-//! * [`TransferFunction`] — the evaluation interface all fitting
-//!   algorithms and error metrics are written against,
+//! * [`TransferFunction`] — the minimal evaluation interface all
+//!   fitting algorithms and error metrics are written against,
+//! * [`Macromodel`] — the object-safe model surface the fitters return:
+//!   order inspection plus batched sweep evaluation
+//!   ([`Macromodel::eval_batch`]) that hoists factorization work out of
+//!   the per-frequency loop,
 //! * [`bode`] — Bode-diagram extraction helpers used to regenerate the
 //!   paper's Fig. 2.
 //!
@@ -45,6 +49,7 @@
 pub mod bode;
 mod descriptor;
 mod error;
+mod macromodel;
 pub mod passivity;
 mod rational;
 pub mod simulation;
@@ -52,6 +57,7 @@ mod transfer;
 
 pub use descriptor::DescriptorSystem;
 pub use error::StateSpaceError;
+pub use macromodel::Macromodel;
 pub use rational::{complex_residue, RationalModel};
 pub use transfer::TransferFunction;
 

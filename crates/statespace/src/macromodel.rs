@@ -1,0 +1,138 @@
+//! The [`Macromodel`] trait: the evaluation surface every fitted model
+//! in the workspace presents, superseding bare [`TransferFunction`] use
+//! at API boundaries.
+//!
+//! Where [`TransferFunction`] is the minimal "something with a `p × m`
+//! response" contract (closed-form test functions implement it in three
+//! lines), `Macromodel` is what the fitting stack *returns*: a model
+//! with a well-defined order that supports **batched evaluation** over
+//! a whole frequency sweep. The default [`Macromodel::eval_batch`] is a
+//! per-point loop; concrete models override it to hoist shared setup
+//! out of the sweep:
+//!
+//! * [`DescriptorSystem`](crate::DescriptorSystem) reduces a
+//!   shift-inverted pencil to Hessenberg form once, turning every
+//!   subsequent frequency into an `O(n²)` solve instead of an `O(n³)`
+//!   LU factorization;
+//! * [`RationalModel`](crate::RationalModel) streams each residue
+//!   matrix across all frequencies (pole-outer accumulation).
+//!
+//! The trait is object-safe: `Box<dyn Macromodel>` is how
+//! method-agnostic drivers hold models produced by different fitters.
+
+use mfti_numeric::{CMatrix, Complex};
+
+use crate::error::StateSpaceError;
+use crate::s_at_hz;
+use crate::transfer::TransferFunction;
+
+/// A fitted (or synthesized) model: a [`TransferFunction`] with a known
+/// order and an efficient batched evaluation path.
+pub trait Macromodel: TransferFunction {
+    /// Model order: state dimension for state-space models, pole count
+    /// for pole–residue models.
+    fn order(&self) -> usize;
+
+    /// Evaluates `H(s)` at every point of `s`.
+    ///
+    /// The default implementation loops over [`TransferFunction::eval`];
+    /// implementations override it to share factorization work across
+    /// the sweep.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first point that coincides with a pole.
+    fn eval_batch(&self, s: &[Complex]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        s.iter().map(|&z| self.eval(z)).collect()
+    }
+
+    /// Evaluates `H(j2πf)` over a grid of frequencies in hertz, through
+    /// [`Macromodel::eval_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Macromodel::eval_batch`].
+    fn response_batch_hz(&self, freqs_hz: &[f64]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        let pts: Vec<Complex> = freqs_hz.iter().map(|&f| s_at_hz(f)).collect();
+        self.eval_batch(&pts)
+    }
+}
+
+impl<T: Macromodel + ?Sized> Macromodel for &T {
+    fn order(&self) -> usize {
+        (**self).order()
+    }
+    fn eval_batch(&self, s: &[Complex]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        (**self).eval_batch(s)
+    }
+    fn response_batch_hz(&self, freqs_hz: &[f64]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        (**self).response_batch_hz(freqs_hz)
+    }
+}
+
+impl<T: Macromodel + ?Sized> Macromodel for Box<T> {
+    fn order(&self) -> usize {
+        (**self).order()
+    }
+    fn eval_batch(&self, s: &[Complex]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        (**self).eval_batch(s)
+    }
+    fn response_batch_hz(&self, freqs_hz: &[f64]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        (**self).response_batch_hz(freqs_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_numeric::c64;
+
+    /// Closed-form low-pass with the default batch implementations.
+    #[derive(Debug)]
+    struct LowPass;
+
+    impl TransferFunction for LowPass {
+        fn outputs(&self) -> usize {
+            1
+        }
+        fn inputs(&self) -> usize {
+            1
+        }
+        fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError> {
+            Ok(CMatrix::from_rows(&[vec![(s + 1.0).recip()]]).expect("1x1"))
+        }
+    }
+
+    impl Macromodel for LowPass {
+        fn order(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn default_batch_matches_pointwise_eval() {
+        let sys = LowPass;
+        let pts = [c64(0.0, 0.5), c64(0.0, 1.0), c64(0.2, 2.0)];
+        let batch = sys.eval_batch(&pts).unwrap();
+        for (&s, h) in pts.iter().zip(&batch) {
+            assert!((h[(0, 0)] - sys.eval(s).unwrap()[(0, 0)]).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let boxed: Box<dyn Macromodel> = Box::new(LowPass);
+        assert_eq!(boxed.order(), 1);
+        let resp = boxed.response_batch_hz(&[0.0, 1.0]).unwrap();
+        assert_eq!(resp.len(), 2);
+        assert!((resp[0][(0, 0)] - c64(1.0, 0.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn references_forward_the_impl() {
+        fn order_of<M: Macromodel>(m: M) -> usize {
+            m.order()
+        }
+        assert_eq!(order_of(&LowPass), 1);
+    }
+}

@@ -107,8 +107,7 @@ mod tests {
     #[test]
     fn active_system_is_flagged_with_worst_frequency() {
         // DC gain 2 > 1 — violation at low frequency, decaying with ω.
-        let report =
-            check_on_grid(&gain_system(2.0), &[0.001, 0.01, 1.0, 100.0], 1e-9).unwrap();
+        let report = check_on_grid(&gain_system(2.0), &[0.001, 0.01, 1.0, 100.0], 1e-9).unwrap();
         assert!(!report.is_passive());
         assert!(report.max_gain > 1.9);
         assert!(report.worst_f_hz <= 0.01);

@@ -2,6 +2,7 @@ use mfti_numeric::{CMatrix, Complex, RMatrix};
 
 use crate::descriptor::DescriptorSystem;
 use crate::error::StateSpaceError;
+use crate::macromodel::Macromodel;
 use crate::transfer::TransferFunction;
 
 /// A common-pole pole–residue model
@@ -102,11 +103,7 @@ impl RationalModel {
     /// real transfer function on the real axis and admits a real
     /// state-space realization.
     pub fn is_conjugate_symmetric(&self, tol: f64) -> bool {
-        let scale = self
-            .poles
-            .iter()
-            .map(|p| p.abs())
-            .fold(1.0f64, f64::max);
+        let scale = self.poles.iter().map(|p| p.abs()).fold(1.0f64, f64::max);
         let mut used = vec![false; self.poles.len()];
         for i in 0..self.poles.len() {
             if used[i] {
@@ -159,11 +156,7 @@ impl RationalModel {
             return Err(StateSpaceError::NotConjugateSymmetric);
         }
         let (p_out, m_in) = self.d.dims();
-        let scale = self
-            .poles
-            .iter()
-            .map(|p| p.abs())
-            .fold(1.0f64, f64::max);
+        let scale = self.poles.iter().map(|p| p.abs()).fold(1.0f64, f64::max);
 
         let mut a_blocks: Vec<RMatrix> = Vec::new();
         let mut b_blocks: Vec<RMatrix> = Vec::new();
@@ -213,7 +206,11 @@ impl RationalModel {
         }
 
         let (a, b, c) = if a_blocks.is_empty() {
-            (RMatrix::zeros(0, 0), RMatrix::zeros(0, m_in), RMatrix::zeros(p_out, 0))
+            (
+                RMatrix::zeros(0, 0),
+                RMatrix::zeros(0, m_in),
+                RMatrix::zeros(p_out, 0),
+            )
         } else {
             let a_refs: Vec<&RMatrix> = a_blocks.iter().collect();
             let b_refs: Vec<&RMatrix> = b_blocks.iter().collect();
@@ -251,6 +248,44 @@ impl TransferFunction for RationalModel {
             }
         }
         Ok(h)
+    }
+
+    fn frequency_response(&self, freqs_hz: &[f64]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        self.response_batch_hz(freqs_hz)
+    }
+}
+
+impl Macromodel for RationalModel {
+    fn order(&self) -> usize {
+        self.poles.len()
+    }
+
+    fn eval_batch(&self, s: &[Complex]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        // Pole-outer accumulation: each residue matrix is loaded once
+        // and streamed across the whole sweep, instead of re-walking the
+        // full pole basis per frequency (cache-friendly for large p·m).
+        for (pole, si) in self
+            .poles
+            .iter()
+            .flat_map(|p| s.iter().map(move |si| (p, si)))
+        {
+            if (*si - *pole).abs() == 0.0 {
+                return Err(StateSpaceError::EvaluationAtPole {
+                    re: si.re,
+                    im: si.im,
+                });
+            }
+        }
+        let mut out: Vec<CMatrix> = s.iter().map(|_| self.d.clone()).collect();
+        for (pole, res) in self.poles.iter().zip(&self.residues) {
+            for (si, h) in s.iter().zip(out.iter_mut()) {
+                let w = (*si - *pole).recip();
+                for (h_e, &r_e) in h.as_mut_slice().iter_mut().zip(res.as_slice()) {
+                    *h_e += r_e * w;
+                }
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -290,12 +325,7 @@ mod tests {
 
     #[test]
     fn validation_rejects_mismatches() {
-        assert!(RationalModel::new(
-            vec![c64(-1.0, 0.0)],
-            vec![],
-            CMatrix::zeros(1, 1)
-        )
-        .is_err());
+        assert!(RationalModel::new(vec![c64(-1.0, 0.0)], vec![], CMatrix::zeros(1, 1)).is_err());
         assert!(RationalModel::new(
             vec![c64(-1.0, 0.0)],
             vec![CMatrix::zeros(2, 2)],
@@ -407,6 +437,35 @@ mod tests {
         m.flip_unstable_poles();
         assert!(m.is_stable());
         assert!((m.poles()[0] - c64(-1.0, 2.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eval_batch_matches_pointwise_eval() {
+        let p = c64(-0.5, 3.0);
+        let r = CMatrix::from_rows(&[
+            vec![c64(1.0, 0.2), c64(0.1, -0.3)],
+            vec![c64(-0.4, 0.5), c64(0.8, 0.0)],
+        ])
+        .unwrap();
+        let m = RationalModel::new(
+            vec![p, p.conj(), c64(-2.0, 0.0)],
+            vec![r.clone(), r.conj(), CMatrix::identity(2)],
+            CMatrix::identity(2),
+        )
+        .unwrap();
+        let pts: Vec<Complex> = (0..15).map(|i| c64(0.0, 0.3 * i as f64)).collect();
+        let batch = m.eval_batch(&pts).unwrap();
+        for (&s, h) in pts.iter().zip(&batch) {
+            let direct = m.eval(s).unwrap();
+            assert!((h - &direct).max_abs() < 1e-14);
+        }
+        // A pole in the batch is reported, not silently divided through.
+        let mut bad = pts.clone();
+        bad.push(p);
+        assert!(matches!(
+            m.eval_batch(&bad),
+            Err(StateSpaceError::EvaluationAtPole { .. })
+        ));
     }
 
     #[test]

@@ -78,7 +78,9 @@ impl Transient {
         let lu = Lu::compute(&lhs)?;
         if lu.is_singular() {
             return Err(StateSpaceError::Numeric(
-                mfti_numeric::NumericError::Singular { op: "transient lhs" },
+                mfti_numeric::NumericError::Singular {
+                    op: "transient lhs",
+                },
             ));
         }
         Ok(Transient {

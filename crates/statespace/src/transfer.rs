@@ -54,6 +54,24 @@ impl<T: TransferFunction + ?Sized> TransferFunction for &T {
     fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError> {
         (**self).eval(s)
     }
+    fn frequency_response(&self, freqs_hz: &[f64]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        (**self).frequency_response(freqs_hz)
+    }
+}
+
+impl<T: TransferFunction + ?Sized> TransferFunction for Box<T> {
+    fn outputs(&self) -> usize {
+        (**self).outputs()
+    }
+    fn inputs(&self) -> usize {
+        (**self).inputs()
+    }
+    fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError> {
+        (**self).eval(s)
+    }
+    fn frequency_response(&self, freqs_hz: &[f64]) -> Result<Vec<CMatrix>, StateSpaceError> {
+        (**self).frequency_response(freqs_hz)
+    }
 }
 
 #[cfg(test)]

@@ -98,8 +98,8 @@ pub(crate) fn eval_partial_fractions(
 
 #[cfg(test)]
 mod tests {
-    use mfti_numeric::c64;
     use super::*;
+    use mfti_numeric::c64;
     use mfti_statespace::s_at_hz;
 
     #[test]

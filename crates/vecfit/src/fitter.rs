@@ -86,13 +86,17 @@ impl VectorFitter {
         self
     }
 
-    /// Runs the fit.
+    /// Runs the fit, returning the full method-specific result.
+    ///
+    /// Method-agnostic callers should prefer the generic `Fitter::fit`
+    /// implementation in `mfti-core`, which wraps this result in the
+    /// common `FitOutcome` surface.
     ///
     /// # Errors
     ///
     /// Returns [`VecFitError::InvalidConfig`] for unusable inputs and
     /// propagates iteration/solve failures.
-    pub fn fit(&self, samples: &SampleSet) -> Result<VfFit, VecFitError> {
+    pub fn fit_detailed(&self, samples: &SampleSet) -> Result<VfFit, VecFitError> {
         let start = Instant::now();
         if self.n_poles == 0 {
             return Err(VecFitError::InvalidConfig {
@@ -199,8 +203,7 @@ mod tests {
         ])
         .unwrap();
         let d = CMatrix::identity(2).map(|z| z.scale(0.2));
-        RationalModel::new(poles, vec![r1.clone(), r1.conj(), r2.clone(), r2.conj()], d)
-            .unwrap()
+        RationalModel::new(poles, vec![r1.clone(), r1.conj(), r2.clone(), r2.conj()], d).unwrap()
     }
 
     #[test]
@@ -208,7 +211,10 @@ mod tests {
         let truth = rational_truth();
         let grid = FrequencyGrid::log_space(10.0, 2000.0, 80).unwrap();
         let set = SampleSet::from_system(&truth, &grid).unwrap();
-        let fit = VectorFitter::new(4).iterations(12).fit(&set).unwrap();
+        let fit = VectorFitter::new(4)
+            .iterations(12)
+            .fit_detailed(&set)
+            .unwrap();
         // Poles converge to the truth.
         let mut found: Vec<f64> = fit
             .model
@@ -224,10 +230,7 @@ mod tests {
         for &f in &[15.0, 79.6, 477.5, 1500.0] {
             let a = truth.response_at_hz(f).unwrap();
             let b = fit.model.response_at_hz(f).unwrap();
-            assert!(
-                (&a - &b).norm_2() / a.norm_2() < 1e-6,
-                "mismatch at {f} Hz"
-            );
+            assert!((&a - &b).norm_2() / a.norm_2() < 1e-6, "mismatch at {f} Hz");
         }
         // d̃ converged to ≈ 1.
         assert!((fit.d_tilde_history.last().unwrap() - 1.0).abs() < 0.1);
@@ -242,7 +245,10 @@ mod tests {
             .unwrap();
         let grid = FrequencyGrid::log_space(1e1, 1e5, 100).unwrap();
         let set = SampleSet::from_system(&sys, &grid).unwrap();
-        let fit = VectorFitter::new(10).iterations(10).fit(&set).unwrap();
+        let fit = VectorFitter::new(10)
+            .iterations(10)
+            .fit_detailed(&set)
+            .unwrap();
         let mut worst = 0.0f64;
         for (f, s) in set.iter() {
             let h = fit.model.response_at_hz(f).unwrap();
@@ -257,7 +263,10 @@ mod tests {
         let grid = FrequencyGrid::log_space(1e1, 1e5, 60).unwrap();
         let set = SampleSet::from_system(&sys, &grid).unwrap();
         let noisy = NoiseModel::additive_relative(1e-3).apply(&set, 8);
-        let fit = VectorFitter::new(8).iterations(8).fit(&noisy).unwrap();
+        let fit = VectorFitter::new(8)
+            .iterations(8)
+            .fit_detailed(&noisy)
+            .unwrap();
         assert!(fit.model.is_stable());
     }
 
@@ -266,7 +275,10 @@ mod tests {
         let truth = rational_truth();
         let grid = FrequencyGrid::log_space(10.0, 2000.0, 40).unwrap();
         let set = SampleSet::from_system(&truth, &grid).unwrap();
-        let fit = VectorFitter::new(6).iterations(6).fit(&set).unwrap();
+        let fit = VectorFitter::new(6)
+            .iterations(6)
+            .fit_detailed(&set)
+            .unwrap();
         assert!(fit.model.is_conjugate_symmetric(1e-8));
         // Realizable as a real state space.
         assert!(fit.model.to_state_space(1e-8).is_ok());
@@ -280,7 +292,7 @@ mod tests {
         let fit = VectorFitter::new(4)
             .iterations(10)
             .sigma_target(SigmaTarget::Trace)
-            .fit(&set)
+            .fit_detailed(&set)
             .unwrap();
         let f = 200.0;
         let a = truth.response_at_hz(f).unwrap();
@@ -293,8 +305,8 @@ mod tests {
         let truth = rational_truth();
         let grid = FrequencyGrid::log_space(10.0, 2000.0, 4).unwrap();
         let set = SampleSet::from_system(&truth, &grid).unwrap();
-        assert!(VectorFitter::new(0).fit(&set).is_err());
+        assert!(VectorFitter::new(0).fit_detailed(&set).is_err());
         let one = set.subset(&[0]).unwrap();
-        assert!(VectorFitter::new(2).fit(&one).is_err());
+        assert!(VectorFitter::new(2).fit_detailed(&one).is_err());
     }
 }

@@ -40,7 +40,7 @@
 //! let sys = RandomSystemBuilder::new(8, 2, 2).seed(11).build()?;
 //! let grid = FrequencyGrid::log_space(1e2, 1e4, 60)?;
 //! let samples = SampleSet::from_system(&sys, &grid)?;
-//! let fit = VectorFitter::new(8).iterations(10).fit(&samples)?;
+//! let fit = VectorFitter::new(8).iterations(10).fit_detailed(&samples)?;
 //! // The fitted model matches the samples closely.
 //! let h = fit.model.response_at_hz(1e3)?;
 //! let s = sys.response_at_hz(1e3)?;

@@ -172,7 +172,7 @@ mod tests {
     #[test]
     fn sanitize_repairs_and_flips() {
         let raw = vec![
-            c64(0.5, 3.0),   // unstable pair member
+            c64(0.5, 3.0), // unstable pair member
             c64(0.5, -3.0),
             c64(-2.0, 1e-15), // nearly real
         ];

@@ -50,9 +50,8 @@ pub(crate) fn identify_residues(
     for b in &blocks {
         match *b {
             PoleBlock::Real { idx } => {
-                residues[idx] = CMatrix::from_fn(p, m, |i, j| {
-                    Complex::from_real(x[(row, i * m + j)])
-                });
+                residues[idx] =
+                    CMatrix::from_fn(p, m, |i, j| Complex::from_real(x[(row, i * m + j)]));
                 row += 1;
             }
             PoleBlock::Pair { idx } => {

@@ -163,11 +163,7 @@ mod tests {
         // Near convergence σ → constant: d̃ ≈ 1.
         assert!((d_tilde - 1.0).abs() < 0.2, "d_tilde {d_tilde}");
         // The two target pole frequencies must be found.
-        let mut freqs_found: Vec<f64> = poles
-            .iter()
-            .filter(|p| p.im > 0.0)
-            .map(|p| p.im)
-            .collect();
+        let mut freqs_found: Vec<f64> = poles.iter().filter(|p| p.im > 0.0).map(|p| p.im).collect();
         freqs_found.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(
             (freqs_found[0] - 600.0).abs() < 1.0,

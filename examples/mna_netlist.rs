@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --example mna_netlist`
 
-use mfti::core::{metrics, Mfti};
+use mfti::core::{metrics, Fitter, Mfti};
 use mfti::sampling::generators::MnaNetlist;
 use mfti::sampling::{FrequencyGrid, SampleSet};
 use mfti::statespace::TransferFunction;
@@ -37,21 +37,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let grid = FrequencyGrid::log_space(1e7, 2e10, 12)?;
     let samples = SampleSet::from_system(&circuit, &grid)?;
-    let fit = Mfti::new().fit(&samples)?;
+    let outcome = Mfti::new().fit(&samples)?;
     println!(
         "macromodel: order {} from {} samples (MNA order was {})",
-        fit.detected_order,
+        outcome.order(),
         samples.len(),
         circuit.order()
     );
 
-    let err = metrics::err_rms_of(&fit.model, &samples)?;
+    let err = metrics::err_rms_of(outcome.model(), &samples)?;
     println!("ERR on the characterization grid: {err:.2e}");
 
     // Off-grid cross-check of the 3x3 admittance.
     let f = 7.7e8;
     let y_ckt = circuit.response_at_hz(f)?;
-    let y_fit = fit.model.response_at_hz(f)?;
+    let y_fit = outcome.model().response_at_hz(f)?;
     println!(
         "off-grid deviation at {f:.1e} Hz: {:.2e}",
         (&y_ckt - &y_fit).norm_2() / y_ckt.norm_2()

@@ -1,10 +1,12 @@
 //! Loewner-based model order reduction: the MFTI pipeline is also a
 //! data-driven MOR engine. Take an existing high-order model, sample its
-//! response, and refit at a prescribed lower order.
+//! response, and refit at a sweep of lower orders — through a staged
+//! [`FitSession`], so the Loewner pencil and its order-detection SVD
+//! are built **once** and every reduced order reuses them.
 //!
 //! Run: `cargo run --release --example model_reduction`
 
-use mfti::core::{Mfti, OrderSelection, Weights};
+use mfti::core::{FitSession, Mfti, OrderSelection, Weights};
 use mfti::sampling::generators::PdnBuilder;
 use mfti::sampling::{FrequencyGrid, SampleSet};
 use mfti::statespace::bode::{log_grid, max_relative_deviation};
@@ -22,15 +24,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = FrequencyGrid::linear(1e7, 1e9, 80)?;
     let samples = SampleSet::from_system(&full, &grid)?;
 
-    // …and refit at a sweep of reduced orders.
+    // …and refit at a sweep of reduced orders. The session keeps the
+    // pencil and its singular values; each order costs one projection.
+    let mut session = FitSession::new(Mfti::new().weights(Weights::Uniform(2)));
+    session.append(&samples)?;
     let validation = log_grid(1.2e7, 0.9e9, 101);
     println!("\n{:>6}  {:>12}", "order", "max rel dev");
     for order in [20usize, 36, 52, 68] {
-        let fit = Mfti::new()
-            .weights(Weights::Uniform(2))
-            .order_selection(OrderSelection::Fixed(order))
-            .fit(&samples)?;
-        let dev = max_relative_deviation(&fit.model, &full, &validation)?;
+        let fit = session.realize_with(OrderSelection::Fixed(order))?;
+        let dev = max_relative_deviation(fit.model(), &full, &validation)?;
         println!("{order:>6}  {dev:>12.3e}");
     }
 
@@ -39,11 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the truncated fits above: Loewner projection is interpolatory, not
     // an optimal (balanced-truncation-style) reduction, so aggressive
     // truncation trades accuracy unevenly across the band.
-    let auto = Mfti::new().weights(Weights::Uniform(2)).fit(&samples)?;
-    let dev = max_relative_deviation(&auto.model, &full, &validation)?;
-    println!(
-        "\nautomatic: order {} (deviation {dev:.3e})",
-        auto.detected_order
-    );
+    let auto = session.realize()?;
+    let dev = max_relative_deviation(auto.model(), &full, &validation)?;
+    println!("\nautomatic: order {} (deviation {dev:.3e})", auto.order());
     Ok(())
 }

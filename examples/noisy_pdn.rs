@@ -1,11 +1,10 @@
 //! The paper's Example 2 at laptop scale: fitting noisy multi-port PDN
-//! measurements, comparing vector fitting, VFTI and both MFTI variants.
+//! measurements, comparing vector fitting, VFTI and both MFTI variants
+//! in one method-agnostic loop over `Box<dyn Fitter>`.
 //!
 //! Run: `cargo run --release --example noisy_pdn`
 
-use std::time::Instant;
-
-use mfti::core::{metrics, Mfti, OrderSelection, RecursiveMfti, Vfti, Weights};
+use mfti::core::{metrics, Fitter, Mfti, OrderSelection, RecursiveMfti, Vfti, Weights};
 use mfti::sampling::generators::PdnBuilder;
 use mfti::sampling::{FrequencyGrid, NoiseModel, SampleSet};
 use mfti::vecfit::VectorFitter;
@@ -28,64 +27,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pdn.order()
     );
 
+    // All four engines behind the same trait object — the driver loop
+    // does not know (or care) which algorithm runs.
     let selection = OrderSelection::NoiseFloor { factor: 10.0 };
-    let report = |name: &str, order: usize, t: std::time::Duration, err: f64| {
-        println!("{name:<22} order {order:>3}   {t:>9.3?}   ERR {err:.2e}");
-    };
+    let fitters: Vec<(&str, Box<dyn Fitter>)> = vec![
+        (
+            "VF (10 iterations)",
+            Box::new(VectorFitter::new(46).iterations(10)),
+        ),
+        ("VFTI", Box::new(Vfti::new().order_selection(selection))),
+        (
+            "MFTI-1 (t=2)",
+            Box::new(
+                Mfti::new()
+                    .weights(Weights::Uniform(2))
+                    .order_selection(selection),
+            ),
+        ),
+        (
+            "MFTI-2 (recursive)",
+            Box::new(
+                RecursiveMfti::new()
+                    .weights(Weights::Uniform(2))
+                    .order_selection(selection)
+                    .batch_pairs(4)
+                    .threshold(1e-3),
+            ),
+        ),
+    ];
 
-    let t0 = Instant::now();
-    let vf = VectorFitter::new(46).iterations(10).fit(&noisy)?;
-    report(
-        "VF (10 iterations)",
-        vf.model.order(),
-        t0.elapsed(),
-        metrics::err_rms_of(&vf.model, &noisy)?,
-    );
+    let mut mfti1_truth_err = None;
+    for (label, fitter) in &fitters {
+        let outcome = fitter.fit(&noisy)?;
+        let err = metrics::err_rms_of(outcome.model(), &noisy)?;
+        println!(
+            "{label:<22} order {:>3}   {:>9.3?}   ERR {err:.2e}",
+            outcome.order(),
+            outcome.elapsed()
+        );
+        if let (Some(used), Some(rounds)) = (outcome.used_pairs(), outcome.rounds()) {
+            println!(
+                "{:<22} used {}/{} sample pairs over {} rounds",
+                "",
+                used.len(),
+                noisy.len() / 2,
+                rounds.len()
+            );
+        }
+        if *label == "MFTI-1 (t=2)" {
+            // Fidelity against the *clean* truth — the number a user
+            // actually cares about when the measurement is noisy.
+            mfti1_truth_err = Some(metrics::err_rms_of(outcome.model(), &clean)?);
+        }
+    }
 
-    let t0 = Instant::now();
-    let vfti = Vfti::new().order_selection(selection).fit(&noisy)?;
-    report(
-        "VFTI",
-        vfti.detected_order,
-        t0.elapsed(),
-        metrics::err_rms_of(&vfti.model, &noisy)?,
-    );
-
-    let t0 = Instant::now();
-    let mfti = Mfti::new()
-        .weights(Weights::Uniform(2))
-        .order_selection(selection)
-        .fit(&noisy)?;
-    report(
-        "MFTI-1 (t=2)",
-        mfti.detected_order,
-        t0.elapsed(),
-        metrics::err_rms_of(&mfti.model, &noisy)?,
-    );
-
-    let t0 = Instant::now();
-    let rec = RecursiveMfti::new()
-        .weights(Weights::Uniform(2))
-        .order_selection(selection)
-        .batch_pairs(4)
-        .threshold(1e-3)
-        .fit(&noisy)?;
-    report(
-        "MFTI-2 (recursive)",
-        rec.result.detected_order,
-        t0.elapsed(),
-        metrics::err_rms_of(&rec.result.model, &noisy)?,
-    );
-    println!(
-        "\nMFTI-2 used {}/{} sample pairs over {} rounds",
-        rec.used_pairs.len(),
-        noisy.len() / 2,
-        rec.rounds.len()
-    );
-
-    // Fidelity against the *clean* truth — the number a user actually
-    // cares about when the measurement is noisy.
-    let truth_err = metrics::err_rms_of(&mfti.model, &clean)?;
-    println!("MFTI-1 error vs the clean truth: {truth_err:.2e}");
+    if let Some(err) = mfti1_truth_err {
+        println!("\nMFTI-1 error vs the clean truth: {err:.2e}");
+    }
     Ok(())
 }

@@ -1,15 +1,16 @@
 //! Quickstart: macromodel a multi-port system from frequency samples.
 //!
 //! Builds a random 12-state, 3-port system, "measures" it at 10
-//! frequencies, recovers a descriptor macromodel with MFTI, and checks
-//! the fit on and off the sampling grid.
+//! frequencies, recovers a descriptor macromodel with MFTI through the
+//! generic [`Fitter`] API, and checks the fit on and off the sampling
+//! grid with one batched sweep.
 //!
 //! Run: `cargo run --example quickstart`
 
-use mfti::core::{metrics, Mfti};
+use mfti::core::{metrics, Fitter, Mfti};
 use mfti::sampling::generators::RandomSystemBuilder;
 use mfti::sampling::{FrequencyGrid, SampleSet};
-use mfti::statespace::TransferFunction;
+use mfti::statespace::{Macromodel, TransferFunction};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The "device under test": order 12, 3x3 ports, resonances in
@@ -31,28 +32,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         samples.len()
     );
 
-    // 3. Fit. Defaults: full matrix directions (t = min(m, p)), real
-    //    state-space output, automatic order detection.
-    let fit = Mfti::new().fit(&samples)?;
+    // 3. Fit through the algorithm-agnostic trait. Defaults: full
+    //    matrix directions (t = min(m, p)), real state-space output,
+    //    automatic order detection.
+    let outcome = Mfti::new().fit(&samples)?;
     println!(
         "recovered order {} from a {}-column Loewner pencil in {:?}",
-        fit.detected_order, fit.pencil_order, fit.elapsed
+        outcome.order(),
+        outcome.pencil_order().expect("loewner method"),
+        outcome.elapsed()
     );
 
     // 4. Validate on the sampling grid (the paper's ERR metric) …
-    let err = metrics::err_rms_of(&fit.model, &samples)?;
+    let err = metrics::err_rms_of(outcome.model(), &samples)?;
     println!("ERR on the sampling grid: {err:.3e}");
 
-    // 5. … and off-grid against the true system.
-    let f_test = 777.0;
-    let h = fit.model.response_at_hz(f_test)?;
-    let s = dut.response_at_hz(f_test)?;
-    let off_grid = (&h - &s).norm_2() / s.norm_2();
-    println!("relative error at {f_test} Hz (off-grid): {off_grid:.3e}");
+    // 5. … and off-grid against the true system, using the batched
+    //    sweep path (one Hessenberg setup for the whole grid).
+    let validation: Vec<f64> = (0..25).map(|i| 150.0 * 1.2f64.powi(i)).collect();
+    let fitted = outcome.model().response_batch_hz(&validation)?;
+    let truth = dut.frequency_response(&validation)?;
+    let off_grid = fitted
+        .iter()
+        .zip(&truth)
+        .map(|(h, s)| (h - s).norm_2() / s.norm_2())
+        .fold(0.0f64, f64::max);
+    println!(
+        "worst relative error over {} off-grid points: {off_grid:.3e}",
+        validation.len()
+    );
 
     // 6. The model is a real descriptor system, ready for SPICE-style
     //    stamping or time-domain simulation.
-    let model = fit.model.as_real().expect("default path is real");
+    let model = outcome.model().as_real().expect("default path is real");
     println!(
         "model matrices: E {}x{}, A {}x{}, B {}x{}, C {}x{}",
         model.e().rows(),
@@ -64,6 +76,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.c().rows(),
         model.c().cols(),
     );
-    assert!(err < 1e-8 && off_grid < 1e-6, "quickstart should fit exactly");
+    assert!(
+        err < 1e-8 && off_grid < 1e-6,
+        "quickstart should fit exactly"
+    );
     Ok(())
 }

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --example touchstone_workflow`
 
-use mfti::core::{metrics, Mfti};
+use mfti::core::{metrics, Fitter, Mfti};
 use mfti::sampling::generators::lc_line;
 use mfti::sampling::{touchstone, FrequencyGrid, SampleSet};
 
@@ -26,24 +26,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             resistance: 50.0,
         },
     )?;
-    println!("wrote {} bytes of touchstone data; first lines:", file.len());
+    println!(
+        "wrote {} bytes of touchstone data; first lines:",
+        file.len()
+    );
     for line in String::from_utf8_lossy(&file).lines().take(3) {
         let shown: String = line.chars().take(72).collect();
         println!("  {shown}…");
     }
 
-    // Read back and fit.
+    // Read back and fit through the generic trait.
     let loaded = touchstone::read(file.as_slice(), 2)?;
     assert_eq!(loaded.len(), measured.len());
-    let fit = Mfti::new().fit(&loaded)?;
-    let err = metrics::err_rms_of(&fit.model, &loaded)?;
+    let outcome = Mfti::new().fit(&loaded)?;
+    let err = metrics::err_rms_of(outcome.model(), &loaded)?;
     println!(
         "\nfitted order {} from the file, ERR {err:.2e}",
-        fit.detected_order
+        outcome.order()
     );
 
     // Poles of the macromodel = resonances of the line.
-    let model = fit.model.as_real().expect("real path");
+    let model = outcome.model().as_real().expect("real path");
     let mut poles = model.poles()?;
     poles.retain(|p| p.im > 0.0);
     poles.sort_by(|a, b| a.im.partial_cmp(&b.im).expect("finite"));

@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example transient_cosimulation`
 
-use mfti::core::Mfti;
+use mfti::core::{Fitter, Mfti};
 use mfti::sampling::generators::rc_ladder;
 use mfti::sampling::{FrequencyGrid, SampleSet};
 use mfti::statespace::simulation::step_response;
@@ -18,11 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples = SampleSet::from_system(&interconnect, &grid)?;
 
     // … macromodel extraction …
-    let fit = Mfti::new().fit(&samples)?;
-    let model = fit.model.as_real().expect("real realization").clone();
+    let outcome = Mfti::new().fit(&samples)?;
+    let model = outcome.model().as_real().expect("real realization").clone();
     println!(
         "macromodel: order {} (from {} samples)",
-        fit.detected_order,
+        outcome.order(),
         samples.len()
     );
 
@@ -61,6 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => println!("\n50% threshold not reached in the simulated window"),
     }
-    assert!(worst < 1e-6, "macromodel transient must track the reference");
+    assert!(
+        worst < 1e-6,
+        "macromodel transient must track the reference"
+    );
     Ok(())
 }

@@ -4,11 +4,12 @@
 //! An order-60, 12-port system is sampled at just 8 frequencies. VFTI
 //! (one vector per sample) cannot even detect the order — its pencil
 //! has only 8 singular values. MFTI (full 12-column blocks) recovers
-//! the system exactly from the same data.
+//! the system exactly from the same data. Both run through the generic
+//! [`Fitter`] trait, so the comparison loop is method-agnostic.
 //!
 //! Run: `cargo run --release --example undersampled_macromodel`
 
-use mfti::core::{metrics, minimal_samples, Mfti, Vfti};
+use mfti::core::{metrics, minimal_samples, Fitter, Mfti, Vfti};
 use mfti::sampling::generators::RandomSystemBuilder;
 use mfti::sampling::{FrequencyGrid, SampleSet};
 
@@ -29,13 +30,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let grid = FrequencyGrid::log_space(1e1, 1e5, 8)?;
     let samples = SampleSet::from_system(&dut, &grid)?;
-    println!("\nsampling {} matrices (>= {} needed)", samples.len(), bounds.empirical);
+    println!(
+        "\nsampling {} matrices (>= {} needed)",
+        samples.len(),
+        bounds.empirical
+    );
 
-    let mfti = Mfti::new().fit(&samples)?;
-    let vfti = Vfti::new().fit(&samples)?;
-
-    // The singular-value story of the paper's Fig. 1:
-    let show = |name: &str, sv: &[f64]| {
+    let fitters: Vec<Box<dyn Fitter>> = vec![Box::new(Mfti::new()), Box::new(Vfti::new())];
+    let mut errs = Vec::new();
+    for fitter in &fitters {
+        let outcome = fitter.fit(&samples)?;
+        // The singular-value story of the paper's Fig. 1:
+        let sv = outcome.pencil_singular_values().expect("loewner method");
         let drop = sv
             .windows(2)
             .enumerate()
@@ -47,25 +53,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map(|(i, _)| i + 1)
             .unwrap_or(0);
         println!(
-            "{name}: pencil size {}, largest singular-value drop after #{drop} \
+            "{}: pencil size {}, largest singular-value drop after #{drop} \
              (sv1 {:.1e}, last {:.1e})",
+            fitter.name(),
             sv.len(),
             sv.first().copied().unwrap_or(0.0),
             sv.last().copied().unwrap_or(0.0),
         );
-    };
-    show("MFTI", &mfti.pencil_singular_values);
-    show("VFTI", &vfti.pencil_singular_values);
+        let err = metrics::err_rms_of(outcome.model(), &samples)?;
+        errs.push((fitter.name(), outcome.order(), err));
+    }
 
-    let err_mfti = metrics::err_rms_of(&mfti.model, &samples)?;
-    let err_vfti = metrics::err_rms_of(&vfti.model, &samples)?;
-    println!("\nERR on the 8 samples:  MFTI {err_mfti:.2e}   VFTI {err_vfti:.2e}");
-    println!(
-        "MFTI detected order {} (truth: {}), VFTI was capped at {}",
-        mfti.detected_order,
-        order + ports,
-        vfti.detected_order
-    );
+    println!();
+    for (name, detected, err) in &errs {
+        println!("{name}: ERR on the 8 samples {err:.2e}, detected order {detected}");
+    }
+    println!("truth: order + rank(D) = {}", order + ports);
+    let (_, _, err_mfti) = errs[0];
+    let (_, _, err_vfti) = errs[1];
     assert!(err_mfti < 1e-8, "MFTI must recover the system");
     assert!(err_vfti > 1e-3, "VFTI cannot, with 8 samples");
     Ok(())

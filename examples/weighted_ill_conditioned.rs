@@ -4,7 +4,7 @@
 //!
 //! Run: `cargo run --release --example weighted_ill_conditioned`
 
-use mfti::core::{metrics, Mfti, OrderSelection, Weights};
+use mfti::core::{metrics, Fitter, Mfti, OrderSelection, Weights};
 use mfti::sampling::generators::PdnBuilder;
 use mfti::sampling::{FrequencyGrid, NoiseModel, SampleSet};
 
@@ -33,21 +33,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .fit(&noisy)?;
     let weighted = Mfti::new()
         .weights(Weights::PerPair(
-            (0..pairs).map(|j| if j < pairs / 4 { 4 } else { 2 }).collect(),
+            (0..pairs)
+                .map(|j| if j < pairs / 4 { 4 } else { 2 })
+                .collect(),
         ))
         .order_selection(selection)
         .fit(&noisy)?;
 
-    let e_uni = metrics::err_rms_of(&uniform.model, &noisy)?;
-    let e_wei = metrics::err_rms_of(&weighted.model, &noisy)?;
-    println!("uniform  t=2      : pencil {:>3}, order {:>3}, ERR {e_uni:.2e}",
-        uniform.pencil_order, uniform.detected_order);
-    println!("weighted t=4/2    : pencil {:>3}, order {:>3}, ERR {e_wei:.2e}",
-        weighted.pencil_order, weighted.detected_order);
+    let e_uni = metrics::err_rms_of(uniform.model(), &noisy)?;
+    let e_wei = metrics::err_rms_of(weighted.model(), &noisy)?;
+    println!(
+        "uniform  t=2      : pencil {:>3}, order {:>3}, ERR {e_uni:.2e}",
+        uniform.pencil_order().expect("loewner"),
+        uniform.order()
+    );
+    println!(
+        "weighted t=4/2    : pencil {:>3}, order {:>3}, ERR {e_wei:.2e}",
+        weighted.pencil_order().expect("loewner"),
+        weighted.order()
+    );
 
     // Where does the improvement come from? Look at the worst samples.
-    let errs_uni = metrics::relative_errors(&uniform.model, &noisy)?;
-    let errs_wei = metrics::relative_errors(&weighted.model, &noisy)?;
+    let errs_uni = metrics::relative_errors(uniform.model(), &noisy)?;
+    let errs_wei = metrics::relative_errors(weighted.model(), &noisy)?;
     let worst = |errs: &[f64]| {
         let (i, e) = errs
             .iter()

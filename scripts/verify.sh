@@ -13,6 +13,8 @@ run cargo build --release --workspace
 run cargo test -q --workspace
 run cargo bench --no-run --workspace
 run cargo clippy --workspace --all-targets -- -D warnings
+run cargo fmt --all --check
+run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 if [[ "${1:-}" != "--no-bench-run" ]]; then
     # Perf trajectory: one JSON snapshot of the end-to-end fit + GEMM

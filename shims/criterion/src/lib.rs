@@ -58,7 +58,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        BenchmarkId { label: s.to_string() }
+        BenchmarkId {
+            label: s.to_string(),
+        }
     }
 }
 
@@ -120,11 +122,7 @@ impl Bencher {
         let mut ns: Vec<f64> = self.measured.iter().map(|d| d.as_nanos() as f64).collect();
         ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let min = ns.first().copied().unwrap_or(0.0);
-        let median = if ns.is_empty() {
-            0.0
-        } else {
-            ns[ns.len() / 2]
-        };
+        let median = if ns.is_empty() { 0.0 } else { ns[ns.len() / 2] };
         let mean = if ns.is_empty() {
             0.0
         } else {
@@ -169,11 +167,7 @@ impl Criterion {
     }
 
     /// Runs a standalone benchmark.
-    pub fn bench_function(
-        &mut self,
-        id: &str,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         let samples = self.default_sample_size.unwrap_or(DEFAULT_SAMPLES);
         let result = run_one(id, samples, f);
         self.results.push(result);
@@ -328,7 +322,8 @@ mod tests {
     #[test]
     fn bench_function_records_a_result() {
         let mut c = Criterion::default();
-        c.sample_size(5).bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.sample_size(5)
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
         assert_eq!(c.results().len(), 1);
         assert!(c.results()[0].iterations >= 1);
         assert!(c.results()[0].mean_ns >= 0.0);

@@ -52,9 +52,7 @@ pub mod test_runner {
     }
 
     /// Runs one case body; exists to pin the closure's `Result` type.
-    pub fn run_case(
-        f: impl FnOnce() -> Result<(), TestCaseError>,
-    ) -> Result<(), TestCaseError> {
+    pub fn run_case(f: impl FnOnce() -> Result<(), TestCaseError>) -> Result<(), TestCaseError> {
         f()
     }
 

@@ -1,7 +1,7 @@
 //! Cross-crate baseline comparisons: vector fitting vs the Loewner
 //! methods on shared workloads (the Table 1 situation in miniature).
 
-use mfti::core::{metrics, Mfti, OrderSelection, Weights};
+use mfti::core::{metrics, Fitter, Mfti, OrderSelection, Weights};
 use mfti::sampling::generators::{lc_line, rc_ladder, PdnBuilder};
 use mfti::sampling::{FrequencyGrid, NoiseModel, SampleSet};
 use mfti::statespace::TransferFunction;
@@ -25,8 +25,8 @@ fn vecfit_and_mfti_agree_on_easy_clean_data() {
         .expect("vf");
     let mfti = Mfti::new().fit(&samples).expect("mfti");
 
-    let e_vf = metrics::err_rms_of(&vf.model, &samples).expect("eval");
-    let e_mfti = metrics::err_rms_of(&mfti.model, &samples).expect("eval");
+    let e_vf = metrics::err_rms_of(vf.model(), &samples).expect("eval");
+    let e_mfti = metrics::err_rms_of(mfti.model(), &samples).expect("eval");
     assert!(e_vf < 5e-3, "VF ERR {e_vf:.2e}");
     assert!(e_mfti < 1e-8, "MFTI ERR {e_mfti:.2e}");
 }
@@ -40,7 +40,7 @@ fn mfti_handles_the_high_q_line_that_defeats_iterative_fitting() {
     let grid = FrequencyGrid::log_space(1e7, 1e10, 80).expect("grid");
     let samples = SampleSet::from_system(&line, &grid).expect("sampling");
     let mfti = Mfti::new().fit(&samples).expect("mfti");
-    let e_mfti = metrics::err_rms_of(&mfti.model, &samples).expect("eval");
+    let e_mfti = metrics::err_rms_of(mfti.model(), &samples).expect("eval");
     assert!(e_mfti < 1e-8, "MFTI ERR {e_mfti:.2e}");
 }
 
@@ -56,7 +56,10 @@ fn mfti_beats_vecfit_on_noisy_pdn() {
     let clean = SampleSet::from_system(&pdn, &grid).expect("sampling");
     let noisy = NoiseModel::additive_relative(1e-4).apply(&clean, 9);
 
-    let vf = VectorFitter::new(32).iterations(10).fit(&noisy).expect("vf");
+    let vf = VectorFitter::new(32)
+        .iterations(10)
+        .fit(&noisy)
+        .expect("vf");
     // Table 1 configuration: moderate block width keeps the pencil small
     // (full weights would build a K = 2·p·k/2 pencil whose SVD dominates).
     let mfti = Mfti::new()
@@ -65,8 +68,8 @@ fn mfti_beats_vecfit_on_noisy_pdn() {
         .fit(&noisy)
         .expect("mfti");
 
-    let e_vf = metrics::err_rms_of(&vf.model, &noisy).expect("eval");
-    let e_mfti = metrics::err_rms_of(&mfti.model, &noisy).expect("eval");
+    let e_vf = metrics::err_rms_of(vf.model(), &noisy).expect("eval");
+    let e_mfti = metrics::err_rms_of(mfti.model(), &noisy).expect("eval");
     assert!(
         e_mfti < e_vf,
         "MFTI {e_mfti:.2e} should beat VF {e_vf:.2e} (paper Table 1 shape)"
@@ -83,10 +86,14 @@ fn vecfit_model_realizes_and_matches_its_own_rational_form() {
         .expect("valid");
     let grid = FrequencyGrid::log_space(1e7, 1e9, 50).expect("grid");
     let samples = SampleSet::from_system(&pdn, &grid).expect("sampling");
-    let vf = VectorFitter::new(12).iterations(10).fit(&samples).expect("vf");
-    let ss = vf.model.to_state_space(1e-8).expect("realization");
+    let vf = VectorFitter::new(12)
+        .iterations(10)
+        .fit(&samples)
+        .expect("vf");
+    let rational = vf.model().as_rational().expect("vector fitting output");
+    let ss = rational.to_state_space(1e-8).expect("realization");
     for &f in &[2e7, 1.3e8, 7e8] {
-        let a = vf.model.response_at_hz(f).expect("eval");
+        let a = rational.response_at_hz(f).expect("eval");
         let b = ss.response_at_hz(f).expect("eval");
         assert!(
             (&a - &b).max_abs() < 1e-9 * a.max_abs().max(1e-12),

@@ -2,7 +2,7 @@
 //! sampled system from noise-free data, on and off the sampling grid,
 //! across port counts, feed-through ranks and realization paths.
 
-use mfti::core::{metrics, Mfti, RealizationPath, Weights};
+use mfti::core::{metrics, Fitter, Mfti, RealizationPath, Weights};
 use mfti::sampling::generators::RandomSystemBuilder;
 use mfti::sampling::{FrequencyGrid, SampleSet};
 use mfti::statespace::bode::{log_grid, max_relative_deviation};
@@ -20,18 +20,18 @@ fn recover(order: usize, ports: usize, d_rank: usize, k: usize, path: Realizatio
 
     let fit = Mfti::new().realization(path).fit(&samples).expect("fit");
     assert_eq!(
-        fit.detected_order,
+        fit.order(),
         order + d_rank,
         "detected order must equal order + rank(D)"
     );
 
     // On-grid: the paper's ERR metric.
-    let err = metrics::err_rms_of(&fit.model, &samples).expect("eval");
+    let err = metrics::err_rms_of(fit.model(), &samples).expect("eval");
     assert!(err < 1e-8, "on-grid ERR {err}");
 
     // Off-grid: recovery, not just interpolation.
     let validation = log_grid(1.5e2, 0.8e5, 17);
-    let dev = max_relative_deviation(&fit.model, &dut, &validation).expect("eval");
+    let dev = max_relative_deviation(fit.model(), &dut, &validation).expect("eval");
     assert!(dev < 1e-6, "off-grid deviation {dev}");
 }
 
@@ -71,7 +71,7 @@ fn real_path_produces_genuinely_real_spice_ready_model() {
     let grid = FrequencyGrid::log_space(1e2, 1e4, 10).expect("grid");
     let samples = SampleSet::from_system(&dut, &grid).expect("sampling");
     let fit = Mfti::new().fit(&samples).expect("fit");
-    let model = fit.model.as_real().expect("real realization path");
+    let model = fit.model().as_real().expect("real realization path");
     // Conjugate symmetry of the response follows from realness.
     let s = mfti::numeric::c64(0.0, 2e3);
     let h_pos = model.eval(s).expect("eval");
@@ -94,6 +94,6 @@ fn reduced_weights_still_recover_given_enough_samples() {
         .weights(Weights::Uniform(2))
         .fit(&samples)
         .expect("fit");
-    let err = metrics::err_rms_of(&fit.model, &samples).expect("eval");
+    let err = metrics::err_rms_of(fit.model(), &samples).expect("eval");
     assert!(err < 1e-7, "ERR {err}");
 }

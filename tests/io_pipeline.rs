@@ -1,7 +1,7 @@
 //! File-driven pipeline: Touchstone round-trips feeding the fitters,
 //! exactly as a user with VNA exports would run the library.
 
-use mfti::core::{metrics, Mfti};
+use mfti::core::{metrics, Fitter, Mfti};
 use mfti::sampling::generators::{lc_line, PdnBuilder};
 use mfti::sampling::{touchstone, FrequencyGrid, SampleSet};
 
@@ -12,15 +12,14 @@ fn touchstone_roundtrip_preserves_fit_quality() {
     let measured = SampleSet::from_system(&line, &grid).expect("sampling");
 
     let mut buf = Vec::new();
-    touchstone::write(&mut buf, &measured, touchstone::WriteOptions::default())
-        .expect("write");
+    touchstone::write(&mut buf, &measured, touchstone::WriteOptions::default()).expect("write");
     let loaded = touchstone::read(buf.as_slice(), 2).expect("read");
 
     let direct = Mfti::new().fit(&measured).expect("fit direct");
     let from_file = Mfti::new().fit(&loaded).expect("fit from file");
-    assert_eq!(direct.detected_order, from_file.detected_order);
-    let e1 = metrics::err_rms_of(&direct.model, &measured).expect("eval");
-    let e2 = metrics::err_rms_of(&from_file.model, &measured).expect("eval");
+    assert_eq!(direct.order(), from_file.order());
+    let e1 = metrics::err_rms_of(direct.model(), &measured).expect("eval");
+    let e2 = metrics::err_rms_of(from_file.model(), &measured).expect("eval");
     assert!(e1 < 1e-8 && e2 < 1e-8, "direct {e1:.1e}, file {e2:.1e}");
 }
 

@@ -2,7 +2,7 @@
 //! noise-free samples MFTI needs is `(order + rank D)/min(m, p)`,
 //! while VFTI needs `order + rank D`.
 
-use mfti::core::{metrics, minimal_samples, vfti_minimal_samples, Mfti, Vfti};
+use mfti::core::{metrics, minimal_samples, vfti_minimal_samples, Fitter, Mfti, Vfti};
 use mfti::sampling::generators::RandomSystemBuilder;
 use mfti::sampling::{FrequencyGrid, SampleSet};
 
@@ -32,9 +32,9 @@ fn empirical_k_min(
         let grid = FrequencyGrid::log_space(1e2, 1e5, k).expect("grid");
         let samples = SampleSet::from_system(&dut, &grid).expect("sampling");
         let model = if vfti {
-            Vfti::new().fit(&samples).map(|f| f.model)
+            Vfti::new().fit(&samples).map(|f| f.into_model())
         } else {
-            Mfti::new().fit(&samples).map(|f| f.model)
+            Mfti::new().fit(&samples).map(|f| f.into_model())
         };
         if let Ok(model) = model {
             if metrics::err_rms_of(&model, &validation).unwrap_or(f64::INFINITY) < RECOVERY {

@@ -3,7 +3,7 @@
 //! (i.e., m = p), which is the case for a large group of (e.g., MNA)
 //! circuits, (3) is satisfied exactly" (Lemma 3.1).
 
-use mfti::core::{metrics, Mfti, Weights};
+use mfti::core::{metrics, Fitter, Mfti, Weights};
 use mfti::prelude::TransferFunction;
 use mfti::sampling::generators::MnaNetlist;
 use mfti::sampling::{FrequencyGrid, SampleSet};
@@ -34,7 +34,7 @@ fn lemma_3_1_exact_matrix_interpolation_on_an_mna_circuit() {
     let fit = Mfti::new().fit(&samples).expect("fit");
     // Full-weight MFTI interpolates every entry of every sample matrix.
     for (f, s) in samples.iter() {
-        let h = fit.model.response_at_hz(f).expect("eval");
+        let h = fit.model().response_at_hz(f).expect("eval");
         assert!(
             (&h - s).max_abs() < 1e-9 * s.max_abs().max(1e-12),
             "entry-wise interpolation failed at {f} Hz"
@@ -42,7 +42,7 @@ fn lemma_3_1_exact_matrix_interpolation_on_an_mna_circuit() {
     }
     // And recovers the circuit between samples.
     let f = 3.3e8;
-    let h = fit.model.response_at_hz(f).expect("eval");
+    let h = fit.model().response_at_hz(f).expect("eval");
     let s = ckt.response_at_hz(f).expect("eval");
     assert!((&h - &s).norm_2() / s.norm_2() < 1e-7);
 }
@@ -53,7 +53,7 @@ fn macromodel_of_the_circuit_matches_its_transient() {
     let grid = FrequencyGrid::log_space(1e7, 1e10, 12).expect("grid");
     let samples = SampleSet::from_system(&ckt, &grid).expect("sampling");
     let fit = Mfti::new().fit(&samples).expect("fit");
-    let model = fit.model.as_real().expect("real path").clone();
+    let model = fit.model().as_real().expect("real path").clone();
 
     let dt = 1e-11;
     let reference = step_response(&ckt, 0, 1, dt, 400).expect("circuit sim");
@@ -68,7 +68,11 @@ fn macromodel_of_the_circuit_matches_its_transient() {
         .map(|v| v.abs())
         .fold(0.0f64, f64::max)
         .max(1e-12);
-    assert!(worst / scale < 1e-6, "relative transient deviation {:.2e}", worst / scale);
+    assert!(
+        worst / scale < 1e-6,
+        "relative transient deviation {:.2e}",
+        worst / scale
+    );
 }
 
 #[test]
@@ -82,7 +86,7 @@ fn reduced_weights_still_recover_the_small_circuit() {
         .weights(Weights::Uniform(1))
         .fit(&samples)
         .expect("fit");
-    let err = metrics::err_rms_of(&fit.model, &samples).expect("eval");
+    let err = metrics::err_rms_of(fit.model(), &samples).expect("eval");
     assert!(err < 1e-7, "t=1 ERR {err:.2e}");
 }
 
@@ -98,9 +102,9 @@ fn fitted_order_matches_the_circuit_dynamics() {
     // The Loewner order is the McMillan degree of the port behaviour,
     // bounded by dynamic states + rank of the direct term.
     assert!(
-        fit.detected_order <= 4 + 2,
+        fit.order() <= 4 + 2,
         "detected {} exceeds dynamics + feed-through",
-        fit.detected_order
+        fit.order()
     );
-    assert!(fit.detected_order >= 4, "detected {}", fit.detected_order);
+    assert!(fit.order() >= 4, "detected {}", fit.order());
 }

@@ -3,7 +3,7 @@
 //! the weighting feature on ill-conditioned grids.
 
 use mfti::core::{
-    metrics, Mfti, OrderSelection, RecursiveMfti, SelectionOrder, Vfti, Weights,
+    metrics, Fitter, Mfti, OrderSelection, RecursiveMfti, SelectionOrder, Vfti, Weights,
 };
 use mfti::sampling::generators::PdnBuilder;
 use mfti::sampling::{FrequencyGrid, NoiseModel, SampleSet};
@@ -30,9 +30,12 @@ fn mfti_beats_vfti_on_noisy_data() {
         .order_selection(selection)
         .fit(&noisy)
         .expect("mfti");
-    let vfti = Vfti::new().order_selection(selection).fit(&noisy).expect("vfti");
-    let e_m = metrics::err_rms_of(&mfti.model, &noisy).expect("eval");
-    let e_v = metrics::err_rms_of(&vfti.model, &noisy).expect("eval");
+    let vfti = Vfti::new()
+        .order_selection(selection)
+        .fit(&noisy)
+        .expect("vfti");
+    let e_m = metrics::err_rms_of(mfti.model(), &noisy).expect("eval");
+    let e_v = metrics::err_rms_of(vfti.model(), &noisy).expect("eval");
     assert!(
         e_m * 3.0 < e_v,
         "MFTI ({e_m:.2e}) should clearly beat VFTI ({e_v:.2e})"
@@ -50,7 +53,7 @@ fn noisy_fit_tracks_the_clean_truth() {
         .expect("fit");
     // Error against the clean truth stays near the noise level: the fit
     // does not hallucinate structure from noise.
-    let e_truth = metrics::err_rms_of(&fit.model, &clean).expect("eval");
+    let e_truth = metrics::err_rms_of(fit.model(), &clean).expect("eval");
     assert!(e_truth < 5e-3, "error vs clean truth {e_truth:.2e}");
 }
 
@@ -70,22 +73,24 @@ fn recursive_mfti_converges_with_a_subset_and_matches_full_fit() {
         .threshold(1e-3)
         .fit(&noisy)
         .expect("recursive");
+    let used = rec.used_pairs().expect("recursive diagnostics");
     assert!(
-        rec.used_pairs.len() < noisy.len() / 2,
+        used.len() < noisy.len() / 2,
         "recursion should stop before using all {} pairs",
         noisy.len() / 2
     );
-    let e_full = metrics::err_rms_of(&full.model, &noisy).expect("eval");
-    let e_rec = metrics::err_rms_of(&rec.result.model, &noisy).expect("eval");
+    let e_full = metrics::err_rms_of(full.model(), &noisy).expect("eval");
+    let e_rec = metrics::err_rms_of(rec.model(), &noisy).expect("eval");
     assert!(
         e_rec < 10.0 * e_full.max(1e-4),
         "recursive ERR {e_rec:.2e} vs full {e_full:.2e}"
     );
     // Round history is recorded and the residuals end below threshold
     // (or the pool is exhausted).
-    assert!(!rec.rounds.is_empty());
-    let last = rec.rounds.last().expect("rounds");
-    assert!(last.mean_remaining_err <= 1e-3 || rec.used_pairs.len() == noisy.len() / 2);
+    let rounds = rec.rounds().expect("recursive diagnostics");
+    assert!(!rounds.is_empty());
+    let last = rounds.last().expect("rounds");
+    assert!(last.mean_remaining_err <= 1e-3 || used.len() == noisy.len() / 2);
 }
 
 #[test]
@@ -105,7 +110,8 @@ fn recursive_selection_order_is_configurable_and_differs() {
     };
     let worst = make(SelectionOrder::WorstFirst);
     let best = make(SelectionOrder::BestFirst);
-    assert_ne!(worst.used_pairs, best.used_pairs);
+    assert_ne!(worst.used_pairs(), best.used_pairs());
+    assert!(worst.used_pairs().is_some());
 }
 
 #[test]
@@ -129,13 +135,15 @@ fn weighting_helps_on_clustered_grids() {
         .expect("uniform");
     let weighted = Mfti::new()
         .weights(Weights::PerPair(
-            (0..pairs).map(|j| if j < pairs / 4 { 4 } else { 2 }).collect(),
+            (0..pairs)
+                .map(|j| if j < pairs / 4 { 4 } else { 2 })
+                .collect(),
         ))
         .order_selection(selection)
         .fit(&noisy)
         .expect("weighted");
-    let e_u = metrics::err_rms_of(&uniform.model, &noisy).expect("eval");
-    let e_w = metrics::err_rms_of(&weighted.model, &noisy).expect("eval");
+    let e_u = metrics::err_rms_of(uniform.model(), &noisy).expect("eval");
+    let e_w = metrics::err_rms_of(weighted.model(), &noisy).expect("eval");
     // The weighted fit uses strictly more information; it must not be
     // substantially worse, and typically wins.
     assert!(e_w < 2.0 * e_u, "weighted {e_w:.2e} vs uniform {e_u:.2e}");

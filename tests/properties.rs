@@ -2,7 +2,7 @@
 //! for arbitrary (valid) configurations, not just the curated examples.
 
 use mfti::core::{
-    metrics, realify, DirectionKind, LoewnerPencil, Mfti, TangentialData, Weights,
+    metrics, realify, DirectionKind, Fitter, LoewnerPencil, Mfti, TangentialData, Weights,
 };
 use mfti::sampling::generators::RandomSystemBuilder;
 use mfti::sampling::{FrequencyGrid, NoiseModel, SampleSet};
@@ -44,7 +44,9 @@ fn build(sc: &Scenario) -> (SampleSet, TangentialData, LoewnerPencil) {
     let samples = SampleSet::from_system(&dut, &grid).expect("sampling");
     let data = TangentialData::build(
         &samples,
-        DirectionKind::RandomOrthonormal { seed: sc.seed ^ 0xabc },
+        DirectionKind::RandomOrthonormal {
+            seed: sc.seed ^ 0xabc,
+        },
         &Weights::Uniform(sc.t),
     )
     .expect("data");
@@ -97,7 +99,7 @@ proptest! {
         prop_assume!(sc.k * sc.ports >= 2 * (sc.order + sc.d_rank));
         let (samples, _, _) = build(&sc);
         let fit = Mfti::new().fit(&samples).expect("fit");
-        let err = metrics::err_rms_of(&fit.model, &samples).expect("eval");
+        let err = metrics::err_rms_of(fit.model(), &samples).expect("eval");
         prop_assert!(err < 1e-6, "ERR {err:.2e} for {sc:?}");
     }
 

@@ -1,0 +1,190 @@
+//! The unified fitting surface end to end: object safety of
+//! `Box<dyn Fitter>` / `Box<dyn Macromodel>`, batched-vs-pointwise
+//! evaluation agreement on every model type, and the staged
+//! [`FitSession`] matching one-shot fits.
+
+use mfti::prelude::*;
+use mfti::statespace::s_at_hz;
+
+fn dut() -> DescriptorSystem<f64> {
+    RandomSystemBuilder::new(16, 3, 3)
+        .band(1e6, 1e8)
+        .d_rank(3)
+        .seed(2718)
+        .build()
+        .expect("valid")
+}
+
+fn samples(k: usize) -> SampleSet {
+    let grid = FrequencyGrid::log_space(1e6, 1e8, k).expect("grid");
+    SampleSet::from_system(&dut(), &grid).expect("sampling")
+}
+
+fn sweep(points: usize) -> Vec<mfti::numeric::Complex> {
+    let grid = FrequencyGrid::log_space(1.3e6, 0.9e8, points).expect("grid");
+    grid.points().iter().map(|&f| s_at_hz(f)).collect()
+}
+
+/// Batched and per-frequency evaluation must agree to 1e-12 (relative,
+/// per matrix) — the sweep path shares no code with the LU path beyond
+/// the model itself.
+fn assert_batch_matches_pointwise<M: Macromodel>(model: &M, label: &str) {
+    let pts = sweep(60);
+    let batch = model.eval_batch(&pts).expect("batch eval");
+    assert_eq!(batch.len(), pts.len());
+    for (&s, h) in pts.iter().zip(&batch) {
+        let direct = model.eval(s).expect("pointwise eval");
+        let rel = (h - &direct).max_abs() / direct.max_abs().max(1e-300);
+        assert!(
+            rel < 1e-12,
+            "{label}: batch vs pointwise deviation {rel:.2e} at {s}"
+        );
+    }
+}
+
+#[test]
+fn eval_batch_agrees_on_real_descriptor_systems() {
+    let outcome = Mfti::new().fit(&samples(12)).expect("fit");
+    let model = outcome.model().as_real().expect("real path");
+    assert!(model.order() >= 12, "sweep path must engage");
+    assert_batch_matches_pointwise(model, "DescriptorSystem<f64>");
+}
+
+#[test]
+fn eval_batch_agrees_on_complex_descriptor_systems() {
+    let outcome = Mfti::new()
+        .realization(RealizationPath::Complex)
+        .fit(&samples(12))
+        .expect("fit");
+    let model = outcome.model().as_complex().expect("complex path");
+    assert_batch_matches_pointwise(model, "DescriptorSystem<Complex>");
+}
+
+#[test]
+fn eval_batch_agrees_on_rational_models() {
+    let outcome = VectorFitter::new(16)
+        .iterations(10)
+        .fit(&samples(40))
+        .expect("vf fit");
+    let model = outcome.model().as_rational().expect("rational output");
+    assert_batch_matches_pointwise(model, "RationalModel");
+}
+
+#[test]
+fn eval_batch_agrees_on_fitted_and_any_model_wrappers() {
+    let outcome = Mfti::new().fit(&samples(12)).expect("fit");
+    let any = outcome.model();
+    assert_batch_matches_pointwise(any, "AnyModel");
+    let fitted = any.as_fitted().expect("loewner model");
+    assert_batch_matches_pointwise(fitted, "FittedModel");
+}
+
+#[test]
+fn box_dyn_fitter_round_trips_every_engine() {
+    // 24 samples: enough for VFTI's K = k pencil to expose the full
+    // order-19 behaviour (order + rank D), the binding constraint among
+    // the four engines.
+    let set = samples(24);
+    let engines: Vec<Box<dyn Fitter>> = vec![
+        Box::new(Mfti::new()),
+        Box::new(Vfti::new()),
+        Box::new(RecursiveMfti::new().threshold(1e-8)),
+        Box::new(VectorFitter::new(16).iterations(8)),
+    ];
+    for engine in &engines {
+        let outcome = engine
+            .fit(&set)
+            .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+        assert_eq!(outcome.method(), engine.name());
+        let err = err_rms_of(outcome.model(), &set).expect("eval");
+        assert!(err < 1e-1, "{}: ERR {err:.2e}", engine.name());
+        // The outcome's model round-trips through a Macromodel object.
+        let boxed: Box<dyn Macromodel> = Box::new(outcome.into_model());
+        assert_eq!(boxed.outputs(), 3);
+        assert_eq!(boxed.inputs(), 3);
+        assert!(boxed.order() > 0);
+        let pts = sweep(20);
+        let batch = boxed.eval_batch(&pts).expect("boxed batch eval");
+        for (&s, h) in pts.iter().zip(&batch) {
+            let direct = boxed.eval(s).expect("boxed eval");
+            // 1e-11 here: the recursive engine realizes from a sample
+            // subset, so its model can be slightly worse conditioned
+            // than the full-pencil ones (the strict 1e-12 bound is
+            // asserted by the per-type agreement tests above).
+            assert!((h - &direct).max_abs() <= 1e-11 * direct.max_abs());
+        }
+    }
+}
+
+#[test]
+fn fit_error_unifies_engine_failures() {
+    // Odd sample counts break the Loewner pairing …
+    let odd = samples(12).subset(&[0, 1, 2]).expect("subset");
+    let err = Mfti::new().fit(&odd).expect_err("odd count must fail");
+    assert!(matches!(err, FitError::Mfti(_)));
+    // … and a zero-pole configuration breaks vector fitting; both
+    // surface as the same workspace-level error type.
+    let err = VectorFitter::new(0)
+        .fit(&samples(12))
+        .expect_err("no poles");
+    assert!(matches!(err, FitError::VecFit(_)));
+    assert!(std::error::Error::source(&err).is_some());
+}
+
+#[test]
+fn incremental_session_refit_matches_from_scratch() {
+    let all = samples(16);
+    // First batch carries the band edges so the session's frequency
+    // normalization matches the full set's.
+    let mut head_idx = vec![0usize, 15];
+    head_idx.extend(1..7);
+    let tail_idx: Vec<usize> = (7..15).collect();
+    let head = all.subset(&head_idx).expect("head");
+    let tail = all.subset(&tail_idx).expect("tail");
+
+    let mut session = FitSession::new(Mfti::new());
+    session.append(&head).expect("append head");
+    let partial_k = session.pencil_order();
+    session.append(&tail).expect("append tail");
+    assert!(session.pencil_order() > partial_k);
+    let incremental = session.realize().expect("incremental realize");
+
+    // From-scratch fit on the identical sample ordering.
+    let ordered: Vec<usize> = head_idx.iter().chain(&tail_idx).copied().collect();
+    let scratch_set = all.subset(&ordered).expect("ordered set");
+    let scratch = Mfti::new().fit(&scratch_set).expect("scratch fit");
+
+    assert_eq!(incremental.order(), scratch.order());
+    let (a, b) = (
+        incremental.model().as_real().expect("real"),
+        scratch.model().as_real().expect("real"),
+    );
+    assert!(a.e().approx_eq(b.e(), 1e-13));
+    assert!(a.a().approx_eq(b.a(), 1e-13));
+    assert!(a.b().approx_eq(b.b(), 1e-13));
+    assert!(a.c().approx_eq(b.c(), 1e-13));
+    // Same singular-value signal, too.
+    let sv_i = incremental.pencil_singular_values().expect("loewner");
+    let sv_s = scratch.pencil_singular_values().expect("loewner");
+    for (x, y) in sv_i.iter().zip(sv_s) {
+        assert!((x - y).abs() <= 1e-12 * sv_s[0]);
+    }
+}
+
+#[test]
+fn session_reselection_only_redoes_the_projection() {
+    let all = samples(16);
+    let mut session = FitSession::new(Mfti::new());
+    session.append(&all).expect("append");
+    let auto = session.realize().expect("auto realize");
+    assert_eq!(auto.order(), 19); // n + rank(D)
+    let fixed = session
+        .realize_with(OrderSelection::Fixed(8))
+        .expect("fixed realize");
+    assert_eq!(fixed.order(), 8);
+    // The cached signal is identical across re-selections.
+    assert_eq!(
+        auto.pencil_singular_values().unwrap(),
+        fixed.pencil_singular_values().unwrap()
+    );
+}

@@ -2,7 +2,7 @@
 //! network-parameter conversion, passivity screening and time-domain
 //! co-simulation — the full life of a macromodel after fitting.
 
-use mfti::core::{metrics, Mfti};
+use mfti::core::{metrics, Fitter, Mfti};
 use mfti::sampling::generators::{rc_ladder, PdnBuilder};
 use mfti::sampling::{params, FrequencyGrid, SampleSet};
 use mfti::statespace::{passivity, simulation};
@@ -22,8 +22,8 @@ fn holdout_validation_via_interleaved_split() {
     let fit = Mfti::new().fit(&fitting).expect("fit");
     // The model must generalize to the held-out half, not just
     // interpolate its own inputs.
-    let err_fit = metrics::err_rms_of(&fit.model, &fitting).expect("eval");
-    let err_val = metrics::err_rms_of(&fit.model, &validation).expect("eval");
+    let err_fit = metrics::err_rms_of(fit.model(), &fitting).expect("eval");
+    let err_val = metrics::err_rms_of(fit.model(), &validation).expect("eval");
     assert!(err_fit < 1e-8, "fitting ERR {err_fit:.2e}");
     assert!(err_val < 1e-6, "validation ERR {err_val:.2e}");
 }
@@ -43,7 +43,7 @@ fn admittance_data_fit_in_the_scattering_domain() {
     let s_data = params::admittance_to_scattering(&y_data, 50.0).expect("convert");
 
     let fit = Mfti::new().fit(&s_data).expect("fit in S domain");
-    let err = metrics::err_rms_of(&fit.model, &s_data).expect("eval");
+    let err = metrics::err_rms_of(fit.model(), &s_data).expect("eval");
     assert!(err < 1e-8, "S-domain ERR {err:.2e}");
 
     // Round-trip consistency of the data path itself.
@@ -73,7 +73,7 @@ fn fitted_scattering_model_passes_the_passivity_screen() {
         .fold(0.0f64, f64::max);
     let fit = Mfti::new().fit(&s_data).expect("fit");
     let dense = mfti::statespace::bode::log_grid(1.2e7, 0.9e9, 101);
-    let report = passivity::check_on_grid(&fit.model, &dense, 1e-6).expect("screen");
+    let report = passivity::check_on_grid(fit.model(), &dense, 1e-6).expect("screen");
     assert!(
         report.max_gain < 1.3 * data_max,
         "fitted S model gain {:.3} at {:.2e} Hz exceeds data envelope {:.3}",
@@ -91,7 +91,7 @@ fn fitted_model_transient_tracks_the_original() {
     let grid = FrequencyGrid::log_space(1e6, 1e10, 20).expect("grid");
     let samples = SampleSet::from_system(&ladder, &grid).expect("sampling");
     let fit = Mfti::new().fit(&samples).expect("fit");
-    let model = fit.model.as_real().expect("real").clone();
+    let model = fit.model().as_real().expect("real").clone();
 
     let dt = 5e-12;
     let reference = simulation::step_response(&ladder, 0, 0, dt, 600).expect("sim");
