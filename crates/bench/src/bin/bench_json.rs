@@ -20,10 +20,10 @@ use criterion::Criterion;
 
 use mfti_bench::random_complex;
 use mfti_core::{Fitter, Mfti, OrderSelection, RecursiveMfti, Vfti, Weights};
-use mfti_numeric::kernel;
+use mfti_numeric::{kernel, parallel};
 use mfti_sampling::generators::{PdnBuilder, RandomSystemBuilder};
 use mfti_sampling::{FrequencyGrid, NoiseModel, SampleSet};
-use mfti_statespace::{Macromodel, TransferFunction};
+use mfti_statespace::{Macromodel, SweepStrategy, TransferFunction};
 use mfti_vecfit::VectorFitter;
 
 fn workload() -> SampleSet {
@@ -84,41 +84,85 @@ fn main() {
         });
     }
 
-    // --- batched sweep vs per-frequency loop ---------------------------
-    // Order-48 dense descriptor model, 100-point sweep over 2 decades:
-    // the Macromodel::eval_batch acceptance workload (>= 2x speed-up).
-    let sweep_model = RandomSystemBuilder::new(48, 3, 3)
-        .band(1e7, 1e9)
-        .d_rank(3)
-        .seed(0x40)
-        .build()
-        .expect("valid");
-    let sweep_grid = FrequencyGrid::log_space(1e7, 1e9, 100).expect("valid");
-    let sweep_pts: Vec<mfti_numeric::Complex> = sweep_grid
-        .points()
-        .iter()
-        .map(|&f| mfti_statespace::s_at_hz(f))
-        .collect();
-    // Cross-check agreement before timing anything.
-    let batch = sweep_model.eval_batch(&sweep_pts).expect("batch eval");
-    for (&s, h) in sweep_pts.iter().zip(&batch) {
-        let direct = sweep_model.eval(s).expect("eval");
-        let rel = (h - &direct).max_abs() / direct.max_abs();
-        assert!(rel < 1e-11, "sweep deviates from LU path: {rel:.2e}");
-    }
-    c.sample_size(20)
-        .bench_function("eval_sweep_n48_100pts/batch", |b| {
-            b.iter(|| sweep_model.eval_batch(&sweep_pts).expect("batch"))
-        });
-    c.sample_size(10)
-        .bench_function("eval_sweep_n48_100pts/loop", |b| {
+    // --- batched sweep: algorithmic (Schur) × parallel multipliers -----
+    // 100-point sweeps over 2 decades at orders {16, 48, 96}. Per order:
+    // the per-frequency LU loop, the PR 2 Hessenberg-Givens kernel at
+    // 1 thread, and the default batch path (Schur above the crossover)
+    // at 1 thread and at all available threads — so BENCH_*.json records
+    // the algorithmic and the parallel speed-up separately. Order 48 is
+    // the acceptance workload (>= 2.5x over Hessenberg-Givens).
+    let threads_all = parallel::available_threads();
+    for order in [16usize, 48, 96] {
+        let sweep_model = RandomSystemBuilder::new(order, 3, 3)
+            .band(1e7, 1e9)
+            .d_rank(3)
+            .seed(0x40)
+            .build()
+            .expect("valid");
+        let sweep_grid = FrequencyGrid::log_space(1e7, 1e9, 100).expect("valid");
+        let sweep_pts: Vec<mfti_numeric::Complex> = sweep_grid
+            .points()
+            .iter()
+            .map(|&f| mfti_statespace::s_at_hz(f))
+            .collect();
+        // Cross-check agreement (and serial/parallel bit-identity)
+        // before timing anything.
+        let batch = sweep_model.eval_batch(&sweep_pts).expect("batch eval");
+        for (&s, h) in sweep_pts.iter().zip(&batch) {
+            let direct = sweep_model.eval(s).expect("eval");
+            let rel = (h - &direct).max_abs() / direct.max_abs();
+            assert!(rel < 1e-11, "sweep deviates from LU path: {rel:.2e}");
+        }
+        let serial = sweep_model
+            .eval_batch_with(&sweep_pts, SweepStrategy::Auto, 1)
+            .expect("serial batch");
+        for (h_par, h_ser) in batch.iter().zip(&serial) {
+            assert!(
+                h_par.approx_eq(h_ser, 0.0),
+                "parallel sweep is not bit-identical to serial"
+            );
+        }
+
+        c.sample_size(20)
+            .bench_function(&format!("eval_sweep_n{order}_100pts/batch"), |b| {
+                b.iter(|| sweep_model.eval_batch(&sweep_pts).expect("batch"))
+            })
+            .bench_function(&format!("eval_sweep_n{order}_100pts/batch_t1"), |b| {
+                b.iter(|| {
+                    sweep_model
+                        .eval_batch_with(&sweep_pts, SweepStrategy::Auto, 1)
+                        .expect("batch t1")
+                })
+            });
+        if threads_all > 1 {
+            c.bench_function(
+                &format!("eval_sweep_n{order}_100pts/batch_t{threads_all}"),
+                |b| {
+                    b.iter(|| {
+                        sweep_model
+                            .eval_batch_with(&sweep_pts, SweepStrategy::Auto, threads_all)
+                            .expect("batch tN")
+                    })
+                },
+            );
+        }
+        c.bench_function(&format!("eval_sweep_n{order}_100pts/hessenberg_t1"), |b| {
             b.iter(|| {
-                sweep_pts
-                    .iter()
-                    .map(|&s| sweep_model.eval(s).expect("eval"))
-                    .collect::<Vec<_>>()
+                sweep_model
+                    .eval_batch_with(&sweep_pts, SweepStrategy::Hessenberg, 1)
+                    .expect("hessenberg")
             })
         });
+        c.sample_size(10)
+            .bench_function(&format!("eval_sweep_n{order}_100pts/loop"), |b| {
+                b.iter(|| {
+                    sweep_pts
+                        .iter()
+                        .map(|&s| sweep_model.eval(s).expect("eval"))
+                        .collect::<Vec<_>>()
+                })
+            });
+    }
 
     // --- raw GEMM kernels ----------------------------------------------
     let a = random_complex(256, 0x5eed);
@@ -142,6 +186,20 @@ fn main() {
     let speedup =
         median_of("eval_sweep_n48_100pts/loop") / median_of("eval_sweep_n48_100pts/batch");
     println!("eval_batch sweep speed-up over per-frequency loop: {speedup:.2}x");
+    // Both sides pinned to 1 thread: this isolates the algorithmic
+    // (Schur/modal) multiplier from the parallel one reported below.
+    let schur_speedup = median_of("eval_sweep_n48_100pts/hessenberg_t1")
+        / median_of("eval_sweep_n48_100pts/batch_t1");
+    println!(
+        "eval_batch speed-up over the Hessenberg-Givens kernel (1 thread): {schur_speedup:.2}x"
+    );
+    if threads_all > 1 {
+        let par_speedup = median_of("eval_sweep_n48_100pts/batch_t1")
+            / median_of(&format!("eval_sweep_n48_100pts/batch_t{threads_all}"));
+        println!("parallel multiplier at {threads_all} threads: {par_speedup:.2}x");
+    } else {
+        println!("single hardware thread: parallel multiplier not measurable on this host");
+    }
 
     criterion::write_json(results, &out_path).expect("write timing summary");
     println!("wrote {out_path}");

@@ -7,7 +7,7 @@
 //! Wilkinson-shifted QR iteration with deflation.
 
 mod hessenberg;
-mod qr_algorithm;
+pub(crate) mod qr_algorithm;
 
 use crate::complex::{c64, Complex};
 use crate::error::NumericError;

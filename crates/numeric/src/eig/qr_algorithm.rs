@@ -10,8 +10,10 @@ use crate::error::NumericError;
 use crate::matrix::CMatrix;
 
 /// Complex Givens rotation `G = [[c, s], [-s̄, c]]` (c real) with
-/// `G · [a; b] = [r; 0]`.
-fn zrotg(a: Complex, b: Complex) -> (f64, Complex, Complex) {
+/// `G · [a; b] = [r; 0]`. Shared with the Schur iteration in
+/// `crate::schur`, which accumulates the same rotations into a unitary
+/// factor.
+pub(crate) fn zrotg(a: Complex, b: Complex) -> (f64, Complex, Complex) {
     let norm = (a.abs_sq() + b.abs_sq()).sqrt();
     if norm == 0.0 {
         return (1.0, Complex::ZERO, Complex::ZERO);

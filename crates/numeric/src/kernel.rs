@@ -131,7 +131,7 @@ fn split_transpose<T: Scalar>(m: &Matrix<T>, conjugate: bool) -> (Vec<f64>, Vec<
 /// reassociating reductions or fusing mul+add, so this loop compiles to
 /// scalar code no matter the target flags.
 #[inline(always)]
-fn cdot_scalar(are: &[f64], aim: &[f64], bre: &[f64], bim: &[f64]) -> (f64, f64) {
+pub(crate) fn cdot_scalar(are: &[f64], aim: &[f64], bre: &[f64], bim: &[f64]) -> (f64, f64) {
     let n = are.len();
     let (aim, bre, bim) = (&aim[..n], &bre[..n], &bim[..n]);
     let mut rr = 0.0f64;
@@ -156,7 +156,7 @@ fn cdot_scalar(are: &[f64], aim: &[f64], bre: &[f64], bim: &[f64]) -> (f64, f64)
 /// once per [`gemm_split`] via `is_x86_feature_detected!`).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2,fma")]
-unsafe fn cdot_fma(are: &[f64], aim: &[f64], bre: &[f64], bim: &[f64]) -> (f64, f64) {
+pub(crate) unsafe fn cdot_fma(are: &[f64], aim: &[f64], bre: &[f64], bim: &[f64]) -> (f64, f64) {
     use std::arch::x86_64::*;
     let n = are.len();
     debug_assert!(aim.len() == n && bre.len() == n && bim.len() == n);
@@ -209,10 +209,118 @@ unsafe fn cdot_fma(are: &[f64], aim: &[f64], bre: &[f64], bim: &[f64]) -> (f64, 
     (rr - ii, ri + ir)
 }
 
+/// AVX2+FMA split-complex `x ← x − w·t` over re/im planes — the inner
+/// loop of the triangular back-substitution column sweep in
+/// `crate::schur`. Four f64 lanes per iteration, two fused chains per
+/// plane; the scalar tail uses the same mul/sub shape so lane results
+/// differ from the fallback only by FMA's single rounding (consistent
+/// on any one host, like the GEMM micro-kernel).
+///
+/// # Safety
+///
+/// Callers must ensure the host CPU supports `avx2` and `fma`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+pub(crate) unsafe fn caxpy_neg_fma(
+    wre: f64,
+    wim: f64,
+    tre: &[f64],
+    tim: &[f64],
+    xre: &mut [f64],
+    xim: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let n = tre.len();
+    debug_assert!(tim.len() == n && xre.len() == n && xim.len() == n);
+    let wr = _mm256_set1_pd(wre);
+    let wi = _mm256_set1_pd(wim);
+    let mut k = 0;
+    while k + 4 <= n {
+        let tr = _mm256_loadu_pd(tre.as_ptr().add(k));
+        let ti = _mm256_loadu_pd(tim.as_ptr().add(k));
+        let xr = _mm256_loadu_pd(xre.as_ptr().add(k));
+        let xi = _mm256_loadu_pd(xim.as_ptr().add(k));
+        // xr ← xr − (wre·tr − wim·ti),  xi ← xi − (wre·ti + wim·tr)
+        let xr2 = _mm256_fmadd_pd(wi, ti, _mm256_fnmadd_pd(wr, tr, xr));
+        let xi2 = _mm256_fnmadd_pd(wi, tr, _mm256_fnmadd_pd(wr, ti, xi));
+        _mm256_storeu_pd(xre.as_mut_ptr().add(k), xr2);
+        _mm256_storeu_pd(xim.as_mut_ptr().add(k), xi2);
+        k += 4;
+    }
+    while k < n {
+        let (tr, ti) = (tre[k], tim[k]);
+        xre[k] -= wre * tr - wim * ti;
+        xim[k] -= wre * ti + wim * tr;
+        k += 1;
+    }
+}
+
+/// Two-column variant of [`caxpy_neg_fma`]: one load of the `t` planes
+/// feeds two independent update streams (`x ← x − w·t`, `y ← y − v·t`),
+/// doubling the FMA-per-load ratio that bounds the short-vector axpy.
+/// Lane arithmetic per column is identical to the single-column kernel.
+///
+/// # Safety
+///
+/// Callers must ensure the host CPU supports `avx2` and `fma`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) unsafe fn caxpy2_neg_fma(
+    wre: f64,
+    wim: f64,
+    vre: f64,
+    vim: f64,
+    tre: &[f64],
+    tim: &[f64],
+    xre: &mut [f64],
+    xim: &mut [f64],
+    yre: &mut [f64],
+    yim: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let n = tre.len();
+    debug_assert!(
+        tim.len() == n && xre.len() == n && xim.len() == n && yre.len() == n && yim.len() == n
+    );
+    let wr = _mm256_set1_pd(wre);
+    let wi = _mm256_set1_pd(wim);
+    let vr = _mm256_set1_pd(vre);
+    let vi = _mm256_set1_pd(vim);
+    let mut k = 0;
+    while k + 4 <= n {
+        let tr = _mm256_loadu_pd(tre.as_ptr().add(k));
+        let ti = _mm256_loadu_pd(tim.as_ptr().add(k));
+        let xr = _mm256_loadu_pd(xre.as_ptr().add(k));
+        let xi = _mm256_loadu_pd(xim.as_ptr().add(k));
+        let xr2 = _mm256_fmadd_pd(wi, ti, _mm256_fnmadd_pd(wr, tr, xr));
+        let xi2 = _mm256_fnmadd_pd(wi, tr, _mm256_fnmadd_pd(wr, ti, xi));
+        _mm256_storeu_pd(xre.as_mut_ptr().add(k), xr2);
+        _mm256_storeu_pd(xim.as_mut_ptr().add(k), xi2);
+        let yr = _mm256_loadu_pd(yre.as_ptr().add(k));
+        let yi = _mm256_loadu_pd(yim.as_ptr().add(k));
+        let yr2 = _mm256_fmadd_pd(vi, ti, _mm256_fnmadd_pd(vr, tr, yr));
+        let yi2 = _mm256_fnmadd_pd(vi, tr, _mm256_fnmadd_pd(vr, ti, yi));
+        _mm256_storeu_pd(yre.as_mut_ptr().add(k), yr2);
+        _mm256_storeu_pd(yim.as_mut_ptr().add(k), yi2);
+        k += 4;
+    }
+    while k < n {
+        let (tr, ti) = (tre[k], tim[k]);
+        xre[k] -= wre * tr - wim * ti;
+        xim[k] -= wre * ti + wim * tr;
+        yre[k] -= vre * tr - vim * ti;
+        yim[k] -= vre * ti + vim * tr;
+        k += 1;
+    }
+}
+
 /// `true` when the AVX2+FMA micro-kernel is usable on this host.
 /// The detection macro caches, so this is a relaxed atomic load.
 #[inline]
-fn fma_available() -> bool {
+pub(crate) fn fma_available() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
@@ -415,6 +523,28 @@ pub fn mul<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>, Numeric
     if m * kdim * n <= SMALL_GEMM_OPS {
         return Ok(mul_small(a, b));
     }
+    mul_blocked(a, b)
+}
+
+/// `A·B` through the blocked kernel **unconditionally** — no
+/// small-product shortcut. The blocked kernel accumulates each output
+/// element over fixed-size `k`-panels (`KC`-wide, one panel when
+/// `k ≤ 256`), so its per-element accumulation order depends only on
+/// `kdim` — never on how many other columns ride in the same call. A
+/// given output column's rounding is therefore a function of that
+/// column's operands alone; batched frequency sweeps rely on this to
+/// stay bit-identical when the per-call column count varies with the
+/// worker count. (Do not make `KC`/`NB` depend on the operand shape —
+/// that would break this invariant.)
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] when `a.cols() != b.rows()`.
+pub fn mul_blocked<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Result<Matrix<T>, NumericError> {
+    if a.cols() != b.rows() {
+        return Err(shape_err("matmul", a, b));
+    }
+    let (m, kdim, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::zeros(m, n);
     if T::IS_COMPLEX {
         let (are, aim) = split_rows(a, false);

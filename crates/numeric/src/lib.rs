@@ -14,6 +14,11 @@
 //! * [`Hessenberg`] / [`solve_shifted_hessenberg`] — unitary reduction
 //!   `A = Q H Q*` with accumulated `Q`, plus an `O(n²)` Givens solver for
 //!   `(αI + βH)X = B` — the backbone of batched frequency sweeps,
+//! * [`Schur`] / [`solve_shifted_triangular`] — the complex Schur form
+//!   `A = Z T Z*` (shifted QR with accumulated transforms) that collapses
+//!   each sweep point to one triangular back-substitution,
+//! * [`parallel`] — a scoped-thread, deterministically-chunked parallel
+//!   map that fans those per-point solves across cores,
 //! * [`Qr`] — Householder QR (orthonormal bases, least squares),
 //! * [`Svd`] — singular value decomposition of complex matrices via
 //!   Golub–Kahan bidiagonalization with an implicit-shift QR sweep, plus an
@@ -50,10 +55,12 @@ mod norms;
 mod ops;
 mod qr;
 mod scalar;
+mod schur;
 mod solve;
 
 pub mod eig;
 pub mod kernel;
+pub mod parallel;
 pub mod svd;
 
 pub use complex::{c64, Complex};
@@ -64,6 +71,10 @@ pub use lu::Lu;
 pub use matrix::{CMatrix, Matrix, RMatrix};
 pub use qr::Qr;
 pub use scalar::Scalar;
+pub use schur::{
+    solve_shifted_triangular, solve_shifted_triangular_batch, solve_shifted_triangular_scaled,
+    strict_upper_max_abs, triangular_right_eigenvectors, Schur,
+};
 pub use solve::{lstsq, solve};
 pub use svd::{Svd, SvdMethod};
 

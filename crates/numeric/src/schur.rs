@@ -1,0 +1,882 @@
+//! Complex Schur decomposition `A = Z T Zᴴ` with accumulated unitary
+//! transforms, and a back-substitution solver for shifted triangular
+//! systems.
+//!
+//! This is the frequency-sweep endgame the Hessenberg machinery of
+//! [`crate::Hessenberg`] builds toward: reducing the shift-inverted
+//! pencil of a descriptor model to **triangular** (not merely
+//! Hessenberg) form once means every subsequent frequency point costs a
+//! single triangular back-substitution — `O(n²)` flops with
+//! triangular-solve constants and *no per-point factorization work at
+//! all*, versus the per-point Givens triangularization the Hessenberg
+//! path still pays. `Macromodel::eval_batch` in `mfti-statespace`
+//! selects between the two by a crossover heuristic.
+//!
+//! The iteration is the same Wilkinson-shifted explicit QR used by
+//! [`crate::eigenvalues`] (see `eig::qr_algorithm`), extended in two
+//! ways: every rotation is applied across the **full** matrix (not just
+//! the active window) so the limit is upper triangular everywhere, and
+//! the rotations are accumulated into the unitary factor `Z`.
+
+use crate::complex::{c64, Complex};
+use crate::eig::qr_algorithm::{wilkinson_shift, zrotg};
+use crate::error::NumericError;
+use crate::hessenberg::Hessenberg;
+use crate::matrix::CMatrix;
+
+/// The complex Schur form `A = Z T Zᴴ` with `T` upper triangular and
+/// `Z` unitary.
+///
+/// The eigenvalues of `A` are the diagonal of `T`, in deflation order.
+///
+/// ```
+/// use mfti_numeric::{c64, CMatrix, Schur};
+///
+/// # fn main() -> Result<(), mfti_numeric::NumericError> {
+/// let a = CMatrix::from_fn(6, 6, |i, j| c64((i + 2 * j) as f64, i as f64 - j as f64));
+/// let schur = Schur::compute(&a)?;
+/// // Reconstruction: Z T Zᴴ == A.
+/// let back = schur.z().matmul(schur.t())?.mul_adjoint_right(schur.z())?;
+/// assert!(back.approx_eq(&a, 1e-10 * a.norm_fro()));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Schur {
+    t: CMatrix,
+    z: CMatrix,
+}
+
+impl Schur {
+    /// Computes the Schur form of a general square matrix: Householder
+    /// reduction to Hessenberg form, then the accumulated QR iteration.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericError::NotSquare`] / [`NumericError::NotFinite`] for
+    ///   invalid input;
+    /// * [`NumericError::NoConvergence`] when the QR iteration exceeds
+    ///   its budget (pathological; not observed on this repo's
+    ///   workloads).
+    pub fn compute(a: &CMatrix) -> Result<Self, NumericError> {
+        Self::from_hessenberg(&Hessenberg::compute(a)?)
+    }
+
+    /// Runs the accumulated QR iteration on an existing Hessenberg
+    /// factorization `A = Q H Qᴴ`, returning `A = Z T Zᴴ` (the
+    /// accumulation starts from `Q`, so `Z` maps all the way back to the
+    /// original basis).
+    ///
+    /// Sweep evaluators that already hold a [`Hessenberg`] use this to
+    /// upgrade to the triangular form without re-reducing.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::NoConvergence`] when the QR iteration exceeds its
+    /// budget; the caller still owns the Hessenberg form and can fall
+    /// back to it.
+    pub fn from_hessenberg(hess: &Hessenberg) -> Result<Self, NumericError> {
+        schur_iterate(hess.h().clone(), hess.q().clone())
+    }
+
+    /// The upper-triangular factor `T`.
+    pub fn t(&self) -> &CMatrix {
+        &self.t
+    }
+
+    /// The unitary factor `Z` (`A = Z T Zᴴ`).
+    pub fn z(&self) -> &CMatrix {
+        &self.z
+    }
+
+    /// The eigenvalues of `A`: the diagonal of `T`, in deflation order.
+    pub fn eigenvalues(&self) -> Vec<Complex> {
+        (0..self.t.rows()).map(|i| self.t[(i, i)]).collect()
+    }
+
+    /// Consumes the factorization, returning `(T, Z)`.
+    pub fn into_parts(self) -> (CMatrix, CMatrix) {
+        (self.t, self.z)
+    }
+}
+
+/// Wilkinson-shifted explicit QR with full-matrix rotation application
+/// and accumulation into `z`. `t` must be upper Hessenberg; on entry
+/// `A = z t zᴴ` holds and every step preserves it.
+fn schur_iterate(mut t: CMatrix, mut z: CMatrix) -> Result<Schur, NumericError> {
+    let n = t.rows();
+    if n <= 1 {
+        return Ok(Schur { t, z });
+    }
+    let eps = f64::EPSILON;
+    let tiny = f64::MIN_POSITIVE;
+    let mut hi = n - 1;
+    let mut iters_this_window = 0usize;
+    let max_iters_per_eig = 300usize;
+
+    loop {
+        // Deflate negligible subdiagonals (scanning up from the bottom of
+        // the active window, exactly as the eigenvalue-only iteration).
+        let mut lo = hi;
+        while lo > 0 {
+            let sub = t[(lo, lo - 1)].abs();
+            if sub <= tiny + eps * (t[(lo - 1, lo - 1)].abs() + t[(lo, lo)].abs()) {
+                t[(lo, lo - 1)] = Complex::ZERO;
+                break;
+            }
+            lo -= 1;
+        }
+
+        if lo == hi {
+            // 1×1 block converged. (Unlike the eigenvalue-only iteration
+            // there is no analytic 2×2 escape: a 2×2 window must be
+            // rotated to triangular form, which the Wilkinson shift does
+            // in one or two sweeps — the shift is then an exact
+            // eigenvalue, so the QR step deflates it to roundoff.)
+            iters_this_window = 0;
+            if hi == 0 {
+                break;
+            }
+            hi -= 1;
+            continue;
+        }
+
+        iters_this_window += 1;
+        if iters_this_window > max_iters_per_eig {
+            return Err(NumericError::NoConvergence {
+                op: "schur qr",
+                iterations: iters_this_window,
+            });
+        }
+
+        // Shift: Wilkinson by default; occasionally an exceptional shift
+        // to break symmetry-induced cycling.
+        let mu = if iters_this_window.is_multiple_of(24) {
+            let lower = if hi >= 2 {
+                t[(hi - 1, hi - 2)].abs()
+            } else {
+                0.0
+            };
+            let m = t[(hi, hi - 1)].abs() + lower;
+            t[(hi, hi)] + c64(0.75 * m, 0.3 * m)
+        } else {
+            wilkinson_shift(
+                t[(hi - 1, hi - 1)],
+                t[(hi - 1, hi)],
+                t[(hi, hi - 1)],
+                t[(hi, hi)],
+            )
+        };
+
+        // Explicit QR step on the window: T − μI = QR, then T := RQ + μI.
+        // The μ bookkeeping is confined to the window diagonal, but every
+        // rotation is applied across the full matrix — left over columns
+        // k+1..n, right over rows 0..=k+1 — and accumulated into Z, so
+        // A = Z T Zᴴ is preserved exactly and the limit is globally
+        // triangular.
+        for i in lo..=hi {
+            t[(i, i)] -= mu;
+        }
+        let mut rot = Vec::with_capacity(hi - lo);
+        for k in lo..hi {
+            let (c, s, r) = zrotg(t[(k, k)], t[(k + 1, k)]);
+            t[(k, k)] = r;
+            t[(k + 1, k)] = Complex::ZERO;
+            for j in k + 1..n {
+                let t1 = t[(k, j)];
+                let t2 = t[(k + 1, j)];
+                t[(k, j)] = t1.scale(c) + s * t2;
+                t[(k + 1, j)] = t2.scale(c) - s.conj() * t1;
+            }
+            rot.push((c, s));
+        }
+        for (idx, &(c, s)) in rot.iter().enumerate() {
+            let k = lo + idx;
+            // T := T Gᴴ on columns k, k+1 (rows 0..=k+1 are the only
+            // structurally nonzero ones in the R factor)…
+            for i in 0..=k + 1 {
+                let u = t[(i, k)];
+                let v = t[(i, k + 1)];
+                t[(i, k)] = u.scale(c) + v * s.conj();
+                t[(i, k + 1)] = v.scale(c) - u * s;
+            }
+            // … and the accumulation Z := Z Gᴴ over all rows.
+            for i in 0..n {
+                let u = z[(i, k)];
+                let v = z[(i, k + 1)];
+                z[(i, k)] = u.scale(c) + v * s.conj();
+                z[(i, k + 1)] = v.scale(c) - u * s;
+            }
+        }
+        for i in lo..=hi {
+            t[(i, i)] += mu;
+        }
+    }
+
+    // The strictly-lower part is structurally zero (subdiagonals were
+    // deflated to exact zeros, everything below was never touched); clear
+    // any entry the loop left behind so callers can rely on exact
+    // triangularity.
+    for i in 1..n {
+        for j in 0..i {
+            t[(i, j)] = Complex::ZERO;
+        }
+    }
+    Ok(Schur { t, z })
+}
+
+/// How many shifts march down the rows together in one back-substitution
+/// block. Each row's `T` column then feeds `SHIFT_BLOCK × m` independent
+/// axpy streams (instruction-level parallelism the serial per-shift
+/// recurrence cannot offer), while the block's scratch planes
+/// (`SHIFT_BLOCK · m · n` reals per plane) stay cache-resident.
+const SHIFT_BLOCK: usize = 8;
+
+/// Column-sweep back-substitution for a **block** of shifts in lockstep
+/// over split-complex scratch planes: for each row `i` (bottom-up) and
+/// each of the block's `B·m` columns, finalize `x[i] ← x[i]·dᵢ⁻¹` and
+/// push its contribution up into rows `0..i` with one contiguous
+/// `x ← x − w·t` axpy — no dot-product reductions, just independent
+/// real FMA streams sharing one load of `T`'s column.
+///
+/// Every shift's arithmetic sequence is independent of the block
+/// composition, which is what keeps batched, blocked, and one-at-a-time
+/// solves bit-identical.
+///
+/// `tc_re`/`tc_im` hold the strict upper triangle of `T` column-major
+/// (column `i` at offset `i·n`); `x_re`/`x_im` hold `m` columns of
+/// length `n` per shift; `inv_diag` holds shift `k`'s pivot inverses at
+/// `k·n + i`.
+#[allow(clippy::too_many_arguments)]
+fn backsub_block(
+    tc_re: &[f64],
+    tc_im: &[f64],
+    inv_diag: &[Complex],
+    betas: &[Complex],
+    x_re: &mut [f64],
+    x_im: &mut [f64],
+    n: usize,
+    m: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::kernel::fma_available() {
+            // SAFETY: feature availability checked on this host. One
+            // dispatch per block — every inner loop inlines inside the
+            // target-feature context, so results are consistent within
+            // any one host, exactly like the GEMM layer.
+            unsafe {
+                backsub_block_fma(tc_re, tc_im, inv_diag, betas, x_re, x_im, n, m);
+            }
+            return;
+        }
+    }
+    backsub_block_generic(tc_re, tc_im, inv_diag, betas, x_re, x_im, n, m);
+}
+
+/// AVX2+FMA instantiation of [`backsub_block`] (the `target_feature`
+/// context keeps the axpy micro-kernel inlined across the whole block
+/// instead of paying a call boundary per row).
+///
+/// # Safety
+///
+/// Callers must ensure the host CPU supports `avx2` and `fma`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn backsub_block_fma(
+    tc_re: &[f64],
+    tc_im: &[f64],
+    inv_diag: &[Complex],
+    betas: &[Complex],
+    x_re: &mut [f64],
+    x_im: &mut [f64],
+    n: usize,
+    m: usize,
+) {
+    // Per row: finalize every stream's x[i] first (streams are disjoint
+    // columns, so the order is immaterial), then drain the updates in
+    // pairs — the two-column axpy shares each load of T's column between
+    // two independent FMA streams. `streams` holds (w.re, w.im, column
+    // offset) per update.
+    let total = betas.len() * m;
+    let mut streams: Vec<(f64, f64, usize)> = Vec::with_capacity(total);
+    let xr_ptr = x_re.as_mut_ptr();
+    let xi_ptr = x_im.as_mut_ptr();
+    for i in (0..n).rev() {
+        let col_re = &tc_re[i * n..i * n + i];
+        let col_im = &tc_im[i * n..i * n + i];
+        streams.clear();
+        for (k, &beta) in betas.iter().enumerate() {
+            let inv = inv_diag[k * n + i];
+            for c in 0..m {
+                let base = (k * m + c) * n;
+                let xi = c64(*xr_ptr.add(base + i), *xi_ptr.add(base + i)) * inv;
+                *xr_ptr.add(base + i) = xi.re;
+                *xi_ptr.add(base + i) = xi.im;
+                // The β factor folds into the update coefficient, so the
+                // axpy subtracts β·xᵢ·T[0..i, i] in one pass.
+                let w = beta * xi;
+                streams.push((w.re, w.im, base));
+            }
+        }
+        // SAFETY: the reconstructed slices live at distinct column
+        // offsets (disjoint `base..base+i` ranges, one per stream) of
+        // the scratch planes borrowed mutably by this function.
+        let mut pairs = streams.chunks_exact(2);
+        for pair in &mut pairs {
+            let (w, v) = (pair[0], pair[1]);
+            crate::kernel::caxpy2_neg_fma(
+                w.0,
+                w.1,
+                v.0,
+                v.1,
+                col_re,
+                col_im,
+                std::slice::from_raw_parts_mut(xr_ptr.add(w.2), i),
+                std::slice::from_raw_parts_mut(xi_ptr.add(w.2), i),
+                std::slice::from_raw_parts_mut(xr_ptr.add(v.2), i),
+                std::slice::from_raw_parts_mut(xi_ptr.add(v.2), i),
+            );
+        }
+        for w in pairs.remainder() {
+            crate::kernel::caxpy_neg_fma(
+                w.0,
+                w.1,
+                col_re,
+                col_im,
+                std::slice::from_raw_parts_mut(xr_ptr.add(w.2), i),
+                std::slice::from_raw_parts_mut(xi_ptr.add(w.2), i),
+            );
+        }
+    }
+}
+
+/// Portable instantiation of [`backsub_block`] (same loop structure as
+/// the FMA path; mul/sub instead of fused ops).
+#[allow(clippy::too_many_arguments)]
+fn backsub_block_generic(
+    tc_re: &[f64],
+    tc_im: &[f64],
+    inv_diag: &[Complex],
+    betas: &[Complex],
+    x_re: &mut [f64],
+    x_im: &mut [f64],
+    n: usize,
+    m: usize,
+) {
+    for i in (0..n).rev() {
+        let col_re = &tc_re[i * n..i * n + i];
+        let col_im = &tc_im[i * n..i * n + i];
+        for (k, &beta) in betas.iter().enumerate() {
+            let inv = inv_diag[k * n + i];
+            for c in 0..m {
+                let base = (k * m + c) * n;
+                let xi = c64(x_re[base + i], x_im[base + i]) * inv;
+                x_re[base + i] = xi.re;
+                x_im[base + i] = xi.im;
+                let w = beta * xi;
+                let (xre, xim) = (&mut x_re[base..base + i], &mut x_im[base..base + i]);
+                for ((tr, ti), (xr, xim_e)) in col_re
+                    .iter()
+                    .zip(col_im)
+                    .zip(xre.iter_mut().zip(xim.iter_mut()))
+                {
+                    let r = *xr - (w.re * *tr - w.im * *ti);
+                    let im = *xim_e - (w.re * *ti + w.im * *tr);
+                    *xr = r;
+                    *xim_e = im;
+                }
+            }
+        }
+    }
+}
+
+/// Solves `(α·I + β·T) X = B` for upper-triangular `T` by pure
+/// back-substitution — `O(n²)` per right-hand side with no factorization
+/// work at all, the per-frequency kernel of Schur-form sweeps.
+///
+/// Entries below the diagonal of `t` are ignored (treated as exact
+/// zeros), so a matrix that is triangular "up to roundoff" is handled
+/// correctly. The shifted matrix `α·I + β·T` is never materialized: the
+/// diagonal is formed on the fly and each row's off-diagonal dot product
+/// is scaled by `β` once.
+///
+/// # Errors
+///
+/// * [`NumericError::NotSquare`] / [`NumericError::ShapeMismatch`] for
+///   inconsistent dimensions;
+/// * [`NumericError::Singular`] when some `α + β·Tᵢᵢ` vanishes relative
+///   to the magnitude of `α·I + β·T` (for sweep evaluators: `s` hit a
+///   pole).
+pub fn solve_shifted_triangular(
+    t: &CMatrix,
+    alpha: Complex,
+    beta: Complex,
+    b: &CMatrix,
+) -> Result<CMatrix, NumericError> {
+    solve_shifted_triangular_scaled(t, alpha, beta, b, strict_upper_max_abs(t))
+}
+
+/// The largest modulus over the strict upper triangle of `t` — the
+/// precomputable part of [`solve_shifted_triangular`]'s singularity
+/// scale. Sweep evaluators call this once per factorization and pass the
+/// result to [`solve_shifted_triangular_scaled`] for every frequency,
+/// keeping the per-point cost at pure back-substitution.
+pub fn strict_upper_max_abs(t: &CMatrix) -> f64 {
+    let n = t.cols();
+    let ts = t.as_slice();
+    let mut max_sq = 0.0f64;
+    for i in 0..t.rows() {
+        for &e in &ts[i * n + (i + 1).min(n)..(i + 1) * n] {
+            max_sq = max_sq.max(e.abs_sq());
+        }
+    }
+    max_sq.sqrt()
+}
+
+/// [`solve_shifted_triangular`] with the strict-upper-triangle magnitude
+/// of `t` supplied by the caller (see [`strict_upper_max_abs`]), so the
+/// per-point work is exactly one back-substitution — no `O(n²)` scan.
+///
+/// # Errors
+///
+/// Same as [`solve_shifted_triangular`].
+pub fn solve_shifted_triangular_scaled(
+    t: &CMatrix,
+    alpha: Complex,
+    beta: Complex,
+    b: &CMatrix,
+    t_upper_max_abs: f64,
+) -> Result<CMatrix, NumericError> {
+    // One shift through the batch kernel: a single implementation keeps
+    // the scalar and multi-shift paths bit-identical by construction.
+    let mut out = solve_shifted_triangular_batch(t, &[(alpha, beta)], b, t_upper_max_abs)?;
+    Ok(out.pop().expect("exactly one shift"))
+}
+
+/// Multi-shift variant of [`solve_shifted_triangular_scaled`]: solves
+/// `(αₖ·I + βₖ·T) Xₖ = B` for a whole batch of shifts sharing one
+/// triangular factor and one right-hand side — the inner kernel of
+/// Schur-form frequency sweeps, where every frequency contributes one
+/// `(αₖ, βₖ)` pair.
+///
+/// The back-substitution streams each row tail of `T` across **all**
+/// shifts and right-hand-side columns while it is hot in cache, so the
+/// `O(n²)` factor traffic is paid once per batch instead of once per
+/// shift. Per shift, the arithmetic (operation order included) is
+/// exactly that of [`solve_shifted_triangular_scaled`], so batched and
+/// one-at-a-time solves produce **bit-identical** results — the property
+/// the deterministic parallel sweeps in `mfti-statespace` rely on when
+/// they split a sweep into per-worker blocks.
+///
+/// # Errors
+///
+/// * Shape errors as [`solve_shifted_triangular`];
+/// * [`NumericError::Singular`] if **any** shift makes `αₖ·I + βₖ·T`
+///   singular to working precision (detected upfront on the diagonal;
+///   callers that need to know *which* shift hit a pole re-run the
+///   scalar solver per shift).
+pub fn solve_shifted_triangular_batch(
+    t: &CMatrix,
+    shifts: &[(Complex, Complex)],
+    b: &CMatrix,
+    t_upper_max_abs: f64,
+) -> Result<Vec<CMatrix>, NumericError> {
+    if !t.is_square() {
+        return Err(NumericError::NotSquare {
+            op: "triangular batch solve",
+            dims: t.dims(),
+        });
+    }
+    let n = t.rows();
+    if b.rows() != n {
+        return Err(NumericError::ShapeMismatch {
+            op: "triangular batch solve",
+            left: t.dims(),
+            right: b.dims(),
+        });
+    }
+    let m = b.cols();
+    let k_shifts = shifts.len();
+    if n == 0 || k_shifts == 0 {
+        return Ok(vec![b.clone(); k_shifts]);
+    }
+    let ts = t.as_slice();
+
+    // Pivot pass: every shift's diagonal and singularity cut, up front.
+    // (A triangular matrix with a vanishing diagonal entry is singular
+    // no matter how large the off-diagonal part — but the cut must be
+    // *relative* to that part, or mildly scaled systems would pass.)
+    let mut inv_diag: Vec<Complex> = Vec::with_capacity(k_shifts * n);
+    for &(alpha, beta) in shifts {
+        let mut scale_sq = (beta.abs() * t_upper_max_abs)
+            .powi(2)
+            .max(f64::MIN_POSITIVE);
+        for i in 0..n {
+            scale_sq = scale_sq.max((alpha + beta * ts[i * n + i]).abs_sq());
+        }
+        let cut_sq = (f64::EPSILON * f64::EPSILON) * scale_sq;
+        for i in 0..n {
+            let d = alpha + beta * ts[i * n + i];
+            if d.abs_sq() <= cut_sq {
+                return Err(NumericError::Singular {
+                    op: "triangular batch solve",
+                });
+            }
+            inv_diag.push(d.recip());
+        }
+    }
+
+    // Split the strict upper triangle of T into **column-major** re/im
+    // planes once per batch. The back-substitution then runs as a column
+    // sweep: finalizing x[i] pushes its contribution up into rows 0..i
+    // with one contiguous split-complex axpy — no dot-product reductions
+    // at all, just straight-line FMA streams.
+    let mut tc_re = vec![0.0f64; n * n];
+    let mut tc_im = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..i {
+            let z = ts[j * n + i];
+            tc_re[i * n + j] = z.re;
+            tc_im[i * n + j] = z.im;
+        }
+    }
+
+    // Blocks of SHIFT_BLOCK shifts march down the rows in lockstep over
+    // one reused pair of scratch planes: each load of a `T` column feeds
+    // the whole block's independent axpy streams, and the block's
+    // columns stay cache-resident across the sweep.
+    let bs = b.as_slice();
+    let mut x_re = vec![0.0f64; SHIFT_BLOCK * m * n];
+    let mut x_im = vec![0.0f64; SHIFT_BLOCK * m * n];
+    let mut out = Vec::with_capacity(k_shifts);
+    for (kb, block) in shifts.chunks(SHIFT_BLOCK).enumerate() {
+        let block_len = block.len();
+        for (k, _) in block.iter().enumerate() {
+            for c in 0..m {
+                let base = (k * m + c) * n;
+                for i in 0..n {
+                    let z = bs[i * m + c];
+                    x_re[base + i] = z.re;
+                    x_im[base + i] = z.im;
+                }
+            }
+        }
+        let betas: Vec<Complex> = block.iter().map(|&(_, beta)| beta).collect();
+        let inv_block = &inv_diag[kb * SHIFT_BLOCK * n..kb * SHIFT_BLOCK * n + block_len * n];
+        backsub_block(
+            &tc_re,
+            &tc_im,
+            inv_block,
+            &betas,
+            &mut x_re[..block_len * m * n],
+            &mut x_im[..block_len * m * n],
+            n,
+            m,
+        );
+        for k in 0..block_len {
+            let mut data = Vec::with_capacity(n * m);
+            for i in 0..n {
+                for c in 0..m {
+                    let base = (k * m + c) * n;
+                    data.push(c64(x_re[base + i], x_im[base + i]));
+                }
+            }
+            out.push(CMatrix::from_vec(n, m, data)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Right eigenvector matrix of an upper-triangular `t` with
+/// (near-)distinct diagonal: returns an upper-triangular `V` with
+/// unit-2-norm columns satisfying `T·V ≈ V·diag(T)`, computed column by
+/// column with one back-substitution each (`O(n³/6)` total).
+///
+/// Returns `None` when two diagonal entries are too close for a stable
+/// division (clustered or defective spectrum) — callers that wanted to
+/// diagonalize a sweep fall back to per-point back-substitution, which
+/// works for every matrix. Closeness is judged relative to the largest
+/// eigenvalue magnitude; the resulting `V` can still be arbitrarily
+/// ill-conditioned, so callers must validate (e.g. probe-point
+/// comparison against the non-diagonalized path) before trusting it.
+pub fn triangular_right_eigenvectors(t: &CMatrix) -> Option<CMatrix> {
+    if !t.is_square() {
+        return None;
+    }
+    let n = t.rows();
+    let ts = t.as_slice();
+    let lam_scale = (0..n)
+        .map(|i| ts[i * n + i].abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let sep_floor = 1e-14 * lam_scale;
+    let mut v = vec![Complex::ZERO; n * n];
+    let mut col: Vec<Complex> = Vec::new();
+    for k in 0..n {
+        let lam = ts[k * n + k];
+        col.clear();
+        col.resize(k + 1, Complex::ZERO);
+        col[k] = Complex::ONE;
+        for i in (0..k).rev() {
+            let mut acc = Complex::ZERO;
+            for (j, &v_j) in col.iter().enumerate().take(k + 1).skip(i + 1) {
+                acc += ts[i * n + j] * v_j;
+            }
+            let denom = lam - ts[i * n + i];
+            if denom.abs() <= sep_floor {
+                return None;
+            }
+            col[i] = acc / denom;
+        }
+        let norm = col.iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
+        if !norm.is_finite() || norm == 0.0 {
+            return None;
+        }
+        let inv_norm = norm.recip();
+        for (i, &v_i) in col.iter().enumerate() {
+            v[i * n + k] = v_i.scale(inv_norm);
+        }
+    }
+    CMatrix::from_vec(n, n, v).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+    use crate::solve::solve;
+
+    fn pseudo_random(n: usize, cols: usize, mut seed: u64) -> CMatrix {
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        CMatrix::from_fn(n, cols, |_, _| c64(next(), next()))
+    }
+
+    fn assert_schur_of(a: &CMatrix, schur: &Schur, tol: f64) {
+        let n = a.rows();
+        // T upper triangular (exactly, by construction).
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(schur.t()[(i, j)], Complex::ZERO, "T not triangular");
+            }
+        }
+        // Z unitary.
+        let ztz = schur.z().adjoint().matmul(schur.z()).unwrap();
+        assert!(ztz.approx_eq(&CMatrix::identity(n), 1e-12), "Z not unitary");
+        // Reconstruction.
+        let back = schur
+            .z()
+            .matmul(schur.t())
+            .unwrap()
+            .mul_adjoint_right(schur.z())
+            .unwrap();
+        let rel = (&back - a).norm_fro() / a.norm_fro().max(f64::MIN_POSITIVE);
+        assert!(rel < tol, "reconstruction residual {rel:.2e}");
+    }
+
+    #[test]
+    fn schur_of_random_dense_matrix_reconstructs() {
+        for (n, seed) in [(2usize, 0x11u64), (5, 0x22), (12, 0x33), (24, 0x44)] {
+            let a = pseudo_random(n, n, seed);
+            let schur = Schur::compute(&a).unwrap();
+            assert_schur_of(&a, &schur, 1e-12);
+        }
+    }
+
+    #[test]
+    fn schur_eigenvalues_match_qr_eigenvalues() {
+        let a = pseudo_random(9, 9, 0x55);
+        let mut from_schur = Schur::compute(&a).unwrap().eigenvalues();
+        let mut from_qr = crate::eig::eigenvalues(&a).unwrap();
+        let key = |z: &Complex| (z.re, z.im);
+        from_schur.sort_by(|x, y| key(x).partial_cmp(&key(y)).unwrap());
+        from_qr.sort_by(|x, y| key(x).partial_cmp(&key(y)).unwrap());
+        for (s, q) in from_schur.iter().zip(&from_qr) {
+            assert!((*s - *q).abs() < 1e-9, "eigenvalue mismatch: {s} vs {q}");
+        }
+    }
+
+    #[test]
+    fn from_hessenberg_starts_at_the_original_basis() {
+        let a = pseudo_random(10, 10, 0x66);
+        let hess = Hessenberg::compute(&a).unwrap();
+        let schur = Schur::from_hessenberg(&hess).unwrap();
+        assert_schur_of(&a, &schur, 1e-12);
+    }
+
+    #[test]
+    fn tiny_and_empty_matrices() {
+        let empty = Schur::compute(&CMatrix::zeros(0, 0)).unwrap();
+        assert!(empty.eigenvalues().is_empty());
+        let one = CMatrix::from_rows(&[vec![c64(3.0, -1.0)]]).unwrap();
+        let schur = Schur::compute(&one).unwrap();
+        assert_eq!(schur.t()[(0, 0)], c64(3.0, -1.0));
+        assert_eq!(schur.z()[(0, 0)], Complex::ONE);
+    }
+
+    #[test]
+    fn defective_matrix_still_triangularizes() {
+        // Jordan block: defective (one eigenvector), but the Schur form
+        // exists for every matrix.
+        let mut a = CMatrix::zeros(4, 4);
+        for i in 0..4 {
+            a[(i, i)] = c64(2.0, 1.0);
+            if i + 1 < 4 {
+                a[(i, i + 1)] = Complex::ONE;
+            }
+        }
+        let schur = Schur::compute(&a).unwrap();
+        assert_schur_of(&a, &schur, 1e-12);
+    }
+
+    #[test]
+    fn triangular_solve_matches_dense_lu() {
+        let a = pseudo_random(11, 11, 0x77);
+        let schur = Schur::compute(&a).unwrap();
+        let b = pseudo_random(11, 3, 0x78);
+        let bt = schur.z().mul_hermitian_left(&b).unwrap();
+        let (alpha, beta) = (c64(0.9, 0.4), c64(-0.3, 1.1));
+        let x = solve_shifted_triangular(schur.t(), alpha, beta, &bt).unwrap();
+        let x_full = schur.z().matmul(&x).unwrap();
+        // Dense reference: (α·I + β·A) X = B.
+        let mut dense = a.map(|z| z * beta);
+        for i in 0..11 {
+            dense[(i, i)] += alpha;
+        }
+        let want = solve(&dense, &b).unwrap();
+        assert!(x_full.approx_eq(&want, 1e-10));
+    }
+
+    #[test]
+    fn singular_shift_is_reported() {
+        let t = CMatrix::from_diag(&[c64(1.0, 0.0), c64(2.0, 0.0)]);
+        let b = CMatrix::identity(2);
+        let err = solve_shifted_triangular(&t, c64(-2.0, 0.0), Complex::ONE, &b).unwrap_err();
+        assert!(matches!(err, NumericError::Singular { .. }));
+    }
+
+    #[test]
+    fn near_singular_shift_relative_to_offdiagonal_is_reported() {
+        // Diagonal ~1e-20 but off-diagonal O(1): singular to working
+        // precision relative to the matrix magnitude.
+        let t = CMatrix::from_rows(&[
+            vec![c64(1e-20, 0.0), c64(1.0, 0.0)],
+            vec![Complex::ZERO, c64(1e-20, 0.0)],
+        ])
+        .unwrap();
+        let b = CMatrix::identity(2);
+        let err = solve_shifted_triangular(&t, Complex::ZERO, Complex::ONE, &b).unwrap_err();
+        assert!(matches!(err, NumericError::Singular { .. }));
+    }
+
+    #[test]
+    fn shape_errors_are_rejected() {
+        let rect = CMatrix::zeros(2, 3);
+        let b1 = CMatrix::zeros(2, 1);
+        assert!(solve_shifted_triangular(&rect, Complex::ONE, Complex::ONE, &b1).is_err());
+        let t = CMatrix::identity(3);
+        let b2 = CMatrix::zeros(2, 1);
+        assert!(solve_shifted_triangular(&t, Complex::ONE, Complex::ONE, &b2).is_err());
+        assert!(Schur::compute(&rect).is_err());
+    }
+
+    #[test]
+    fn zero_dimension_solve_passes_through() {
+        let t = CMatrix::zeros(0, 0);
+        let b = CMatrix::zeros(0, 0);
+        let x = solve_shifted_triangular(&t, Complex::ONE, Complex::ONE, &b).unwrap();
+        assert_eq!(x.dims(), (0, 0));
+    }
+
+    #[test]
+    fn batch_solve_is_bit_identical_to_scalar_solves() {
+        let a = pseudo_random(17, 17, 0x99);
+        let schur = Schur::compute(&a).unwrap();
+        let (tm, _) = schur.into_parts();
+        let upper = strict_upper_max_abs(&tm);
+        let b = pseudo_random(17, 3, 0x9a);
+        let shifts: Vec<(Complex, Complex)> = (0..29)
+            .map(|k| (Complex::ONE, c64(0.05 * k as f64, -0.3 + 0.07 * k as f64)))
+            .collect();
+        let batch = solve_shifted_triangular_batch(&tm, &shifts, &b, upper).unwrap();
+        for (&(alpha, beta), x_batch) in shifts.iter().zip(&batch) {
+            let x_scalar = solve_shifted_triangular_scaled(&tm, alpha, beta, &b, upper).unwrap();
+            assert!(
+                x_batch
+                    .as_slice()
+                    .iter()
+                    .zip(x_scalar.as_slice())
+                    .all(|(p, q)| p.re.to_bits() == q.re.to_bits()
+                        && p.im.to_bits() == q.im.to_bits()),
+                "batch and scalar solves differ in bits"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_solve_flags_a_singular_shift() {
+        let tm = CMatrix::from_diag(&[c64(1.0, 0.0), c64(2.0, 0.0)]);
+        let b = CMatrix::identity(2);
+        let shifts = [
+            (Complex::ONE, Complex::ONE),
+            (c64(-2.0, 0.0), Complex::ONE), // hits the λ = 2 pivot
+        ];
+        let err = solve_shifted_triangular_batch(&tm, &shifts, &b, 0.0).unwrap_err();
+        assert!(matches!(err, NumericError::Singular { .. }));
+    }
+
+    #[test]
+    fn batch_solve_handles_empty_inputs() {
+        let tm = CMatrix::identity(3);
+        let b = CMatrix::zeros(3, 2);
+        assert!(solve_shifted_triangular_batch(&tm, &[], &b, 0.0)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn triangular_eigenvectors_diagonalize_separated_spectra() {
+        let n = 14;
+        let a = pseudo_random(n, n, 0xabc);
+        let schur = Schur::compute(&a).unwrap();
+        let (tm, _) = schur.into_parts();
+        let v = triangular_right_eigenvectors(&tm).expect("random spectra are separated");
+        // V upper triangular with unit columns.
+        for i in 0..n {
+            for j in 0..i {
+                assert_eq!(v[(i, j)], Complex::ZERO);
+            }
+            let norm: f64 = (0..n).map(|r| v[(r, i)].abs_sq()).sum();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+        // T·V = V·diag(T), column by column.
+        let tv = tm.matmul(&v).unwrap();
+        for k in 0..n {
+            let lam = tm[(k, k)];
+            for i in 0..n {
+                let resid = (tv[(i, k)] - v[(i, k)] * lam).abs();
+                assert!(resid < 1e-10, "eigen residual {resid:.2e} at ({i},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_eigenvectors_reject_repeated_eigenvalues() {
+        // A Jordan block has a defective (repeated) diagonal: no full
+        // eigenvector basis exists and the routine must bail out.
+        let mut t = CMatrix::zeros(4, 4);
+        for i in 0..4 {
+            t[(i, i)] = c64(1.0, 1.0);
+            if i + 1 < 4 {
+                t[(i, i + 1)] = Complex::ONE;
+            }
+        }
+        assert!(triangular_right_eigenvectors(&t).is_none());
+        assert!(triangular_right_eigenvectors(&CMatrix::zeros(2, 3)).is_none());
+    }
+}

@@ -1,34 +1,100 @@
 use mfti_numeric::{
-    c64, generalized_eigenvalues, solve_shifted_hessenberg, CMatrix, Complex, Hessenberg, Lu,
-    Matrix, NumericError, RMatrix, Scalar,
+    c64, generalized_eigenvalues, parallel, solve_shifted_hessenberg, solve_shifted_triangular,
+    solve_shifted_triangular_batch, solve_shifted_triangular_scaled, strict_upper_max_abs,
+    triangular_right_eigenvectors, CMatrix, Complex, Hessenberg, Lu, Matrix, NumericError, RMatrix,
+    Scalar, Schur,
 };
 
 use crate::error::StateSpaceError;
 use crate::macromodel::Macromodel;
 use crate::transfer::TransferFunction;
 
-/// Below this sweep length the Hessenberg setup (`≈ 4 n³` flops) does
-/// not amortize over the points and [`Macromodel::eval_batch`] falls
-/// back to the per-point loop.
+/// Below this sweep length the one-time reduction (`≈ 4 n³` flops for
+/// Hessenberg, more for Schur) does not amortize over the points and
+/// [`Macromodel::eval_batch`] falls back to the per-point loop.
 const SWEEP_MIN_POINTS: usize = 8;
 /// Below this order the per-point LU is already cheap; the sweep path
 /// only pays off once `O(n³)` visibly dominates `O(n²)`.
 const SWEEP_MIN_ORDER: usize = 12;
+/// Below this many points the Schur QR iteration (an extra `≈ 10 n³`
+/// over the plain Hessenberg reduction) cannot amortize and
+/// [`SweepStrategy::Auto`] stays on the Hessenberg path.
+const SCHUR_MIN_POINTS: usize = 12;
+
+/// `true` when upgrading a sweep group's kernel from Hessenberg to Schur
+/// form pays for its extra QR iteration: the per-point saving is the
+/// Givens triangularization (`O(n²)` with a healthy constant), so the
+/// sweep must be a decent multiple of the order.
+fn schur_amortizes(order: usize, points: usize) -> bool {
+    points >= SCHUR_MIN_POINTS && 4 * points >= order
+}
+
+/// Which per-frequency kernel [`Macromodel::eval_batch`] uses for a
+/// descriptor sweep. The default everywhere is [`SweepStrategy::Auto`];
+/// the forced variants exist for benchmarks, tests and callers that know
+/// their workload shape better than the built-in heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SweepStrategy {
+    /// Heuristic selection: per-point LU for short/small sweeps, one
+    /// shared Hessenberg reduction for medium ones, and a full Schur
+    /// form once the sweep length amortizes the QR iteration.
+    #[default]
+    Auto,
+    /// Force the per-point `O(n³)` LU loop (no shared factorization).
+    PointwiseLu,
+    /// Force the one-time Hessenberg reduction with a per-point Givens
+    /// triangularization (the PR 2 sweep kernel).
+    Hessenberg,
+    /// Force the one-time complex Schur form; each point is a pure
+    /// triangular back-substitution. Falls back to Hessenberg if the QR
+    /// iteration fails to converge (pathological).
+    Schur,
+}
+
+/// The shared factorization a sweep group's per-point solves run
+/// against.
+enum SweepKernel {
+    /// `F⁻¹E = Q Hₘ Qᴴ`: each point pays one Givens triangularization
+    /// of `I + (s−s₀)Hₘ` plus back-substitution.
+    Hessenberg(CMatrix),
+    /// `F⁻¹E = Z Tₘ Zᴴ` with `Tₘ` upper triangular: each point is a
+    /// single back-substitution — no per-point factorization work. The
+    /// `f64` is `Tₘ`'s precomputed strict-upper magnitude (the solver's
+    /// singularity scale, hoisted out of the per-point loop).
+    Schur(CMatrix, f64),
+    /// Diagonalized refinement of the Schur form: when `Tₘ`'s
+    /// eigenvector basis `V` is well-enough conditioned (validated by
+    /// probe points against the back-substitution path at build time),
+    /// the evaluator collapses to the common-pole pole–residue form
+    /// `H(s) = Σᵢ Rᵢ/(1 + t·λᵢ) + D` with rank-1 residues
+    /// `Rᵢ = (C̃V)ᵢ·(V⁻¹B̃)ᵢ` — a whole block of points is then one
+    /// `weights × residues` GEMM. Fields: eigenvalues `λ`, their
+    /// magnitude scale (for the pole cut), and the `n × p·m` residue
+    /// matrix (row `i` = `vec(Rᵢ)`).
+    Modal {
+        lambda: Vec<Complex>,
+        lam_scale: f64,
+        residues: CMatrix,
+    },
+}
 
 /// Frequency-sweep evaluator: the shift-inverted pencil reduced to
-/// Hessenberg form, with the input/output maps rotated into the same
-/// basis. For a shift `s₀` with `F = s₀E − A` regular,
+/// Hessenberg or Schur form, with the input/output maps rotated into the
+/// same basis. For a shift `s₀` with `F = s₀E − A` regular,
 ///
 /// ```text
 /// sE − A = F·(I + (s − s₀)·F⁻¹E)   ⇒
-/// H(s)   = (CQ)·(I + (s − s₀)·Hₘ)⁻¹·(Q*F⁻¹B) + D
+/// H(s)   = (CU)·(I + (s − s₀)·M)⁻¹·(Uᴴ F⁻¹B) + D
 /// ```
 ///
-/// where `F⁻¹E = Q Hₘ Q*`. Each frequency then costs one `O(n²)`
-/// Hessenberg solve instead of an `O(n³)` LU factorization.
+/// where `F⁻¹E = U M Uᴴ` with `M` Hessenberg (`U = Q`) or upper
+/// triangular (`U = Z`, the Schur basis). Each frequency then costs
+/// `O(n²)` — with triangular-solve constants on the Schur path — instead
+/// of an `O(n³)` LU factorization.
 struct SweepEvaluator {
     s0: Complex,
-    hm: CMatrix,
+    kernel: SweepKernel,
     ct: CMatrix,
     bt: CMatrix,
     d: CMatrix,
@@ -37,19 +103,311 @@ struct SweepEvaluator {
 impl SweepEvaluator {
     fn eval(&self, s: Complex) -> Result<CMatrix, StateSpaceError> {
         let t = s - self.s0;
-        let x = match solve_shifted_hessenberg(&self.hm, Complex::ONE, t, &self.bt) {
+        let solved = match &self.kernel {
+            SweepKernel::Hessenberg(hm) => solve_shifted_hessenberg(hm, Complex::ONE, t, &self.bt),
+            SweepKernel::Schur(tm, upper_max) => {
+                solve_shifted_triangular_scaled(tm, Complex::ONE, t, &self.bt, *upper_max)
+            }
+            SweepKernel::Modal {
+                lambda,
+                lam_scale,
+                residues,
+            } => {
+                let mut w = Vec::with_capacity(lambda.len());
+                return match modal_weights(lambda, *lam_scale, t, &mut w) {
+                    Ok(()) => {
+                        let mut out = self.modal_responses(w, 1, residues);
+                        out.pop().expect("one point")
+                    }
+                    Err(NumericError::Singular { .. }) => {
+                        Err(StateSpaceError::EvaluationAtPole { re: s.re, im: s.im })
+                    }
+                    Err(e) => Err(e.into()),
+                };
+            }
+        };
+        let x = match solved {
             Ok(x) => x,
             Err(NumericError::Singular { .. }) => {
                 return Err(StateSpaceError::EvaluationAtPole { re: s.re, im: s.im })
             }
             Err(e) => return Err(e.into()),
         };
-        let mut h = self.ct.matmul(&x)?;
+        self.output_of(&x)
+    }
+
+    /// Evaluates one worker's block of points. On the Schur kernel the
+    /// whole block goes through one multi-shift back-substitution (the
+    /// triangular factor is streamed once per block, not once per point);
+    /// on the modal kernel each point is `n` divisions and a row scale.
+    /// Either way one wide `C̃·[X₁ … X_K]` product finishes the block.
+    /// The arithmetic per point is bit-identical to
+    /// [`SweepEvaluator::eval`], so block boundaries — and therefore the
+    /// thread count — never change the result.
+    fn eval_block(&self, pts: &[Complex]) -> Vec<Result<CMatrix, StateSpaceError>> {
+        match &self.kernel {
+            SweepKernel::Schur(tm, upper_max) => {
+                let shifts: Vec<(Complex, Complex)> =
+                    pts.iter().map(|&s| (Complex::ONE, s - self.s0)).collect();
+                // On error — some shift hit a pole, or the solve failed
+                // — the per-point path below attributes the failure to
+                // the right point and evaluates the rest bit-identically.
+                if let Ok(xs) = solve_shifted_triangular_batch(tm, &shifts, &self.bt, *upper_max) {
+                    return self.outputs_of(&xs);
+                }
+            }
+            SweepKernel::Modal {
+                lambda,
+                lam_scale,
+                residues,
+            } => {
+                // Weight matrix W (K × n), one row of `1/(1 + t·λᵢ)` per
+                // point; the whole block is then W·R plus feed-through.
+                let mut w = Vec::with_capacity(pts.len() * lambda.len());
+                let mut hit_pole = false;
+                for &s in pts {
+                    if modal_weights(lambda, *lam_scale, s - self.s0, &mut w).is_err() {
+                        hit_pole = true;
+                        break;
+                    }
+                }
+                if !hit_pole {
+                    return self.modal_responses(w, pts.len(), residues);
+                }
+                // A pole in the block: fall through to the per-point
+                // path, which attributes it to the right point.
+            }
+            SweepKernel::Hessenberg(_) => {}
+        }
+        pts.iter().map(|&z| self.eval(z)).collect()
+    }
+
+    /// `C̃·X + D` for one point — the per-point output product used by
+    /// the Hessenberg kernel (always) and by the Schur/modal kernels'
+    /// error paths (whose outputs are never returned: a pole in the
+    /// block errors the whole batch). Per-point and therefore
+    /// thread-invariant.
+    fn output_of(&self, x: &CMatrix) -> Result<CMatrix, StateSpaceError> {
+        let mut h = self.ct.matmul(x)?;
         for (h_e, &d_e) in h.as_mut_slice().iter_mut().zip(self.d.as_slice()) {
             *h_e += d_e;
         }
         Ok(h)
     }
+
+    /// `C̃·Xₖ + D` for a whole block of solved points in one wide GEMM:
+    /// the per-point `p×m` panels are packed side by side into a
+    /// `n × K·m` operand, multiplied once, and split back out. Each
+    /// output column's bits depend only on its own point (blocked-kernel
+    /// guarantee), so this equals `K` separate [`Self::output_of`] calls.
+    fn outputs_of(&self, xs: &[CMatrix]) -> Vec<Result<CMatrix, StateSpaceError>> {
+        let k_pts = xs.len();
+        let (_, n) = self.ct.dims();
+        let m = self.d.cols();
+        if k_pts == 0 {
+            return Vec::new();
+        }
+        let mut wide = vec![Complex::ZERO; n * k_pts * m];
+        for (k, x) in xs.iter().enumerate() {
+            let xsl = x.as_slice();
+            for i in 0..n {
+                wide[i * k_pts * m + k * m..i * k_pts * m + (k + 1) * m]
+                    .copy_from_slice(&xsl[i * m..(i + 1) * m]);
+            }
+        }
+        self.outputs_wide(wide, k_pts)
+    }
+
+    /// Modal tail: `W·R` in one GEMM (rows = points), split into
+    /// per-point `p×m` responses with the feed-through added. The
+    /// blocked kernel computes each output row independently, so a
+    /// point's bits do not depend on how many points share the call —
+    /// the scalar path and every block width agree exactly.
+    fn modal_responses(
+        &self,
+        w: Vec<Complex>,
+        k_pts: usize,
+        residues: &CMatrix,
+    ) -> Vec<Result<CMatrix, StateSpaceError>> {
+        let (p, m) = self.d.dims();
+        let n = residues.rows();
+        let w_mat = match CMatrix::from_vec(k_pts, n, w) {
+            Ok(w) => w,
+            Err(e) => return vec![Err(e.into()); k_pts],
+        };
+        let h_rows = match mfti_numeric::kernel::mul_blocked(&w_mat, residues) {
+            Ok(h) => h,
+            Err(e) => return vec![Err(e.into()); k_pts],
+        };
+        let hs = h_rows.as_slice();
+        let ds = self.d.as_slice();
+        (0..k_pts)
+            .map(|k| {
+                let row = &hs[k * p * m..(k + 1) * p * m];
+                let data: Vec<Complex> = row.iter().zip(ds).map(|(&h_e, &d_e)| h_e + d_e).collect();
+                CMatrix::from_vec(p, m, data).map_err(Into::into)
+            })
+            .collect()
+    }
+
+    /// Shared tail of the block paths: multiply the packed `n × K·m`
+    /// state panel by `C̃` once and split the result back into per-point
+    /// `p×m` responses with the feed-through added.
+    fn outputs_wide(
+        &self,
+        wide: Vec<Complex>,
+        k_pts: usize,
+    ) -> Vec<Result<CMatrix, StateSpaceError>> {
+        let (p, n) = self.ct.dims();
+        let m = self.d.cols();
+        let wide = match CMatrix::from_vec(n, k_pts * m, wide) {
+            Ok(w) => w,
+            Err(e) => return vec![Err(e.into()); k_pts],
+        };
+        let h_wide = match mfti_numeric::kernel::mul_blocked(&self.ct, &wide) {
+            Ok(h) => h,
+            Err(e) => return vec![Err(e.into()); k_pts],
+        };
+        let hs = h_wide.as_slice();
+        let ds = self.d.as_slice();
+        (0..k_pts)
+            .map(|k| {
+                let mut data = Vec::with_capacity(p * m);
+                for r in 0..p {
+                    let row = &hs[r * k_pts * m + k * m..r * k_pts * m + (k + 1) * m];
+                    for (h_e, &d_e) in row.iter().zip(&ds[r * m..(r + 1) * m]) {
+                        data.push(*h_e + d_e);
+                    }
+                }
+                CMatrix::from_vec(p, m, data).map_err(Into::into)
+            })
+            .collect()
+    }
+}
+
+/// The modal kernel's per-point weights `wᵢ = 1/(1 + t·λᵢ)`, appended
+/// to `out` — `n` divisions, the cheapest per-frequency kernel in the
+/// sweep family. The pole cut mirrors the triangular solver's: a
+/// denominator vanishing relative to the magnitude scale
+/// (`max(|1 + t·λᵢ|, |t|·max|λ|)`) flags evaluation at a pole.
+fn modal_weights(
+    lambda: &[Complex],
+    lam_scale: f64,
+    t: Complex,
+    out: &mut Vec<Complex>,
+) -> Result<(), NumericError> {
+    let start = out.len();
+    let mut scale_sq = (t.abs() * lam_scale).powi(2).max(f64::MIN_POSITIVE);
+    for &lam in lambda {
+        let d = Complex::ONE + t * lam;
+        scale_sq = scale_sq.max(d.abs_sq());
+        out.push(d);
+    }
+    let cut_sq = (f64::EPSILON * f64::EPSILON) * scale_sq;
+    for d in &mut out[start..] {
+        if d.abs_sq() <= cut_sq {
+            out.truncate(start);
+            return Err(NumericError::Singular { op: "modal solve" });
+        }
+        *d = d.recip();
+    }
+    Ok(())
+}
+
+/// How large `‖V⁻¹·(±1)‖∞` may grow before the eigenbasis is declared
+/// too ill-conditioned to diagonalize: the modal path's deviation from
+/// the back-substitution path scales like `κ(V)·ε`, so this keeps it
+/// well below the sweep's `1e-12` agreement budget.
+const MODAL_MAX_BASIS_GROWTH: f64 = 1e3;
+
+/// Attempts to diagonalize a Schur sweep evaluator: absorb `Tₘ`'s
+/// eigenvector basis `V` into the input/output maps so each point
+/// becomes `n` divisions plus a thin GEMM. The upgrade is kept **only**
+/// when the basis passes two gates — a `‖V⁻¹‖` growth estimate bounding
+/// `κ(V)` ([`MODAL_MAX_BASIS_GROWTH`]), and reproduction of the
+/// back-substitution path to `≤ 1e-13` relative deviation at probe
+/// points spanning the group's magnitude range. Ill-conditioned
+/// eigenbases (clustered resonances) fail a gate and the caller stays
+/// on the guaranteed triangular kernel.
+fn modal_upgrade(base: &SweepEvaluator, sigma: f64) -> Option<SweepEvaluator> {
+    let SweepKernel::Schur(tm, _) = &base.kernel else {
+        return None;
+    };
+    let v = triangular_right_eigenvectors(tm)?;
+    // Conditioning gate: columns of V are unit-norm, so ‖V⁻¹b‖∞ for
+    // ±1-pattern probes lower-bounds κ∞(V) up to a modest factor. Three
+    // sign patterns (alternating, mixed-phase, run-length-3) catch the
+    // common cancellation directions.
+    let n_v = v.rows();
+    let growth_probes = CMatrix::from_fn(n_v, 3, |i, j| match j {
+        0 => c64(if i % 2 == 0 { 1.0 } else { -1.0 }, 0.0),
+        1 => c64(1.0, if i % 3 == 0 { -1.0 } else { 1.0 }),
+        _ => c64(if (i / 3) % 2 == 0 { 1.0 } else { -1.0 }, 0.3),
+    });
+    let growth = solve_shifted_triangular(&v, Complex::ZERO, Complex::ONE, &growth_probes).ok()?;
+    if growth.max_abs() > MODAL_MAX_BASIS_GROWTH {
+        return None;
+    }
+    let bt_m = solve_shifted_triangular(&v, Complex::ZERO, Complex::ONE, &base.bt).ok()?;
+    let ct_m = mfti_numeric::kernel::mul_blocked(&base.ct, &v).ok()?;
+    let n = tm.rows();
+    let (p, m) = (ct_m.rows(), bt_m.cols());
+    let lambda: Vec<Complex> = (0..n).map(|i| tm[(i, i)]).collect();
+    let lam_scale = lambda
+        .iter()
+        .map(|z| z.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    // Rank-1 residues, one flattened p×m matrix per eigenvalue:
+    // Rᵢ = (C̃V)·eᵢ ⊗ eᵢ·(V⁻¹B̃).
+    let ct_s = ct_m.as_slice();
+    let bt_s = bt_m.as_slice();
+    let mut residues = Vec::with_capacity(n * p * m);
+    for i in 0..n {
+        for r in 0..p {
+            let c_ri = ct_s[r * n + i];
+            for c in 0..m {
+                residues.push(c_ri * bt_s[i * m + c]);
+            }
+        }
+    }
+    let residues = CMatrix::from_vec(n, p * m, residues).ok()?;
+    // The modal kernel evaluates purely from (λ, residues, D); the
+    // rotated maps of the Schur basis are not needed.
+    let modal = SweepEvaluator {
+        s0: base.s0,
+        kernel: SweepKernel::Modal {
+            lambda,
+            lam_scale,
+            residues,
+        },
+        ct: CMatrix::zeros(0, 0),
+        bt: CMatrix::zeros(0, 0),
+        d: base.d.clone(),
+    };
+    // Frequency probes covering the full ≤2-decade span a magnitude
+    // group may hold (sigma down to 0.01·sigma), plus one off-axis.
+    let probes = [
+        c64(0.0, sigma),
+        c64(0.0, 0.31 * sigma),
+        c64(0.0, 0.097 * sigma),
+        c64(0.0, 0.031 * sigma),
+        c64(0.0, 0.01 * sigma),
+        c64(0.4 * sigma, 0.9 * sigma),
+    ];
+    // One block evaluation per path: the back-substitution side then
+    // pays its plane-splitting setup once for all probes.
+    let modal_h = modal.eval_block(&probes);
+    let schur_h = base.eval_block(&probes);
+    for (h_modal, h_schur) in modal_h.into_iter().zip(schur_h) {
+        let (Ok(h_modal), Ok(h_schur)) = (h_modal, h_schur) else {
+            return None;
+        };
+        let denom = h_schur.max_abs().max(f64::MIN_POSITIVE);
+        if (&h_modal - &h_schur).max_abs() / denom > 1e-13 {
+            return None;
+        }
+    }
+    Some(modal)
 }
 
 /// A descriptor state-space model `E ẋ = A x + B u`, `y = C x + D u`.
@@ -219,10 +577,12 @@ impl<T: Scalar> DescriptorSystem<T> {
         Ok(self.poles()?.iter().all(|p| p.re < 0.0))
     }
 
-    /// Builds the Hessenberg sweep evaluator for points of magnitude
-    /// `≲ sigma`, or `None` when no well-conditioned shift is found (the
-    /// caller then falls back to per-point LU, which is always correct).
-    fn sweep_evaluator(&self, sigma: f64) -> Option<SweepEvaluator> {
+    /// Builds the sweep evaluator for points of magnitude `≲ sigma`, or
+    /// `None` when no well-conditioned shift is found (the caller then
+    /// falls back to per-point LU, which is always correct). With
+    /// `use_schur` the Hessenberg form is upgraded to a full Schur form
+    /// (falling back to Hessenberg if the QR iteration fails).
+    fn sweep_evaluator(&self, sigma: f64, use_schur: bool) -> Option<SweepEvaluator> {
         let e_c = self.e.to_complex();
         let a_c = self.a.to_complex();
         let n = self.a.rows();
@@ -255,22 +615,157 @@ impl<T: Scalar> DescriptorSystem<T> {
             let Ok(hess) = Hessenberg::compute(&m_mat) else {
                 continue;
             };
-            let (hm, q) = hess.into_parts();
-            let Ok(bt) = q.mul_hermitian_left(&fb) else {
+            // Basis + kernel: the Schur upgrade re-uses the Hessenberg
+            // factorization (the QR iteration starts from Q) and only
+            // costs the accumulated iteration itself.
+            let (kernel, basis) = if use_schur {
+                match Schur::from_hessenberg(&hess) {
+                    Ok(schur) => {
+                        let (tm, z) = schur.into_parts();
+                        let upper_max = strict_upper_max_abs(&tm);
+                        (SweepKernel::Schur(tm, upper_max), z)
+                    }
+                    Err(_) => {
+                        let (hm, q) = hess.into_parts();
+                        (SweepKernel::Hessenberg(hm), q)
+                    }
+                }
+            } else {
+                let (hm, q) = hess.into_parts();
+                (SweepKernel::Hessenberg(hm), q)
+            };
+            let Ok(bt) = basis.mul_hermitian_left(&fb) else {
                 continue;
             };
-            let Ok(ct) = self.c.to_complex().matmul(&q) else {
+            let Ok(ct) = self.c.to_complex().matmul(&basis) else {
                 continue;
             };
-            return Some(SweepEvaluator {
+            let evaluator = SweepEvaluator {
                 s0,
-                hm,
+                kernel,
                 ct,
                 bt,
                 d: self.d.to_complex(),
-            });
+            };
+            // Schur kernels get one more opportunistic upgrade: when
+            // Tₘ's eigenvector basis is well conditioned (validated
+            // against the back-substitution path at probe points), the
+            // sweep collapses further to the diagonal modal form.
+            // (`modal_upgrade` is a no-op for the other kernels.)
+            if let Some(modal) = modal_upgrade(&evaluator, sigma) {
+                return Some(modal);
+            }
+            return Some(evaluator);
         }
         None
+    }
+
+    /// Batched evaluation with explicit control over the sweep kernel
+    /// and the worker count — the engine behind
+    /// [`Macromodel::eval_batch`], exposed for benchmarks, servers with
+    /// their own thread budgets, and determinism tests.
+    ///
+    /// The parallel fan-out uses [`mfti_numeric::parallel`]'s static
+    /// chunking, so for any fixed `strategy` the result is
+    /// **bit-identical for every `threads` value** (including 1).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Macromodel::eval_batch`]: fails with
+    /// [`StateSpaceError::EvaluationAtPole`] for the lowest-index point
+    /// that coincides with a pole.
+    pub fn eval_batch_with(
+        &self,
+        s: &[Complex],
+        strategy: SweepStrategy,
+        threads: usize,
+    ) -> Result<Vec<CMatrix>, StateSpaceError> {
+        if s.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = self.a.rows();
+        let pointwise_only = match strategy {
+            SweepStrategy::PointwiseLu => true,
+            SweepStrategy::Auto => s.len() < SWEEP_MIN_POINTS || n < SWEEP_MIN_ORDER,
+            _ => false,
+        };
+        if pointwise_only {
+            // Tiny sweeps of tiny models don't amortize even a thread
+            // spawn (~10 µs per scoped worker vs ~1 µs per small LU):
+            // stay serial below a total-work floor. Results are
+            // identical either way — this only affects scheduling.
+            let workers = if s.len() * n * n * n < 200_000 {
+                1
+            } else {
+                threads
+            };
+            return parallel::try_map_with(workers, s, |_, &z| self.eval(z));
+        }
+
+        // The shift-inverted pencil loses accuracy when one shift must
+        // cover a huge dynamic range of |s|, so wide sweeps are
+        // segmented into ≤2-decade magnitude groups, each with its own
+        // factorization. Typical log sweeps need one or two groups.
+        let mut by_magnitude: Vec<usize> = (0..s.len()).collect();
+        by_magnitude.sort_by(|&i, &j| s[i].abs().total_cmp(&s[j].abs()));
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut base = 0.0f64;
+        for &i in &by_magnitude {
+            let mag = s[i].abs();
+            match groups.last_mut() {
+                Some(group) if base == 0.0 || mag <= 100.0 * base => {
+                    group.push(i);
+                    if base == 0.0 {
+                        base = mag;
+                    }
+                }
+                _ => {
+                    groups.push(vec![i]);
+                    base = mag;
+                }
+            }
+        }
+
+        // One shared factorization per group, built serially (this is
+        // the O(n³) part); the group's points then fan out across the
+        // workers in contiguous static blocks, each solved with one
+        // multi-shift back-substitution on the Schur path.
+        let workers = threads.max(1);
+        let mut out: Vec<Option<Result<CMatrix, StateSpaceError>>> =
+            (0..s.len()).map(|_| None).collect();
+        for group in &groups {
+            let sigma = group.iter().map(|&i| s[i].abs()).fold(0.0f64, f64::max);
+            let evaluator = match strategy {
+                SweepStrategy::Hessenberg => self.sweep_evaluator(sigma, false),
+                SweepStrategy::Schur => self.sweep_evaluator(sigma, true),
+                // Auto: groups too short to amortize any shared setup
+                // stay on per-point LU; medium groups take the
+                // Hessenberg path; long groups amortize the Schur form.
+                SweepStrategy::Auto if group.len() >= SWEEP_MIN_POINTS => {
+                    self.sweep_evaluator(sigma, schur_amortizes(n, group.len()))
+                }
+                _ => None,
+            };
+            let block_len = group.len().div_ceil(workers).max(1);
+            let blocks: Vec<&[usize]> = group.chunks(block_len).collect();
+            let results = parallel::map_with(workers, &blocks, |_, idxs| match &evaluator {
+                Some(evaluator) => {
+                    let pts: Vec<Complex> = idxs.iter().map(|&i| s[i]).collect();
+                    evaluator.eval_block(&pts)
+                }
+                None => idxs.iter().map(|&i| self.eval(s[i])).collect(),
+            });
+            for (idxs, block) in blocks.iter().zip(results) {
+                for (&i, r) in idxs.iter().zip(block) {
+                    out[i] = Some(r);
+                }
+            }
+        }
+        // Gather in point order, so a pole error is reported for the
+        // lowest-index failing point — same as a serial fail-fast loop.
+        out.into_iter()
+            .map(|r| r.expect("every index visited"))
+            .collect()
     }
 
     /// Promotes the model to complex scalars (no-op for complex models).
@@ -370,51 +865,7 @@ impl<T: Scalar> Macromodel for DescriptorSystem<T> {
     }
 
     fn eval_batch(&self, s: &[Complex]) -> Result<Vec<CMatrix>, StateSpaceError> {
-        if s.len() < SWEEP_MIN_POINTS || self.a.rows() < SWEEP_MIN_ORDER {
-            return s.iter().map(|&z| self.eval(z)).collect();
-        }
-        // The shift-inverted pencil loses accuracy when one shift must
-        // cover a huge dynamic range of |s|, so wide sweeps are
-        // segmented into ≤2-decade magnitude groups, each with its own
-        // Hessenberg setup. Typical log sweeps need one or two groups.
-        let mut by_magnitude: Vec<usize> = (0..s.len()).collect();
-        by_magnitude.sort_by(|&i, &j| s[i].abs().total_cmp(&s[j].abs()));
-        let mut groups: Vec<Vec<usize>> = Vec::new();
-        let mut base = 0.0f64;
-        for &i in &by_magnitude {
-            let mag = s[i].abs();
-            match groups.last_mut() {
-                Some(group) if base == 0.0 || mag <= 100.0 * base => {
-                    group.push(i);
-                    if base == 0.0 {
-                        base = mag;
-                    }
-                }
-                _ => {
-                    groups.push(vec![i]);
-                    base = mag;
-                }
-            }
-        }
-        let mut out: Vec<Option<CMatrix>> = vec![None; s.len()];
-        for group in groups {
-            let sigma = group.iter().map(|&i| s[i].abs()).fold(0.0f64, f64::max);
-            let sweep = if group.len() >= SWEEP_MIN_POINTS {
-                self.sweep_evaluator(sigma)
-            } else {
-                None
-            };
-            for &i in &group {
-                out[i] = Some(match &sweep {
-                    Some(sweep) => sweep.eval(s[i])?,
-                    None => self.eval(s[i])?,
-                });
-            }
-        }
-        Ok(out
-            .into_iter()
-            .map(|h| h.expect("every index visited"))
-            .collect())
+        self.eval_batch_with(s, SweepStrategy::Auto, parallel::available_threads())
     }
 }
 
@@ -678,6 +1129,112 @@ mod tests {
             let direct = sys.eval(s).unwrap();
             let rel = (h - &direct).max_abs() / direct.max_abs().max(1e-300);
             assert!(rel < 1e-12, "complex sweep deviation {rel:.2e}");
+        }
+    }
+
+    #[test]
+    fn eval_batch_empty_sweep_returns_empty() {
+        let sys = resonant_system(24, 2, 1e5, 11);
+        for strategy in [
+            SweepStrategy::Auto,
+            SweepStrategy::PointwiseLu,
+            SweepStrategy::Hessenberg,
+            SweepStrategy::Schur,
+        ] {
+            let out = sys.eval_batch_with(&[], strategy, 4).unwrap();
+            assert!(out.is_empty(), "{strategy:?}");
+        }
+        assert!(sys.eval_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn eval_batch_single_point_skips_shared_setup() {
+        // A single point can never amortize a reduction: Auto must give
+        // exactly the per-point LU answer, bit for bit.
+        let sys = resonant_system(32, 2, 1e5, 13);
+        let pt = [c64(0.0, 3.3e4)];
+        let batch = sys.eval_batch(&pt).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(batch[0].approx_eq(&sys.eval(pt[0]).unwrap(), 0.0));
+    }
+
+    #[test]
+    fn schur_crossover_heuristic_has_sane_shape() {
+        // Single points and tiny sweeps never take the Schur path …
+        assert!(!schur_amortizes(48, 1));
+        assert!(!schur_amortizes(48, SCHUR_MIN_POINTS - 1));
+        // … long sweeps always do …
+        assert!(schur_amortizes(48, 100));
+        assert!(schur_amortizes(96, 100));
+        // … and sweeps much shorter than the order stay on Hessenberg.
+        assert!(!schur_amortizes(96, 12));
+    }
+
+    #[test]
+    fn forced_strategies_agree_with_pointwise_lu() {
+        let sys = resonant_system(28, 3, 1e6, 0xabc);
+        let pts = sweep_points(1e6, 30);
+        let reference: Vec<CMatrix> = pts.iter().map(|&s| sys.eval(s).unwrap()).collect();
+        for strategy in [
+            SweepStrategy::PointwiseLu,
+            SweepStrategy::Hessenberg,
+            SweepStrategy::Schur,
+        ] {
+            let batch = sys.eval_batch_with(&pts, strategy, 1).unwrap();
+            for (h, want) in batch.iter().zip(&reference) {
+                let rel = (h - want).max_abs() / want.max_abs().max(1e-300);
+                assert!(rel < 1e-11, "{strategy:?} deviates {rel:.2e}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        // The deterministic-parallelism guarantee: static chunking with
+        // per-point independence makes the parallel sweep *bit*-equal to
+        // the serial one, for every strategy and thread count.
+        let sys = resonant_system(40, 3, 1e8, 0x7a11);
+        let pts = sweep_points(1e8, 75);
+        for strategy in [
+            SweepStrategy::Auto,
+            SweepStrategy::PointwiseLu,
+            SweepStrategy::Hessenberg,
+            SweepStrategy::Schur,
+        ] {
+            let serial = sys.eval_batch_with(&pts, strategy, 1).unwrap();
+            for threads in [2, 4, mfti_numeric::parallel::available_threads()] {
+                let par = sys.eval_batch_with(&pts, strategy, threads).unwrap();
+                for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                    let identical = a.as_slice().iter().zip(b.as_slice()).all(|(x, y)| {
+                        x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits()
+                    });
+                    assert!(
+                        identical,
+                        "{strategy:?} at {threads} threads differs from serial at point {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn schur_sweep_matches_pointwise_near_poles() {
+        // Ill-conditioned shifts: points parked ~1e-6 relative distance
+        // from resonances still agree with the per-point LU to 1e-11.
+        let sys = resonant_system(24, 2, 1e5, 0x90d);
+        let poles = sys.poles().unwrap();
+        let mut pts: Vec<Complex> = poles
+            .iter()
+            .filter(|p| p.im > 1.0)
+            .take(10)
+            .map(|p| c64(0.0, p.im * (1.0 + 1e-6)))
+            .collect();
+        pts.extend(sweep_points(1e5, 10));
+        let batch = sys.eval_batch_with(&pts, SweepStrategy::Schur, 1).unwrap();
+        for (&s, h) in pts.iter().zip(&batch) {
+            let direct = sys.eval(s).unwrap();
+            let rel = (h - &direct).max_abs() / direct.max_abs().max(1e-300);
+            assert!(rel < 1e-11, "near-pole deviation {rel:.2e} at {s}");
         }
     }
 

@@ -19,7 +19,13 @@
 //! * [`Macromodel`] — the object-safe model surface the fitters return:
 //!   order inspection plus batched sweep evaluation
 //!   ([`Macromodel::eval_batch`]) that hoists factorization work out of
-//!   the per-frequency loop,
+//!   the per-frequency loop. Descriptor sweeps pick a kernel per
+//!   magnitude group ([`SweepStrategy`]): per-point LU for short
+//!   sweeps, a shared Hessenberg reduction for medium ones, and a full
+//!   complex Schur form — opportunistically diagonalized to pole–residue
+//!   form when the eigenbasis validates — once the sweep amortizes it;
+//!   per-point work fans out across cores (`MFTI_THREADS` override,
+//!   bit-identical to serial at any worker count),
 //! * [`bode`] — Bode-diagram extraction helpers used to regenerate the
 //!   paper's Fig. 2.
 //!
@@ -55,7 +61,7 @@ mod rational;
 pub mod simulation;
 mod transfer;
 
-pub use descriptor::DescriptorSystem;
+pub use descriptor::{DescriptorSystem, SweepStrategy};
 pub use error::StateSpaceError;
 pub use macromodel::Macromodel;
 pub use rational::{complex_residue, RationalModel};

@@ -11,11 +11,17 @@
 //! out of the sweep:
 //!
 //! * [`DescriptorSystem`](crate::DescriptorSystem) reduces a
-//!   shift-inverted pencil to Hessenberg form once, turning every
-//!   subsequent frequency into an `O(n²)` solve instead of an `O(n³)`
-//!   LU factorization;
+//!   shift-inverted pencil **once** — to Hessenberg form for medium
+//!   sweeps, or all the way to a complex Schur (and, when the eigenbasis
+//!   validates, diagonal pole–residue) form for long ones — so each
+//!   frequency costs an `O(n²)` solve with triangular or diagonal
+//!   constants instead of an `O(n³)` LU factorization, and fans the
+//!   per-point solves across cores deterministically
+//!   (see [`DescriptorSystem::eval_batch_with`](crate::DescriptorSystem::eval_batch_with)
+//!   and [`SweepStrategy`](crate::SweepStrategy));
 //! * [`RationalModel`](crate::RationalModel) streams each residue
-//!   matrix across all frequencies (pole-outer accumulation).
+//!   matrix across per-worker blocks of the sweep (pole-outer
+//!   accumulation, bit-identical to the serial loop).
 //!
 //! The trait is object-safe: `Box<dyn Macromodel>` is how
 //! method-agnostic drivers hold models produced by different fitters.

@@ -8,6 +8,8 @@
 //! is out of scope for the paper's pipeline (listed as future work in
 //! DESIGN.md).
 
+use mfti_numeric::parallel;
+
 use crate::error::StateSpaceError;
 use crate::transfer::TransferFunction;
 
@@ -61,11 +63,17 @@ pub fn check_on_grid<T: TransferFunction>(
     freqs_hz: &[f64],
     tol: f64,
 ) -> Result<PassivityReport, StateSpaceError> {
+    // The responses come from the batched sweep path (one shared
+    // factorization, parallel per-point solves for descriptor models);
+    // the spectral norms — an SVD per grid point, the dominant cost of
+    // dense screens — fan out across the cores too. The reduction below
+    // is serial in grid order, so the report is deterministic.
+    let responses = model.frequency_response(freqs_hz)?;
+    let gains = parallel::map(&responses, |_, h| h.norm_2());
     let mut max_gain = 0.0f64;
     let mut worst_f_hz = freqs_hz.first().copied().unwrap_or(0.0);
     let mut violations = Vec::new();
-    for &f in freqs_hz {
-        let gain = model.response_at_hz(f)?.norm_2();
+    for (&f, &gain) in freqs_hz.iter().zip(&gains) {
         if gain > max_gain {
             max_gain = gain;
             worst_f_hz = f;

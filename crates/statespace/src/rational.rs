@@ -1,4 +1,4 @@
-use mfti_numeric::{CMatrix, Complex, RMatrix};
+use mfti_numeric::{parallel, CMatrix, Complex, RMatrix};
 
 use crate::descriptor::DescriptorSystem;
 use crate::error::StateSpaceError;
@@ -261,9 +261,6 @@ impl Macromodel for RationalModel {
     }
 
     fn eval_batch(&self, s: &[Complex]) -> Result<Vec<CMatrix>, StateSpaceError> {
-        // Pole-outer accumulation: each residue matrix is loaded once
-        // and streamed across the whole sweep, instead of re-walking the
-        // full pole basis per frequency (cache-friendly for large p·m).
         for (pole, si) in self
             .poles
             .iter()
@@ -276,6 +273,33 @@ impl Macromodel for RationalModel {
                 });
             }
         }
+        // The sweep is cut into one contiguous block of points per
+        // worker (static chunks, so the fan-out is deterministic); each
+        // worker runs the pole-outer accumulation over its block. Every
+        // point still sums its pole basis in the same order as the
+        // serial loop, so the parallel result is bit-identical to it.
+        // Below a total-work floor the pole-outer accumulation is
+        // cheaper than spawning scoped workers (~10 µs each); the
+        // single-block result is identical — only scheduling differs.
+        let threads = if s.len() * self.poles.len() * self.d.as_slice().len() < 100_000 {
+            1
+        } else {
+            parallel::available_threads().min(s.len().max(1))
+        };
+        let chunk_len = s.len().div_ceil(threads.max(1)).max(1);
+        let chunks: Vec<&[Complex]> = s.chunks(chunk_len).collect();
+        let blocks = parallel::map_with(threads, &chunks, |_, block| self.accumulate_block(block));
+        Ok(blocks.into_iter().flatten().collect())
+    }
+}
+
+impl RationalModel {
+    /// Pole-outer accumulation over one block of sweep points: each
+    /// residue matrix is loaded once and streamed across the block,
+    /// instead of re-walking the full pole basis per frequency
+    /// (cache-friendly for large `p·m`). Pole hits must be screened out
+    /// by the caller.
+    fn accumulate_block(&self, s: &[Complex]) -> Vec<CMatrix> {
         let mut out: Vec<CMatrix> = s.iter().map(|_| self.d.clone()).collect();
         for (pole, res) in self.poles.iter().zip(&self.residues) {
             for (si, h) in s.iter().zip(out.iter_mut()) {
@@ -285,7 +309,7 @@ impl Macromodel for RationalModel {
                 }
             }
         }
-        Ok(out)
+        out
     }
 }
 
@@ -475,5 +499,41 @@ mod tests {
             m.eval(c64(-1.0, 2.0)),
             Err(StateSpaceError::EvaluationAtPole { .. })
         ));
+    }
+
+    #[test]
+    fn chunked_batch_is_bit_identical_to_one_block() {
+        // The parallel fan-out splits the sweep into per-worker blocks;
+        // every point must come out bit-equal to the single-block
+        // pole-outer accumulation regardless of the split.
+        let p = c64(-0.25, 4.0);
+        let r = CMatrix::from_fn(3, 2, |i, j| c64(0.3 * i as f64 + 0.1, j as f64 - 0.5));
+        let m = RationalModel::new(
+            vec![p, p.conj(), c64(-1.5, 0.0), c64(-8.0, 0.0)],
+            vec![r.clone(), r.conj(), r.scale(0.2), r.scale(-0.7)],
+            CMatrix::zeros(3, 2),
+        )
+        .unwrap();
+        let pts: Vec<Complex> = (0..61).map(|i| c64(0.0, 0.17 * i as f64)).collect();
+        let one_block = m.accumulate_block(&pts);
+        // Whatever the ambient thread count picks…
+        let batch = m.eval_batch(&pts).unwrap();
+        // …and an explicit worst-case split into uneven parallel chunks.
+        let chunks: Vec<&[Complex]> = pts.chunks(7).collect();
+        let chunked: Vec<CMatrix> =
+            parallel::map_with(4, &chunks, |_, block| m.accumulate_block(block))
+                .into_iter()
+                .flatten()
+                .collect();
+        for variant in [&batch, &chunked] {
+            for (a, b) in one_block.iter().zip(variant) {
+                assert!(a
+                    .as_slice()
+                    .iter()
+                    .zip(b.as_slice())
+                    .all(|(x, y)| x.re.to_bits() == y.re.to_bits()
+                        && x.im.to_bits() == y.im.to_bits()));
+            }
+        }
     }
 }
