@@ -1,23 +1,42 @@
-//! Criterion bench: the two SVD backends (ablation from DESIGN.md §3).
+//! Criterion bench: the three SVD backends (ablation from DESIGN.md §3).
 //!
-//! Golub–Kahan should win by a growing margin; Jacobi exists as an
-//! independent cross-check.
+//! The panel-blocked backend should win by a growing margin above its
+//! panel threshold; Golub–Kahan is the rank-1 reference it is validated
+//! against and Jacobi exists as a structurally independent cross-check.
+//! The `values_only` rows measure what order detection actually pays
+//! (no factor accumulation, no rotation sweeps).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mfti_bench::random_complex;
-use mfti_numeric::{Svd, SvdMethod};
+use mfti_numeric::{Svd, SvdFactors, SvdMethod};
 
 fn bench_svd(c: &mut Criterion) {
     let mut group = c.benchmark_group("svd_backends");
-    for &n in &[32usize, 64, 128] {
+    for &n in &[32usize, 64, 128, 240] {
         let a = random_complex(n, n as u64);
+        // Below its panel threshold (48 columns) the blocked backend
+        // delegates to Golub–Kahan — a "blocked" row there would just
+        // measure the delegate twice, so the blocked rows start at 64.
+        if n >= 64 {
+            group.bench_with_input(BenchmarkId::new("blocked", n), &a, |b, a| {
+                b.iter(|| Svd::compute_with(a, SvdMethod::Blocked).expect("svd"))
+            });
+            group.bench_with_input(BenchmarkId::new("blocked_values_only", n), &a, |b, a| {
+                b.iter(|| {
+                    Svd::compute_factors(a, SvdMethod::Blocked, SvdFactors::ValuesOnly)
+                        .expect("svd")
+                })
+            });
+        }
         group.bench_with_input(BenchmarkId::new("golub_kahan", n), &a, |b, a| {
             b.iter(|| Svd::compute_with(a, SvdMethod::GolubKahan).expect("svd"))
         });
-        group.bench_with_input(BenchmarkId::new("jacobi", n), &a, |b, a| {
-            b.iter(|| Svd::compute_with(a, SvdMethod::Jacobi).expect("svd"))
-        });
+        if n <= 128 {
+            group.bench_with_input(BenchmarkId::new("jacobi", n), &a, |b, a| {
+                b.iter(|| Svd::compute_with(a, SvdMethod::Jacobi).expect("svd"))
+            });
+        }
     }
     group.finish();
 }

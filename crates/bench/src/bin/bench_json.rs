@@ -2,24 +2,31 @@
 //!
 //! Runs the Table-1-shaped workload (noisy 6-port PDN) through **every
 //! fitting engine behind the generic `Fitter` trait** (MFTI t = 2 and
-//! full weights, VFTI, recursive MFTI, vector fitting), benchmarks the
-//! batched `Macromodel::eval_batch` sweep path against the per-frequency
+//! full weights, VFTI, recursive MFTI, vector fitting), times the three
+//! fit stages separately (pencil assembly / order-detection SVD /
+//! realization) through the staged `FitSession`, benchmarks the batched
+//! `Macromodel::eval_batch` sweep path against the per-frequency
 //! evaluation loop on an order-48 descriptor model, and times the raw
-//! 256×256 complex GEMM kernel pair. The `BENCH_*.json` summary records
-//! the perf trajectory of the repo per PR.
+//! 256×256 complex GEMM kernel pair. The `BENCH_*.json` summaries record
+//! the perf trajectory of the repo per PR: end-to-end and sweep numbers
+//! land in `BENCH_end_to_end.json`, the per-stage fit numbers in
+//! `BENCH_fit_stages.json`.
 //!
-//! Timing and serialization both come from the criterion shim, so this
-//! snapshot and `BENCH_JSON`-env bench runs share one schema:
+//! Timing and serialization both come from the criterion shim, so these
+//! snapshots and `BENCH_JSON`-env bench runs share one schema:
 //! `[{id, iterations, min_ns, median_ns, mean_ns}, …]`.
 //!
-//! Usage: `cargo run --release -p mfti-bench --bin bench_json [OUT.json]`
-//! (default output path: `BENCH_end_to_end.json` in the current
-//! directory).
+//! Usage: `cargo run --release -p mfti-bench --bin bench_json
+//! [OUT.json] [STAGES.json]` (defaults: `BENCH_end_to_end.json` and
+//! `BENCH_fit_stages.json` in the current directory).
 
-use criterion::Criterion;
+use criterion::{BenchResult, Criterion};
 
 use mfti_bench::random_complex;
-use mfti_core::{Fitter, Mfti, OrderSelection, RecursiveMfti, Vfti, Weights};
+use mfti_core::{
+    FitSession, Fitter, LoewnerPencil, Mfti, OrderSelection, RecursiveMfti, TangentialData, Vfti,
+    Weights,
+};
 use mfti_numeric::{kernel, parallel};
 use mfti_sampling::generators::{PdnBuilder, RandomSystemBuilder};
 use mfti_sampling::{FrequencyGrid, NoiseModel, SampleSet};
@@ -42,6 +49,9 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_end_to_end.json".to_string());
+    let stages_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_fit_stages.json".to_string());
 
     let samples = workload();
     let selection = OrderSelection::NoiseFloor { factor: 5.0 };
@@ -83,6 +93,38 @@ fn main() {
             b.iter(|| engine.fit(&samples).expect("fit"))
         });
     }
+
+    // --- per-stage fit timings (the mfti_full workload, staged) --------
+    // Where the fit's time goes: tangential data + pencil assembly
+    // (GEMM cross products + row-parallel divisor planes), the
+    // order-detection SVD (values-only blocked path), and realization
+    // (realification + the two single-factor stacked SVDs + the Lemma
+    // 3.4 projections). The stages are timed through the same structures
+    // `FitSession` drives, so they add up to the one-shot fit.
+    let config = Mfti::new().order_selection(selection);
+    let stage_data = TangentialData::build(&samples, Default::default(), &Weights::Full)
+        .expect("tangential data");
+    let stage_pencil = LoewnerPencil::build(&stage_data).expect("pencil");
+    let x0 = stage_pencil.default_x0();
+    let mut stage_session = FitSession::new(config.clone());
+    stage_session.append(&samples).expect("session append");
+    stage_session
+        .singular_values()
+        .expect("order-detection svd");
+    c.sample_size(10)
+        .bench_function("fit_stage/assembly", |b| {
+            b.iter(|| LoewnerPencil::build(&stage_data).expect("assembly"))
+        })
+        .bench_function("fit_stage/svd", |b| {
+            b.iter(|| {
+                stage_pencil
+                    .shifted_pencil_singular_values(x0)
+                    .expect("svd")
+            })
+        })
+        .bench_function("fit_stage/realize", |b| {
+            b.iter(|| stage_session.realize().expect("realize"))
+        });
 
     // --- batched sweep: algorithmic (Schur) × parallel multipliers -----
     // 100-point sweeps over 2 decades at orders {16, 48, 96}. Per order:
@@ -201,6 +243,22 @@ fn main() {
         println!("single hardware thread: parallel multiplier not measurable on this host");
     }
 
-    criterion::write_json(results, &out_path).expect("write timing summary");
+    let stage_ms = |stage: &str| median_of(&format!("fit_stage/{stage}")) / 1e6;
+    println!(
+        "fit stages (mfti_full): assembly {:.2} ms | svd {:.2} ms | realize {:.2} ms | \
+         end-to-end {:.1} ms",
+        stage_ms("assembly"),
+        stage_ms("svd"),
+        stage_ms("realize"),
+        median_of("end_to_end/mfti_full") / 1e6,
+    );
+
+    let (stage_results, main_results): (Vec<BenchResult>, Vec<BenchResult>) = results
+        .iter()
+        .cloned()
+        .partition(|r| r.id.starts_with("fit_stage/"));
+    criterion::write_json(&main_results, &out_path).expect("write timing summary");
     println!("wrote {out_path}");
+    criterion::write_json(&stage_results, &stages_path).expect("write fit-stage summary");
+    println!("wrote {stages_path}");
 }

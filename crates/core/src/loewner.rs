@@ -12,11 +12,33 @@
 //! [`LoewnerPencil::sylvester_residuals`] verifies numerically. The
 //! pencil supports *incremental growth* (appending sample pairs), the
 //! workhorse of the recursive Algorithm 2.
+//!
+//! # Assembly structure
+//!
+//! The numerators of all `K × K` scalar entries are the two cross
+//! products `V·R` and `L·W` of the *stacked* data/direction matrices —
+//! two thin GEMMs through the blocked kernel layer — and the divided
+//! differences are a row-wise elementwise pass over the Cauchy divisor
+//! plane `1/(μ_i − λ_j)`. Row construction fans out across cores
+//! ([`mfti_numeric::parallel`], one contiguous row range per worker);
+//! every row is a pure function of the cross-product rows and the
+//! interpolation points, so the assembled pencil is **bit-identical for
+//! every thread count**, and an [`extend`](LoewnerPencil::extend)-grown
+//! pencil equals the from-scratch [`build`](LoewnerPencil::build)
+//! bit-for-bit (the blocked kernel computes each output entry
+//! independently of the call's width).
 
-use mfti_numeric::{CMatrix, Complex, Svd};
+use std::collections::HashSet;
+
+use mfti_numeric::{kernel, parallel, CMatrix, Complex, Svd};
 
 use crate::data::TangentialData;
 use crate::error::MftiError;
+
+/// Below this pencil order the per-row work cannot amortize a thread
+/// spawn and assembly stays on one worker (results are identical either
+/// way — the gate only affects scheduling).
+const PAR_MIN_ORDER: usize = 96;
 
 /// The assembled (possibly partial) Loewner pencil.
 ///
@@ -30,6 +52,11 @@ pub struct LoewnerPencil {
     /// Stacked data matrices: `W` is `p × K`, `V` is `K × m`.
     w: CMatrix,
     v: CMatrix,
+    /// Stacked direction matrices (promoted to complex once): `L` is
+    /// `K × p`, `R` is `m × K` — the left operands of the assembly
+    /// GEMMs, kept so incremental growth never re-promotes old blocks.
+    l: CMatrix,
+    r: CMatrix,
     /// Interpolation points expanded to scalar columns/rows.
     lambdas: Vec<Complex>,
     mus: Vec<Complex>,
@@ -77,6 +104,8 @@ impl LoewnerPencil {
             sll: CMatrix::zeros(0, 0),
             w: CMatrix::zeros(p, 0),
             v: CMatrix::zeros(0, m),
+            l: CMatrix::zeros(0, p),
+            r: CMatrix::zeros(m, 0),
             lambdas: Vec::new(),
             mus: Vec::new(),
             included_pairs: Vec::new(),
@@ -91,6 +120,12 @@ impl LoewnerPencil {
     /// (step 4 of Algorithm 2: "update W, V, 𝕃 and σ𝕃 instead of
     /// calculating them all from the beginning").
     ///
+    /// The new regions' numerators come from four thin GEMMs over the
+    /// stacked data (`V·R_new`, `L·W_new`, `V_new·R_old`, `L_new·W_old`)
+    /// and the divided differences are applied row-parallel; the grown
+    /// pencil is bit-identical to a from-scratch
+    /// [`build`](LoewnerPencil::build) over the same pair sequence.
+    ///
     /// # Errors
     ///
     /// Returns [`MftiError::InvalidSamples`] for duplicate or
@@ -104,24 +139,28 @@ impl LoewnerPencil {
                 what: "pair index out of range".to_string(),
             });
         }
-        if new_pairs.iter().any(|j| {
-            self.included_pairs.contains(j) || new_pairs.iter().filter(|&x| x == j).count() > 1
-        }) {
+        // Duplicate check through a hash set (against both the already
+        // included pairs and repeats inside `new_pairs`), so large
+        // appends stay O(n) instead of the quadratic scan a nested
+        // `contains` would cost.
+        let mut seen: HashSet<usize> = self.included_pairs.iter().copied().collect();
+        if new_pairs.iter().any(|&j| !seen.insert(j)) {
             return Err(MftiError::InvalidSamples {
                 what: "pair already included".to_string(),
             });
         }
 
-        // Triple index ranges of old and new pairs.
-        let old_pairs = self.included_pairs.clone();
-        let all_pairs: Vec<usize> = old_pairs.iter().chain(new_pairs).copied().collect();
-
         let triples_of = |j: usize| [2 * j, 2 * j + 1];
 
-        // New interpolation points (normalized) and data blocks.
+        // New interpolation points (normalized) and stacked data blocks,
+        // in triple order (conjugates adjacent).
         let inv_scale = 1.0 / self.freq_scale;
         let mut new_lambdas = Vec::new();
         let mut new_mus = Vec::new();
+        let mut w_parts: Vec<&CMatrix> = Vec::new();
+        let mut v_parts: Vec<&CMatrix> = Vec::new();
+        let mut r_parts: Vec<CMatrix> = Vec::new();
+        let mut l_parts: Vec<CMatrix> = Vec::new();
         for &j in new_pairs {
             for idx in triples_of(j) {
                 let rt = &data.right()[idx];
@@ -132,122 +171,120 @@ impl LoewnerPencil {
                 for _ in 0..lt.l.rows() {
                     new_mus.push(lt.mu.scale(inv_scale));
                 }
+                w_parts.push(&rt.w);
+                v_parts.push(&lt.v);
+                r_parts.push(rt.r.to_complex());
+                l_parts.push(lt.l.to_complex());
             }
         }
+        let w_new = CMatrix::hstack(&w_parts)?; // p × K_new
+        let v_new = CMatrix::vstack(&v_parts)?; // K_new × m
+        let r_refs: Vec<&CMatrix> = r_parts.iter().collect();
+        let l_refs: Vec<&CMatrix> = l_parts.iter().collect();
+        let r_new = CMatrix::hstack(&r_refs)?; // m × K_new
+        let l_new = CMatrix::vstack(&l_refs)?; // K_new × p
 
-        // Stack the new W / V blocks.
-        let mut w_parts: Vec<CMatrix> = Vec::new();
-        let mut v_parts: Vec<CMatrix> = Vec::new();
-        for &j in new_pairs {
-            for idx in triples_of(j) {
-                w_parts.push(data.right()[idx].w.clone());
-                v_parts.push(data.left()[idx].v.clone());
-            }
-        }
+        let k_old = self.ll.rows();
+        let k_new = v_new.rows();
+        let k_total = k_old + k_new;
 
-        // Promote the real direction blocks to complex once per triple —
-        // `block` below runs O(K²) times and must not re-allocate these.
-        // Triple indices are dense (2j / 2j+1), so a Vec keeps the hot
-        // assembly loop free of hashing.
-        let num_triples = 2 * data.num_pairs();
-        let mut r_promoted: Vec<Option<CMatrix>> = vec![None; num_triples];
-        let mut l_promoted: Vec<Option<CMatrix>> = vec![None; num_triples];
-        for &j in all_pairs.iter() {
-            for idx in triples_of(j) {
-                r_promoted[idx] = Some(data.right()[idx].r.to_complex());
-                l_promoted[idx] = Some(data.left()[idx].l.to_complex());
-            }
-        }
-
-        // Grow 𝕃 and σ𝕃: [[old, B_new_cols], [C_new_rows, D_corner]].
-        let block = |left_idx: usize, right_idx: usize| -> Result<(CMatrix, CMatrix), MftiError> {
-            let lt = &data.left()[left_idx];
-            let rt = &data.right()[right_idx];
-            let r_c = r_promoted[right_idx].as_ref().expect("promoted above");
-            let l_c = l_promoted[left_idx].as_ref().expect("promoted above");
-            let vr = lt.v.matmul(r_c)?;
-            let lw = l_c.matmul(&rt.w)?;
-            let mu_n = lt.mu.scale(inv_scale);
-            let lambda_n = rt.lambda.scale(inv_scale);
-            let denom = mu_n - lambda_n;
-            let inv = denom.recip();
-            // Single fused pass: 𝕃 = (VR − LW)/(μ−λ), σ𝕃 = (μVR − λLW)/(μ−λ).
-            let (rows, cols) = vr.dims();
-            let mut ll_data = Vec::with_capacity(rows * cols);
-            let mut sll_data = Vec::with_capacity(rows * cols);
-            for (&vr_e, &lw_e) in vr.as_slice().iter().zip(lw.as_slice()) {
-                ll_data.push((vr_e - lw_e) * inv);
-                sll_data.push((vr_e * mu_n - lw_e * lambda_n) * inv);
-            }
-            Ok((
-                CMatrix::from_vec(rows, cols, ll_data)?,
-                CMatrix::from_vec(rows, cols, sll_data)?,
-            ))
-        };
-
-        // Assemble row-block lists per (left pair, right pair) region.
-        let assemble = |left_pairs: &[usize],
-                        right_pairs: &[usize]|
-         -> Result<(CMatrix, CMatrix), MftiError> {
-            let mut ll_rows: Vec<CMatrix> = Vec::new();
-            let mut sll_rows: Vec<CMatrix> = Vec::new();
-            for &lp in left_pairs {
-                for li in triples_of(lp) {
-                    let mut ll_row: Vec<CMatrix> = Vec::new();
-                    let mut sll_row: Vec<CMatrix> = Vec::new();
-                    for &rp in right_pairs {
-                        for ri in triples_of(rp) {
-                            let (a, b) = block(li, ri)?;
-                            ll_row.push(a);
-                            sll_row.push(b);
-                        }
-                    }
-                    let ll_refs: Vec<&CMatrix> = ll_row.iter().collect();
-                    let sll_refs: Vec<&CMatrix> = sll_row.iter().collect();
-                    ll_rows.push(CMatrix::hstack(&ll_refs)?);
-                    sll_rows.push(CMatrix::hstack(&sll_refs)?);
-                }
-            }
-            let ll_refs: Vec<&CMatrix> = ll_rows.iter().collect();
-            let sll_refs: Vec<&CMatrix> = sll_rows.iter().collect();
-            Ok((CMatrix::vstack(&ll_refs)?, CMatrix::vstack(&sll_refs)?))
-        };
-
-        let (ll_new, sll_new) = if old_pairs.is_empty() {
-            assemble(new_pairs, new_pairs)?
+        // Grown stacks (the new rows/cols simply append; the old blocks
+        // are bit-identical by construction).
+        let (v_all, l_all, w_all, r_all) = if k_old == 0 {
+            (v_new, l_new, w_new, r_new)
         } else {
-            let (top_right_ll, top_right_sll) = assemble(&old_pairs, new_pairs)?;
-            let (bottom_left_ll, bottom_left_sll) = assemble(new_pairs, &old_pairs)?;
-            let (corner_ll, corner_sll) = assemble(new_pairs, new_pairs)?;
-            let top_ll = self.ll.append_cols(&top_right_ll)?;
-            let bottom_ll = bottom_left_ll.append_cols(&corner_ll)?;
-            let top_sll = self.sll.append_cols(&top_right_sll)?;
-            let bottom_sll = bottom_left_sll.append_cols(&corner_sll)?;
             (
-                top_ll.append_rows(&bottom_ll)?,
-                top_sll.append_rows(&bottom_sll)?,
+                self.v.append_rows(&v_new)?,
+                self.l.append_rows(&l_new)?,
+                self.w.append_cols(&w_new)?,
+                self.r.append_cols(&r_new)?,
+            )
+        };
+        // Clones rather than takes: every fallible step below happens
+        // before the commit, so `self` stays untouched on error.
+        let mut mus = self.mus.clone();
+        mus.extend(new_mus);
+        let mut lambdas = self.lambdas.clone();
+        lambdas.extend(new_lambdas);
+
+        // Cross products of the new regions, through the *unconditionally
+        // blocked* kernel: each output entry's rounding depends only on
+        // its own row/column operands, never on the call width, which is
+        // what makes extend-grown pencils equal from-scratch builds
+        // bit-for-bit.
+        let (vr_right, lw_right, vr_bottom, lw_bottom) = if k_old == 0 {
+            let vr = kernel::mul_blocked(&v_all, &r_all)?;
+            let lw = kernel::mul_blocked(&l_all, &w_all)?;
+            (vr, lw, CMatrix::zeros(0, 0), CMatrix::zeros(0, 0))
+        } else {
+            let r_strip = r_all.submatrix(0, k_old, r_all.rows(), k_new)?;
+            let w_strip = w_all.submatrix(0, k_old, w_all.rows(), k_new)?;
+            let v_strip = v_all.submatrix(k_old, 0, k_new, v_all.cols())?;
+            let l_strip = l_all.submatrix(k_old, 0, k_new, l_all.cols())?;
+            (
+                kernel::mul_blocked(&v_all, &r_strip)?,
+                kernel::mul_blocked(&l_all, &w_strip)?,
+                kernel::mul_blocked(&v_strip, &r_all.submatrix(0, 0, r_all.rows(), k_old)?)?,
+                kernel::mul_blocked(&l_strip, &w_all.submatrix(0, 0, w_all.rows(), k_old)?)?,
             )
         };
 
+        // Row-parallel divided-difference pass: row i of the grown 𝕃/σ𝕃
+        // is a pure function of the cross-product rows, μ_i and the λs —
+        // bit-identical for every worker count (static chunking).
+        let rows: Vec<usize> = (0..k_total).collect();
+        let workers = if k_total < PAR_MIN_ORDER {
+            1
+        } else {
+            parallel::available_threads()
+        };
+        let old_ll = &self.ll;
+        let old_sll = &self.sll;
+        let built: Vec<(Vec<Complex>, Vec<Complex>)> =
+            parallel::map_with(workers, &rows, |_, &i| {
+                let mu_i = mus[i];
+                let mut ll_row = Vec::with_capacity(k_total);
+                let mut sll_row = Vec::with_capacity(k_total);
+                if i < k_old {
+                    // Old row: copy the existing entries, fill the new
+                    // column strip.
+                    ll_row.extend_from_slice(old_ll.row(i));
+                    sll_row.extend_from_slice(old_sll.row(i));
+                } else if k_old > 0 {
+                    // New row over the old columns.
+                    let vr = vr_bottom.row(i - k_old);
+                    let lw = lw_bottom.row(i - k_old);
+                    for j in 0..k_old {
+                        let inv = (mu_i - lambdas[j]).recip();
+                        ll_row.push((vr[j] - lw[j]) * inv);
+                        sll_row.push((vr[j] * mu_i - lw[j] * lambdas[j]) * inv);
+                    }
+                }
+                let vr = vr_right.row(i);
+                let lw = lw_right.row(i);
+                for (j, &lambda_j) in lambdas[k_old..].iter().enumerate() {
+                    let inv = (mu_i - lambda_j).recip();
+                    ll_row.push((vr[j] - lw[j]) * inv);
+                    sll_row.push((vr[j] * mu_i - lw[j] * lambda_j) * inv);
+                }
+                (ll_row, sll_row)
+            });
+        let mut ll_data = Vec::with_capacity(k_total * k_total);
+        let mut sll_data = Vec::with_capacity(k_total * k_total);
+        for (ll_row, sll_row) in built {
+            ll_data.extend_from_slice(&ll_row);
+            sll_data.extend_from_slice(&sll_row);
+        }
+
         // Commit.
-        self.ll = ll_new;
-        self.sll = sll_new;
-        let w_refs: Vec<&CMatrix> = std::iter::once(&self.w).chain(w_parts.iter()).collect();
-        self.w = if self.w.cols() == 0 {
-            let parts: Vec<&CMatrix> = w_parts.iter().collect();
-            CMatrix::hstack(&parts)?
-        } else {
-            CMatrix::hstack(&w_refs)?
-        };
-        let v_refs: Vec<&CMatrix> = std::iter::once(&self.v).chain(v_parts.iter()).collect();
-        self.v = if self.v.rows() == 0 {
-            let parts: Vec<&CMatrix> = v_parts.iter().collect();
-            CMatrix::vstack(&parts)?
-        } else {
-            CMatrix::vstack(&v_refs)?
-        };
-        self.lambdas.extend(new_lambdas);
-        self.mus.extend(new_mus);
+        self.ll = CMatrix::from_vec(k_total, k_total, ll_data)?;
+        self.sll = CMatrix::from_vec(k_total, k_total, sll_data)?;
+        self.w = w_all;
+        self.v = v_all;
+        self.l = l_all;
+        self.r = r_all;
+        self.lambdas = lambdas;
+        self.mus = mus;
         for &j in new_pairs {
             self.included_pairs.push(j);
             self.pair_ts.push(data.pair_weights()[j]);
@@ -370,7 +407,10 @@ impl LoewnerPencil {
     }
 
     /// Singular values of `x₀𝕃 − σ𝕃` — the paper's order-detection
-    /// signal (Fig. 1) and the input to Lemma 3.4.
+    /// signal (Fig. 1) and the input to Lemma 3.4. Only the values are
+    /// computed ([`mfti_numeric::SvdFactors::ValuesOnly`]): order
+    /// detection never reads the singular vectors, and skipping them
+    /// skips the accumulation phase and all rotation sweeps of the SVD.
     ///
     /// # Errors
     ///
@@ -386,7 +426,7 @@ impl LoewnerPencil {
             .collect();
         let shifted =
             CMatrix::from_vec(self.ll.rows(), self.ll.cols(), data).expect("ll and sll share dims");
-        Ok(Svd::compute(&shifted)?.singular_values().to_vec())
+        Ok(Svd::singular_values_of(&shifted)?)
     }
 
     /// Singular values of `𝕃` itself (rank ≈ `order(Γ)` per the paper's
@@ -396,7 +436,7 @@ impl LoewnerPencil {
     ///
     /// Propagates SVD failures.
     pub fn ll_singular_values(&self) -> Result<Vec<f64>, MftiError> {
-        Ok(Svd::compute(&self.ll)?.singular_values().to_vec())
+        Ok(Svd::singular_values_of(&self.ll)?)
     }
 
     /// Singular values of `σ𝕃` (rank ≈ `order(Γ) + rank(D)`).
@@ -405,7 +445,7 @@ impl LoewnerPencil {
     ///
     /// Propagates SVD failures.
     pub fn sll_singular_values(&self) -> Result<Vec<f64>, MftiError> {
-        Ok(Svd::compute(&self.sll)?.singular_values().to_vec())
+        Ok(Svd::singular_values_of(&self.sll)?)
     }
 
     /// Default shift `x₀`: the first right interpolation point, as

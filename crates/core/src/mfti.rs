@@ -1,8 +1,12 @@
 //! Algorithm 1: MFTI of noise-free (or lightly noisy) data.
 //!
 //! Pipeline: directions → tangential data (Eqs. 6–7) → Loewner pencil
-//! (Eqs. 11–12) → realification (Lemma 3.2) → SVD + projection
-//! (Lemma 3.4) → descriptor model.
+//! (Eqs. 11–12, GEMM-structured assembly) → realification (Lemma 3.2)
+//! → SVD + projection (Lemma 3.4) → descriptor model. The two SVD
+//! consumers ask for exactly what they read: order detection takes
+//! singular values only, and each Lemma 3.4 stacked SVD accumulates a
+//! single factor (`mfti_numeric::SvdFactors`), which skips most of the
+//! decomposition work on the panel-blocked backend.
 
 use std::time::{Duration, Instant};
 

@@ -12,7 +12,7 @@
 //!   singular values of `x₀𝕃 − σ𝕃` still drive order detection — see
 //!   DESIGN.md §5).
 
-use mfti_numeric::{CMatrix, Complex, RMatrix, Svd};
+use mfti_numeric::{CMatrix, Complex, RMatrix, Svd, SvdFactors, SvdMethod};
 use mfti_statespace::DescriptorSystem;
 
 use crate::error::MftiError;
@@ -224,8 +224,11 @@ pub fn realize_real(
     }
     let row_stack = RMatrix::hstack(&[pencil.ll(), pencil.sll()])?;
     let col_stack = RMatrix::vstack(&[pencil.ll(), pencil.sll()])?;
-    let svd_rows = Svd::compute(&row_stack)?;
-    let svd_cols = Svd::compute(&col_stack)?;
+    // Each stacked SVD feeds exactly one projection factor, so the other
+    // side is never accumulated (SvdFactors): the row stack only needs
+    // its left vectors, the column stack only its right vectors.
+    let svd_rows = Svd::compute_factors(&row_stack, SvdMethod::default(), SvdFactors::Left)?;
+    let svd_cols = Svd::compute_factors(&col_stack, SvdMethod::default(), SvdFactors::Right)?;
     let (y_c, _, _) = svd_rows.truncate(order);
     let (_, _, x_c) = svd_cols.truncate(order);
     // Real input ⇒ real factors (up to roundoff); enforce and check.

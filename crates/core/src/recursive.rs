@@ -10,7 +10,7 @@
 use std::time::Instant;
 
 use mfti_sampling::SampleSet;
-use mfti_statespace::TransferFunction;
+use mfti_statespace::Macromodel;
 
 use crate::data::{TangentialData, Weights};
 use crate::directions::DirectionKind;
@@ -213,16 +213,24 @@ impl RecursiveMfti {
             let fit = self.base.fit_pencil(pencil_ref, start)?;
 
             // Tangential residual on the samples not yet admitted
-            // (step 6: err = ‖w − H(λ)r‖ + ‖v − lH(μ)‖).
+            // (step 6: err = ‖w − H(λ)r‖ + ‖v − lH(μ)‖). All λ/μ probes
+            // of the round go through one batched sweep of the freshly
+            // realized model — the shared-factorization kernel instead
+            // of a per-point LU each.
+            let probe_pts: Vec<mfti_numeric::Complex> = remaining
+                .iter()
+                .flat_map(|&j| [data.right()[2 * j].lambda, data.left()[2 * j].mu])
+                .collect();
+            let probe_hs = fit.model.eval_batch(&probe_pts)?;
             let mut errs: Vec<(usize, f64)> = Vec::with_capacity(remaining.len());
-            for &j in &remaining {
+            for (slot, &j) in remaining.iter().enumerate() {
                 let rt = &data.right()[2 * j];
                 let lt = &data.left()[2 * j];
                 let (r_c, l_c) = &promoted[j];
-                let h_r = fit.model.eval(rt.lambda)?;
-                let h_l = fit.model.eval(lt.mu)?;
+                let h_r = &probe_hs[2 * slot];
+                let h_l = &probe_hs[2 * slot + 1];
                 let right_res = (&h_r.matmul(r_c)? - &rt.w).norm_fro();
-                let left_res = (&l_c.matmul(&h_l)? - &lt.v).norm_fro();
+                let left_res = (&l_c.matmul(h_l)? - &lt.v).norm_fro();
                 errs.push((j, right_res + left_res));
             }
             let mean_err = if errs.is_empty() {

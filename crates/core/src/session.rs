@@ -109,8 +109,10 @@ impl FitSession {
     /// Appends samples and grows the pipeline state: tangential data
     /// are rebuilt (the existing triples are bit-identical thanks to
     /// prefix-stable directions), and **only the new rows/columns** of
-    /// the Loewner pencil are computed. The cached order-detection
-    /// signal is invalidated.
+    /// the Loewner pencil are computed — thin GEMM strips plus a
+    /// row-parallel divided-difference pass, landing on the same bits
+    /// as a from-scratch build (see [`LoewnerPencil::extend`]). The
+    /// cached order-detection signal is invalidated.
     ///
     /// The operation is transactional: on error the session is left
     /// unchanged.
@@ -191,7 +193,8 @@ impl FitSession {
     }
 
     /// Singular values of `x₀𝕃 − σ𝕃` for the current pencil — the
-    /// order-detection signal, computed on first use and cached until
+    /// order-detection signal, computed on first use (values-only
+    /// blocked SVD: no singular-vector accumulation) and cached until
     /// the next [`FitSession::append`].
     ///
     /// # Errors

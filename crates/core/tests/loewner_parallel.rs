@@ -1,0 +1,76 @@
+//! Determinism suite for the GEMM-structured Loewner assembly:
+//! `extend`-grown pencils must equal from-scratch builds bit-for-bit,
+//! and duplicate appends must be rejected transactionally. (The
+//! thread-count comparison lives in its own binary,
+//! `loewner_thread_invariance.rs`, because it toggles the
+//! process-global `MFTI_THREADS` variable.)
+
+use mfti_core::{DirectionKind, LoewnerPencil, TangentialData, Weights};
+use mfti_numeric::CMatrix;
+use mfti_sampling::generators::RandomSystemBuilder;
+use mfti_sampling::{FrequencyGrid, SampleSet};
+
+fn tangential_data(order: usize, ports: usize, k: usize) -> TangentialData {
+    let sys = RandomSystemBuilder::new(order, ports, ports)
+        .d_rank(ports)
+        .seed(0x10e1)
+        .build()
+        .unwrap();
+    let grid = FrequencyGrid::log_space(1e3, 1e7, k).unwrap();
+    let set = SampleSet::from_system(&sys, &grid).unwrap();
+    TangentialData::build(
+        &set,
+        DirectionKind::RandomOrthonormal { seed: 11 },
+        &Weights::Full,
+    )
+    .unwrap()
+}
+
+fn bits(m: &CMatrix) -> Vec<(u64, u64)> {
+    m.as_slice()
+        .iter()
+        .map(|z| (z.re.to_bits(), z.im.to_bits()))
+        .collect()
+}
+
+fn assert_pencils_bit_identical(a: &LoewnerPencil, b: &LoewnerPencil, what: &str) {
+    assert_eq!(bits(a.ll()), bits(b.ll()), "{what}: 𝕃 differs");
+    assert_eq!(bits(a.sll()), bits(b.sll()), "{what}: σ𝕃 differs");
+    assert_eq!(bits(a.w()), bits(b.w()), "{what}: W differs");
+    assert_eq!(bits(a.v()), bits(b.v()), "{what}: V differs");
+    assert_eq!(a.lambdas(), b.lambdas(), "{what}: λ differs");
+    assert_eq!(a.mus(), b.mus(), "{what}: μ differs");
+}
+
+#[test]
+fn multi_step_growth_equals_from_scratch_bit_for_bit() {
+    let data = tangential_data(12, 2, 12);
+    // Grow one pair batch at a time — the Algorithm 2 access pattern.
+    let mut grown = LoewnerPencil::build_subset(&data, &[0]).unwrap();
+    for j in 1..6 {
+        grown.extend(&data, &[j]).unwrap();
+    }
+    let direct = LoewnerPencil::build_subset(&data, &[0, 1, 2, 3, 4, 5]).unwrap();
+    assert_pencils_bit_identical(&grown, &direct, "stepwise growth");
+    // Uneven batches land on the same bits too.
+    let mut batched = LoewnerPencil::build_subset(&data, &[0, 1]).unwrap();
+    batched.extend(&data, &[2]).unwrap();
+    batched.extend(&data, &[3, 4, 5]).unwrap();
+    assert_pencils_bit_identical(&batched, &direct, "uneven batches");
+}
+
+#[test]
+fn duplicate_detection_stays_linear_and_correct() {
+    let data = tangential_data(8, 2, 12);
+    let mut pencil = LoewnerPencil::build_subset(&data, &[0, 1]).unwrap();
+    // Already-included and self-duplicated appends are both rejected...
+    assert!(pencil.extend(&data, &[1]).is_err());
+    assert!(pencil.extend(&data, &[2, 3, 2]).is_err());
+    // ...transactionally: the failed appends left nothing behind.
+    assert_eq!(pencil.included_pairs(), &[0, 1]);
+    let direct = LoewnerPencil::build_subset(&data, &[0, 1]).unwrap();
+    assert_pencils_bit_identical(&pencil, &direct, "after rejected appends");
+    // The valid remainder still lands.
+    pencil.extend(&data, &[2, 3]).unwrap();
+    assert_eq!(pencil.included_pairs(), &[0, 1, 2, 3]);
+}

@@ -1,19 +1,22 @@
-//! Elementary Householder reflectors (LAPACK `zlarfg`-style).
+//! Elementary Householder reflectors (LAPACK `zlarfg`/`dlarfg`-style),
+//! generic over the scalar.
 //!
 //! A reflector is stored as `H = I − τ w w*` with `w = [1, v…]`. The
 //! generator guarantees a *real* β in `H* x = β e₁`, which is what makes
-//! the bidiagonal produced by the SVD front-end real.
+//! the bidiagonal produced by the SVD front-ends real. For `f64` the
+//! conjugations degenerate to copies and the generator is exactly
+//! `dlarfg`.
 
-use crate::complex::{c64, Complex};
-use crate::matrix::CMatrix;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
 
 /// A Householder reflector `H = I − τ w w*` with implicit `w[0] = 1`.
 #[derive(Debug, Clone)]
-pub(crate) struct Reflector {
+pub(crate) struct Reflector<T> {
     /// Scaling factor τ (zero encodes the identity reflector).
-    pub tau: Complex,
+    pub tau: T,
     /// Tail of the Householder vector (`w = [1, v…]`).
-    pub v: Vec<Complex>,
+    pub v: Vec<T>,
     /// The real value β such that `H* x = β e₁`.
     pub beta: f64,
 }
@@ -23,36 +26,35 @@ pub(crate) struct Reflector {
 ///
 /// Follows LAPACK `zlarfg` (without the iterative rescaling loop; the
 /// matrices in this workspace are pre-scaled by their norms upstream).
-pub(crate) fn make_reflector(x: &[Complex]) -> Reflector {
+pub(crate) fn make_reflector<T: Scalar>(x: &[T]) -> Reflector<T> {
     assert!(!x.is_empty(), "reflector of empty vector");
     let alpha = x[0];
     let xnorm = x[1..].iter().map(|z| z.abs_sq()).sum::<f64>().sqrt();
-    if xnorm == 0.0 && alpha.im == 0.0 {
+    if xnorm == 0.0 && alpha.im() == 0.0 {
         // Already in the desired form.
         return Reflector {
-            tau: Complex::ZERO,
-            v: vec![Complex::ZERO; x.len() - 1],
-            beta: alpha.re,
+            tau: T::ZERO,
+            v: vec![T::ZERO; x.len() - 1],
+            beta: alpha.re(),
         };
     }
     let norm_full = (alpha.abs_sq() + xnorm * xnorm).sqrt();
-    let beta = if alpha.re >= 0.0 {
+    let beta = if alpha.re() >= 0.0 {
         -norm_full
     } else {
         norm_full
     };
-    let tau = c64((beta - alpha.re) / beta, -alpha.im / beta);
-    let denom = alpha - beta;
-    let scale = denom.recip();
-    let v: Vec<Complex> = x[1..].iter().map(|&z| z * scale).collect();
+    let tau = (T::from_f64(beta) - alpha).scale(1.0 / beta);
+    let denom = alpha - T::from_f64(beta);
+    let v: Vec<T> = x[1..].iter().map(|&z| z / denom).collect();
     Reflector { tau, v, beta }
 }
 
-impl Reflector {
+impl<T: Scalar> Reflector<T> {
     /// Applies `H*` from the left to the block `a[row.., col..]`:
     /// `A := (I − conj(τ) w w*) A`.
-    pub fn apply_left_adjoint(&self, a: &mut CMatrix, row: usize, col: usize) {
-        if self.tau == Complex::ZERO {
+    pub fn apply_left_adjoint(&self, a: &mut Matrix<T>, row: usize, col: usize) {
+        if self.tau == T::ZERO {
             return;
         }
         let m = a.rows();
@@ -76,8 +78,8 @@ impl Reflector {
 
     /// Applies `H` from the left to the block `a[row.., col..]`:
     /// `A := (I − τ w w*) A`. Used when accumulating `Q = H₁H₂…`.
-    pub fn apply_left(&self, a: &mut CMatrix, row: usize, col: usize) {
-        if self.tau == Complex::ZERO {
+    pub fn apply_left(&self, a: &mut Matrix<T>, row: usize, col: usize) {
+        if self.tau == T::ZERO {
             return;
         }
         let n = a.cols();
@@ -97,8 +99,8 @@ impl Reflector {
 
     /// Applies `H = I − τ w w*` from the right to the block
     /// `a[row.., col..]`: `A := A (I − τ w w*)`.
-    pub fn apply_right(&self, a: &mut CMatrix, row: usize, col: usize) {
-        if self.tau == Complex::ZERO {
+    pub fn apply_right(&self, a: &mut Matrix<T>, row: usize, col: usize) {
+        if self.tau == T::ZERO {
             return;
         }
         let m = a.rows();
@@ -121,9 +123,10 @@ impl Reflector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::complex::{c64, Complex};
     use crate::matrix::CMatrix;
 
-    fn reflect_vector(r: &Reflector, x: &[Complex]) -> Vec<Complex> {
+    fn reflect_vector(r: &Reflector<Complex>, x: &[Complex]) -> Vec<Complex> {
         // y = (I − conj(τ) w w^H) x with w = [1, v...]
         let mut w = vec![Complex::ONE];
         w.extend_from_slice(&r.v);

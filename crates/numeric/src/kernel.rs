@@ -715,6 +715,52 @@ pub fn accumulate_scaled<T: Scalar>(
     Ok(())
 }
 
+/// Fused scaled accumulate `C ← C + α·A·Bᴴ` — the adjoint-right
+/// counterpart of [`accumulate_scaled`]. Like [`mul_adjoint_right`],
+/// both operands are already `k`-contiguous (no packing pass); the
+/// conjugation of `B` is folded into the plane split. This is the
+/// trailing-matrix update shape of the panel-blocked bidiagonalization
+/// (`A ← A − V·Yᴴ − X·Uᴴ`).
+///
+/// # Errors
+///
+/// Returns [`NumericError::ShapeMismatch`] when `a.cols() != b.cols()`
+/// or `c.dims() != (a.rows(), b.rows())`.
+pub fn accumulate_scaled_adjoint_right<T: Scalar>(
+    c: &mut Matrix<T>,
+    alpha: T,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Result<(), NumericError> {
+    if a.cols() != b.cols() {
+        return Err(shape_err("accumulate_scaled_adjoint_right", a, b));
+    }
+    if c.dims() != (a.rows(), b.rows()) {
+        return Err(NumericError::ShapeMismatch {
+            op: "accumulate_scaled_adjoint_right",
+            left: c.dims(),
+            right: (a.rows(), b.rows()),
+        });
+    }
+    let (m, kdim, n) = (a.rows(), a.cols(), b.rows());
+    if T::IS_COMPLEX {
+        let (are, aim) = split_rows(a, false);
+        let (bre, bim) = split_rows(b, true);
+        gemm_split(&are, &aim, &bre, &bim, m, n, kdim, alpha, c.as_mut_slice());
+    } else {
+        gemm_packed(
+            a.as_slice(),
+            b.as_slice(),
+            m,
+            n,
+            kdim,
+            alpha,
+            c.as_mut_slice(),
+        );
+    }
+    Ok(())
+}
+
 /// Reference textbook product: per-element `i-j-k` triple loop through
 /// the `Index` operator. Kept as the oracle for property tests and the
 /// baseline the `gemm_kernels` bench measures the blocked path against.

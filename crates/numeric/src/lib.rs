@@ -76,7 +76,7 @@ pub use schur::{
     strict_upper_max_abs, triangular_right_eigenvectors, Schur,
 };
 pub use solve::{lstsq, solve};
-pub use svd::{Svd, SvdMethod};
+pub use svd::{Svd, SvdFactors, SvdMethod};
 
 /// Relative machine tolerance used as the default cut-off in rank
 /// decisions throughout the workspace.

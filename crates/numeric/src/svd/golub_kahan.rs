@@ -4,19 +4,25 @@
 //! The bidiagonalization uses `zlarfg`-style reflectors whose β is real,
 //! so the resulting bidiagonal is real and the iteration can run entirely
 //! in real arithmetic while accumulating real plane rotations into the
-//! complex `U`/`V` factors. The iteration itself is a 0-indexed port of
-//! the LINPACK `dsvdc` loop (as popularized by JAMA), which handles
-//! splitting, deflation and negligible singular values case by case.
+//! complex `U`/`V` factors. Reflectors are applied one at a time with
+//! rank-1 sweeps — the structurally simple reference the panel-blocked
+//! backend ([`super::blocked`]) is validated against.
 
 use crate::complex::Complex;
 use crate::error::NumericError;
 use crate::householder::{make_reflector, Reflector};
 use crate::matrix::CMatrix;
-use crate::svd::normalize_triplets;
+use crate::svd::bidiag_qr::finish_bidiagonal;
 
 /// Computes the thin SVD of `a` (`m × n`, requires `m ≥ n`):
-/// returns `(U m×n, s n, V n×n)` with `A = U diag(s) V*`.
-pub(crate) fn svd_golub_kahan(a: &CMatrix) -> Result<(CMatrix, Vec<f64>, CMatrix), NumericError> {
+/// returns `(U m×n, s n, V n×n)` with `A = U diag(s) V*`. Factors whose
+/// `want_*` flag is false are skipped entirely and returned as `0×0`
+/// matrices; the singular values are identical either way.
+pub(crate) fn svd_golub_kahan(
+    a: &CMatrix,
+    want_u: bool,
+    want_v: bool,
+) -> Result<(CMatrix, Vec<f64>, CMatrix), NumericError> {
     let (m, n) = a.dims();
     debug_assert!(m >= n, "caller must pre-transpose wide matrices");
 
@@ -34,8 +40,8 @@ pub(crate) fn svd_golub_kahan(a: &CMatrix) -> Result<(CMatrix, Vec<f64>, CMatrix
     };
 
     // --- Phase 1: bidiagonalization -------------------------------------
-    let mut left: Vec<Reflector> = Vec::with_capacity(n);
-    let mut right: Vec<Option<Reflector>> = Vec::with_capacity(n);
+    let mut left: Vec<Reflector<Complex>> = Vec::with_capacity(n);
+    let mut right: Vec<Option<Reflector<Complex>>> = Vec::with_capacity(n);
     let mut d = vec![0.0f64; n];
     let mut e = vec![0.0f64; n.saturating_sub(1)];
 
@@ -71,218 +77,36 @@ pub(crate) fn svd_golub_kahan(a: &CMatrix) -> Result<(CMatrix, Vec<f64>, CMatrix
         }
     }
 
-    // --- Phase 2: accumulate U (m×n) and V (n×n) -------------------------
-    let mut u = CMatrix::zeros(m, n);
-    for i in 0..n {
-        u[(i, i)] = Complex::ONE;
-    }
-    for k in (0..n).rev() {
-        left[k].apply_left(&mut u, k, 0);
-    }
-    let mut v = CMatrix::identity(n);
-    for k in (0..n.saturating_sub(1)).rev() {
-        if let Some(refl) = &right[k] {
-            // The right reflector acts on coordinates k+1..n.
-            refl.apply_left(&mut v, k + 1, 0);
+    // --- Phase 2: accumulate the requested factors -----------------------
+    let u = if want_u {
+        let mut u = CMatrix::zeros(m, n);
+        for i in 0..n {
+            u[(i, i)] = Complex::ONE;
         }
-    }
-
-    // --- Phase 3: implicit-shift QR on the real bidiagonal ---------------
-    bidiag_qr(&mut d, &mut e, &mut u, &mut v)?;
-
-    // --- Phase 4: sign/sort normalization --------------------------------
-    normalize_triplets(&mut u, &mut d, &mut v);
-    if rescale != 1.0 {
-        for x in d.iter_mut() {
-            *x *= rescale;
+        for k in (0..n).rev() {
+            left[k].apply_left(&mut u, k, 0);
         }
-    }
-    Ok((u, d, v))
-}
-
-/// Rotates columns `a`,`b` of a complex matrix by a real plane rotation.
-#[inline]
-fn rotate_cols(m: &mut CMatrix, a: usize, b: usize, cs: f64, sn: f64) {
-    for i in 0..m.rows() {
-        let t = m[(i, a)].scale(cs) + m[(i, b)].scale(sn);
-        let s = m[(i, b)].scale(cs) - m[(i, a)].scale(sn);
-        m[(i, a)] = t;
-        m[(i, b)] = s;
-    }
-}
-
-/// Diagonalizes the real bidiagonal `(d, e)` in place, accumulating the
-/// left rotations into `u` and the right rotations into `v`.
-///
-/// Port of the LINPACK `dsvdc` / JAMA iteration (0-indexed). `d` may end
-/// up with negative entries; the caller normalizes signs.
-fn bidiag_qr(
-    d: &mut [f64],
-    e_in: &mut [f64],
-    u: &mut CMatrix,
-    v: &mut CMatrix,
-) -> Result<(), NumericError> {
-    let n = d.len();
-    if n == 0 {
-        return Ok(());
-    }
-    // The iteration uses e[0..n] with e[n-1] unused (kept 0).
-    let mut e = vec![0.0f64; n];
-    e[..n - 1].copy_from_slice(e_in);
-
-    let eps = f64::EPSILON;
-    let tiny = f64::MIN_POSITIVE / eps;
-    let mut p = n;
-    let mut iter = 0usize;
-    let max_total_iters = 80 * n.max(8);
-    let mut total = 0usize;
-
-    while p > 0 {
-        total += 1;
-        if total > max_total_iters * 4 {
-            return Err(NumericError::NoConvergence {
-                op: "bidiagonal qr",
-                iterations: total,
-            });
-        }
-
-        // Find the largest k in [-1, p-2] with negligible e[k].
-        let mut k: isize = p as isize - 2;
-        while k >= 0 {
-            let ku = k as usize;
-            if e[ku].abs() <= tiny + eps * (d[ku].abs() + d[ku + 1].abs()) {
-                e[ku] = 0.0;
-                break;
-            }
-            k -= 1;
-        }
-
-        let kase;
-        if k == p as isize - 2 {
-            kase = 4; // s[p-1] converged
-        } else {
-            // Look for a negligible diagonal entry in (k, p-1].
-            let mut ks: isize = p as isize - 1;
-            while ks > k {
-                let ksu = ks as usize;
-                let t = if ks != p as isize - 1 {
-                    e[ksu].abs()
-                } else {
-                    0.0
-                } + if ks != k + 1 { e[ksu - 1].abs() } else { 0.0 };
-                if d[ksu].abs() <= tiny + eps * t {
-                    d[ksu] = 0.0;
-                    break;
-                }
-                ks -= 1;
-            }
-            if ks == k {
-                kase = 3; // one QR step
-            } else if ks == p as isize - 1 {
-                kase = 1; // zero the last diagonal entry
-            } else {
-                kase = 2; // split at the zero diagonal
-                k = ks;
+        u
+    } else {
+        CMatrix::zeros(0, 0)
+    };
+    let v = if want_v {
+        let mut v = CMatrix::identity(n);
+        for k in (0..n.saturating_sub(1)).rev() {
+            if let Some(refl) = &right[k] {
+                // The right reflector acts on coordinates k+1..n.
+                refl.apply_left(&mut v, k + 1, 0);
             }
         }
-        let k = (k + 1) as usize;
+        v
+    } else {
+        CMatrix::zeros(0, 0)
+    };
 
-        match kase {
-            // Deflate negligible d[p-1]: chase e[p-2] upward, rotating V.
-            1 => {
-                let mut f = e[p - 2];
-                e[p - 2] = 0.0;
-                for j in (k..p - 1).rev() {
-                    let t = d[j].hypot(f);
-                    let cs = d[j] / t;
-                    let sn = f / t;
-                    d[j] = t;
-                    if j != k {
-                        f = -sn * e[j - 1];
-                        e[j - 1] *= cs;
-                    }
-                    rotate_cols(v, j, p - 1, cs, sn);
-                }
-            }
-            // Split: zero e[k-1] by chasing it rightward, rotating U.
-            2 => {
-                let mut f = e[k - 1];
-                e[k - 1] = 0.0;
-                for j in k..p {
-                    let t = d[j].hypot(f);
-                    let cs = d[j] / t;
-                    let sn = f / t;
-                    d[j] = t;
-                    f = -sn * e[j];
-                    e[j] *= cs;
-                    rotate_cols(u, j, k - 1, cs, sn);
-                }
-            }
-            // One implicit-shift QR step on the window [k, p-1].
-            3 => {
-                iter += 1;
-                if iter > max_total_iters {
-                    return Err(NumericError::NoConvergence {
-                        op: "bidiagonal qr",
-                        iterations: iter,
-                    });
-                }
-                let scale = d[p - 1]
-                    .abs()
-                    .max(d[p - 2].abs())
-                    .max(e[p - 2].abs())
-                    .max(d[k].abs())
-                    .max(e[k].abs());
-                let sp = d[p - 1] / scale;
-                let spm1 = d[p - 2] / scale;
-                let epm1 = e[p - 2] / scale;
-                let sk = d[k] / scale;
-                let ek = e[k] / scale;
-                let b = ((spm1 + sp) * (spm1 - sp) + epm1 * epm1) / 2.0;
-                let c = (sp * epm1) * (sp * epm1);
-                let mut shift = 0.0;
-                if b != 0.0 || c != 0.0 {
-                    shift = (b * b + c).sqrt();
-                    if b < 0.0 {
-                        shift = -shift;
-                    }
-                    shift = c / (b + shift);
-                }
-                let mut f = (sk + sp) * (sk - sp) + shift;
-                let mut g = sk * ek;
-                for j in k..p - 1 {
-                    let mut t = f.hypot(g);
-                    let mut cs = f / t;
-                    let mut sn = g / t;
-                    if j != k {
-                        e[j - 1] = t;
-                    }
-                    f = cs * d[j] + sn * e[j];
-                    e[j] = cs * e[j] - sn * d[j];
-                    g = sn * d[j + 1];
-                    d[j + 1] *= cs;
-                    rotate_cols(v, j, j + 1, cs, sn);
-                    t = f.hypot(g);
-                    cs = f / t;
-                    sn = g / t;
-                    d[j] = t;
-                    f = cs * e[j] + sn * d[j + 1];
-                    d[j + 1] = -sn * e[j] + cs * d[j + 1];
-                    g = sn * e[j + 1];
-                    e[j + 1] *= cs;
-                    rotate_cols(u, j, j + 1, cs, sn);
-                }
-                e[p - 2] = f;
-            }
-            // Convergence of d[k] (sign fixed later by normalize_triplets;
-            // local ordering handled there too).
-            _ => {
-                iter = 0;
-                p -= 1;
-            }
-        }
-    }
-    Ok(())
+    // --- Phases 3+4: shared QR iteration + normalization -----------------
+    // (contiguous row rotations on the transposed factors — bit-identical
+    // arithmetic to column rotations).
+    finish_bidiagonal(u, v, d, e, want_u, want_v, rescale)
 }
 
 #[cfg(test)]
@@ -374,5 +198,25 @@ mod tests {
         let b = pseudo_random_complex(4, 4, 10).scale(1e-200);
         let svd = Svd::compute(&b).unwrap();
         assert!(svd.singular_values()[0] > 0.0);
+    }
+
+    #[test]
+    fn partial_factor_runs_reproduce_the_full_run() {
+        // Skipping a factor must not perturb the singular values (the
+        // rotation stream is identical) or the surviving factor.
+        for &(m, n) in &[(9, 6), (12, 12), (20, 7)] {
+            let a = pseudo_random_complex(m, n, (m * 7 + n) as u64);
+            let (u_full, s_full, v_full) = svd_golub_kahan(&a, true, true).unwrap();
+            let (u_only, s_u, v_skip) = svd_golub_kahan(&a, true, false).unwrap();
+            let (u_skip, s_v, v_only) = svd_golub_kahan(&a, false, true).unwrap();
+            let (u_none, s_none, v_none) = svd_golub_kahan(&a, false, false).unwrap();
+            assert!(v_skip.is_empty() && u_skip.is_empty());
+            assert!(u_none.is_empty() && v_none.is_empty());
+            for s in [&s_u, &s_v, &s_none] {
+                assert_eq!(&s_full, s, "singular values must match bit-for-bit");
+            }
+            assert!(u_only.approx_eq(&u_full, 0.0), "left factor drifted");
+            assert!(v_only.approx_eq(&v_full, 0.0), "right factor drifted");
+        }
     }
 }

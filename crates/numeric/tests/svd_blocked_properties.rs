@@ -1,0 +1,218 @@
+//! Property suite for the panel-blocked SVD backend: reconstruction,
+//! orthonormality, oracle agreement against the rank-1 Golub–Kahan
+//! reference, rank decisions at order-selection tolerances and partial
+//! factors. (Thread-count invariance lives in its own binary,
+//! `svd_thread_invariance.rs`, because it toggles the process-global
+//! `MFTI_THREADS` variable.)
+
+use mfti_numeric::{c64, CMatrix, Svd, SvdFactors, SvdMethod};
+
+fn pseudo_random_complex(m: usize, n: usize, mut seed: u64) -> CMatrix {
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    CMatrix::from_fn(m, n, |_, _| c64(next(), next()))
+}
+
+/// A matrix with prescribed singular values: `Q₁ · diag(s) · Q₂ᴴ` with
+/// `Q`s from the QR of random matrices.
+fn with_singular_values(m: usize, n: usize, s: &[f64], seed: u64) -> CMatrix {
+    let q1 = mfti_numeric::Qr::compute(&pseudo_random_complex(m, m, seed))
+        .unwrap()
+        .q_thin();
+    let q2 = mfti_numeric::Qr::compute(&pseudo_random_complex(n, n, seed ^ 0xabcd))
+        .unwrap()
+        .q_thin();
+    let mut core = CMatrix::zeros(m, n);
+    for (i, &sv) in s.iter().enumerate() {
+        core[(i, i)] = c64(sv, 0.0);
+    }
+    q1.matmul(&core).unwrap().mul_adjoint_right(&q2).unwrap()
+}
+
+fn check_svd(a: &CMatrix, svd: &Svd, tol: f64) {
+    let r = a.rows().min(a.cols());
+    // Descending non-negative values.
+    for w in svd.singular_values().windows(2) {
+        assert!(w[0] >= w[1] - 1e-12, "not sorted");
+    }
+    assert!(svd.singular_values().iter().all(|&x| x >= 0.0));
+    // Reconstruction.
+    let err = (&svd.reconstruct() - a).norm_fro();
+    assert!(
+        err <= tol * a.norm_fro().max(1.0),
+        "reconstruction error {err:.3e} at {:?}",
+        a.dims()
+    );
+    // Orthonormality of both factors.
+    for f in [svd.u(), svd.v()] {
+        let fhf = f.adjoint().matmul(f).unwrap();
+        assert!(
+            fhf.approx_eq(&CMatrix::identity(r), 1e-10),
+            "factor not orthonormal at {:?}",
+            a.dims()
+        );
+    }
+}
+
+#[test]
+fn blocked_reconstruction_to_n96() {
+    // Square, tall and just-above-threshold shapes up to n = 96, well
+    // inside the acceptance budget of 1e-10.
+    for &(m, n) in &[
+        (48, 48),
+        (50, 49),
+        (64, 64),
+        (96, 96),
+        (96, 64),
+        (128, 96),
+        (192, 96),
+        (96, 128), // wide: exercises the adjoint dispatch
+    ] {
+        let a = pseudo_random_complex(m, n, (m * 131 + n) as u64);
+        let svd = Svd::compute_with(&a, SvdMethod::Blocked).unwrap();
+        check_svd(&a, &svd, 1e-11);
+    }
+}
+
+#[test]
+fn blocked_agrees_with_golub_kahan_oracle() {
+    for &(m, n) in &[(64, 64), (96, 96), (160, 96), (96, 80)] {
+        let a = pseudo_random_complex(m, n, (m * 7 + n * 3) as u64);
+        let bl = Svd::compute_with(&a, SvdMethod::Blocked).unwrap();
+        let gk = Svd::compute_with(&a, SvdMethod::GolubKahan).unwrap();
+        let smax = gk.singular_values()[0];
+        for (x, y) in bl.singular_values().iter().zip(gk.singular_values()) {
+            assert!(
+                (x - y).abs() < 1e-12 * smax,
+                "σ deviates from the oracle: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rank_decisions_match_the_oracle_at_order_selection_tolerances() {
+    // Graded spectra with deliberate gaps at the magnitudes order
+    // selection probes (1e-12 threshold, noise-floor factors): both
+    // backends must cut at identical ranks for every tolerance.
+    let spectra: Vec<Vec<f64>> = vec![
+        // Clean gap: order-10 system in a K = 64 pencil.
+        (0..64)
+            .map(|i| if i < 10 { 10.0 / (1 + i) as f64 } else { 1e-13 })
+            .collect(),
+        // Noise floor at 1e-6 under a 20-value signal.
+        (0..72)
+            .map(|i| {
+                if i < 20 {
+                    (20 - i) as f64
+                } else {
+                    1e-6 * (1.0 + (i as f64 * 0.37).sin().abs())
+                }
+            })
+            .collect(),
+        // Gradual decay with no gap (the hard case).
+        (0..56i32).map(|i| 0.5f64.powi(i / 2)).collect(),
+    ];
+    for (case, sv) in spectra.iter().enumerate() {
+        let n = sv.len();
+        let a = with_singular_values(n + 16, n, sv, 0x5eed + case as u64);
+        let bl = Svd::compute_factors(&a, SvdMethod::Blocked, SvdFactors::ValuesOnly).unwrap();
+        let gk = Svd::compute_factors(&a, SvdMethod::GolubKahan, SvdFactors::ValuesOnly).unwrap();
+        // Tolerances sit *between* spectrum values, never on one: a cut
+        // that lands exactly on a σ would test which backend rounds a
+        // boundary value by one ulp, not the rank decision itself.
+        for tol in [1e-15, 1e-12, 1e-9, 1e-6, 1e-3, 0.27] {
+            assert_eq!(
+                bl.rank(tol),
+                gk.rank(tol),
+                "case {case}: rank decision differs at tol {tol:e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn partial_factors_match_the_full_run_bit_for_bit() {
+    for &(m, n) in &[(64, 64), (128, 96)] {
+        let a = pseudo_random_complex(m, n, (m + n) as u64);
+        let full = Svd::compute_with(&a, SvdMethod::Blocked).unwrap();
+        let left = Svd::compute_factors(&a, SvdMethod::Blocked, SvdFactors::Left).unwrap();
+        let right = Svd::compute_factors(&a, SvdMethod::Blocked, SvdFactors::Right).unwrap();
+        let vals = Svd::compute_factors(&a, SvdMethod::Blocked, SvdFactors::ValuesOnly).unwrap();
+        for s in [
+            left.singular_values(),
+            right.singular_values(),
+            vals.singular_values(),
+        ] {
+            assert_eq!(full.singular_values(), s, "values must be bit-identical");
+        }
+        assert!(left.u().approx_eq(full.u(), 0.0), "left factor drifted");
+        assert!(right.v().approx_eq(full.v(), 0.0), "right factor drifted");
+        assert!(left.v().is_empty() && right.u().is_empty() && vals.u().is_empty());
+    }
+}
+
+#[test]
+fn values_only_solves_rank_queries_of_wide_inputs() {
+    // Wide + ValuesOnly goes through the adjoint swap with both factor
+    // requests remapped; rank must match the tall case.
+    let sv: Vec<f64> = (0..60).map(|i| if i < 13 { 2.0 } else { 0.0 }).collect();
+    let a = with_singular_values(60, 60, &sv, 99);
+    let wide = a.submatrix(0, 0, 48, 60).unwrap();
+    let svd = Svd::compute_factors(&wide, SvdMethod::Blocked, SvdFactors::ValuesOnly).unwrap();
+    assert_eq!(svd.rank(1e-10), 13);
+}
+
+#[test]
+fn real_inputs_run_the_real_panel_path() {
+    // The blocked backend is scalar-generic: a real matrix never gets
+    // promoted to complex on the way in (the realification hands the
+    // realization stage exactly this case). Reconstruction, oracle
+    // agreement and factor realness all must hold.
+    use mfti_numeric::RMatrix;
+    let mut seed = 0xdeadu64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    for &(m, n) in &[(96, 96), (192, 96), (64, 128)] {
+        let a = RMatrix::from_fn(m, n, |_, _| next());
+        let bl = Svd::compute_with(&a, SvdMethod::Blocked).unwrap();
+        let gk = Svd::compute_with(&a, SvdMethod::GolubKahan).unwrap();
+        let smax = gk.singular_values()[0];
+        for (x, y) in bl.singular_values().iter().zip(gk.singular_values()) {
+            assert!(
+                (x - y).abs() < 1e-12 * smax,
+                "({m},{n}): σ deviates from oracle"
+            );
+        }
+        let err = (&bl.reconstruct() - &a.to_complex()).norm_fro();
+        assert!(
+            err < 1e-11 * a.norm_fro(),
+            "({m},{n}): reconstruction error {err:.3e}"
+        );
+        // Real input ⇒ exactly real factors (the computation never
+        // leaves real arithmetic, so this is equality, not tolerance).
+        assert!(bl.u().iter().all(|z| z.im == 0.0), "U has imaginary dust");
+        assert!(bl.v().iter().all(|z| z.im == 0.0), "V has imaginary dust");
+    }
+}
+
+#[test]
+fn jacobi_cross_check_on_a_blocked_size() {
+    // Structurally unrelated backend at a panel-path size: agreement to
+    // a loose common tolerance guards against systematic bias.
+    let a = pseudo_random_complex(72, 64, 4242);
+    let bl = Svd::compute_with(&a, SvdMethod::Blocked).unwrap();
+    let ja = Svd::compute_with(&a, SvdMethod::Jacobi).unwrap();
+    let smax = bl.singular_values()[0];
+    for (x, y) in bl.singular_values().iter().zip(ja.singular_values()) {
+        assert!((x - y).abs() < 1e-9 * smax);
+    }
+}

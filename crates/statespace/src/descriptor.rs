@@ -1,3 +1,6 @@
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use mfti_numeric::{
     c64, generalized_eigenvalues, parallel, solve_shifted_hessenberg, solve_shifted_triangular,
     solve_shifted_triangular_batch, solve_shifted_triangular_scaled, strict_upper_max_abs,
@@ -410,6 +413,64 @@ fn modal_upgrade(base: &SweepEvaluator, sigma: f64) -> Option<SweepEvaluator> {
     Some(modal)
 }
 
+/// Memoized sweep factorizations, keyed on the magnitude-group scale
+/// and the kernel flavor the group selected.
+///
+/// Building a [`SweepEvaluator`] is the `O(n³)` part of a batched sweep
+/// (LU + Hessenberg + Schur + modal validation); repeated sweeps of the
+/// same model — the serving-layer hot path — hit the cache and pay only
+/// per-point work. The cache can never go stale: a
+/// [`DescriptorSystem`]'s matrices are immutable after construction
+/// (every "mutation" builds a new system, and [`Clone`] starts the copy
+/// with an empty cache), so a cached evaluator is exactly the one a
+/// fresh build would produce. Entries are capped; see
+/// [`SWEEP_CACHE_MAX_ENTRIES`].
+struct SweepCache {
+    map: Mutex<HashMap<(u64, bool), Arc<SweepEvaluator>>>,
+}
+
+/// Upper bound on distinct (magnitude group, kernel flavor) entries kept
+/// per system. Sweeps of one model reuse a handful of magnitude groups;
+/// hitting the cap (adversarially many distinct sigmas) clears the map
+/// rather than growing without bound.
+const SWEEP_CACHE_MAX_ENTRIES: usize = 32;
+
+impl SweepCache {
+    fn new() -> Self {
+        SweepCache {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Cache key: the exact bit pattern of the group's magnitude scale
+    /// plus the Schur-upgrade flag — the only inputs
+    /// [`DescriptorSystem::sweep_evaluator`] depends on besides the
+    /// (immutable) matrices.
+    fn key(sigma: f64, use_schur: bool) -> (u64, bool) {
+        (sigma.to_bits(), use_schur)
+    }
+
+    fn get(&self, sigma: f64, use_schur: bool) -> Option<Arc<SweepEvaluator>> {
+        self.map
+            .lock()
+            .expect("sweep cache lock")
+            .get(&Self::key(sigma, use_schur))
+            .cloned()
+    }
+
+    fn insert(&self, sigma: f64, use_schur: bool, evaluator: Arc<SweepEvaluator>) {
+        let mut map = self.map.lock().expect("sweep cache lock");
+        if map.len() >= SWEEP_CACHE_MAX_ENTRIES {
+            map.clear();
+        }
+        map.insert(Self::key(sigma, use_schur), evaluator);
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().expect("sweep cache lock").len()
+    }
+}
+
 /// A descriptor state-space model `E ẋ = A x + B u`, `y = C x + D u`.
 ///
 /// `E` may be singular (then the model is a true descriptor system, which
@@ -435,13 +496,52 @@ fn modal_upgrade(base: &SweepEvaluator, sigma: f64) -> Option<SweepEvaluator> {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq)]
 pub struct DescriptorSystem<T: Scalar> {
     e: Matrix<T>,
     a: Matrix<T>,
     b: Matrix<T>,
     c: Matrix<T>,
     d: Matrix<T>,
+    /// Memoized sweep factorizations (never stale: the matrices above
+    /// are immutable after construction). Deliberately excluded from
+    /// `Clone`/`PartialEq`/`Debug` — it is a performance artifact, not
+    /// model state.
+    sweep_cache: SweepCache,
+}
+
+impl<T: Scalar> Clone for DescriptorSystem<T> {
+    fn clone(&self) -> Self {
+        DescriptorSystem {
+            e: self.e.clone(),
+            a: self.a.clone(),
+            b: self.b.clone(),
+            c: self.c.clone(),
+            d: self.d.clone(),
+            sweep_cache: SweepCache::new(),
+        }
+    }
+}
+
+impl<T: Scalar> PartialEq for DescriptorSystem<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.e == other.e
+            && self.a == other.a
+            && self.b == other.b
+            && self.c == other.c
+            && self.d == other.d
+    }
+}
+
+impl<T: Scalar> std::fmt::Debug for DescriptorSystem<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DescriptorSystem")
+            .field("e", &self.e)
+            .field("a", &self.a)
+            .field("b", &self.b)
+            .field("c", &self.c)
+            .field("d", &self.d)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<T: Scalar> DescriptorSystem<T> {
@@ -484,7 +584,14 @@ impl<T: Scalar> DescriptorSystem<T> {
                 what: "D must be p×m",
             });
         }
-        Ok(DescriptorSystem { e, a, b, c, d })
+        Ok(DescriptorSystem {
+            e,
+            a,
+            b,
+            c,
+            d,
+            sweep_cache: SweepCache::new(),
+        })
     }
 
     /// Builds an ordinary state-space model (`E = I`).
@@ -535,9 +642,14 @@ impl<T: Scalar> DescriptorSystem<T> {
     /// `rank(E)` — the number of dynamic (finite-pole) states, the
     /// quantity the paper calls `order(Γ)`.
     ///
-    /// Computed by SVD with the crate-default rank tolerance.
+    /// Computed by SVD (singular values only) with the crate-default
+    /// rank tolerance.
     pub fn dynamic_order(&self) -> usize {
-        match mfti_numeric::Svd::compute(&self.e) {
+        match mfti_numeric::Svd::compute_factors(
+            &self.e,
+            mfti_numeric::SvdMethod::default(),
+            mfti_numeric::SvdFactors::ValuesOnly,
+        ) {
             Ok(svd) => svd.rank(mfti_numeric::DEFAULT_RANK_TOL),
             Err(_) => 0,
         }
@@ -726,26 +838,40 @@ impl<T: Scalar> DescriptorSystem<T> {
             }
         }
 
-        // One shared factorization per group, built serially (this is
-        // the O(n³) part); the group's points then fan out across the
-        // workers in contiguous static blocks, each solved with one
-        // multi-shift back-substitution on the Schur path.
+        // One shared factorization per group — memoized on the model
+        // (`SweepCache`), so repeated sweeps of the same model skip the
+        // O(n³) build and pay only per-point work; the group's points
+        // then fan out across the workers in contiguous static blocks,
+        // each solved with one multi-shift back-substitution on the
+        // Schur path.
         let workers = threads.max(1);
         let mut out: Vec<Option<Result<CMatrix, StateSpaceError>>> =
             (0..s.len()).map(|_| None).collect();
         for group in &groups {
             let sigma = group.iter().map(|&i| s[i].abs()).fold(0.0f64, f64::max);
-            let evaluator = match strategy {
-                SweepStrategy::Hessenberg => self.sweep_evaluator(sigma, false),
-                SweepStrategy::Schur => self.sweep_evaluator(sigma, true),
+            let shared_kernel = match strategy {
+                SweepStrategy::Hessenberg => Some(false),
+                SweepStrategy::Schur => Some(true),
                 // Auto: groups too short to amortize any shared setup
                 // stay on per-point LU; medium groups take the
                 // Hessenberg path; long groups amortize the Schur form.
                 SweepStrategy::Auto if group.len() >= SWEEP_MIN_POINTS => {
-                    self.sweep_evaluator(sigma, schur_amortizes(n, group.len()))
+                    Some(schur_amortizes(n, group.len()))
                 }
                 _ => None,
             };
+            let evaluator: Option<Arc<SweepEvaluator>> = shared_kernel.and_then(|use_schur| {
+                if let Some(hit) = self.sweep_cache.get(sigma, use_schur) {
+                    return Some(hit);
+                }
+                // A `None` build (no well-conditioned shift) is not
+                // cached: it is rare, cheap to rediscover, and the
+                // pointwise fallback is always correct.
+                let built = Arc::new(self.sweep_evaluator(sigma, use_schur)?);
+                self.sweep_cache
+                    .insert(sigma, use_schur, Arc::clone(&built));
+                Some(built)
+            });
             let block_len = group.len().div_ceil(workers).max(1);
             let blocks: Vec<&[usize]> = group.chunks(block_len).collect();
             let results = parallel::map_with(workers, &blocks, |_, idxs| match &evaluator {
@@ -776,7 +902,15 @@ impl<T: Scalar> DescriptorSystem<T> {
             b: self.b.to_complex(),
             c: self.c.to_complex(),
             d: self.d.to_complex(),
+            sweep_cache: SweepCache::new(),
         }
+    }
+
+    /// Number of sweep factorizations currently memoized on this model
+    /// (diagnostics for tests and serving metrics; see the
+    /// `SweepCache` internals for the caching policy).
+    pub fn cached_sweep_groups(&self) -> usize {
+        self.sweep_cache.len()
     }
 }
 
@@ -805,6 +939,7 @@ impl DescriptorSystem<Complex> {
             b: self.b.real_part(),
             c: self.c.real_part(),
             d: self.d.real_part(),
+            sweep_cache: SweepCache::new(),
         })
     }
 }
@@ -1236,6 +1371,50 @@ mod tests {
             let rel = (h - &direct).max_abs() / direct.max_abs().max(1e-300);
             assert!(rel < 1e-11, "near-pole deviation {rel:.2e} at {s}");
         }
+    }
+
+    #[test]
+    fn sweep_cache_memoizes_per_group_factorizations() {
+        let sys = resonant_system(24, 3, 1e6, 0xcac4e);
+        assert_eq!(sys.cached_sweep_groups(), 0);
+        let pts = sweep_points(1e6, 30);
+        let first = sys.eval_batch(&pts).unwrap();
+        let populated = sys.cached_sweep_groups();
+        assert!(populated > 0, "shared sweep must populate the cache");
+        // Repeated sweeps reuse the cached evaluator and stay
+        // bit-identical to the first (the evaluator is the same object).
+        let second = sys.eval_batch(&pts).unwrap();
+        assert_eq!(sys.cached_sweep_groups(), populated);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(a.approx_eq(b, 0.0), "cached sweep deviates");
+        }
+        // A fresh clone starts cold and still produces the same bits.
+        let cloned = sys.clone();
+        assert_eq!(cloned.cached_sweep_groups(), 0);
+        let third = cloned.eval_batch(&pts).unwrap();
+        for (a, b) in first.iter().zip(&third) {
+            assert!(a.approx_eq(b, 0.0), "cold-cache sweep deviates");
+        }
+        // A different kernel flavor gets its own entries (these groups
+        // are below the Schur crossover, so Auto cached the Hessenberg
+        // flavor and forcing Schur misses).
+        let _ = sys.eval_batch_with(&pts, SweepStrategy::Schur, 1).unwrap();
+        assert!(sys.cached_sweep_groups() > populated);
+    }
+
+    #[test]
+    fn sweep_cache_is_bounded() {
+        let sys = resonant_system(16, 2, 1e5, 0xb0b);
+        // Many distinct magnitude groups (each sweep one group): the
+        // cache clears at the cap instead of growing without bound.
+        for k in 0..(2 * SWEEP_CACHE_MAX_ENTRIES) {
+            let mag = 1e3 * (1.0 + k as f64);
+            let pts: Vec<Complex> = (0..SWEEP_MIN_POINTS)
+                .map(|i| c64(0.0, mag * (1.0 + 0.01 * i as f64)))
+                .collect();
+            let _ = sys.eval_batch(&pts).unwrap();
+        }
+        assert!(sys.cached_sweep_groups() <= SWEEP_CACHE_MAX_ENTRIES);
     }
 
     #[test]

@@ -16,17 +16,21 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo fmt --all --check
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
-# Deterministic-parallelism smoke: the same sweep at 1 worker and at
-# many workers must be bit-identical (static-chunk executor guarantee).
-run cargo build --release -p mfti-bench --bin sweep_smoke
-digest_1=$(MFTI_THREADS=1 target/release/sweep_smoke)
-digest_n=$(MFTI_THREADS=8 target/release/sweep_smoke)
-echo "==> sweep_smoke 1-thread:  $digest_1"
-echo "==> sweep_smoke 8-thread:  $digest_n"
-if [[ "$digest_1" != "$digest_n" ]]; then
-    echo "verify: FAIL — parallel sweep is not bit-identical to serial" >&2
-    exit 1
-fi
+# Deterministic-parallelism smoke: the same sweep (sweep_smoke) and the
+# same fit (fit_smoke: parallel pencil assembly + blocked-SVD trailing
+# updates) at 1 worker and at many workers must be bit-identical
+# (static-chunk executor guarantee).
+run cargo build --release -p mfti-bench --bin sweep_smoke --bin fit_smoke
+for smoke in sweep_smoke fit_smoke; do
+    digest_1=$(MFTI_THREADS=1 "target/release/$smoke")
+    digest_n=$(MFTI_THREADS=8 "target/release/$smoke")
+    echo "==> $smoke 1-thread:  $digest_1"
+    echo "==> $smoke 8-thread:  $digest_n"
+    if [[ "$digest_1" != "$digest_n" ]]; then
+        echo "verify: FAIL — parallel $smoke is not bit-identical to serial" >&2
+        exit 1
+    fi
+done
 
 if [[ "${1:-}" != "--no-bench-run" ]]; then
     # Perf trajectory: one JSON snapshot of the end-to-end fit + GEMM
