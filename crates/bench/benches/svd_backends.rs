@@ -4,12 +4,17 @@
 //! panel threshold; Golub–Kahan is the rank-1 reference it is validated
 //! against and Jacobi exists as a structurally independent cross-check.
 //! The `values_only` rows measure what order detection actually pays
-//! (no factor accumulation, no rotation sweeps).
+//! (no factor accumulation, no rotation sweeps). The `update_border`
+//! rows measure the streaming alternative: absorbing a 4-wide border
+//! append into a retained `SvdUpdater` (a full-rank dense stream — the
+//! updater's worst case; rank-deficient streams are cheaper still)
+//! against the fresh `values_only` decomposition of the same grown
+//! matrix.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mfti_bench::random_complex;
-use mfti_numeric::{Svd, SvdFactors, SvdMethod};
+use mfti_numeric::{Svd, SvdFactors, SvdMethod, SvdUpdater};
 
 fn bench_svd(c: &mut Criterion) {
     let mut group = c.benchmark_group("svd_backends");
@@ -32,6 +37,21 @@ fn bench_svd(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("golub_kahan", n), &a, |b, a| {
             b.iter(|| Svd::compute_with(a, SvdMethod::GolubKahan).expect("svd"))
         });
+        {
+            let k = 4;
+            let seed = a.submatrix(0, 0, n - k, n - k).expect("seed block");
+            let updater = SvdUpdater::new(&seed).expect("seed svd");
+            let cols = a.submatrix(0, n - k, n - k, k).expect("cols");
+            let rows = a.submatrix(n - k, 0, k, n - k).expect("rows");
+            let corner = a.submatrix(n - k, n - k, k, k).expect("corner");
+            group.bench_with_input(BenchmarkId::new("update_border", n), &a, |b, _| {
+                b.iter(|| {
+                    let mut upd = updater.clone();
+                    upd.append_border(&cols, &rows, &corner).expect("update");
+                    upd.singular_values()[0]
+                })
+            });
+        }
         if n <= 128 {
             group.bench_with_input(BenchmarkId::new("jacobi", n), &a, |b, a| {
                 b.iter(|| Svd::compute_with(a, SvdMethod::Jacobi).expect("svd"))

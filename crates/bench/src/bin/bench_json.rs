@@ -16,18 +16,27 @@
 //! snapshots and `BENCH_JSON`-env bench runs share one schema:
 //! `[{id, iterations, min_ns, median_ns, mean_ns}, …]`.
 //!
+//! It also times the **streaming append→order-detect path** at pencil
+//! orders {16, 48, 96}: one sample-pair append followed by a
+//! singular-value read, through the rank-revealing `SvdUpdater`
+//! (`SessionSvd::Updating`, the default) and through the fresh
+//! blocked-SVD oracle (`SessionSvd::Fresh`) — the per-measurement
+//! serving cost the incremental updates make sublinear. Those rows land
+//! in `BENCH_session_stream.json`.
+//!
 //! Usage: `cargo run --release -p mfti-bench --bin bench_json
-//! [OUT.json] [STAGES.json]` (defaults: `BENCH_end_to_end.json` and
-//! `BENCH_fit_stages.json` in the current directory).
+//! [OUT.json] [STAGES.json] [SESSION.json]` (defaults:
+//! `BENCH_end_to_end.json`, `BENCH_fit_stages.json` and
+//! `BENCH_session_stream.json` in the current directory).
 
 use criterion::{BenchResult, Criterion};
 
 use mfti_bench::random_complex;
 use mfti_core::{
-    FitSession, Fitter, LoewnerPencil, Mfti, OrderSelection, RecursiveMfti, TangentialData, Vfti,
-    Weights,
+    FitSession, Fitter, LoewnerPencil, Mfti, OrderSelection, RecursiveMfti, SessionSvd,
+    TangentialData, Vfti, Weights,
 };
-use mfti_numeric::{kernel, parallel};
+use mfti_numeric::{kernel, parallel, SvdMethod};
 use mfti_sampling::generators::{PdnBuilder, RandomSystemBuilder};
 use mfti_sampling::{FrequencyGrid, NoiseModel, SampleSet};
 use mfti_statespace::{Macromodel, SweepStrategy, TransferFunction};
@@ -52,6 +61,9 @@ fn main() {
     let stages_path = std::env::args()
         .nth(2)
         .unwrap_or_else(|| "BENCH_fit_stages.json".to_string());
+    let session_path = std::env::args()
+        .nth(3)
+        .unwrap_or_else(|| "BENCH_session_stream.json".to_string());
 
     let samples = workload();
     let selection = OrderSelection::NoiseFloor { factor: 5.0 };
@@ -125,6 +137,57 @@ fn main() {
         .bench_function("fit_stage/realize", |b| {
             b.iter(|| stage_session.realize().expect("realize"))
         });
+
+    // --- streaming append → order-detect: updater vs fresh SVD ---------
+    // Clean (numerically rank-deficient) 2-port streams: the serving
+    // scenario the rank-revealing updates target. Each measured
+    // iteration clones a preloaded session, appends the final sample
+    // pair (thin pencil strips) and reads the refreshed singular
+    // values — under the default incremental updater and under the
+    // fresh blocked-SVD oracle. The preload already did two appends, so
+    // the updater state is materialized and the measurement sees the
+    // steady-state per-measurement cost.
+    for pencil_order in [16usize, 48, 96] {
+        let pairs = pencil_order / 4; // full weights on 2 ports: t = 2
+        let stream_sys = RandomSystemBuilder::new(12, 2, 2)
+            .d_rank(2)
+            .band(1e6, 1e9)
+            .seed(0x517ea)
+            .build()
+            .expect("valid");
+        let stream_grid = FrequencyGrid::log_space(1e6, 1e9, 2 * pairs).expect("valid");
+        let stream = SampleSet::from_system(&stream_sys, &stream_grid).expect("sampling");
+        let k = stream.len();
+        let head: Vec<usize> = (0..k - 4).collect();
+        let warm: Vec<usize> = vec![k - 4, k - 3];
+        let last = stream.subset(&[k - 2, k - 1]).expect("final pair");
+
+        let preload = |strategy: SessionSvd| -> FitSession {
+            let mut s = FitSession::new(Mfti::new()).svd(strategy);
+            s.append(&stream.subset(&head).expect("head"))
+                .expect("append");
+            s.append(&stream.subset(&warm).expect("warm"))
+                .expect("append");
+            s
+        };
+        let updating = preload(SessionSvd::Updating);
+        let fresh = preload(SessionSvd::Fresh(SvdMethod::Blocked));
+        c.sample_size(20)
+            .bench_function(&format!("session_stream/k{pencil_order}/updating"), |b| {
+                b.iter(|| {
+                    let mut s = updating.clone();
+                    s.append(&last).expect("append");
+                    s.singular_values().expect("signal")[0]
+                })
+            })
+            .bench_function(&format!("session_stream/k{pencil_order}/fresh"), |b| {
+                b.iter(|| {
+                    let mut s = fresh.clone();
+                    s.append(&last).expect("append");
+                    s.singular_values().expect("signal")[0]
+                })
+            });
+    }
 
     // --- batched sweep: algorithmic (Schur) × parallel multipliers -----
     // 100-point sweeps over 2 decades at orders {16, 48, 96}. Per order:
@@ -253,12 +316,29 @@ fn main() {
         median_of("end_to_end/mfti_full") / 1e6,
     );
 
-    let (stage_results, main_results): (Vec<BenchResult>, Vec<BenchResult>) = results
+    for pencil_order in [16usize, 48, 96] {
+        let upd = median_of(&format!("session_stream/k{pencil_order}/updating"));
+        let fre = median_of(&format!("session_stream/k{pencil_order}/fresh"));
+        println!(
+            "session append→order-detect at K={pencil_order}: updating {:.0} µs | \
+             fresh {:.0} µs | speed-up {:.2}x",
+            upd / 1e3,
+            fre / 1e3,
+            fre / upd,
+        );
+    }
+
+    let (stage_results, rest): (Vec<BenchResult>, Vec<BenchResult>) = results
         .iter()
         .cloned()
         .partition(|r| r.id.starts_with("fit_stage/"));
+    let (session_results, main_results): (Vec<BenchResult>, Vec<BenchResult>) = rest
+        .into_iter()
+        .partition(|r| r.id.starts_with("session_stream/"));
     criterion::write_json(&main_results, &out_path).expect("write timing summary");
     println!("wrote {out_path}");
     criterion::write_json(&stage_results, &stages_path).expect("write fit-stage summary");
     println!("wrote {stages_path}");
+    criterion::write_json(&session_results, &session_path).expect("write session-stream summary");
+    println!("wrote {session_path}");
 }

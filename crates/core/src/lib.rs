@@ -25,7 +25,9 @@
 //!    algorithm-agnostic [`Fitter`] trait (which classical vector
 //!    fitting from `mfti-vecfit` implements too);
 //! 7. [`FitSession`] — the pipeline as a staged object: append samples,
-//!    grow the pencil incrementally, re-run order selection cheaply;
+//!    grow the pencil incrementally, absorb each append into the
+//!    order-detection SVD as a rank-revealing update ([`SessionSvd`]),
+//!    re-run order selection cheaply;
 //! 8. [`metrics`] and [`minimal_samples`] (Theorem 3.5) for evaluation.
 //!
 //! # Example
@@ -75,7 +77,7 @@ pub use realify::{realify, RealifiedPencil};
 pub use realize::{realize_complex, realize_direct, realize_real, OrderSelection};
 pub use recursive::{RecursiveFit, RecursiveMfti, RoundInfo, SelectionOrder};
 pub use sampling_bounds::{minimal_samples, vfti_minimal_samples, SampleBounds};
-pub use session::FitSession;
+pub use session::{FitSession, SessionSvd};
 pub use vfti::Vfti;
 
 /// Relative singular-value level below which directions are considered

@@ -416,7 +416,17 @@ impl LoewnerPencil {
     ///
     /// Propagates SVD failures.
     pub fn shifted_pencil_singular_values(&self, x0: Complex) -> Result<Vec<f64>, MftiError> {
-        // One fused pass for x₀𝕃 − σ𝕃 (no intermediate x₀𝕃 temporary).
+        Ok(Svd::singular_values_of(&self.shifted_pencil(x0))?)
+    }
+
+    /// The shifted pencil `x₀𝕃 − σ𝕃` itself (`K × K`), assembled in one
+    /// fused pass (no intermediate `x₀𝕃` temporary). This is the matrix
+    /// whose singular-value decay drives order detection; streaming
+    /// callers ([`FitSession`](crate::FitSession)) slice its border
+    /// strips to feed the rank-revealing
+    /// [`SvdUpdater`](mfti_numeric::SvdUpdater) instead of
+    /// re-decomposing it per append.
+    pub fn shifted_pencil(&self, x0: Complex) -> CMatrix {
         let data: Vec<Complex> = self
             .ll
             .as_slice()
@@ -424,9 +434,36 @@ impl LoewnerPencil {
             .zip(self.sll.as_slice())
             .map(|(&l, &sl)| l * x0 - sl)
             .collect();
-        let shifted =
-            CMatrix::from_vec(self.ll.rows(), self.ll.cols(), data).expect("ll and sll share dims");
-        Ok(Svd::singular_values_of(&shifted)?)
+        CMatrix::from_vec(self.ll.rows(), self.ll.cols(), data).expect("ll and sll share dims")
+    }
+
+    /// A rectangular block of the shifted pencil `x₀𝕃 − σ𝕃`, computed
+    /// entry-by-entry from the stored `𝕃`/`σ𝕃` (the same fused formula
+    /// as [`shifted_pencil`](LoewnerPencil::shifted_pencil), so blocks
+    /// tile the full matrix bit-for-bit) **without materializing the
+    /// whole `K × K` matrix** — the per-append border-strip path of
+    /// streaming sessions, `O(rows·cols)` instead of `O(K²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the block exceeds the pencil.
+    pub fn shifted_pencil_block(
+        &self,
+        x0: Complex,
+        row: usize,
+        col: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<CMatrix, MftiError> {
+        let ll = self.ll.submatrix(row, col, rows, cols)?;
+        let sll = self.sll.submatrix(row, col, rows, cols)?;
+        let data: Vec<Complex> = ll
+            .as_slice()
+            .iter()
+            .zip(sll.as_slice())
+            .map(|(&l, &sl)| l * x0 - sl)
+            .collect();
+        Ok(CMatrix::from_vec(rows, cols, data)?)
     }
 
     /// Singular values of `𝕃` itself (rank ≈ `order(Γ)` per the paper's

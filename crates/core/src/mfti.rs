@@ -6,7 +6,12 @@
 //! consumers ask for exactly what they read: order detection takes
 //! singular values only, and each Lemma 3.4 stacked SVD accumulates a
 //! single factor (`mfti_numeric::SvdFactors`), which skips most of the
-//! decomposition work on the panel-blocked backend.
+//! decomposition work on the panel-blocked backend. Streaming callers
+//! that refit per arriving measurement should drive the pipeline
+//! through [`FitSession`](crate::FitSession) instead, which maintains
+//! the order-detection signal *incrementally*
+//! ([`SessionSvd`](crate::SessionSvd)) rather than re-running this
+//! one-shot decomposition per append.
 
 use std::time::{Duration, Instant};
 

@@ -3,21 +3,31 @@
 //! [`Mfti::fit`](crate::Fitter::fit) runs directions → tangential data
 //! → Loewner pencil → realization in one shot and throws the
 //! intermediate state away. A session *owns* that state, which buys
-//! three things the one-shot call cannot offer:
+//! four things the one-shot call cannot offer:
 //!
 //! 1. **Incremental refits** — [`FitSession::append`] merges new
 //!    samples and grows the existing pencil block-wise
 //!    ([`LoewnerPencil::extend`], the machinery Algorithm 2 uses
 //!    internally) instead of rebuilding `O(K²)` blocks from scratch;
-//! 2. **Cheap order re-selection** — the order-detection singular
-//!    values are cached, so [`FitSession::realize_with`] re-runs order
-//!    selection at a different tolerance and only repeats the final
-//!    projection;
-//! 3. **Stage inspection** — the tangential data, the pencil and the
-//!    singular-value profile are all borrowable between stages.
+//! 2. **Incremental order detection** — the singular values of the
+//!    shifted pencil are *updated* per append through a rank-revealing
+//!    [`SvdUpdater`] (the appended pencil strips are absorbed as a
+//!    bordered low-rank update) instead of re-decomposed, so the
+//!    per-measurement signal costs `O(K·(q + t)²)` with `q` the
+//!    numerical rank — sublinear in the pencil for the rank-deficient
+//!    pencils the method produces ([`SessionSvd`] can switch back to
+//!    fresh decompositions as an oracle);
+//! 3. **Cheap order re-selection** — the order-detection signal is
+//!    cached, so [`FitSession::realize_with`] re-runs order selection
+//!    at a different tolerance and only repeats the final projection;
+//! 4. **Stage inspection** — the tangential data, the pencil, the
+//!    singular-value profile and the per-append
+//!    [`order_trajectory`](FitSession::order_trajectory) are all
+//!    borrowable between stages.
 
 use std::time::Instant;
 
+use mfti_numeric::{Svd, SvdFactors, SvdMethod, SvdUpdater};
 use mfti_sampling::SampleSet;
 
 use crate::data::TangentialData;
@@ -26,6 +36,25 @@ use crate::fitter::{FitError, FitOutcome};
 use crate::loewner::LoewnerPencil;
 use crate::mfti::{FitResult, Mfti};
 use crate::realize::OrderSelection;
+
+/// How a [`FitSession`] maintains the order-detection singular values
+/// across appends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum SessionSvd {
+    /// Rank-revealing incremental updates (the default): the first
+    /// append pays one values-only decomposition, the second
+    /// materializes the retained factorization, and every further
+    /// append absorbs its pencil strips as a bordered low-rank update —
+    /// `O(K·(q + t)²)` per append instead of `O(K³)`.
+    #[default]
+    Updating,
+    /// Fresh values-only decomposition with the given backend on every
+    /// append — the exact-arithmetic oracle the updating path is tested
+    /// against, and the right choice when appends are rare and pencils
+    /// effectively full-rank.
+    Fresh(SvdMethod),
+}
 
 /// A staged, incrementally refittable MFTI pipeline.
 ///
@@ -46,11 +75,16 @@ use crate::realize::OrderSelection;
 /// session.append(&first)?;
 /// let coarse = session.realize()?; // under-sampled: K = 12 < 2(n + rank D)
 ///
-/// // New measurements arrive: only the new pencil blocks are computed.
+/// // New measurements arrive: only the new pencil blocks are computed
+/// // and the order-detection SVD absorbs them as a low-rank update.
 /// session.append(&rest)?;
 /// let refined = session.realize()?;
 /// assert_eq!(refined.order(), 12);
 /// assert!(refined.order() >= coarse.order());
+/// // The per-append detected orders are recorded as they streamed in
+/// // (the under-sampled K = 12 pencil is already full rank, so both
+/// // appends resolve to 12 — the refit improves accuracy, not order).
+/// assert_eq!(session.order_trajectory(), &[12, 12]);
 ///
 /// // Re-run order selection at another tolerance — no pencil rebuild.
 /// let truncated = session.realize_with(OrderSelection::Fixed(6))?;
@@ -72,14 +106,45 @@ use crate::realize::OrderSelection;
 ///   pair count on every append, so sessions are most naturally driven
 ///   with [`Weights::Full`](crate::Weights) or
 ///   [`Weights::Uniform`](crate::Weights).
+///
+/// # Singular-value lifecycle
+///
+/// The order-detection signal lives in three pieces of state that move
+/// in lockstep, all refreshed by [`append`](FitSession::append) before
+/// it commits (an append either installs a consistent new generation —
+/// samples, pencil, updater, signal, trajectory — or, on error, leaves
+/// every one of them untouched):
+///
+/// * `sv` — the cached signal, padded to the pencil order with the
+///   updater's retained floor when a sub-floor tail was truncated: like
+///   the truncated values, the floor sits below every order-selection
+///   threshold (`Threshold(1e-12)`, the `1e-11` numeric floor), and
+///   padding with it instead of zero keeps
+///   [`OrderSelection::LargestGap`]'s σ-ratio search from reading an
+///   unbounded drop at the truncation boundary.
+///   [`singular_values`](FitSession::singular_values) and the
+///   realization calls only ever read this cache; **no call path can
+///   observe a stale generation** (regression-tested below).
+/// * the [`SvdUpdater`] — materialized lazily on the *second* append
+///   (single-batch sessions never pay for factors) and advanced by
+///   border strips of `x₀𝕃 − σ𝕃` on each later one; dropped when a
+///   [`SessionSvd::Fresh`] oracle is selected.
+/// * the [`order_trajectory`](FitSession::order_trajectory) — one
+///   entry per append, resolved from the freshly refreshed `sv`.
 #[derive(Debug, Clone)]
 pub struct FitSession {
     config: Mfti,
+    svd: SessionSvd,
     samples: Option<SampleSet>,
     data: Option<TangentialData>,
     pencil: Option<LoewnerPencil>,
-    /// Cached singular values of `x₀𝕃 − σ𝕃`; invalidated by `append`.
+    /// Retained state of the incremental order-detection SVD; see the
+    /// lifecycle notes in the struct docs.
+    updater: Option<SvdUpdater<mfti_numeric::Complex>>,
+    /// Singular values of `x₀𝕃 − σ𝕃`, refreshed by every `append`.
     sv: Option<Vec<f64>>,
+    /// Detected order after each append (0 when the rule fails).
+    trajectory: Vec<usize>,
 }
 
 impl Default for FitSession {
@@ -90,15 +155,36 @@ impl Default for FitSession {
 
 impl FitSession {
     /// Creates an empty session with the given fitter configuration
-    /// (weights, directions, order selection, realization path).
+    /// (weights, directions, order selection, realization path) and the
+    /// default [`SessionSvd::Updating`] signal maintenance.
     pub fn new(config: Mfti) -> Self {
         FitSession {
             config,
+            svd: SessionSvd::default(),
             samples: None,
             data: None,
             pencil: None,
+            updater: None,
             sv: None,
+            trajectory: Vec::new(),
         }
+    }
+
+    /// Selects how the order-detection singular values are maintained
+    /// across appends (builder style). Takes effect from the next
+    /// [`append`](FitSession::append); switching to a fresh oracle
+    /// drops the retained updater state.
+    pub fn svd(mut self, strategy: SessionSvd) -> Self {
+        if matches!(strategy, SessionSvd::Fresh(_)) {
+            self.updater = None;
+        }
+        self.svd = strategy;
+        self
+    }
+
+    /// The configured signal-maintenance strategy.
+    pub fn svd_strategy(&self) -> SessionSvd {
+        self.svd
     }
 
     /// The fitter configuration driving this session.
@@ -108,13 +194,16 @@ impl FitSession {
 
     /// Appends samples and grows the pipeline state: tangential data
     /// are rebuilt (the existing triples are bit-identical thanks to
-    /// prefix-stable directions), and **only the new rows/columns** of
-    /// the Loewner pencil are computed — thin GEMM strips plus a
-    /// row-parallel divided-difference pass, landing on the same bits
-    /// as a from-scratch build (see [`LoewnerPencil::extend`]). The
-    /// cached order-detection signal is invalidated.
+    /// prefix-stable directions), **only the new rows/columns** of the
+    /// Loewner pencil are computed ([`LoewnerPencil::extend`]), and the
+    /// order-detection singular values are refreshed — by a
+    /// rank-revealing [`SvdUpdater`] border update under the default
+    /// [`SessionSvd::Updating`], by a fresh values-only decomposition
+    /// under a [`SessionSvd::Fresh`] oracle. The detected order is
+    /// recorded on the [`order_trajectory`](FitSession::order_trajectory).
     ///
-    /// The operation is transactional: on error the session is left
+    /// The operation is transactional: on error the session — samples,
+    /// pencil, updater, cached signal and trajectory — is left
     /// unchanged.
     ///
     /// # Errors
@@ -123,7 +212,9 @@ impl FitSession {
     ///   grown set is odd-sized, shares a frequency or mixes port
     ///   counts;
     /// * [`FitError::Mfti`] with [`MftiError::InvalidWeights`] when a
-    ///   `PerPair` weight vector no longer matches the pair count.
+    ///   `PerPair` weight vector no longer matches the pair count;
+    /// * [`FitError::Mfti`] wrapping numeric failures of the signal
+    ///   refresh (non-finite data).
     pub fn append(&mut self, new: &SampleSet) -> Result<(), FitError> {
         let merged = match &self.samples {
             None => new.clone(),
@@ -160,11 +251,74 @@ impl FitSession {
                 extended
             }
         };
+        let (updater, sv) = self.refresh_signal(&pencil)?;
+
+        // Commit (everything fallible already happened).
+        let order = self.config.order_selection_ref().detect(&sv).unwrap_or(0);
+        self.trajectory.push(order);
         self.samples = Some(merged);
         self.data = Some(data);
         self.pencil = Some(pencil);
-        self.sv = None;
+        self.updater = updater;
+        self.sv = Some(sv);
         Ok(())
+    }
+
+    /// Computes the next generation of the order-detection signal for
+    /// the grown `pencil`, without touching `self` (the caller commits).
+    fn refresh_signal(
+        &self,
+        pencil: &LoewnerPencil,
+    ) -> Result<(Option<SvdUpdater<mfti_numeric::Complex>>, Vec<f64>), FitError> {
+        let x0 = pencil.default_x0();
+        match (self.svd, &self.pencil) {
+            (SessionSvd::Fresh(method), _) => {
+                let shifted = pencil.shifted_pencil(x0);
+                let sv = Svd::compute_factors(&shifted, method, SvdFactors::ValuesOnly)
+                    .map_err(MftiError::from)?
+                    .singular_values()
+                    .to_vec();
+                Ok((None, sv))
+            }
+            // First append: a values-only decomposition (exactly the
+            // one-shot fit's signal, bit-for-bit); the updater's factors
+            // are deferred until a second append proves this is a
+            // stream.
+            (SessionSvd::Updating, None) => {
+                let sv = pencil.shifted_pencil_singular_values(x0)?;
+                Ok((None, sv))
+            }
+            (SessionSvd::Updating, Some(prev)) => {
+                // Materialize lazily from the *previous* pencil, then
+                // absorb the freshly grown border strips. x₀ is the
+                // first right interpolation point of the first batch,
+                // so both generations shift by the same point.
+                let mut upd = match &self.updater {
+                    Some(upd) => upd.clone(),
+                    None => SvdUpdater::new(&prev.shifted_pencil(x0)).map_err(MftiError::from)?,
+                };
+                let k_old = prev.order();
+                let k_new = pencil.order() - k_old;
+                // Only the three border strips are assembled — never
+                // the full K×K shifted matrix — so the per-append work
+                // beyond the update itself stays O(K·k_new).
+                let cols = pencil.shifted_pencil_block(x0, 0, k_old, k_old, k_new)?;
+                let rows = pencil.shifted_pencil_block(x0, k_old, 0, k_new, k_old)?;
+                let corner = pencil.shifted_pencil_block(x0, k_old, k_old, k_new, k_new)?;
+                upd.append_border(&cols, &rows, &corner)
+                    .map_err(MftiError::from)?;
+                // Pad the truncated sub-floor tail back to pencil order
+                // with the retained floor: like the truncated values it
+                // sits below every selection threshold, and unlike a
+                // zero it cannot manufacture an unbounded σ_r/σ_{r+1}
+                // ratio at the truncation boundary for
+                // `OrderSelection::LargestGap`.
+                let mut sv = upd.singular_values().to_vec();
+                let pad = upd.retain_floor();
+                sv.resize(pencil.order(), pad);
+                Ok((Some(upd), sv))
+            }
+        }
     }
 
     /// The accumulated sample set, in append order.
@@ -192,24 +346,40 @@ impl FitSession {
         self.pencil.as_ref().map_or(0, LoewnerPencil::order)
     }
 
+    /// Detected model order after each append, in append order — the
+    /// streaming convergence diagnostic: on clean data the trajectory
+    /// rises while new measurements still reveal modes and flattens at
+    /// `n + rank D` once the pencil saturates. An entry is 0 when the
+    /// configured selection rule could not resolve an order at that
+    /// step.
+    pub fn order_trajectory(&self) -> &[usize] {
+        &self.trajectory
+    }
+
+    /// Working-set size of the incremental signal: the retained rank of
+    /// the updater, once materialized (`None` before the second append
+    /// or under a [`SessionSvd::Fresh`] oracle).
+    pub fn retained_rank(&self) -> Option<usize> {
+        self.updater.as_ref().map(SvdUpdater::retained_rank)
+    }
+
     /// Singular values of `x₀𝕃 − σ𝕃` for the current pencil — the
-    /// order-detection signal, computed on first use (values-only
-    /// blocked SVD: no singular-vector accumulation) and cached until
-    /// the next [`FitSession::append`].
+    /// order-detection signal, refreshed by every
+    /// [`append`](FitSession::append) (never stale, and never computed
+    /// here; see the lifecycle notes on [`FitSession`]). Under
+    /// [`SessionSvd::Updating`] with a truncated sub-floor tail the
+    /// trailing entries equal the updater's retained floor.
     ///
     /// # Errors
     ///
-    /// [`FitError::Session`] before any samples are appended; SVD
-    /// failures otherwise.
-    pub fn singular_values(&mut self) -> Result<&[f64], FitError> {
-        let pencil = self.pencil.as_ref().ok_or(FitError::Session {
-            what: "no samples appended yet",
-        })?;
-        if self.sv.is_none() {
-            let x0 = pencil.default_x0();
-            self.sv = Some(pencil.shifted_pencil_singular_values(x0)?);
+    /// [`FitError::Session`] before any samples are appended.
+    pub fn singular_values(&self) -> Result<&[f64], FitError> {
+        if self.pencil.is_none() {
+            return Err(FitError::Session {
+                what: "no samples appended yet",
+            });
         }
-        Ok(self.sv.as_deref().expect("just computed"))
+        Ok(self.sv.as_deref().expect("refreshed by append"))
     }
 
     /// Runs the realization stage with the session's configured order
@@ -218,15 +388,17 @@ impl FitSession {
     /// # Errors
     ///
     /// Same as [`FitSession::realize_with`].
-    pub fn realize(&mut self) -> Result<FitOutcome, FitError> {
+    pub fn realize(&self) -> Result<FitOutcome, FitError> {
         let selection = self.config.order_selection_ref();
         self.realize_with(selection)
     }
 
     /// Runs order selection with `selection` on the **cached** singular
     /// values, then projects the pencil to the detected order — the
-    /// pencil and its SVD signal are reused across calls, so trying a
-    /// different tolerance costs only the final projection.
+    /// pencil and its signal are reused across calls, so trying a
+    /// different tolerance costs only the final projection. The cache
+    /// is only cloned into the outcome after detection and realization
+    /// succeed.
     ///
     /// The outcome's `elapsed` covers this realization call, not the
     /// accumulated session lifetime.
@@ -235,18 +407,17 @@ impl FitSession {
     ///
     /// [`FitError::Session`] before any samples are appended;
     /// order-selection and realization failures otherwise.
-    pub fn realize_with(&mut self, selection: OrderSelection) -> Result<FitOutcome, FitError> {
+    pub fn realize_with(&self, selection: OrderSelection) -> Result<FitOutcome, FitError> {
         let start = Instant::now();
-        self.singular_values()?;
-        let sv = self.sv.clone().expect("cached by singular_values");
+        let sv = self.singular_values()?;
         let pencil = self.pencil.as_ref().expect("pencil exists if sv does");
-        let order = selection.detect(&sv)?;
+        let order = selection.detect(sv)?;
         let model = self.config.realize_pencil(pencil, order)?;
         Ok(FitOutcome::from_loewner(
             "mfti-session",
             FitResult {
                 model,
-                pencil_singular_values: sv,
+                pencil_singular_values: self.sv.clone().expect("just read"),
                 detected_order: order,
                 pencil_order: pencil.order(),
                 elapsed: start.elapsed(),
@@ -334,11 +505,92 @@ mod tests {
     }
 
     #[test]
+    fn updating_signal_matches_the_fresh_oracle() {
+        // The same three-batch stream through the default updating path
+        // and the fresh-decomposition oracle: singular values within
+        // update tolerance, identical rank decisions, same realization.
+        let all = workload(18);
+        let (head, rest) = split_edges_first(&all, 6);
+        let mid = rest.subset(&[0, 1, 2, 3]).unwrap();
+        let tail = rest.subset(&[4, 5, 6, 7, 8, 9, 10, 11]).unwrap();
+
+        let mut updating = FitSession::new(Mfti::new());
+        let mut oracle = FitSession::new(Mfti::new()).svd(SessionSvd::Fresh(SvdMethod::Blocked));
+        for batch in [&head, &mid, &tail] {
+            updating.append(batch).unwrap();
+            oracle.append(batch).unwrap();
+            let (su, so) = (
+                updating.singular_values().unwrap().to_vec(),
+                oracle.singular_values().unwrap().to_vec(),
+            );
+            assert_eq!(su.len(), so.len(), "padded to pencil order");
+            for (u, o) in su.iter().zip(&so) {
+                assert!((u - o).abs() <= 1e-10 * so[0], "σ drift: {u:e} vs {o:e}");
+            }
+        }
+        assert_eq!(updating.order_trajectory(), oracle.order_trajectory());
+        assert!(updating.retained_rank().is_some());
+        assert!(oracle.retained_rank().is_none());
+        // Ratio-based gap detection must agree too: the updating path
+        // pads its truncated tail with the retained floor, so the
+        // truncation boundary cannot read as an unbounded σ drop.
+        let gap = OrderSelection::LargestGap {
+            min_order: 1,
+            max_order: updating.pencil_order() - 1,
+        };
+        assert_eq!(
+            updating.realize_with(gap).unwrap().order(),
+            oracle.realize_with(gap).unwrap().order(),
+            "LargestGap diverged between updating and fresh signals"
+        );
+        let (mu, mo) = (updating.realize().unwrap(), oracle.realize().unwrap());
+        assert_eq!(mu.order(), mo.order());
+        let (a, b) = (mu.model().as_real().unwrap(), mo.model().as_real().unwrap());
+        assert!(
+            a.a().approx_eq(b.a(), 0.0),
+            "same pencil + same order ⇒ same model"
+        );
+    }
+
+    #[test]
+    fn singular_values_after_append_are_never_stale() {
+        // Regression: the cached signal must be replaced (not merely
+        // invalidated-and-maybe-recomputed) by every append, on both
+        // maintenance paths, including after realize_with() touched it.
+        let all = workload(16);
+        let (head, rest) = split_edges_first(&all, 6);
+        let mid = rest.subset(&[0, 1]).unwrap();
+        let tail = rest.subset(&[2, 3, 4, 5, 6, 7, 8, 9]).unwrap();
+        for strategy in [SessionSvd::Updating, SessionSvd::Fresh(SvdMethod::Blocked)] {
+            let mut session = FitSession::new(Mfti::new()).svd(strategy);
+            session.append(&head).unwrap();
+            let sv1 = session.singular_values().unwrap().to_vec();
+            assert_eq!(sv1.len(), session.pencil_order());
+            session.realize().unwrap(); // reads (and must not pin) the cache
+
+            session.append(&mid).unwrap();
+            let sv2 = session.singular_values().unwrap().to_vec();
+            assert_eq!(sv2.len(), session.pencil_order());
+            assert_ne!(sv1, sv2, "append must refresh the cached signal");
+
+            session.append(&tail).unwrap();
+            let sv3 = session.singular_values().unwrap().to_vec();
+            assert_eq!(sv3.len(), session.pencil_order());
+            assert_ne!(sv2, sv3, "append must refresh the cached signal");
+            // The outcome snapshots the current generation.
+            let outcome = session.realize().unwrap();
+            assert_eq!(outcome.pencil_singular_values().unwrap(), &sv3[..]);
+        }
+    }
+
+    #[test]
     fn session_stages_are_inspectable() {
         let all = workload(8);
         let mut session = FitSession::default();
         assert!(session.samples().is_none());
         assert_eq!(session.pencil_order(), 0);
+        assert!(session.order_trajectory().is_empty());
+        assert!(session.retained_rank().is_none());
         assert!(matches!(
             session.singular_values(),
             Err(FitError::Session { .. })
@@ -351,6 +603,7 @@ mod tests {
         assert_eq!(session.pencil_order(), 16); // 2·t·pairs = 2·2·4
         let sv = session.singular_values().unwrap();
         assert_eq!(sv.len(), 16);
+        assert_eq!(session.order_trajectory().len(), 1);
     }
 
     #[test]
@@ -380,6 +633,7 @@ mod tests {
         let mut session = FitSession::new(Mfti::new());
         session.append(&all).unwrap();
         let k = session.pencil_order();
+        let trajectory = session.order_trajectory().to_vec();
 
         // Odd-sized growth is rejected …
         let odd = all.subset(&[0]).unwrap();
@@ -389,8 +643,10 @@ mod tests {
         // … duplicate frequencies are rejected …
         assert!(session.append(&all.subset(&[0, 1]).unwrap()).is_err());
 
-        // … and the session still realizes as before.
+        // … and the session still realizes as before, with the
+        // trajectory unperturbed by the failed appends.
         assert_eq!(session.pencil_order(), k);
+        assert_eq!(session.order_trajectory(), &trajectory[..]);
         assert!(session.realize().is_ok());
     }
 

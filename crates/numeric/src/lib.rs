@@ -23,6 +23,9 @@
 //! * [`Svd`] — singular value decomposition of complex matrices via
 //!   Golub–Kahan bidiagonalization with an implicit-shift QR sweep, plus an
 //!   independent one-sided Jacobi backend used for cross-validation,
+//! * [`SvdUpdater`] — rank-revealing *incremental* SVD: streaming
+//!   row/column appends absorbed as bordered low-rank updates of the
+//!   retained thin factorization instead of fresh decompositions,
 //! * [`eigenvalues`] — complex eigenvalues via Hessenberg reduction and a
 //!   shifted QR iteration.
 //!
@@ -76,7 +79,7 @@ pub use schur::{
     strict_upper_max_abs, triangular_right_eigenvectors, Schur,
 };
 pub use solve::{lstsq, solve};
-pub use svd::{Svd, SvdFactors, SvdMethod};
+pub use svd::{Svd, SvdFactors, SvdMethod, SvdUpdater, DEFAULT_UPDATE_FLOOR};
 
 /// Relative machine tolerance used as the default cut-off in rank
 /// decisions throughout the workspace.

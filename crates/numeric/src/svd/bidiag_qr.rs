@@ -18,7 +18,7 @@ use crate::scalar::Scalar;
 use crate::svd::normalize_triplets;
 
 /// `(U, σ, V)` triple both bidiagonalization front-ends produce.
-pub(super) type SvdTriplet<T> = (Matrix<T>, Vec<f64>, Matrix<T>);
+pub(crate) type SvdTriplet<T> = (Matrix<T>, Vec<f64>, Matrix<T>);
 
 /// Shared finishing sequence of both bidiagonalization front-ends:
 /// rotate the transposed factors through the implicit-shift QR

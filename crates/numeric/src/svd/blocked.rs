@@ -33,16 +33,18 @@
 //! copy and the GEMMs run the packed real kernel at a quarter of the
 //! complex flop count (the Lemma 3.2 realification hands the
 //! realization stage real stacked pencils, which is exactly this case).
-//! The factors are promoted to complex only at the very end, to fit the
-//! scalar-agnostic [`Svd`](super::Svd) container.
+//! The factors come back in the input scalar type; the [`Svd`](super::Svd)
+//! dispatcher promotes them to complex only at its scalar-agnostic
+//! container boundary, while [`SvdUpdater`](super::SvdUpdater) keeps
+//! them native.
 
 use crate::error::NumericError;
 use crate::householder::make_reflector;
 use crate::kernel;
-use crate::matrix::{CMatrix, Matrix};
+use crate::matrix::Matrix;
 use crate::parallel;
 use crate::scalar::Scalar;
-use crate::svd::bidiag_qr::finish_bidiagonal;
+use crate::svd::bidiag_qr::{finish_bidiagonal, SvdTriplet};
 use crate::svd::golub_kahan;
 
 /// Panel width: wide enough that the trailing GEMMs dominate, narrow
@@ -59,18 +61,19 @@ const MIN_BLOCKED_COLS: usize = 48;
 const PAR_MIN_COLS_PER_WORKER: usize = 64;
 
 /// Computes the thin SVD of `a` (`m × n`, requires `m ≥ n`): returns
-/// `(U m×n, s n, V n×n)` with `A = U diag(s) V*`. Factors whose
-/// `want_*` flag is false are skipped and returned as `0×0` matrices;
-/// the singular values are bit-identical either way.
+/// `(U m×n, s n, V n×n)` with `A = U diag(s) V*`, in the **input scalar
+/// type** (real factors for real input). Factors whose `want_*` flag is
+/// false are skipped and returned as `0×0` matrices; the singular
+/// values are bit-identical either way.
 pub(crate) fn svd_blocked<T: Scalar>(
     a: &Matrix<T>,
     want_u: bool,
     want_v: bool,
-) -> Result<(CMatrix, Vec<f64>, CMatrix), NumericError> {
+) -> Result<SvdTriplet<T>, NumericError> {
     let (m, n) = a.dims();
     debug_assert!(m >= n, "caller must pre-transpose wide matrices");
     if n < MIN_BLOCKED_COLS {
-        return golub_kahan::svd_golub_kahan(&a.to_complex(), want_u, want_v);
+        return golub_kahan::svd_golub_kahan(a, want_u, want_v);
     }
 
     // Scale to avoid overflow/underflow in the squared quantities.
@@ -114,8 +117,7 @@ pub(crate) fn svd_blocked<T: Scalar>(
     };
 
     // --- Phases 3+4: shared QR iteration + normalization -----------------
-    let (u, d, v) = finish_bidiagonal(u, v, d, e, want_u, want_v, rescale)?;
-    Ok((u.to_complex(), d, v.to_complex()))
+    finish_bidiagonal(u, v, d, e, want_u, want_v, rescale)
 }
 
 /// The four thin panel accumulators. With `i` the global panel column
@@ -482,6 +484,7 @@ fn accumulate_v<T: Scalar>(w: &Matrix<T>, taup: &[T]) -> Result<Matrix<T>, Numer
 mod tests {
     use super::*;
     use crate::complex::{c64, Complex};
+    use crate::matrix::CMatrix;
     use crate::svd::{Svd, SvdMethod};
 
     fn pseudo_random_complex(m: usize, n: usize, mut seed: u64) -> CMatrix {

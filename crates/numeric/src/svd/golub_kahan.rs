@@ -1,28 +1,32 @@
-//! Golub–Kahan SVD: complex Householder bidiagonalization followed by an
-//! implicit-shift bidiagonal QR iteration.
+//! Golub–Kahan SVD: Householder bidiagonalization followed by an
+//! implicit-shift bidiagonal QR iteration, generic over the scalar.
 //!
 //! The bidiagonalization uses `zlarfg`-style reflectors whose β is real,
 //! so the resulting bidiagonal is real and the iteration can run entirely
 //! in real arithmetic while accumulating real plane rotations into the
-//! complex `U`/`V` factors. Reflectors are applied one at a time with
-//! rank-1 sweeps — the structurally simple reference the panel-blocked
-//! backend ([`super::blocked`]) is validated against.
+//! `U`/`V` factors. Reflectors are applied one at a time with rank-1
+//! sweeps — the structurally simple reference the panel-blocked backend
+//! ([`super::blocked`]) is validated against. Over `f64` every
+//! conjugation degenerates to a copy (the reflector generator is exactly
+//! `dlarfg`), so real inputs — small realified pencils, the bordered
+//! cores of [`SvdUpdater`](super::SvdUpdater) — never pay for complex
+//! arithmetic.
 
-use crate::complex::Complex;
 use crate::error::NumericError;
 use crate::householder::{make_reflector, Reflector};
-use crate::matrix::CMatrix;
-use crate::svd::bidiag_qr::finish_bidiagonal;
+use crate::matrix::Matrix;
+use crate::scalar::Scalar;
+use crate::svd::bidiag_qr::{finish_bidiagonal, SvdTriplet};
 
 /// Computes the thin SVD of `a` (`m × n`, requires `m ≥ n`):
 /// returns `(U m×n, s n, V n×n)` with `A = U diag(s) V*`. Factors whose
 /// `want_*` flag is false are skipped entirely and returned as `0×0`
 /// matrices; the singular values are identical either way.
-pub(crate) fn svd_golub_kahan(
-    a: &CMatrix,
+pub(crate) fn svd_golub_kahan<T: Scalar>(
+    a: &Matrix<T>,
     want_u: bool,
     want_v: bool,
-) -> Result<(CMatrix, Vec<f64>, CMatrix), NumericError> {
+) -> Result<SvdTriplet<T>, NumericError> {
     let (m, n) = a.dims();
     debug_assert!(m >= n, "caller must pre-transpose wide matrices");
 
@@ -40,20 +44,20 @@ pub(crate) fn svd_golub_kahan(
     };
 
     // --- Phase 1: bidiagonalization -------------------------------------
-    let mut left: Vec<Reflector<Complex>> = Vec::with_capacity(n);
-    let mut right: Vec<Option<Reflector<Complex>>> = Vec::with_capacity(n);
+    let mut left: Vec<Reflector<T>> = Vec::with_capacity(n);
+    let mut right: Vec<Option<Reflector<T>>> = Vec::with_capacity(n);
     let mut d = vec![0.0f64; n];
     let mut e = vec![0.0f64; n.saturating_sub(1)];
 
     for k in 0..n {
         // Eliminate column k below the diagonal (and rotate the diagonal
         // entry onto the real axis).
-        let col: Vec<Complex> = (k..m).map(|i| w[(i, k)]).collect();
+        let col: Vec<T> = (k..m).map(|i| w[(i, k)]).collect();
         let refl = make_reflector(&col);
         d[k] = refl.beta;
-        w[(k, k)] = Complex::from_real(refl.beta);
+        w[(k, k)] = T::from_f64(refl.beta);
         for i in k + 1..m {
-            w[(i, k)] = Complex::ZERO;
+            w[(i, k)] = T::ZERO;
         }
         refl.apply_left_adjoint(&mut w, k, k + 1);
         left.push(refl);
@@ -63,12 +67,12 @@ pub(crate) fn svd_golub_kahan(
             // reflector is generated from the *conjugated* row so that the
             // right application `A (I − τ w w*)` lands a real β on the
             // superdiagonal (see the zgebrd convention).
-            let row_conj: Vec<Complex> = (k + 1..n).map(|j| w[(k, j)].conj()).collect();
+            let row_conj: Vec<T> = (k + 1..n).map(|j| w[(k, j)].conj()).collect();
             let refl = make_reflector(&row_conj);
             e[k] = refl.beta;
-            w[(k, k + 1)] = Complex::from_real(refl.beta);
+            w[(k, k + 1)] = T::from_f64(refl.beta);
             for j in k + 2..n {
-                w[(k, j)] = Complex::ZERO;
+                w[(k, j)] = T::ZERO;
             }
             refl.apply_right(&mut w, k + 1, k + 1);
             right.push(Some(refl));
@@ -79,19 +83,19 @@ pub(crate) fn svd_golub_kahan(
 
     // --- Phase 2: accumulate the requested factors -----------------------
     let u = if want_u {
-        let mut u = CMatrix::zeros(m, n);
+        let mut u = Matrix::<T>::zeros(m, n);
         for i in 0..n {
-            u[(i, i)] = Complex::ONE;
+            u[(i, i)] = T::ONE;
         }
         for k in (0..n).rev() {
             left[k].apply_left(&mut u, k, 0);
         }
         u
     } else {
-        CMatrix::zeros(0, 0)
+        Matrix::<T>::zeros(0, 0)
     };
     let v = if want_v {
-        let mut v = CMatrix::identity(n);
+        let mut v = Matrix::<T>::identity(n);
         for k in (0..n.saturating_sub(1)).rev() {
             if let Some(refl) = &right[k] {
                 // The right reflector acts on coordinates k+1..n.
@@ -100,7 +104,7 @@ pub(crate) fn svd_golub_kahan(
         }
         v
     } else {
-        CMatrix::zeros(0, 0)
+        Matrix::<T>::zeros(0, 0)
     };
 
     // --- Phases 3+4: shared QR iteration + normalization -----------------
@@ -112,7 +116,8 @@ pub(crate) fn svd_golub_kahan(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::complex::c64;
+    use crate::complex::{c64, Complex};
+    use crate::matrix::{CMatrix, RMatrix};
     use crate::svd::{Svd, SvdMethod};
 
     fn pseudo_random_complex(m: usize, n: usize, mut seed: u64) -> CMatrix {
@@ -138,6 +143,31 @@ mod tests {
                 "({m},{n}): reconstruction error {err}"
             );
         }
+    }
+
+    #[test]
+    fn real_scalar_path_matches_the_complexified_run() {
+        // Real inputs run the generic phase loops over f64. Embedding
+        // the same matrix in complex arithmetic keeps every imaginary
+        // part at exact zero (so the complex factors are exactly real),
+        // but complex *division* rounds through the (ac+bd)/(c²+d²)
+        // formula, so the two runs agree to roundoff rather than
+        // bit-for-bit.
+        let a = RMatrix::from_fn(9, 6, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let (u_r, s_r, v_r) = svd_golub_kahan(&a, true, true).unwrap();
+        let (u_c, s_c, v_c) = svd_golub_kahan(&a.to_complex(), true, true).unwrap();
+        let smax = s_c[0];
+        for (x, y) in s_r.iter().zip(&s_c) {
+            assert!((x - y).abs() < 1e-13 * smax, "σ drift: {x} vs {y}");
+        }
+        assert!(u_r.to_complex().approx_eq(&u_c, 1e-12));
+        assert!(v_r.to_complex().approx_eq(&v_c, 1e-12));
+        assert_eq!(
+            u_c.imag_part().max_abs(),
+            0.0,
+            "complex run left the real axis"
+        );
+        assert_eq!(v_c.imag_part().max_abs(), 0.0);
     }
 
     #[test]

@@ -14,6 +14,14 @@
 //!   structurally unrelated, which makes it a strong cross-check in tests
 //!   and an ablation point in the benchmark suite.
 //!
+//! For *streams* of row/column appends — the `FitSession` serving path,
+//! where the shifted Loewner pencil grows with every arriving
+//! measurement — recomputing any backend from scratch is `O(n³)` per
+//! append. [`SvdUpdater`] instead retains the thin factorization and
+//! absorbs each append as a bordered low-rank update, re-decomposing
+//! only a small core matrix whose size tracks the *numerical rank* of
+//! the stream (see the [`SvdUpdater`] docs).
+//!
 //! The SVD is the analytical heart of the MFTI paper: singular values of
 //! the shifted Loewner pencil reveal the underlying system order (Fig. 1)
 //! and the truncated factors build the reduced realization (Lemma 3.4).
@@ -27,6 +35,9 @@ mod bidiag_qr;
 mod blocked;
 mod golub_kahan;
 mod jacobi;
+mod update;
+
+pub use update::{SvdUpdater, DEFAULT_UPDATE_FLOOR};
 
 use crate::error::NumericError;
 use crate::matrix::{CMatrix, Matrix};
@@ -153,14 +164,7 @@ impl Svd {
         method: SvdMethod,
         factors: SvdFactors,
     ) -> Result<Self, NumericError> {
-        if a.is_empty() {
-            return Err(NumericError::InvalidArgument {
-                what: "svd of empty matrix",
-            });
-        }
-        if !a.is_finite() {
-            return Err(NumericError::NotFinite { op: "svd" });
-        }
+        validate_input(a)?;
         // All backends assume m >= n; handle wide matrices through the
         // adjoint: A = U Σ V*  ⇔  A* = V Σ U*. The transpose happens in
         // the input scalar type — real inputs stay real all the way into
@@ -187,6 +191,28 @@ impl Svd {
         Ok(Self::compute_factors(a, SvdMethod::default(), SvdFactors::ValuesOnly)?.s)
     }
 
+    /// Thin SVD in the **input scalar type** (real factors for real
+    /// input): `(U m×r, σ r, V n×r)` with `r = min(m, n)`, through the
+    /// default blocked backend (which delegates small problems to the
+    /// rank-1 reference path). This is the factorization engine of
+    /// [`SvdUpdater`], which must keep realified pencils on the packed
+    /// real GEMM path across updates; [`Svd`] promotes the same triplet
+    /// to complex at its container boundary.
+    pub(crate) fn factors_native<T: Scalar>(
+        a: &Matrix<T>,
+        want_u: bool,
+        want_v: bool,
+    ) -> Result<bidiag_qr::SvdTriplet<T>, NumericError> {
+        validate_input(a)?;
+        if a.rows() < a.cols() {
+            // A = U Σ V*  ⇔  A* = V Σ U*: factor wants swap through the
+            // adjoint, exactly as in `compute_factors`.
+            let (v, s, u) = blocked::svd_blocked(&a.adjoint(), want_v, want_u)?;
+            return Ok((u, s, v));
+        }
+        blocked::svd_blocked(a, want_u, want_v)
+    }
+
     fn dispatch<T: Scalar>(
         a: &Matrix<T>,
         method: SvdMethod,
@@ -194,11 +220,18 @@ impl Svd {
     ) -> Result<Self, NumericError> {
         let (want_u, want_v) = (factors.left(), factors.right());
         let (u, s, v) = match method {
-            // The blocked backend is scalar-generic: real matrices run
-            // the real panel/GEMM path (a quarter of the complex flops)
-            // and only the returned factors are promoted.
-            SvdMethod::Blocked => blocked::svd_blocked(a, want_u, want_v)?,
-            SvdMethod::GolubKahan => golub_kahan::svd_golub_kahan(&a.to_complex(), want_u, want_v)?,
+            // The blocked and Golub–Kahan backends are scalar-generic:
+            // real matrices run the real path (a quarter of the complex
+            // flops) and only the returned factors are promoted, here at
+            // the scalar-agnostic container boundary.
+            SvdMethod::Blocked => {
+                let (u, s, v) = blocked::svd_blocked(a, want_u, want_v)?;
+                (u.to_complex(), s, v.to_complex())
+            }
+            SvdMethod::GolubKahan => {
+                let (u, s, v) = golub_kahan::svd_golub_kahan(a, want_u, want_v)?;
+                (u.to_complex(), s, v.to_complex())
+            }
             SvdMethod::Jacobi => {
                 // The one-sided Jacobi iteration produces both factors as
                 // a by-product; honoring the request means dropping the
@@ -323,6 +356,20 @@ impl Svd {
             _ => f64::NAN,
         }
     }
+}
+
+/// Shared input gate of every decomposition entry point: empty and
+/// non-finite matrices are rejected before any backend runs.
+fn validate_input<T: Scalar>(a: &Matrix<T>) -> Result<(), NumericError> {
+    if a.is_empty() {
+        return Err(NumericError::InvalidArgument {
+            what: "svd of empty matrix",
+        });
+    }
+    if !a.is_finite() {
+        return Err(NumericError::NotFinite { op: "svd" });
+    }
+    Ok(())
 }
 
 /// Sorts singular triplets descending and flips signs so every σ ≥ 0.

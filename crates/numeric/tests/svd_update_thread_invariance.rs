@@ -1,0 +1,75 @@
+//! Thread-count invariance of the incremental SVD update path —
+//! isolated in its own test binary (like `svd_thread_invariance.rs`)
+//! because it cycles the process-global `MFTI_THREADS` variable, which
+//! sibling tests in a shared binary would race against.
+//!
+//! The updater's parallel surface is inherited: the seed decomposition
+//! runs the blocked backend's fanned trailing update, and every
+//! bordered-core re-decomposition plus basis-rotation GEMM routes
+//! through the deterministically-chunked kernels. Updated singular
+//! values (and retained factors) must be bit-identical at every worker
+//! count.
+
+use mfti_numeric::{c64, CMatrix, SvdUpdater};
+
+fn pseudo_random_complex(m: usize, n: usize, mut seed: u64) -> CMatrix {
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    CMatrix::from_fn(m, n, |_, _| c64(next(), next()))
+}
+
+/// Seeds from the leading 128×128 block (the blocked backend's panel
+/// path with real fan-out) and absorbs four 8-wide border appends; the
+/// dense full-rank stream keeps the retained rank at full size, so the
+/// bordered cores are large enough to cross the blocked threshold too.
+fn streamed_updater() -> SvdUpdater<mfti_numeric::Complex> {
+    let full = pseudo_random_complex(160, 160, 0x5eed_cafe);
+    let mut upd = SvdUpdater::new(&full.submatrix(0, 0, 128, 128).expect("seed")).expect("svd");
+    let mut dim = 128;
+    while dim < 160 {
+        upd.append_border(
+            &full.submatrix(0, dim, dim, 8).expect("cols"),
+            &full.submatrix(dim, 0, 8, dim).expect("rows"),
+            &full.submatrix(dim, dim, 8, 8).expect("corner"),
+        )
+        .expect("append");
+        dim += 8;
+    }
+    upd
+}
+
+#[test]
+fn updated_singular_values_are_thread_count_invariant() {
+    std::env::set_var("MFTI_THREADS", "1");
+    let reference = streamed_updater();
+    let bits = |m: &CMatrix| -> Vec<(u64, u64)> {
+        m.as_slice()
+            .iter()
+            .map(|z| (z.re.to_bits(), z.im.to_bits()))
+            .collect()
+    };
+    for threads in ["2", "4", "8"] {
+        std::env::set_var("MFTI_THREADS", threads);
+        let upd = streamed_updater();
+        assert_eq!(
+            reference.singular_values(),
+            upd.singular_values(),
+            "updated σ differ at MFTI_THREADS={threads}"
+        );
+        assert_eq!(
+            bits(reference.left()),
+            bits(upd.left()),
+            "retained U differs at MFTI_THREADS={threads}"
+        );
+        assert_eq!(
+            bits(reference.right()),
+            bits(upd.right()),
+            "retained V differs at MFTI_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("MFTI_THREADS");
+}

@@ -1,0 +1,169 @@
+//! Streaming `FitSession` integration: an MNA circuit measured one
+//! sample pair at a time, with the order-detection SVD absorbed
+//! incrementally (`SessionSvd::Updating`, the default). Checks the
+//! serving-layer invariants end to end:
+//!
+//! * the per-append `order_trajectory()` is sensible — monotone
+//!   non-decreasing while measurements still reveal modes, then flat
+//!   once the pencil saturates;
+//! * the incrementally maintained singular values agree with the
+//!   one-shot fit's fresh decomposition;
+//! * the final realized model matches a from-scratch fit on the same
+//!   sample ordering to ≤ 1e-11 (the pencil is grown bit-identically
+//!   and the rank decision must coincide, so the realizations do too);
+//! * the retained working set stays far below the pencil order — the
+//!   rank-revealing property that makes per-measurement refits
+//!   sublinear.
+
+use mfti::core::{FitSession, Fitter, Mfti, SessionSvd};
+use mfti::numeric::SvdMethod;
+use mfti::sampling::generators::MnaNetlist;
+use mfti::sampling::{FrequencyGrid, SampleSet};
+use mfti::statespace::Macromodel;
+
+/// A 2-port RLC transmission-line ladder: eight series RL segments with
+/// shunt C loads — enough states that the streamed pencil saturates
+/// well after the first few measurements.
+fn ladder() -> mfti::statespace::DescriptorSystem<f64> {
+    let mut net = MnaNetlist::new();
+    for seg in 0..8 {
+        let a = 2 * seg + 1;
+        net = net
+            .resistor(a, a + 1, 4.0 + seg as f64)
+            .inductor(a + 1, a + 2, 1.5e-9)
+            .capacitor(a + 2, 0, 0.8e-12);
+    }
+    net.port(1).port(17).build().expect("valid netlist")
+}
+
+/// The stream: band edges first (they fix the session's frequency
+/// normalization), then one interior sample pair per append.
+fn streamed_batches(all: &SampleSet) -> Vec<SampleSet> {
+    let k = all.len();
+    let mut batches = vec![all.subset(&[0, k - 1]).expect("edges")];
+    let mut i = 1;
+    while i + 1 < k - 1 {
+        batches.push(all.subset(&[i, i + 1]).expect("pair"));
+        i += 2;
+    }
+    batches
+}
+
+#[test]
+fn streamed_mna_fit_matches_from_scratch() {
+    let ckt = ladder();
+    let grid = FrequencyGrid::log_space(1e7, 1e10, 32).expect("grid");
+    let all = SampleSet::from_system(&ckt, &grid).expect("sampling");
+    let batches = streamed_batches(&all);
+    assert!(batches.len() >= 15, "stream long enough to saturate");
+
+    let mut session = FitSession::new(Mfti::new());
+    for batch in &batches {
+        session.append(batch).expect("append");
+    }
+
+    // --- Trajectory: monotone rise, then converged ---------------------
+    let trajectory = session.order_trajectory().to_vec();
+    assert_eq!(trajectory.len(), batches.len());
+    assert!(
+        trajectory.windows(2).all(|w| w[0] <= w[1]),
+        "detected order regressed along the stream: {trajectory:?}"
+    );
+    let converged = *trajectory.last().expect("nonempty");
+    assert!(converged > trajectory[0], "the stream never revealed modes");
+    let first_at_final = trajectory
+        .iter()
+        .position(|&r| r == converged)
+        .expect("final value occurs");
+    assert!(
+        first_at_final + 2 < trajectory.len(),
+        "trajectory still climbing at stream end: {trajectory:?}"
+    );
+    assert!(
+        trajectory[first_at_final..].iter().all(|&r| r == converged),
+        "trajectory wobbled after convergence: {trajectory:?}"
+    );
+
+    // --- Rank-revealing working set ------------------------------------
+    let retained = session.retained_rank().expect("updater materialized");
+    assert!(
+        2 * retained <= session.pencil_order(),
+        "retained rank {retained} is not sublinear in pencil order {}",
+        session.pencil_order()
+    );
+
+    // --- From-scratch reference on the same sample ordering ------------
+    let streamed_order: Vec<SampleSet> = batches;
+    let combined = {
+        let mut freqs = Vec::new();
+        let mut mats = Vec::new();
+        for b in &streamed_order {
+            freqs.extend_from_slice(b.freqs_hz());
+            mats.extend(b.matrices().iter().cloned());
+        }
+        SampleSet::from_parts(freqs, mats).expect("combined")
+    };
+    let scratch = Mfti::new().fit(&combined).expect("one-shot fit");
+
+    // Incrementally updated σ vs the one-shot fresh decomposition.
+    let sv_stream = session.singular_values().expect("signal").to_vec();
+    let sv_scratch = scratch.pencil_singular_values().expect("loewner fit");
+    assert_eq!(sv_stream.len(), sv_scratch.len());
+    let smax = sv_scratch[0];
+    for (i, (a, b)) in sv_stream.iter().zip(sv_scratch).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-10 * smax,
+            "σ[{i}] drift {:.2e} between stream and scratch",
+            (a - b).abs() / smax
+        );
+    }
+
+    // Identical rank decision ⇒ identical realization (the extend-grown
+    // pencil equals the from-scratch build bit-for-bit).
+    let streamed_fit = session.realize().expect("realize");
+    assert_eq!(streamed_fit.order(), scratch.order());
+    assert_eq!(streamed_fit.order(), converged);
+    let (a, b) = (
+        streamed_fit.model().as_real().expect("real path"),
+        scratch.model().as_real().expect("real path"),
+    );
+    assert!(a.e().approx_eq(b.e(), 1e-11));
+    assert!(a.a().approx_eq(b.a(), 1e-11));
+    assert!(a.b().approx_eq(b.b(), 1e-11));
+    assert!(a.c().approx_eq(b.c(), 1e-11));
+
+    // And the model actually reproduces the circuit on its samples
+    // (batched sweep evaluation).
+    let resp = streamed_fit
+        .model()
+        .response_batch_hz(all.freqs_hz())
+        .expect("sweep");
+    for ((f, s), h) in all.iter().zip(&resp) {
+        assert!(
+            (h - s).max_abs() < 1e-7 * s.max_abs().max(1e-12),
+            "streamed model fails to interpolate at {f} Hz"
+        );
+    }
+}
+
+#[test]
+fn streaming_oracle_and_updater_agree_on_the_mna_stream() {
+    // The same stream under the fresh-SVD oracle: identical trajectory
+    // and rank decisions at every append (the property suite checks the
+    // numeric layer; this pins the session wiring).
+    let ckt = ladder();
+    let grid = FrequencyGrid::log_space(1e7, 1e10, 20).expect("grid");
+    let all = SampleSet::from_system(&ckt, &grid).expect("sampling");
+
+    let mut updating = FitSession::new(Mfti::new());
+    let mut oracle = FitSession::new(Mfti::new()).svd(SessionSvd::Fresh(SvdMethod::Blocked));
+    for batch in streamed_batches(&all) {
+        updating.append(&batch).expect("append");
+        oracle.append(&batch).expect("append");
+    }
+    assert_eq!(updating.order_trajectory(), oracle.order_trajectory());
+    assert_eq!(
+        updating.realize().expect("realize").order(),
+        oracle.realize().expect("realize").order()
+    );
+}
