@@ -33,10 +33,10 @@ use criterion::{BenchResult, Criterion};
 
 use mfti_bench::random_complex;
 use mfti_core::{
-    FitSession, Fitter, LoewnerPencil, Mfti, OrderSelection, RecursiveMfti, SessionSvd,
+    realify, FitSession, Fitter, LoewnerPencil, Mfti, OrderSelection, RecursiveMfti, SessionSvd,
     TangentialData, Vfti, Weights,
 };
-use mfti_numeric::{kernel, parallel, SvdMethod};
+use mfti_numeric::{kernel, parallel, RMatrix, Svd, SvdFactors, SvdMethod};
 use mfti_sampling::generators::{PdnBuilder, RandomSystemBuilder};
 use mfti_sampling::{FrequencyGrid, NoiseModel, SampleSet};
 use mfti_statespace::{Macromodel, SweepStrategy, TransferFunction};
@@ -138,6 +138,36 @@ fn main() {
             b.iter(|| stage_session.realize().expect("realize"))
         });
 
+    // The pre-lazy-accumulation realize recipe, for the full vs
+    // rank-limited stage comparison: realification, both stacked SVDs
+    // with *full* factor accumulation, the complex truncation
+    // round-trip, then the same projections. `fit_stage/realize` above
+    // runs the two-phase path (bidiagonalize → accumulate only the
+    // leading `order` columns) through the session.
+    let stage_order = stage_session.realize().expect("realize").order();
+    c.bench_function("fit_stage/realize_full", |b| {
+        b.iter(|| {
+            let real = realify(&stage_pencil, 1e-6).expect("realify");
+            let row_stack = RMatrix::hstack(&[real.ll(), real.sll()]).expect("hstack");
+            let col_stack = RMatrix::vstack(&[real.ll(), real.sll()]).expect("vstack");
+            let svd_rows = Svd::compute_factors(&row_stack, SvdMethod::Blocked, SvdFactors::Left)
+                .expect("row svd");
+            let svd_cols = Svd::compute_factors(&col_stack, SvdMethod::Blocked, SvdFactors::Right)
+                .expect("col svd");
+            let (y_c, _, _) = svd_rows.truncate(stage_order);
+            let (_, _, x_c) = svd_cols.truncate(stage_order);
+            let y = y_c.real_part();
+            let x = x_c.real_part();
+            let llx = real.ll().matmul(&x).expect("llx");
+            let sllx = real.sll().matmul(&x).expect("sllx");
+            let e = (-&y.mul_hermitian_left(&llx).expect("e")).scale(1.0 / real.freq_scale());
+            let a = -&y.mul_hermitian_left(&sllx).expect("a");
+            let bb = y.mul_hermitian_left(real.v()).expect("b");
+            let cc = real.w().matmul(&x).expect("c");
+            (e, a, bb, cc)
+        })
+    });
+
     // --- streaming append → order-detect: updater vs fresh SVD ---------
     // Clean (numerically rank-deficient) 2-port streams: the serving
     // scenario the rank-revealing updates target. Each measured
@@ -187,6 +217,41 @@ fn main() {
                     s.singular_values().expect("signal")[0]
                 })
             });
+
+        if pencil_order == 96 {
+            // Append → refreshed *model*, not just the refreshed signal:
+            // the updating path realizes from the updater's retained
+            // factors (no fresh K×K decomposition anywhere), the fresh
+            // oracle re-decomposes twice (signal + stacked realize SVDs).
+            c.bench_function("session_stream/k96/updating_realize", |b| {
+                b.iter(|| {
+                    let mut s = updating.clone();
+                    s.append(&last).expect("append");
+                    s.realize().expect("realize").order()
+                })
+            })
+            .bench_function("session_stream/k96/fresh_realize", |b| {
+                b.iter(|| {
+                    let mut s = fresh.clone();
+                    s.append(&last).expect("append");
+                    s.realize().expect("realize").order()
+                })
+            });
+            // The retained-factor realize stage in isolation (clean
+            // rank-deficient stream — the regime where the retained
+            // path applies; the noisy PDN stage workload above retains
+            // near-full rank and deliberately falls back).
+            let mut retained_session = updating.clone();
+            retained_session.append(&last).expect("append");
+            assert!(
+                2 * retained_session.retained_rank().expect("updater")
+                    <= retained_session.pencil_order(),
+                "retained realize bench must exercise the retained path"
+            );
+            c.bench_function("fit_stage/realize_retained", |b| {
+                b.iter(|| retained_session.realize().expect("realize"))
+            });
+        }
     }
 
     // --- batched sweep: algorithmic (Schur) × parallel multipliers -----
@@ -315,6 +380,14 @@ fn main() {
         stage_ms("realize"),
         median_of("end_to_end/mfti_full") / 1e6,
     );
+    println!(
+        "realize paths: full-accumulation {:.2} ms | rank-limited {:.2} ms ({:.2}x) | \
+         retained-factor (clean K=96 stream) {:.3} ms",
+        stage_ms("realize_full"),
+        stage_ms("realize"),
+        stage_ms("realize_full") / stage_ms("realize"),
+        stage_ms("realize_retained"),
+    );
 
     for pencil_order in [16usize, 48, 96] {
         let upd = median_of(&format!("session_stream/k{pencil_order}/updating"));
@@ -327,6 +400,15 @@ fn main() {
             fre / upd,
         );
     }
+    let upd_model = median_of("session_stream/k96/updating_realize");
+    let fre_model = median_of("session_stream/k96/fresh_realize");
+    println!(
+        "session append→refreshed model at K=96: updating {:.0} µs | fresh {:.0} µs | \
+         speed-up {:.2}x",
+        upd_model / 1e3,
+        fre_model / 1e3,
+        fre_model / upd_model,
+    );
 
     let (stage_results, rest): (Vec<BenchResult>, Vec<BenchResult>) = results
         .iter()

@@ -15,7 +15,7 @@
 
 use std::time::{Duration, Instant};
 
-use mfti_numeric::{CMatrix, Complex};
+use mfti_numeric::{CMatrix, Complex, PartialSvd, Svd, SvdFactors, SvdUpdater};
 use mfti_sampling::SampleSet;
 use mfti_statespace::{DescriptorSystem, Macromodel, StateSpaceError, TransferFunction};
 
@@ -23,8 +23,11 @@ use crate::data::{TangentialData, Weights};
 use crate::directions::DirectionKind;
 use crate::error::MftiError;
 use crate::loewner::LoewnerPencil;
-use crate::realify::realify;
-use crate::realize::{realize_complex, realize_real, OrderSelection};
+use crate::realify::{apply_t_adjoint_left, realify};
+use crate::realize::{
+    project_complex, realize_complex, realize_complex_from_partial, realize_real,
+    realize_real_retained, OrderSelection, StackedRealization,
+};
 
 /// Which realization arithmetic to use after order detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -270,9 +273,33 @@ impl Mfti {
         start: Instant,
     ) -> Result<FitResult, MftiError> {
         let x0 = pencil.default_x0();
-        let sv = pencil.shifted_pencil_singular_values(x0)?;
-        let order = self.order_selection.detect(&sv)?;
-        let model = self.realize_pencil(pencil, order)?;
+        let (sv, order, model) = match self.path {
+            RealizationPath::Complex => {
+                // Order detection and projection read the same shifted
+                // pencil: one lazy bidiagonalization serves both — the
+                // values pick the order, then only the r columns the
+                // Lemma 3.4 projections touch are accumulated.
+                let partial = Svd::bidiagonalize(&pencil.shifted_pencil(x0))?;
+                let sv = partial.singular_values().to_vec();
+                let order = self.order_selection.detect(&sv)?;
+                let model =
+                    FittedModel::Complex(realize_complex_from_partial(pencil, &partial, order)?);
+                (sv, order, model)
+            }
+            RealizationPath::Real => {
+                // Same sharing on the real path: detection reads the
+                // shifted pencil's values, and the projection restricts
+                // the stacked problems to the realified span of the
+                // same decomposition's leading columns (the Loewner
+                // rank equalities make the spans coincide) — the two
+                // stacked K×2K bidiagonalizations shrink to 2r×2K.
+                let partial = Svd::bidiagonalize(&pencil.shifted_pencil(x0))?;
+                let sv = partial.singular_values().to_vec();
+                let order = self.order_selection.detect(&sv)?;
+                let model = self.realize_pencil_from_partial(pencil, &partial, order)?;
+                (sv, order, model)
+            }
+        };
         Ok(FitResult {
             model,
             pencil_singular_values: sv,
@@ -293,11 +320,128 @@ impl Mfti {
     ) -> Result<FittedModel, MftiError> {
         Ok(match self.path {
             RealizationPath::Real => {
-                let real = realify(pencil, self.realify_tol)?;
-                FittedModel::Real(realize_real(&real, order)?)
+                // Dense requests (2r > K) go straight to the stacked
+                // SVDs — the shifted-pencil detour would not shrink
+                // them (and would waste its own bidiagonalization).
+                if 2 * order > pencil.order() {
+                    let real = realify(pencil, self.realify_tol)?;
+                    FittedModel::Real(realize_real(&real, order)?)
+                } else {
+                    let partial = Svd::bidiagonalize(&pencil.shifted_pencil(pencil.default_x0()))?;
+                    self.realize_pencil_from_partial(pencil, &partial, order)?
+                }
             }
             RealizationPath::Complex => {
                 FittedModel::Complex(realize_complex(pencil, pencil.default_x0(), order)?)
+            }
+        })
+    }
+
+    /// Realization that **reuses an existing bidiagonalization** of the
+    /// shifted pencil `x₀𝕃 − σ𝕃` — the decomposition order detection
+    /// already paid for ([`Mfti::fit_pencil`]) or the one a single-batch
+    /// [`FitSession`](crate::FitSession) retains across
+    /// [`realize_with`](crate::FitSession::realize_with) calls.
+    ///
+    /// * `Complex`: accumulate the leading `order` columns, project
+    ///   (Lemma 3.4) — [`realize_complex_from_partial`].
+    /// * `Real`: accumulate the leading `order` complex columns, push
+    ///   them through the Lemma 3.2 frame and run the **restricted**
+    ///   stacked SVDs on their realified span
+    ///   ([`realize_real_retained`]) — exact where the Loewner rank
+    ///   equalities hold (`range[𝕃 σ𝕃] = range(x₀𝕃 − σ𝕃)`, DESIGN.md
+    ///   §6). Dense requests (`2·order > K`), where the restriction
+    ///   cannot shrink the stacks, fall back to the direct stacked
+    ///   path.
+    pub(crate) fn realize_pencil_from_partial(
+        &self,
+        pencil: &LoewnerPencil,
+        partial: &PartialSvd<Complex>,
+        order: usize,
+    ) -> Result<FittedModel, MftiError> {
+        let k = pencil.order();
+        if order == 0 || order > k {
+            return Err(MftiError::OrderSelection {
+                requested: order,
+                pencil: k,
+            });
+        }
+        Ok(match self.path {
+            RealizationPath::Complex => {
+                FittedModel::Complex(realize_complex_from_partial(pencil, partial, order)?)
+            }
+            RealizationPath::Real => {
+                let real = realify(pencil, self.realify_tol)?;
+                if 2 * order > k {
+                    FittedModel::Real(realize_real(&real, order)?)
+                } else {
+                    let (u, v) = partial.accumulate(SvdFactors::Both, order)?;
+                    let ts = pencil.pair_ts();
+                    let tu = apply_t_adjoint_left(&u, ts);
+                    let tv = apply_t_adjoint_left(&v, ts);
+                    FittedModel::Real(realize_real_retained(&real, &tu, &tv, order)?)
+                }
+            }
+        })
+    }
+
+    /// Whether an order-`order` realization on a `k`-pencil would take
+    /// the dense real path (`2·order > k`, where neither the
+    /// shifted-pencil restriction nor the retained factors shrink the
+    /// stacked problems) — the requests worth serving from a
+    /// session-cached [`StackedRealization`].
+    pub(crate) fn wants_stacked_realization(&self, order: usize, k: usize) -> bool {
+        self.path == RealizationPath::Real && 2 * order > k
+    }
+
+    /// Builds the order-independent dense-path state for the session
+    /// cache: realified pencil plus stacked bidiagonalizations.
+    pub(crate) fn build_stacked_realization(
+        &self,
+        pencil: &LoewnerPencil,
+    ) -> Result<StackedRealization, MftiError> {
+        StackedRealization::build(pencil, self.realify_tol)
+    }
+
+    /// Realization from the **session-retained** thin factorization of
+    /// the shifted pencil instead of a fresh decomposition — the
+    /// updating session's fast path. Returns `Ok(None)` when the
+    /// retained factors cannot serve this request and the caller must
+    /// fall back to [`Mfti::realize_pencil`]:
+    ///
+    /// * the requested order exceeds the retained rank `q` (the
+    ///   truncated tail is gone), or
+    /// * on the real path, `2q > K` — the realified retained bases are
+    ///   `2q` wide, so the restricted stacked problems would be no
+    ///   smaller than the fresh ones (dense/noisy streams).
+    pub(crate) fn realize_pencil_retained(
+        &self,
+        pencil: &LoewnerPencil,
+        updater: &SvdUpdater<Complex>,
+        order: usize,
+    ) -> Result<Option<FittedModel>, MftiError> {
+        let q = updater.retained_rank();
+        if order > q {
+            return Ok(None);
+        }
+        Ok(match self.path {
+            RealizationPath::Complex => {
+                // The updater already holds the shifted pencil's leading
+                // singular vectors: project directly (Lemma 3.4).
+                let (y, _s, x) = updater.truncate_native(order)?;
+                Some(FittedModel::Complex(project_complex(pencil, &y, &x)?))
+            }
+            RealizationPath::Real => {
+                if 2 * q > pencil.order() {
+                    return Ok(None);
+                }
+                let real = realify(pencil, self.realify_tol)?;
+                let ts = pencil.pair_ts();
+                let tu = apply_t_adjoint_left(updater.left(), ts);
+                let tv = apply_t_adjoint_left(updater.right(), ts);
+                Some(FittedModel::Real(realize_real_retained(
+                    &real, &tu, &tv, order,
+                )?))
             }
         })
     }

@@ -69,18 +69,14 @@ impl RealifiedPencil {
 /// above `tol` (relative to each matrix's magnitude) survive — which
 /// means the pencil was not built from conjugate-closed data.
 pub fn realify(pencil: &LoewnerPencil, tol: f64) -> Result<RealifiedPencil, MftiError> {
-    let t_matrix = build_t(pencil.pair_ts());
-
-    // Fused T*·X products: the conjugate transpose is folded into the
-    // kernel packing instead of materializing a K×K adjoint temporary.
-    let ll_c = t_matrix
-        .mul_hermitian_left(pencil.ll())?
-        .matmul(&t_matrix)?;
-    let sll_c = t_matrix
-        .mul_hermitian_left(pencil.sll())?
-        .matmul(&t_matrix)?;
-    let w_c = pencil.w().matmul(&t_matrix)?;
-    let v_c = t_matrix.mul_hermitian_left(pencil.v())?;
+    // T has two entries per row and column, so the conjugations are
+    // applied structurally — O(K²) row/column combinations per product
+    // instead of dense K×K GEMMs against a 2-sparse matrix.
+    let ts = pencil.pair_ts();
+    let ll_c = apply_t_right(&apply_t_adjoint_left(pencil.ll(), ts), ts);
+    let sll_c = apply_t_right(&apply_t_adjoint_left(pencil.sll(), ts), ts);
+    let w_c = apply_t_right(pencil.w(), ts);
+    let v_c = apply_t_adjoint_left(pencil.v(), ts);
 
     let mut max_imag = 0.0f64;
     for m in [&ll_c, &sll_c, &w_c, &v_c] {
@@ -100,7 +96,72 @@ pub fn realify(pencil: &LoewnerPencil, tol: f64) -> Result<RealifiedPencil, Mfti
     })
 }
 
-/// Builds `T = blkdiag(T_i)` for the given per-pair block widths.
+/// Computes `T* X` without materializing `T`: per conjugate pair of
+/// width `t` at block offset `off`,
+///
+/// ```text
+/// (T*X)[off+i, :]   = (X[off+i, :] + X[off+t+i, :]) / √2
+/// (T*X)[off+t+i, :] = j (X[off+i, :] − X[off+t+i, :]) / √2
+/// ```
+///
+/// `X` must have `Σ 2tᵢ` rows. The session's retained-factor
+/// realization uses this to push updater bases through the Lemma 3.2
+/// frame, where a dense `T*` GEMM would cost more than the projection
+/// it feeds.
+pub(crate) fn apply_t_adjoint_left(x: &CMatrix, pair_ts: &[usize]) -> CMatrix {
+    let k: usize = pair_ts.iter().map(|t| 2 * t).sum();
+    debug_assert_eq!(x.rows(), k, "T* row-application dimension mismatch");
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut out = x.clone();
+    let mut off = 0;
+    for &t in pair_ts {
+        for i in 0..t {
+            for c in 0..x.cols() {
+                let a = x[(off + i, c)];
+                let b = x[(off + t + i, c)];
+                out[(off + i, c)] = c64((a.re + b.re) * inv_sqrt2, (a.im + b.im) * inv_sqrt2);
+                // j(a − b)/√2
+                out[(off + t + i, c)] = c64((b.im - a.im) * inv_sqrt2, (a.re - b.re) * inv_sqrt2);
+            }
+        }
+        off += 2 * t;
+    }
+    out
+}
+
+/// Computes `X T` without materializing `T`: per conjugate pair of
+/// width `t` at block offset `off`,
+///
+/// ```text
+/// (XT)[:, off+i]   = (X[:, off+i] + X[:, off+t+i]) / √2
+/// (XT)[:, off+t+i] = j (X[:, off+t+i] − X[:, off+i]) / √2
+/// ```
+///
+/// `X` must have `Σ 2tᵢ` columns.
+pub(crate) fn apply_t_right(x: &CMatrix, pair_ts: &[usize]) -> CMatrix {
+    let k: usize = pair_ts.iter().map(|t| 2 * t).sum();
+    debug_assert_eq!(x.cols(), k, "T column-application dimension mismatch");
+    let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+    let mut out = x.clone();
+    let mut off = 0;
+    for &t in pair_ts {
+        for i in 0..t {
+            for r in 0..x.rows() {
+                let a = x[(r, off + i)];
+                let b = x[(r, off + t + i)];
+                out[(r, off + i)] = c64((a.re + b.re) * inv_sqrt2, (a.im + b.im) * inv_sqrt2);
+                // j(b − a)/√2
+                out[(r, off + t + i)] = c64((a.im - b.im) * inv_sqrt2, (b.re - a.re) * inv_sqrt2);
+            }
+        }
+        off += 2 * t;
+    }
+    out
+}
+
+/// Builds `T = blkdiag(T_i)` for the given per-pair block widths (the
+/// dense form the structured appliers are validated against in tests).
+#[cfg_attr(not(test), allow(dead_code))]
 fn build_t(pair_ts: &[usize]) -> CMatrix {
     let k: usize = pair_ts.iter().map(|t| 2 * t).sum();
     let mut t_matrix = CMatrix::zeros(k, k);
@@ -140,6 +201,21 @@ mod tests {
         )
         .unwrap();
         (LoewnerPencil::build(&data).unwrap(), data)
+    }
+
+    #[test]
+    fn structured_appliers_match_the_dense_transform() {
+        let ts = [2usize, 1, 3];
+        let k: usize = ts.iter().map(|t| 2 * t).sum();
+        let t_dense = build_t(&ts);
+        let x = CMatrix::from_fn(k, 5, |i, j| {
+            c64(0.3 * i as f64 - j as f64, 0.7 * j as f64 + 1.0)
+        });
+        let y = CMatrix::from_fn(4, k, |i, j| c64(j as f64 - 0.2 * i as f64, 0.1 * i as f64));
+        let left = apply_t_adjoint_left(&x, &ts);
+        let right = apply_t_right(&y, &ts);
+        assert!(left.approx_eq(&t_dense.mul_hermitian_left(&x).unwrap(), 1e-14));
+        assert!(right.approx_eq(&y.matmul(&t_dense).unwrap(), 1e-14));
     }
 
     #[test]

@@ -12,12 +12,12 @@
 //!   singular values of `x₀𝕃 − σ𝕃` still drive order detection — see
 //!   DESIGN.md §5).
 
-use mfti_numeric::{CMatrix, Complex, RMatrix, Svd, SvdFactors, SvdMethod};
+use mfti_numeric::{CMatrix, Complex, PartialSvd, Qr, RMatrix, Svd, SvdFactors};
 use mfti_statespace::DescriptorSystem;
 
 use crate::error::MftiError;
 use crate::loewner::LoewnerPencil;
-use crate::realify::RealifiedPencil;
+use crate::realify::{realify, RealifiedPencil};
 
 /// How to pick the reduced order from the singular-value profile of
 /// `x₀𝕃 − σ𝕃`.
@@ -97,8 +97,14 @@ impl OrderSelection {
                 best_r
             }
             OrderSelection::NoiseFloor { factor } => {
-                let tail_start = (3 * n) / 4;
-                let tail = &sv[tail_start.min(n.saturating_sub(4))..];
+                // The floor estimate wants the bottom quarter, widened to
+                // at least 4 values; profiles shorter than 4 have no tail
+                // to speak of — the whole profile is the window.
+                let tail = if n < 4 {
+                    sv
+                } else {
+                    &sv[((3 * n) / 4).min(n - 4)..]
+                };
                 let floor = median(tail);
                 let s0 = sv.first().copied().unwrap_or(0.0);
                 // Never cut below the numerical noise of the SVD itself:
@@ -120,17 +126,23 @@ impl OrderSelection {
 }
 
 /// Median of a (not necessarily sorted) slice; 0 for an empty slice.
+/// Linear-time selection instead of a full sort — the profile is read
+/// once per append on the session path.
 fn median(values: &[f64]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite singular values"));
     let mid = v.len() / 2;
-    if v.len() % 2 == 1 {
-        v[mid]
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("finite singular values");
+    let (below, &mut upper, _) = v.select_nth_unstable_by(mid, cmp);
+    if values.len() % 2 == 1 {
+        upper
     } else {
-        0.5 * (v[mid - 1] + v[mid])
+        // Even length: the lower median is the largest of the partition
+        // below the selected element.
+        let lower = below.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        0.5 * (lower + upper)
     }
 }
 
@@ -162,6 +174,10 @@ pub fn realize_direct(pencil: &LoewnerPencil) -> Result<DescriptorSystem<Complex
 
 /// Lemma 3.4: SVD-projected **complex** realization of order `r`.
 ///
+/// The decomposition runs the lazy two-phase path
+/// ([`Svd::bidiagonalize`]): only the leading `order` factor columns —
+/// the ones the projections actually read — are ever accumulated.
+///
 /// # Errors
 ///
 /// Propagates SVD failures and [`MftiError::OrderSelection`] for an
@@ -171,6 +187,19 @@ pub fn realize_complex(
     x0: Complex,
     order: usize,
 ) -> Result<DescriptorSystem<Complex>, MftiError> {
+    let partial = Svd::bidiagonalize(&pencil.shifted_pencil(x0))?;
+    realize_complex_from_partial(pencil, &partial, order)
+}
+
+/// The accumulate-and-project half of [`realize_complex`], taking an
+/// already bidiagonalized shifted pencil — the one-shot fit detects the
+/// order from `partial.singular_values()` and projects with the same
+/// decomposition, so the pencil is factored exactly once.
+pub(crate) fn realize_complex_from_partial(
+    pencil: &LoewnerPencil,
+    partial: &PartialSvd<Complex>,
+    order: usize,
+) -> Result<DescriptorSystem<Complex>, MftiError> {
     let k = pencil.order();
     if order == 0 || order > k {
         return Err(MftiError::OrderSelection {
@@ -178,27 +207,28 @@ pub fn realize_complex(
             pencil: k,
         });
     }
-    // One fused pass for x₀𝕃 − σ𝕃 (no x₀𝕃 temporary), mirroring
-    // LoewnerPencil::shifted_pencil_singular_values.
-    let shifted_data: Vec<Complex> = pencil
-        .ll()
-        .as_slice()
-        .iter()
-        .zip(pencil.sll().as_slice())
-        .map(|(&l, &sl)| l * x0 - sl)
-        .collect();
-    let shifted = CMatrix::from_vec(pencil.ll().rows(), pencil.ll().cols(), shifted_data)
-        .expect("ll and sll share dims");
-    let svd = Svd::compute(&shifted)?;
-    let (y, _s, x) = svd.truncate(order);
-    // Projections Y*𝕃X, Y*σ𝕃X, Y*V via the fused hermitian-left kernel —
-    // no Y* temporary, and 𝕃X first so the Y* contraction is r-thin.
-    let llx = pencil.ll().matmul(&x)?;
-    let sllx = pencil.sll().matmul(&x)?;
+    let (y, x) = partial.accumulate(SvdFactors::Both, order)?;
+    project_complex(pencil, &y, &x)
+}
+
+/// The Lemma 3.4 projections `E = −Y*𝕃X/ω₀`, `A = −Y*σ𝕃X`, `B = Y*V`,
+/// `C = WX` for any orthonormal `Y`, `X` spanning the shifted pencil's
+/// leading column/row spaces — shared by the fresh and
+/// session-retained realization paths (which differ only in where the
+/// factors come from).
+pub(crate) fn project_complex(
+    pencil: &LoewnerPencil,
+    y: &CMatrix,
+    x: &CMatrix,
+) -> Result<DescriptorSystem<Complex>, MftiError> {
+    // Fused hermitian-left kernel — no Y* temporary, and 𝕃X first so
+    // the Y* contraction is r-thin.
+    let llx = pencil.ll().matmul(x)?;
+    let sllx = pencil.sll().matmul(x)?;
     let e = (-&y.mul_hermitian_left(&llx)?).scale(1.0 / pencil.freq_scale());
     let a = -&y.mul_hermitian_left(&sllx)?;
     let b = y.mul_hermitian_left(pencil.v())?;
-    let c = pencil.w().matmul(&x)?;
+    let c = pencil.w().matmul(x)?;
     let (p, m) = (c.rows(), b.cols());
     Ok(DescriptorSystem::new(e, a, b, c, CMatrix::zeros(p, m))?)
 }
@@ -206,6 +236,12 @@ pub fn realize_complex(
 /// Real-arithmetic projection after Lemma 3.2: order-`r` **real**
 /// descriptor model via the stacked SVDs
 /// `Y = svd([𝕃 σ𝕃]).U(:, 1..r)`, `X = svd([𝕃; σ𝕃]).V(:, 1..r)`.
+///
+/// Each stacked decomposition runs the lazy two-phase path and
+/// accumulates exactly the one factor side the projection reads,
+/// truncated to `order` columns — in the **real** scalar type, so the
+/// packed real GEMM path carries all the way through the projections
+/// (no complex round-trip).
 ///
 /// # Errors
 ///
@@ -215,6 +251,35 @@ pub fn realize_real(
     pencil: &RealifiedPencil,
     order: usize,
 ) -> Result<DescriptorSystem<f64>, MftiError> {
+    let (rows, cols) = stacked_factors(pencil)?;
+    realize_real_from_stacked(pencil, &rows, &cols, order)
+}
+
+/// Bidiagonalizes the two stacked pencils `[𝕃 σ𝕃]` (wide) and `[𝕃; σ𝕃]`
+/// (tall) — the order-independent half of [`realize_real`], shared with
+/// the session cache ([`StackedRealization`]). Both run the QR-first
+/// two-phase path, and the factor sides the projection reads (left of
+/// the wide stack, right of the tall one) never touch the QR's `Q`.
+fn stacked_factors(
+    pencil: &RealifiedPencil,
+) -> Result<(PartialSvd<f64>, PartialSvd<f64>), MftiError> {
+    let row_stack = RMatrix::hstack(&[pencil.ll(), pencil.sll()])?;
+    let col_stack = RMatrix::vstack(&[pencil.ll(), pencil.sll()])?;
+    Ok((
+        Svd::bidiagonalize(&row_stack)?,
+        Svd::bidiagonalize(&col_stack)?,
+    ))
+}
+
+/// The accumulate-and-project half of [`realize_real`]: truncated
+/// factors from the stacked bidiagonalizations, then the Lemma 3.4
+/// projections in real arithmetic.
+fn realize_real_from_stacked(
+    pencil: &RealifiedPencil,
+    rows: &PartialSvd<f64>,
+    cols: &PartialSvd<f64>,
+    order: usize,
+) -> Result<DescriptorSystem<f64>, MftiError> {
     let k = pencil.order();
     if order == 0 || order > k {
         return Err(MftiError::OrderSelection {
@@ -222,30 +287,98 @@ pub fn realize_real(
             pencil: k,
         });
     }
-    let row_stack = RMatrix::hstack(&[pencil.ll(), pencil.sll()])?;
-    let col_stack = RMatrix::vstack(&[pencil.ll(), pencil.sll()])?;
-    // Each stacked SVD feeds exactly one projection factor, so the other
-    // side is never accumulated (SvdFactors): the row stack only needs
-    // its left vectors, the column stack only its right vectors.
-    let svd_rows = Svd::compute_factors(&row_stack, SvdMethod::default(), SvdFactors::Left)?;
-    let svd_cols = Svd::compute_factors(&col_stack, SvdMethod::default(), SvdFactors::Right)?;
-    let (y_c, _, _) = svd_rows.truncate(order);
-    let (_, _, x_c) = svd_cols.truncate(order);
-    // Real input ⇒ real factors (up to roundoff); enforce and check.
-    debug_assert!(y_c.is_real_within(1e-8));
-    debug_assert!(x_c.is_real_within(1e-8));
-    let y = y_c.real_part();
-    let x = x_c.real_part();
+    let y = rows.accumulate_u(order)?;
+    let x = cols.accumulate_v(order)?;
+    project_real(pencil, &y, &x)
+}
+
+/// The realization stage's order-independent state, retained across
+/// order re-selections: the realified pencil plus the two stacked
+/// bidiagonalizations. [`FitSession`](crate::session::FitSession)
+/// caches one per pencil generation, so on the dense real path
+/// (`2·order > K`, where the retained-factor shortcut of DESIGN.md §6
+/// does not apply) a repeated realize pays only rank-limited
+/// accumulation and projection — the expensive factorizations are
+/// reused. [`realize`](Self::realize) is bit-identical to
+/// [`realize_real`] on the same pencil at every order.
+#[derive(Debug, Clone)]
+pub(crate) struct StackedRealization {
+    real: RealifiedPencil,
+    rows: PartialSvd<f64>,
+    cols: PartialSvd<f64>,
+}
+
+impl StackedRealization {
+    /// Realifies `pencil` (Lemma 3.2, tolerance `realify_tol`) and
+    /// bidiagonalizes its stacks.
+    pub(crate) fn build(pencil: &LoewnerPencil, realify_tol: f64) -> Result<Self, MftiError> {
+        let real = realify(pencil, realify_tol)?;
+        let (rows, cols) = stacked_factors(&real)?;
+        Ok(StackedRealization { real, rows, cols })
+    }
+
+    /// Order-`order` real realization from the retained factorizations.
+    pub(crate) fn realize(&self, order: usize) -> Result<DescriptorSystem<f64>, MftiError> {
+        realize_real_from_stacked(&self.real, &self.rows, &self.cols, order)
+    }
+}
+
+/// The real-arithmetic analogue of [`project_complex`].
+pub(crate) fn project_real(
+    pencil: &RealifiedPencil,
+    y: &RMatrix,
+    x: &RMatrix,
+) -> Result<DescriptorSystem<f64>, MftiError> {
     // Real path: mul_hermitian_left is Yᵀ·(·) — no Yᵀ temporary, and the
     // K×K pencil contracts against the r-thin factors first.
-    let llx = pencil.ll().matmul(&x)?;
-    let sllx = pencil.sll().matmul(&x)?;
+    let llx = pencil.ll().matmul(x)?;
+    let sllx = pencil.sll().matmul(x)?;
     let e = (-&y.mul_hermitian_left(&llx)?).scale(1.0 / pencil.freq_scale());
     let a = -&y.mul_hermitian_left(&sllx)?;
     let b = y.mul_hermitian_left(pencil.v())?;
-    let c = pencil.w().matmul(&x)?;
+    let c = pencil.w().matmul(x)?;
     let (p, m) = (c.rows(), b.cols());
     Ok(DescriptorSystem::new(e, a, b, c, RMatrix::zeros(p, m))?)
+}
+
+/// Real realization seeded from **session-retained** factors: `tu`/`tv`
+/// are the updater's thin `U`/`V` of the complex shifted pencil pushed
+/// through the Lemma 3.2 frame (`T*U`, `T*V`). By the Loewner rank
+/// equalities (Mayo–Antoulas), the stacked pencils' column/row spaces
+/// coincide with the shifted pencil's, so `[Re(T*U) Im(T*U)]` spans
+/// `col([𝕃ᵣ σ𝕃ᵣ])` up to the updater's retained-tail error — the
+/// stacked SVDs shrink from `K×2K` to `2q×2K` problems restricted to
+/// that subspace. See DESIGN.md §6 for when this is (not) valid; the
+/// dispatcher falls back to [`realize_real`] outside those conditions.
+pub(crate) fn realize_real_retained(
+    pencil: &RealifiedPencil,
+    tu: &CMatrix,
+    tv: &CMatrix,
+    order: usize,
+) -> Result<DescriptorSystem<f64>, MftiError> {
+    let k = pencil.order();
+    if order == 0 || order > k {
+        return Err(MftiError::OrderSelection {
+            requested: order,
+            pencil: k,
+        });
+    }
+    let realified_span = |m: &CMatrix| -> Result<RMatrix, MftiError> {
+        Ok(RMatrix::hstack(&[&m.real_part(), &m.imag_part()])?)
+    };
+    // Orthonormal real bases of the retained column/row spaces.
+    let yb = Qr::compute(&realified_span(tu)?)?.q_thin();
+    let xb = Qr::compute(&realified_span(tv)?)?.q_thin();
+    let row_stack = RMatrix::hstack(&[pencil.ll(), pencil.sll()])?;
+    let col_stack = RMatrix::vstack(&[pencil.ll(), pencil.sll()])?;
+    // Restricted stacks: row_stack = Yb·G and col_stack = H·Xbᵀ
+    // (numerically), so the leading singular subspaces lift back
+    // through the bases.
+    let g = yb.mul_hermitian_left(&row_stack)?;
+    let h = col_stack.matmul(&xb)?;
+    let y = yb.matmul(&Svd::bidiagonalize(&g)?.accumulate_u(order)?)?;
+    let x = xb.matmul(&Svd::bidiagonalize(&h)?.accumulate_v(order)?)?;
+    project_real(pencil, &y, &x)
 }
 
 #[cfg(test)]
@@ -253,7 +386,6 @@ mod tests {
     use super::*;
     use crate::data::{TangentialData, Weights};
     use crate::directions::DirectionKind;
-    use crate::realify::realify;
     use mfti_sampling::generators::RandomSystemBuilder;
     use mfti_sampling::{FrequencyGrid, SampleSet};
     use mfti_statespace::TransferFunction;

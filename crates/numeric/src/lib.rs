@@ -79,7 +79,7 @@ pub use schur::{
     strict_upper_max_abs, triangular_right_eigenvectors, Schur,
 };
 pub use solve::{lstsq, solve};
-pub use svd::{Svd, SvdFactors, SvdMethod, SvdUpdater, DEFAULT_UPDATE_FLOOR};
+pub use svd::{PartialSvd, Svd, SvdFactors, SvdMethod, SvdUpdater, DEFAULT_UPDATE_FLOOR};
 
 /// Relative machine tolerance used as the default cut-off in rank
 /// decisions throughout the workspace.

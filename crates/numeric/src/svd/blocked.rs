@@ -49,7 +49,9 @@ use crate::svd::golub_kahan;
 
 /// Panel width: wide enough that the trailing GEMMs dominate, narrow
 /// enough that the four `·×NB` accumulators stay cache-resident.
-const NB: usize = 32;
+/// Shared with the lazy two-phase front-end ([`super::partial`]), whose
+/// WY blocks must tile the reflectors exactly as they were generated.
+pub(super) const NB: usize = 32;
 
 /// Below this column count the panel machinery cannot amortize its
 /// bookkeeping and the rank-1 reference path is faster.
@@ -130,7 +132,7 @@ pub(crate) fn svd_blocked<T: Scalar>(
 /// where column `j` holds the left reflector vector `w_j` (`Wq`), its
 /// update vector `y_j = τq·A_trueᴴ w_j` (`Y`), the right reflector
 /// vector `u_j` (`P`) and its update vector `x_j = τp·A_true u_j` (`X`).
-struct PanelAcc<T: Scalar> {
+pub(super) struct PanelAcc<T: Scalar> {
     /// Left reflector vectors, rows `i0..m` (unit at local row `j`).
     wq: Matrix<T>,
     /// Right-update vectors, rows `i0..m`.
@@ -145,7 +147,57 @@ struct PanelAcc<T: Scalar> {
 /// tails in `w`, real bidiagonal entries in `d`/`e` and scaling factors
 /// in `tauq`/`taup`. The trailing matrix beyond the panel is **not**
 /// touched; the returned accumulators encode the pending update.
-fn bidiag_panel<T: Scalar>(
+/// Eight-chain unrolled dot product `Σ a[k]·b[k]`.
+///
+/// The panel GEMVs reduce into a single scalar; a naive loop serializes
+/// on the FMA latency chain (< 1 GF/s), while eight independent
+/// accumulators let the chains pipeline/vectorize. The summation order
+/// is fixed (lane `k mod 8`, then a balanced pairwise combine), so the
+/// result is deterministic and identical for every thread count — it
+/// only differs from the naive order at the ulp level, which the
+/// tolerance-based SVD contracts absorb.
+#[inline]
+fn dot8<T: Scalar>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [T::ZERO; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for k in 0..8 {
+            acc[k] += xa[k] * xb[k];
+        }
+    }
+    let mut tail = T::ZERO;
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y;
+    }
+    let q0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let q1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+    (q0 + q1) + tail
+}
+
+/// [`dot8`] with the second operand conjugated: `Σ a[k]·conj(b[k])`.
+#[inline]
+fn dot8_conj<T: Scalar>(a: &[T], b: &[T]) -> T {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [T::ZERO; 8];
+    let mut ca = a.chunks_exact(8);
+    let mut cb = b.chunks_exact(8);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for k in 0..8 {
+            acc[k] += xa[k] * xb[k].conj();
+        }
+    }
+    let mut tail = T::ZERO;
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        tail += x * y.conj();
+    }
+    let q0 = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    let q1 = (acc[4] + acc[5]) + (acc[6] + acc[7]);
+    (q0 + q1) + tail
+}
+
+pub(super) fn bidiag_panel<T: Scalar>(
     w: &mut Matrix<T>,
     i0: usize,
     nb: usize,
@@ -174,11 +226,7 @@ fn bidiag_panel<T: Scalar>(
                 let lr = r - i0;
                 let wr = &wq.row(lr)[..j];
                 let xr = &x.row(lr)[..j];
-                let mut acc = T::ZERO;
-                for k in 0..j {
-                    acc += wr[k] * yrow[k] + xr[k] * prow[k];
-                }
-                w[(r, i)] -= acc;
+                w[(r, i)] -= dot8(wr, &yrow) + dot8(xr, &prow);
             }
         }
 
@@ -256,11 +304,7 @@ fn bidiag_panel<T: Scalar>(
                 let lc = c - i0;
                 let yr = &y.row(lc)[..=j];
                 let pr = &p.row(lc)[..j];
-                let mut acc = wrow[j] * yr[j].conj();
-                for k in 0..j {
-                    acc += wrow[k] * yr[k].conj() + xrow[k] * pr[k].conj();
-                }
-                *out -= acc;
+                *out -= dot8_conj(&wrow, yr) + dot8_conj(&xrow, pr);
             }
         }
 
@@ -289,11 +333,7 @@ fn bidiag_panel<T: Scalar>(
         let mut xv = vec![T::ZERO; m - i - 1];
         for r in i + 1..m {
             let row = &w.row(r)[i + 1..n];
-            let mut acc = T::ZERO;
-            for (&a_rc, &uu) in row.iter().zip(&ucur) {
-                acc += a_rc * uu;
-            }
-            xv[r - i - 1] = acc;
+            xv[r - i - 1] = dot8(row, &ucur);
         }
         let mut s1 = vec![T::ZERO; j + 1];
         let mut s2 = vec![T::ZERO; j];
@@ -312,11 +352,7 @@ fn bidiag_panel<T: Scalar>(
             let lr = r - i0;
             let wr = &wq.row(lr)[..=j];
             let xrow = &x.row(lr)[..j];
-            let mut corr = wr[j] * s1[j];
-            for k in 0..j {
-                corr += wr[k] * s1[k] + xrow[k] * s2[k];
-            }
-            xv[r - i - 1] -= corr;
+            xv[r - i - 1] -= dot8(wr, &s1) + dot8(xrow, &s2);
         }
         let tp = taup[i];
         for (lr, val) in xv.iter_mut().enumerate() {
@@ -332,7 +368,7 @@ fn bidiag_panel<T: Scalar>(
 /// workers per contiguous column block. Every output column's bits
 /// depend only on its own operands (blocked-kernel guarantee), so the
 /// result is identical for every worker count.
-fn trailing_update<T: Scalar>(
+pub(super) fn trailing_update<T: Scalar>(
     w: &mut Matrix<T>,
     i0: usize,
     nb: usize,
@@ -379,7 +415,7 @@ fn trailing_update<T: Scalar>(
 /// `v`, builds upper-triangular `T` with
 /// `H_0 H_1 ⋯ H_{k−1} = I − V·T·Vᴴ`. A zero τ leaves its column zero
 /// (the identity reflector contributes nothing).
-fn larft<T: Scalar>(v: &Matrix<T>, taus: &[T]) -> Matrix<T> {
+pub(super) fn larft<T: Scalar>(v: &Matrix<T>, taus: &[T]) -> Matrix<T> {
     let nb = taus.len();
     let rows = v.rows();
     let mut t = Matrix::<T>::zeros(nb, nb);

@@ -35,8 +35,10 @@ mod bidiag_qr;
 mod blocked;
 mod golub_kahan;
 mod jacobi;
+mod partial;
 mod update;
 
+pub use partial::PartialSvd;
 pub use update::{SvdUpdater, DEFAULT_UPDATE_FLOOR};
 
 use crate::error::NumericError;
@@ -189,6 +191,25 @@ impl Svd {
     /// See [`Svd::compute`].
     pub fn singular_values_of<T: Scalar>(a: &Matrix<T>) -> Result<Vec<f64>, NumericError> {
         Ok(Self::compute_factors(a, SvdMethod::default(), SvdFactors::ValuesOnly)?.s)
+    }
+
+    /// Splits the decomposition at the bidiagonal: the returned
+    /// [`PartialSvd`] resolves the singular values immediately and
+    /// defers factor accumulation until a consumer knows which leading
+    /// rank it actually reads ([`PartialSvd::accumulate`]). This is the
+    /// detect-then-project shape of the realization stage: order
+    /// selection needs only the values, the projections only `r`
+    /// columns of each factor.
+    ///
+    /// The factors come back in the input scalar type (real stays
+    /// real). Runs the panel-blocked path at every size, so small
+    /// problems are better served by [`Svd::compute_factors`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Svd::compute`].
+    pub fn bidiagonalize<T: Scalar>(a: &Matrix<T>) -> Result<PartialSvd<T>, NumericError> {
+        PartialSvd::compute(a)
     }
 
     /// Thin SVD in the **input scalar type** (real factors for real

@@ -54,6 +54,7 @@ use crate::kernel;
 use crate::matrix::Matrix;
 use crate::qr::Qr;
 use crate::scalar::Scalar;
+use crate::svd::bidiag_qr::SvdTriplet;
 use crate::svd::Svd;
 
 /// Default relative retained-tail floor: singular values below
@@ -185,6 +186,31 @@ impl<T: Scalar> SvdUpdater<T> {
     /// `A ≈ U diag(σ) V*`.
     pub fn right(&self) -> &Matrix<T> {
         &self.v
+    }
+
+    /// The leading `r` retained triplets `(U_r, σ_r, V_r)` in the
+    /// **native scalar type** — real streams hand back real factors, so
+    /// downstream projections stay on the packed real GEMM path (the
+    /// realization stage consumes this on the session's retained-factor
+    /// fast path instead of re-decomposing the grown pencil).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::InvalidArgument`] when `r` exceeds the retained
+    /// rank — the truncated tail is gone; callers needing more columns
+    /// must fall back to a fresh decomposition.
+    pub fn truncate_native(&self, r: usize) -> Result<SvdTriplet<T>, NumericError> {
+        if r > self.s.len() {
+            return Err(NumericError::InvalidArgument {
+                what: "truncation rank exceeds the retained rank",
+            });
+        }
+        let idx: Vec<usize> = (0..r).collect();
+        Ok((
+            self.u.select_cols(&idx)?,
+            self.s[..r].to_vec(),
+            self.v.select_cols(&idx)?,
+        ))
     }
 
     /// Upper bound (Frobenius, hence Weyl) on the deviation of any

@@ -1,0 +1,235 @@
+//! Property suite for the lazy two-phase SVD ([`Svd::bidiagonalize`] /
+//! [`PartialSvd`]): the headline contract is that **rank-limited
+//! accumulation is bit-identical to the leading `r` columns of a
+//! full-rank accumulation** — across square/tall/wide shapes, real and
+//! complex scalars, and every [`SvdFactors`] combination — plus the
+//! usual reconstruction/orthonormality/value-agreement checks against
+//! the one-shot backends. (Thread-count invariance of the realize paths
+//! lives in the `realize_smoke` digest wired into `scripts/verify.sh`.)
+
+use mfti_numeric::{c64, CMatrix, Matrix, RMatrix, Scalar, Svd, SvdFactors};
+
+fn xorshift(seed: &mut u64) -> f64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    (*seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+}
+
+fn pseudo_random_complex(m: usize, n: usize, mut seed: u64) -> CMatrix {
+    CMatrix::from_fn(m, n, |_, _| {
+        let re = xorshift(&mut seed);
+        c64(re, xorshift(&mut seed))
+    })
+}
+
+fn pseudo_random_real(m: usize, n: usize, mut seed: u64) -> RMatrix {
+    RMatrix::from_fn(m, n, |_, _| xorshift(&mut seed))
+}
+
+/// The shapes the realization stage produces: square shifted pencils,
+/// the wide row stack `[𝕃 σ𝕃]`, the tall column stack `[𝕃; σ𝕃]`, plus
+/// sub-panel sizes that exercise the `n < NB` edge. The 2:1 stacks
+/// (96, 40) / (40, 96) cross the QR-first (R-bidiagonalization)
+/// threshold in both orientations.
+const SHAPES: &[(usize, usize)] = &[
+    (64, 64),
+    (96, 64),
+    (64, 96),
+    (96, 40),
+    (40, 96),
+    (40, 40),
+    (12, 9),
+    (9, 12),
+];
+
+/// Every leading rank `r`: `accumulate(factors, r)` must return exactly
+/// columns `0..r` of `accumulate(factors, min(m, n))` — same bits.
+fn assert_rank_limited_is_exact_truncation<T: Scalar>(a: &Matrix<T>, label: &str) {
+    let partial = Svd::bidiagonalize(a).unwrap();
+    let rmax = a.rows().min(a.cols());
+    for factors in [
+        SvdFactors::Both,
+        SvdFactors::Left,
+        SvdFactors::Right,
+        SvdFactors::ValuesOnly,
+    ] {
+        let (u_full, v_full) = partial.accumulate(factors, rmax).unwrap();
+        for r in [1, rmax / 3, rmax / 2, rmax - 1, rmax] {
+            let r = r.clamp(1, rmax);
+            let (u_r, v_r) = partial.accumulate(factors, r).unwrap();
+            for (full, part, want) in [
+                (&u_full, &u_r, factors.left_requested()),
+                (&v_full, &v_r, factors.right_requested()),
+            ] {
+                if !want {
+                    assert!(part.is_empty(), "{label}: skipped factor materialized");
+                    continue;
+                }
+                assert_eq!(part.cols(), r, "{label}: wrong truncation width");
+                let lead = full.select_cols(&(0..r).collect::<Vec<_>>()).unwrap();
+                assert!(
+                    part.approx_eq(&lead, 0.0),
+                    "{label}: rank-{r} accumulation is not bit-identical to \
+                     the leading columns of the rank-{rmax} run ({factors:?})"
+                );
+            }
+        }
+    }
+}
+
+/// `SvdFactors` helpers are crate-private; mirror them for the test.
+trait FactorsExt {
+    fn left_requested(&self) -> bool;
+    fn right_requested(&self) -> bool;
+}
+
+impl FactorsExt for SvdFactors {
+    fn left_requested(&self) -> bool {
+        matches!(self, SvdFactors::Both | SvdFactors::Left)
+    }
+    fn right_requested(&self) -> bool {
+        matches!(self, SvdFactors::Both | SvdFactors::Right)
+    }
+}
+
+#[test]
+fn rank_limited_accumulation_is_bit_identical_complex() {
+    for &(m, n) in SHAPES {
+        let a = pseudo_random_complex(m, n, (m * 131 + n) as u64);
+        assert_rank_limited_is_exact_truncation(&a, &format!("complex {m}x{n}"));
+    }
+}
+
+#[test]
+fn rank_limited_accumulation_is_bit_identical_real() {
+    for &(m, n) in SHAPES {
+        let a = pseudo_random_real(m, n, (m * 257 + n) as u64);
+        assert_rank_limited_is_exact_truncation(&a, &format!("real {m}x{n}"));
+    }
+}
+
+#[test]
+fn repeated_accumulations_match_a_fresh_instance_bitwise() {
+    // The replayed compact rotation factors are cached per side after
+    // the first accumulation; the cache must be invisible — any later
+    // request (same or different rank, same or both sides) returns the
+    // bits a cold `PartialSvd` would.
+    for &(m, n) in &[(64, 48), (48, 64), (40, 40), (97, 40)] {
+        let a = pseudo_random_complex(m, n, (m * 389 + n) as u64);
+        let warm = Svd::bidiagonalize(&a).unwrap();
+        let r = m.min(n) / 2;
+        let _ = warm.accumulate_u(m.min(n)).unwrap(); // populate the U cache
+        let _ = warm.accumulate_v(r).unwrap(); // populate the V cache
+        let (wu, wv) = warm.accumulate(SvdFactors::Both, r).unwrap();
+        let cold = Svd::bidiagonalize(&a).unwrap();
+        let (cu, cv) = cold.accumulate(SvdFactors::Both, r).unwrap();
+        assert_eq!(wu.dims(), cu.dims(), "{m}x{n}");
+        assert_eq!(wv.dims(), cv.dims(), "{m}x{n}");
+        for i in 0..cu.rows() {
+            assert_eq!(wu.row(i), cu.row(i), "warm U row {i} drifted ({m}x{n})");
+        }
+        for i in 0..cv.rows() {
+            assert_eq!(wv.row(i), cv.row(i), "warm V row {i} drifted ({m}x{n})");
+        }
+    }
+}
+
+#[test]
+fn values_are_bit_identical_across_factor_requests() {
+    // The eager values and every accumulation replay see the same
+    // rotation stream; `singular_values()` is the single source.
+    let a = pseudo_random_complex(72, 60, 9);
+    let partial = Svd::bidiagonalize(&a).unwrap();
+    let fresh = Svd::singular_values_of(&a).unwrap();
+    for (x, y) in partial.singular_values().iter().zip(&fresh) {
+        assert!(
+            (x - y).abs() <= 1e-12 * fresh[0],
+            "values drifted from the one-shot backend: {x} vs {y}"
+        );
+    }
+}
+
+#[test]
+fn truncated_factors_reconstruct_and_stay_orthonormal() {
+    for &(m, n) in &[(64, 48), (48, 64), (96, 40), (40, 96), (30, 30)] {
+        let a = pseudo_random_complex(m, n, (m * 7 + n) as u64);
+        let partial = Svd::bidiagonalize(&a).unwrap();
+        let rmax = m.min(n);
+        let s = partial.singular_values().to_vec();
+        for r in [rmax / 2, rmax] {
+            let (u, v) = partial.accumulate(SvdFactors::Both, r).unwrap();
+            // Orthonormal columns.
+            for f in [&u, &v] {
+                let fhf = f.adjoint().matmul(f).unwrap();
+                assert!(
+                    fhf.approx_eq(&CMatrix::identity(r), 1e-10),
+                    "factor not orthonormal at ({m},{n}) r={r}"
+                );
+            }
+            // U_r Σ_r V_r* is the best rank-r approximation: its error is
+            // σ_{r+1}-sized (0 at full rank).
+            let mut us = u.clone();
+            for j in 0..r {
+                for i in 0..m {
+                    us[(i, j)] = us[(i, j)].scale(s[j]);
+                }
+            }
+            let err = (&us.mul_adjoint_right(&v).unwrap() - &a).norm_fro();
+            let bound = if r == rmax {
+                1e-12 * a.norm_fro()
+            } else {
+                // ‖A − A_r‖_F ≤ √(Σ_{i>r} σᵢ²) + roundoff.
+                let tail: f64 = s[r..].iter().map(|x| x * x).sum::<f64>().sqrt();
+                tail + 1e-12 * a.norm_fro()
+            };
+            assert!(
+                err <= bound * (1.0 + 1e-10),
+                "({m},{n}) r={r}: truncation error {err:.3e} exceeds {bound:.3e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn real_input_accumulates_real_factors_matching_complex_promotion() {
+    // The scalar-generic path: a real matrix must produce (bitwise) the
+    // same factors whether accumulated natively or through the complex
+    // embedding of the same input.
+    let a = pseudo_random_real(56, 40, 77);
+    let ac = a.to_complex();
+    let (ur, vr) = Svd::bidiagonalize(&a)
+        .unwrap()
+        .accumulate(SvdFactors::Both, 17)
+        .unwrap();
+    let (uc, vc) = Svd::bidiagonalize(&ac)
+        .unwrap()
+        .accumulate(SvdFactors::Both, 17)
+        .unwrap();
+    assert!(ur.to_complex().approx_eq(&uc, 1e-13));
+    assert!(vr.to_complex().approx_eq(&vc, 1e-13));
+}
+
+#[test]
+fn rank_query_matches_the_one_shot_backend() {
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut s: Vec<f64> = (0..20).map(|i| 10.0f64.powi(-i / 2)).collect();
+    s[12..].iter_mut().for_each(|x| *x *= 1e-9);
+    let q1 = mfti_numeric::Qr::compute(&pseudo_random_complex(24, 24, seed))
+        .unwrap()
+        .q_thin();
+    seed ^= 0xabcd;
+    let q2 = mfti_numeric::Qr::compute(&pseudo_random_complex(20, 20, seed))
+        .unwrap()
+        .q_thin();
+    let mut core = CMatrix::zeros(24, 20);
+    for (i, &sv) in s.iter().enumerate() {
+        core[(i, i)] = c64(sv, 0.0);
+    }
+    let a = q1.matmul(&core).unwrap().mul_adjoint_right(&q2).unwrap();
+    let partial = Svd::bidiagonalize(&a).unwrap();
+    let svd = Svd::compute(&a).unwrap();
+    for tol in [1e-3, 1e-6, 1e-10] {
+        assert_eq!(partial.rank(tol), svd.rank(tol), "rank mismatch at {tol}");
+    }
+}

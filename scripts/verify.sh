@@ -18,12 +18,16 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 # Deterministic-parallelism smoke: the same sweep (sweep_smoke), the
 # same fit (fit_smoke: parallel pencil assembly + blocked-SVD trailing
-# updates) and the same streamed session (session_smoke: per-append
+# updates), the same streamed session (session_smoke: per-append
 # rank-revealing SVD updates, digesting every per-append σ and the
-# final model) at 1 worker and at many workers must be bit-identical
-# (static-chunk executor guarantee).
-run cargo build --release -p mfti-bench --bin sweep_smoke --bin fit_smoke --bin session_smoke
-for smoke in sweep_smoke fit_smoke session_smoke; do
+# final model) and the same realization stage (realize_smoke: lazy
+# rank-limited WY slab accumulation on the fresh real/complex paths +
+# the session-retained-factor path, digesting every model's bits) at
+# 1 worker and at many workers must be bit-identical (static-chunk
+# executor guarantee).
+run cargo build --release -p mfti-bench --bin sweep_smoke --bin fit_smoke --bin session_smoke \
+    --bin realize_smoke
+for smoke in sweep_smoke fit_smoke session_smoke realize_smoke; do
     digest_1=$(MFTI_THREADS=1 "target/release/$smoke")
     digest_n=$(MFTI_THREADS=8 "target/release/$smoke")
     echo "==> $smoke 1-thread:  $digest_1"

@@ -118,19 +118,31 @@ fn streamed_mna_fit_matches_from_scratch() {
         );
     }
 
-    // Identical rank decision ⇒ identical realization (the extend-grown
-    // pencil equals the from-scratch build bit-for-bit).
+    // Identical rank decision ⇒ equivalent realization. The streamed
+    // session realizes from its retained thin factors, the scratch fit
+    // from a fresh decomposition of the (bit-identical) pencil — the
+    // state bases differ by singular-subspace ambiguities, so the
+    // comparison is in the basis-invariant transfer function.
     let streamed_fit = session.realize().expect("realize");
     assert_eq!(streamed_fit.order(), scratch.order());
     assert_eq!(streamed_fit.order(), converged);
-    let (a, b) = (
-        streamed_fit.model().as_real().expect("real path"),
-        scratch.model().as_real().expect("real path"),
+    assert!(streamed_fit.model().as_real().is_some());
+    let (resp_stream, resp_scratch) = (
+        streamed_fit
+            .model()
+            .response_batch_hz(all.freqs_hz())
+            .expect("sweep"),
+        scratch
+            .model()
+            .response_batch_hz(all.freqs_hz())
+            .expect("sweep"),
     );
-    assert!(a.e().approx_eq(b.e(), 1e-11));
-    assert!(a.a().approx_eq(b.a(), 1e-11));
-    assert!(a.b().approx_eq(b.b(), 1e-11));
-    assert!(a.c().approx_eq(b.c(), 1e-11));
+    for ((f, hs), hr) in all.freqs_hz().iter().zip(&resp_stream).zip(&resp_scratch) {
+        assert!(
+            (hs - hr).max_abs() <= 1e-11 * hr.max_abs().max(1e-12),
+            "retained-factor realization drifted from scratch at {f} Hz"
+        );
+    }
 
     // And the model actually reproduces the circuit on its samples
     // (batched sweep evaluation).

@@ -160,14 +160,27 @@ fn incremental_session_refit_matches_from_scratch() {
     let scratch = Mfti::new().fit(&scratch_set).expect("scratch fit");
 
     assert_eq!(incremental.order(), scratch.order());
-    let (a, b) = (
-        incremental.model().as_real().expect("real"),
-        scratch.model().as_real().expect("real"),
+    // The session realizes from its retained thin factors, the scratch
+    // fit from a fresh decomposition — the state bases differ by
+    // singular-subspace ambiguities, so compare transfer functions.
+    assert!(incremental.model().as_real().is_some());
+    assert!(scratch.model().as_real().is_some());
+    let (resp_i, resp_s) = (
+        incremental
+            .model()
+            .response_batch_hz(scratch_set.freqs_hz())
+            .expect("sweep"),
+        scratch
+            .model()
+            .response_batch_hz(scratch_set.freqs_hz())
+            .expect("sweep"),
     );
-    assert!(a.e().approx_eq(b.e(), 1e-13));
-    assert!(a.a().approx_eq(b.a(), 1e-13));
-    assert!(a.b().approx_eq(b.b(), 1e-13));
-    assert!(a.c().approx_eq(b.c(), 1e-13));
+    for ((f, hi), hs) in scratch_set.freqs_hz().iter().zip(&resp_i).zip(&resp_s) {
+        assert!(
+            (hi - hs).max_abs() <= 1e-11 * hs.max_abs().max(1e-12),
+            "retained-factor realization drifted from scratch at {f} Hz"
+        );
+    }
     // Same singular-value signal, too.
     let sv_i = incremental.pencil_singular_values().expect("loewner");
     let sv_s = scratch.pencil_singular_values().expect("loewner");
