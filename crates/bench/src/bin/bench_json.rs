@@ -350,8 +350,7 @@ fn main() {
         results
             .iter()
             .find(|r| r.id == id)
-            .map(|r| r.median_ns)
-            .unwrap_or(f64::NAN)
+            .map_or(f64::NAN, |r| r.median_ns)
     };
     let speedup =
         median_of("eval_sweep_n48_100pts/loop") / median_of("eval_sweep_n48_100pts/batch");

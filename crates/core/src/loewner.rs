@@ -143,6 +143,11 @@ impl LoewnerPencil {
         // included pairs and repeats inside `new_pairs`), so large
         // appends stay O(n) instead of the quadratic scan a nested
         // `contains` would cost.
+        // mfti-lint: allow(MFTI-D1) — membership probes (`insert`'s
+        // boolean) only: the set decides *whether* to reject, never in
+        // what order anything is processed — the pencil strips are
+        // built from `new_pairs` in caller order, so hash order cannot
+        // leak into numeric results.
         let mut seen: HashSet<usize> = self.included_pairs.iter().copied().collect();
         if new_pairs.iter().any(|&j| !seen.insert(j)) {
             return Err(MftiError::InvalidSamples {

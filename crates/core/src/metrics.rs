@@ -40,6 +40,10 @@ pub fn err_rms(errors: &[f64]) -> f64 {
     if errors.is_empty() {
         return 0.0;
     }
+    // mfti-lint: allow(MFTI-D3) — serial left-to-right fold over the
+    // index-ordered error Vec (itself produced by `parallel::map` with
+    // deterministic chunking), so the summation order is identical at
+    // every MFTI_THREADS.
     let sum_sq: f64 = errors.iter().map(|e| e * e).sum();
     (sum_sq / errors.len() as f64).sqrt()
 }

@@ -259,6 +259,9 @@ impl Mfti {
     ///
     /// Propagates data-validation, SVD and order-selection failures.
     pub fn fit_detailed(&self, samples: &SampleSet) -> Result<FitResult, MftiError> {
+        // mfti-lint: allow(MFTI-D5) — wall-clock read feeds only the
+        // `elapsed` diagnostic on the result; it never reaches numeric
+        // state or control flow.
         let start = Instant::now();
         let data = TangentialData::build(samples, self.directions, &self.weights)?;
         let pencil = LoewnerPencil::build(&data)?;

@@ -171,6 +171,9 @@ impl RecursiveMfti {
     ///
     /// Propagates data-validation and realization failures.
     pub fn fit_detailed(&self, samples: &SampleSet) -> Result<RecursiveFit, MftiError> {
+        // mfti-lint: allow(MFTI-D5) — wall-clock read feeds only the
+        // `elapsed` diagnostic on the result; iteration control is
+        // error-driven, never time-driven.
         let start = Instant::now();
         let weights = self.base_weights();
         let data = TangentialData::build(samples, self.base_directions(), &weights)?;

@@ -1,0 +1,17 @@
+// Fixture: the negative twin of d0_fire — a well-formed, justified
+// suppression that actually silences a violation (one suppressed
+// MFTI-D1, zero findings), in both comment-block and trailing form.
+use std::collections::HashSet;
+
+fn membership_only(ids: &[usize]) -> bool {
+    // mfti-lint: allow(MFTI-D1) — membership probes only: the set
+    // answers `insert`'s boolean and is never iterated, so hash order
+    // cannot escape this function.
+    let mut seen: HashSet<usize> = HashSet::new();
+    ids.iter().any(|&i| !seen.insert(i))
+}
+
+fn keyed_only(pairs: &[(u64, f64)]) -> usize {
+    let map: std::collections::HashMap<u64, f64> = pairs.iter().copied().collect(); // mfti-lint: allow(MFTI-D1) — keyed access only; never iterated
+    map.len()
+}

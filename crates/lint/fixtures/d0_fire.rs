@@ -1,0 +1,12 @@
+// Fixture: MFTI-D0 must fire on suppressions that are not auditable
+// waivers: empty justification, unknown rule ID, and an attempt to
+// suppress the meta-rule itself.
+
+// mfti-lint: allow(MFTI-D1)
+fn unjustified() {}
+
+// mfti-lint: allow(MFTI-D42) — no such rule
+fn unknown_rule() {}
+
+// mfti-lint: allow(MFTI-D0) — the meta-rule cannot be waived
+fn unsuppressible() {}

@@ -1,0 +1,12 @@
+// Fixture: the negative twin of d1_fire — ordered containers, plus the
+// rule's own trigger words hidden inside a string and this comment
+// ("HashMap" here must not fire: rules read the code view only).
+use std::collections::BTreeMap;
+
+fn ordered_access() -> Vec<u64> {
+    let mut cache: BTreeMap<u64, f64> = BTreeMap::new();
+    cache.insert(1, 2.0);
+    let label = "not a real HashMap<u64, f64> = HashMap::new() site";
+    let _ = label;
+    cache.keys().copied().collect()
+}

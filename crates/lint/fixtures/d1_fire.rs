@@ -1,0 +1,13 @@
+// Fixture: MFTI-D1 must fire on hash-collection introduction and on
+// iteration over a tracked hash-typed binding.
+use std::collections::HashMap;
+
+fn hash_order_leaks() -> Vec<u64> {
+    let mut cache: HashMap<u64, f64> = HashMap::new();
+    cache.insert(1, 2.0);
+    let mut keys = Vec::new();
+    for k in cache.keys() {
+        keys.push(*k);
+    }
+    keys
+}

@@ -1,0 +1,7 @@
+// Fixture: the negative twin of d2_fire — fan-out through the
+// deterministic executor's map family only. (The same *content* as
+// d2_fire is separately asserted quiet when linted at the executor's
+// own path, crates/numeric/src/parallel.rs.)
+fn contained_fanout(items: &[f64]) -> Vec<f64> {
+    mfti_numeric::parallel::map_with(4, items, |_, x| x * 2.0)
+}

@@ -1,0 +1,7 @@
+// Fixture: MFTI-D2 must fire on raw thread fan-out outside the
+// deterministic executor module.
+fn rogue_fanout() {
+    let handle = std::thread::spawn(|| 40 + 2);
+    let _ = handle.join();
+    std::thread::scope(|_s| {});
+}

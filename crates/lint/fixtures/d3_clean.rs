@@ -1,0 +1,12 @@
+// Fixture: the negative twin of d3_fire — in the same parallel-adjacent
+// position, only exempt reductions appear: an integer-typed sum
+// (exact, associative) and a `max` fold (order-independent up to NaN).
+fn parallel_then_exempt_reduce(rows: &[Vec<f64>]) -> (usize, f64) {
+    let partials = mfti_numeric::parallel::map(rows, |_, r| r.len());
+    let total: usize = partials.iter().sum();
+    let peak = rows
+        .iter()
+        .flat_map(|r| r.iter().copied())
+        .fold(0.0f64, f64::max);
+    (total, peak)
+}

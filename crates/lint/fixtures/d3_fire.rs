@@ -1,0 +1,8 @@
+// Fixture: MFTI-D3 must fire on unordered float reductions in a
+// module that fans work out through the deterministic executor.
+fn parallel_then_reduce(rows: &[Vec<f64>]) -> (f64, f64) {
+    let partials = mfti_numeric::parallel::map(rows, |_, r| r[0]);
+    let total = partials.iter().sum::<f64>();
+    let energy = partials.iter().map(|x| x * x).fold(0.0, |a, b| a + b);
+    (total, energy)
+}

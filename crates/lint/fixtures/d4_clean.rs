@@ -1,0 +1,19 @@
+// Fixture: the negative twin of d4_fire — every unsafe site carries
+// its proof obligation, in both accepted forms. Only quiet when
+// linted at an allow-listed kernel path.
+
+/// Reads one lane.
+///
+/// # Safety
+///
+/// `p` must be non-null, aligned, and live for the duration of the
+/// call.
+unsafe fn lane(p: *const f64) -> f64 {
+    *p
+}
+
+fn documented(p: *const f64) -> f64 {
+    // SAFETY: `p` comes from a live, aligned slice borrow held by the
+    // caller frame.
+    unsafe { lane(p) }
+}

@@ -1,0 +1,7 @@
+// Fixture: MFTI-D4 must fire on an `unsafe` block with no SAFETY
+// marker, even inside an allow-listed kernel module (and the same
+// content is separately asserted to fire as *unconfined* unsafe when
+// linted at a non-kernel path).
+fn undocumented(p: *const f64) -> f64 {
+    unsafe { *p }
+}

@@ -1,0 +1,8 @@
+// Fixture: the negative twin of d5_fire — a wall-clock read is fine in
+// the bench layer (this file is linted at a crates/bench/ path; the
+// env-read half of the twin is asserted quiet at the executor's path).
+fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    f();
+    t0.elapsed()
+}

@@ -1,0 +1,7 @@
+// Fixture: MFTI-D5 must fire on ambient-state reads (environment and
+// wall clock) outside their sanctioned modules.
+fn ambient_state() -> u128 {
+    let threads = std::env::var("MFTI_THREADS").unwrap_or_default();
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() + threads.len() as u128
+}

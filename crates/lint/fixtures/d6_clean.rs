@@ -1,0 +1,12 @@
+// Fixture: the negative twin of d6_fire — resolving section pointers
+// (the test context declares §1–§7), including a wrapped one, plus a
+// dangling-looking pointer hidden in a string literal.
+
+/// Scope and data substitutions are catalogued in DESIGN.md §1.
+fn resolving() {}
+
+/// The enforcement catalogue lives in DESIGN.md
+/// §7 with per-rule rationale.
+fn wrapped_resolving() -> &'static str {
+    "see DESIGN.md §99 — strings are not doc references"
+}

@@ -1,0 +1,9 @@
+// Fixture: MFTI-D6 must fire on dangling DESIGN.md section pointers,
+// including a reference wrapped across comment lines.
+
+/// Implements the blocked update described in DESIGN.md §99.
+fn dangling() {}
+
+/// The tall-route crossover is motivated in DESIGN.md
+/// §98 and nowhere else.
+fn wrapped_dangling() {}

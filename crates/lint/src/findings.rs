@@ -1,0 +1,144 @@
+//! Finding and rule-ID types plus the text / JSON renderers.
+//!
+//! The JSON emitter is hand-rolled (no serde in the offline build);
+//! the schema is intentionally flat so `jq`-style tooling and the
+//! verify-run artifact (`LINT_findings.json`) stay trivial to consume.
+
+use std::fmt;
+
+/// Stable rule identifiers. `D0` is the meta-rule (suppression
+/// hygiene); `D1`–`D6` are the determinism/containment invariants
+/// catalogued in DESIGN.md §7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// Malformed or unjustified suppression comment.
+    D0,
+    /// Hash-ordered collection near numeric state.
+    D1,
+    /// Thread fan-out outside the deterministic executor.
+    D2,
+    /// Unordered float reduction in a parallel-adjacent module.
+    D3,
+    /// Undocumented or un-confined `unsafe`.
+    D4,
+    /// Ambient process state (`env::var`, wall clocks) outside the
+    /// sanctioned modules.
+    D5,
+    /// Dangling `DESIGN.md §n` doc reference.
+    D6,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 7] = [
+        RuleId::D0,
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::D3,
+        RuleId::D4,
+        RuleId::D5,
+        RuleId::D6,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::D0 => "MFTI-D0",
+            RuleId::D1 => "MFTI-D1",
+            RuleId::D2 => "MFTI-D2",
+            RuleId::D3 => "MFTI-D3",
+            RuleId::D4 => "MFTI-D4",
+            RuleId::D5 => "MFTI-D5",
+            RuleId::D6 => "MFTI-D6",
+        }
+    }
+
+    /// Parses an ID as written in an `allow(...)` list. `MFTI-D0` is
+    /// deliberately not parseable: the meta-rule cannot be suppressed.
+    pub fn parse_allowable(s: &str) -> Option<RuleId> {
+        RuleId::ALL
+            .into_iter()
+            .find(|id| *id != RuleId::D0 && id.as_str() == s)
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One diagnostic: `file:line: [MFTI-Dn] message`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-indexed.
+    pub line: usize,
+    pub rule: RuleId,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Aggregate result of a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    /// Unsuppressed findings, in (file, line) order.
+    pub findings: Vec<Finding>,
+    /// Count of findings silenced by justified `allow` comments.
+    pub suppressed: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Renders the machine-readable artifact (`LINT_findings.json`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256 + 160 * self.findings.len());
+        s.push_str("{\n  \"schema\": \"mfti-lint/1\",\n");
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!("  \"suppressed\": {},\n", self.suppressed));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"file\": \"{}\", ", escape_json(&f.file)));
+            s.push_str(&format!("\"line\": {}, ", f.line));
+            s.push_str(&format!("\"rule\": \"{}\", ", f.rule));
+            s.push_str(&format!("\"message\": \"{}\"}}", escape_json(&f.message)));
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

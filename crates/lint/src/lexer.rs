@@ -1,0 +1,321 @@
+//! A minimal, comment/string/char/raw-string-aware Rust lexer.
+//!
+//! The rule engine is line-oriented, but a naive per-line grep would
+//! fire on patterns inside string literals and miss `// SAFETY:`
+//! markers inside block comments. This module walks the whole file
+//! once with a small state machine and produces, per source line, a
+//! *code view* (literal contents blanked, comments removed) and a
+//! *comment view* (the text of every comment that touches the line,
+//! including doc comments). Rules match against the code view;
+//! suppressions, SAFETY markers, and `DESIGN.md §n` references are
+//! read from the comment view.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments,
+//! string/byte-string literals with escapes, raw (byte) strings with
+//! any number of `#`s, char/byte-char literals, and the char-literal
+//! vs. lifetime ambiguity (`'a'` vs. `'a`).
+
+/// One source line split into its code and comment parts.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Code with string/char literal contents blanked to spaces and
+    /// comments replaced by a single space (so tokens never glue).
+    pub code: String,
+    /// Concatenated text of every comment overlapping this line, with
+    /// the `//`-style opener stripped (a doc comment's third `/` or
+    /// `!` is still present; consumers trim it).
+    pub comment: String,
+}
+
+impl Line {
+    /// True when the line carries no code at all (blank or
+    /// comment-only).
+    pub fn is_code_free(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+
+    /// True when the line is only an attribute (plus optional
+    /// comment), e.g. `#[inline]` or `#![allow(...)]`.
+    pub fn is_attribute_only(&self) -> bool {
+        let t = self.code.trim();
+        (t.starts_with("#[") || t.starts_with("#!")) && t.ends_with(']')
+    }
+}
+
+enum State {
+    Normal,
+    LineComment,
+    /// Nested depth.
+    Block(u32),
+    /// Inside a `"…"` (or `b"…"`) literal.
+    Str,
+    /// Inside `r##"…"##`; payload is the `#` count.
+    RawStr(u32),
+    /// Inside a `'…'` char (or `b'…'`) literal.
+    CharLit,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits `text` into per-line code/comment views. The output has one
+/// entry per `\n`-separated input line.
+pub fn split_lines(text: &str) -> Vec<Line> {
+    let v: Vec<char> = text.chars().collect();
+    let mut out = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Normal;
+    // Last non-blank char emitted to the code view, used to tell a raw
+    // string opener `r"` from an identifier ending in `r`.
+    let mut last_code: Option<char> = None;
+    let mut i = 0;
+
+    while i < v.len() {
+        let c = v[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment | State::CharLit) {
+                state = State::Normal;
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                let next = v.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block(1);
+                    cur.code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    cur.code.push('"');
+                    last_code = Some('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !last_code.is_some_and(is_ident_char) {
+                    // Possible raw/byte literal prefix: r", r#", b", b'
+                    // or br#". Scan past an optional second prefix char
+                    // and any `#`s; fall through to a plain identifier
+                    // char when no quote follows.
+                    let mut j = i + 1;
+                    if c == 'b' && v.get(j).copied() == Some('r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0u32;
+                    while v.get(j).copied() == Some('#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    match v.get(j).copied() {
+                        Some('"') if c == 'b' && j == i + 1 => {
+                            // b"…": plain byte string.
+                            state = State::Str;
+                            cur.code.push('"');
+                            last_code = Some('"');
+                            i = j + 1;
+                        }
+                        Some('"') if j > i + usize::from(c == 'b') => {
+                            state = State::RawStr(hashes);
+                            cur.code.push('"');
+                            last_code = Some('"');
+                            i = j + 1;
+                        }
+                        Some('\'') if c == 'b' && j == i + 1 => {
+                            state = State::CharLit;
+                            cur.code.push('\'');
+                            last_code = Some('\'');
+                            i = j + 1;
+                        }
+                        _ => {
+                            cur.code.push(c);
+                            last_code = Some(c);
+                            i += 1;
+                        }
+                    }
+                } else if c == '\'' {
+                    // Char literal vs. lifetime: a literal is `'\…'` or
+                    // `'x'`; anything else ( `'a`, `'static` ) is a
+                    // lifetime/label and stays in Normal state.
+                    let is_char = next == Some('\\')
+                        || (v.get(i + 2).copied() == Some('\'') && next != Some('\''));
+                    cur.code.push('\'');
+                    last_code = Some('\'');
+                    if is_char {
+                        state = State::CharLit;
+                    }
+                    i += 1;
+                } else {
+                    cur.code.push(c);
+                    if !c.is_whitespace() {
+                        last_code = Some(c);
+                    }
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::Block(depth) => {
+                let next = v.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::Block(depth + 1);
+                    cur.comment.push(' ');
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth <= 1 {
+                        State::Normal
+                    } else {
+                        State::Block(depth - 1)
+                    };
+                    cur.comment.push(' ');
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2; // escaped char, possibly a quote
+                } else if c == '"' {
+                    state = State::Normal;
+                    cur.code.push('"');
+                    last_code = Some('"');
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let h = hashes as usize;
+                    let closed = (1..=h).all(|k| v.get(i + k).copied() == Some('#'));
+                    if closed {
+                        state = State::Normal;
+                        cur.code.push('"');
+                        last_code = Some('"');
+                        i += 1 + h;
+                        continue;
+                    }
+                }
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Normal;
+                    cur.code.push('\'');
+                    last_code = Some('\'');
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    out.push(cur);
+    out
+}
+
+/// Finds `tok` in `code` as a whole token (not embedded in a longer
+/// identifier); returns the byte offset of the first hit.
+pub fn find_token(code: &str, tok: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(tok) {
+        let at = from + rel;
+        let before_ok = code[..at]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_ident_char(c));
+        let after_ok = code[at + tok.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + tok.len();
+    }
+    None
+}
+
+/// Whole-token containment test; see [`find_token`].
+pub fn has_token(code: &str, tok: &str) -> bool {
+    find_token(code, tok).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        split_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let code = code_of(r#"let s = "HashMap::new() // not code";"#);
+        assert!(!code[0].contains("HashMap"));
+        assert!(!code[0].contains("not code"));
+        assert!(code[0].contains("let s ="));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_embedded_quotes() {
+        let src = "let s = r#\"a \"quoted\" unsafe thing\"#; let x = 1;";
+        let code = code_of(src);
+        assert!(!code[0].contains("unsafe"));
+        assert!(code[0].contains("let x = 1;"));
+    }
+
+    #[test]
+    fn multiline_strings_stay_blanked() {
+        let src = "let s = \"first\nthread::spawn\nlast\"; unsafe {}";
+        let code = code_of(src);
+        assert!(!code[1].contains("thread::spawn"));
+        assert!(code[2].contains("unsafe {}"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let code = code_of("fn f<'a>(x: &'a str) -> &'a str { x } let c = 'x'; let n = '\\n';");
+        // The lifetime text survives as code; the char payloads are blanked.
+        assert!(code[0].contains("'a"));
+        assert!(!code[0].contains("'x'"));
+    }
+
+    #[test]
+    fn line_and_nested_block_comments_split_out() {
+        let src =
+            "let a = 1; // trailing HashMap\n/* outer /* inner */ still comment */ let b = 2;";
+        let lines = split_lines(src);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+        assert!(lines[1].comment.contains("still comment"));
+        assert!(lines[1].code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_do_not_open_comments() {
+        let code = code_of(r#"let url = "https://example.com"; let live = 3;"#);
+        assert!(code[0].contains("let live = 3;"));
+    }
+
+    #[test]
+    fn tokens_are_identifier_bounded() {
+        assert!(has_token("unsafe {", "unsafe"));
+        assert!(!has_token("forbid(unsafe_code)", "unsafe"));
+        assert!(!has_token("let my_unsafe = 1;", "unsafe"));
+        assert_eq!(find_token("xHashMap HashMap", "HashMap"), Some(9));
+    }
+}

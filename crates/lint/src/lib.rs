@@ -1,0 +1,93 @@
+//! `mfti-lint` — in-repo static analyzer for the MFTI workspace's
+//! determinism, parallelism-containment, and unsafe-hygiene
+//! invariants.
+//!
+//! The parallel numeric paths (Schur sweeps, blocked-SVD trailing
+//! updates, lazy WY accumulation, streaming `SvdUpdater` appends) are
+//! bit-identical at every `MFTI_THREADS`, and `scripts/verify.sh`
+//! proves it dynamically with digest smokes. This crate enforces the
+//! *source-level* invariants that make those digests hold — see
+//! DESIGN.md §7 for the catalogue:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `MFTI-D1` | no hash-ordered collections near numeric state |
+//! | `MFTI-D2` | all thread fan-out through `mfti_numeric::parallel` |
+//! | `MFTI-D3` | no unordered float reductions in parallel-adjacent modules |
+//! | `MFTI-D4` | `unsafe` confined to the kernel layer and SAFETY-documented |
+//! | `MFTI-D5` | no env/clock reads outside their sanctioned modules |
+//! | `MFTI-D6` | `DESIGN.md §n` doc references resolve |
+//! | `MFTI-D0` | suppressions themselves carry a justification |
+//!
+//! The build environment is offline on pinned stable (no dylint, no
+//! syn, no sanitizers), so everything — the comment/string/char-aware
+//! lexer, the rule engine, the JSON emitter — is dependency-free and
+//! lives in-tree. Findings are suppressed only by explicit, justified
+//! in-source comments (see [`suppress`]); the tool is self-hosting
+//! (it lints its own sources) and fixture-tested in both directions
+//! (every rule has a firing and a non-firing twin).
+
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod walk;
+
+pub use findings::{Finding, Report, RuleId};
+pub use rules::Context;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Outcome of linting one source text.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Findings that survived suppression, in line order.
+    pub findings: Vec<Finding>,
+    /// Number of findings silenced by justified allows.
+    pub suppressed: usize,
+}
+
+/// Lints one source text as if it lived at workspace-relative path
+/// `rel`. This is the seam the fixture tests drive directly: rule
+/// applicability depends on the path (allow-listed modules), so the
+/// caller chooses the pretend location.
+pub fn lint_text(rel: &str, text: &str, ctx: &Context) -> FileOutcome {
+    let lines = lexer::split_lines(text);
+    let (sup, mut findings) = suppress::scan(rel, &lines);
+    let mut suppressed = 0;
+    for finding in rules::check_file(rel, &lines, ctx) {
+        if sup.covers(finding.line, finding.rule) {
+            suppressed += 1;
+        } else {
+            findings.push(finding);
+        }
+    }
+    findings.sort_by_key(|a| (a.line, a.rule));
+    FileOutcome {
+        findings,
+        suppressed,
+    }
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the source walk or file reads.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let ctx = Context {
+        design_sections: walk::design_sections(root),
+    };
+    let mut report = Report::default();
+    for path in walk::collect_sources(root)? {
+        let rel = walk::relative_display(root, &path);
+        let text = fs::read_to_string(&path)?;
+        let outcome = lint_text(&rel, &text, &ctx);
+        report.files_scanned += 1;
+        report.suppressed += outcome.suppressed;
+        report.findings.extend(outcome.findings);
+    }
+    Ok(report)
+}

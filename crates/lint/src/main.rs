@@ -1,0 +1,71 @@
+//! CLI for `mfti-lint`.
+//!
+//! ```text
+//! mfti-lint [--root DIR] [--json FILE]
+//! ```
+//!
+//! Prints `file:line: [MFTI-Dn] message` per unsuppressed finding and
+//! exits 1 when any exist (2 on usage/I/O errors). `--json FILE`
+//! additionally writes the machine-readable report — written on clean
+//! runs too, so every verify run leaves a `LINT_findings.json`
+//! artifact next to the `BENCH_*.json` trajectory.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(file) => json = Some(PathBuf::from(file)),
+                None => return usage("--json needs a file path"),
+            },
+            "--help" | "-h" => {
+                println!("usage: mfti-lint [--root DIR] [--json FILE]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match mfti_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mfti-lint: error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("mfti-lint: error writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "mfti-lint: {} files, {} finding{}, {} suppressed",
+        report.files_scanned,
+        report.findings.len(),
+        if report.findings.len() == 1 { "" } else { "s" },
+        report.suppressed
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(why: &str) -> ExitCode {
+    eprintln!("mfti-lint: {why}\nusage: mfti-lint [--root DIR] [--json FILE]");
+    ExitCode::from(2)
+}

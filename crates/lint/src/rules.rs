@@ -1,0 +1,472 @@
+//! The MFTI determinism rules (`MFTI-D1` … `MFTI-D6`).
+//!
+//! Every rule matches against the lexer's *code view* (so literals and
+//! comments never fire) except D4's SAFETY search and D6, which read
+//! the *comment view*. The rules are lexical by design — the point is
+//! a dependency-free analyzer that runs on every verify — so each one
+//! errs toward firing and lets an explicit, justified
+//! `mfti-lint: allow(…)` record why a site is sound (see DESIGN.md §7
+//! for the full catalogue and rationale).
+
+use crate::findings::{Finding, RuleId};
+use crate::lexer::{find_token, has_token, Line};
+use std::collections::BTreeSet;
+
+/// Workspace facts the rules need beyond the file itself.
+#[derive(Debug, Default)]
+pub struct Context {
+    /// Section numbers that exist in the workspace `DESIGN.md`
+    /// (`## §n` headings).
+    pub design_sections: BTreeSet<u32>,
+}
+
+/// The only module allowed to spawn or scope threads: all fan-out goes
+/// through the deterministic static-chunk executor.
+const D2_EXECUTOR: &str = "crates/numeric/src/parallel.rs";
+
+/// Modules where `unsafe` is permitted (with a SAFETY comment): the
+/// SIMD micro-kernel layer and its back-substitution twin.
+const D4_UNSAFE_MODULES: [&str; 2] = [
+    "crates/numeric/src/kernel.rs",
+    "crates/numeric/src/schur.rs",
+];
+
+/// The only module allowed to read process environment variables
+/// (`MFTI_THREADS` lives here and nowhere else).
+const D5_ENV_MODULE: &str = "crates/numeric/src/parallel.rs";
+
+/// Path prefix under which wall-clock reads are expected (benchmarks
+/// measure time; the numeric stack must not).
+const D5_CLOCK_PREFIX: &str = "crates/bench/";
+
+/// Runs every rule over one file. `rel` is the workspace-relative path
+/// with `/` separators.
+pub fn check_file(rel: &str, lines: &[Line], ctx: &Context) -> Vec<Finding> {
+    let mut out = Vec::new();
+    d1_hash_order(rel, lines, &mut out);
+    d2_thread_fanout(rel, lines, &mut out);
+    d3_float_reductions(rel, lines, &mut out);
+    d4_unsafe_hygiene(rel, lines, &mut out);
+    d5_ambient_state(rel, lines, &mut out);
+    d6_design_refs(rel, lines, ctx, &mut out);
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+fn push(out: &mut Vec<Finding>, rel: &str, line: usize, rule: RuleId, message: String) {
+    out.push(Finding {
+        file: rel.to_string(),
+        line,
+        rule,
+        message,
+    });
+}
+
+// ---------------------------------------------------------------- D1
+
+/// Methods that observe a hash collection's iteration order.
+const D1_ITER_SUFFIXES: [&str; 8] = [
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".retain(",
+];
+
+/// D1: hash-ordered collections near numeric state.
+///
+/// Fires on (a) every *introduction* of a `HashMap`/`HashSet` — a type
+/// annotation (`: HashMap<…>`, `-> HashSet<…>`, turbofish) or a
+/// binding initialised from a constructor — which must carry a
+/// justification that ordering can never reach numeric results, and
+/// (b) any *iteration* over an identifier introduced that way
+/// (`.iter()`, `.keys()`, `for … in`, …). Membership tests (`get`,
+/// `contains`, `insert`, `len`) stay legal. Plain `use` imports do not
+/// fire; the typed binding is the auditable site.
+fn d1_hash_order(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    let mut tracked: BTreeSet<String> = BTreeSet::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let trimmed = code.trim_start();
+        if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+            continue;
+        }
+        for ty in ["HashMap", "HashSet"] {
+            let Some(at) = find_token(code, ty) else {
+                continue;
+            };
+            let after = code[at + ty.len()..].trim_start();
+            let ctor = after.strip_prefix("::").is_some_and(|rest| {
+                ["new", "with_capacity", "from_iter", "from", "default"]
+                    .iter()
+                    .any(|c| rest.starts_with(c))
+            });
+            let typed = after.starts_with('<');
+            let bound = ctor && code[..at].contains('=');
+            if typed || bound {
+                if let Some(name) = binding_name(&code[..at]) {
+                    tracked.insert(name);
+                }
+                push(
+                    out,
+                    rel,
+                    idx + 1,
+                    RuleId::D1,
+                    format!(
+                        "{ty} introduced here: hash order is nondeterministic across \
+                         processes; justify that ordering cannot reach numeric state \
+                         (membership/keyed access only) or use an ordered container"
+                    ),
+                );
+            }
+        }
+    }
+    if tracked.is_empty() {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        for name in &tracked {
+            let Some(at) = find_token(code, name) else {
+                continue;
+            };
+            let after = &code[at + name.len()..];
+            if let Some(suffix) = D1_ITER_SUFFIXES.iter().find(|s| after.starts_with(**s)) {
+                push(
+                    out,
+                    rel,
+                    idx + 1,
+                    RuleId::D1,
+                    format!(
+                        "iteration over hash-ordered `{name}` via `{}`: order varies \
+                         run-to-run; collect into a sorted Vec or switch to BTreeMap/BTreeSet",
+                        suffix.trim_end_matches('(')
+                    ),
+                );
+            }
+            // `for x in [&[mut ]]name` — iteration without a method.
+            if let Some(in_at) = find_token(code, "in") {
+                let target = code[in_at + 2..].trim_start();
+                let target = target
+                    .trim_start_matches('&')
+                    .trim_start_matches("mut ")
+                    .trim_start();
+                if has_token(code, "for")
+                    && target.starts_with(name.as_str())
+                    && !target[name.len()..].starts_with('.')
+                {
+                    push(
+                        out,
+                        rel,
+                        idx + 1,
+                        RuleId::D1,
+                        format!("`for … in {name}` iterates in hash order"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Pulls the bound identifier out of the code preceding a hash-type
+/// token: `let mut seen: ` → `seen`; `map: Mutex<` → `map`;
+/// `let m = ` → `m`. Returns `None` for non-binding positions
+/// (return types, turbofish).
+fn binding_name(before: &str) -> Option<String> {
+    let before = before.trim_end();
+    // Strip one trailing `:` / `=` (plus wrapper types after `:` like
+    // `Mutex<`), then take the identifier that precedes it.
+    let cut = before
+        .char_indices()
+        .rev()
+        .find(|&(i, c)| {
+            // A lone `:` or `=` ends a binding; `::` (turbofish, paths)
+            // does not.
+            (c == ':' && !before[..i].ends_with(':') && !before[i + 1..].starts_with(':'))
+                || c == '='
+        })
+        .map(|(i, _)| i)?;
+    let ident: String = before[..cut]
+        .trim_end()
+        .chars()
+        .rev()
+        .take_while(|&c| c.is_alphanumeric() || c == '_')
+        .collect();
+    let name: String = ident.chars().rev().collect();
+    if name.is_empty() || name.chars().next().is_some_and(char::is_numeric) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+// ---------------------------------------------------------------- D2
+
+/// D2: all thread fan-out goes through `mfti_numeric::parallel` — a
+/// stray `std::thread::spawn` is unscheduled nondeterminism the digest
+/// smokes cannot see on a fixed-core CI box.
+fn d2_thread_fanout(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    if rel == D2_EXECUTOR {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        for pat in ["thread::spawn", "thread::scope", "thread::Builder"] {
+            if line.code.contains(pat) {
+                push(
+                    out,
+                    rel,
+                    idx + 1,
+                    RuleId::D2,
+                    format!(
+                        "`{pat}` outside the deterministic executor: route fan-out \
+                         through `mfti_numeric::parallel::map*` ({D2_EXECUTOR})"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D3
+
+/// Integer-typed reductions are exact and associative; a line that is
+/// visibly integer-typed is exempt from D3.
+const D3_INT_MARKERS: [&str; 13] = [
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+    ".len()",
+];
+
+/// D3: unordered float reductions in parallel-adjacent modules.
+///
+/// A module is *parallel-adjacent* when it invokes the executor's map
+/// family; within such a module, iterator float reductions
+/// (`.sum::<f64>()`, `.product()`, float-seeded `.fold(`) must either
+/// route through the fixed-order kernel helpers (`dot8`) or carry a
+/// justification that the operand order is thread-count-independent.
+/// `fold`s whose operator is `max`/`min` are exempt (order-independent
+/// up to NaN), as are visibly integer-typed reductions.
+fn d3_float_reductions(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    let adjacent = lines
+        .iter()
+        .any(|l| l.code.contains("parallel::map") || l.code.contains("parallel::try_map"));
+    if !adjacent {
+        return;
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let int_exempt = || D3_INT_MARKERS.iter().any(|m| code.contains(m));
+        let minmax_exempt = || {
+            ["::max", "::min", ".max(", ".min("]
+                .iter()
+                .any(|m| code.contains(m))
+        };
+        for pat in [
+            ".sum::<f64>()",
+            ".sum::<f32>()",
+            ".product::<f64>()",
+            ".product::<f32>()",
+        ] {
+            if code.contains(pat) {
+                push(out, rel, idx + 1, RuleId::D3, d3_message(pat));
+            }
+        }
+        for pat in [".sum()", ".product()"] {
+            if code.contains(pat) && !int_exempt() {
+                push(out, rel, idx + 1, RuleId::D3, d3_message(pat));
+            }
+        }
+        if let Some(at) = code.find(".fold(") {
+            let init = code[at + ".fold(".len()..].trim_start();
+            let float_init = init
+                .strip_prefix('-')
+                .unwrap_or(init)
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+                && init.split([',', ')']).next().is_some_and(|lit| {
+                    lit.contains('.') || lit.contains("f64") || lit.contains("f32")
+                });
+            if float_init && !minmax_exempt() {
+                push(out, rel, idx + 1, RuleId::D3, d3_message(".fold(float, …)"));
+            }
+        }
+    }
+}
+
+fn d3_message(pat: &str) -> String {
+    format!(
+        "`{pat}` in a parallel-adjacent module: float reduction order must not depend \
+         on chunking; use the fixed-order kernel helpers or justify why the operand \
+         sequence is identical at every MFTI_THREADS"
+    )
+}
+
+// ---------------------------------------------------------------- D4
+
+/// How far above an `unsafe` token the SAFETY search looks, skipping
+/// attributes, blanks, and comment lines.
+const D4_LOOKBACK: usize = 60;
+
+/// D4: `unsafe` is confined to the kernel allow-list, and every
+/// occurrence is preceded by a `// SAFETY:` comment (or a `# Safety`
+/// rustdoc section for `unsafe fn` declarations).
+fn d4_unsafe_hygiene(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    let confined = D4_UNSAFE_MODULES.contains(&rel);
+    for (idx, line) in lines.iter().enumerate() {
+        if !has_token(&line.code, "unsafe") {
+            continue;
+        }
+        if !confined {
+            push(
+                out,
+                rel,
+                idx + 1,
+                RuleId::D4,
+                format!(
+                    "`unsafe` outside the kernel allow-list ({}): keep unsafe confined \
+                     to the SIMD kernel layer or extend the allow-list deliberately",
+                    D4_UNSAFE_MODULES.join(", ")
+                ),
+            );
+            continue;
+        }
+        if !safety_documented(lines, idx) {
+            push(
+                out,
+                rel,
+                idx + 1,
+                RuleId::D4,
+                "`unsafe` without a preceding `// SAFETY:` comment (or `# Safety` \
+                 rustdoc section) stating the proof obligation"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+/// True when the unsafe at `lines[idx]` has a SAFETY marker on the
+/// same line or in the contiguous comment/attribute block above it.
+fn safety_documented(lines: &[Line], idx: usize) -> bool {
+    let marked = |l: &Line| l.comment.contains("SAFETY:") || l.comment.contains("# Safety");
+    if marked(&lines[idx]) {
+        return true;
+    }
+    for back in lines[..idx].iter().rev().take(D4_LOOKBACK) {
+        if marked(back) {
+            return true;
+        }
+        if !(back.is_code_free() || back.is_attribute_only()) {
+            return false;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------- D5
+
+/// D5: ambient process state. Environment reads are confined to the
+/// executor (`MFTI_THREADS` is the one sanctioned knob); wall-clock
+/// reads (`Instant::now`, `SystemTime::now`) are confined to the bench
+/// crate — a clock read in the numeric stack is either dead diagnostics
+/// or, worse, time-dependent control flow.
+fn d5_ambient_state(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if rel != D5_ENV_MODULE {
+            // Dedicated env-safe test binaries may *write* the
+            // `MFTI_THREADS` knob — that is exactly how the
+            // thread-invariance suites exercise the executor — but
+            // reads stay confined to it everywhere.
+            let in_tests = rel.contains("/tests/") || rel.starts_with("tests/");
+            // `env::var` also substring-covers `env::vars`.
+            for pat in ["env::var", "env::set_var", "env::remove_var"] {
+                if in_tests && pat != "env::var" {
+                    continue;
+                }
+                if code.contains(pat) {
+                    push(
+                        out,
+                        rel,
+                        idx + 1,
+                        RuleId::D5,
+                        format!(
+                            "`{pat}` outside {D5_ENV_MODULE}: environment reads make \
+                             results depend on ambient process state"
+                        ),
+                    );
+                }
+            }
+        }
+        if !rel.starts_with(D5_CLOCK_PREFIX) {
+            for pat in ["Instant::now", "SystemTime::now"] {
+                if code.contains(pat) {
+                    push(
+                        out,
+                        rel,
+                        idx + 1,
+                        RuleId::D5,
+                        format!(
+                            "`{pat}` outside {D5_CLOCK_PREFIX}: wall-clock reads in the \
+                             numeric stack; justify (diagnostics-only) or move the \
+                             timing to the bench layer"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D6
+
+/// D6: every `DESIGN.md §n` reference in a comment must resolve to an
+/// existing `## §n` heading — stale section pointers rot silently.
+/// Handles references wrapped across comment lines (`DESIGN.md` at end
+/// of line, `§n …` opening the next).
+fn d6_design_refs(rel: &str, lines: &[Line], ctx: &Context, out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if !line.comment.contains("DESIGN.md") {
+            continue;
+        }
+        let mut refs: Vec<(usize, u32)> = section_refs(&line.comment)
+            .into_iter()
+            .map(|n| (idx + 1, n))
+            .collect();
+        if refs.is_empty() {
+            if let Some(next) = lines.get(idx + 1) {
+                let text = next.comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
+                if text.starts_with('§') {
+                    refs.extend(section_refs(text).into_iter().map(|n| (idx + 2, n)));
+                }
+            }
+        }
+        for (lineno, n) in refs {
+            if !ctx.design_sections.contains(&n) {
+                push(
+                    out,
+                    rel,
+                    lineno,
+                    RuleId::D6,
+                    format!("reference to DESIGN.md §{n}, but DESIGN.md has no `## §{n}` heading"),
+                );
+            }
+        }
+    }
+}
+
+/// Extracts every `§<digits>` in a comment.
+fn section_refs(text: &str) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find('§') {
+        rest = &rest[at + '§'.len_utf8()..];
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(n) = digits.parse() {
+            out.push(n);
+        }
+    }
+    out
+}

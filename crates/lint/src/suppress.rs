@@ -1,0 +1,138 @@
+//! In-source suppression comments.
+//!
+//! Grammar (must start the comment's text, so prose that merely
+//! *mentions* the marker mid-sentence is not parsed):
+//!
+//! ```text
+//! <comment opener> mfti-lint: allow(MFTI-Dn[, MFTI-Dm…]) — <non-empty justification>
+//! ```
+//!
+//! accepted separators before the justification: `—`, `–`, `--`, `-`,
+//! `:`. An allow with an empty justification, an unknown rule ID, or
+//! broken syntax is itself a finding (`MFTI-D0`): a suppression is an
+//! auditable waiver, and a waiver without a reason is drift.
+//!
+//! Scope: a trailing suppression covers its own line; a suppression on
+//! a comment-only line covers the comment block it opens (so the
+//! justification may wrap) plus the first code line after it.
+
+use crate::findings::{Finding, RuleId};
+use crate::lexer::Line;
+use std::collections::BTreeMap;
+
+const MARKER: &str = "mfti-lint:";
+
+/// Per-file suppression table: line number (1-indexed) → rule IDs
+/// allowed on that line.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    by_line: BTreeMap<usize, Vec<RuleId>>,
+}
+
+impl Suppressions {
+    pub fn covers(&self, line: usize, rule: RuleId) -> bool {
+        self.by_line
+            .get(&line)
+            .is_some_and(|ids| ids.contains(&rule))
+    }
+}
+
+/// How far a comment-block suppression may reach forward looking for
+/// the code line it governs (keeps a forgotten allow from silencing
+/// half a file).
+const MAX_REACH: usize = 12;
+
+/// Parses every suppression in `lines`; returns the table plus any
+/// `MFTI-D0` findings for malformed ones.
+pub fn scan(file: &str, lines: &[Line]) -> (Suppressions, Vec<Finding>) {
+    let mut sup = Suppressions::default();
+    let mut bad = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let text = comment_text(&line.comment);
+        if !text.starts_with(MARKER) {
+            continue;
+        }
+        match parse_allow(text[MARKER.len()..].trim_start()) {
+            Ok(ids) => {
+                let mut covered = vec![lineno];
+                if line.is_code_free() {
+                    // Comment-block form: extend over the rest of the
+                    // block (wrapped justification, attributes) and the
+                    // first code line after it.
+                    for (j, fwd) in lines.iter().enumerate().skip(idx + 1).take(MAX_REACH) {
+                        covered.push(j + 1);
+                        if !(fwd.is_code_free() || fwd.is_attribute_only()) {
+                            break;
+                        }
+                    }
+                }
+                for l in covered {
+                    sup.by_line
+                        .entry(l)
+                        .or_default()
+                        .extend(ids.iter().copied());
+                }
+            }
+            Err(why) => bad.push(Finding {
+                file: file.to_string(),
+                line: lineno,
+                rule: RuleId::D0,
+                message: why,
+            }),
+        }
+    }
+    (sup, bad)
+}
+
+/// Strips doc-comment residue (`/`, `!`, `*`) and whitespace from the
+/// front of a comment's text.
+fn comment_text(comment: &str) -> &str {
+    comment.trim_start_matches(['/', '!', '*', ' ', '\t'])
+}
+
+/// Parses `allow(IDs) <sep> justification`; returns the IDs or a
+/// human-readable defect description.
+fn parse_allow(rest: &str) -> Result<Vec<RuleId>, String> {
+    let Some(list) = rest.strip_prefix("allow(") else {
+        return Err(format!(
+            "malformed suppression: expected `{MARKER} allow(MFTI-Dn, …) — justification`"
+        ));
+    };
+    let Some(close) = list.find(')') else {
+        return Err("malformed suppression: unclosed allow( list".to_string());
+    };
+    let mut ids = Vec::new();
+    for raw in list[..close].split(',') {
+        let raw = raw.trim();
+        match RuleId::parse_allowable(raw) {
+            Some(id) => ids.push(id),
+            None => {
+                return Err(format!(
+                    "suppression names unknown or unsuppressible rule `{raw}` \
+                     (valid: MFTI-D1…MFTI-D6)"
+                ));
+            }
+        }
+    }
+    if ids.is_empty() {
+        return Err("suppression allows nothing: empty rule list".to_string());
+    }
+    let mut tail = list[close + 1..].trim_start();
+    let mut separated = false;
+    for sep in ["—", "–", "--", "-", ":"] {
+        if let Some(t) = tail.strip_prefix(sep) {
+            tail = t;
+            separated = true;
+            break;
+        }
+    }
+    if !separated || tail.trim().is_empty() {
+        return Err(
+            "suppression without justification: write `… allow(ID) — <why this site \
+             cannot leak into numeric state>`"
+                .to_string(),
+        );
+    }
+    Ok(ids)
+}

@@ -1,0 +1,249 @@
+//! Fixture-driven rule tests: every rule ID has a firing fixture and
+//! a quiet negative twin, exercised through [`mfti_lint::lint_text`]
+//! with pretend workspace paths (rule applicability is path-aware).
+
+use mfti_lint::{lint_text, Context, FileOutcome, RuleId};
+use std::collections::BTreeSet;
+
+fn ctx() -> Context {
+    Context {
+        design_sections: (1..=7).collect::<BTreeSet<u32>>(),
+    }
+}
+
+fn lint(rel: &str, src: &str) -> FileOutcome {
+    lint_text(rel, src, &ctx())
+}
+
+/// (line, rule) pairs of the outcome's findings.
+fn hits(outcome: &FileOutcome) -> Vec<(usize, RuleId)> {
+    outcome.findings.iter().map(|f| (f.line, f.rule)).collect()
+}
+
+fn assert_quiet(rel: &str, src: &str) {
+    let out = lint(rel, src);
+    assert!(
+        out.findings.is_empty(),
+        "expected no findings for {rel}, got: {:#?}",
+        out.findings
+    );
+}
+
+// ------------------------------------------------------------- D1
+
+#[test]
+fn d1_fires_on_introduction_and_iteration() {
+    let out = lint(
+        "crates/core/src/cachey.rs",
+        include_str!("../fixtures/d1_fire.rs"),
+    );
+    assert_eq!(hits(&out), vec![(6, RuleId::D1), (9, RuleId::D1)]);
+    assert!(out.findings[1].message.contains(".keys"));
+}
+
+#[test]
+fn d1_quiet_on_ordered_containers_and_literals() {
+    assert_quiet(
+        "crates/core/src/cachey.rs",
+        include_str!("../fixtures/d1_clean.rs"),
+    );
+}
+
+// ------------------------------------------------------------- D2
+
+#[test]
+fn d2_fires_on_raw_fanout() {
+    let out = lint(
+        "crates/core/src/rogue.rs",
+        include_str!("../fixtures/d2_fire.rs"),
+    );
+    assert_eq!(hits(&out), vec![(4, RuleId::D2), (6, RuleId::D2)]);
+}
+
+#[test]
+fn d2_quiet_in_the_executor_and_through_it() {
+    // The executor module itself may spawn/scope…
+    assert_quiet(
+        "crates/numeric/src/parallel.rs",
+        include_str!("../fixtures/d2_fire.rs"),
+    );
+    // …and everyone else goes through its map family.
+    assert_quiet(
+        "crates/statespace/src/sweeps.rs",
+        include_str!("../fixtures/d2_clean.rs"),
+    );
+}
+
+// ------------------------------------------------------------- D3
+
+#[test]
+fn d3_fires_on_float_reductions_in_parallel_adjacent_code() {
+    let out = lint(
+        "crates/core/src/reduce.rs",
+        include_str!("../fixtures/d3_fire.rs"),
+    );
+    assert_eq!(hits(&out), vec![(5, RuleId::D3), (6, RuleId::D3)]);
+}
+
+#[test]
+fn d3_quiet_on_exempt_reductions() {
+    assert_quiet(
+        "crates/core/src/reduce.rs",
+        include_str!("../fixtures/d3_clean.rs"),
+    );
+}
+
+#[test]
+fn d3_quiet_when_not_parallel_adjacent() {
+    // The same reductions in a module that never touches the executor
+    // are serial by construction and out of D3's scope.
+    let src =
+        include_str!("../fixtures/d3_fire.rs").replace("mfti_numeric::parallel::map", "serial_map");
+    assert_quiet("crates/core/src/reduce.rs", &src);
+}
+
+// ------------------------------------------------------------- D4
+
+#[test]
+fn d4_fires_on_undocumented_unsafe_in_kernel() {
+    let out = lint(
+        "crates/numeric/src/kernel.rs",
+        include_str!("../fixtures/d4_fire.rs"),
+    );
+    assert_eq!(hits(&out), vec![(6, RuleId::D4)]);
+    assert!(out.findings[0].message.contains("SAFETY"));
+}
+
+#[test]
+fn d4_fires_on_unconfined_unsafe() {
+    let out = lint(
+        "crates/core/src/loewner.rs",
+        include_str!("../fixtures/d4_fire.rs"),
+    );
+    assert_eq!(hits(&out), vec![(6, RuleId::D4)]);
+    assert!(out.findings[0].message.contains("allow-list"));
+}
+
+#[test]
+fn d4_quiet_on_documented_unsafe_in_kernel_modules() {
+    for rel in [
+        "crates/numeric/src/kernel.rs",
+        "crates/numeric/src/schur.rs",
+    ] {
+        assert_quiet(rel, include_str!("../fixtures/d4_clean.rs"));
+    }
+}
+
+// ------------------------------------------------------------- D5
+
+#[test]
+fn d5_fires_on_ambient_state_in_the_numeric_stack() {
+    let out = lint(
+        "crates/core/src/session.rs",
+        include_str!("../fixtures/d5_fire.rs"),
+    );
+    assert_eq!(hits(&out), vec![(4, RuleId::D5), (5, RuleId::D5)]);
+}
+
+#[test]
+fn d5_sanctioned_modules_each_exempt_their_half() {
+    // The executor may read env but not the clock…
+    let out = lint(
+        "crates/numeric/src/parallel.rs",
+        include_str!("../fixtures/d5_fire.rs"),
+    );
+    assert_eq!(hits(&out), vec![(5, RuleId::D5)]);
+    // …and the bench layer may read the clock but not env.
+    let out = lint(
+        "crates/bench/src/bin/smoke.rs",
+        include_str!("../fixtures/d5_fire.rs"),
+    );
+    assert_eq!(hits(&out), vec![(4, RuleId::D5)]);
+}
+
+#[test]
+fn d5_quiet_on_bench_timing() {
+    assert_quiet(
+        "crates/bench/src/measure.rs",
+        include_str!("../fixtures/d5_clean.rs"),
+    );
+}
+
+#[test]
+fn d5_tests_may_write_the_thread_knob_but_not_read_env() {
+    let writes = r#"fn set() { std::env::set_var("MFTI_THREADS", "2"); std::env::remove_var("MFTI_THREADS"); }"#;
+    assert_quiet("crates/numeric/tests/thread_invariance.rs", writes);
+    assert_quiet("tests/streaming_session.rs", writes);
+    let reads = r#"fn get() -> String { std::env::var("HOME").unwrap() }"#;
+    let out = lint("crates/numeric/tests/thread_invariance.rs", reads);
+    assert_eq!(hits(&out), vec![(1, RuleId::D5)]);
+}
+
+// ------------------------------------------------------------- D6
+
+#[test]
+fn d6_fires_on_dangling_section_pointers() {
+    let out = lint(
+        "crates/core/src/realize.rs",
+        include_str!("../fixtures/d6_fire.rs"),
+    );
+    assert_eq!(hits(&out), vec![(4, RuleId::D6), (8, RuleId::D6)]);
+}
+
+#[test]
+fn d6_quiet_on_resolving_references() {
+    assert_quiet(
+        "crates/core/src/realize.rs",
+        include_str!("../fixtures/d6_clean.rs"),
+    );
+}
+
+#[test]
+fn d6_fires_on_everything_when_design_md_is_missing() {
+    let empty = Context {
+        design_sections: BTreeSet::new(),
+    };
+    let out = lint_text(
+        "crates/core/src/realize.rs",
+        include_str!("../fixtures/d6_clean.rs"),
+        &empty,
+    );
+    assert!(out.findings.iter().all(|f| f.rule == RuleId::D6));
+    assert_eq!(out.findings.len(), 2);
+}
+
+// ------------------------------------------------------------- D0
+
+#[test]
+fn d0_fires_on_unauditable_suppressions() {
+    let out = lint(
+        "crates/core/src/anywhere.rs",
+        include_str!("../fixtures/d0_fire.rs"),
+    );
+    assert_eq!(
+        hits(&out),
+        vec![(5, RuleId::D0), (8, RuleId::D0), (11, RuleId::D0)]
+    );
+}
+
+#[test]
+fn d0_quiet_and_suppressing_when_justified() {
+    let out = lint(
+        "crates/core/src/anywhere.rs",
+        include_str!("../fixtures/d0_clean.rs"),
+    );
+    assert!(
+        out.findings.is_empty(),
+        "expected clean, got {:#?}",
+        out.findings
+    );
+    assert_eq!(out.suppressed, 2);
+}
+
+#[test]
+fn suppressing_the_wrong_rule_suppresses_nothing() {
+    let src = "fn t() {\n    // mfti-lint: allow(MFTI-D1) — wrong rule for this site\n    let t0 = std::time::Instant::now();\n    let _ = t0;\n}\n";
+    let out = lint("crates/core/src/anywhere.rs", src);
+    assert_eq!(hits(&out), vec![(3, RuleId::D5)]);
+    assert_eq!(out.suppressed, 0);
+}

@@ -1,0 +1,39 @@
+//! Meta-test: the live workspace lints clean. This is the in-tree
+//! version of the verify.sh gate — `cargo test` alone proves the
+//! determinism invariants hold at source level, with every waiver
+//! justified in place.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_has_zero_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let report = mfti_lint::lint_workspace(root).expect("workspace walk");
+    assert!(report.files_scanned > 50, "walker found too few sources");
+    let rendered: Vec<String> = report.findings.iter().map(ToString::to_string).collect();
+    assert!(
+        report.is_clean(),
+        "mfti-lint found unsuppressed findings in the live workspace:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn report_json_is_well_formed() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .unwrap();
+    let report = mfti_lint::lint_workspace(root).expect("workspace walk");
+    let json = report.to_json();
+    assert!(json.contains("\"schema\": \"mfti-lint/1\""));
+    assert!(json.contains("\"files_scanned\""));
+    // Cheap structural sanity: balanced braces/brackets in our own flat
+    // emitter output.
+    let opens = json.matches('{').count();
+    let closes = json.matches('}').count();
+    assert_eq!(opens, closes);
+}

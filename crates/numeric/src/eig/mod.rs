@@ -108,9 +108,8 @@ pub fn generalized_eigenvalues<T: Scalar>(
     for &p in &probes {
         let s0 = p.scale(scale);
         let shifted = &ac - &ec.map(|x| x * s0);
-        let lu = match Lu::compute(&shifted) {
-            Ok(lu) => lu,
-            Err(_) => continue,
+        let Ok(lu) = Lu::compute(&shifted) else {
+            continue;
         };
         if lu.is_singular() || lu.rcond_estimate() < 1e-14 {
             continue;

@@ -188,6 +188,9 @@ pub(crate) unsafe fn cdot_fma(are: &[f64], aim: &[f64], bre: &[f64], bim: &[f64]
         ir1 = _mm256_fmadd_pd(ai, br, ir1);
         k += 8;
     }
+    // SAFETY: pure lane arithmetic on an owned register — callers must
+    // (and do) run under the enclosing function's avx2+fma
+    // `target_feature` context; no pointers are dereferenced.
     #[inline(always)]
     unsafe fn sum4(v: __m256d) -> f64 {
         let lo = _mm256_castpd256_pd128(v);

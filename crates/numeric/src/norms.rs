@@ -47,7 +47,7 @@ impl<T: Scalar> Matrix<T> {
         if norm_v == 0.0 {
             return 0.0;
         }
-        for x in v.iter_mut() {
+        for x in &mut v {
             *x = x.scale(1.0 / norm_v);
         }
         let mut sigma_sq = 0.0;

@@ -39,11 +39,7 @@ const MAX_THREADS: usize = 256;
 /// [`std::thread::available_parallelism`] (1 when even that is unknown).
 /// The result is clamped to `1..=256`.
 pub fn available_threads() -> usize {
-    let default = || {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    };
+    let default = || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let n = match std::env::var("MFTI_THREADS") {
         Ok(v) => parse_thread_override(&v).unwrap_or_else(default),
         Err(_) => default(),

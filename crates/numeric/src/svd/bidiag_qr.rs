@@ -59,7 +59,7 @@ pub(super) fn finish_bidiagonal<T: Scalar>(
     }
     normalize_triplets(&mut u, &mut d, &mut v);
     if rescale != 1.0 {
-        for x in d.iter_mut() {
+        for x in &mut d {
             *x *= rescale;
         }
     }

@@ -92,11 +92,10 @@ proptest! {
         for i in 0..n {
             dense[(i, i)] += alpha;
         }
-        let want = match solve(&dense, &b) {
-            Ok(x) => x,
-            // δ landed close enough to a *cluster* of eigenvalues that
-            // even LU calls it singular — nothing to compare.
-            Err(_) => return Ok(()),
+        // δ can land close enough to a *cluster* of eigenvalues that
+        // even LU calls it singular — nothing to compare then.
+        let Ok(want) = solve(&dense, &b) else {
+            return Ok(());
         };
         let x_norm = want.norm_fro().max(f64::MIN_POSITIVE);
 

@@ -172,8 +172,8 @@ mod tests {
             .iter()
             .map(|&f| line.response_at_hz(f).unwrap()[(0, 0)].abs())
             .collect();
-        let max = mags.iter().cloned().fold(0.0, f64::max);
-        let min = mags.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = mags.iter().copied().fold(0.0, f64::max);
+        let min = mags.iter().copied().fold(f64::INFINITY, f64::min);
         assert!(max / min > 50.0, "dynamic range {}", max / min);
     }
 

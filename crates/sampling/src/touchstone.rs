@@ -201,7 +201,7 @@ pub fn read<R: Read>(r: R, ports: usize) -> Result<SampleSet, SamplingError> {
     let per_record = 1 + 2 * ports * ports;
     if tokens.is_empty() || !tokens.len().is_multiple_of(per_record) {
         return Err(SamplingError::Parse {
-            line: tokens.last().map(|t| t.1).unwrap_or(0),
+            line: tokens.last().map_or(0, |t| t.1),
             what: format!(
                 "token count {} is not a multiple of {per_record} (1 + 2·p²)",
                 tokens.len()

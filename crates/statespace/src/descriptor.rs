@@ -426,6 +426,10 @@ fn modal_upgrade(base: &SweepEvaluator, sigma: f64) -> Option<SweepEvaluator> {
 /// fresh build would produce. Entries are capped; see
 /// [`SWEEP_CACHE_MAX_ENTRIES`].
 struct SweepCache {
+    // mfti-lint: allow(MFTI-D1) — keyed access only: entries are read
+    // through `get` by exact (σ-bits, kernel-flavor) key and the cap
+    // check uses `len`/`clear`; the map is never iterated, so hash
+    // order cannot reach any sweep result.
     map: Mutex<HashMap<(u64, bool), Arc<SweepEvaluator>>>,
 }
 

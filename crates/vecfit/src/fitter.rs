@@ -97,6 +97,9 @@ impl VectorFitter {
     /// Returns [`VecFitError::InvalidConfig`] for unusable inputs and
     /// propagates iteration/solve failures.
     pub fn fit_detailed(&self, samples: &SampleSet) -> Result<VfFit, VecFitError> {
+        // mfti-lint: allow(MFTI-D5) — wall-clock read feeds only the
+        // `elapsed` diagnostic on the fit result; it never reaches
+        // numeric state or control flow.
         let start = Instant::now();
         if self.n_poles == 0 {
             return Err(VecFitError::InvalidConfig {

@@ -50,8 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .partial_cmp(&(b.1[0] / b.1[1].max(f64::MIN_POSITIVE)))
                     .expect("finite")
             })
-            .map(|(i, _)| i + 1)
-            .unwrap_or(0);
+            .map_or(0, |(i, _)| i + 1);
         println!(
             "{}: pencil size {}, largest singular-value drop after #{drop} \
              (sv1 {:.1e}, last {:.1e})",

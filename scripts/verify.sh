@@ -16,6 +16,14 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo fmt --all --check
 run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+# Determinism invariants at source level (DESIGN.md §7): the in-repo
+# analyzer walks every workspace .rs file and fails fast — before the
+# digest smokes below — on hash-order iteration, rogue thread fan-out,
+# unordered float reductions, undocumented/unconfined unsafe, ambient
+# env/clock reads, and dangling DESIGN.md §n references. Findings are
+# printed as file:line: [MFTI-Dn] …; the JSON artifact is gitignored.
+run cargo run --release -p mfti-lint -- --json LINT_findings.json
+
 # Deterministic-parallelism smoke: the same sweep (sweep_smoke), the
 # same fit (fit_smoke: parallel pencil assembly + blocked-SVD trailing
 # updates), the same streamed session (session_smoke: per-append
