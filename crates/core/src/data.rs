@@ -62,6 +62,36 @@ impl Weights {
     }
 }
 
+/// Rejects direction blocks carrying a numerically-zero column (right,
+/// `m × t`) or row (left, `t × p`): the corresponding interpolation
+/// condition `S(λ)r` / `ℓS(μ)` constrains nothing and the Loewner
+/// pencil silently loses rank. "Numerically zero" is relative to the
+/// block's own magnitude, so an all-zero block also fires.
+fn check_directions(dirs: &DirectionSet) -> Result<(), MftiError> {
+    let degenerate = |scale: f64, max: f64| max <= scale * f64::EPSILON;
+    for (j, r) in dirs.right.iter().enumerate() {
+        let (m, t) = r.dims();
+        let scale = r.max_abs();
+        for c in 0..t {
+            let col_max = (0..m).map(|i| r[(i, c)].abs()).fold(0.0, f64::max);
+            if degenerate(scale, col_max) {
+                return Err(MftiError::DegenerateDirection { pair: j });
+            }
+        }
+    }
+    for (j, l) in dirs.left.iter().enumerate() {
+        let (t, p) = l.dims();
+        let scale = l.max_abs();
+        for r in 0..t {
+            let row_max = (0..p).map(|c| l[(r, c)].abs()).fold(0.0, f64::max);
+            if degenerate(scale, row_max) {
+                return Err(MftiError::DegenerateDirection { pair: j });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// One right tangential triple `(λ, R, W)` with `W = S(f) R`.
 #[derive(Debug, Clone)]
 pub struct RightTriple {
@@ -108,26 +138,27 @@ impl TangentialData {
     ///
     /// # Errors
     ///
-    /// * [`MftiError::InvalidSamples`] for odd `k`, `k < 2` or duplicate
-    ///   frequencies (the Loewner divided differences would blow up);
+    /// * [`MftiError::Defect`] for NaN/∞ frequencies or entries,
+    ///   duplicate frequencies, or fewer than two samples — the
+    ///   validated-ingestion gate shared by every engine (DESIGN.md §8);
+    /// * [`MftiError::InvalidSamples`] for odd `k` or non-positive
+    ///   frequencies;
+    /// * [`MftiError::DegenerateDirection`] when a direction block
+    ///   carries a numerically-zero column/row;
     /// * [`MftiError::InvalidWeights`] for out-of-range `t_i`.
     pub fn build(
         samples: &SampleSet,
         directions: DirectionKind,
         weights: &Weights,
     ) -> Result<Self, MftiError> {
+        // The numeric ingestion gate runs first: non-finite data and
+        // duplicated interpolation points σ (which make the Loewner
+        // divided differences singular) never reach pencil assembly.
+        samples.validate()?;
         let k = samples.len();
-        if k < 2 || !k.is_multiple_of(2) {
+        if !k.is_multiple_of(2) {
             return Err(MftiError::InvalidSamples {
                 what: format!("need an even number of samples >= 2, got {k}"),
-            });
-        }
-        // Duplicate frequencies make μ − λ vanish across the split.
-        let mut sorted = samples.freqs_hz().to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        if sorted.windows(2).any(|w| w[0] == w[1]) {
-            return Err(MftiError::InvalidSamples {
-                what: "duplicate sampling frequencies".to_string(),
             });
         }
         if samples.freqs_hz().iter().any(|&f| f <= 0.0) {
@@ -142,6 +173,11 @@ impl TangentialData {
         let pairs = k / 2;
         let ts = weights.resolve(pairs, p.min(m))?;
         let dirs: DirectionSet = generate_directions(directions, p, m, &ts, &ts)?;
+        // Built-in generators emit orthonormal blocks, but the gate also
+        // guards any future user-supplied direction source: a zero
+        // column/row makes its interpolation condition vacuous and the
+        // pencil silently loses rank (DESIGN.md §8).
+        check_directions(&dirs)?;
 
         let mut right = Vec::with_capacity(k);
         let mut left = Vec::with_capacity(k);
@@ -325,10 +361,61 @@ mod tests {
     fn duplicate_frequencies_are_rejected() {
         let (set, _) = samples(4, 2);
         let dup = set.subset(&[0, 0, 1, 2]).unwrap();
-        assert!(
-            TangentialData::build(&dup, DirectionKind::CyclicIdentity, &Weights::Uniform(1))
-                .is_err()
-        );
+        assert!(matches!(
+            TangentialData::build(&dup, DirectionKind::CyclicIdentity, &Weights::Uniform(1)),
+            Err(MftiError::Defect(
+                mfti_sampling::SampleDefect::DuplicateFrequency {
+                    first: 0,
+                    second: 1
+                }
+            ))
+        ));
+    }
+
+    #[test]
+    fn non_finite_entries_are_typed_defects() {
+        let (set, _) = samples(4, 2);
+        let mut mats: Vec<_> = set.matrices().to_vec();
+        mats[2][(0, 1)] = mfti_numeric::c64(f64::NAN, 0.0);
+        let bad = SampleSet::from_parts(set.freqs_hz().to_vec(), mats).unwrap();
+        assert!(matches!(
+            TangentialData::build(&bad, DirectionKind::CyclicIdentity, &Weights::Uniform(1)),
+            Err(MftiError::Defect(
+                mfti_sampling::SampleDefect::NonFiniteEntry {
+                    sample: 2,
+                    row: 0,
+                    col: 1
+                }
+            ))
+        ));
+    }
+
+    #[test]
+    fn zero_direction_columns_are_degenerate() {
+        let good = RMatrix::identity(2);
+        let mut zero_col = RMatrix::identity(2);
+        zero_col[(1, 1)] = 0.0;
+        let dirs = DirectionSet {
+            right: vec![good.clone(), zero_col.clone()],
+            left: vec![good.clone(), good.clone()],
+        };
+        assert!(matches!(
+            check_directions(&dirs),
+            Err(MftiError::DegenerateDirection { pair: 1 })
+        ));
+        let dirs = DirectionSet {
+            right: vec![good.clone(), good.clone()],
+            left: vec![zero_col, good.clone()],
+        };
+        assert!(matches!(
+            check_directions(&dirs),
+            Err(MftiError::DegenerateDirection { pair: 0 })
+        ));
+        let dirs = DirectionSet {
+            right: vec![good.clone()],
+            left: vec![good],
+        };
+        assert!(check_directions(&dirs).is_ok());
     }
 
     #[test]

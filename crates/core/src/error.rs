@@ -2,18 +2,28 @@ use std::error::Error;
 use std::fmt;
 
 use mfti_numeric::NumericError;
-use mfti_sampling::SamplingError;
+use mfti_sampling::{SampleDefect, SamplingError};
 use mfti_statespace::StateSpaceError;
 
 /// Errors produced by the MFTI/VFTI fitting pipeline.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum MftiError {
+    /// The sample data carries a defect (NaN/∞ entry, duplicate
+    /// frequency, …) caught by validated ingestion (DESIGN.md §8).
+    Defect(SampleDefect),
     /// The sample set cannot support the requested configuration (odd
     /// sample count, too few samples, duplicate frequencies, …).
     InvalidSamples {
         /// Human-readable description of the problem.
         what: String,
+    },
+    /// A tangential direction degenerated to (numerically) zero — the
+    /// interpolation conditions `w·S(σ)` carry no information for the
+    /// offending pair, typically because the response matrices vanish.
+    DegenerateDirection {
+        /// Index of the sample pair whose direction collapsed.
+        pair: usize,
     },
     /// A weight `t_i` lies outside `[1, min(m, p)]` (Algorithm 1, step 1)
     /// or the weight vector length does not match the sample pairing.
@@ -46,7 +56,12 @@ pub enum MftiError {
 impl fmt::Display for MftiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            MftiError::Defect(d) => write!(f, "sample data defect: {d}"),
             MftiError::InvalidSamples { what } => write!(f, "invalid sample set: {what}"),
+            MftiError::DegenerateDirection { pair } => write!(
+                f,
+                "tangential direction for sample pair {pair} is numerically zero"
+            ),
             MftiError::InvalidWeights { what } => write!(f, "invalid weights: {what}"),
             MftiError::OrderSelection { requested, pencil } => write!(
                 f,
@@ -66,6 +81,7 @@ impl fmt::Display for MftiError {
 impl Error for MftiError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            MftiError::Defect(d) => Some(d),
             MftiError::Numeric(e) => Some(e),
             MftiError::StateSpace(e) => Some(e),
             MftiError::Sampling(e) => Some(e),
@@ -89,6 +105,12 @@ impl From<StateSpaceError> for MftiError {
 impl From<SamplingError> for MftiError {
     fn from(e: SamplingError) -> Self {
         MftiError::Sampling(e)
+    }
+}
+
+impl From<SampleDefect> for MftiError {
+    fn from(d: SampleDefect) -> Self {
+        MftiError::Defect(d)
     }
 }
 

@@ -40,7 +40,7 @@ use std::fmt;
 use std::time::Duration;
 
 use mfti_numeric::{CMatrix, Complex, NumericError};
-use mfti_sampling::{SampleSet, SamplingError};
+use mfti_sampling::{SampleDefect, SampleSet, SamplingError};
 use mfti_statespace::{
     DescriptorSystem, Macromodel, RationalModel, StateSpaceError, TransferFunction,
 };
@@ -56,6 +56,11 @@ use crate::vfti::Vfti;
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum FitError {
+    /// The sample data failed validated ingestion — rejected at the
+    /// boundary, before any factorization ran (DESIGN.md §8; see the
+    /// failure-taxonomy walkthrough there and the robustness section of
+    /// the README).
+    Invalid(SampleDefect),
     /// A Loewner-pencil (MFTI/VFTI) stage failed.
     Mfti(MftiError),
     /// A vector-fitting stage failed.
@@ -73,6 +78,7 @@ pub enum FitError {
 impl fmt::Display for FitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            FitError::Invalid(d) => write!(f, "invalid sample data: {d}"),
             FitError::Mfti(e) => write!(f, "loewner fit failed: {e}"),
             FitError::VecFit(e) => write!(f, "vector fit failed: {e}"),
             FitError::StateSpace(e) => write!(f, "model operation failed: {e}"),
@@ -84,6 +90,7 @@ impl fmt::Display for FitError {
 impl Error for FitError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            FitError::Invalid(d) => Some(d),
             FitError::Mfti(e) => Some(e),
             FitError::VecFit(e) => Some(e),
             FitError::StateSpace(e) => Some(e),
@@ -94,7 +101,19 @@ impl Error for FitError {
 
 impl From<MftiError> for FitError {
     fn from(e: MftiError) -> Self {
-        FitError::Mfti(e)
+        match e {
+            // Sample defects surface as the boundary-level variant no
+            // matter which layer detected them, so harnesses match one
+            // stable shape.
+            MftiError::Defect(d) => FitError::Invalid(d),
+            other => FitError::Mfti(other),
+        }
+    }
+}
+
+impl From<SampleDefect> for FitError {
+    fn from(d: SampleDefect) -> Self {
+        FitError::Invalid(d)
     }
 }
 
@@ -388,6 +407,13 @@ pub trait Fitter {
     fn fit(&self, samples: &SampleSet) -> Result<FitOutcome, FitError>;
 }
 
+/// The validated-ingestion gate every generic `fit` passes through:
+/// defective data is rejected with [`FitError::Invalid`] before the
+/// engine runs any factorization (DESIGN.md §8).
+fn validated(samples: &SampleSet) -> Result<&SampleSet, FitError> {
+    Ok(samples.validate()?.as_set())
+}
+
 impl Fitter for Mfti {
     fn name(&self) -> &'static str {
         "mfti"
@@ -396,7 +422,7 @@ impl Fitter for Mfti {
     fn fit(&self, samples: &SampleSet) -> Result<FitOutcome, FitError> {
         Ok(FitOutcome::from_loewner(
             "mfti",
-            self.fit_detailed(samples)?,
+            self.fit_detailed(validated(samples)?)?,
         ))
     }
 }
@@ -409,7 +435,7 @@ impl Fitter for Vfti {
     fn fit(&self, samples: &SampleSet) -> Result<FitOutcome, FitError> {
         Ok(FitOutcome::from_loewner(
             "vfti",
-            self.fit_detailed(samples)?,
+            self.fit_detailed(validated(samples)?)?,
         ))
     }
 }
@@ -420,7 +446,9 @@ impl Fitter for RecursiveMfti {
     }
 
     fn fit(&self, samples: &SampleSet) -> Result<FitOutcome, FitError> {
-        Ok(FitOutcome::from_recursive(self.fit_detailed(samples)?))
+        Ok(FitOutcome::from_recursive(
+            self.fit_detailed(validated(samples)?)?,
+        ))
     }
 }
 
@@ -430,7 +458,9 @@ impl Fitter for VectorFitter {
     }
 
     fn fit(&self, samples: &SampleSet) -> Result<FitOutcome, FitError> {
-        Ok(FitOutcome::from_vecfit(self.fit_detailed(samples)?))
+        Ok(FitOutcome::from_vecfit(
+            self.fit_detailed(validated(samples)?)?,
+        ))
     }
 }
 

@@ -62,6 +62,7 @@ pub mod metrics;
 mod mfti;
 mod realify;
 mod realize;
+mod recovery;
 mod recursive;
 mod sampling_bounds;
 mod session;
@@ -77,7 +78,7 @@ pub use realify::{realify, RealifiedPencil};
 pub use realize::{realize_complex, realize_direct, realize_real, OrderSelection};
 pub use recursive::{RecursiveFit, RecursiveMfti, RoundInfo, SelectionOrder};
 pub use sampling_bounds::{minimal_samples, vfti_minimal_samples, SampleBounds};
-pub use session::{FitSession, SessionSvd};
+pub use session::{FitSession, SessionSvd, SignalDiagnostic};
 pub use vfti::Vfti;
 
 /// Relative singular-value level below which directions are considered

@@ -439,6 +439,8 @@ impl LoewnerPencil {
             .zip(self.sll.as_slice())
             .map(|(&l, &sl)| l * x0 - sl)
             .collect();
+        // mfti-lint: allow(MFTI-D7) — data is a zip over ll's own
+        // buffer, so its length is exactly rows·cols
         CMatrix::from_vec(self.ll.rows(), self.ll.cols(), data).expect("ll and sll share dims")
     }
 

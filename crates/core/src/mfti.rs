@@ -13,9 +13,10 @@
 //! ([`SessionSvd`](crate::SessionSvd)) rather than re-running this
 //! one-shot decomposition per append.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use mfti_numeric::{CMatrix, Complex, PartialSvd, Svd, SvdFactors, SvdUpdater};
+use mfti_numeric::diag::Stopwatch;
+use mfti_numeric::{CMatrix, Complex, PartialSvd, SvdFactors, SvdMethod, SvdUpdater};
 use mfti_sampling::SampleSet;
 use mfti_statespace::{DescriptorSystem, Macromodel, StateSpaceError, TransferFunction};
 
@@ -28,6 +29,7 @@ use crate::realize::{
     project_complex, realize_complex, realize_complex_from_partial, realize_real,
     realize_real_retained, OrderSelection, StackedRealization,
 };
+use crate::recovery::LadderSvd;
 
 /// Which realization arithmetic to use after order detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -128,7 +130,13 @@ pub struct FitResult {
     pub detected_order: usize,
     /// Pencil size `K` before truncation.
     pub pencil_order: usize,
-    /// Wall-clock fitting time (Table 1's `time(s)` column).
+    /// SVD backends that broke down before the order-detection
+    /// decomposition succeeded (DESIGN.md §8); empty on the fast path.
+    /// A non-empty trail means the fit *recovered* — the model is
+    /// valid, produced by the first surviving ladder rung.
+    pub svd_fallbacks: Vec<SvdMethod>,
+    /// Wall-clock fitting time (Table 1's `time(s)` column);
+    /// `Duration::ZERO` when `mfti-numeric`'s `timing` feature is off.
     pub elapsed: Duration,
 }
 
@@ -259,10 +267,7 @@ impl Mfti {
     ///
     /// Propagates data-validation, SVD and order-selection failures.
     pub fn fit_detailed(&self, samples: &SampleSet) -> Result<FitResult, MftiError> {
-        // mfti-lint: allow(MFTI-D5) — wall-clock read feeds only the
-        // `elapsed` diagnostic on the result; it never reaches numeric
-        // state or control flow.
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let data = TangentialData::build(samples, self.directions, &self.weights)?;
         let pencil = LoewnerPencil::build(&data)?;
         self.fit_pencil(&pencil, start)
@@ -270,45 +275,65 @@ impl Mfti {
 
     /// Runs the realization stage on an already-built pencil (shared
     /// with Algorithm 2, which grows the pencil incrementally).
+    ///
+    /// Order detection and projection read the same shifted pencil:
+    /// one decomposition serves both — the values pick the order, then
+    /// only the `r` columns the Lemma 3.4 projections touch are read.
+    /// On the real path the projection restricts the stacked problems
+    /// to the realified span of the same decomposition's leading
+    /// columns (the Loewner rank equalities make the spans coincide),
+    /// so the two stacked K×2K bidiagonalizations shrink to 2r×2K.
+    /// A stalled QR sweep degrades through the recovery ladder
+    /// ([`LadderSvd`], DESIGN.md §8) instead of failing the fit.
     pub(crate) fn fit_pencil(
         &self,
         pencil: &LoewnerPencil,
-        start: Instant,
+        start: Stopwatch,
     ) -> Result<FitResult, MftiError> {
         let x0 = pencil.default_x0();
-        let (sv, order, model) = match self.path {
-            RealizationPath::Complex => {
-                // Order detection and projection read the same shifted
-                // pencil: one lazy bidiagonalization serves both — the
-                // values pick the order, then only the r columns the
-                // Lemma 3.4 projections touch are accumulated.
-                let partial = Svd::bidiagonalize(&pencil.shifted_pencil(x0))?;
-                let sv = partial.singular_values().to_vec();
-                let order = self.order_selection.detect(&sv)?;
-                let model =
-                    FittedModel::Complex(realize_complex_from_partial(pencil, &partial, order)?);
-                (sv, order, model)
-            }
-            RealizationPath::Real => {
-                // Same sharing on the real path: detection reads the
-                // shifted pencil's values, and the projection restricts
-                // the stacked problems to the realified span of the
-                // same decomposition's leading columns (the Loewner
-                // rank equalities make the spans coincide) — the two
-                // stacked K×2K bidiagonalizations shrink to 2r×2K.
-                let partial = Svd::bidiagonalize(&pencil.shifted_pencil(x0))?;
-                let sv = partial.singular_values().to_vec();
-                let order = self.order_selection.detect(&sv)?;
-                let model = self.realize_pencil_from_partial(pencil, &partial, order)?;
-                (sv, order, model)
-            }
+        let ladder = LadderSvd::compute(&pencil.shifted_pencil(x0), SvdFactors::Both)?;
+        let sv = ladder.singular_values().to_vec();
+        let order = self.order_selection.detect(&sv)?;
+        let k = pencil.order();
+        let model = if self.path == RealizationPath::Real && 2 * order > k {
+            // Dense detection (2r > K): the restricted stacked problems
+            // would not shrink — go straight to the stacked SVDs.
+            let real = realify(pencil, self.realify_tol)?;
+            FittedModel::Real(realize_real(&real, order)?)
+        } else {
+            let (y, x) = ladder.accumulate_both(order)?;
+            self.realize_pencil_from_factors(pencil, &y, &x, order)?
         };
         Ok(FitResult {
             model,
             pencil_singular_values: sv,
             detected_order: order,
             pencil_order: pencil.order(),
+            svd_fallbacks: ladder.fallback_methods(),
             elapsed: start.elapsed(),
+        })
+    }
+
+    /// Projects an order-`order` model from already-accumulated leading
+    /// factor columns `y`, `x` of the shifted pencil — the shared tail
+    /// of the one-shot ([`Mfti::fit_pencil`]) and session
+    /// ([`Mfti::realize_pencil_from_partial`]) non-dense paths.
+    pub(crate) fn realize_pencil_from_factors(
+        &self,
+        pencil: &LoewnerPencil,
+        y: &CMatrix,
+        x: &CMatrix,
+        order: usize,
+    ) -> Result<FittedModel, MftiError> {
+        Ok(match self.path {
+            RealizationPath::Complex => FittedModel::Complex(project_complex(pencil, y, x)?),
+            RealizationPath::Real => {
+                let real = realify(pencil, self.realify_tol)?;
+                let ts = pencil.pair_ts();
+                let tu = apply_t_adjoint_left(y, ts);
+                let tv = apply_t_adjoint_left(x, ts);
+                FittedModel::Real(realize_real_retained(&real, &tu, &tv, order)?)
+            }
         })
     }
 
@@ -330,8 +355,12 @@ impl Mfti {
                     let real = realify(pencil, self.realify_tol)?;
                     FittedModel::Real(realize_real(&real, order)?)
                 } else {
-                    let partial = Svd::bidiagonalize(&pencil.shifted_pencil(pencil.default_x0()))?;
-                    self.realize_pencil_from_partial(pencil, &partial, order)?
+                    let ladder = LadderSvd::compute(
+                        &pencil.shifted_pencil(pencil.default_x0()),
+                        SvdFactors::Both,
+                    )?;
+                    let (y, x) = ladder.accumulate_both(order)?;
+                    self.realize_pencil_from_factors(pencil, &y, &x, order)?
                 }
             }
             RealizationPath::Complex => {
@@ -374,15 +403,12 @@ impl Mfti {
                 FittedModel::Complex(realize_complex_from_partial(pencil, partial, order)?)
             }
             RealizationPath::Real => {
-                let real = realify(pencil, self.realify_tol)?;
                 if 2 * order > k {
+                    let real = realify(pencil, self.realify_tol)?;
                     FittedModel::Real(realize_real(&real, order)?)
                 } else {
                     let (u, v) = partial.accumulate(SvdFactors::Both, order)?;
-                    let ts = pencil.pair_ts();
-                    let tu = apply_t_adjoint_left(&u, ts);
-                    let tv = apply_t_adjoint_left(&v, ts);
-                    FittedModel::Real(realize_real_retained(&real, &tu, &tv, order)?)
+                    self.realize_pencil_from_factors(pencil, &u, &v, order)?
                 }
             }
         })

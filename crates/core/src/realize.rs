@@ -12,12 +12,13 @@
 //!   singular values of `x₀𝕃 − σ𝕃` still drive order detection — see
 //!   DESIGN.md §5).
 
-use mfti_numeric::{CMatrix, Complex, PartialSvd, Qr, RMatrix, Svd, SvdFactors};
+use mfti_numeric::{CMatrix, Complex, PartialSvd, Qr, RMatrix, SvdFactors};
 use mfti_statespace::DescriptorSystem;
 
 use crate::error::MftiError;
 use crate::loewner::LoewnerPencil;
 use crate::realify::{realify, RealifiedPencil};
+use crate::recovery::LadderSvd;
 
 /// How to pick the reduced order from the singular-value profile of
 /// `x₀𝕃 − σ𝕃`.
@@ -134,7 +135,7 @@ fn median(values: &[f64]) -> f64 {
     }
     let mut v = values.to_vec();
     let mid = v.len() / 2;
-    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("finite singular values");
+    let cmp = |a: &f64, b: &f64| a.total_cmp(b);
     let (below, &mut upper, _) = v.select_nth_unstable_by(mid, cmp);
     if values.len() % 2 == 1 {
         upper
@@ -174,9 +175,11 @@ pub fn realize_direct(pencil: &LoewnerPencil) -> Result<DescriptorSystem<Complex
 
 /// Lemma 3.4: SVD-projected **complex** realization of order `r`.
 ///
-/// The decomposition runs the lazy two-phase path
-/// ([`Svd::bidiagonalize`]): only the leading `order` factor columns —
-/// the ones the projections actually read — are ever accumulated.
+/// The decomposition prefers the lazy two-phase path
+/// ([`mfti_numeric::Svd::bidiagonalize`]): only the leading `order`
+/// factor columns — the ones the projections actually read — are ever
+/// accumulated. A stalled QR sweep degrades through the recovery
+/// ladder (DESIGN.md §8) instead of failing.
 ///
 /// # Errors
 ///
@@ -187,8 +190,16 @@ pub fn realize_complex(
     x0: Complex,
     order: usize,
 ) -> Result<DescriptorSystem<Complex>, MftiError> {
-    let partial = Svd::bidiagonalize(&pencil.shifted_pencil(x0))?;
-    realize_complex_from_partial(pencil, &partial, order)
+    let k = pencil.order();
+    if order == 0 || order > k {
+        return Err(MftiError::OrderSelection {
+            requested: order,
+            pencil: k,
+        });
+    }
+    let ladder = LadderSvd::compute(&pencil.shifted_pencil(x0), SvdFactors::Both)?;
+    let (y, x) = ladder.accumulate_both(order)?;
+    project_complex(pencil, &y, &x)
 }
 
 /// The accumulate-and-project half of [`realize_complex`], taking an
@@ -255,19 +266,21 @@ pub fn realize_real(
     realize_real_from_stacked(pencil, &rows, &cols, order)
 }
 
-/// Bidiagonalizes the two stacked pencils `[𝕃 σ𝕃]` (wide) and `[𝕃; σ𝕃]`
+/// Decomposes the two stacked pencils `[𝕃 σ𝕃]` (wide) and `[𝕃; σ𝕃]`
 /// (tall) — the order-independent half of [`realize_real`], shared with
-/// the session cache ([`StackedRealization`]). Both run the QR-first
-/// two-phase path, and the factor sides the projection reads (left of
-/// the wide stack, right of the tall one) never touch the QR's `Q`.
+/// the session cache ([`StackedRealization`]). Both prefer the QR-first
+/// lazy two-phase path, where the factor sides the projection reads
+/// (left of the wide stack, right of the tall one) never touch the QR's
+/// `Q`; a stalled sweep degrades through the recovery ladder
+/// ([`LadderSvd`], DESIGN.md §8).
 fn stacked_factors(
     pencil: &RealifiedPencil,
-) -> Result<(PartialSvd<f64>, PartialSvd<f64>), MftiError> {
+) -> Result<(LadderSvd<f64>, LadderSvd<f64>), MftiError> {
     let row_stack = RMatrix::hstack(&[pencil.ll(), pencil.sll()])?;
     let col_stack = RMatrix::vstack(&[pencil.ll(), pencil.sll()])?;
     Ok((
-        Svd::bidiagonalize(&row_stack)?,
-        Svd::bidiagonalize(&col_stack)?,
+        LadderSvd::compute(&row_stack, SvdFactors::Left)?,
+        LadderSvd::compute(&col_stack, SvdFactors::Right)?,
     ))
 }
 
@@ -276,8 +289,8 @@ fn stacked_factors(
 /// projections in real arithmetic.
 fn realize_real_from_stacked(
     pencil: &RealifiedPencil,
-    rows: &PartialSvd<f64>,
-    cols: &PartialSvd<f64>,
+    rows: &LadderSvd<f64>,
+    cols: &LadderSvd<f64>,
     order: usize,
 ) -> Result<DescriptorSystem<f64>, MftiError> {
     let k = pencil.order();
@@ -304,8 +317,8 @@ fn realize_real_from_stacked(
 #[derive(Debug, Clone)]
 pub(crate) struct StackedRealization {
     real: RealifiedPencil,
-    rows: PartialSvd<f64>,
-    cols: PartialSvd<f64>,
+    rows: LadderSvd<f64>,
+    cols: LadderSvd<f64>,
 }
 
 impl StackedRealization {
@@ -376,8 +389,8 @@ pub(crate) fn realize_real_retained(
     // through the bases.
     let g = yb.mul_hermitian_left(&row_stack)?;
     let h = col_stack.matmul(&xb)?;
-    let y = yb.matmul(&Svd::bidiagonalize(&g)?.accumulate_u(order)?)?;
-    let x = xb.matmul(&Svd::bidiagonalize(&h)?.accumulate_v(order)?)?;
+    let y = yb.matmul(&LadderSvd::compute(&g, SvdFactors::Left)?.accumulate_u(order)?)?;
+    let x = xb.matmul(&LadderSvd::compute(&h, SvdFactors::Right)?.accumulate_v(order)?)?;
     project_real(pencil, &y, &x)
 }
 

@@ -7,8 +7,7 @@
 //! reusing the already-computed Loewner blocks — until the mean residual
 //! falls below a threshold `Th` (step 7 of the paper's pseudo-code).
 
-use std::time::Instant;
-
+use mfti_numeric::diag::Stopwatch;
 use mfti_sampling::SampleSet;
 use mfti_statespace::Macromodel;
 
@@ -171,10 +170,7 @@ impl RecursiveMfti {
     ///
     /// Propagates data-validation and realization failures.
     pub fn fit_detailed(&self, samples: &SampleSet) -> Result<RecursiveFit, MftiError> {
-        // mfti-lint: allow(MFTI-D5) — wall-clock read feeds only the
-        // `elapsed` diagnostic on the result; iteration control is
-        // error-driven, never time-driven.
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let weights = self.base_weights();
         let data = TangentialData::build(samples, self.base_directions(), &weights)?;
         let total = data.num_pairs();
@@ -208,11 +204,13 @@ impl RecursiveMfti {
         let result = loop {
             let take = k0.min(remaining.len());
             let batch: Vec<usize> = remaining.drain(..take).collect();
-            match pencil.as_mut() {
-                Some(pencil) => pencil.extend(&data, &batch)?,
-                None => pencil = Some(LoewnerPencil::build_subset(&data, &batch)?),
-            }
-            let pencil_ref = pencil.as_ref().expect("just built");
+            let pencil_ref: &LoewnerPencil = match pencil.take() {
+                Some(mut p) => {
+                    p.extend(&data, &batch)?;
+                    pencil.insert(p)
+                }
+                None => pencil.insert(LoewnerPencil::build_subset(&data, &batch)?),
+            };
             let fit = self.base.fit_pencil(pencil_ref, start)?;
 
             // Tangential residual on the samples not yet admitted
@@ -257,21 +255,16 @@ impl RecursiveMfti {
 
             // Re-rank the remaining samples by residual.
             match self.selection {
-                SelectionOrder::WorstFirst => {
-                    errs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite residuals"))
-                }
-                SelectionOrder::BestFirst => {
-                    errs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite residuals"))
-                }
+                SelectionOrder::WorstFirst => errs.sort_by(|a, b| b.1.total_cmp(&a.1)),
+                SelectionOrder::BestFirst => errs.sort_by(|a, b| a.1.total_cmp(&b.1)),
             }
             remaining = errs.into_iter().map(|(j, _)| j).collect();
         };
 
         let used_pairs = pencil
             .as_ref()
-            .expect("pencil built")
-            .included_pairs()
-            .to_vec();
+            .map(|p| p.included_pairs().to_vec())
+            .unwrap_or_default();
         Ok(RecursiveFit {
             result,
             rounds,

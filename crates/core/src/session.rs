@@ -26,8 +26,8 @@
 //!    borrowable between stages.
 
 use std::sync::OnceLock;
-use std::time::Instant;
 
+use mfti_numeric::diag::Stopwatch;
 use mfti_numeric::{PartialSvd, Svd, SvdFactors, SvdMethod, SvdUpdater};
 use mfti_sampling::SampleSet;
 
@@ -37,16 +37,44 @@ use crate::fitter::{FitError, FitOutcome};
 use crate::loewner::LoewnerPencil;
 use crate::mfti::{FitResult, FittedModel, Mfti};
 use crate::realize::{OrderSelection, StackedRealization};
+use crate::recovery::LadderSvd;
 
 /// One consistent generation of the order-detection signal, as
 /// [`FitSession::append`] commits it: the updater (multi-append
 /// streams), the retained first-append bidiagonalization (single-batch
-/// sessions) and the cached values.
-type SignalGeneration = (
-    Option<SvdUpdater<mfti_numeric::Complex>>,
-    Option<PartialSvd<mfti_numeric::Complex>>,
-    Vec<f64>,
-);
+/// sessions), the cached values and the health record.
+struct SignalGeneration {
+    updater: Option<SvdUpdater<mfti_numeric::Complex>>,
+    partial: Option<PartialSvd<mfti_numeric::Complex>>,
+    sv: Vec<f64>,
+    diagnostic: SignalDiagnostic,
+}
+
+/// Per-append health record of the order-detection signal — the
+/// robustness counterpart of the
+/// [`order_trajectory`](FitSession::order_trajectory) (DESIGN.md §8).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct SignalDiagnostic {
+    /// Detected model order committed for this append (0 when the
+    /// selection rule could not resolve one).
+    pub order: usize,
+    /// The updater's accumulated Weyl bound
+    /// ([`SvdUpdater::error_bound`]) observed after absorbing this
+    /// append's pencil strips, **before** any auto-refresh — the
+    /// drift that actually fed (or triggered a refresh of) order
+    /// detection. `None` under a [`SessionSvd::Fresh`] oracle or
+    /// before the updater materializes (first append, single batch).
+    pub error_bound: Option<f64>,
+    /// Whether the updater was re-materialized from a fresh
+    /// factorization because `error_bound` exceeded
+    /// [`FitSession::refresh_threshold`] `· σ₁`.
+    pub refreshed: bool,
+    /// SVD ladder rungs that broke down while producing this signal
+    /// (empty on the fast path; see
+    /// [`FitResult::svd_fallbacks`](crate::FitResult)).
+    pub svd_fallbacks: Vec<SvdMethod>,
+}
 
 /// How a [`FitSession`] maintains the order-detection singular values
 /// across appends.
@@ -168,6 +196,13 @@ pub struct FitSession {
     sv: Option<Vec<f64>>,
     /// Detected order after each append (0 when the rule fails).
     trajectory: Vec<usize>,
+    /// Per-append signal health, parallel to `trajectory`.
+    signal_trajectory: Vec<SignalDiagnostic>,
+    /// Relative auto-refresh threshold: when the updater's accumulated
+    /// Weyl bound exceeds `refresh_threshold · σ₁` after an append, the
+    /// updater is re-materialized from a fresh factorization of the
+    /// grown pencil (DESIGN.md §8).
+    refresh_threshold: f64,
 }
 
 impl Default for FitSession {
@@ -177,6 +212,13 @@ impl Default for FitSession {
 }
 
 impl FitSession {
+    /// Default relative auto-refresh threshold: the accumulated Weyl
+    /// bound may drift two decades above the updater's truncation floor
+    /// (`1e-13 · σ₁` per append) before a re-materialization is forced
+    /// — far below where any shipped order-selection rule reads signal,
+    /// yet roughly 10⁴ appends of headroom on a steady stream.
+    pub const DEFAULT_REFRESH_THRESHOLD: f64 = 1e-9;
+
     /// Creates an empty session with the given fitter configuration
     /// (weights, directions, order selection, realization path) and the
     /// default [`SessionSvd::Updating`] signal maintenance.
@@ -192,7 +234,21 @@ impl FitSession {
             stacked: OnceLock::new(),
             sv: None,
             trajectory: Vec::new(),
+            signal_trajectory: Vec::new(),
+            refresh_threshold: Self::DEFAULT_REFRESH_THRESHOLD,
         }
+    }
+
+    /// Sets the relative drift threshold for the updater auto-refresh
+    /// (builder style): after an append leaves
+    /// [`SvdUpdater::error_bound`] above `rel · σ₁`, the session
+    /// re-materializes the updater from a fresh factorization of the
+    /// grown pencil instead of letting the drift feed order detection
+    /// unflagged. The refresh is recorded on the
+    /// [`signal_trajectory`](FitSession::signal_trajectory).
+    pub fn refresh_threshold(mut self, rel: f64) -> Self {
+        self.refresh_threshold = rel;
+        self
     }
 
     /// Selects how the order-detection singular values are maintained
@@ -277,18 +333,26 @@ impl FitSession {
                 extended
             }
         };
-        let (updater, partial, sv) = self.refresh_signal(&pencil)?;
+        let generation = self.refresh_signal(&pencil)?;
 
         // Commit (everything fallible already happened).
-        let order = self.config.order_selection_ref().detect(&sv).unwrap_or(0);
+        let order = self
+            .config
+            .order_selection_ref()
+            .detect(&generation.sv)
+            .unwrap_or(0);
         self.trajectory.push(order);
+        self.signal_trajectory.push(SignalDiagnostic {
+            order,
+            ..generation.diagnostic
+        });
         self.samples = Some(merged);
         self.data = Some(data);
         self.pencil = Some(pencil);
-        self.updater = updater;
-        self.partial = partial;
+        self.updater = generation.updater;
+        self.partial = generation.partial;
         self.stacked = OnceLock::new();
-        self.sv = Some(sv);
+        self.sv = Some(generation.sv);
         Ok(())
     }
 
@@ -296,25 +360,48 @@ impl FitSession {
     /// the grown `pencil`, without touching `self` (the caller commits).
     fn refresh_signal(&self, pencil: &LoewnerPencil) -> Result<SignalGeneration, FitError> {
         let x0 = pencil.default_x0();
+        let clean = |error_bound, refreshed, svd_fallbacks| SignalDiagnostic {
+            order: 0, // resolved by the committing append
+            error_bound,
+            refreshed,
+            svd_fallbacks,
+        };
         match (self.svd, &self.pencil) {
             (SessionSvd::Fresh(method), _) => {
+                // The oracle walks the recovery ladder from its chosen
+                // backend (DESIGN.md §8): a stalled sweep degrades and
+                // is recorded rather than failing the append.
                 let shifted = pencil.shifted_pencil(x0);
-                let sv = Svd::compute_factors(&shifted, method, SvdFactors::ValuesOnly)
-                    .map_err(MftiError::from)?
-                    .singular_values()
-                    .to_vec();
-                Ok((None, None, sv))
+                let rec = Svd::compute_recovering(&shifted, method, SvdFactors::ValuesOnly)
+                    .map_err(MftiError::from)?;
+                let fallbacks = rec.fallbacks.iter().map(|(m, _)| *m).collect();
+                let sv = rec.svd.singular_values().to_vec();
+                Ok(SignalGeneration {
+                    updater: None,
+                    partial: None,
+                    sv,
+                    diagnostic: clean(None, false, fallbacks),
+                })
             }
             // First append: one lazy bidiagonalization (exactly the
             // one-shot fit's signal, bit-for-bit). The panel state is
             // retained so a subsequent `realize` only accumulates the
             // leading factor columns; the updater's factors are
             // deferred until a second append proves this is a stream.
+            // A stalled sweep degrades through the ladder — the eager
+            // recovered decomposition retains nothing, so a later
+            // realize re-runs the (recovering) one-shot path.
             (SessionSvd::Updating, None) => {
-                let partial =
-                    Svd::bidiagonalize(&pencil.shifted_pencil(x0)).map_err(MftiError::from)?;
-                let sv = partial.singular_values().to_vec();
-                Ok((None, Some(partial), sv))
+                let ladder = LadderSvd::compute(&pencil.shifted_pencil(x0), SvdFactors::ValuesOnly)
+                    .map_err(MftiError::from)?;
+                let sv = ladder.singular_values().to_vec();
+                let fallbacks = ladder.fallback_methods();
+                Ok(SignalGeneration {
+                    updater: None,
+                    partial: ladder.into_lazy(),
+                    sv,
+                    diagnostic: clean(None, false, fallbacks),
+                })
             }
             (SessionSvd::Updating, Some(prev)) => {
                 // Materialize lazily from the *previous* pencil, then
@@ -335,6 +422,18 @@ impl FitSession {
                 let corner = pencil.shifted_pencil_block(x0, k_old, k_old, k_new, k_new)?;
                 upd.append_border(&cols, &rows, &corner)
                     .map_err(MftiError::from)?;
+                // Auto-refresh: the truncation bound accumulates across
+                // appends, and a bound past the refresh threshold means
+                // the reported values may no longer be trusted at the
+                // levels order detection reads — re-materialize from a
+                // fresh factorization of the grown pencil instead of
+                // feeding the drifted signal downstream (DESIGN.md §8).
+                let bound = upd.error_bound();
+                let sigma1 = upd.singular_values().first().copied().unwrap_or(0.0);
+                let refreshed = bound > self.refresh_threshold * sigma1;
+                if refreshed {
+                    upd = SvdUpdater::new(&pencil.shifted_pencil(x0)).map_err(MftiError::from)?;
+                }
                 // Pad the truncated sub-floor tail back to pencil order
                 // with the retained floor: like the truncated values it
                 // sits below every selection threshold, and unlike a
@@ -344,7 +443,12 @@ impl FitSession {
                 let mut sv = upd.singular_values().to_vec();
                 let pad = upd.retain_floor();
                 sv.resize(pencil.order(), pad);
-                Ok((Some(upd), None, sv))
+                Ok(SignalGeneration {
+                    updater: Some(upd),
+                    partial: None,
+                    sv,
+                    diagnostic: clean(Some(bound), refreshed, Vec::new()),
+                })
             }
         }
     }
@@ -384,6 +488,23 @@ impl FitSession {
         &self.trajectory
     }
 
+    /// Per-append signal health records, parallel to
+    /// [`order_trajectory`](FitSession::order_trajectory): the updater's
+    /// accumulated error bound, whether an auto-refresh fired, and any
+    /// SVD ladder rungs that broke down (DESIGN.md §8).
+    pub fn signal_trajectory(&self) -> &[SignalDiagnostic] {
+        &self.signal_trajectory
+    }
+
+    /// The incremental signal's current accumulated Weyl bound
+    /// ([`SvdUpdater::error_bound`]): every cached singular value is
+    /// within this absolute distance of the exact one. `None` before
+    /// the updater materializes or under a [`SessionSvd::Fresh`]
+    /// oracle (where the signal is exact by construction).
+    pub fn signal_error_bound(&self) -> Option<f64> {
+        self.updater.as_ref().map(SvdUpdater::error_bound)
+    }
+
     /// Working-set size of the incremental signal: the retained rank of
     /// the updater, once materialized (`None` before the second append
     /// or under a [`SessionSvd::Fresh`] oracle).
@@ -402,12 +523,9 @@ impl FitSession {
     ///
     /// [`FitError::Session`] before any samples are appended.
     pub fn singular_values(&self) -> Result<&[f64], FitError> {
-        if self.pencil.is_none() {
-            return Err(FitError::Session {
-                what: "no samples appended yet",
-            });
-        }
-        Ok(self.sv.as_deref().expect("refreshed by append"))
+        self.sv.as_deref().ok_or(FitError::Session {
+            what: "no samples appended yet",
+        })
     }
 
     /// Runs the realization stage with the session's configured order
@@ -436,12 +554,11 @@ impl FitSession {
     /// [`FitError::Session`] before any samples are appended;
     /// order-selection and realization failures otherwise.
     pub fn realize_with(&self, selection: OrderSelection) -> Result<FitOutcome, FitError> {
-        // mfti-lint: allow(MFTI-D5) — wall-clock read feeds only the
-        // outcome's `elapsed` diagnostic; it never reaches numeric
-        // state or control flow.
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let sv = self.singular_values()?;
-        let pencil = self.pencil.as_ref().expect("pencil exists if sv does");
+        let pencil = self.pencil.as_ref().ok_or(FitError::Session {
+            what: "no samples appended yet",
+        })?;
         let order = selection.detect(sv)?;
         // Updating sessions already hold the shifted pencil's thin
         // factorization: realize from the retained factors instead of
@@ -467,8 +584,7 @@ impl FitSession {
                     None => {
                         let built = self.config.build_stacked_realization(pencil)?;
                         // A lost set race just drops an identical value.
-                        let _ = self.stacked.set(built);
-                        self.stacked.get().expect("just set")
+                        self.stacked.get_or_init(|| built)
                     }
                 };
                 FittedModel::Real(seed.realize(order)?)
@@ -487,9 +603,16 @@ impl FitSession {
             "mfti-session",
             FitResult {
                 model,
-                pencil_singular_values: self.sv.clone().expect("just read"),
+                pencil_singular_values: sv.to_vec(),
                 detected_order: order,
                 pencil_order: pencil.order(),
+                // The signal producing this realization is the last
+                // committed generation; surface its breakdown trail.
+                svd_fallbacks: self
+                    .signal_trajectory
+                    .last()
+                    .map(|d| d.svd_fallbacks.clone())
+                    .unwrap_or_default(),
                 elapsed: start.elapsed(),
             },
         ))
@@ -737,6 +860,61 @@ mod tests {
         assert_eq!(session.pencil_order(), k);
         assert_eq!(session.order_trajectory(), &trajectory[..]);
         assert!(session.realize().is_ok());
+    }
+
+    #[test]
+    fn signal_trajectory_records_bounds_and_orders() {
+        let all = workload(12);
+        let (head, tail) = split_edges_first(&all, 6);
+        let mut session = FitSession::new(Mfti::new());
+        session.append(&head).unwrap();
+        session.append(&tail).unwrap();
+        let diags = session.signal_trajectory();
+        assert_eq!(diags.len(), 2);
+        assert_eq!(diags[0].order, session.order_trajectory()[0]);
+        assert_eq!(diags[1].order, session.order_trajectory()[1]);
+        assert!(
+            diags[0].error_bound.is_none(),
+            "no updater before the second append"
+        );
+        assert!(!diags[0].refreshed);
+        let bound = diags[1].error_bound.expect("updater materialized");
+        assert!(bound >= 0.0 && bound.is_finite());
+        assert!(diags[1].svd_fallbacks.is_empty());
+        assert!(session.signal_error_bound().is_some());
+
+        // The fresh oracle's signal is exact by construction: no bound.
+        let mut oracle = FitSession::new(Mfti::new()).svd(SessionSvd::Fresh(SvdMethod::Blocked));
+        oracle.append(&head).unwrap();
+        assert!(oracle.signal_trajectory()[0].error_bound.is_none());
+        assert!(oracle.signal_error_bound().is_none());
+    }
+
+    #[test]
+    fn drifted_updater_is_auto_refreshed() {
+        // An always-firing threshold forces a re-materialization on
+        // every multi-append commit — the drift-recovery path in
+        // isolation.
+        let all = workload(12);
+        let (head, tail) = split_edges_first(&all, 6);
+        let mut session = FitSession::new(Mfti::new()).refresh_threshold(-1.0);
+        session.append(&head).unwrap();
+        session.append(&tail).unwrap();
+        let diags = session.signal_trajectory();
+        assert!(!diags[0].refreshed, "no updater to refresh on append 1");
+        assert!(diags[1].refreshed, "threshold -1 must force a refresh");
+        // The refreshed signal matches the default session's rank
+        // decision and still realizes.
+        let mut reference = FitSession::new(Mfti::new());
+        reference.append(&head).unwrap();
+        reference.append(&tail).unwrap();
+        assert_eq!(session.order_trajectory(), reference.order_trajectory());
+        assert_eq!(
+            session.realize().unwrap().order(),
+            reference.realize().unwrap().order()
+        );
+        // The default threshold never fires on this short clean stream.
+        assert!(reference.signal_trajectory().iter().all(|d| !d.refreshed));
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! Fault-campaign smoke check for `scripts/verify.sh` (DESIGN.md §8).
+//!
+//! Runs the seeded fault-injection campaign — every fault class of the
+//! taxonomy through all four engines — and prints one line with the
+//! campaign digest and outcome counts. `verify.sh` runs this binary at
+//! `MFTI_THREADS=1` and `8` and fails on any difference: the error
+//! paths must be exactly as deterministic as the success paths. The
+//! binary itself fails (exit 1) if any run panicked, so the no-panic
+//! contract is enforced even on a single run.
+//!
+//! Usage: `MFTI_THREADS=k cargo run --release -p mfti-faults --bin
+//! fault_smoke` (prints `fault digest: <hex> (…)`).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = match mfti_faults::run_campaign(0x5107_fa17) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fault_smoke: workload generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.panics() > 0 {
+        eprintln!(
+            "fault_smoke: {} run(s) panicked across the fit boundary",
+            report.panics()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "fault digest: {:016x} (fitted {}, typed-errors {}, panics {})",
+        report.digest,
+        report.fitted(),
+        report.typed_errors(),
+        report.panics()
+    );
+    ExitCode::SUCCESS
+}

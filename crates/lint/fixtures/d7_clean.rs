@@ -1,0 +1,12 @@
+// Fixture: the negative twin of d7_fire — the `unwrap_or` family and
+// combinator-style handling are fine, and a justified allow records a
+// genuinely infallible site.
+fn order_of(values: &[f64]) -> usize {
+    let first = values.first().copied().unwrap_or(0.0);
+    let idx = values.iter().position(|v| *v < 0.5 * first);
+    idx.unwrap_or_default()
+}
+fn chunk_len(n: usize) -> usize {
+    // mfti-lint: allow(MFTI-D7) — the caller clamps n to ≥ 1
+    std::num::NonZeroUsize::new(n).expect("clamped").get()
+}

@@ -1,0 +1,9 @@
+// Fixture: MFTI-D7 must fire on `unwrap()`/`expect()` calls in
+// library code — fallible paths surface typed errors (DESIGN.md §8).
+fn order_of(values: &[f64]) -> usize {
+    let first = values.first().unwrap();
+    values
+        .iter()
+        .position(|v| *v < 0.5 * first)
+        .expect("threshold crossed")
+}

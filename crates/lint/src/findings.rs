@@ -8,7 +8,8 @@ use std::fmt;
 
 /// Stable rule identifiers. `D0` is the meta-rule (suppression
 /// hygiene); `D1`–`D6` are the determinism/containment invariants
-/// catalogued in DESIGN.md §7.
+/// catalogued in DESIGN.md §7; `D7` is the no-panic half of the
+/// failure-taxonomy contract in DESIGN.md §8.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RuleId {
     /// Malformed or unjustified suppression comment.
@@ -26,10 +27,12 @@ pub enum RuleId {
     D5,
     /// Dangling `DESIGN.md §n` doc reference.
     D6,
+    /// `unwrap()`/`expect()` on a fallible value in library code.
+    D7,
 }
 
 impl RuleId {
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 8] = [
         RuleId::D0,
         RuleId::D1,
         RuleId::D2,
@@ -37,6 +40,7 @@ impl RuleId {
         RuleId::D4,
         RuleId::D5,
         RuleId::D6,
+        RuleId::D7,
     ];
 
     pub fn as_str(self) -> &'static str {
@@ -48,6 +52,7 @@ impl RuleId {
             RuleId::D4 => "MFTI-D4",
             RuleId::D5 => "MFTI-D5",
             RuleId::D6 => "MFTI-D6",
+            RuleId::D7 => "MFTI-D7",
         }
     }
 

@@ -1,4 +1,4 @@
-//! The MFTI determinism rules (`MFTI-D1` … `MFTI-D6`).
+//! The MFTI determinism rules (`MFTI-D1` … `MFTI-D7`).
 //!
 //! Every rule matches against the lexer's *code view* (so literals and
 //! comments never fire) except D4's SAFETY search and D6, which read
@@ -39,6 +39,12 @@ const D5_ENV_MODULE: &str = "crates/numeric/src/parallel.rs";
 /// measure time; the numeric stack must not).
 const D5_CLOCK_PREFIX: &str = "crates/bench/";
 
+/// The one library module allowed to read the clock: the feature-gated
+/// [`Stopwatch`] that every diagnostic `elapsed` field goes through
+/// (`mfti_numeric::diag`; disabling the `timing` feature makes it a
+/// no-op, which is what keeps timing out of numeric state).
+const D5_CLOCK_MODULE: &str = "crates/numeric/src/diag.rs";
+
 /// Runs every rule over one file. `rel` is the workspace-relative path
 /// with `/` separators.
 pub fn check_file(rel: &str, lines: &[Line], ctx: &Context) -> Vec<Finding> {
@@ -49,6 +55,7 @@ pub fn check_file(rel: &str, lines: &[Line], ctx: &Context) -> Vec<Finding> {
     d4_unsafe_hygiene(rel, lines, &mut out);
     d5_ambient_state(rel, lines, &mut out);
     d6_design_refs(rel, lines, ctx, &mut out);
+    d7_unwrap_in_library(rel, lines, &mut out);
     out.sort_by_key(|a| (a.line, a.rule));
     out
 }
@@ -400,7 +407,7 @@ fn d5_ambient_state(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
                 }
             }
         }
-        if !rel.starts_with(D5_CLOCK_PREFIX) {
+        if !rel.starts_with(D5_CLOCK_PREFIX) && rel != D5_CLOCK_MODULE {
             for pat in ["Instant::now", "SystemTime::now"] {
                 if code.contains(pat) {
                     push(
@@ -409,9 +416,10 @@ fn d5_ambient_state(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
                         idx + 1,
                         RuleId::D5,
                         format!(
-                            "`{pat}` outside {D5_CLOCK_PREFIX}: wall-clock reads in the \
-                             numeric stack; justify (diagnostics-only) or move the \
-                             timing to the bench layer"
+                            "`{pat}` outside {D5_CLOCK_PREFIX} or {D5_CLOCK_MODULE}: \
+                             wall-clock reads in the numeric stack; route timing \
+                             through `mfti_numeric::diag::Stopwatch` or move it to \
+                             the bench layer"
                         ),
                     );
                 }
@@ -452,6 +460,60 @@ fn d6_design_refs(rel: &str, lines: &[Line], ctx: &Context, out: &mut Vec<Findin
                     RuleId::D6,
                     format!("reference to DESIGN.md §{n}, but DESIGN.md has no `## §{n}` heading"),
                 );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- D7
+
+/// Paths D7 skips: test, bench, and example code may unwrap freely —
+/// a panic there is a failed test, not a broken library contract.
+fn d7_exempt(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("crates/bench/")
+}
+
+/// D7: no `unwrap()`/`expect()` on fallible values in library code —
+/// every failure surfaces as a typed error (DESIGN.md §8). Genuinely
+/// infallible sites carry a justified allow naming the invariant.
+fn d7_unwrap_in_library(rel: &str, lines: &[Line], out: &mut Vec<Finding>) {
+    if d7_exempt(rel) {
+        return;
+    }
+    for (idx, l) in lines.iter().enumerate() {
+        // Workspace convention keeps the `#[cfg(test)]` unit-test
+        // module at the bottom of a library file; everything from the
+        // attribute on is test code.
+        if l.code.contains("cfg(test)") {
+            return;
+        }
+        for pat in ["unwrap", "expect"] {
+            if let Some(at) = find_token(&l.code, pat) {
+                // A call on a receiver: `x.unwrap()` / `X::unwrap(x)`,
+                // but not a definition (`fn expect(`) or an
+                // `unwrap_or`-family method (token boundary excludes
+                // those already).
+                let called = l.code[at + pat.len()..].starts_with('(');
+                let on_receiver = l.code[..at].ends_with(['.', ':']);
+                if called && on_receiver {
+                    push(
+                        out,
+                        rel,
+                        idx + 1,
+                        RuleId::D7,
+                        format!(
+                            "`{pat}()` in library code: surface a typed error \
+                             (DESIGN.md §8) or carry a justified allow naming \
+                             the invariant that makes this infallible"
+                        ),
+                    );
+                    break;
+                }
             }
         }
     }

@@ -110,7 +110,7 @@ fn parse_allow(rest: &str) -> Result<Vec<RuleId>, String> {
             None => {
                 return Err(format!(
                     "suppression names unknown or unsuppressible rule `{raw}` \
-                     (valid: MFTI-D1…MFTI-D6)"
+                     (valid: MFTI-D1…MFTI-D7)"
                 ));
             }
         }

@@ -7,7 +7,7 @@ use std::collections::BTreeSet;
 
 fn ctx() -> Context {
     Context {
-        design_sections: (1..=7).collect::<BTreeSet<u32>>(),
+        design_sections: (1..=8).collect::<BTreeSet<u32>>(),
     }
 }
 
@@ -210,6 +210,51 @@ fn d6_fires_on_everything_when_design_md_is_missing() {
     );
     assert!(out.findings.iter().all(|f| f.rule == RuleId::D6));
     assert_eq!(out.findings.len(), 2);
+}
+
+// ------------------------------------------------------------- D7
+
+#[test]
+fn d7_fires_on_library_unwraps() {
+    let out = lint(
+        "crates/core/src/realize.rs",
+        include_str!("../fixtures/d7_fire.rs"),
+    );
+    assert_eq!(hits(&out), vec![(4, RuleId::D7), (8, RuleId::D7)]);
+    assert!(out.findings[0].message.contains("typed error"));
+}
+
+#[test]
+fn d7_quiet_on_combinators_and_justified_allows() {
+    let out = lint(
+        "crates/core/src/realize.rs",
+        include_str!("../fixtures/d7_clean.rs"),
+    );
+    assert!(
+        out.findings.is_empty(),
+        "expected clean, got {:#?}",
+        out.findings
+    );
+    assert_eq!(out.suppressed, 1);
+}
+
+#[test]
+fn d7_exempts_test_bench_and_example_code() {
+    for rel in [
+        "crates/core/tests/roundtrip.rs",
+        "crates/numeric/benches/svd_backends.rs",
+        "crates/bench/src/bin/smoke.rs",
+        "tests/fault_tolerance.rs",
+        "examples/quickstart.rs",
+    ] {
+        assert_quiet(rel, include_str!("../fixtures/d7_fire.rs"));
+    }
+}
+
+#[test]
+fn d7_ignores_in_file_test_modules() {
+    let src = "fn lib() -> usize { 1 }\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+    assert_quiet("crates/core/src/anywhere.rs", src);
 }
 
 // ------------------------------------------------------------- D0

@@ -1,0 +1,78 @@
+//! Feature-gated wall-clock diagnostics.
+//!
+//! Every `elapsed` field the fitting drivers report flows through
+//! [`Stopwatch`], the one module in the library crates permitted to
+//! read a clock (DESIGN.md §7, rule MFTI-D5). The `timing` cargo
+//! feature (default on) gates the actual `Instant` reads: without it a
+//! stopwatch carries no state and [`Stopwatch::elapsed`] is a constant
+//! `Duration::ZERO` — a compile-time proof that wall-clock readings can
+//! only ever decorate results, never steer numeric control flow.
+
+use std::time::Duration;
+
+/// A started wall-clock timer; reads compile out without the `timing`
+/// feature.
+///
+/// ```
+/// let clock = mfti_numeric::diag::Stopwatch::start();
+/// let elapsed = clock.elapsed(); // Duration::ZERO when `timing` is off
+/// assert!(elapsed >= std::time::Duration::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    #[cfg(feature = "timing")]
+    start: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch (a no-op carrying no state when `timing` is
+    /// disabled).
+    #[must_use]
+    pub fn start() -> Self {
+        Stopwatch {
+            #[cfg(feature = "timing")]
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Wall time since [`Stopwatch::start`]; `Duration::ZERO` when the
+    /// `timing` feature is disabled.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        #[cfg(feature = "timing")]
+        {
+            self.start.elapsed()
+        }
+        #[cfg(not(feature = "timing"))]
+        {
+            Duration::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone_nonnegative() {
+        let clock = Stopwatch::start();
+        let a = clock.elapsed();
+        let b = clock.elapsed();
+        assert!(b >= a);
+    }
+
+    #[cfg(feature = "timing")]
+    #[test]
+    fn timing_feature_reports_real_time() {
+        let clock = Stopwatch::start();
+        // Burn a little work so the reading is strictly positive even on
+        // coarse clocks.
+        let mut acc = 0.0f64;
+        for i in 0..200_000 {
+            acc += (i as f64).sqrt();
+        }
+        assert!(acc > 0.0);
+        assert!(clock.elapsed() > Duration::ZERO);
+    }
+}

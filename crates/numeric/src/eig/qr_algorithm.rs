@@ -68,7 +68,9 @@ pub(crate) fn hessenberg_eigenvalues(mut h: CMatrix) -> Result<Vec<Complex>, Num
     let tiny = f64::MIN_POSITIVE;
     let mut hi = n - 1;
     let mut iters_this_window = 0usize;
-    let max_iters_per_eig = 300usize;
+    // Intrinsic budget, unless a fault-injection cap shrinks it to
+    // force the NoConvergence exit (crate::fault_budget).
+    let max_iters_per_eig = crate::fault_budget::qr_iteration_cap().unwrap_or(300);
 
     loop {
         // Deflate negligible subdiagonals.

@@ -61,10 +61,43 @@ mod scalar;
 mod schur;
 mod solve;
 
+pub mod diag;
 pub mod eig;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod kernel;
 pub mod parallel;
 pub mod svd;
+
+/// Iteration-budget accessors the iterative kernels consult before
+/// falling back to their intrinsic budgets; compiled to a constant
+/// `None` (and fully optimized out) without the `fault-injection`
+/// feature.
+mod fault_budget {
+    #[inline]
+    pub(crate) fn qr_iteration_cap() -> Option<usize> {
+        #[cfg(feature = "fault-injection")]
+        {
+            crate::faults::qr_iteration_cap()
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        {
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn jacobi_sweep_cap() -> Option<usize> {
+        #[cfg(feature = "fault-injection")]
+        {
+            crate::faults::jacobi_sweep_cap()
+        }
+        #[cfg(not(feature = "fault-injection"))]
+        {
+            None
+        }
+    }
+}
 
 pub use complex::{c64, Complex};
 pub use eig::{eigenvalues, generalized_eigenvalues};
@@ -79,7 +112,9 @@ pub use schur::{
     strict_upper_max_abs, triangular_right_eigenvectors, Schur,
 };
 pub use solve::{lstsq, solve};
-pub use svd::{PartialSvd, Svd, SvdFactors, SvdMethod, SvdUpdater, DEFAULT_UPDATE_FLOOR};
+pub use svd::{
+    PartialSvd, Svd, SvdFactors, SvdMethod, SvdRecovery, SvdUpdater, DEFAULT_UPDATE_FLOOR,
+};
 
 /// Relative machine tolerance used as the default cut-off in rank
 /// decisions throughout the workspace.

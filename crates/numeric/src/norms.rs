@@ -52,8 +52,14 @@ impl<T: Scalar> Matrix<T> {
         }
         let mut sigma_sq = 0.0;
         for _ in 0..200 {
-            let av = a.matvec(&v).expect("shape checked");
-            let atav = at.matvec(&av).expect("shape checked");
+            // The shapes agree by construction; the Frobenius bound is
+            // the documented fallback if that ever stops holding.
+            let Ok(av) = a.matvec(&v) else {
+                return self.norm_fro();
+            };
+            let Ok(atav) = at.matvec(&av) else {
+                return self.norm_fro();
+            };
             norm_v = atav.iter().map(|x| x.abs_sq()).sum::<f64>().sqrt();
             if norm_v == 0.0 {
                 return 0.0;

@@ -112,7 +112,9 @@ fn schur_iterate(mut t: CMatrix, mut z: CMatrix) -> Result<Schur, NumericError> 
     let tiny = f64::MIN_POSITIVE;
     let mut hi = n - 1;
     let mut iters_this_window = 0usize;
-    let max_iters_per_eig = 300usize;
+    // Intrinsic budget, unless a fault-injection cap shrinks it to
+    // force the NoConvergence exit (crate::fault_budget).
+    let max_iters_per_eig = crate::fault_budget::qr_iteration_cap().unwrap_or(300);
 
     loop {
         // Deflate negligible subdiagonals (scanning up from the bottom of
@@ -452,7 +454,9 @@ pub fn solve_shifted_triangular_scaled(
     // One shift through the batch kernel: a single implementation keeps
     // the scalar and multi-shift paths bit-identical by construction.
     let mut out = solve_shifted_triangular_batch(t, &[(alpha, beta)], b, t_upper_max_abs)?;
-    Ok(out.pop().expect("exactly one shift"))
+    out.pop().ok_or(NumericError::InvalidArgument {
+        what: "one-shift batch solve produced no solution",
+    })
 }
 
 /// Multi-shift variant of [`solve_shifted_triangular_scaled`]: solves

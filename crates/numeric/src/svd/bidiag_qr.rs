@@ -119,7 +119,9 @@ fn bidiag_qr<T: Scalar>(
     let tiny = f64::MIN_POSITIVE / eps;
     let mut p = n;
     let mut iter = 0usize;
-    let max_total_iters = 80 * n.max(8);
+    // Intrinsic budget, unless a fault-injection cap shrinks it to
+    // force the NoConvergence exit (crate::fault_budget).
+    let max_total_iters = crate::fault_budget::qr_iteration_cap().unwrap_or(80 * n.max(8));
     let mut total = 0usize;
 
     while p > 0 {

@@ -26,8 +26,11 @@ pub(crate) fn svd_jacobi(a: &CMatrix) -> Result<(CMatrix, Vec<f64>, CMatrix), Nu
     let mut v = CMatrix::identity(n);
     let eps = f64::EPSILON;
 
+    // Intrinsic budget, unless a fault-injection cap shrinks it to
+    // force the NoConvergence exit (crate::fault_budget).
+    let max_sweeps = crate::fault_budget::jacobi_sweep_cap().unwrap_or(MAX_SWEEPS);
     let mut converged = false;
-    for _sweep in 0..MAX_SWEEPS {
+    for _sweep in 0..max_sweeps {
         let mut rotated = false;
         for p in 0..n.saturating_sub(1) {
             for q in p + 1..n {
@@ -82,7 +85,7 @@ pub(crate) fn svd_jacobi(a: &CMatrix) -> Result<(CMatrix, Vec<f64>, CMatrix), Nu
     if !converged {
         return Err(NumericError::NoConvergence {
             op: "jacobi svd",
-            iterations: MAX_SWEEPS,
+            iterations: max_sweeps,
         });
     }
 

@@ -59,6 +59,48 @@ pub enum SvdMethod {
     Jacobi,
 }
 
+impl SvdMethod {
+    /// The degradation ladder starting at `self`:
+    /// `Blocked → GolubKahan → Jacobi` (DESIGN.md §8).
+    ///
+    /// The first two rungs share the implicit-shift bidiagonal QR
+    /// iteration, so a genuine QR stall usually takes both down; the
+    /// one-sided Jacobi rung shares no code with them and survives.
+    /// [`Svd::compute_recovering`] walks this ladder on
+    /// [`NumericError::NoConvergence`].
+    #[must_use]
+    pub fn ladder(self) -> &'static [SvdMethod] {
+        match self {
+            SvdMethod::Blocked => &[SvdMethod::Blocked, SvdMethod::GolubKahan, SvdMethod::Jacobi],
+            SvdMethod::GolubKahan => &[SvdMethod::GolubKahan, SvdMethod::Jacobi],
+            SvdMethod::Jacobi => &[SvdMethod::Jacobi],
+        }
+    }
+}
+
+/// Outcome of [`Svd::compute_recovering`]: the decomposition together
+/// with the record of backends that broke down before one converged.
+#[derive(Debug, Clone)]
+pub struct SvdRecovery {
+    /// The successful decomposition.
+    pub svd: Svd,
+    /// The backend that produced [`SvdRecovery::svd`].
+    pub method: SvdMethod,
+    /// Backends that failed with [`NumericError::NoConvergence`] before
+    /// `method` succeeded, in attempt order; empty on a first-try
+    /// success.
+    pub fallbacks: Vec<(SvdMethod, NumericError)>,
+}
+
+impl SvdRecovery {
+    /// Whether any ladder rung broke down before the decomposition
+    /// succeeded (a "logged recovery" in the fault-harness taxonomy).
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        !self.fallbacks.is_empty()
+    }
+}
+
 /// Which singular-vector factors [`Svd::compute_factors`] materializes.
 ///
 /// Skipped factors are returned as empty (`0×0`) matrices; the singular
@@ -181,6 +223,52 @@ impl Svd {
             });
         }
         Self::dispatch(a, method, factors)
+    }
+
+    /// Computes the SVD with breakdown recovery: walks the degradation
+    /// ladder [`SvdMethod::ladder`] starting at `method`, retrying the
+    /// next rung whenever the current one fails with
+    /// [`NumericError::NoConvergence`]. Input defects
+    /// ([`NumericError::InvalidArgument`], [`NumericError::NotFinite`])
+    /// are not recoverable by a backend change and propagate
+    /// immediately.
+    ///
+    /// This is the defensive entry point of the fitting pipeline
+    /// (DESIGN.md §8): a stalled QR sweep degrades to the structurally
+    /// unrelated Jacobi rung instead of failing the whole fit, and the
+    /// caller gets the breakdown trail in
+    /// [`SvdRecovery::fallbacks`] to log.
+    ///
+    /// # Errors
+    ///
+    /// The last rung's [`NumericError::NoConvergence`] when every rung
+    /// stalls, or the first non-convergence-related error.
+    pub fn compute_recovering<T: Scalar>(
+        a: &Matrix<T>,
+        method: SvdMethod,
+        factors: SvdFactors,
+    ) -> Result<SvdRecovery, NumericError> {
+        let mut fallbacks: Vec<(SvdMethod, NumericError)> = Vec::new();
+        for &rung in method.ladder() {
+            match Self::compute_factors(a, rung, factors) {
+                Ok(svd) => {
+                    return Ok(SvdRecovery {
+                        svd,
+                        method: rung,
+                        fallbacks,
+                    })
+                }
+                Err(e @ NumericError::NoConvergence { .. }) => fallbacks.push((rung, e)),
+                Err(e) => return Err(e),
+            }
+        }
+        match fallbacks.pop() {
+            Some((_, e)) => Err(e),
+            // `ladder()` is never empty; reachable only if that changes.
+            None => Err(NumericError::InvalidArgument {
+                what: "empty svd recovery ladder",
+            }),
+        }
     }
 
     /// Singular values of `a` in descending order — the cheapest query:
@@ -316,7 +404,7 @@ impl Svd {
                 us[(i, j)] = us[(i, j)].scale(self.s[j]);
             }
         }
-        us.matmul(&self.v.adjoint()).expect("dims agree")
+        us.matmul(&self.v.adjoint()).expect("dims agree") // mfti-lint: allow(MFTI-D7) — U (m×r) and V* (r×n) conform by construction; reconstruct documents its panic contract
     }
 
     /// Truncates to the leading `r` singular triplets, returning
@@ -337,7 +425,7 @@ impl Svd {
             if m.is_empty() {
                 CMatrix::zeros(0, 0)
             } else {
-                m.select_cols(&idx).expect("in range")
+                m.select_cols(&idx).expect("in range") // mfti-lint: allow(MFTI-D7) — r ≤ s.len() asserted above; truncate documents its panic contract
             }
         };
         (take(&self.u), self.s[..r].to_vec(), take(&self.v))
@@ -587,6 +675,59 @@ mod tests {
         let mut bad = CMatrix::identity(2);
         bad[(0, 1)] = c64(f64::NAN, 0.0);
         assert!(Svd::compute(&bad).is_err());
+    }
+
+    #[test]
+    fn recovering_svd_succeeds_first_try_on_healthy_input() {
+        let a = pseudo_random_complex(9, 6, 99);
+        let rec = Svd::compute_recovering(&a, SvdMethod::Blocked, SvdFactors::Both).unwrap();
+        assert_eq!(rec.method, SvdMethod::Blocked);
+        assert!(!rec.recovered());
+        check_svd(&a, &rec.svd, 1e-11);
+    }
+
+    #[test]
+    fn recovering_svd_propagates_input_defects_without_retrying() {
+        let mut bad = CMatrix::identity(3);
+        bad[(1, 2)] = c64(f64::INFINITY, 0.0);
+        let err = Svd::compute_recovering(&bad, SvdMethod::Blocked, SvdFactors::Both).unwrap_err();
+        assert!(matches!(err, NumericError::NotFinite { .. }));
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn recovering_svd_degrades_to_jacobi_under_forced_qr_stall() {
+        let a = pseudo_random_complex(10, 10, 1234);
+        let _fault = crate::faults::InjectedFault::cap_qr_iterations(1);
+        let rec = Svd::compute_recovering(&a, SvdMethod::Blocked, SvdFactors::Both).unwrap();
+        assert_eq!(rec.method, SvdMethod::Jacobi);
+        assert_eq!(rec.fallbacks.len(), 2);
+        assert!(rec.recovered());
+        check_svd(&a, &rec.svd, 1e-10);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn recovering_svd_reports_last_rung_error_when_all_stall() {
+        let a = pseudo_random_complex(10, 10, 4321);
+        let _fault = crate::faults::InjectedFault::cap_all_iterations(1);
+        let err = Svd::compute_recovering(&a, SvdMethod::Blocked, SvdFactors::Both).unwrap_err();
+        assert!(matches!(
+            err,
+            NumericError::NoConvergence {
+                op: "jacobi svd",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ladder_orders_are_fixed() {
+        assert_eq!(
+            SvdMethod::Blocked.ladder(),
+            &[SvdMethod::Blocked, SvdMethod::GolubKahan, SvdMethod::Jacobi]
+        );
+        assert_eq!(SvdMethod::Jacobi.ladder(), &[SvdMethod::Jacobi]);
     }
 
     #[test]

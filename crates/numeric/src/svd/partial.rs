@@ -325,13 +325,17 @@ impl<T: Scalar> PartialSvd<T> {
         }
 
         let u = if want_u {
-            let ub = self.compact_u.get().expect("replayed above");
+            let ub = self.compact_u.get().ok_or(NumericError::InvalidArgument {
+                what: "partial svd left factor cache missing after replay",
+            })?;
             self.apply_left_reflectors(ub, r)?
         } else {
             Matrix::<T>::zeros(0, 0)
         };
         let v = if want_v {
-            let vb = self.compact_v.get().expect("replayed above");
+            let vb = self.compact_v.get().ok_or(NumericError::InvalidArgument {
+                what: "partial svd right factor cache missing after replay",
+            })?;
             self.apply_right_reflectors(vb, r)?
         } else {
             Matrix::<T>::zeros(0, 0)

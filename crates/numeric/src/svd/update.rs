@@ -450,11 +450,11 @@ impl<T: Scalar> SvdUpdater<T> {
         self.u = self
             .u
             .submatrix(0, 0, self.u.rows(), keep)
-            .expect("keep <= retained");
+            .expect("keep <= retained"); // mfti-lint: allow(MFTI-D7) — keep ≤ total ≤ u.cols() by the clamp above
         self.v = self
             .v
             .submatrix(0, 0, self.v.rows(), keep)
-            .expect("keep <= retained");
+            .expect("keep <= retained"); // mfti-lint: allow(MFTI-D7) — keep ≤ total ≤ v.cols() by the clamp above
         mass
     }
 }

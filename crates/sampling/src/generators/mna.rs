@@ -153,6 +153,8 @@ impl MnaNetlist {
             if node == 0 {
                 None
             } else {
+                // mfti-lint: allow(MFTI-D7) — node_ids is the sorted
+                // collection of every non-ground node, node included
                 Some(node_ids.binary_search(&node).expect("collected above"))
             }
         };
@@ -193,6 +195,8 @@ impl MnaNetlist {
         let mut c_out = RMatrix::zeros(n_p, n);
         for (k, &pnode) in self.ports.iter().enumerate() {
             let row = n_v + n_l + k;
+            // mfti-lint: allow(MFTI-D7) — build() rejects ground ports
+            // before reaching stamping
             let ip = index_of(pnode).expect("ports are never ground");
             // KCL at the port node: + i_P leaves into the source.
             a[(ip, row)] = -1.0;

@@ -192,6 +192,8 @@ impl PdnBuilder {
             let v = RMatrix::from_fn(p, 1, |i, _| {
                 gaussian(&mut rng) + self.coupling * shared[(i, 0)]
             });
+            // mfti-lint: allow(MFTI-D7) — v·vᵀ of a p×1 vector is
+            // always conformal
             let mode = v.mul_transpose_right(&v).expect("outer product");
             // Log-linear strength taper across the configured dynamic
             // range, plus jitter so no single resonance dominates.

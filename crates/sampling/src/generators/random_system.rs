@@ -182,6 +182,8 @@ impl RandomSystemBuilder {
             let q_factor = RMatrix::from_fn(self.d_rank, self.inputs, |_, _| gaussian(&mut rng));
             p_factor
                 .matmul(&q_factor)
+                // mfti-lint: allow(MFTI-D7) — (outputs×d_rank)·(d_rank
+                // ×inputs) is conformal by construction
                 .expect("conformal by construction")
                 .scale(self.d_scale / (self.d_rank as f64).sqrt())
         };

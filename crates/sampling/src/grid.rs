@@ -133,7 +133,7 @@ impl FrequencyGrid {
                 what: "frequencies must be finite and non-negative",
             });
         }
-        points_hz.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        points_hz.sort_by(f64::total_cmp);
         points_hz.dedup();
         Ok(FrequencyGrid { points_hz })
     }

@@ -43,10 +43,12 @@ mod noise;
 pub mod params;
 mod sample;
 pub mod touchstone;
+mod validate;
 
 pub use grid::FrequencyGrid;
 pub use noise::NoiseModel;
 pub use sample::SampleSet;
+pub use validate::{SampleDefect, ValidatedSamples};
 
 use std::error::Error;
 use std::fmt;

@@ -107,6 +107,8 @@ impl NoiseModel {
             mats.push(out);
         }
         SampleSet::from_parts(samples.freqs_hz().to_vec(), mats)
+            // mfti-lint: allow(MFTI-D7) — the perturbed set reuses the
+            // validated input's frequencies and matrix dims one-to-one
             .expect("shape preserved by construction")
     }
 }

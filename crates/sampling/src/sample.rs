@@ -2,6 +2,7 @@ use mfti_numeric::CMatrix;
 use mfti_statespace::TransferFunction;
 
 use crate::grid::FrequencyGrid;
+use crate::validate::{first_defect, SampleDefect, ValidatedSamples};
 use crate::SamplingError;
 
 /// Frequency-response samples: pairs `(f_i, S(f_i))` with
@@ -69,6 +70,27 @@ impl SampleSet {
     ) -> Result<Self, SamplingError> {
         let matrices = sys.frequency_response(grid.points())?;
         Self::from_parts(grid.points().to_vec(), matrices)
+    }
+
+    /// Validates the set for fitting: at least two samples, finite
+    /// frequencies and response entries, pairwise-distinct frequencies.
+    /// Returns a borrow-token the generic fit drivers require, so every
+    /// engine runs behind the same ingestion gate (DESIGN.md §8).
+    ///
+    /// Construction ([`SampleSet::from_parts`]) already rejects
+    /// structural inconsistencies; this is the stricter *numeric* gate,
+    /// kept separate because some consumers (plotting, noise
+    /// injection, Touchstone round-trips) legitimately handle data a
+    /// fitter must refuse.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SampleDefect`] in sample order.
+    pub fn validate(&self) -> Result<ValidatedSamples<'_>, SampleDefect> {
+        match first_defect(self) {
+            None => Ok(ValidatedSamples::new(self)),
+            Some(defect) => Err(defect),
+        }
     }
 
     /// Number of samples `k`.
@@ -161,7 +183,7 @@ impl SampleSet {
             .chain(other.iter())
             .map(|(f, m)| (f, m.clone()))
             .collect();
-        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite frequencies"));
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
         if pairs.windows(2).any(|w| w[0].0 == w[1].0) {
             return Err(SamplingError::InconsistentData {
                 what: "merged runs share a sampling frequency",

@@ -1,0 +1,232 @@
+//! Validated-ingestion boundary for user-supplied sample sets.
+//!
+//! The fitting pipeline's serving posture (ROADMAP north star) assumes
+//! arbitrary measurement data crosses the API boundary: NaN entries
+//! from failed VNA sweeps, duplicated frequency points from
+//! concatenated runs, ±∞ from overflowed de-embedding. Every
+//! factorization downstream (Loewner pencil assembly, SVD, Schur) is
+//! *garbage-tolerant at best* on such inputs — so they are rejected
+//! here, before any numeric work runs, with a typed [`SampleDefect`]
+//! naming the offending sample (DESIGN.md §8).
+//!
+//! [`SampleSet::validate`] is the gate; [`ValidatedSamples`] is the
+//! proof-of-validation token the generic fit drivers in `mfti-core`
+//! demand before dispatching to an engine.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::Deref;
+
+use crate::sample::SampleSet;
+
+/// A defect in user-supplied sample data, detected by
+/// [`SampleSet::validate`] before any factorization runs.
+///
+/// Indices refer to sample positions in iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SampleDefect {
+    /// A response matrix entry is NaN or ±∞.
+    NonFiniteEntry {
+        /// Sample index holding the bad matrix.
+        sample: usize,
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+    },
+    /// A sampling frequency is NaN or ±∞.
+    NonFiniteFrequency {
+        /// Index of the offending sample.
+        sample: usize,
+    },
+    /// Two samples share a frequency (a duplicated interpolation point
+    /// σ makes the Loewner pencil's divided differences singular).
+    DuplicateFrequency {
+        /// Index of the first occurrence.
+        first: usize,
+        /// Index of the duplicate.
+        second: usize,
+    },
+    /// Fewer than two samples — no fitting method can interpolate a
+    /// single point.
+    TooFew {
+        /// Number of samples present.
+        have: usize,
+    },
+}
+
+impl fmt::Display for SampleDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleDefect::NonFiniteEntry { sample, row, col } => write!(
+                f,
+                "sample {sample} has a non-finite response entry at ({row}, {col})"
+            ),
+            SampleDefect::NonFiniteFrequency { sample } => {
+                write!(f, "sample {sample} has a non-finite frequency")
+            }
+            SampleDefect::DuplicateFrequency { first, second } => {
+                write!(f, "samples {first} and {second} share a sampling frequency")
+            }
+            SampleDefect::TooFew { have } => {
+                write!(f, "need at least two samples, have {have}")
+            }
+        }
+    }
+}
+
+impl Error for SampleDefect {}
+
+/// Proof that a [`SampleSet`] passed [`SampleSet::validate`]: finite
+/// frequencies and entries, pairwise-distinct frequencies, at least two
+/// samples. Borrows the set; derefs to it for read access.
+///
+/// The token carries no data beyond the borrow, so holding one is
+/// free; the generic fit drivers in `mfti-core` construct it at their
+/// entry points and engines behind it may assume defect-free input.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidatedSamples<'a> {
+    set: &'a SampleSet,
+}
+
+impl<'a> ValidatedSamples<'a> {
+    pub(crate) fn new(set: &'a SampleSet) -> Self {
+        ValidatedSamples { set }
+    }
+
+    /// The underlying sample set.
+    #[must_use]
+    pub fn as_set(&self) -> &'a SampleSet {
+        self.set
+    }
+}
+
+impl Deref for ValidatedSamples<'_> {
+    type Target = SampleSet;
+
+    fn deref(&self) -> &SampleSet {
+        self.set
+    }
+}
+
+/// Scans for the first defect in iteration order (deterministic: the
+/// report does not depend on scan parallelism — there is none).
+pub(crate) fn first_defect(set: &SampleSet) -> Option<SampleDefect> {
+    if set.len() < 2 {
+        return Some(SampleDefect::TooFew { have: set.len() });
+    }
+    for (i, &f) in set.freqs_hz().iter().enumerate() {
+        if !f.is_finite() {
+            return Some(SampleDefect::NonFiniteFrequency { sample: i });
+        }
+    }
+    // Duplicate detection by sorted index ranking: O(k log k), and the
+    // reported pair is the earliest duplicate in sample order.
+    let mut order: Vec<usize> = (0..set.len()).collect();
+    order.sort_by(|&a, &b| {
+        set.freqs_hz()[a]
+            .total_cmp(&set.freqs_hz()[b])
+            .then(a.cmp(&b))
+    });
+    let mut earliest: Option<(usize, usize)> = None;
+    for w in order.windows(2) {
+        if set.freqs_hz()[w[0]] == set.freqs_hz()[w[1]] {
+            let (first, second) = (w[0].min(w[1]), w[0].max(w[1]));
+            if earliest.is_none_or(|e| (first, second) < e) {
+                earliest = Some((first, second));
+            }
+        }
+    }
+    if let Some((first, second)) = earliest {
+        return Some(SampleDefect::DuplicateFrequency { first, second });
+    }
+    for (i, m) in set.matrices().iter().enumerate() {
+        if !m.is_finite() {
+            let (p, q) = m.dims();
+            for row in 0..p {
+                for col in 0..q {
+                    if !m[(row, col)].is_finite() {
+                        return Some(SampleDefect::NonFiniteEntry {
+                            sample: i,
+                            row,
+                            col,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfti_numeric::{c64, CMatrix};
+
+    fn set(freqs: &[f64]) -> SampleSet {
+        let mats = freqs.iter().map(|_| CMatrix::identity(2)).collect();
+        SampleSet::from_parts(freqs.to_vec(), mats).unwrap()
+    }
+
+    #[test]
+    fn clean_set_validates() {
+        let s = set(&[1.0, 2.0, 3.0]);
+        let v = s.validate().unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.as_set().freqs_hz(), s.freqs_hz());
+    }
+
+    #[test]
+    fn single_sample_is_too_few() {
+        let s = set(&[1.0]);
+        assert_eq!(s.validate().unwrap_err(), SampleDefect::TooFew { have: 1 });
+    }
+
+    #[test]
+    fn duplicate_frequency_reports_earliest_pair() {
+        let s = set(&[1.0, 2.0, 1.0, 2.0]);
+        assert_eq!(
+            s.validate().unwrap_err(),
+            SampleDefect::DuplicateFrequency {
+                first: 0,
+                second: 2
+            }
+        );
+    }
+
+    #[test]
+    fn non_finite_entry_is_located() {
+        let mut m = CMatrix::identity(2);
+        m[(1, 0)] = c64(f64::NAN, 0.0);
+        let s = SampleSet::from_parts(vec![1.0, 2.0], vec![CMatrix::identity(2), m]).unwrap();
+        assert_eq!(
+            s.validate().unwrap_err(),
+            SampleDefect::NonFiniteEntry {
+                sample: 1,
+                row: 1,
+                col: 0
+            }
+        );
+    }
+
+    #[test]
+    fn infinite_entry_is_a_defect_too() {
+        let mut m = CMatrix::identity(2);
+        m[(0, 1)] = c64(0.0, f64::NEG_INFINITY);
+        let s = SampleSet::from_parts(vec![1.0, 2.0], vec![m, CMatrix::identity(2)]).unwrap();
+        assert!(matches!(
+            s.validate().unwrap_err(),
+            SampleDefect::NonFiniteEntry { sample: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn denormal_entries_are_valid() {
+        let mut m = CMatrix::identity(2);
+        m[(0, 0)] = c64(f64::MIN_POSITIVE / 2.0, 0.0);
+        let s = SampleSet::from_parts(vec![1.0, 2.0], vec![m, CMatrix::identity(2)]).unwrap();
+        assert!(s.validate().is_ok());
+    }
+}

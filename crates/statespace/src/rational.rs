@@ -179,6 +179,8 @@ impl RationalModel {
                 // symmetry check above).
                 let j = (i + 1..self.poles.len())
                     .find(|&j| !used[j] && (self.poles[j] - p.conj()).abs() <= tol * scale)
+                    // mfti-lint: allow(MFTI-D7) — the symmetry check
+                    // above guarantees every complex pole a partner
                     .expect("checked by is_conjugate_symmetric");
                 used[i] = true;
                 used[j] = true;
@@ -198,6 +200,8 @@ impl RationalModel {
                 let re = self.residues[i].real_part();
                 let im = self.residues[i].imag_part();
                 let c = RMatrix::hstack(&[&re.scale(2.0), &im.scale(2.0)])
+                    // mfti-lint: allow(MFTI-D7) — re and im are parts
+                    // of the same residue block, so rows agree
                     .expect("blocks share p rows");
                 a_blocks.push(a);
                 b_blocks.push(b);
@@ -216,8 +220,14 @@ impl RationalModel {
             let b_refs: Vec<&RMatrix> = b_blocks.iter().collect();
             let c_refs: Vec<&RMatrix> = c_blocks.iter().collect();
             (
+                // mfti-lint: allow(MFTI-D7) — the pole list is
+                // non-empty on this branch
                 RMatrix::block_diag(&a_refs).expect("non-empty"),
+                // mfti-lint: allow(MFTI-D7) — every per-pole block has
+                // the model's own m columns
                 RMatrix::vstack(&b_refs).expect("equal m columns"),
+                // mfti-lint: allow(MFTI-D7) — every per-pole block has
+                // the model's own p rows
                 RMatrix::hstack(&c_refs).expect("equal p rows"),
             )
         };

@@ -1,7 +1,8 @@
 //! The top-level vector-fitting driver.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use mfti_numeric::diag::Stopwatch;
 use mfti_numeric::Complex;
 use mfti_sampling::SampleSet;
 use mfti_statespace::{s_at_hz, RationalModel};
@@ -97,10 +98,7 @@ impl VectorFitter {
     /// Returns [`VecFitError::InvalidConfig`] for unusable inputs and
     /// propagates iteration/solve failures.
     pub fn fit_detailed(&self, samples: &SampleSet) -> Result<VfFit, VecFitError> {
-        // mfti-lint: allow(MFTI-D5) — wall-clock read feeds only the
-        // `elapsed` diagnostic on the fit result; it never reaches
-        // numeric state or control flow.
-        let start = Instant::now();
+        let start = Stopwatch::start();
         if self.n_poles == 0 {
             return Err(VecFitError::InvalidConfig {
                 what: "need at least one pole".to_string(),
@@ -123,7 +121,7 @@ impl VectorFitter {
                     .copied()
                     .filter(|&f| f > 0.0)
                     .collect();
-                pos.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                pos.sort_by(f64::total_cmp);
                 match (pos.first(), pos.last()) {
                     (Some(&lo), Some(&hi)) if hi > lo => (lo, hi),
                     _ => {

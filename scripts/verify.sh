@@ -35,7 +35,12 @@ run cargo run --release -p mfti-lint -- --json LINT_findings.json
 # executor guarantee).
 run cargo build --release -p mfti-bench --bin sweep_smoke --bin fit_smoke --bin session_smoke \
     --bin realize_smoke
-for smoke in sweep_smoke fit_smoke session_smoke realize_smoke; do
+# Fault campaign (fault_smoke, DESIGN.md §8): every failure class of
+# the taxonomy through all four engines — zero panics, typed errors
+# only, and the outcome digest (orders, error strings, response bits)
+# must be exactly as thread-invariant as the success-path digests.
+run cargo build --release -p mfti-faults --bin fault_smoke
+for smoke in sweep_smoke fit_smoke session_smoke realize_smoke fault_smoke; do
     digest_1=$(MFTI_THREADS=1 "target/release/$smoke")
     digest_n=$(MFTI_THREADS=8 "target/release/$smoke")
     echo "==> $smoke 1-thread:  $digest_1"

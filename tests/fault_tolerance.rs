@@ -1,0 +1,217 @@
+//! Defensive-numerics fuzzing across every engine (DESIGN.md §8).
+//!
+//! Drives NaN/∞/denormal entries, non-finite and duplicated
+//! frequencies, and zero tangential data through all four fitting
+//! engines behind `Box<dyn Fitter>`, asserting the robustness
+//! contract: no panic ever crosses the `fit` boundary, defective data
+//! is refused with the *stable* [`FitError::Invalid`] variant carrying
+//! the defect's coordinates, and legal-but-nasty data (subnormals,
+//! identically-zero responses) either fits or refuses typed.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mfti::numeric::{c64, CMatrix};
+use mfti::prelude::*;
+use mfti::sampling::SampleDefect;
+
+fn engines() -> Vec<Box<dyn Fitter>> {
+    vec![
+        Box::new(Mfti::new()),
+        Box::new(Vfti::new()),
+        Box::new(RecursiveMfti::new()),
+        Box::new(VectorFitter::new(8)),
+    ]
+}
+
+fn base(seed: u64) -> SampleSet {
+    let sys = RandomSystemBuilder::new(8, 2, 2)
+        .d_rank(2)
+        .seed(seed)
+        .build()
+        .expect("seeded system");
+    let grid = FrequencyGrid::log_space(1e3, 1e6, 12).expect("grid");
+    SampleSet::from_system(&sys, &grid).expect("sampling")
+}
+
+fn with_entry(
+    set: &SampleSet,
+    k: usize,
+    i: usize,
+    j: usize,
+    v: mfti::numeric::Complex,
+) -> SampleSet {
+    let mut mats: Vec<CMatrix> = set.matrices().to_vec();
+    mats[k][(i, j)] = v;
+    SampleSet::from_parts(set.freqs_hz().to_vec(), mats).expect("same shape")
+}
+
+/// Deterministic coordinate stream for the fuzz loops.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn non_finite_entries_are_rejected_with_coordinates() {
+    let clean = base(11);
+    let k = clean.len();
+    let mut rng = 0xfa_u64;
+    for bad_value in [
+        c64(f64::NAN, 0.0),
+        c64(0.0, f64::NAN),
+        c64(f64::INFINITY, 1.0),
+        c64(1.0, f64::NEG_INFINITY),
+    ] {
+        let (s, i, j) = (
+            (splitmix(&mut rng) % k as u64) as usize,
+            (splitmix(&mut rng) % 2) as usize,
+            (splitmix(&mut rng) % 2) as usize,
+        );
+        let bad = with_entry(&clean, s, i, j, bad_value);
+        for fitter in engines() {
+            match fitter.fit(&bad) {
+                Err(FitError::Invalid(SampleDefect::NonFiniteEntry { sample, row, col })) => {
+                    assert_eq!(
+                        (sample, row, col),
+                        (s, i, j),
+                        "{} misreported",
+                        fitter.name()
+                    );
+                }
+                other => panic!(
+                    "{}: expected NonFiniteEntry at ({s},{i},{j}), got {other:?}",
+                    fitter.name()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn non_finite_and_duplicate_frequencies_are_rejected() {
+    let clean = base(12);
+    // A non-finite frequency never even reaches an engine: it is a
+    // structural inconsistency refused at construction, one layer
+    // below the numeric `validate()` gate.
+    for bad_freq in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut freqs = clean.freqs_hz().to_vec();
+        freqs[3] = bad_freq;
+        assert!(
+            SampleSet::from_parts(freqs, clean.matrices().to_vec()).is_err(),
+            "from_parts accepted a {bad_freq} frequency"
+        );
+    }
+
+    let mut freqs = clean.freqs_hz().to_vec();
+    freqs[5] = freqs[2];
+    let dup = SampleSet::from_parts(freqs, clean.matrices().to_vec()).expect("same shape");
+    for fitter in engines() {
+        match fitter.fit(&dup) {
+            Err(FitError::Invalid(SampleDefect::DuplicateFrequency { first, second })) => {
+                assert_eq!((first, second), (2, 5), "{} misreported", fitter.name());
+            }
+            other => panic!(
+                "{}: expected DuplicateFrequency, got {other:?}",
+                fitter.name()
+            ),
+        }
+    }
+}
+
+/// Subnormal contamination and identically-zero responses (the
+/// sample-level face of a zero tangential direction: every probe
+/// `L·S(f)·R` vanishes) are *legal* inputs — the contract is only
+/// "no panic, and any refusal is typed".
+#[test]
+fn denormal_and_zero_data_never_panic() {
+    let clean = base(13);
+    let k = clean.len();
+
+    let mut rng = 0xde_u64;
+    let mut mats: Vec<CMatrix> = clean.matrices().to_vec();
+    for _ in 0..6 {
+        let sub = f64::from_bits(1 + (splitmix(&mut rng) & 0xffff));
+        let s = (splitmix(&mut rng) % k as u64) as usize;
+        let (i, j) = (
+            (splitmix(&mut rng) % 2) as usize,
+            (splitmix(&mut rng) % 2) as usize,
+        );
+        let old = mats[s][(i, j)];
+        mats[s][(i, j)] = old + c64(sub, -sub);
+    }
+    let denormal = SampleSet::from_parts(clean.freqs_hz().to_vec(), mats).expect("same shape");
+
+    let zeros: Vec<CMatrix> = (0..k).map(|_| CMatrix::zeros(2, 2)).collect();
+    let zero_data = SampleSet::from_parts(clean.freqs_hz().to_vec(), zeros).expect("same shape");
+
+    for samples in [&denormal, &zero_data] {
+        for fitter in engines() {
+            let outcome = catch_unwind(AssertUnwindSafe(|| fitter.fit(samples)));
+            match outcome {
+                Ok(Ok(_) | Err(_)) => {}
+                Err(_) => panic!("{} panicked on legal data", fitter.name()),
+            }
+        }
+    }
+}
+
+/// Randomized defect sweep: every trial mutates the clean set with a
+/// seeded defect and every engine must refuse it as the same
+/// [`FitError::Invalid`] variant — the variants are a stable matching
+/// surface, not incidental strings.
+#[test]
+fn fuzzed_defects_are_stable_across_engines() {
+    let clean = base(14);
+    let k = clean.len();
+    let mut rng = 0x5eed_u64;
+    for trial in 0..16_u64 {
+        let s = (splitmix(&mut rng) % k as u64) as usize;
+        let bad = if trial % 2 == 0 {
+            with_entry(
+                &clean,
+                s,
+                (splitmix(&mut rng) % 2) as usize,
+                (splitmix(&mut rng) % 2) as usize,
+                c64(f64::NAN, 0.0),
+            )
+        } else {
+            let mut freqs = clean.freqs_hz().to_vec();
+            let dst = if s == 0 { 1 } else { s };
+            freqs[dst] = freqs[dst - 1];
+            SampleSet::from_parts(freqs, clean.matrices().to_vec()).expect("same shape")
+        };
+        let mut variants = Vec::new();
+        for fitter in engines() {
+            let caught = catch_unwind(AssertUnwindSafe(|| fitter.fit(&bad)));
+            match caught {
+                Ok(Err(FitError::Invalid(defect))) => variants.push(format!("{defect:?}")),
+                Ok(other) => panic!(
+                    "{}: trial {trial} expected Invalid, got {other:?}",
+                    fitter.name()
+                ),
+                Err(_) => panic!("{}: trial {trial} panicked", fitter.name()),
+            }
+        }
+        // All four engines report the identical defect.
+        assert!(
+            variants.windows(2).all(|w| w[0] == w[1]),
+            "trial {trial}: engines disagree: {variants:?}"
+        );
+    }
+}
+
+/// The seeded fault campaign (the heavier harness behind
+/// `scripts/verify.sh`'s `fault_smoke`) holds its contract from the
+/// test suite too: zero panics, and forced kernel breakdowns surface
+/// typed — either recovered fits or `NoConvergence`-class errors.
+#[test]
+fn fault_campaign_contract_holds() {
+    let report = mfti_faults::run_campaign(0x00da_c201).expect("campaign workloads");
+    assert_eq!(report.panics(), 0, "a panic crossed the fit boundary");
+    assert!(report.fitted() > 0 && report.typed_errors() > 0);
+    let again = mfti_faults::run_campaign(0x00da_c201).expect("campaign workloads");
+    assert_eq!(report.digest, again.digest, "campaign digest is unstable");
+}
