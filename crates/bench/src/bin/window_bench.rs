@@ -1,0 +1,125 @@
+//! Steady-state cost profile of the **bounded-memory sliding window**
+//! (`BENCH_session_window.json`).
+//!
+//! Streams `10 · W` one-pair appends through a `FitSession` under
+//! `WindowPolicy::Sliding { capacity: W }` for W ∈ {48, 96} and times
+//! every append individually. Once the window fills, each append is a
+//! retract-then-extend pencil slide plus a verified
+//! `SvdUpdater::downdate_leading` / border update with the probe gate
+//! and shadow bookkeeping — all history-independent work, so the
+//! per-append cost must be **flat**: the median of the last decile of
+//! steady-state appends may not exceed 1.5× the median of the first
+//! decile. A superlinear leak anywhere in the eviction path (pencil
+//! growth, trajectory replay, shadow re-arm churn) breaks that ratio
+//! and this binary exits nonzero (DESIGN.md §9).
+//!
+//! Also asserts the bounded-memory contract directly: the peak pencil
+//! order across the whole stream never exceeds the capacity.
+//!
+//! Usage: `cargo run --release -p mfti-bench --bin window_bench
+//! [OUT.json]` (default: `BENCH_session_window.json` in the current
+//! directory; schema shared with the other `BENCH_*.json` snapshots).
+
+use std::time::Instant;
+
+use criterion::BenchResult;
+use mfti_core::{FitSession, Mfti, WindowPolicy};
+use mfti_sampling::generators::RandomSystemBuilder;
+use mfti_sampling::{FrequencyGrid, SampleSet};
+
+/// (min, median, mean) over a slice of per-append nanosecond timings.
+fn stats(ns: &[f64]) -> (f64, f64, f64) {
+    let mut sorted = ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    (sorted[0], median, mean)
+}
+
+fn row(id: String, ns: &[f64]) -> BenchResult {
+    let (min_ns, median_ns, mean_ns) = stats(ns);
+    BenchResult {
+        id,
+        iterations: ns.len() as u64,
+        min_ns,
+        median_ns,
+        mean_ns,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_session_window.json".to_string());
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    for capacity in [48usize, 96] {
+        // Clean (numerically rank-deficient) 2-port stream, full
+        // weights (t = 2): one pair per append carries 4 rows+cols, so
+        // the window holds capacity/4 pairs and every steady-state
+        // append evicts exactly one pair.
+        let appends = 10 * capacity;
+        let sys = RandomSystemBuilder::new(10, 2, 2)
+            .d_rank(2)
+            .band(1e6, 1e9)
+            .seed(0x77_1ADE + capacity as u64)
+            .build()
+            .expect("seeded build");
+        let grid = FrequencyGrid::log_space(1e6, 1e9, 2 * appends).expect("valid grid");
+        let stream = SampleSet::from_system(&sys, &grid).expect("sampling");
+
+        let mut session = FitSession::new(Mfti::new()).window(WindowPolicy::Sliding { capacity });
+        let mut timings_ns = Vec::with_capacity(appends);
+        let mut peak = 0;
+        for p in 0..appends {
+            let batch = stream.subset(&[2 * p, 2 * p + 1]).expect("pair");
+            let t0 = Instant::now();
+            session.append(&batch).expect("windowed append");
+            timings_ns.push(t0.elapsed().as_nanos() as f64);
+            peak = peak.max(session.pencil_order());
+        }
+        assert!(
+            peak <= capacity,
+            "W={capacity}: peak pencil order {peak} exceeds the window capacity"
+        );
+        assert_eq!(
+            session.pencil_order() + 4 * session.evicted_pairs(),
+            4 * appends,
+            "W={capacity}: eviction accounting does not cover the stream"
+        );
+        session.realize().expect("windowed realize");
+
+        // Steady state begins once the window has filled and slid a few
+        // times; everything before that is warmup (growth-phase appends
+        // are cheaper, which would flatter the ratio).
+        let warmup = capacity / 4 + 16;
+        let steady = &timings_ns[warmup..];
+        let decile = steady.len() / 10;
+        let first = &steady[..decile];
+        let last = &steady[steady.len() - decile..];
+        let (_, first_median, _) = stats(first);
+        let (_, last_median, _) = stats(last);
+        let ratio = last_median / first_median;
+        println!(
+            "window W={capacity}: {appends} appends, steady-state first-decile median \
+             {:.0} µs | last-decile median {:.0} µs | ratio {ratio:.2}x | peak K {peak}",
+            first_median / 1e3,
+            last_median / 1e3,
+        );
+        results.push(row(format!("session_window/w{capacity}/append"), steady));
+        results.push(row(
+            format!("session_window/w{capacity}/first_decile"),
+            first,
+        ));
+        results.push(row(format!("session_window/w{capacity}/last_decile"), last));
+        assert!(
+            ratio <= 1.5,
+            "W={capacity}: steady-state append cost is not flat \
+             (last-decile median {last_median:.0} ns > 1.5x first-decile \
+             median {first_median:.0} ns)"
+        );
+    }
+
+    criterion::write_json(&results, &out_path).expect("write window summary");
+    println!("wrote {out_path}");
+}

@@ -1,0 +1,100 @@
+//! Deterministic-parallelism smoke check for the **sliding-window
+//! session** hot path (`scripts/verify.sh`, alongside `session_smoke`).
+//!
+//! Streams a clean 2-port workload through a `FitSession` under
+//! [`WindowPolicy::Sliding`] so that steady state exercises the whole
+//! windowed machinery — verified `SvdUpdater::downdate_leading`
+//! evictions, the residual probe gate, ping-pong shadow re-anchoring
+//! and pencil retraction — and prints one FNV-1a digest over every
+//! per-append singular value, the order trajectory, the windowed
+//! provenance events (evictions, quarantines, re-anchor rungs) and the
+//! final realized model bits. `verify.sh` runs this binary at 1 and N
+//! workers and fails on any digest mismatch: the bounded-memory signal,
+//! including every eviction and re-anchor decision, must be
+//! bit-identical at every worker count (DESIGN.md §9).
+//!
+//! Usage: `MFTI_THREADS=k cargo run --release -p mfti-bench --bin
+//! window_smoke` (prints `window digest: <hex>`).
+
+use mfti_core::{FitSession, Mfti, Reanchor, WindowPolicy};
+use mfti_sampling::generators::RandomSystemBuilder;
+use mfti_sampling::{FrequencyGrid, SampleSet};
+
+fn main() {
+    // Order-10 system, 2 ports, full weights (t = 2): every streamed
+    // pair carries 4 rows+cols, so a capacity-24 window holds 6 pairs
+    // and the 24-pair stream below forces ~18 pairs of evictions —
+    // enough steady-state slides to exercise downdates, probe gates and
+    // at least one shadow-swap/fresh re-anchor cycle.
+    let sys = RandomSystemBuilder::new(10, 2, 2)
+        .d_rank(2)
+        .band(1e6, 1e9)
+        .seed(0x51_1DE5)
+        .build()
+        .expect("seeded build");
+    let grid = FrequencyGrid::log_space(1e6, 1e9, 48).expect("valid grid");
+    let all = SampleSet::from_system(&sys, &grid).expect("sampling");
+
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut absorb = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+
+    // Band edges first (they set the normalization), then one pair per
+    // append; digest the windowed signal after every single append.
+    let mut session = FitSession::new(Mfti::new()).window(WindowPolicy::Sliding { capacity: 24 });
+    let k = all.len();
+    let mut batches = vec![all.subset(&[0, k - 1]).expect("edges")];
+    let mut i = 1;
+    while i + 1 < k - 1 {
+        batches.push(all.subset(&[i, i + 1]).expect("pair"));
+        i += 2;
+    }
+    let mut peak = 0;
+    for batch in &batches {
+        session.append(batch).expect("windowed append");
+        peak = peak.max(session.pencil_order());
+        for s in session.singular_values().expect("signal") {
+            absorb(s.to_bits());
+        }
+    }
+    assert!(
+        peak <= 24,
+        "window overflowed its capacity: peak pencil order {peak}"
+    );
+
+    // Provenance trajectory: the digest pins not just the numbers but
+    // the *decisions* — which appends evicted, which quarantined, and
+    // which re-anchor rung restored service.
+    for diag in session.signal_trajectory() {
+        absorb(diag.order as u64);
+        absorb(diag.evicted_pairs as u64);
+        absorb(u64::from(diag.refreshed));
+        absorb(u64::from(diag.quarantined));
+        absorb(match diag.reanchor {
+            None => 0,
+            Some(Reanchor::ShadowSwap) => 1,
+            Some(Reanchor::FreshBlocked) => 2,
+            Some(Reanchor::GolubKahan) => 3,
+            Some(_) => 4,
+        });
+    }
+
+    let outcome = session.realize().expect("realize");
+    let model = outcome.model().as_real().expect("real realization path");
+    let (e, a, b, c, d) = model.real_matrices();
+    for m in [e, a, b, c, d] {
+        for x in m.iter() {
+            absorb(x.to_bits());
+        }
+    }
+    println!(
+        "window digest: {hash:016x} (K {}, order {}, evicted {} pairs)",
+        session.pencil_order(),
+        outcome.order(),
+        session.evicted_pairs(),
+    );
+}

@@ -12,7 +12,7 @@ use mfti_numeric::{CMatrix, Complex, RMatrix};
 use mfti_sampling::SampleSet;
 use mfti_statespace::s_at_hz;
 
-use crate::directions::{generate_directions, DirectionKind, DirectionSet};
+use crate::directions::{generate_directions_from, DirectionKind, DirectionOrigin, DirectionSet};
 use crate::error::MftiError;
 
 /// Per-sample block widths `t_i` (the paper's accuracy/speed/weighting
@@ -151,6 +151,26 @@ impl TangentialData {
         directions: DirectionKind,
         weights: &Weights,
     ) -> Result<Self, MftiError> {
+        Self::build_from(samples, directions, weights, DirectionOrigin::default())
+    }
+
+    /// [`TangentialData::build`] with the direction stream resumed at
+    /// `origin` — the sliding-window form (DESIGN.md §9): a windowed
+    /// [`FitSession`](crate::FitSession) rebuilds its data over the
+    /// *live samples only* (so the duplicate-frequency gate scopes to
+    /// the window, not the full stream history) while each surviving
+    /// pair keeps the directions it was assigned when it first streamed
+    /// in.
+    ///
+    /// # Errors
+    ///
+    /// See [`TangentialData::build`].
+    pub fn build_from(
+        samples: &SampleSet,
+        directions: DirectionKind,
+        weights: &Weights,
+        origin: DirectionOrigin,
+    ) -> Result<Self, MftiError> {
         // The numeric ingestion gate runs first: non-finite data and
         // duplicated interpolation points σ (which make the Loewner
         // divided differences singular) never reach pencil assembly.
@@ -172,7 +192,7 @@ impl TangentialData {
         let (p, m) = samples.ports();
         let pairs = k / 2;
         let ts = weights.resolve(pairs, p.min(m))?;
-        let dirs: DirectionSet = generate_directions(directions, p, m, &ts, &ts)?;
+        let dirs: DirectionSet = generate_directions_from(directions, p, m, &ts, &ts, origin)?;
         // Built-in generators emit orthonormal blocks, but the gate also
         // guards any future user-supplied direction source: a zero
         // column/row makes its interpolation condition vacuous and the

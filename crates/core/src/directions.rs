@@ -44,6 +44,27 @@ impl Default for DirectionKind {
     }
 }
 
+/// Stream position a direction sequence starts from — the windowed-
+/// streaming generalization of prefix stability. A sliding
+/// [`FitSession`](crate::FitSession) rebuilds its tangential data over
+/// the *live window only*, but the directions of a surviving pair must
+/// stay what they were when the pair first streamed in; the origin
+/// records how much evicted history precedes the window so generation
+/// resumes mid-stream instead of restarting at pair 0.
+///
+/// `pairs` offsets [`DirectionKind::RandomOrthonormal`]'s per-pair RNG
+/// stream index; `cols` offsets [`DirectionKind::CyclicIdentity`]'s
+/// cumulative column offset (the sum of evicted block widths `t_j`).
+/// `DirectionOrigin::default()` is the start of the stream, where
+/// generation is identical to the un-originated form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectionOrigin {
+    /// Number of evicted pairs preceding the first generated pair.
+    pub pairs: usize,
+    /// Sum of the evicted pairs' block widths (cyclic column offset).
+    pub cols: usize,
+}
+
 /// Generated direction blocks for a whole sample set.
 #[derive(Debug, Clone)]
 pub struct DirectionSet {
@@ -72,6 +93,33 @@ pub fn generate_directions(
     right_ts: &[usize],
     left_ts: &[usize],
 ) -> Result<DirectionSet, MftiError> {
+    generate_directions_from(
+        kind,
+        outputs,
+        inputs,
+        right_ts,
+        left_ts,
+        DirectionOrigin::default(),
+    )
+}
+
+/// [`generate_directions`] resuming mid-stream at `origin` — pair `j`
+/// of the output gets the directions that stream position
+/// `origin.pairs + j` (cyclic column offset `origin.cols + Σ_{i<j} t_i`)
+/// would have received in an unwindowed run, so a sliding window's
+/// surviving pairs keep their original blocks (DESIGN.md §9).
+///
+/// # Errors
+///
+/// See [`generate_directions`].
+pub fn generate_directions_from(
+    kind: DirectionKind,
+    outputs: usize,
+    inputs: usize,
+    right_ts: &[usize],
+    left_ts: &[usize],
+    origin: DirectionOrigin,
+) -> Result<DirectionSet, MftiError> {
     let t_max = outputs.min(inputs);
     for &t in right_ts.iter().chain(left_ts) {
         if t == 0 || t > t_max {
@@ -83,13 +131,13 @@ pub fn generate_directions(
     match kind {
         DirectionKind::CyclicIdentity => {
             let mut right = Vec::with_capacity(right_ts.len());
-            let mut offset = 0usize;
+            let mut offset = origin.cols;
             for &t in right_ts {
                 right.push(cyclic_columns(inputs, t, offset));
                 offset += t;
             }
             let mut left = Vec::with_capacity(left_ts.len());
-            let mut offset = 0usize;
+            let mut offset = origin.cols;
             for &t in left_ts {
                 left.push(cyclic_columns(outputs, t, offset).transpose());
                 offset += t;
@@ -97,19 +145,26 @@ pub fn generate_directions(
             Ok(DirectionSet { right, left })
         }
         DirectionKind::RandomOrthonormal { seed } => {
-            // One RNG stream per (side, pair) keeps every block a pure
-            // function of its pair index: appending pairs to a session
-            // can never perturb the blocks already woven into a pencil.
+            // One RNG stream per (side, stream-position pair) keeps
+            // every block a pure function of its position: appending
+            // pairs to a session can never perturb the blocks already
+            // woven into a pencil, and evicting leading pairs (origin
+            // advance) never perturbs the survivors.
             let right = right_ts
                 .iter()
                 .enumerate()
-                .map(|(j, &t)| random_orthonormal(&mut block_rng(seed, 0, j), inputs, t))
+                .map(|(j, &t)| {
+                    random_orthonormal(&mut block_rng(seed, 0, origin.pairs + j), inputs, t)
+                })
                 .collect::<Result<Vec<_>, _>>()?;
             let left = left_ts
                 .iter()
                 .enumerate()
                 .map(|(j, &t)| {
-                    Ok(random_orthonormal(&mut block_rng(seed, 1, j), outputs, t)?.transpose())
+                    Ok(
+                        random_orthonormal(&mut block_rng(seed, 1, origin.pairs + j), outputs, t)?
+                            .transpose(),
+                    )
                 })
                 .collect::<Result<Vec<_>, MftiError>>()?;
             Ok(DirectionSet { right, left })
@@ -271,6 +326,56 @@ mod tests {
         // Sides and pair indices draw from distinct streams.
         assert_ne!(long.right[0], long.right[1]);
         assert_ne!(long.right[0], long.left[0].transpose());
+    }
+
+    #[test]
+    fn an_origin_resumes_the_stream_where_eviction_left_it() {
+        // Random: pair j at origin {pairs: 2} equals pair 2+j from the
+        // start of the stream.
+        let full = generate_directions(
+            DirectionKind::RandomOrthonormal { seed: 11 },
+            3,
+            3,
+            &[2, 2, 2, 2],
+            &[2, 2, 2, 2],
+        )
+        .unwrap();
+        let windowed = generate_directions_from(
+            DirectionKind::RandomOrthonormal { seed: 11 },
+            3,
+            3,
+            &[2, 2],
+            &[2, 2],
+            DirectionOrigin { pairs: 2, cols: 4 },
+        )
+        .unwrap();
+        for j in 0..2 {
+            assert_eq!(windowed.right[j], full.right[2 + j]);
+            assert_eq!(windowed.left[j], full.left[2 + j]);
+        }
+
+        // Cyclic: the column offset resumes from the evicted widths.
+        let full = generate_directions(
+            DirectionKind::CyclicIdentity,
+            3,
+            3,
+            &[1, 1, 1, 1],
+            &[1, 1, 1, 1],
+        )
+        .unwrap();
+        let windowed = generate_directions_from(
+            DirectionKind::CyclicIdentity,
+            3,
+            3,
+            &[1, 1],
+            &[1, 1],
+            DirectionOrigin { pairs: 2, cols: 2 },
+        )
+        .unwrap();
+        for j in 0..2 {
+            assert_eq!(windowed.right[j], full.right[2 + j]);
+            assert_eq!(windowed.left[j], full.left[2 + j]);
+        }
     }
 
     #[test]

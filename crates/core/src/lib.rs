@@ -69,7 +69,9 @@ mod session;
 mod vfti;
 
 pub use data::{LeftTriple, RightTriple, TangentialData, Weights};
-pub use directions::{generate_directions, DirectionKind, DirectionSet};
+pub use directions::{
+    generate_directions, generate_directions_from, DirectionKind, DirectionOrigin, DirectionSet,
+};
 pub use error::MftiError;
 pub use fitter::{AnyModel, FitError, FitOutcome, Fitter};
 pub use loewner::LoewnerPencil;
@@ -78,7 +80,7 @@ pub use realify::{realify, RealifiedPencil};
 pub use realize::{realize_complex, realize_direct, realize_real, OrderSelection};
 pub use recursive::{RecursiveFit, RecursiveMfti, RoundInfo, SelectionOrder};
 pub use sampling_bounds::{minimal_samples, vfti_minimal_samples, SampleBounds};
-pub use session::{FitSession, SessionSvd, SignalDiagnostic};
+pub use session::{FitSession, Reanchor, SessionSvd, SignalDiagnostic, WindowPolicy};
 pub use vfti::Vfti;
 
 /// Relative singular-value level below which directions are considered

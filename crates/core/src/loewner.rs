@@ -66,6 +66,15 @@ pub struct LoewnerPencil {
     pair_ts: Vec<usize>,
     /// Frequency normalization ω₀ applied to all interpolation points.
     freq_scale: f64,
+    /// Pinned order-detection shift: the first right interpolation
+    /// point ever included (Section 3.4's λ₁ suggestion). Pinning —
+    /// rather than re-reading `lambdas[0]` — keeps the shifted pencil
+    /// `x₀𝕃 − σ𝕃` a *consistent* matrix across window retractions, so
+    /// an incrementally maintained [`SvdUpdater`](mfti_numeric::SvdUpdater)
+    /// over it stays valid after the leading pairs expire. Any x₀ that
+    /// is not a system pole is admissible (Lemma 3.4); a point on the
+    /// iω axis never coincides with a stable pole.
+    x0: Option<Complex>,
 }
 
 impl LoewnerPencil {
@@ -111,6 +120,7 @@ impl LoewnerPencil {
             included_pairs: Vec::new(),
             pair_ts: Vec::new(),
             freq_scale: data.freq_scale(),
+            x0: None,
         };
         pencil.extend(data, pairs)?;
         Ok(pencil)
@@ -294,6 +304,78 @@ impl LoewnerPencil {
             self.included_pairs.push(j);
             self.pair_ts.push(data.pair_weights()[j]);
         }
+        if self.x0.is_none() {
+            self.x0 = self.lambdas.first().copied();
+        }
+        Ok(())
+    }
+
+    /// Drops the **leading** `drop_pairs` included sample pairs — the
+    /// expiry half of a sliding window (DESIGN.md §9), dual of
+    /// [`extend`](LoewnerPencil::extend). The stacked `W`/`V`/`L`/`R`,
+    /// both pencil matrices and the interpolation points shrink by
+    /// submatrix restriction — `O(K²)` copying, no GEMM, no rebuild —
+    /// and the surviving blocks equal a from-scratch
+    /// [`build_subset`](LoewnerPencil::build_subset) over the surviving
+    /// pairs bit-for-bit (every entry is a pure function of its own
+    /// pair's triples).
+    ///
+    /// Surviving pair indices are renumbered down by `drop_pairs`,
+    /// matching a caller that drops the same leading pairs from its
+    /// [`TangentialData`]; the order-detection shift
+    /// [`default_x0`](LoewnerPencil::default_x0) stays pinned to the
+    /// original λ₁ so the shifted pencil remains the same matrix family
+    /// across retractions.
+    ///
+    /// The retraction is transactional: on error the pencil is
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MftiError::InvalidSamples`] when the retraction would
+    /// empty the pencil or orphan a surviving pair index (a surviving
+    /// pair numbered below `drop_pairs`).
+    pub fn retract(&mut self, drop_pairs: usize) -> Result<(), MftiError> {
+        if drop_pairs == 0 {
+            return Ok(());
+        }
+        if drop_pairs >= self.included_pairs.len() {
+            return Err(MftiError::InvalidSamples {
+                what: "retraction must leave at least one pair".to_string(),
+            });
+        }
+        if self.included_pairs[drop_pairs..]
+            .iter()
+            .any(|&j| j < drop_pairs)
+        {
+            return Err(MftiError::InvalidSamples {
+                what: "retraction would orphan a surviving pair index".to_string(),
+            });
+        }
+        let k_drop: usize = self.pair_ts[..drop_pairs].iter().map(|&t| 2 * t).sum();
+        let k_keep = self.ll.rows() - k_drop;
+
+        // Every fallible restriction happens before the commit.
+        let ll = self.ll.submatrix(k_drop, k_drop, k_keep, k_keep)?;
+        let sll = self.sll.submatrix(k_drop, k_drop, k_keep, k_keep)?;
+        let w = self.w.submatrix(0, k_drop, self.w.rows(), k_keep)?;
+        let v = self.v.submatrix(k_drop, 0, k_keep, self.v.cols())?;
+        let l = self.l.submatrix(k_drop, 0, k_keep, self.l.cols())?;
+        let r = self.r.submatrix(0, k_drop, self.r.rows(), k_keep)?;
+
+        self.ll = ll;
+        self.sll = sll;
+        self.w = w;
+        self.v = v;
+        self.l = l;
+        self.r = r;
+        self.lambdas.drain(..k_drop);
+        self.mus.drain(..k_drop);
+        self.included_pairs.drain(..drop_pairs);
+        for j in &mut self.included_pairs {
+            *j -= drop_pairs;
+        }
+        self.pair_ts.drain(..drop_pairs);
         Ok(())
     }
 
@@ -492,10 +574,16 @@ impl LoewnerPencil {
         Ok(Svd::singular_values_of(&self.sll)?)
     }
 
-    /// Default shift `x₀`: the first right interpolation point, as
-    /// suggested in Section 3.4 ("if x is chosen to be λ₁ or μ₁ …").
+    /// Default shift `x₀`: the first right interpolation point ever
+    /// included, as suggested in Section 3.4 ("if x is chosen to be λ₁
+    /// or μ₁ …"). **Pinned** across [`retract`](LoewnerPencil::retract)
+    /// — windowed sessions keep decomposing the same shifted pencil
+    /// family even after the pair that donated λ₁ expires.
     pub fn default_x0(&self) -> Complex {
-        self.lambdas[0]
+        match self.x0 {
+            Some(x0) => x0,
+            None => self.lambdas[0],
+        }
     }
 }
 
@@ -586,6 +674,58 @@ mod tests {
         let sv_ll = pencil.ll_singular_values().unwrap();
         let rank_ll = sv_ll.iter().filter(|&&s| s > 1e-9 * sv_ll[0]).count();
         assert_eq!(rank_ll, 6, "𝕃 singular values: {sv_ll:?}");
+    }
+
+    #[test]
+    fn retraction_matches_a_from_scratch_build_of_the_survivors() {
+        let (data, _) = make_data(10, 2, 12, 2);
+        let mut windowed = LoewnerPencil::build_subset(&data, &[0, 1, 2, 3, 4]).unwrap();
+        let pinned_x0 = windowed.default_x0();
+        windowed.retract(2).unwrap();
+
+        let direct = LoewnerPencil::build_subset(&data, &[2, 3, 4]).unwrap();
+        assert!(windowed.ll().approx_eq(direct.ll(), 0.0));
+        assert!(windowed.sll().approx_eq(direct.sll(), 0.0));
+        assert!(windowed.w().approx_eq(direct.w(), 0.0));
+        assert!(windowed.v().approx_eq(direct.v(), 0.0));
+        assert_eq!(windowed.lambdas(), direct.lambdas());
+        assert_eq!(windowed.mus(), direct.mus());
+        // Surviving pairs are renumbered to the window frame …
+        assert_eq!(windowed.included_pairs(), &[0, 1, 2]);
+        assert_eq!(windowed.pair_ts(), &[2, 2, 2]);
+        // … and the order-detection shift stays pinned to the original λ₁.
+        assert_eq!(windowed.default_x0(), pinned_x0);
+        assert_ne!(windowed.default_x0(), windowed.lambdas()[0]);
+    }
+
+    #[test]
+    fn retract_then_extend_slides_the_window() {
+        let (data, _) = make_data(8, 2, 10, 1);
+        let mut windowed = LoewnerPencil::build_subset(&data, &[0, 1, 2, 3]).unwrap();
+        windowed.retract(1).unwrap();
+        // After renumbering, data pair 4 sits at window frame … but the
+        // pencil checks indices against the *caller's* data, so extend
+        // with the original indices shifted down by the retraction.
+        windowed.extend(&data, &[4]).unwrap();
+        assert_eq!(windowed.order(), 8);
+        let direct = LoewnerPencil::build_subset(&data, &[1, 2, 3, 4]).unwrap();
+        assert!(windowed.ll().approx_eq(direct.ll(), 0.0));
+        assert!(windowed.sll().approx_eq(direct.sll(), 0.0));
+    }
+
+    #[test]
+    fn invalid_retractions_are_rejected_and_transactional() {
+        let (data, _) = make_data(6, 2, 4, 1);
+        let mut pencil = LoewnerPencil::build_subset(&data, &[0, 1]).unwrap();
+        let before = pencil.ll().clone();
+        // Emptying the pencil is refused.
+        assert!(pencil.retract(2).is_err());
+        assert!(pencil.retract(5).is_err());
+        assert_eq!(pencil.order(), before.rows());
+        assert!(pencil.ll().approx_eq(&before, 0.0));
+        // A no-op retraction is fine.
+        pencil.retract(0).unwrap();
+        assert_eq!(pencil.included_pairs(), &[0, 1]);
     }
 
     #[test]

@@ -28,10 +28,11 @@
 use std::sync::OnceLock;
 
 use mfti_numeric::diag::Stopwatch;
-use mfti_numeric::{PartialSvd, Svd, SvdFactors, SvdMethod, SvdUpdater};
+use mfti_numeric::{Complex, NumericError, PartialSvd, Svd, SvdFactors, SvdMethod, SvdUpdater};
 use mfti_sampling::SampleSet;
 
-use crate::data::TangentialData;
+use crate::data::{TangentialData, Weights};
+use crate::directions::DirectionOrigin;
 use crate::error::MftiError;
 use crate::fitter::{FitError, FitOutcome};
 use crate::loewner::LoewnerPencil;
@@ -44,10 +45,82 @@ use crate::recovery::LadderSvd;
 /// streams), the retained first-append bidiagonalization (single-batch
 /// sessions), the cached values and the health record.
 struct SignalGeneration {
-    updater: Option<SvdUpdater<mfti_numeric::Complex>>,
-    partial: Option<PartialSvd<mfti_numeric::Complex>>,
+    updater: Option<SvdUpdater<Complex>>,
+    partial: Option<PartialSvd<Complex>>,
     sv: Vec<f64>,
     diagnostic: SignalDiagnostic,
+}
+
+/// One consistent generation of the *windowed* signal: the live
+/// updater, the single-batch partial, the advanced (or re-armed)
+/// ping-pong shadow, the cached values and the health record.
+struct WindowedGeneration {
+    updater: Option<SvdUpdater<Complex>>,
+    partial: Option<PartialSvd<Complex>>,
+    shadow: Option<ShadowState>,
+    sv: Vec<f64>,
+    diagnostic: SignalDiagnostic,
+}
+
+/// Bounded-memory policy of a [`FitSession`] (DESIGN.md §9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum WindowPolicy {
+    /// Every appended sample stays woven into the pencil forever — the
+    /// classic recursive Algorithm 2 posture. Memory and per-append
+    /// cost grow with stream history.
+    #[default]
+    Unbounded,
+    /// Sliding window: the pencil order is kept at or below `capacity`
+    /// by evicting the **oldest** sample pairs as new ones stream in
+    /// ([`LoewnerPencil::retract`] + [`SvdUpdater::downdate_leading`],
+    /// verified by a residual gate and re-anchored by a shadow updater
+    /// — see DESIGN.md §9 for the validity conditions and the
+    /// quarantine state machine). Steady-state append cost and memory
+    /// are independent of stream history; the duplicate-frequency gate
+    /// scopes to the live window, so an evicted frequency may lawfully
+    /// return.
+    ///
+    /// `capacity` bounds the pencil order `K = Σ 2·t_j` (not the
+    /// sample count). [`Weights::PerPair`](crate::Weights) is rejected
+    /// under a sliding window — its fixed-length vector cannot follow
+    /// an evicting pair list; use `Full` or `Uniform`.
+    Sliding {
+        /// Maximum pencil order the window may hold.
+        capacity: usize,
+    },
+}
+
+/// How a windowed session replaced its live factorization when drift
+/// or the verification gate demanded a re-anchor (DESIGN.md §9) — the
+/// downdate ladder's provenance, recorded on
+/// [`SignalDiagnostic::reanchor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Reanchor {
+    /// The ping-pong shadow updater — incrementally pre-built from the
+    /// trailing half-window ahead of schedule — covered the full window
+    /// and was swapped in (O(1), no decomposition).
+    ShadowSwap,
+    /// A fresh blocked decomposition of the live window's shifted
+    /// pencil re-seeded the updater.
+    FreshBlocked,
+    /// The blocked seed itself stalled; the Golub–Kahan rung re-seeded
+    /// the updater.
+    GolubKahan,
+}
+
+/// The ping-pong shadow: a second [`SvdUpdater`] anchored on the
+/// trailing half-window and advanced incrementally alongside the live
+/// one, so a drift- or gate-triggered re-anchor can swap (O(1)) instead
+/// of paying a fresh `O(K³)` decomposition on the critical path.
+#[derive(Debug, Clone)]
+struct ShadowState {
+    updater: SvdUpdater<Complex>,
+    /// Leading window pairs **not** covered by the shadow; evictions
+    /// decrement it, and at 0 the shadow covers the whole window and
+    /// becomes swappable.
+    lag_pairs: usize,
 }
 
 /// Per-append health record of the order-detection signal — the
@@ -59,21 +132,40 @@ pub struct SignalDiagnostic {
     /// Detected model order committed for this append (0 when the
     /// selection rule could not resolve one).
     pub order: usize,
-    /// The updater's accumulated Weyl bound
-    /// ([`SvdUpdater::error_bound`]) observed after absorbing this
-    /// append's pencil strips, **before** any auto-refresh — the
-    /// drift that actually fed (or triggered a refresh of) order
-    /// detection. `None` under a [`SessionSvd::Fresh`] oracle or
-    /// before the updater materializes (first append, single batch).
+    /// The Weyl drift bound ([`SvdUpdater::error_bound`]) of the
+    /// factorization **as committed** — i.e. after any auto-refresh or
+    /// re-anchor replaced it, so a refresh restarts the accounting from
+    /// the fresh factorization's floor rather than carrying the
+    /// pre-refresh accumulation (the drift that *triggered* a refresh
+    /// is observable as `refreshed`/`quarantined`). `None` under a
+    /// [`SessionSvd::Fresh`] oracle or before the updater materializes
+    /// (first append, single batch).
     pub error_bound: Option<f64>,
-    /// Whether the updater was re-materialized from a fresh
-    /// factorization because `error_bound` exceeded
-    /// [`FitSession::refresh_threshold`] `· σ₁`.
+    /// Whether the updater was replaced this append — by drift past
+    /// [`FitSession::refresh_threshold`] `· σ₁`, a tripped verification
+    /// gate, or a failed downdate ([`SignalDiagnostic::reanchor`] says
+    /// how it was replaced).
     pub refreshed: bool,
     /// SVD ladder rungs that broke down while producing this signal
     /// (empty on the fast path; see
     /// [`FitResult::svd_fallbacks`](crate::FitResult)).
     pub svd_fallbacks: Vec<SvdMethod>,
+    /// Sample pairs evicted from the sliding window by this append
+    /// (always 0 under [`WindowPolicy::Unbounded`]).
+    pub evicted_pairs: usize,
+    /// Residual of the post-downdate verification probe
+    /// (`‖A_window − UΣVᴴ‖_F` over deterministic sample columns),
+    /// when one ran this append.
+    pub gate_residual: Option<f64>,
+    /// Whether the pre-replacement factorization was **quarantined** —
+    /// refused service because its downdate failed or the verification
+    /// gate tripped (drift-only refreshes leave this `false`). A
+    /// quarantined factorization never serves another `realize`: the
+    /// append either commits a replacement or fails transactionally.
+    pub quarantined: bool,
+    /// Which downdate-ladder rung produced the replacement
+    /// factorization, when one was needed (DESIGN.md §9).
+    pub reanchor: Option<Reanchor>,
 }
 
 /// How a [`FitSession`] maintains the order-detection singular values
@@ -203,6 +295,15 @@ pub struct FitSession {
     /// updater is re-materialized from a fresh factorization of the
     /// grown pencil (DESIGN.md §8).
     refresh_threshold: f64,
+    /// Bounded-memory policy (DESIGN.md §9).
+    window: WindowPolicy,
+    /// Stream pairs evicted over the session lifetime — the direction
+    /// origin, so surviving pairs keep their stream-position blocks.
+    evicted_pairs: usize,
+    /// Sum of the evicted pairs' block widths (cyclic column offset).
+    evicted_cols: usize,
+    /// The ping-pong shadow updater (windowed `Updating` streams only).
+    shadow: Option<ShadowState>,
 }
 
 impl Default for FitSession {
@@ -236,7 +337,30 @@ impl FitSession {
             trajectory: Vec::new(),
             signal_trajectory: Vec::new(),
             refresh_threshold: Self::DEFAULT_REFRESH_THRESHOLD,
+            window: WindowPolicy::default(),
+            evicted_pairs: 0,
+            evicted_cols: 0,
+            shadow: None,
         }
+    }
+
+    /// Selects the bounded-memory policy (builder style; see
+    /// [`WindowPolicy`] and DESIGN.md §9). Takes effect from the next
+    /// [`append`](FitSession::append).
+    pub fn window(mut self, policy: WindowPolicy) -> Self {
+        self.window = policy;
+        self
+    }
+
+    /// The configured bounded-memory policy.
+    pub fn window_policy(&self) -> WindowPolicy {
+        self.window
+    }
+
+    /// Total sample pairs evicted from the sliding window over the
+    /// session lifetime (0 under [`WindowPolicy::Unbounded`]).
+    pub fn evicted_pairs(&self) -> usize {
+        self.evicted_pairs
     }
 
     /// Sets the relative drift threshold for the updater auto-refresh
@@ -297,7 +421,20 @@ impl FitSession {
     ///   `PerPair` weight vector no longer matches the pair count;
     /// * [`FitError::Mfti`] wrapping numeric failures of the signal
     ///   refresh (non-finite data).
+    ///
+    /// Under [`WindowPolicy::Sliding`] the append additionally evicts
+    /// the oldest pairs so the grown pencil order stays at or below the
+    /// capacity — see [`WindowPolicy`] and DESIGN.md §9; an append whose
+    /// own pencil contribution exceeds the capacity, or that arrives
+    /// under [`Weights::PerPair`], is rejected (transactionally).
     pub fn append(&mut self, new: &SampleSet) -> Result<(), FitError> {
+        match self.window {
+            WindowPolicy::Unbounded => self.append_unbounded(new),
+            WindowPolicy::Sliding { capacity } => self.append_windowed(new, capacity),
+        }
+    }
+
+    fn append_unbounded(&mut self, new: &SampleSet) -> Result<(), FitError> {
         let merged = match &self.samples {
             None => new.clone(),
             // Order-preserving concatenation: `SampleSet::merged` sorts
@@ -318,10 +455,17 @@ impl FitSession {
                 SampleSet::from_parts(freqs, mats).map_err(MftiError::from)?
             }
         };
-        let data = TangentialData::build(
+        // The direction origin is normally zero here; it persists the
+        // stream position if the session slid a window earlier in life
+        // (a policy switch must not re-seed surviving blocks).
+        let data = TangentialData::build_from(
             &merged,
             self.config.directions_ref(),
             self.config.weights_ref(),
+            DirectionOrigin {
+                pairs: self.evicted_pairs,
+                cols: self.evicted_cols,
+            },
         )?;
         let grown = data.num_pairs();
         let pencil = match &self.pencil {
@@ -353,6 +497,148 @@ impl FitSession {
         self.partial = generation.partial;
         self.stacked = OnceLock::new();
         self.sv = Some(generation.sv);
+        self.shadow = None; // only windowed appends maintain a shadow
+        Ok(())
+    }
+
+    /// Sliding-window append (DESIGN.md §9): evicts the oldest pairs so
+    /// the grown pencil order stays ≤ `capacity`, retracts + extends the
+    /// pencil in place, and advances the order-detection signal by a
+    /// verified downdate/update — degrading down the re-anchor ladder
+    /// (shadow swap → fresh blocked → Golub–Kahan) when the downdate is
+    /// refused, the residual gate trips, or drift crosses the refresh
+    /// threshold. Transactional like the unbounded path.
+    fn append_windowed(&mut self, new: &SampleSet, capacity: usize) -> Result<(), FitError> {
+        if new.is_empty() || !new.len().is_multiple_of(2) {
+            return Err(MftiError::InvalidSamples {
+                what: format!(
+                    "windowed append needs an even number of samples >= 2, got {}",
+                    new.len()
+                ),
+            }
+            .into());
+        }
+        // The per-pair block width is resolvable without building data:
+        // a fixed-length `PerPair` vector cannot follow an evicting
+        // pair list and is rejected up front.
+        let (p, m) = new.ports();
+        let t = match self.config.weights_ref() {
+            Weights::Full => p.min(m),
+            Weights::Uniform(t) => *t,
+            Weights::PerPair(_) => {
+                return Err(MftiError::InvalidWeights {
+                    what: "PerPair weights cannot follow a sliding window; use Full or Uniform"
+                        .to_string(),
+                }
+                .into())
+            }
+        };
+        let k_new = 2 * t * (new.len() / 2);
+        if k_new == 0 || k_new > capacity {
+            return Err(MftiError::InvalidSamples {
+                what: format!(
+                    "append contributes pencil order {k_new}, beyond the window capacity {capacity}"
+                ),
+            }
+            .into());
+        }
+
+        // How many leading pairs must expire for the grown window to
+        // fit. `k_new <= capacity` guarantees the walk terminates at or
+        // before a full replacement.
+        let (evict, k_evict) = match &self.pencil {
+            None => (0, 0),
+            Some(pencil) => {
+                let k_live = pencil.order();
+                let ts = pencil.pair_ts();
+                let (mut evict, mut k_evict) = (0, 0);
+                while k_live - k_evict + k_new > capacity {
+                    k_evict += 2 * ts[evict];
+                    evict += 1;
+                }
+                (evict, k_evict)
+            }
+        };
+        let evicted_ts: usize = self
+            .pencil
+            .as_ref()
+            .map_or(0, |p| p.pair_ts()[..evict].iter().sum());
+
+        // The live-window sample list: evicted pairs drop out *before*
+        // validation, so the duplicate-frequency gate scopes to the
+        // window — an evicted frequency may lawfully stream back in.
+        let window_samples = match &self.samples {
+            None => new.clone(),
+            Some(old) => {
+                let drop = 2 * evict;
+                let freqs: Vec<f64> = old.freqs_hz()[drop..]
+                    .iter()
+                    .chain(new.freqs_hz())
+                    .copied()
+                    .collect();
+                let mats = old.matrices()[drop..]
+                    .iter()
+                    .chain(new.matrices())
+                    .cloned()
+                    .collect();
+                SampleSet::from_parts(freqs, mats).map_err(MftiError::from)?
+            }
+        };
+        // Surviving pairs keep their stream-position direction blocks:
+        // window pair 0 is stream pair `evicted_pairs + evict`.
+        let data = TangentialData::build_from(
+            &window_samples,
+            self.config.directions_ref(),
+            self.config.weights_ref(),
+            DirectionOrigin {
+                pairs: self.evicted_pairs + evict,
+                cols: self.evicted_cols + evicted_ts,
+            },
+        )?;
+        let grown = data.num_pairs();
+
+        let live_pairs = self.pencil.as_ref().map_or(0, |p| p.included_pairs().len());
+        // A full replacement (every live pair expired) rebuilds from
+        // scratch — x₀ and ω₀ re-pin to the new band, and the signal
+        // necessarily re-anchors fresh.
+        let full_replacement = self.pencil.is_some() && evict == live_pairs;
+        let pencil = match &self.pencil {
+            None => LoewnerPencil::build(&data)?,
+            Some(_) if full_replacement => LoewnerPencil::build(&data)?,
+            Some(existing) => {
+                // Retract *then* extend: the peak transient order never
+                // exceeds max(k_live, capacity).
+                let mut slid = existing.clone();
+                slid.retract(evict)?;
+                let fresh: Vec<usize> = (live_pairs - evict..grown).collect();
+                slid.extend(&data, &fresh)?;
+                slid
+            }
+        };
+        let generation = self.windowed_signal(&pencil, k_evict, evict, full_replacement)?;
+
+        // Commit (everything fallible already happened).
+        let order = self
+            .config
+            .order_selection_ref()
+            .detect(&generation.sv)
+            .unwrap_or(0);
+        self.trajectory.push(order);
+        self.signal_trajectory.push(SignalDiagnostic {
+            order,
+            evicted_pairs: evict,
+            ..generation.diagnostic
+        });
+        self.samples = Some(window_samples);
+        self.data = Some(data);
+        self.pencil = Some(pencil);
+        self.updater = generation.updater;
+        self.partial = generation.partial;
+        self.shadow = generation.shadow;
+        self.stacked = OnceLock::new();
+        self.sv = Some(generation.sv);
+        self.evicted_pairs += evict;
+        self.evicted_cols += evicted_ts;
         Ok(())
     }
 
@@ -365,6 +651,14 @@ impl FitSession {
             error_bound,
             refreshed,
             svd_fallbacks,
+            evicted_pairs: 0,
+            gate_residual: None,
+            quarantined: false,
+            reanchor: if refreshed {
+                Some(Reanchor::FreshBlocked)
+            } else {
+                None
+            },
         };
         match (self.svd, &self.pencil) {
             (SessionSvd::Fresh(method), _) => {
@@ -434,6 +728,11 @@ impl FitSession {
                 if refreshed {
                     upd = SvdUpdater::new(&pencil.shifted_pencil(x0)).map_err(MftiError::from)?;
                 }
+                // The diagnostic reports the bound of the factorization
+                // *as committed*: a refresh restarts the Weyl accounting
+                // from the fresh factorization's floor (the drift that
+                // triggered it is observable as `refreshed`).
+                let committed_bound = upd.error_bound();
                 // Pad the truncated sub-floor tail back to pencil order
                 // with the retained floor: like the truncated values it
                 // sits below every selection threshold, and unlike a
@@ -447,10 +746,282 @@ impl FitSession {
                     updater: Some(upd),
                     partial: None,
                     sv,
-                    diagnostic: clean(Some(bound), refreshed, Vec::new()),
+                    diagnostic: clean(Some(committed_bound), refreshed, Vec::new()),
                 })
             }
         }
+    }
+
+    /// Advances the order-detection signal across a window slide
+    /// (DESIGN.md §9), without touching `self` (the caller commits):
+    /// downdate the evicted border, absorb the appended border, verify
+    /// with a deterministic-column residual probe, and — when the
+    /// downdate is refused, the gate trips, or drift crosses the
+    /// refresh threshold — quarantine the candidate and walk the
+    /// re-anchor ladder (shadow swap → fresh blocked → Golub–Kahan).
+    fn windowed_signal(
+        &self,
+        pencil: &LoewnerPencil,
+        k_evict: usize,
+        evict_pairs: usize,
+        full_replacement: bool,
+    ) -> Result<WindowedGeneration, FitError> {
+        let x0 = pencil.default_x0();
+        let k = pencil.order();
+        let base = SignalDiagnostic {
+            order: 0,         // resolved by the committing append
+            evicted_pairs: 0, // ditto
+            error_bound: None,
+            refreshed: false,
+            svd_fallbacks: Vec::new(),
+            gate_residual: None,
+            quarantined: false,
+            reanchor: None,
+        };
+
+        // The fresh oracle re-decomposes per append — exact by
+        // construction, nothing to downdate, verify or shadow.
+        if let SessionSvd::Fresh(method) = self.svd {
+            let shifted = pencil.shifted_pencil(x0);
+            let rec = Svd::compute_recovering(&shifted, method, SvdFactors::ValuesOnly)
+                .map_err(MftiError::from)?;
+            return Ok(WindowedGeneration {
+                updater: None,
+                partial: None,
+                shadow: None,
+                sv: rec.svd.singular_values().to_vec(),
+                diagnostic: SignalDiagnostic {
+                    svd_fallbacks: rec.fallbacks.iter().map(|(m, _)| *m).collect(),
+                    ..base
+                },
+            });
+        }
+
+        // First append of the stream: the lazy one-shot signal, exactly
+        // as the unbounded path (nothing to evict yet; the updater and
+        // shadow materialize once a second append proves a stream).
+        let Some(prev) = &self.pencil else {
+            let ladder = LadderSvd::compute(&pencil.shifted_pencil(x0), SvdFactors::ValuesOnly)
+                .map_err(MftiError::from)?;
+            let sv = ladder.singular_values().to_vec();
+            let fallbacks = ladder.fallback_methods();
+            return Ok(WindowedGeneration {
+                updater: None,
+                partial: ladder.into_lazy(),
+                shadow: None,
+                sv,
+                diagnostic: SignalDiagnostic {
+                    svd_fallbacks: fallbacks,
+                    ..base
+                },
+            });
+        };
+
+        let k_surv = prev.order() - k_evict;
+        let k_new = k - k_surv;
+        let threshold = |sigma1: f64| self.refresh_threshold * sigma1;
+
+        // Deterministic probe columns — first, middle and last of the
+        // window — assembled per column so the full K×K shifted matrix
+        // is never formed. The residual `‖A[:,J] − UΣVᴴ[:,J]‖_F` is the
+        // verification gate of DESIGN.md §9.
+        let mut probe_idx = vec![0, k / 2, k - 1];
+        probe_idx.dedup();
+        let mut reference = mfti_numeric::CMatrix::zeros(k, probe_idx.len());
+        for (c, &j) in probe_idx.iter().enumerate() {
+            let col = pencil.shifted_pencil_block(x0, 0, j, k, 1)?;
+            for i in 0..k {
+                reference[(i, c)] = col[(i, 0)];
+            }
+        }
+        let probe = |upd: &SvdUpdater<Complex>| -> Result<f64, NumericError> {
+            upd.residual_on_columns(&reference, &probe_idx)
+        };
+
+        let mut gate_residual = None;
+        let mut quarantined = false;
+        let mut live: Option<SvdUpdater<Complex>> = None;
+
+        if !full_replacement {
+            // Advance the live factorization: downdate the evicted
+            // leading border, then absorb the appended strips. Any
+            // refusal (ill-conditioned eviction, rank exceeding the
+            // shrunken window) quarantines the candidate instead of
+            // serving garbage.
+            let advanced = (|| -> Result<SvdUpdater<Complex>, NumericError> {
+                let mut upd = match &self.updater {
+                    Some(upd) => upd.clone(),
+                    None => SvdUpdater::new(&prev.shifted_pencil(x0))?,
+                };
+                upd.downdate_leading(k_evict, k_evict)?;
+                Ok(upd)
+            })();
+            match advanced {
+                Ok(mut upd) => {
+                    if k_new > 0 {
+                        let cols = pencil.shifted_pencil_block(x0, 0, k_surv, k_surv, k_new)?;
+                        let rows = pencil.shifted_pencil_block(x0, k_surv, 0, k_new, k_surv)?;
+                        let corner =
+                            pencil.shifted_pencil_block(x0, k_surv, k_surv, k_new, k_new)?;
+                        match upd.append_border(&cols, &rows, &corner) {
+                            Ok(()) => {}
+                            Err(_) => quarantined = true,
+                        }
+                    }
+                    if !quarantined {
+                        let sigma1 = upd.singular_values().first().copied().unwrap_or(0.0);
+                        match probe(&upd) {
+                            Ok(resid) => {
+                                gate_residual = Some(resid);
+                                if resid > threshold(sigma1) {
+                                    // Gate tripped: the downdated
+                                    // factorization no longer explains
+                                    // the window it claims to factor.
+                                    quarantined = true;
+                                } else if upd.error_bound() > threshold(sigma1) {
+                                    // Accumulated drift: a scheduled
+                                    // re-anchor, not a quarantine.
+                                    live = None;
+                                } else {
+                                    live = Some(upd);
+                                }
+                            }
+                            Err(_) => quarantined = true,
+                        }
+                    }
+                }
+                Err(_) => quarantined = true,
+            }
+        }
+        let needs_reanchor = live.is_none();
+
+        // Advance the ping-pong shadow alongside: evictions eat into
+        // its lag first, only the excess downdates its own factors, and
+        // the appended strips are absorbed at its trailing offset. Any
+        // failure silently drops the shadow — it re-arms below.
+        let mut shadow = if full_replacement {
+            None
+        } else {
+            self.shadow.clone().and_then(|mut sh| {
+                let over = evict_pairs.saturating_sub(sh.lag_pairs);
+                if over > 0 {
+                    let k_down: usize = prev
+                        .pair_ts()
+                        .get(sh.lag_pairs..evict_pairs)
+                        .map_or(0, |ts| ts.iter().map(|&t| 2 * t).sum());
+                    sh.updater.downdate_leading(k_down, k_down).ok()?;
+                }
+                sh.lag_pairs = sh.lag_pairs.saturating_sub(evict_pairs);
+                if k_new > 0 {
+                    let k_sh = sh.updater.dims().0;
+                    // The shadow covers the trailing k_sh surviving
+                    // rows/cols; its strips start at that offset.
+                    let off = (k - k_new).checked_sub(k_sh)?;
+                    let cols = pencil
+                        .shifted_pencil_block(x0, off, k - k_new, k_sh, k_new)
+                        .ok()?;
+                    let rows = pencil
+                        .shifted_pencil_block(x0, k - k_new, off, k_new, k_sh)
+                        .ok()?;
+                    let corner = pencil
+                        .shifted_pencil_block(x0, k - k_new, k - k_new, k_new, k_new)
+                        .ok()?;
+                    sh.updater.append_border(&cols, &rows, &corner).ok()?;
+                }
+                Some(sh)
+            })
+        };
+
+        // The re-anchor ladder (DESIGN.md §9). Rung 1: swap in the
+        // shadow when it covers the whole window *and* itself passes
+        // the gate — O(1), no decomposition on the critical path.
+        let mut reanchor = None;
+        let mut fallbacks: Vec<SvdMethod> = Vec::new();
+        let live = match live {
+            Some(upd) => upd,
+            None => {
+                let mut chosen: Option<SvdUpdater<Complex>> = None;
+                if let Some(sh) = &shadow {
+                    if sh.lag_pairs == 0 && sh.updater.dims() == (k, k) {
+                        let cand = &sh.updater;
+                        let sigma1 = cand.singular_values().first().copied().unwrap_or(0.0);
+                        if matches!(probe(cand), Ok(r) if r <= threshold(sigma1))
+                            && cand.error_bound() <= threshold(sigma1)
+                        {
+                            chosen = Some(cand.clone());
+                            reanchor = Some(Reanchor::ShadowSwap);
+                            shadow = None; // consumed; re-arms below
+                        }
+                    }
+                }
+                match chosen {
+                    Some(upd) => upd,
+                    // Rung 2: fresh blocked seed of the live window;
+                    // rung 3: the Golub–Kahan backend when the blocked
+                    // sweep itself stalls. Exhaustion fails the append
+                    // transactionally — the quarantined candidate was
+                    // never committed.
+                    None => {
+                        let shifted = pencil.shifted_pencil(x0);
+                        match SvdUpdater::new(&shifted) {
+                            Ok(upd) => {
+                                reanchor = Some(Reanchor::FreshBlocked);
+                                upd
+                            }
+                            Err(NumericError::NoConvergence { .. }) => {
+                                fallbacks.push(SvdMethod::Blocked);
+                                let upd = SvdUpdater::with_floor_method(
+                                    &shifted,
+                                    mfti_numeric::DEFAULT_UPDATE_FLOOR,
+                                    SvdMethod::GolubKahan,
+                                )
+                                .map_err(MftiError::from)?;
+                                reanchor = Some(Reanchor::GolubKahan);
+                                upd
+                            }
+                            Err(err) => return Err(MftiError::from(err).into()),
+                        }
+                    }
+                }
+            }
+        };
+
+        // (Re-)arm the shadow from the trailing half-window so the
+        // *next* re-anchor can swap instead of decomposing. An arming
+        // failure leaves it disarmed; the next append retries.
+        if shadow.is_none() {
+            let pair_ts = pencil.pair_ts();
+            let pairs = pair_ts.len();
+            if pairs >= 2 {
+                let lag = pairs / 2;
+                let off: usize = pair_ts[..lag].iter().map(|&t| 2 * t).sum();
+                let block = pencil.shifted_pencil_block(x0, off, off, k - off, k - off)?;
+                shadow = SvdUpdater::new(&block).ok().map(|updater| ShadowState {
+                    updater,
+                    lag_pairs: lag,
+                });
+            }
+        }
+
+        let committed_bound = live.error_bound();
+        let mut sv = live.singular_values().to_vec();
+        let pad = live.retain_floor();
+        sv.resize(k, pad);
+        Ok(WindowedGeneration {
+            updater: Some(live),
+            partial: None,
+            shadow,
+            sv,
+            diagnostic: SignalDiagnostic {
+                error_bound: Some(committed_bound),
+                refreshed: needs_reanchor,
+                svd_fallbacks: fallbacks,
+                gate_residual,
+                quarantined,
+                reanchor,
+                ..base
+            },
+        })
     }
 
     /// The accumulated sample set, in append order.
@@ -915,6 +1486,178 @@ mod tests {
         );
         // The default threshold never fires on this short clean stream.
         assert!(reference.signal_trajectory().iter().all(|d| !d.refreshed));
+    }
+
+    #[test]
+    fn sliding_window_matches_the_fresh_oracle_and_stays_bounded() {
+        // A capacity-24 window over a 24-sample stream: the verified
+        // downdate/update signal must agree with a fresh per-append
+        // decomposition of the identical window pencil, while the
+        // pencil order never exceeds the capacity.
+        let all = workload(24);
+        let (head, rest) = split_edges_first(&all, 6);
+        let window = WindowPolicy::Sliding { capacity: 24 };
+        let mut updating = FitSession::new(Mfti::new()).window(window);
+        let mut oracle = FitSession::new(Mfti::new())
+            .window(window)
+            .svd(SessionSvd::Fresh(SvdMethod::Blocked));
+
+        updating.append(&head).unwrap();
+        oracle.append(&head).unwrap();
+        let mut peak = updating.pencil_order();
+        for i in (0..rest.len()).step_by(2) {
+            let batch = rest.subset(&[i, i + 1]).unwrap();
+            updating.append(&batch).unwrap();
+            oracle.append(&batch).unwrap();
+            peak = peak.max(updating.pencil_order());
+            assert_eq!(updating.pencil_order(), oracle.pencil_order());
+            let (su, so) = (
+                updating.singular_values().unwrap().to_vec(),
+                oracle.singular_values().unwrap().to_vec(),
+            );
+            assert_eq!(su.len(), so.len());
+            for (u, o) in su.iter().zip(&so) {
+                assert!((u - o).abs() <= 1e-9 * so[0], "σ drift: {u:e} vs {o:e}");
+            }
+        }
+        assert!(peak <= 24, "peak pencil order {peak} exceeded the capacity");
+        assert_eq!(updating.order_trajectory(), oracle.order_trajectory());
+        assert!(updating.evicted_pairs() > 0, "the stream must have slid");
+        assert_eq!(updating.evicted_pairs(), oracle.evicted_pairs());
+        // The live window holds at most capacity/(2t) = 6 pairs.
+        assert!(updating.samples().unwrap().len() <= 12);
+        // Both paths realize the same model order from the live window
+        // (the trailing band alone may resolve fewer than the full
+        // stream's n + rank D modes — that is the window semantics).
+        let (mu, mo) = (updating.realize().unwrap(), oracle.realize().unwrap());
+        assert_eq!(mu.order(), mo.order());
+        assert!(mu.order() > 0);
+        // Eviction bookkeeping reaches the trajectory, and quarantine
+        // provenance is structurally sound: a quarantined candidate was
+        // necessarily replaced, with the ladder rung recorded.
+        let diags = updating.signal_trajectory();
+        assert!(diags.iter().any(|d| d.evicted_pairs > 0));
+        for d in diags {
+            if d.quarantined {
+                assert!(d.refreshed, "quarantine without replacement");
+            }
+            if d.refreshed && d.error_bound.is_some() {
+                assert!(d.reanchor.is_some(), "replacement without provenance");
+            }
+        }
+    }
+
+    #[test]
+    fn evicted_frequency_may_stream_back_in() {
+        // Satellite regression: the duplicate-frequency gate scopes to
+        // the live window. Capacity 12 = 3 pairs at t = 2.
+        let all = workload(8);
+        let mut session =
+            FitSession::new(Mfti::new()).window(WindowPolicy::Sliding { capacity: 12 });
+        session
+            .append(&all.subset(&[0, 7, 1, 2, 3, 4]).unwrap())
+            .unwrap();
+        // Evicts the (f0, f7) pair …
+        session.append(&all.subset(&[5, 6]).unwrap()).unwrap();
+        assert_eq!(session.evicted_pairs(), 1);
+        // … so f0 and f7 may lawfully return across the window boundary.
+        session.append(&all.subset(&[0, 7]).unwrap()).unwrap();
+        assert_eq!(session.evicted_pairs(), 2);
+        assert_eq!(
+            session.realize().unwrap().order(),
+            session.order_trajectory().last().copied().unwrap()
+        );
+
+        // A frequency still *live* after the eviction walk is a genuine
+        // duplicate and must be refused, transactionally. Window is now
+        // {(f3,f4), (f5,f6), (f0,f7)}; appending (f5,f6) evicts (f3,f4)
+        // and would leave (f5,f6) twice.
+        let k = session.pencil_order();
+        let trajectory = session.order_trajectory().to_vec();
+        assert!(session.append(&all.subset(&[5, 6]).unwrap()).is_err());
+        assert_eq!(session.pencil_order(), k);
+        assert_eq!(session.order_trajectory(), &trajectory[..]);
+        assert!(session.realize().is_ok());
+    }
+
+    #[test]
+    fn windowed_reanchor_restarts_drift_accounting() {
+        // Satellite regression: an always-firing threshold quarantines
+        // every windowed advance; the committed diagnostic must carry
+        // the *replacement's* Weyl bound (the fresh factorization's
+        // floor), not the drift that triggered the re-anchor.
+        let all = workload(16);
+        let (head, rest) = split_edges_first(&all, 6);
+        let mut session = FitSession::new(Mfti::new())
+            .window(WindowPolicy::Sliding { capacity: 16 })
+            .refresh_threshold(-1.0);
+        session.append(&head).unwrap();
+        for i in (0..rest.len()).step_by(2) {
+            session.append(&rest.subset(&[i, i + 1]).unwrap()).unwrap();
+            let d = session.signal_trajectory().last().unwrap();
+            assert!(d.refreshed, "threshold -1 must force a re-anchor");
+            assert!(d.quarantined, "threshold -1 trips the gate");
+            assert_eq!(d.reanchor, Some(Reanchor::FreshBlocked));
+            let bound = d.error_bound.expect("windowed appends commit an updater");
+            let sigma1 = session.singular_values().unwrap()[0];
+            assert!(
+                bound <= 1e-11 * sigma1,
+                "post-re-anchor bound {bound:e} must restart at the fresh floor"
+            );
+            assert_eq!(Some(bound), session.signal_error_bound());
+        }
+    }
+
+    #[test]
+    fn windowed_append_is_transactional_on_bad_input() {
+        let all = workload(12);
+        let window = WindowPolicy::Sliding { capacity: 16 };
+
+        // PerPair weights cannot follow an evicting window.
+        let mut perpair =
+            FitSession::new(Mfti::new().weights(Weights::PerPair(vec![2, 2]))).window(window);
+        assert!(matches!(
+            perpair.append(&all.subset(&[0, 1, 2, 3]).unwrap()),
+            Err(FitError::Mfti(MftiError::InvalidWeights { .. }))
+        ));
+
+        let mut session = FitSession::new(Mfti::new()).window(window);
+        session
+            .append(&all.subset(&[0, 11, 1, 2]).unwrap())
+            .unwrap();
+        let k = session.pencil_order();
+        let sv = session.singular_values().unwrap().to_vec();
+
+        // An odd batch, an oversized batch (5 pairs · 4 = 20 > 16) and
+        // a live-window duplicate all leave the session untouched.
+        assert!(session.append(&all.subset(&[3]).unwrap()).is_err());
+        assert!(session
+            .append(&all.subset(&[2, 3, 4, 5, 6, 7, 8, 9, 10, 11]).unwrap())
+            .is_err());
+        assert!(session.append(&all.subset(&[0, 11]).unwrap()).is_err());
+        assert_eq!(session.pencil_order(), k);
+        assert_eq!(session.singular_values().unwrap(), &sv[..]);
+        assert_eq!(session.evicted_pairs(), 0);
+        assert!(session.realize().is_ok());
+    }
+
+    #[test]
+    fn full_window_replacement_reanchors_fresh() {
+        // A batch that displaces every live pair rebuilds pencil and
+        // signal from scratch — the degenerate (but legal) slide.
+        let all = workload(8);
+        let mut session =
+            FitSession::new(Mfti::new()).window(WindowPolicy::Sliding { capacity: 8 });
+        session.append(&all.subset(&[0, 7, 1, 2]).unwrap()).unwrap();
+        assert_eq!(session.pencil_order(), 8);
+        session.append(&all.subset(&[3, 4, 5, 6]).unwrap()).unwrap();
+        assert_eq!(session.pencil_order(), 8);
+        assert_eq!(session.evicted_pairs(), 2);
+        assert_eq!(
+            session.samples().unwrap().freqs_hz(),
+            all.subset(&[3, 4, 5, 6]).unwrap().freqs_hz()
+        );
+        assert!(session.realize().is_ok());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use mfti_core::{FitError, Fitter, Mfti, RecursiveMfti, Vfti};
+use mfti_core::{FitError, FitSession, Fitter, Mfti, RecursiveMfti, Vfti, WindowPolicy};
 use mfti_numeric::faults::InjectedFault;
 use mfti_numeric::{c64, CMatrix, Complex};
 use mfti_sampling::generators::RandomSystemBuilder;
@@ -70,11 +70,30 @@ pub enum FaultKind {
     /// Every iterative kernel capped at once: no SVD rung can converge
     /// and the whole ladder must fail *typed*.
     LadderExhaustion,
+    /// Sliding-window eviction of the pairs carrying the **dominant**
+    /// singular direction (their samples are scaled ×10⁶): the downdate
+    /// must either track the collapse or refuse with a conditioning
+    /// error and re-anchor — never serve garbage (DESIGN.md §9). Driven
+    /// through a windowed [`FitSession`], not the one-shot engines.
+    EvictDominantDirection,
+    /// After eviction the surviving window is rank-collapsed (every
+    /// remaining sample matrix identical): order detection on the
+    /// windowed signal must degrade typed, not panic.
+    RankCollapseOnEvict,
+    /// A storm of near-coincident frequencies and near-identical sample
+    /// matrices streamed through a tiny window: every append downdates
+    /// under heavy cancellation.
+    DowndateCancellationStorm,
+    /// A forced re-anchor (always-firing drift threshold) while every
+    /// iterative kernel is capped at one sweep: the downdate ladder —
+    /// shadow swap, fresh blocked, Golub–Kahan — exhausts and the
+    /// windowed append must fail *typed and transactionally*.
+    GateFailureExhaustion,
 }
 
 impl FaultKind {
     /// Every fault class, in campaign order.
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 13] = [
         FaultKind::Clean,
         FaultKind::NanEntry,
         FaultKind::InfEntry,
@@ -84,6 +103,10 @@ impl FaultKind {
         FaultKind::NearDefectivePencil,
         FaultKind::QrStall,
         FaultKind::LadderExhaustion,
+        FaultKind::EvictDominantDirection,
+        FaultKind::RankCollapseOnEvict,
+        FaultKind::DowndateCancellationStorm,
+        FaultKind::GateFailureExhaustion,
     ];
 
     /// Stable name used in reports and digests.
@@ -98,7 +121,24 @@ impl FaultKind {
             FaultKind::NearDefectivePencil => "near-defective-pencil",
             FaultKind::QrStall => "qr-stall",
             FaultKind::LadderExhaustion => "ladder-exhaustion",
+            FaultKind::EvictDominantDirection => "evict-dominant-direction",
+            FaultKind::RankCollapseOnEvict => "rank-collapse-on-evict",
+            FaultKind::DowndateCancellationStorm => "downdate-cancellation-storm",
+            FaultKind::GateFailureExhaustion => "gate-failure-exhaustion",
         }
+    }
+
+    /// Whether this class targets the sliding-window eviction machinery
+    /// (driven through one windowed [`FitSession`] instead of the four
+    /// one-shot engines).
+    pub fn is_window_fault(self) -> bool {
+        matches!(
+            self,
+            FaultKind::EvictDominantDirection
+                | FaultKind::RankCollapseOnEvict
+                | FaultKind::DowndateCancellationStorm
+                | FaultKind::GateFailureExhaustion
+        )
     }
 }
 
@@ -302,7 +342,16 @@ fn inject(
     let k = base.len();
     let (p, m) = mats[0].dims();
     match kind {
-        FaultKind::Clean | FaultKind::QrStall | FaultKind::LadderExhaustion => Ok(base.clone()),
+        // Window fault classes never reach `inject` with their own
+        // defects: the campaign drives them through `window_batches`
+        // instead, so the sample data itself passes through clean.
+        FaultKind::Clean
+        | FaultKind::QrStall
+        | FaultKind::LadderExhaustion
+        | FaultKind::EvictDominantDirection
+        | FaultKind::RankCollapseOnEvict
+        | FaultKind::DowndateCancellationStorm
+        | FaultKind::GateFailureExhaustion => Ok(base.clone()),
         FaultKind::NanEntry => {
             mats[rng.below(k)][(rng.below(p), rng.below(m))] = c64(f64::NAN, 0.0);
             Ok(SampleSet::from_parts(freqs, mats)?)
@@ -330,6 +379,156 @@ fn inject(
             Ok(SampleSet::from_parts(freqs, vec![constant; k])?)
         }
         FaultKind::NearDefectivePencil => near_defective_samples(&freqs),
+    }
+}
+
+/// Builds the batch stream of a window fault class from the clean
+/// workload: a 4-sample opening batch (band edges first, setting the
+/// normalization) followed by 2-sample appends — sized so the sliding
+/// window evicts several times over the drive.
+fn window_batches(kind: FaultKind, base: &SampleSet) -> Result<Vec<SampleSet>, CampaignError> {
+    let scale_mats = |mats: &[CMatrix], s: f64| -> Vec<CMatrix> {
+        mats.iter()
+            .map(|m| {
+                let mut out = m.clone();
+                for z in out.as_mut_slice() {
+                    *z *= c64(s, 0.0);
+                }
+                out
+            })
+            .collect()
+    };
+    let subset = |idx: &[usize]| -> Result<SampleSet, CampaignError> {
+        let freqs: Vec<f64> = idx.iter().map(|&i| base.freqs_hz()[i]).collect();
+        let mats: Vec<CMatrix> = idx.iter().map(|&i| base.matrices()[i].clone()).collect();
+        Ok(SampleSet::from_parts(freqs, mats)?)
+    };
+    let k = base.len();
+    let mut order: Vec<usize> = vec![0, k - 1];
+    order.extend(1..k - 1);
+    match kind {
+        FaultKind::EvictDominantDirection => {
+            // The opening pairs dominate the spectrum by six decades;
+            // their eviction deletes the dominant singular direction.
+            let head = subset(&order[..4])?;
+            let loud =
+                SampleSet::from_parts(head.freqs_hz().to_vec(), scale_mats(head.matrices(), 1e6))?;
+            let mut batches = vec![loud];
+            for pair in order[4..].chunks(2) {
+                batches.push(subset(pair)?);
+            }
+            Ok(batches)
+        }
+        FaultKind::RankCollapseOnEvict => {
+            // Informative opening pairs, constant tail: once the window
+            // slides past the opening, it holds a rank-collapsed set.
+            let mut batches = vec![subset(&order[..4])?];
+            let constant = base.matrices()[0].clone();
+            for pair in order[4..].chunks(2) {
+                let freqs: Vec<f64> = pair.iter().map(|&i| base.freqs_hz()[i]).collect();
+                batches.push(SampleSet::from_parts(
+                    freqs,
+                    vec![constant.clone(); pair.len()],
+                )?);
+            }
+            Ok(batches)
+        }
+        FaultKind::DowndateCancellationStorm => {
+            // Near-coincident frequencies with near-identical matrices:
+            // the divided differences are enormous and nearly cancel,
+            // and a tiny window downdates through the storm.
+            let f0 = base.freqs_hz()[0];
+            let m0 = base.matrices()[0].clone();
+            let batches = (0..6)
+                .map(|b| {
+                    let mk = |i: usize| {
+                        let jitter = 1.0 + (2 * b + i) as f64 * 1e-9;
+                        let mut m = m0.clone();
+                        for z in m.as_mut_slice() {
+                            *z *= c64(1.0 + (2 * b + i) as f64 * 1e-12, 0.0);
+                        }
+                        (f0 * jitter, m)
+                    };
+                    let (fa, ma) = mk(1);
+                    let (fb, mb) = mk(2);
+                    Ok(SampleSet::from_parts(vec![fa, fb], vec![ma, mb])?)
+                })
+                .collect::<Result<Vec<_>, CampaignError>>()?;
+            Ok(batches)
+        }
+        FaultKind::GateFailureExhaustion => {
+            let mut batches = vec![subset(&order[..4])?];
+            for pair in order[4..].chunks(2) {
+                batches.push(subset(pair)?);
+            }
+            Ok(batches)
+        }
+        _ => unreachable!("not a window fault"),
+    }
+}
+
+/// Drives one window fault class through a sliding-window
+/// [`FitSession`], returning the outcome plus (for a fitted drive) the
+/// final model's probe-response bits for the digest.
+fn drive_window_fault(
+    kind: FaultKind,
+    batches: &[SampleSet],
+    probes: &[f64],
+) -> (RunOutcome, Vec<u64>) {
+    let capacity = match kind {
+        FaultKind::DowndateCancellationStorm => 8,
+        _ => 16,
+    };
+    let mut session = FitSession::new(Mfti::new()).window(WindowPolicy::Sliding { capacity });
+    if kind == FaultKind::GateFailureExhaustion {
+        // Every advance is quarantined; the ladder must produce (or
+        // typed-fail) a replacement on each append.
+        session = session.refresh_threshold(-1.0);
+    }
+    let mut guard = None;
+    for (i, batch) in batches.iter().enumerate() {
+        if kind == FaultKind::GateFailureExhaustion && i == 2 {
+            // Arm the total iteration cap only once the updater exists:
+            // the quarantined advance now finds every ladder rung dead.
+            guard = Some(InjectedFault::cap_all_iterations(1));
+        }
+        if let Err(e) = session.append(batch) {
+            drop(guard);
+            return (
+                RunOutcome::TypedError {
+                    message: classify(&e),
+                },
+                Vec::new(),
+            );
+        }
+    }
+    drop(guard);
+    match session.realize() {
+        Ok(fit) => {
+            let mut bits = Vec::new();
+            match fit.macromodel().response_batch_hz(probes) {
+                Ok(resp) => {
+                    for mat in &resp {
+                        for z in mat.iter() {
+                            bits.push(z.re.to_bits());
+                            bits.push(z.im.to_bits());
+                        }
+                    }
+                }
+                Err(e) => {
+                    for b in e.to_string().into_bytes() {
+                        bits.push(u64::from(b));
+                    }
+                }
+            }
+            (RunOutcome::Fitted { order: fit.order() }, bits)
+        }
+        Err(e) => (
+            RunOutcome::TypedError {
+                message: classify(&e),
+            },
+            Vec::new(),
+        ),
     }
 }
 
@@ -366,6 +565,45 @@ pub fn run_campaign(seed: u64) -> Result<CampaignReport, CampaignError> {
     let mut records = Vec::new();
     let mut fnv = Fnv::new();
     for kind in FaultKind::ALL {
+        if kind.is_window_fault() {
+            // Eviction fault classes run through one sliding-window
+            // session (the machinery under attack), one record each.
+            let batches = window_batches(kind, &base)?;
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                drive_window_fault(kind, &batches, &probes)
+            }));
+            fnv.text(kind.as_str());
+            fnv.text("mfti-session-window");
+            let outcome = match caught {
+                Ok((outcome, bits)) => {
+                    match &outcome {
+                        RunOutcome::Fitted { order } => {
+                            fnv.bits(1);
+                            fnv.bits(*order as u64);
+                            for b in bits {
+                                fnv.bits(b);
+                            }
+                        }
+                        RunOutcome::TypedError { message } => {
+                            fnv.bits(2);
+                            fnv.text(message);
+                        }
+                        RunOutcome::Panicked => fnv.bits(3),
+                    }
+                    outcome
+                }
+                Err(_) => {
+                    fnv.bits(3);
+                    RunOutcome::Panicked
+                }
+            };
+            records.push(RunRecord {
+                fault: kind,
+                engine: "mfti-session-window",
+                outcome,
+            });
+            continue;
+        }
         let samples = inject(kind, &base, &mut rng)?;
         for fitter in engines() {
             let guard = match kind {
@@ -441,10 +679,19 @@ fn classify(e: &FitError) -> String {
 mod tests {
     use super::*;
 
+    /// Expected campaign size: four engines per one-shot fault class,
+    /// one windowed-session record per eviction fault class.
+    fn expected_records() -> usize {
+        FaultKind::ALL
+            .iter()
+            .map(|k| if k.is_window_fault() { 1 } else { 4 })
+            .sum()
+    }
+
     #[test]
     fn campaign_is_panic_free_and_typed() {
         let report = run_campaign(0x5107_fa17).unwrap();
-        assert_eq!(report.records.len(), FaultKind::ALL.len() * 4);
+        assert_eq!(report.records.len(), expected_records());
         assert_eq!(report.panics(), 0, "panic crossed a fit boundary");
         // The clean baseline fits on every engine…
         for r in report.of_fault(FaultKind::Clean) {
@@ -477,6 +724,55 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn eviction_faults_resolve_without_panic() {
+        let report = run_campaign(0x5107_fa17).unwrap();
+        for kind in FaultKind::ALL.into_iter().filter(|k| k.is_window_fault()) {
+            let cells = report.of_fault(kind);
+            assert_eq!(cells.len(), 1, "{kind:?} must run once through the window");
+            let r = cells[0];
+            assert_eq!(r.engine, "mfti-session-window");
+            assert!(
+                !matches!(r.outcome, RunOutcome::Panicked),
+                "{kind:?} panicked through the windowed session"
+            );
+        }
+        // The exhausted ladder is a refusal, never a model served off a
+        // quarantined factorization.
+        match &report.of_fault(FaultKind::GateFailureExhaustion)[0].outcome {
+            RunOutcome::TypedError { message } => {
+                assert!(message.starts_with("mfti:"), "unexpected class: {message}")
+            }
+            other => panic!("exhausted ladder must refuse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_ladder_leaves_the_session_serviceable() {
+        // Transactionality under total exhaustion: the failing windowed
+        // append must leave the previous generation fully intact — the
+        // quarantined candidate never replaces it, and the session still
+        // realizes from the last committed factorization.
+        let base = base_samples(0x5107_fa17).unwrap();
+        let batches = window_batches(FaultKind::GateFailureExhaustion, &base).unwrap();
+        let mut session = FitSession::new(Mfti::new())
+            .window(WindowPolicy::Sliding { capacity: 16 })
+            .refresh_threshold(-1.0);
+        session.append(&batches[0]).unwrap();
+        session.append(&batches[1]).unwrap();
+        let k = session.pencil_order();
+        let sv = session.singular_values().unwrap().to_vec();
+        {
+            let _cap = InjectedFault::cap_all_iterations(1);
+            assert!(session.append(&batches[2]).is_err(), "ladder must exhaust");
+        }
+        assert_eq!(session.pencil_order(), k);
+        assert_eq!(session.singular_values().unwrap(), &sv[..]);
+        assert!(session.realize().is_ok());
+        // And with the cap lifted the same append goes through.
+        session.append(&batches[2]).unwrap();
     }
 
     #[test]

@@ -114,6 +114,7 @@ pub use schur::{
 pub use solve::{lstsq, solve};
 pub use svd::{
     PartialSvd, Svd, SvdFactors, SvdMethod, SvdRecovery, SvdUpdater, DEFAULT_UPDATE_FLOOR,
+    DOWNDATE_COND_FLOOR,
 };
 
 /// Relative machine tolerance used as the default cut-off in rank

@@ -39,7 +39,7 @@ mod partial;
 mod update;
 
 pub use partial::PartialSvd;
-pub use update::{SvdUpdater, DEFAULT_UPDATE_FLOOR};
+pub use update::{SvdUpdater, DEFAULT_UPDATE_FLOOR, DOWNDATE_COND_FLOOR};
 
 use crate::error::NumericError;
 use crate::matrix::{CMatrix, Matrix};
@@ -312,14 +312,43 @@ impl Svd {
         want_u: bool,
         want_v: bool,
     ) -> Result<bidiag_qr::SvdTriplet<T>, NumericError> {
+        Self::factors_native_with(a, SvdMethod::Blocked, want_u, want_v)
+    }
+
+    /// [`Svd::factors_native`] with an explicit backend — the
+    /// degradation rungs of [`SvdUpdater`] re-anchoring need a native
+    /// Golub–Kahan seed when the blocked path has already stalled.
+    /// Only the scalar-generic backends are supported (the one-sided
+    /// Jacobi rung is complex-only and lives behind [`Svd::compute_with`]).
+    pub(crate) fn factors_native_with<T: Scalar>(
+        a: &Matrix<T>,
+        method: SvdMethod,
+        want_u: bool,
+        want_v: bool,
+    ) -> Result<bidiag_qr::SvdTriplet<T>, NumericError> {
         validate_input(a)?;
         if a.rows() < a.cols() {
             // A = U Σ V*  ⇔  A* = V Σ U*: factor wants swap through the
             // adjoint, exactly as in `compute_factors`.
-            let (v, s, u) = blocked::svd_blocked(&a.adjoint(), want_v, want_u)?;
+            let (v, s, u) = Self::backend_native(&a.adjoint(), method, want_v, want_u)?;
             return Ok((u, s, v));
         }
-        blocked::svd_blocked(a, want_u, want_v)
+        Self::backend_native(a, method, want_u, want_v)
+    }
+
+    fn backend_native<T: Scalar>(
+        a: &Matrix<T>,
+        method: SvdMethod,
+        want_u: bool,
+        want_v: bool,
+    ) -> Result<bidiag_qr::SvdTriplet<T>, NumericError> {
+        match method {
+            SvdMethod::Blocked => blocked::svd_blocked(a, want_u, want_v),
+            SvdMethod::GolubKahan => golub_kahan::svd_golub_kahan(a, want_u, want_v),
+            SvdMethod::Jacobi => Err(NumericError::InvalidArgument {
+                what: "native factorization supports the blocked and Golub–Kahan backends",
+            }),
+        }
     }
 
     fn dispatch<T: Scalar>(

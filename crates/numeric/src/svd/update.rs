@@ -55,7 +55,7 @@ use crate::matrix::Matrix;
 use crate::qr::Qr;
 use crate::scalar::Scalar;
 use crate::svd::bidiag_qr::SvdTriplet;
-use crate::svd::Svd;
+use crate::svd::{Svd, SvdMethod};
 
 /// Default relative retained-tail floor: singular values below
 /// `1e-13 · σ₁` are truncated from the retained factorization after
@@ -65,6 +65,17 @@ use crate::svd::Svd;
 /// tail of exactly rank-deficient pencils, so truncation never disturbs
 /// a rank decision yet keeps `q` at the numerical rank.
 pub const DEFAULT_UPDATE_FLOOR: f64 = 1e-13;
+
+/// Ill-conditioning floor for the downdate's restriction factors: the
+/// row-deleted bases `U₂`, `V₂` have columns of at most unit norm, so
+/// the diagonal of their QR `R` factors measures (in `[0, 1]`) how much
+/// of each retained direction *survives* the eviction. A diagonal entry
+/// at or below this floor means an evicted block essentially spanned a
+/// retained singular direction — the core re-decomposition would divide
+/// signal by roundoff — and [`SvdUpdater::downdate_leading`] refuses
+/// with [`NumericError::Singular`] instead (callers degrade to a fresh
+/// decomposition of the live window, DESIGN.md §9).
+pub const DOWNDATE_COND_FLOOR: f64 = 1e-8;
 
 /// A rank-revealing, incrementally updatable thin SVD
 /// `A ≈ U diag(σ) V*`.
@@ -139,12 +150,31 @@ impl<T: Scalar> SvdUpdater<T> {
     /// [`NumericError::InvalidArgument`] for a floor outside `[0, 1)`;
     /// otherwise as [`SvdUpdater::new`].
     pub fn with_floor(a: &Matrix<T>, rel_floor: f64) -> Result<Self, NumericError> {
+        Self::with_floor_method(a, rel_floor, SvdMethod::Blocked)
+    }
+
+    /// [`SvdUpdater::with_floor`] with an explicit seed backend — the
+    /// re-anchoring ladder (DESIGN.md §9) needs a Golub–Kahan-seeded
+    /// updater when the blocked seed itself has stalled. Only the
+    /// scalar-generic backends ([`SvdMethod::Blocked`],
+    /// [`SvdMethod::GolubKahan`]) are supported.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::InvalidArgument`] for a floor outside `[0, 1)`
+    /// or the complex-only Jacobi backend; otherwise as
+    /// [`SvdUpdater::new`].
+    pub fn with_floor_method(
+        a: &Matrix<T>,
+        rel_floor: f64,
+        method: SvdMethod,
+    ) -> Result<Self, NumericError> {
         if !(0.0..1.0).contains(&rel_floor) {
             return Err(NumericError::InvalidArgument {
                 what: "svd update floor must lie in [0, 1)",
             });
         }
-        let (u, s, v) = Svd::factors_native(a, true, true)?;
+        let (u, s, v) = Svd::factors_native_with(a, method, true, true)?;
         let mut updater = SvdUpdater {
             u,
             s,
@@ -424,6 +454,153 @@ impl<T: Scalar> SvdUpdater<T> {
         self.append_border(cols_new, &empty_rows, &empty_corner)
     }
 
+    /// Removes the leading `kr` rows and `kc` columns from the factored
+    /// matrix — the dual of [`SvdUpdater::append_border`], for sliding-
+    /// window streams whose oldest border strips expire.
+    ///
+    /// Deleting rows restricts the factorization: with
+    /// `U₂ = U[kr.., ..]` and `V₂ = V[kc.., ..]` (orthonormality lost),
+    /// QR-factor `U₂ = Q_u R_u`, `V₂ = Q_v R_v` and re-decompose the
+    /// small `q × q` core `R_u · diag(σ) · R_v*`; rotating the thin `Q`
+    /// bases by the core's singular vectors restores a thin SVD of the
+    /// surviving window in `O((m + n) q²)` work. The retained-tail
+    /// [`SvdUpdater::error_bound`] remains valid — restriction never
+    /// grows the Frobenius norm of the truncated tail — but because the
+    /// *retained* mass shrinks too, the relative drift grows, which is
+    /// exactly the signal a session uses to schedule re-anchoring.
+    ///
+    /// **Numerically treacherous when ill-conditioned**: if the evicted
+    /// rows essentially spanned a retained singular direction, `R_u` (or
+    /// `R_v`) is singular to working precision and the core
+    /// re-decomposition would manufacture garbage by catastrophic
+    /// cancellation. That case is *detected* (diagonal of `R` below
+    /// [`DOWNDATE_COND_FLOOR`]) and refused with a typed
+    /// [`NumericError::Singular`] — callers degrade to a fresh
+    /// decomposition of the live window (DESIGN.md §9).
+    ///
+    /// The update is transactional: on error the retained state is
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::InvalidArgument`] when the downdate would leave
+    /// an empty window or a window smaller than the retained rank (the
+    /// truncated tail is gone — no restriction of the retained factors
+    /// can represent it; callers must re-decompose the live window),
+    /// [`NumericError::Singular`] for a detected ill-conditioned
+    /// eviction, and SVD failures from the core re-decomposition.
+    pub fn downdate_leading(&mut self, kr: usize, kc: usize) -> Result<(), NumericError> {
+        if kr == 0 && kc == 0 {
+            return Ok(());
+        }
+        if kr >= self.rows || kc >= self.cols {
+            return Err(NumericError::InvalidArgument {
+                what: "svd downdate must leave a nonempty window",
+            });
+        }
+        let q = self.s.len();
+        let m2 = self.rows - kr;
+        let n2 = self.cols - kc;
+        if q > m2 || q > n2 {
+            return Err(NumericError::InvalidArgument {
+                what: "retained rank exceeds the downdated window",
+            });
+        }
+
+        // Row-deleted bases and their QR restriction factors.
+        let u2 = self.u.submatrix(kr, 0, m2, q)?;
+        let v2 = self.v.submatrix(kc, 0, n2, q)?;
+        let qr_u = Qr::compute(&u2)?;
+        let qr_v = Qr::compute(&v2)?;
+        let ru = qr_u.r();
+        let rv = qr_v.r();
+
+        // Ill-conditioning gate: columns of U₂/V₂ have norm ≤ 1, so the
+        // R diagonals measure surviving mass per retained direction.
+        for r in [&ru, &rv] {
+            for i in 0..q {
+                if r[(i, i)].abs() <= DOWNDATE_COND_FLOOR {
+                    return Err(NumericError::Singular {
+                        op: "svd downdate: eviction spans a retained direction",
+                    });
+                }
+            }
+        }
+
+        // Core R_u · diag(σ) · R_v* (q × q), then its SVD.
+        let mut scaled = ru.clone();
+        for j in 0..q {
+            let sv = T::from_f64(self.s[j]);
+            for i in 0..q {
+                scaled[(i, j)] *= sv;
+            }
+        }
+        let core = kernel::mul_adjoint_right(&scaled, &rv)?;
+        let (ub, s_new, vb) = Svd::factors_native(&core, true, true)?;
+
+        // Rotate the orthonormal bases into the new singular directions.
+        let u_new = kernel::mul_blocked(&qr_u.q_thin(), &ub)?;
+        let v_new = kernel::mul_blocked(&qr_v.q_thin(), &vb)?;
+
+        // Commit + rank-revealing truncation.
+        self.u = u_new;
+        self.s = s_new;
+        self.v = v_new;
+        self.rows = m2;
+        self.cols = n2;
+        let dropped = self.truncate_retained();
+        self.discarded += dropped;
+        Ok(())
+    }
+
+    /// Residual-verification probe: Frobenius norm of
+    /// `reference − (U Σ V*)[.., indices]`, where `reference` holds the
+    /// true columns of the factored matrix at `indices` (caller-
+    /// assembled — the updater never sees the full matrix). Sessions
+    /// probe a handful of deterministic sample columns of the live
+    /// window after every downdate; a residual above the drift
+    /// threshold quarantines the factorization (DESIGN.md §9).
+    ///
+    /// The probe is read-only and routes through the same
+    /// deterministically-chunked GEMM as the updates, so its value is
+    /// bit-identical at every `MFTI_THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericError::InvalidArgument`] for an out-of-range column
+    /// index, [`NumericError::ShapeMismatch`] when `reference` is not
+    /// `rows × indices.len()`.
+    pub fn residual_on_columns(
+        &self,
+        reference: &Matrix<T>,
+        indices: &[usize],
+    ) -> Result<f64, NumericError> {
+        if reference.dims() != (self.rows, indices.len()) {
+            return Err(NumericError::ShapeMismatch {
+                op: "svd downdate probe: reference columns",
+                left: (self.rows, indices.len()),
+                right: reference.dims(),
+            });
+        }
+        if indices.iter().any(|&j| j >= self.cols) {
+            return Err(NumericError::InvalidArgument {
+                what: "svd downdate probe: column index out of range",
+            });
+        }
+        let q = self.s.len();
+        // Coefficients of the probed columns in the left basis:
+        // A[.., j] = U · (σ_t · conj(V[j, t]))_t.
+        let mut coef = Matrix::<T>::zeros(q, indices.len());
+        for (p, &j) in indices.iter().enumerate() {
+            for t in 0..q {
+                coef[(t, p)] = T::from_f64(self.s[t]) * self.v[(j, t)].conj();
+            }
+        }
+        let mut diff = reference.clone();
+        kernel::accumulate_scaled(&mut diff, T::from_f64(-1.0), &self.u, &coef)?;
+        Ok(diff.norm_fro())
+    }
+
     /// Drops retained triplets below `rel_floor · σ₁` (keeping at least
     /// one and at most `min(rows, cols)`), returning the Frobenius mass
     /// of what was dropped.
@@ -603,6 +780,141 @@ mod tests {
         let mut bad = pseudo_random_complex(6, 1, 10);
         bad[(0, 0)] = c64(f64::NAN, 0.0);
         assert!(upd.append_cols(&bad).is_err());
+    }
+
+    #[test]
+    fn downdate_matches_fresh_svd_of_the_surviving_window() {
+        // Rank-6 stream (the pencil regime: retained rank ≪ window), so
+        // the restriction fits inside the surviving window.
+        let left = pseudo_random_complex(20, 6, 0xd0d0);
+        let right = pseudo_random_complex(6, 20, 0x0d0d);
+        let full = left.matmul(&right).unwrap();
+        let mut upd = SvdUpdater::new(&full).unwrap();
+        upd.downdate_leading(4, 4).unwrap();
+        let window = full.submatrix(4, 4, 16, 16).unwrap();
+        let fresh = Svd::singular_values_of(&window).unwrap();
+        assert_sv_close(upd.singular_values(), &fresh, 1e-11);
+        assert_eq!(upd.dims(), (16, 16));
+
+        // And the restored factors actually reconstruct the window.
+        let resid = upd
+            .residual_on_columns(&window.submatrix(0, 0, 16, 3).unwrap(), &[0, 1, 2])
+            .unwrap();
+        assert!(resid <= 1e-10 * fresh[0], "probe residual {resid:e}");
+    }
+
+    #[test]
+    fn asymmetric_downdate_matches_fresh_svd() {
+        let left = pseudo_random_complex(18, 5, 0xbead);
+        let right = pseudo_random_complex(5, 14, 0xdaeb);
+        let full = left.matmul(&right).unwrap();
+        let mut upd = SvdUpdater::new(&full).unwrap();
+        upd.downdate_leading(6, 2).unwrap();
+        let window = full.submatrix(6, 2, 12, 12).unwrap();
+        let fresh = Svd::singular_values_of(&window).unwrap();
+        assert_sv_close(upd.singular_values(), &fresh, 1e-11);
+    }
+
+    #[test]
+    fn update_downdate_round_trip_tracks_a_sliding_window() {
+        // Slide a 12×12 window along a rank-4 24×24 stream one border
+        // at a time: append the new strip, downdate the expired one.
+        let left = pseudo_random_complex(24, 4, 0x51de);
+        let right = pseudo_random_complex(4, 24, 0xed15);
+        let full = left.matmul(&right).unwrap();
+        let mut upd = SvdUpdater::new(&full.submatrix(0, 0, 12, 12).unwrap()).unwrap();
+        for k in 12..24 {
+            let lead = k - 12;
+            upd.append_border(
+                &full.submatrix(lead, k, 12, 1).unwrap(),
+                &full.submatrix(k, lead, 1, 12).unwrap(),
+                &full.submatrix(k, k, 1, 1).unwrap(),
+            )
+            .unwrap();
+            upd.downdate_leading(1, 1).unwrap();
+        }
+        let window = full.submatrix(12, 12, 12, 12).unwrap();
+        let fresh = Svd::singular_values_of(&window).unwrap();
+        assert_sv_close(upd.singular_values(), &fresh, 1e-9);
+        assert_eq!(upd.dims(), (12, 12));
+    }
+
+    #[test]
+    fn real_scalar_downdate_stays_real_and_accurate() {
+        let left = RMatrix::from_fn(16, 4, |i, j| ((i * 7 + j * 11) % 19) as f64 / 19.0 - 0.3);
+        let right = RMatrix::from_fn(4, 16, |i, j| ((i * 5 + j * 13) % 23) as f64 / 23.0 - 0.4);
+        let full = left.matmul(&right).unwrap();
+        let mut upd = SvdUpdater::new(&full).unwrap();
+        upd.downdate_leading(3, 3).unwrap();
+        let window = full.submatrix(3, 3, 13, 13).unwrap();
+        let fresh = Svd::singular_values_of(&window).unwrap();
+        assert_sv_close(upd.singular_values(), &fresh, 1e-11);
+    }
+
+    #[test]
+    fn downdate_is_transactional_on_invalid_requests() {
+        let a = pseudo_random_complex(10, 10, 0x7007);
+        let mut upd = SvdUpdater::new(&a).unwrap();
+        let before = upd.singular_values().to_vec();
+        // Emptying the window is refused.
+        assert!(upd.downdate_leading(10, 0).is_err());
+        // Shrinking below the retained rank is refused (full-rank
+        // stream: q = 10 > 10 − 4).
+        assert!(upd.downdate_leading(4, 4).is_err());
+        assert_eq!(upd.singular_values(), &before[..]);
+        assert_eq!(upd.dims(), (10, 10));
+        // A no-op downdate is fine.
+        upd.downdate_leading(0, 0).unwrap();
+        assert_eq!(upd.singular_values(), &before[..]);
+    }
+
+    #[test]
+    fn ill_conditioned_eviction_is_refused_not_garbage() {
+        // Rank-2 stream whose dominant direction lives *entirely* in the
+        // leading rows/columns: evicting them leaves R_u singular.
+        let mut a = CMatrix::zeros(12, 12);
+        // Direction 1: supported only on rows/cols 0..2.
+        for i in 0..2 {
+            for j in 0..2 {
+                a[(i, j)] = c64(5.0, 0.0);
+            }
+        }
+        // Direction 2: supported on the tail.
+        for i in 4..12 {
+            for j in 4..12 {
+                a[(i, j)] = c64(0.5, 0.1);
+            }
+        }
+        let mut upd = SvdUpdater::new(&a).unwrap();
+        let before = upd.singular_values().to_vec();
+        let err = upd.downdate_leading(2, 2).unwrap_err();
+        assert!(matches!(err, NumericError::Singular { .. }), "{err:?}");
+        assert_eq!(upd.singular_values(), &before[..]);
+        assert_eq!(upd.dims(), (12, 12));
+    }
+
+    #[test]
+    fn probe_validates_reference_shape_and_indices() {
+        let a = pseudo_random_complex(8, 8, 0xfade);
+        let upd = SvdUpdater::new(&a).unwrap();
+        let cols = a.submatrix(0, 0, 8, 2).unwrap();
+        assert!(upd.residual_on_columns(&cols, &[0]).is_err());
+        assert!(upd.residual_on_columns(&cols, &[0, 8]).is_err());
+        let resid = upd.residual_on_columns(&cols, &[0, 1]).unwrap();
+        assert!(resid <= 1e-12 * upd.singular_values()[0]);
+    }
+
+    #[test]
+    fn golub_kahan_seed_matches_the_blocked_seed() {
+        let a = pseudo_random_complex(10, 10, 0x6b6b);
+        let blocked = SvdUpdater::new(&a).unwrap();
+        let gk =
+            SvdUpdater::with_floor_method(&a, DEFAULT_UPDATE_FLOOR, SvdMethod::GolubKahan).unwrap();
+        assert_sv_close(gk.singular_values(), blocked.singular_values(), 1e-12);
+        assert!(matches!(
+            SvdUpdater::with_floor_method(&a, DEFAULT_UPDATE_FLOOR, SvdMethod::Jacobi),
+            Err(NumericError::InvalidArgument { .. })
+        ));
     }
 
     #[test]

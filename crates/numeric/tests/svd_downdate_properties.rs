@@ -1,0 +1,228 @@
+//! Property suite for [`SvdUpdater::downdate_leading`] (DESIGN.md §9):
+//! across synthetic spectra (gapped / noise-floor / gapless), stream
+//! shapes (square complex, wide complex, square real) and eviction
+//! patterns (oldest-first singles, one batch, alternating
+//! downdate/update), the downdated factorization must agree with a
+//! fresh decomposition of the surviving window — singular values to
+//! `1e-10 · σ₁` and **identical rank decisions** — because the window
+//! session feeds these values straight into order detection.
+//!
+//! The streams are deliberately rank-deficient (rank ≪ window): the
+//! downdate is only defined when the retained rank fits the shrunken
+//! window, which is exactly the Loewner-pencil regime it serves.
+
+use mfti_numeric::{c64, CMatrix, Matrix, RMatrix, Scalar, SvdUpdater};
+
+/// Deterministic xorshift stream in [-1, 1].
+fn xorshift(seed: u64) -> impl FnMut() -> f64 {
+    let mut s = seed.max(1);
+    move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s as f64 / u64::MAX as f64) * 2.0 - 1.0
+    }
+}
+
+/// Synthetic spectrum classes the order-detection signal meets.
+fn spectrum(kind: &str, r: usize) -> Vec<f64> {
+    (0..r)
+        .map(|i| match kind {
+            // A clean three-decade tier drop mid-spectrum: the shape
+            // rank decisions key on.
+            "gapped" => {
+                if i < r / 2 {
+                    1.0 / (1.0 + i as f64)
+                } else {
+                    1e-3 / (1.0 + i as f64)
+                }
+            }
+            // A head of signal over a flat cluster near a noise floor.
+            "noise-floor" => {
+                if i < 3 {
+                    1.0 / (1.0 + i as f64)
+                } else {
+                    1e-7 * (1.0 + 0.01 * i as f64)
+                }
+            }
+            // Smooth geometric decay, no gap to latch onto.
+            "gapless" => 0.5_f64.powi(i as i32),
+            _ => unreachable!(),
+        })
+        .collect()
+}
+
+/// Rank-`s.len()` stream `A = L · diag(s) · R` with the given spectrum
+/// shape (the generators are generic random, so the realized singular
+/// values only approximate `s` — irrelevant here, both sides of every
+/// comparison factor the *same* matrix).
+fn low_rank<T: Scalar>(
+    m: usize,
+    n: usize,
+    s: &[f64],
+    seed: u64,
+    entry: impl Fn(&mut dyn FnMut() -> f64) -> T,
+) -> Matrix<T> {
+    let mut rng = xorshift(seed);
+    let r = s.len();
+    let l = Matrix::<T>::from_fn(m, r, |_, _| entry(&mut rng));
+    let mut rt = Matrix::<T>::from_fn(r, n, |_, _| entry(&mut rng));
+    for i in 0..r {
+        for j in 0..n {
+            rt[(i, j)] *= T::from_f64(s[i]);
+        }
+    }
+    l.matmul(&rt).expect("generator product")
+}
+
+fn complex_stream(m: usize, n: usize, s: &[f64], seed: u64) -> CMatrix {
+    low_rank(m, n, s, seed, |rng| c64(rng(), rng()))
+}
+
+fn real_stream(m: usize, n: usize, s: &[f64], seed: u64) -> RMatrix {
+    low_rank(m, n, s, seed, |rng| rng())
+}
+
+/// Rank decision at the session's order-detection style threshold.
+fn rank_at(sv: &[f64], rel: f64) -> usize {
+    let sigma1 = sv.first().copied().unwrap_or(0.0);
+    sv.iter().filter(|&&s| s > rel * sigma1).count()
+}
+
+/// Asserts the downdated updater agrees with a fresh decomposition of
+/// the same surviving window: σ to `1e-10 · σ₁`, identical rank
+/// decisions at both a coarse and a strict threshold.
+fn assert_matches_fresh<T: Scalar>(down: &SvdUpdater<T>, window: &Matrix<T>, label: &str) {
+    let fresh = SvdUpdater::new(window).expect("fresh window decomposition");
+    let (sd, sf) = (down.singular_values(), fresh.singular_values());
+    let sigma1 = sf[0];
+    let common = sd.len().min(sf.len());
+    for (i, (d, f)) in sd[..common].iter().zip(&sf[..common]).enumerate() {
+        assert!(
+            (d - f).abs() <= 1e-10 * sigma1,
+            "{label}: σ_{i} drifted: downdated {d:e} vs fresh {f:e}"
+        );
+    }
+    // Values beyond the common prefix sit at the truncation floor on
+    // either side; they must not carry rank.
+    for &s in sd[common..].iter().chain(&sf[common..]) {
+        assert!(
+            s <= 1e-10 * sigma1,
+            "{label}: tail value {s:e} carries rank"
+        );
+    }
+    for rel in [1e-6, 1e-9] {
+        assert_eq!(
+            rank_at(sd, rel),
+            rank_at(sf, rel),
+            "{label}: rank decision at {rel:e} diverged"
+        );
+    }
+}
+
+/// Oldest-first: evict leading rows/cols two at a time.
+fn oldest_first<T: Scalar>(a: &Matrix<T>, steps: usize, label: &str) {
+    let mut upd = SvdUpdater::new(a).expect("seed");
+    for step in 1..=steps {
+        upd.downdate_leading(2, 2).expect("single eviction");
+        let window = a
+            .submatrix(2 * step, 2 * step, a.rows() - 2 * step, a.cols() - 2 * step)
+            .expect("window");
+        assert_matches_fresh(&upd, &window, &format!("{label}/oldest-first step {step}"));
+    }
+}
+
+/// Batch: one eviction of the same total size.
+fn batch<T: Scalar>(a: &Matrix<T>, k: usize, label: &str) {
+    let mut upd = SvdUpdater::new(a).expect("seed");
+    upd.downdate_leading(k, k).expect("batch eviction");
+    let window = a
+        .submatrix(k, k, a.rows() - k, a.cols() - k)
+        .expect("window");
+    assert_matches_fresh(&upd, &window, &format!("{label}/batch {k}"));
+}
+
+/// Alternating: slide a window down the diagonal of a larger stream —
+/// downdate the expired leading border, absorb the fresh trailing
+/// border, verify against a fresh decomposition at every step. This is
+/// the session's steady-state access pattern.
+fn alternating<T: Scalar>(full: &Matrix<T>, w: usize, step: usize, label: &str) {
+    let mut upd = SvdUpdater::new(&full.submatrix(0, 0, w, w).expect("seed window")).expect("seed");
+    let mut off = 0;
+    while off + w + step <= full.rows().min(full.cols()) {
+        upd.downdate_leading(step, step).expect("slide eviction");
+        let (dim, end) = (w - step, off + w);
+        off += step;
+        upd.append_border(
+            &full.submatrix(off, end, dim, step).expect("cols"),
+            &full.submatrix(end, off, step, dim).expect("rows"),
+            &full.submatrix(end, end, step, step).expect("corner"),
+        )
+        .expect("slide append");
+        let window = full.submatrix(off, off, w, w).expect("window");
+        assert_matches_fresh(&upd, &window, &format!("{label}/alternating offset {off}"));
+    }
+}
+
+#[test]
+fn square_complex_streams_downdate_to_the_fresh_window() {
+    for kind in ["gapped", "noise-floor", "gapless"] {
+        let s = spectrum(kind, 8);
+        let a = complex_stream(32, 32, &s, 0xD0D0_0001);
+        oldest_first(&a, 4, &format!("square/{kind}"));
+        batch(&a, 8, &format!("square/{kind}"));
+    }
+}
+
+#[test]
+fn wide_complex_streams_downdate_to_the_fresh_window() {
+    // rows < cols exercises the adjoint-swapped native factorization
+    // underneath the downdate's core re-decomposition.
+    for kind in ["gapped", "noise-floor", "gapless"] {
+        let s = spectrum(kind, 6);
+        let a = complex_stream(24, 36, &s, 0xD0D0_0002);
+        oldest_first(&a, 4, &format!("wide/{kind}"));
+        batch(&a, 8, &format!("wide/{kind}"));
+    }
+}
+
+#[test]
+fn real_streams_downdate_to_the_fresh_window() {
+    for kind in ["gapped", "noise-floor", "gapless"] {
+        let s = spectrum(kind, 8);
+        let a = real_stream(32, 32, &s, 0xD0D0_0003);
+        oldest_first(&a, 4, &format!("real/{kind}"));
+        batch(&a, 8, &format!("real/{kind}"));
+    }
+}
+
+#[test]
+fn sliding_windows_alternate_downdates_and_updates() {
+    for kind in ["gapped", "noise-floor", "gapless"] {
+        let s = spectrum(kind, 8);
+        alternating(
+            &complex_stream(56, 56, &s, 0xD0D0_0004),
+            32,
+            4,
+            &format!("square/{kind}"),
+        );
+        alternating(
+            &real_stream(56, 56, &s, 0xD0D0_0005),
+            32,
+            4,
+            &format!("real/{kind}"),
+        );
+    }
+}
+
+#[test]
+fn asymmetric_evictions_match_the_asymmetric_window() {
+    // Row/column eviction counts need not match (a wide stream evicts
+    // more columns than rows).
+    let s = spectrum("gapped", 6);
+    let a = complex_stream(28, 40, &s, 0xD0D0_0006);
+    let mut upd = SvdUpdater::new(&a).expect("seed");
+    upd.downdate_leading(2, 8).expect("asymmetric eviction");
+    let window = a.submatrix(2, 8, 26, 32).expect("window");
+    assert_matches_fresh(&upd, &window, "wide/gapped/asymmetric");
+}

@@ -1,0 +1,80 @@
+//! Thread-count invariance of the SVD downdate path — isolated in its
+//! own test binary (like `svd_update_thread_invariance.rs`) because it
+//! cycles the process-global `MFTI_THREADS` variable, which sibling
+//! tests in a shared binary would race against.
+//!
+//! The downdate's parallel surface: the QR factorizations of the
+//! row-deleted bases, the column-scaled core product, the core's native
+//! re-decomposition and both basis-rotation GEMMs all route through the
+//! deterministically-chunked kernels, so a slid window must report
+//! bit-identical singular values and retained factors at every worker
+//! count — the windowed session's determinism contract rests on this.
+
+use mfti_numeric::{c64, CMatrix, SvdUpdater};
+
+fn low_rank_stream(dim: usize, rank: usize, mut seed: u64) -> CMatrix {
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed as f64 / u64::MAX as f64) * 2.0 - 1.0
+    };
+    let l = CMatrix::from_fn(dim, rank, |_, _| c64(next(), next()));
+    let r = CMatrix::from_fn(rank, dim, |_, _| c64(next(), next()));
+    l.matmul(&r).expect("generator product")
+}
+
+/// Seeds on a 144×144 leading window of a rank-20 stream (large enough
+/// for the blocked backend's fanned panel path), then slides: four
+/// rounds of downdate-8 / append-8 along the diagonal.
+fn slid_updater() -> SvdUpdater<mfti_numeric::Complex> {
+    let full = low_rank_stream(176, 20, 0xD0DA_CAFE);
+    let w = 144;
+    let mut upd =
+        SvdUpdater::new(&full.submatrix(0, 0, w, w).expect("seed window")).expect("seed svd");
+    let mut off = 0;
+    while off + w + 8 <= 176 {
+        upd.downdate_leading(8, 8).expect("downdate");
+        let (dim, end) = (w - 8, off + w);
+        off += 8;
+        upd.append_border(
+            &full.submatrix(off, end, dim, 8).expect("cols"),
+            &full.submatrix(end, off, 8, dim).expect("rows"),
+            &full.submatrix(end, end, 8, 8).expect("corner"),
+        )
+        .expect("append");
+    }
+    upd
+}
+
+#[test]
+fn downdated_factorizations_are_thread_count_invariant() {
+    std::env::set_var("MFTI_THREADS", "1");
+    let reference = slid_updater();
+    let bits = |m: &CMatrix| -> Vec<(u64, u64)> {
+        m.as_slice()
+            .iter()
+            .map(|z| (z.re.to_bits(), z.im.to_bits()))
+            .collect()
+    };
+    for threads in ["2", "4", "8"] {
+        std::env::set_var("MFTI_THREADS", threads);
+        let upd = slid_updater();
+        assert_eq!(
+            reference.singular_values(),
+            upd.singular_values(),
+            "slid-window σ differ at MFTI_THREADS={threads}"
+        );
+        assert_eq!(
+            bits(reference.left()),
+            bits(upd.left()),
+            "retained U differs at MFTI_THREADS={threads}"
+        );
+        assert_eq!(
+            bits(reference.right()),
+            bits(upd.right()),
+            "retained V differs at MFTI_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("MFTI_THREADS");
+}

@@ -28,19 +28,22 @@ run cargo run --release -p mfti-lint -- --json LINT_findings.json
 # same fit (fit_smoke: parallel pencil assembly + blocked-SVD trailing
 # updates), the same streamed session (session_smoke: per-append
 # rank-revealing SVD updates, digesting every per-append σ and the
-# final model) and the same realization stage (realize_smoke: lazy
+# final model), the same sliding-window session (window_smoke,
+# DESIGN.md §9: verified downdates, probe gates, ping-pong re-anchors —
+# digesting every per-append σ plus the eviction/quarantine/re-anchor
+# provenance) and the same realization stage (realize_smoke: lazy
 # rank-limited WY slab accumulation on the fresh real/complex paths +
 # the session-retained-factor path, digesting every model's bits) at
 # 1 worker and at many workers must be bit-identical (static-chunk
 # executor guarantee).
 run cargo build --release -p mfti-bench --bin sweep_smoke --bin fit_smoke --bin session_smoke \
-    --bin realize_smoke
+    --bin window_smoke --bin realize_smoke
 # Fault campaign (fault_smoke, DESIGN.md §8): every failure class of
 # the taxonomy through all four engines — zero panics, typed errors
 # only, and the outcome digest (orders, error strings, response bits)
 # must be exactly as thread-invariant as the success-path digests.
 run cargo build --release -p mfti-faults --bin fault_smoke
-for smoke in sweep_smoke fit_smoke session_smoke realize_smoke fault_smoke; do
+for smoke in sweep_smoke fit_smoke session_smoke window_smoke realize_smoke fault_smoke; do
     digest_1=$(MFTI_THREADS=1 "target/release/$smoke")
     digest_n=$(MFTI_THREADS=8 "target/release/$smoke")
     echo "==> $smoke 1-thread:  $digest_1"
@@ -55,6 +58,11 @@ if [[ "${1:-}" != "--no-bench-run" ]]; then
     # Perf trajectory: one JSON snapshot of the end-to-end fit + GEMM
     # kernels per verify run (BENCH_end_to_end.json, gitignored).
     run cargo run --release -p mfti-bench --bin bench_json
+    # Bounded-memory contract (BENCH_session_window.json): per-append
+    # cost under a sliding window must stay flat — last-decile median
+    # <= 1.5x first-decile median — and the peak pencil order must
+    # never exceed the capacity; window_bench exits nonzero otherwise.
+    run cargo run --release -p mfti-bench --bin window_bench
 fi
 
 echo "verify: all green"
