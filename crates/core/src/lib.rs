@@ -77,7 +77,7 @@ pub use fitter::{AnyModel, FitError, FitOutcome, Fitter};
 pub use loewner::LoewnerPencil;
 pub use mfti::{FitResult, FittedModel, Mfti, RealizationPath};
 pub use realify::{realify, RealifiedPencil};
-pub use realize::{realize_complex, realize_direct, realize_real, OrderSelection};
+pub use realize::{realize_complex, realize_direct, realize_real, OrderSelection, RealizeKind};
 pub use recursive::{RecursiveFit, RecursiveMfti, RoundInfo, SelectionOrder};
 pub use sampling_bounds::{minimal_samples, vfti_minimal_samples, SampleBounds};
 pub use session::{FitSession, Reanchor, SessionSvd, SignalDiagnostic, WindowPolicy};

@@ -66,14 +66,19 @@ pub struct LoewnerPencil {
     pair_ts: Vec<usize>,
     /// Frequency normalization ω₀ applied to all interpolation points.
     freq_scale: f64,
-    /// Pinned order-detection shift: the first right interpolation
-    /// point ever included (Section 3.4's λ₁ suggestion). Pinning —
-    /// rather than re-reading `lambdas[0]` — keeps the shifted pencil
-    /// `x₀𝕃 − σ𝕃` a *consistent* matrix across window retractions, so
-    /// an incrementally maintained [`SvdUpdater`](mfti_numeric::SvdUpdater)
-    /// over it stays valid after the leading pairs expire. Any x₀ that
-    /// is not a system pole is admissible (Lemma 3.4); a point on the
-    /// iω axis never coincides with a stable pole.
+    /// Pinned order-detection shift: `|λ₁|` for the first right
+    /// interpolation point ever included — **real**, so the realified
+    /// shifted pencil `x₀𝕃ᵣ − σ𝕃ᵣ` is a real matrix and Lemma 3.1
+    /// detection can run on the packed real path (DESIGN.md §5; with
+    /// Section 3.4's literal λ₁ = jω₁/ω₀ the realified shift would stay
+    /// complex and forfeit that). Pinning — rather than re-deriving from
+    /// `lambdas[0]` — keeps the shifted pencil `x₀𝕃 − σ𝕃` a *consistent*
+    /// matrix across window retractions, so an incrementally maintained
+    /// [`SvdUpdater`](mfti_numeric::SvdUpdater) over it stays valid
+    /// after the leading pairs expire. Any x₀ that is not a system pole
+    /// is admissible (Lemma 3.4); a point on the positive real axis
+    /// never coincides with a stable pole, and `|λ₁|` keeps the shift at
+    /// the magnitude of the normalized band.
     x0: Option<Complex>,
 }
 
@@ -305,7 +310,9 @@ impl LoewnerPencil {
             self.pair_ts.push(data.pair_weights()[j]);
         }
         if self.x0.is_none() {
-            self.x0 = self.lambdas.first().copied();
+            // Real shift |λ₁|: see the `x0` field docs — keeps the
+            // realified shifted pencil real for packed-real detection.
+            self.x0 = self.lambdas.first().map(|l| Complex::new(l.abs(), 0.0));
         }
         Ok(())
     }
@@ -574,15 +581,20 @@ impl LoewnerPencil {
         Ok(Svd::singular_values_of(&self.sll)?)
     }
 
-    /// Default shift `x₀`: the first right interpolation point ever
-    /// included, as suggested in Section 3.4 ("if x is chosen to be λ₁
-    /// or μ₁ …"). **Pinned** across [`retract`](LoewnerPencil::retract)
-    /// — windowed sessions keep decomposing the same shifted pencil
-    /// family even after the pair that donated λ₁ expires.
+    /// Default shift `x₀ = |λ₁|` for the first right interpolation
+    /// point ever included — Section 3.4 suggests λ₁ itself; taking its
+    /// magnitude keeps the shift **real**, so the realified shifted
+    /// pencil `x₀𝕃ᵣ − σ𝕃ᵣ` is a real matrix and order detection runs on
+    /// the packed real path with singular values identical (unitary
+    /// equivalence) to the complex `x₀𝕃 − σ𝕃` the session updaters
+    /// maintain (DESIGN.md §5). **Pinned** across
+    /// [`retract`](LoewnerPencil::retract) — windowed sessions keep
+    /// decomposing the same shifted pencil family even after the pair
+    /// that donated λ₁ expires.
     pub fn default_x0(&self) -> Complex {
         match self.x0 {
             Some(x0) => x0,
-            None => self.lambdas[0],
+            None => Complex::new(self.lambdas[0].abs(), 0.0),
         }
     }
 }

@@ -27,9 +27,11 @@ use crate::loewner::LoewnerPencil;
 use crate::realify::{apply_t_adjoint_left, realify};
 use crate::realize::{
     project_complex, realize_complex, realize_complex_from_partial, realize_real,
-    realize_real_retained, OrderSelection, StackedRealization,
+    realize_real_restricted, realize_real_retained, OrderSelection, RealizeKind,
+    StackedRealization,
 };
 use crate::recovery::LadderSvd;
+use mfti_numeric::Svd;
 
 /// Which realization arithmetic to use after order detection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -126,6 +128,11 @@ pub struct FitResult {
     pub model: FittedModel,
     /// Singular values of `x₀𝕃 − σ𝕃` (Fig. 1's order-detection signal).
     pub pencil_singular_values: Vec<f64>,
+    /// Which arithmetic produced the detection signal: the realified
+    /// pencil (one-shot real path) or the complex shifted pencil
+    /// (sessions, complex realizations). The two agree to machine
+    /// precision — see [`RealizeKind`].
+    pub detection_kind: RealizeKind,
     /// Detected (reduced) model order `r`.
     pub detected_order: usize,
     /// Pencil size `K` before truncation.
@@ -276,42 +283,112 @@ impl Mfti {
     /// Runs the realization stage on an already-built pencil (shared
     /// with Algorithm 2, which grows the pencil incrementally).
     ///
-    /// Order detection and projection read the same shifted pencil:
-    /// one decomposition serves both — the values pick the order, then
-    /// only the `r` columns the Lemma 3.4 projections touch are read.
-    /// On the real path the projection restricts the stacked problems
-    /// to the realified span of the same decomposition's leading
-    /// columns (the Loewner rank equalities make the spans coincide),
-    /// so the two stacked K×2K bidiagonalizations shrink to 2r×2K.
-    /// A stalled QR sweep degrades through the recovery ladder
-    /// ([`LadderSvd`], DESIGN.md §8) instead of failing the fit.
+    /// On the real path the realification is hoisted to the very front
+    /// (non-conjugate-closed data is refused *before* any factorization
+    /// is paid for) and Lemma 3.1 order detection runs on the realified
+    /// shifted pencil `x₀𝕃ᵣ − σ𝕃ᵣ` — a real matrix, since the pinned
+    /// shift is real — on the packed real GEMM path, at identical
+    /// singular values ([`RealizeKind`]). The same [`RealifiedPencil`]
+    /// then feeds projection: dense requests (`2r > K`) go straight to
+    /// the stacked SVDs, while `2r ≤ K` requests restrict the stacks to
+    /// the detection decomposition's leading real factors (the Loewner
+    /// rank equalities make the spans coincide), shrinking the two
+    /// `K × 2K` bidiagonalizations to `r × 2K`. One realification, one
+    /// detection, two stacked factorizations — nothing recomputed.
+    ///
+    /// The complex path keeps the original shape: one complex
+    /// decomposition serves detection values and projection factors.
+    /// A stalled QR sweep on either path degrades through the recovery
+    /// ladder ([`LadderSvd`], DESIGN.md §8) instead of failing the fit.
+    ///
+    /// [`RealifiedPencil`]: crate::RealifiedPencil
     pub(crate) fn fit_pencil(
         &self,
         pencil: &LoewnerPencil,
         start: Stopwatch,
     ) -> Result<FitResult, MftiError> {
         let x0 = pencil.default_x0();
-        let ladder = LadderSvd::compute(&pencil.shifted_pencil(x0), SvdFactors::Both)?;
-        let sv = ladder.singular_values().to_vec();
-        let order = self.order_selection.detect(&sv)?;
         let k = pencil.order();
-        let model = if self.path == RealizationPath::Real && 2 * order > k {
-            // Dense detection (2r > K): the restricted stacked problems
-            // would not shrink — go straight to the stacked SVDs.
-            let real = realify(pencil, self.realify_tol)?;
-            FittedModel::Real(realize_real(&real, order)?)
-        } else {
-            let (y, x) = ladder.accumulate_both(order)?;
-            self.realize_pencil_from_factors(pencil, &y, &x, order)?
-        };
-        Ok(FitResult {
-            model,
-            pencil_singular_values: sv,
-            detected_order: order,
-            pencil_order: pencil.order(),
-            svd_fallbacks: ladder.fallback_methods(),
-            elapsed: start.elapsed(),
-        })
+        match self.realize_kind() {
+            RealizeKind::Real => {
+                let real = realify(pencil, self.realify_tol)?;
+                let ladder = LadderSvd::compute(&real.shifted_pencil(x0.re), SvdFactors::Both)?;
+                let sv = ladder.singular_values().to_vec();
+                let order = self.order_selection.detect(&sv)?;
+                let model = if 2 * order > k {
+                    // Dense detection (2r > K): the restricted stacked
+                    // problems would not shrink — go straight to the
+                    // stacked SVDs of the already-realified pencil.
+                    FittedModel::Real(realize_real(&real, order)?)
+                } else {
+                    let (y, x) = ladder.accumulate_both(order)?;
+                    FittedModel::Real(realize_real_restricted(&real, &y, &x, order)?)
+                };
+                Ok(FitResult {
+                    model,
+                    pencil_singular_values: sv,
+                    detection_kind: RealizeKind::Real,
+                    detected_order: order,
+                    pencil_order: k,
+                    svd_fallbacks: ladder.fallback_methods(),
+                    elapsed: start.elapsed(),
+                })
+            }
+            RealizeKind::Complex => {
+                let ladder = LadderSvd::compute(&pencil.shifted_pencil(x0), SvdFactors::Both)?;
+                let sv = ladder.singular_values().to_vec();
+                let order = self.order_selection.detect(&sv)?;
+                let (y, x) = ladder.accumulate_both(order)?;
+                let model = FittedModel::Complex(project_complex(pencil, &y, &x)?);
+                Ok(FitResult {
+                    model,
+                    pencil_singular_values: sv,
+                    detection_kind: RealizeKind::Complex,
+                    detected_order: order,
+                    pencil_order: k,
+                    svd_fallbacks: ladder.fallback_methods(),
+                    elapsed: start.elapsed(),
+                })
+            }
+        }
+    }
+
+    /// Detection arithmetic implied by the configured realization path:
+    /// [`RealizeKind::Real`] for [`RealizationPath::Real`] (realify
+    /// first, detect on the real shifted pencil), [`RealizeKind::Complex`]
+    /// otherwise. Sessions override this with [`RealizeKind::Complex`]
+    /// regardless of path — their incremental updater bases live in
+    /// complex arithmetic.
+    pub fn realize_kind(&self) -> RealizeKind {
+        match self.path {
+            RealizationPath::Real => RealizeKind::Real,
+            RealizationPath::Complex => RealizeKind::Complex,
+        }
+    }
+
+    /// Values-only Lemma 3.1 detection signal of `pencil` under `kind`
+    /// — the σ profile that [`OrderSelection`] reads. The two kinds
+    /// agree to machine precision (unitary equivalence; pinned real
+    /// shift); `tests/detection_equivalence.rs` and the
+    /// `fit_stage/detect*` benchmark rows compare them directly.
+    ///
+    /// # Errors
+    ///
+    /// [`MftiError::RealificationResidual`] for `RealizeKind::Real` on
+    /// non-conjugate-closed data; SVD failures otherwise.
+    pub fn detection_singular_values(
+        &self,
+        pencil: &LoewnerPencil,
+        kind: RealizeKind,
+    ) -> Result<Vec<f64>, MftiError> {
+        let x0 = pencil.default_x0();
+        match kind {
+            RealizeKind::Real => {
+                let real = realify(pencil, self.realify_tol)?;
+                Ok(Svd::singular_values_of(&real.shifted_pencil(x0.re))?)
+            }
+            RealizeKind::Complex => pencil.shifted_pencil_singular_values(x0),
+        }
     }
 
     /// Projects an order-`order` model from already-accumulated leading
@@ -348,19 +425,22 @@ impl Mfti {
     ) -> Result<FittedModel, MftiError> {
         Ok(match self.path {
             RealizationPath::Real => {
-                // Dense requests (2r > K) go straight to the stacked
-                // SVDs — the shifted-pencil detour would not shrink
-                // them (and would waste its own bidiagonalization).
+                // Mirror fit_pencil's real path bit-for-bit so a
+                // session's fresh-realize fallback and a one-shot fit
+                // over the same samples produce identical models.
+                let real = realify(pencil, self.realify_tol)?;
                 if 2 * order > pencil.order() {
-                    let real = realify(pencil, self.realify_tol)?;
+                    // Dense requests (2r > K) go straight to the stacked
+                    // SVDs — the shifted-pencil detour would not shrink
+                    // them (and would waste its own bidiagonalization).
                     FittedModel::Real(realize_real(&real, order)?)
                 } else {
                     let ladder = LadderSvd::compute(
-                        &pencil.shifted_pencil(pencil.default_x0()),
+                        &real.shifted_pencil(pencil.default_x0().re),
                         SvdFactors::Both,
                     )?;
                     let (y, x) = ladder.accumulate_both(order)?;
-                    self.realize_pencil_from_factors(pencil, &y, &x, order)?
+                    FittedModel::Real(realize_real_restricted(&real, &y, &x, order)?)
                 }
             }
             RealizationPath::Complex => {

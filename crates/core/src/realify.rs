@@ -58,6 +58,22 @@ impl RealifiedPencil {
     pub fn freq_scale(&self) -> f64 {
         self.freq_scale
     }
+
+    /// The **real** shifted pencil `x₀𝕃ᵣ − σ𝕃ᵣ` (`K × K`), assembled in
+    /// one fused pass — the realified Lemma 3.1 order-detection matrix.
+    ///
+    /// With the pinned shift real
+    /// ([`LoewnerPencil::default_x0`](crate::LoewnerPencil::default_x0)
+    /// returns `|λ₁|`), this matrix is `T*(x₀𝕃 − σ𝕃)T` for the unitary
+    /// Lemma 3.2 frame `T`, so its singular values equal the complex
+    /// shifted pencil's exactly and order detection can run values-only
+    /// on the packed real GEMM path — about half the wall clock of the
+    /// complex bidiagonalization at the same `K` (DESIGN.md §5).
+    pub fn shifted_pencil(&self, x0: f64) -> RMatrix {
+        RMatrix::from_fn(self.ll.rows(), self.ll.cols(), |i, j| {
+            self.ll[(i, j)] * x0 - self.sll[(i, j)]
+        })
+    }
 }
 
 /// Applies the Lemma 3.2 transformation to a pencil built from

@@ -20,6 +20,32 @@ use crate::loewner::LoewnerPencil;
 use crate::realify::{realify, RealifiedPencil};
 use crate::recovery::LadderSvd;
 
+/// Which arithmetic carries the Lemma 3.1 order-detection signal.
+///
+/// With the pinned shift real ([`LoewnerPencil::default_x0`] returns
+/// `|λ₁|`), the two detection matrices are unitarily equivalent —
+/// `x₀𝕃ᵣ − σ𝕃ᵣ = T*(x₀𝕃 − σ𝕃)T` for the Lemma 3.2 frame `T` — so
+/// their singular values, and therefore every [`OrderSelection`]
+/// decision, coincide to machine precision
+/// (`tests/detection_equivalence.rs` pins both contracts). What
+/// differs is cost and what else the decomposition can feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RealizeKind {
+    /// Detection on the realified `x₀𝕃ᵣ − σ𝕃ᵣ`: the one-shot real-path
+    /// default since the realification is needed for projection anyway
+    /// — the bidiagonalization stays on the packed real GEMM path at
+    /// roughly half the wall clock of the complex one, and its real
+    /// factors restrict the stacked projections directly (no complex
+    /// round-trip, no QR re-orthonormalization).
+    Real,
+    /// Detection on the complex `x₀𝕃 − σ𝕃`: sessions — whose
+    /// incremental [`SvdUpdater`](mfti_numeric::SvdUpdater) bases live
+    /// in complex arithmetic so bordered appends/downdates stay valid —
+    /// and the [`RealizationPath::Complex`](crate::RealizationPath)
+    /// pipeline, whose Lemma 3.4 projection reads the complex factors.
+    Complex,
+}
+
 /// How to pick the reduced order from the singular-value profile of
 /// `x₀𝕃 − σ𝕃`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -382,13 +408,37 @@ pub(crate) fn realize_real_retained(
     // Orthonormal real bases of the retained column/row spaces.
     let yb = Qr::compute(&realified_span(tu)?)?.q_thin();
     let xb = Qr::compute(&realified_span(tv)?)?.q_thin();
+    realize_real_restricted(pencil, &yb, &xb, order)
+}
+
+/// Stacked realization **restricted** to real orthonormal bases
+/// `yb`/`xb` that contain the stacked pencils' leading column/row
+/// spaces: `row_stack = Yb·G` and `col_stack = H·Xbᵀ` (numerically),
+/// so the leading singular subspaces of the small `G`/`H` lift back
+/// through the bases. Two factor sources share this tail:
+///
+/// * [`realize_real_retained`] — session updater factors pushed through
+///   the Lemma 3.2 frame and re-orthonormalized (`2q`-wide spans);
+/// * the realified detection factors of [`RealizeKind::Real`] — the
+///   leading `r` singular vectors of `x₀𝕃ᵣ − σ𝕃ᵣ`, already real and
+///   orthonormal, used directly when `2r ≤ K`.
+pub(crate) fn realize_real_restricted(
+    pencil: &RealifiedPencil,
+    yb: &RMatrix,
+    xb: &RMatrix,
+    order: usize,
+) -> Result<DescriptorSystem<f64>, MftiError> {
+    let k = pencil.order();
+    if order == 0 || order > k {
+        return Err(MftiError::OrderSelection {
+            requested: order,
+            pencil: k,
+        });
+    }
     let row_stack = RMatrix::hstack(&[pencil.ll(), pencil.sll()])?;
     let col_stack = RMatrix::vstack(&[pencil.ll(), pencil.sll()])?;
-    // Restricted stacks: row_stack = Yb·G and col_stack = H·Xbᵀ
-    // (numerically), so the leading singular subspaces lift back
-    // through the bases.
     let g = yb.mul_hermitian_left(&row_stack)?;
-    let h = col_stack.matmul(&xb)?;
+    let h = col_stack.matmul(xb)?;
     let y = yb.matmul(&LadderSvd::compute(&g, SvdFactors::Left)?.accumulate_u(order)?)?;
     let x = xb.matmul(&LadderSvd::compute(&h, SvdFactors::Right)?.accumulate_v(order)?)?;
     project_real(pencil, &y, &x)
@@ -470,6 +520,43 @@ mod tests {
             .detect(&sv)
             .unwrap();
         assert_eq!(got, 3);
+    }
+
+    #[test]
+    fn order_selection_rejects_empty_and_all_zero_profiles() {
+        // Degenerate detection signals (an all-zero pencil, or no
+        // profile at all) must surface as `OrderSelection` errors here —
+        // order 0 must never reach `realize_*`, whose own guards would
+        // mask the true cause. Threshold computes `s0 = 0` and a zero
+        // count; the shared zero-order guard converts that to the error.
+        let zeros = [0.0f64; 8];
+        for sel in [
+            OrderSelection::Threshold(1e-12),
+            OrderSelection::NoiseFloor { factor: 5.0 },
+        ] {
+            for profile in [&[][..], &zeros[..]] {
+                match sel.detect(profile) {
+                    Err(MftiError::OrderSelection { requested, .. }) => {
+                        assert_eq!(requested, 0, "{sel:?} on {profile:?}")
+                    }
+                    other => panic!("{sel:?} on {profile:?} gave {other:?}"),
+                }
+            }
+        }
+        // LargestGap rejects the empty profile outright (no admissible
+        // search range); an all-zero profile has no finite ratio to
+        // prefer, so the clamped search returns its minimum order rather
+        // than an error — pin that too so the clamp's behavior on
+        // rank-zero tails stays documented.
+        let gap = OrderSelection::LargestGap {
+            min_order: 1,
+            max_order: 6,
+        };
+        assert!(matches!(
+            gap.detect(&[]),
+            Err(MftiError::OrderSelection { .. })
+        ));
+        assert_eq!(gap.detect(&zeros).unwrap(), 1);
     }
 
     #[test]

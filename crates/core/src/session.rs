@@ -37,7 +37,7 @@ use crate::error::MftiError;
 use crate::fitter::{FitError, FitOutcome};
 use crate::loewner::LoewnerPencil;
 use crate::mfti::{FitResult, FittedModel, Mfti};
-use crate::realize::{OrderSelection, StackedRealization};
+use crate::realize::{OrderSelection, RealizeKind, StackedRealization};
 use crate::recovery::LadderSvd;
 
 /// One consistent generation of the order-detection signal, as
@@ -1175,6 +1175,11 @@ impl FitSession {
             FitResult {
                 model,
                 pencil_singular_values: sv.to_vec(),
+                // Session signals are maintained incrementally by the
+                // complex SvdUpdater regardless of the realization path;
+                // the real one-shot signal agrees to machine precision
+                // (unitary equivalence — see RealizeKind).
+                detection_kind: RealizeKind::Complex,
                 detected_order: order,
                 pencil_order: pencil.order(),
                 // The signal producing this realization is the last

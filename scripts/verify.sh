@@ -24,6 +24,14 @@ run env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # printed as file:line: [MFTI-Dn] …; the JSON artifact is gitignored.
 run cargo run --release -p mfti-lint -- --json LINT_findings.json
 
+# Real-vs-complex detection equivalence (PR 10 contract): the realified
+# shifted pencil's σ must match the complex signal elementwise to
+# 1e-13·σ₁ and every OrderSelection variant must make the identical
+# rank decision on both — gated here, *before* the digest smokes, so a
+# detection-arithmetic regression surfaces as the typed assertion
+# rather than an opaque digest mismatch.
+run cargo test -q --release --test detection_equivalence
+
 # Deterministic-parallelism smoke: the same sweep (sweep_smoke), the
 # same fit (fit_smoke: parallel pencil assembly + blocked-SVD trailing
 # updates), the same streamed session (session_smoke: per-append

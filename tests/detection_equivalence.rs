@@ -1,0 +1,208 @@
+//! Real-vs-complex order-detection equivalence (the PR 10 contract).
+//!
+//! The pinned detection shift `x₀ = |λ₁|` is real, so the realified
+//! shifted pencil `x₀𝕃ᵣ − σ𝕃ᵣ = T*(x₀𝕃 − σ𝕃)T` is a *real* matrix
+//! unitarily equivalent to the complex shifted pencil — identical
+//! singular values in exact arithmetic. This suite pins the floating-
+//! point version of that statement on three spectrum shapes:
+//!
+//! * **gapped** — clean random system with a rank-`d` feedthrough: a
+//!   sharp σ cliff at the true order;
+//! * **noise-floor** — noisy PDN: physical modes above a flat noise
+//!   plateau;
+//! * **gapless** — heavily noisy data: σ decays smoothly with no
+//!   decisive drop anywhere.
+//!
+//! For each, the two detection signals must agree elementwise to
+//! `1e-13·σ₁`, and — the part the fit actually consumes — every
+//! [`OrderSelection`] variant must make the **identical rank decision**
+//! on both signals.
+
+use mfti::core::{
+    DirectionKind, LoewnerPencil, Mfti, OrderSelection, RealizeKind, TangentialData, Weights,
+};
+use mfti::sampling::generators::{PdnBuilder, RandomSystemBuilder};
+use mfti::sampling::{FrequencyGrid, NoiseModel, SampleSet};
+
+fn pencil_of(samples: &SampleSet) -> LoewnerPencil {
+    let data = TangentialData::build(samples, DirectionKind::default(), &Weights::Uniform(2))
+        .expect("data");
+    LoewnerPencil::build(&data).expect("pencil")
+}
+
+/// Clean random system: sharp rank gap at `n + rank(D)`.
+fn gapped_samples() -> SampleSet {
+    let dut = RandomSystemBuilder::new(14, 2, 2)
+        .band(1e3, 1e6)
+        .d_rank(2)
+        .seed(2026)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::log_space(1e3, 1e6, 16).expect("grid");
+    SampleSet::from_system(&dut, &grid).expect("sampling")
+}
+
+/// Noisy PDN: modes above a flat measurement-noise plateau.
+fn noise_floor_samples() -> SampleSet {
+    let pdn = PdnBuilder::new(4)
+        .resonance_pairs(10)
+        .band(1e7, 1e9)
+        .seed(7)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e7, 1e9, 36).expect("grid");
+    let clean = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    NoiseModel::additive_relative(1e-4).apply(&clean, 7)
+}
+
+/// Noise-dominated spectrum: σ decays smoothly, no decisive gap.
+fn gapless_samples() -> SampleSet {
+    let pdn = PdnBuilder::new(4)
+        .resonance_pairs(10)
+        .band(1e7, 1e9)
+        .seed(19)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::linear(1e7, 1e9, 36).expect("grid");
+    let clean = SampleSet::from_system(&pdn, &grid).expect("sampling");
+    NoiseModel::additive_relative(5e-2).apply(&clean, 19)
+}
+
+/// Every selection policy the crate offers, with parameters spanning
+/// aggressive and conservative readings of each spectrum.
+fn selections(k: usize) -> Vec<OrderSelection> {
+    vec![
+        OrderSelection::Threshold(1e-12),
+        OrderSelection::Threshold(1e-8),
+        OrderSelection::Threshold(1e-4),
+        OrderSelection::LargestGap {
+            min_order: 1,
+            max_order: k,
+        },
+        OrderSelection::LargestGap {
+            min_order: 2,
+            max_order: k / 2,
+        },
+        OrderSelection::NoiseFloor { factor: 3.0 },
+        OrderSelection::NoiseFloor { factor: 10.0 },
+        OrderSelection::Fixed(1),
+        OrderSelection::Fixed(k.min(6)),
+    ]
+}
+
+fn assert_equivalent(samples: &SampleSet, label: &str) {
+    let pencil = pencil_of(samples);
+    let mfti = Mfti::new();
+    let sv_real = mfti
+        .detection_singular_values(&pencil, RealizeKind::Real)
+        .expect("real detection signal");
+    let sv_cplx = mfti
+        .detection_singular_values(&pencil, RealizeKind::Complex)
+        .expect("complex detection signal");
+
+    // Elementwise σ agreement at 1e-13·σ₁: the two matrices are
+    // unitarily equivalent, so any drift is pure floating-point noise.
+    assert_eq!(sv_real.len(), sv_cplx.len(), "{label}: signal lengths");
+    let s1 = sv_cplx[0].max(sv_real[0]);
+    assert!(s1 > 0.0, "{label}: degenerate spectrum");
+    for (i, (r, c)) in sv_real.iter().zip(&sv_cplx).enumerate() {
+        assert!(
+            (r - c).abs() <= 1e-13 * s1,
+            "{label}: σ[{i}] drift {:.3e} beyond 1e-13·σ₁ (real {r:.6e}, complex {c:.6e})",
+            (r - c).abs() / s1
+        );
+    }
+
+    // Identical rank decisions for every selection policy — the only
+    // thing the downstream realization reads from the signal.
+    for sel in selections(pencil.order()) {
+        let from_real = sel.detect(&sv_real);
+        let from_cplx = sel.detect(&sv_cplx);
+        match (from_real, from_cplx) {
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{label}: {sel:?} rank decision split"),
+            (Err(_), Err(_)) => {}
+            (a, b) => panic!("{label}: {sel:?} Ok/Err split: real {a:?}, complex {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn gapped_spectrum_detects_identically_in_real_and_complex() {
+    assert_equivalent(&gapped_samples(), "gapped");
+}
+
+#[test]
+fn noise_floor_spectrum_detects_identically_in_real_and_complex() {
+    assert_equivalent(&noise_floor_samples(), "noise-floor");
+}
+
+#[test]
+fn gapless_spectrum_detects_identically_in_real_and_complex() {
+    assert_equivalent(&gapless_samples(), "gapless");
+}
+
+/// Realification is hoisted to the *front* of the real path: data that
+/// fails the conjugate-closure residual check must be refused before
+/// any factorization is paid for. Witness ordering without timing:
+/// `realify_tol(-1.0)` always trips (the residual is ≥ 0) and
+/// `Fixed(0)` always fails detection — under the old
+/// detect-then-realify pipeline this combination surfaced
+/// `OrderSelection`; the hoisted pipeline must surface
+/// `RealificationResidual`, and with no SVD ever attempted there is no
+/// recovery-ladder fallback provenance to record.
+#[test]
+fn realification_residual_fires_before_any_factorization() {
+    let samples = gapped_samples();
+    let err = Mfti::new()
+        .realify_tol(-1.0)
+        .order_selection(OrderSelection::Fixed(0))
+        .fit_detailed(&samples)
+        .expect_err("negative tolerance must refuse every dataset");
+    match err {
+        mfti::core::MftiError::RealificationResidual { max_imag } => {
+            assert!(max_imag >= 0.0, "residual is a magnitude");
+        }
+        other => panic!("real path must fail realification before detection, got {other:?}"),
+    }
+
+    // The complex path never realifies: the same configuration walks
+    // straight into detection and reports the order-selection failure.
+    let err = Mfti::new()
+        .realization(mfti::core::RealizationPath::Complex)
+        .realify_tol(-1.0)
+        .order_selection(OrderSelection::Fixed(0))
+        .fit_detailed(&samples)
+        .expect_err("order 0 is never realizable");
+    assert!(
+        matches!(
+            err,
+            mfti::core::MftiError::OrderSelection { requested: 0, .. }
+        ),
+        "complex path should fail order selection, got {err:?}"
+    );
+}
+
+#[test]
+fn fit_reports_the_detection_arithmetic_it_used() {
+    let samples = gapped_samples();
+    let real = Mfti::new().fit_detailed(&samples).expect("real fit");
+    assert_eq!(real.detection_kind, RealizeKind::Real);
+    assert_eq!(Mfti::new().realize_kind(), RealizeKind::Real);
+
+    let cplx = Mfti::new()
+        .realization(mfti::core::RealizationPath::Complex)
+        .fit_detailed(&samples)
+        .expect("complex fit");
+    assert_eq!(cplx.detection_kind, RealizeKind::Complex);
+
+    // The σ the two fits report are the same signal to machine
+    // precision even though they came from different arithmetic.
+    let s1 = cplx.pencil_singular_values[0];
+    for (r, c) in real
+        .pencil_singular_values
+        .iter()
+        .zip(&cplx.pencil_singular_values)
+    {
+        assert!((r - c).abs() <= 1e-13 * s1);
+    }
+}

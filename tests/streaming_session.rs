@@ -158,6 +158,143 @@ fn streamed_mna_fit_matches_from_scratch() {
     }
 }
 
+/// Satellite: rank-collapsing sliding window under `LargestGap`. A
+/// deliberately low-order DUT sampled far past its rank leaves the live
+/// window's shifted pencil with a true rank-deficient tail, so the
+/// `f64::MIN_POSITIVE` denominator clamp in `OrderSelection::detect`
+/// is live at every append — and the updater serves a *truncated*
+/// spectrum padded with its retain floor (the PR 5 contract) while the
+/// fresh oracle sees the full tail. Updater and oracle must make the
+/// identical rank decision at every append, before and after the
+/// window starts retracting, and a one-shot fit on the live window —
+/// which now detects on the *realified* pencil — must land on the same
+/// order.
+#[test]
+fn rank_collapsing_window_keeps_updater_and_oracle_in_lockstep() {
+    use mfti::core::{OrderSelection, RealizeKind, WindowPolicy};
+    use mfti::sampling::generators::RandomSystemBuilder;
+
+    let dut = RandomSystemBuilder::new(4, 2, 2)
+        .band(1e3, 1e6)
+        .d_rank(1)
+        .seed(55)
+        .build()
+        .expect("valid");
+    let grid = FrequencyGrid::log_space(1e3, 1e6, 20).expect("grid");
+    let all = SampleSet::from_system(&dut, &grid).expect("sampling");
+
+    // Capacity 24 at t = 2 keeps 6 pairs live — far above the true
+    // order 5 (n + rank D), so the window pencil always rank-collapses.
+    let window = WindowPolicy::Sliding { capacity: 24 };
+    let selection = OrderSelection::LargestGap {
+        min_order: 1,
+        max_order: 24,
+    };
+    let mfti = || Mfti::new().order_selection(selection);
+    let mut updating = FitSession::new(mfti()).window(window);
+    let mut oracle = FitSession::new(mfti())
+        .window(window)
+        .svd(SessionSvd::Fresh(SvdMethod::Blocked));
+
+    let k = all.len();
+    updating
+        .append(&all.subset(&[0, k - 1]).expect("edges"))
+        .expect("append");
+    oracle
+        .append(&all.subset(&[0, k - 1]).expect("edges"))
+        .expect("append");
+    let mut i = 1;
+    while i + 1 < k - 1 {
+        let batch = all.subset(&[i, i + 1]).expect("pair");
+        updating.append(&batch).expect("append");
+        oracle.append(&batch).expect("append");
+        i += 2;
+    }
+
+    assert!(updating.evicted_pairs() > 0, "the stream must have slid");
+    assert_eq!(updating.evicted_pairs(), oracle.evicted_pairs());
+    // The truncated-but-padded updater signal and the full fresh
+    // spectrum resolve the clamp identically at every append.
+    assert_eq!(updating.order_trajectory(), oracle.order_trajectory());
+    let (mu, mo) = (
+        updating.realize().expect("realize"),
+        oracle.realize().expect("realize"),
+    );
+    assert_eq!(mu.order(), mo.order());
+    assert_eq!(mu.order(), 5, "LargestGap must find the collapse rank");
+
+    // The retained working set actually truncated the rank-deficient
+    // tail — the padding contract (not the full spectrum) was on trial.
+    let retained = updating.retained_rank().expect("updater materialized");
+    assert!(
+        retained < updating.pencil_order(),
+        "no truncation: retained {retained} = pencil {}",
+        updating.pencil_order()
+    );
+
+    // One-shot fit over the live window: realified detection (the new
+    // real path) reads the same collapse through the same clamp.
+    let live = updating.samples().expect("windowed session");
+    let scratch = mfti().fit_detailed(live).expect("one-shot");
+    assert_eq!(scratch.detection_kind, RealizeKind::Real);
+    assert_eq!(scratch.detected_order, mu.order());
+}
+
+/// Satellite: a saturated (dense-path) workload where the session and
+/// the one-shot fit must agree not just on the detected order but on
+/// the **model bits**. Few samples of the high-order ladder leave the
+/// pencil without a σ cliff, so detection keeps `2r > K` — the one-shot
+/// fit realifies first and detects on the real shifted pencil, while
+/// the session detects on the complex updater signal; unitary
+/// equivalence makes the decisions coincide, the pencil is grown
+/// bit-identically (same samples, same pinned x₀), and both then run
+/// the identical stacked factorization — so the real models must be
+/// equal to the bit.
+#[test]
+fn dense_path_session_and_one_shot_fit_agree_to_the_bit() {
+    use mfti::core::RealizeKind;
+
+    let ckt = ladder();
+    let grid = FrequencyGrid::log_space(1e7, 1e10, 8).expect("grid");
+    let all = SampleSet::from_system(&ckt, &grid).expect("sampling");
+    let batches = streamed_batches(&all);
+
+    let mut session = FitSession::new(Mfti::new());
+    for batch in &batches {
+        session.append(batch).expect("append");
+    }
+    let combined = {
+        let mut freqs = Vec::new();
+        let mut mats = Vec::new();
+        for b in &batches {
+            freqs.extend_from_slice(b.freqs_hz());
+            mats.extend(b.matrices().iter().cloned());
+        }
+        SampleSet::from_parts(freqs, mats).expect("combined")
+    };
+    let scratch = Mfti::new().fit_detailed(&combined).expect("one-shot fit");
+    assert_eq!(scratch.detection_kind, RealizeKind::Real);
+
+    let streamed = session.realize().expect("realize");
+    assert_eq!(streamed.order(), scratch.detected_order);
+    assert!(
+        2 * streamed.order() > session.pencil_order(),
+        "workload must exercise the dense stacked path (2r > K): r {} K {}",
+        streamed.order(),
+        session.pencil_order()
+    );
+
+    // Bit-identical models: dense session realize and one-shot fit both
+    // end in the same stacked factorization of the same realified
+    // pencil.
+    let from_session = streamed.model().as_real().expect("real path");
+    let from_scratch = match &scratch.model {
+        mfti::core::FittedModel::Real(sys) => sys,
+        other => panic!("dense real path expected, got {other:?}"),
+    };
+    assert_eq!(from_session, from_scratch, "model bits diverged");
+}
+
 #[test]
 fn streaming_oracle_and_updater_agree_on_the_mna_stream() {
     // The same stream under the fresh-SVD oracle: identical trajectory
